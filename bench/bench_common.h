@@ -1,0 +1,59 @@
+// Shared plumbing for the per-table/per-figure bench binaries.
+//
+// Every bench prints a provenance line (case counts, seed, link-cut
+// rule) followed by plain-text tables that mirror the corresponding
+// paper artifact.  Absolute numbers depend on the surrogate topologies
+// (see DESIGN.md); the *shape* is the reproduction target recorded in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/bench_config.h"
+#include "exp/cases.h"
+#include "exp/context.h"
+#include "exp/runners.h"
+#include "graph/gen/isp_gen.h"
+
+namespace rtr::bench {
+
+/// Builds contexts for the Table II topologies (and optionally the two
+/// extra ASes that appear in Figs. 11-13).  unique_ptr keeps each
+/// context at a stable address (TopologyContext is immovable).
+inline std::vector<std::unique_ptr<exp::TopologyContext>> make_contexts(
+    bool extended) {
+  std::vector<std::unique_ptr<exp::TopologyContext>> out;
+  for (const graph::IspSpec& spec : graph::rocketfuel_specs()) {
+    if (!extended && !spec.core) continue;
+    out.push_back(std::make_unique<exp::TopologyContext>(
+        spec.name, graph::make_isp_topology(spec)));
+  }
+  return out;
+}
+
+/// Generates the paper's workload for one topology: cfg.cases
+/// recoverable plus cfg.cases irrecoverable test cases (either budget
+/// can be zeroed by the caller through the arguments).
+inline std::vector<exp::Scenario> make_scenarios(
+    const exp::TopologyContext& ctx, const exp::BenchConfig& cfg,
+    std::size_t recoverable, std::size_t irrecoverable) {
+  exp::CaseBudget budget;
+  budget.recoverable = recoverable;
+  budget.irrecoverable = irrecoverable;
+  // Per-topology seed: deterministic but distinct across topologies.
+  std::uint64_t seed = cfg.seed;
+  for (char c : ctx.name) seed = seed * 131 + static_cast<unsigned char>(c);
+  return exp::generate_scenarios(ctx, fail::ScenarioConfig{}, budget, seed,
+                                 cfg.cut_rule);
+}
+
+inline void print_header(const std::string& title,
+                         const exp::BenchConfig& cfg) {
+  std::cout << "==== " << title << " ====\n"
+            << "(" << cfg.describe() << ")\n\n";
+}
+
+}  // namespace rtr::bench

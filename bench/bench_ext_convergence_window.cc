@@ -1,0 +1,58 @@
+// Extension bench: quantifies the paper's motivation (Section I).
+//
+// For each topology and a sample of failure areas, compares the IGP
+// convergence window (the time during which default routes stay broken;
+// net/igp.h) against RTR's time-to-recovery (first phase duration plus
+// one source-routed delivery), and translates the difference into
+// packets saved per affected 10 Gb/s flow.
+#include "bench_common.h"
+#include "net/igp.h"
+#include "stats/cdf.h"
+#include "stats/table.h"
+
+using namespace rtr;
+
+int main() {
+  exp::BenchConfig cfg = exp::BenchConfig::from_env();
+  cfg.cases = std::max<std::size_t>(1, cfg.cases / 10);
+  bench::print_header(
+      "Extension: IGP convergence window vs RTR time-to-recovery", cfg);
+
+  stats::TextTable table({"Topology", "IGP conv (ms)", "RTR ready (ms)",
+                          "Speedup", "Pkts saved/flow @10G"});
+  const net::DelayModel delay;
+  for (const auto& ctx_ptr : bench::make_contexts(false)) {
+    const exp::TopologyContext& ctx = *ctx_ptr;
+    const auto scenarios = bench::make_scenarios(ctx, cfg, cfg.cases, 0);
+    double conv_sum = 0.0;
+    std::size_t conv_n = 0;
+    std::vector<double> ready_ms;
+    for (const exp::Scenario& sc : scenarios) {
+      const net::ConvergenceTimeline t =
+          net::igp_convergence(ctx.g, sc.failure);
+      conv_sum += t.convergence_ms;
+      ++conv_n;
+      core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure);
+      for (const exp::TestCase& tc : sc.recoverable) {
+        const core::RecoveryResult r = rtr.recover(tc.initiator, tc.dest);
+        if (!r.recovered()) continue;
+        const core::Phase1Result& p1 = rtr.phase1_for(tc.initiator);
+        ready_ms.push_back(
+            delay.duration_ms(p1.hops() + r.delivered_hops));
+      }
+    }
+    if (conv_n == 0 || ready_ms.empty()) continue;
+    const double conv = conv_sum / static_cast<double>(conv_n);
+    const double ready = stats::Summary::of(ready_ms).mean;
+    const double saved = net::packets_dropped(10e9, conv - ready);
+    table.add_row({ctx.name, stats::fmt(conv, 0), stats::fmt(ready),
+                   stats::fmt(conv / ready, 0) + "x",
+                   stats::fmt(saved / 1e6, 2) + "M"});
+  }
+  table.print(std::cout);
+  std::cout << "\nContext (Section I): a 10 Gb/s link down for 10 s "
+               "drops ~12.5 million 1000-byte packets; RTR shrinks the "
+               "unprotected window from the IGP's seconds to tens of "
+               "milliseconds.\n";
+  return 0;
+}

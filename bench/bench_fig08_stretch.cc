@@ -1,0 +1,44 @@
+// Regenerates Fig. 8: cumulative distribution of the stretch of
+// successfully recovered paths (RTR vs FCP).  RTR's curve is a step at
+// 1.0 by Theorem 2; FCP's tail extends to several times the optimum.
+#include "bench_common.h"
+#include "stats/cdf.h"
+#include "stats/table.h"
+
+using namespace rtr;
+
+int main() {
+  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+  bench::print_header("Fig. 8: CDF of the stretch of recovery paths", cfg);
+
+  const std::vector<double> grid = {1.0, 1.25, 1.5, 2.0, 2.5,
+                                    3.0, 3.5,  4.0, 4.5, 5.0};
+  std::vector<std::string> header = {"Series"};
+  for (double g : grid) header.push_back("<=" + stats::fmt(g, 2));
+  stats::TextTable table(header);
+
+  exp::RunOptions opts;
+  opts.run_mrc = false;
+  for (const auto& ctx_ptr : bench::make_contexts(false)) {
+    const exp::TopologyContext& ctx = *ctx_ptr;
+    const auto scenarios = bench::make_scenarios(ctx, cfg, cfg.cases, 0);
+    const exp::RecoverableResults r =
+        exp::run_recoverable(ctx, scenarios, opts);
+    for (const auto& [name, samples] :
+         {std::pair<std::string, const std::vector<double>*>{
+              "RTR (" + ctx.name + ")", &r.rtr_stretch},
+          {"FCP (" + ctx.name + ")", &r.fcp_stretch}}) {
+      const stats::Cdf cdf(*samples);
+      std::vector<std::string> row = {name};
+      for (double g : grid) {
+        row.push_back(stats::fmt_pct(cdf.fraction_at_or_below(g)));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference: RTR has stretch exactly 1 for every "
+               "recovered path (Theorem 2); FCP reaches ~93-96% at "
+               "stretch 1 and its tail extends to 2.5-5.0.\n";
+  return 0;
+}

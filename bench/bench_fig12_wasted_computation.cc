@@ -1,0 +1,46 @@
+// Regenerates Fig. 12: cumulative distribution of the wasted
+// computation (shortest-path calculations) on irrecoverable test cases.
+// RTR wastes at most one calculation; FCP keeps recomputing until the
+// carried failure list proves the destination unreachable.
+#include "bench_common.h"
+#include "stats/cdf.h"
+#include "stats/table.h"
+
+using namespace rtr;
+
+int main() {
+  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+  bench::print_header(
+      "Fig. 12: CDF of the wasted computation in irrecoverable test "
+      "cases",
+      cfg);
+
+  const std::vector<double> grid = {1, 3, 6, 9, 12, 18, 24, 30, 42};
+  std::vector<std::string> header = {"Series"};
+  for (double g : grid) header.push_back("<=" + stats::fmt(g, 0));
+  header.push_back("max");
+  stats::TextTable table(header);
+
+  for (const auto& ctx_ptr : bench::make_contexts(true)) {
+    const exp::TopologyContext& ctx = *ctx_ptr;
+    const auto scenarios = bench::make_scenarios(ctx, cfg, 0, cfg.cases);
+    const exp::IrrecoverableResults r =
+        exp::run_irrecoverable(ctx, scenarios);
+    for (const auto& [name, samples] :
+         {std::pair<std::string, const std::vector<double>*>{
+              "RTR (" + ctx.name + ")", &r.rtr_wasted_comp},
+          {"FCP (" + ctx.name + ")", &r.fcp_wasted_comp}}) {
+      const stats::Cdf cdf(*samples);
+      std::vector<std::string> row = {name};
+      for (double g : grid) {
+        row.push_back(stats::fmt_pct(cdf.fraction_at_or_below(g)));
+      }
+      row.push_back(stats::fmt(cdf.max(), 0));
+      table.add_row(std::move(row));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference: RTR's wasted computation is 1; FCP "
+               "averages 5.9 with maxima up to 42 (Table IV).\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Regenerates Fig. 13: cumulative distribution of the wasted
+// transmission (bytes forwarded before the packet is discarded) on
+// irrecoverable test cases.
+#include "bench_common.h"
+#include "stats/cdf.h"
+#include "stats/table.h"
+
+using namespace rtr;
+
+int main() {
+  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+  bench::print_header(
+      "Fig. 13: CDF of the wasted transmission in irrecoverable test "
+      "cases (bytes)",
+      cfg);
+
+  const std::vector<double> grid = {0,    1000,  2000,  4000,  8000,
+                                    16000, 32000, 48000, 64000};
+  std::vector<std::string> header = {"Series"};
+  for (double g : grid) header.push_back("<=" + stats::fmt(g, 0));
+  header.push_back("max");
+  stats::TextTable table(header);
+
+  for (const auto& ctx_ptr : bench::make_contexts(true)) {
+    const exp::TopologyContext& ctx = *ctx_ptr;
+    const auto scenarios = bench::make_scenarios(ctx, cfg, 0, cfg.cases);
+    const exp::IrrecoverableResults r =
+        exp::run_irrecoverable(ctx, scenarios);
+    for (const auto& [name, samples] :
+         {std::pair<std::string, const std::vector<double>*>{
+              "RTR (" + ctx.name + ")", &r.rtr_wasted_trans},
+          {"FCP (" + ctx.name + ")", &r.fcp_wasted_trans}}) {
+      const stats::Cdf cdf(*samples);
+      std::vector<std::string> row = {name};
+      for (double g : grid) {
+        row.push_back(stats::fmt_pct(cdf.fraction_at_or_below(g)));
+      }
+      row.push_back(stats::fmt(cdf.max(), 0));
+      table.add_row(std::move(row));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference: RTR outperforms FCP in every topology; "
+               "overall averages 932 vs 3823 bytes (Table IV).\n";
+  return 0;
+}

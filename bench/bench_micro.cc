@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for the pieces whose cost the
+// paper argues about: shortest-path recomputation (full Dijkstra vs the
+// incremental SPT of Section III-D), the per-link crossing-set
+// precomputation of Section III-C, the phase-1 traversal itself, and
+// the header codec.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/phase1.h"
+#include "failure/scenario.h"
+#include "graph/crossings.h"
+#include "graph/gen/isp_gen.h"
+#include "net/codec.h"
+#include "spf/incremental.h"
+#include "spf/routing_table.h"
+#include "spf/shortest_path.h"
+
+using namespace rtr;
+
+namespace {
+
+const graph::Graph& topo(const std::string& name) {
+  static std::map<std::string, graph::Graph> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, graph::make_isp_topology(
+                                 graph::spec_by_name(name)))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<LinkId> sample_links(const graph::Graph& g, std::size_t k,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LinkId> out;
+  std::vector<char> used(g.num_links(), 0);
+  while (out.size() < k) {
+    const LinkId l = static_cast<LinkId>(rng.index(g.num_links()));
+    if (!used[l]) {
+      used[l] = 1;
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+void BM_FullDijkstraAfterRemovals(benchmark::State& state) {
+  const graph::Graph& g = topo("AS7018");
+  const auto removed = sample_links(g, state.range(0), 7);
+  std::vector<char> mask(g.num_links(), 0);
+  for (LinkId l : removed) mask[l] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spf::dijkstra_from(g, 0, {nullptr, &mask}));
+  }
+}
+BENCHMARK(BM_FullDijkstraAfterRemovals)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_IncrementalSptAfterRemovals(benchmark::State& state) {
+  const graph::Graph& g = topo("AS7018");
+  const auto removed =
+      sample_links(g, static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    spf::IncrementalSpt inc(g, 0);  // tree build excluded from timing
+    state.ResumeTiming();
+    inc.remove_links(removed);
+    benchmark::DoNotOptimize(inc.dist(g.num_nodes() - 1));
+  }
+}
+BENCHMARK(BM_IncrementalSptAfterRemovals)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CrossingIndexBuild(benchmark::State& state) {
+  const graph::Graph& g = topo(state.range(0) == 0 ? "AS1239" : "AS3549");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CrossingIndex(g));
+  }
+}
+BENCHMARK(BM_CrossingIndexBuild)->Arg(0)->Arg(1);
+
+void BM_RoutingTableBuild(benchmark::State& state) {
+  const graph::Graph& g = topo("AS7018");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spf::RoutingTable(g));
+  }
+}
+BENCHMARK(BM_RoutingTableBuild);
+
+void BM_Phase1Traversal(benchmark::State& state) {
+  const graph::Graph& g = topo("AS209");
+  const graph::CrossingIndex idx(g);
+  Rng rng(42);
+  const fail::ScenarioConfig cfg;
+  // A fixed failure with a valid initiator.
+  fail::FailureSet fs(g);
+  NodeId initiator = kNoNode;
+  LinkId dead = kNoLink;
+  while (initiator == kNoNode) {
+    fs = fail::FailureSet(g, fail::random_circle_area(cfg, rng),
+                          fail::LinkCutRule::kEndpointsOnly);
+    if (fs.empty()) continue;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (fs.node_failed(n)) continue;
+      const auto obs = fs.observed_failed_links(g, n);
+      if (!obs.empty()) {
+        initiator = n;
+        dead = obs.front();
+        break;
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_phase1(g, idx, fs, initiator, dead));
+  }
+}
+BENCHMARK(BM_Phase1Traversal);
+
+void BM_HeaderCodecRoundTrip(benchmark::State& state) {
+  net::RtrHeader h;
+  h.mode = net::Mode::kCollect;
+  h.rec_init = 6;
+  for (LinkId l = 0; l < static_cast<LinkId>(state.range(0)); ++l) {
+    h.add_failed(l);
+  }
+  h.cross_links = {1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode(net::encode(h)));
+  }
+}
+BENCHMARK(BM_HeaderCodecRoundTrip)->Arg(4)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Regenerates Table III: recovery rate, optimal recovery rate, maximum
+// stretch and maximum computational overhead of RTR, FCP and MRC over
+// the recoverable test cases of every Table II topology.
+//
+// Printed under both link-cut rules (see DESIGN.md): the endpoint rule
+// best reproduces RTR's headline numbers; the geometric rule best
+// reproduces MRC's collapse ("a routing path and its backup paths may
+// fail simultaneously").
+#include "bench_common.h"
+#include "stats/cdf.h"
+#include "stats/table.h"
+
+using namespace rtr;
+
+namespace {
+
+void run_rule(exp::BenchConfig cfg, fail::LinkCutRule rule,
+              const char* label) {
+  cfg.cut_rule = rule;
+  stats::TextTable table(
+      {"Topology", "Rec% RTR", "Rec% FCP", "Rec% MRC", "Opt% RTR",
+       "Opt% FCP", "Opt% MRC", "MaxStr RTR", "MaxStr FCP", "MaxStr MRC",
+       "MaxCalc RTR", "MaxCalc FCP"});
+
+  std::size_t cases = 0;
+  std::size_t rtr_rec = 0, fcp_rec = 0, mrc_rec = 0;
+  std::size_t rtr_opt = 0, fcp_opt = 0, mrc_opt = 0;
+  double rtr_str = 0, fcp_str = 0, mrc_str = 0, rtr_cal = 0, fcp_cal = 0;
+
+  for (const auto& ctx_ptr : bench::make_contexts(false)) {
+    const exp::TopologyContext& ctx = *ctx_ptr;
+    const auto scenarios = bench::make_scenarios(ctx, cfg, cfg.cases, 0);
+    const exp::RecoverableResults r = exp::run_recoverable(ctx, scenarios);
+    const double n = static_cast<double>(r.cases);
+    const auto max_of = [](const std::vector<double>& v) {
+      return v.empty() ? 0.0 : stats::Summary::of(v).max;
+    };
+    table.add_row({ctx.name,
+                   stats::fmt(100.0 * r.rtr_recovered / n),
+                   stats::fmt(100.0 * r.fcp_recovered / n),
+                   stats::fmt(100.0 * r.mrc_recovered / n),
+                   stats::fmt(100.0 * r.rtr_optimal / n),
+                   stats::fmt(100.0 * r.fcp_optimal / n),
+                   stats::fmt(100.0 * r.mrc_optimal / n),
+                   stats::fmt(max_of(r.rtr_stretch)),
+                   stats::fmt(max_of(r.fcp_stretch)),
+                   stats::fmt(max_of(r.mrc_stretch)),
+                   stats::fmt(max_of(r.rtr_calcs), 0),
+                   stats::fmt(max_of(r.fcp_calcs), 0)});
+    cases += r.cases;
+    rtr_rec += r.rtr_recovered;
+    fcp_rec += r.fcp_recovered;
+    mrc_rec += r.mrc_recovered;
+    rtr_opt += r.rtr_optimal;
+    fcp_opt += r.fcp_optimal;
+    mrc_opt += r.mrc_optimal;
+    rtr_str = std::max(rtr_str, max_of(r.rtr_stretch));
+    fcp_str = std::max(fcp_str, max_of(r.fcp_stretch));
+    mrc_str = std::max(mrc_str, max_of(r.mrc_stretch));
+    rtr_cal = std::max(rtr_cal, max_of(r.rtr_calcs));
+    fcp_cal = std::max(fcp_cal, max_of(r.fcp_calcs));
+  }
+  const double n = static_cast<double>(cases);
+  table.add_row({"Overall", stats::fmt(100.0 * rtr_rec / n),
+                 stats::fmt(100.0 * fcp_rec / n),
+                 stats::fmt(100.0 * mrc_rec / n),
+                 stats::fmt(100.0 * rtr_opt / n),
+                 stats::fmt(100.0 * fcp_opt / n),
+                 stats::fmt(100.0 * mrc_opt / n), stats::fmt(rtr_str),
+                 stats::fmt(fcp_str), stats::fmt(mrc_str),
+                 stats::fmt(rtr_cal, 0), stats::fmt(fcp_cal, 0)});
+  std::cout << "-- link-cut rule: " << label << " --\n";
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+  bench::print_header(
+      "Table III: performance of RTR, FCP and MRC in recoverable test "
+      "cases",
+      cfg);
+  run_rule(cfg, fail::LinkCutRule::kEndpointsOnly,
+           "endpoint (paper's data)");
+  run_rule(cfg, fail::LinkCutRule::kGeometric, "geometric (stated model)");
+  std::cout << "Paper reference (real Rocketfuel maps): RTR recovery "
+               "97.7-99.2% with optimal == recovery and stretch exactly "
+               "1; FCP recovery 100% with optimal 92.8-97.9% and stretch "
+               "up to 5.0; MRC recovery 15.5-63.9% with optimal "
+               "8.2-42.1%.\n";
+  return 0;
+}

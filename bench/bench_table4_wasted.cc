@@ -1,0 +1,63 @@
+// Regenerates Table IV: average and maximum wasted computation and
+// wasted transmission of RTR and FCP on irrecoverable test cases, plus
+// the headline savings percentages of the abstract.
+#include "bench_common.h"
+#include "stats/cdf.h"
+#include "stats/table.h"
+
+using namespace rtr;
+
+int main() {
+  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+  bench::print_header(
+      "Table IV: wasted computation and wasted transmission in "
+      "irrecoverable test cases",
+      cfg);
+
+  stats::TextTable table({"Topology", "AvgComp RTR", "AvgComp FCP",
+                          "MaxComp RTR", "MaxComp FCP", "AvgTx RTR",
+                          "AvgTx FCP", "MaxTx RTR", "MaxTx FCP"});
+  std::vector<double> all_rtr_comp, all_fcp_comp, all_rtr_tx, all_fcp_tx;
+
+  for (const auto& ctx_ptr : bench::make_contexts(false)) {
+    const exp::TopologyContext& ctx = *ctx_ptr;
+    const auto scenarios = bench::make_scenarios(ctx, cfg, 0, cfg.cases);
+    const exp::IrrecoverableResults r =
+        exp::run_irrecoverable(ctx, scenarios);
+    const stats::Summary rc = stats::Summary::of(r.rtr_wasted_comp);
+    const stats::Summary fc = stats::Summary::of(r.fcp_wasted_comp);
+    const stats::Summary rt = stats::Summary::of(r.rtr_wasted_trans);
+    const stats::Summary ft = stats::Summary::of(r.fcp_wasted_trans);
+    table.add_row({ctx.name, stats::fmt(rc.mean), stats::fmt(fc.mean),
+                   stats::fmt(rc.max, 0), stats::fmt(fc.max, 0),
+                   stats::fmt(rt.mean), stats::fmt(ft.mean),
+                   stats::fmt(rt.max, 0), stats::fmt(ft.max, 0)});
+    const auto append = [](std::vector<double>& acc,
+                           const std::vector<double>& v) {
+      acc.insert(acc.end(), v.begin(), v.end());
+    };
+    append(all_rtr_comp, r.rtr_wasted_comp);
+    append(all_fcp_comp, r.fcp_wasted_comp);
+    append(all_rtr_tx, r.rtr_wasted_trans);
+    append(all_fcp_tx, r.fcp_wasted_trans);
+  }
+  const stats::Summary rc = stats::Summary::of(all_rtr_comp);
+  const stats::Summary fc = stats::Summary::of(all_fcp_comp);
+  const stats::Summary rt = stats::Summary::of(all_rtr_tx);
+  const stats::Summary ft = stats::Summary::of(all_fcp_tx);
+  table.add_row({"Overall", stats::fmt(rc.mean), stats::fmt(fc.mean),
+                 stats::fmt(rc.max, 0), stats::fmt(fc.max, 0),
+                 stats::fmt(rt.mean), stats::fmt(ft.mean),
+                 stats::fmt(rt.max, 0), stats::fmt(ft.max, 0)});
+  table.print(std::cout);
+
+  const double comp_saving = 100.0 * (1.0 - rc.mean / fc.mean);
+  const double tx_saving = 100.0 * (1.0 - rt.mean / ft.mean);
+  std::cout << "\nRTR saves " << stats::fmt(comp_saving)
+            << "% of computation and " << stats::fmt(tx_saving)
+            << "% of transmission for irrecoverable failed routing "
+               "paths.\nPaper reference: 83.1% computation and 75.6% "
+               "transmission saved; overall wasted computation 1 vs 5.9 "
+               "and wasted transmission 932.5 vs 3822.8 bytes.\n";
+  return 0;
+}

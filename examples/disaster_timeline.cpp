@@ -1,0 +1,166 @@
+// An event-driven disaster scenario on the AS7018 surrogate.
+//
+// Two earthquakes strike twelve seconds apart (Section III-E: multiple
+// failure areas).  A monitored flow keeps sending packets; the
+// discrete-event simulator replays, with the 1.8 ms per-hop delay model
+// of Section IV-B, how traffic is disrupted and how RTR's two phases
+// restore delivery -- including the second recovery leg after the
+// second quake, carrying the first quake's failure information in the
+// packet header.
+#include <iomanip>
+#include <iostream>
+
+#include "core/rtr.h"
+#include "failure/failure_set.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/properties.h"
+#include "net/delay.h"
+#include "net/igp.h"
+#include "net/sim.h"
+#include "spf/routing_table.h"
+
+using namespace rtr;
+
+namespace {
+
+struct Flow {
+  NodeId src;
+  NodeId dst;
+};
+
+void log_at(net::Simulator& sim, const std::string& msg) {
+  std::cout << "[t=" << std::fixed << std::setprecision(1) << std::setw(8)
+            << sim.now() << " ms] " << msg << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const graph::Graph g =
+      graph::make_isp_topology(graph::spec_by_name("AS7018"));
+  const graph::CrossingIndex crossings(g);
+  const spf::RoutingTable rt(g);
+  const net::DelayModel delay;
+
+  // Ground truth evolves over time; both quakes are staged up front.
+  const fail::CircleArea quake1({700.0, 900.0}, 240.0);
+  const fail::CircleArea quake2({1250.0, 1100.0}, 200.0);
+  fail::FailureSet failure(g);
+
+  // Pick a monitored flow that quake1 will disrupt.
+  fail::FailureSet preview(g, quake1, fail::LinkCutRule::kEndpointsOnly);
+  Flow flow{kNoNode, kNoNode};
+  for (NodeId s = 0; s < g.num_nodes() && flow.src == kNoNode; ++s) {
+    if (preview.node_failed(s)) continue;
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (t == s || preview.node_failed(t)) continue;
+      const spf::Path p = rt.route(s, t);
+      bool broken = false;
+      for (LinkId l : p.links) broken |= preview.link_failed(l);
+      if (broken && graph::reachable(g, s, t, preview.masks())) {
+        flow = {s, t};
+        break;
+      }
+    }
+  }
+  if (flow.src == kNoNode) {
+    std::cout << "No disrupted-but-recoverable flow found.\n";
+    return 0;
+  }
+
+  net::Simulator sim;
+  std::cout << "AS7018 surrogate: " << g.num_nodes() << " routers, "
+            << g.num_links() << " links\n"
+            << "Monitored flow: v" << flow.src << " -> v" << flow.dst
+            << " (" << rt.route(flow.src, flow.dst).hops()
+            << " hops before the disaster)\n\n";
+
+  double first_phase1_ms = -1.0;  // first observed collection duration
+
+  // One probe packet per second for 30 s.
+  for (int s = 0; s < 30; ++s) {
+    sim.at(1000.0 * s, [&, s] {
+      // Walk the default path until delivery or the first failure.
+      NodeId u = flow.src;
+      std::size_t hops = 0;
+      while (u != flow.dst) {
+        const graph::Adjacency a{rt.next_hop(u, flow.dst),
+                                 rt.next_link(u, flow.dst)};
+        if (failure.neighbor_unreachable(a)) break;
+        u = a.neighbor;
+        ++hops;
+      }
+      if (u == flow.dst) {
+        log_at(sim, "packet " + std::to_string(s) + " delivered over the "
+                        "default path in " +
+                        std::to_string(hops) + " hops (" +
+                        std::to_string(delay.duration_ms(hops)) + " ms)");
+        return;
+      }
+      // Recovery at the detecting router.
+      if (!failure.has_live_neighbor(g, u)) {
+        log_at(sim, "packet " + std::to_string(s) +
+                        " LOST: initiator v" + std::to_string(u) +
+                        " is completely cut off");
+        return;
+      }
+      core::RtrRecovery rtr(g, crossings, rt, failure);
+      const auto mr = rtr.recover_multi(u, flow.dst);
+      const core::Phase1Result& p1 = rtr.phase1_for(u);
+      if (first_phase1_ms < 0.0) {
+        first_phase1_ms = delay.duration_ms(p1.hops());
+      }
+      std::string note = "packet " + std::to_string(s) +
+                         " hit the failure at v" + std::to_string(u) +
+                         "; phase 1 = " + std::to_string(p1.hops()) +
+                         " hops (" +
+                         std::to_string(delay.duration_ms(p1.hops())) +
+                         " ms), ";
+      if (mr.outcome == core::Outcome::kRecovered) {
+        note += "recovered over " +
+                std::to_string(mr.total_delivered_hops) + " hops in " +
+                std::to_string(mr.legs.size()) + " leg(s)";
+      } else {
+        note += std::string("dropped (") + core::to_string(mr.outcome) +
+                ")";
+      }
+      log_at(sim, note);
+    });
+  }
+
+  sim.at(2500.0, [&] {
+    failure.add(g, quake1, fail::LinkCutRule::kEndpointsOnly);
+    log_at(sim, ">>> earthquake 1: " + quake1.describe() + " -- " +
+                    std::to_string(failure.num_failed_nodes()) +
+                    " routers down");
+  });
+  sim.at(14500.0, [&] {
+    const std::size_t before = failure.num_failed_nodes();
+    failure.add(g, quake2, fail::LinkCutRule::kEndpointsOnly);
+    log_at(sim, ">>> earthquake 2: " + quake2.describe() + " -- " +
+                    std::to_string(failure.num_failed_nodes() - before) +
+                    " more routers down");
+  });
+
+  sim.run();
+  std::cout << "\nSimulation executed " << sim.executed()
+            << " events over " << sim.now() / 1000.0 << " s\n";
+
+  // The payoff in the paper's own terms: how long the IGP would need
+  // to repair the tables after quake 1, and what that window costs a
+  // 10 Gb/s flow without a recovery scheme.
+  const fail::FailureSet after_q1(g, quake1,
+                                  fail::LinkCutRule::kEndpointsOnly);
+  const net::ConvergenceTimeline conv = net::igp_convergence(g, after_q1);
+  std::cout << "\nIGP convergence after earthquake 1 would take "
+            << std::setprecision(0) << conv.convergence_ms
+            << " ms; RTR restored the monitored flow after "
+            << std::setprecision(1) << first_phase1_ms
+            << " ms of failure collection.\nAt 10 Gb/s, the bare "
+               "convergence window drops ~"
+            << std::setprecision(2)
+            << net::packets_dropped(10e9, conv.convergence_ms) / 1e6
+            << " million packets per affected flow (Section I's "
+               "arithmetic).\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "baselines/fcp.h"
+
+#include "spf/shortest_path.h"
+
+namespace rtr::baseline {
+
+FcpResult run_fcp(const graph::Graph& g, const fail::FailureSet& failure,
+                  NodeId initiator, NodeId dest, const FcpOptions& opts) {
+  RTR_EXPECT(g.valid_node(initiator) && g.valid_node(dest));
+  RTR_EXPECT(initiator != dest);
+  RTR_EXPECT_MSG(!failure.node_failed(initiator), "initiator failed");
+
+  FcpResult r;
+  r.initiator = initiator;
+  r.destination = dest;
+  r.walk.push_back(initiator);
+
+  // Exclusion mask shared across recomputations; rebuilt incrementally
+  // as the header's failure list grows.
+  std::vector<char> excluded(g.num_links(), 0);
+  NodeId at = initiator;
+  while (true) {
+    // The node where the packet is stuck adds everything it can observe
+    // locally, then recomputes on the consistent map minus carried
+    // failures (the local observations ride in the header from now on).
+    for (LinkId l : failure.observed_failed_links(g, at)) {
+      if (r.header.add_failed(l)) excluded[l] = 1;
+    }
+    if (r.sp_calculations >= opts.max_recomputations) {
+      r.final_node = at;
+      return r;  // cap: treated as a discard (tests assert unreachable)
+    }
+    ++r.sp_calculations;
+    const spf::Path path =
+        spf::shortest_path(g, at, dest, {nullptr, &excluded});
+    if (path.empty()) {
+      // No route consistent with the carried failures: discard here.
+      r.final_node = at;
+      return r;
+    }
+    r.header.source_route.assign(path.nodes.begin() + 1, path.nodes.end());
+    const std::size_t bytes = r.header.recovery_bytes();
+
+    // Walk the source route until delivery or the next failure.
+    bool blocked = false;
+    for (std::size_t i = 0; i < path.links.size(); ++i) {
+      const LinkId l = path.links[i];
+      if (failure.link_failed(l)) {
+        // path.nodes[i] observes its next hop unreachable and becomes
+        // the next recomputing node.
+        at = path.nodes[i];
+        blocked = true;
+        break;
+      }
+      r.bytes_per_hop.push_back(bytes);
+      ++r.hops;
+      r.walk.push_back(path.nodes[i + 1]);
+    }
+    if (!blocked) {
+      r.delivered = true;
+      r.final_node = dest;
+      return r;
+    }
+  }
+}
+
+FcpResult run_fcp_original(const graph::Graph& g,
+                           const fail::FailureSet& failure,
+                           NodeId initiator, NodeId dest,
+                           const FcpOptions& opts) {
+  RTR_EXPECT(g.valid_node(initiator) && g.valid_node(dest));
+  RTR_EXPECT(initiator != dest);
+  RTR_EXPECT_MSG(!failure.node_failed(initiator), "initiator failed");
+
+  FcpResult r;
+  r.initiator = initiator;
+  r.destination = dest;
+  r.walk.push_back(initiator);
+
+  std::vector<char> excluded(g.num_links(), 0);
+  NodeId at = initiator;
+  // Hop cap: the carried failure set grows at most |E| times, and
+  // between growth events the per-hop recomputations agree and strictly
+  // approach the destination, so |V| * (|E| + 1) bounds the walk.
+  const std::size_t hop_cap = g.num_nodes() * (g.num_links() + 1) + 16;
+  while (at != dest) {
+    // The router folds everything it can observe locally into the
+    // carried failure set, then recomputes and forwards one hop.
+    for (LinkId l : failure.observed_failed_links(g, at)) {
+      if (r.header.add_failed(l)) excluded[l] = 1;
+    }
+    if (r.sp_calculations >= opts.max_recomputations ||
+        r.hops >= hop_cap) {
+      r.final_node = at;
+      return r;  // cap: treated as a discard (tests assert unreachable)
+    }
+    ++r.sp_calculations;
+    const spf::Path path =
+        spf::shortest_path(g, at, dest, {nullptr, &excluded});
+    if (path.empty()) {
+      r.final_node = at;
+      return r;
+    }
+    // No source route in the header: only the failure list travels.
+    r.bytes_per_hop.push_back(r.header.recovery_bytes());
+    ++r.hops;
+    at = path.nodes[1];
+    r.walk.push_back(at);
+  }
+  r.delivered = true;
+  r.final_node = dest;
+  return r;
+}
+
+}  // namespace rtr::baseline

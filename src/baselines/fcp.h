@@ -1,0 +1,72 @@
+// FCP: Failure-Carrying Packets, source-routing variant.
+//
+// The paper's reactive baseline (Section IV-A: "For FCP, we use the
+// source routing version, which reduces the computational overhead of
+// the original FCP").  The packet header carries the set of failed
+// links encountered so far plus the current source route.  When the
+// route's next hop turns out unreachable at node u, u adds its observed
+// failed links to the header, recomputes a shortest path on the
+// consistent map minus the carried failures (one "shortest path
+// calculation") and re-source-routes the packet.  A node whose
+// recomputation finds no path discards the packet -- FCP "has to try
+// every possible link to reach the destination before discarding
+// packets" (Section IV-D).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "failure/failure_set.h"
+#include "graph/graph.h"
+#include "net/header.h"
+#include "spf/routing_table.h"
+
+namespace rtr::baseline {
+
+struct FcpOptions {
+  /// Safety cap on recomputations (the failure list grows by at least
+  /// one link per recomputation, so |E| bounds it; tests assert the cap
+  /// is never the reason a run ends).
+  std::size_t max_recomputations = 100000;
+};
+
+struct FcpResult {
+  bool delivered = false;
+  NodeId initiator = kNoNode;
+  NodeId destination = kNoNode;
+  /// Node where the packet was discarded (== destination on delivery).
+  NodeId final_node = kNoNode;
+
+  /// "Computational overhead ... the number of shortest path
+  /// calculations" (Section IV-C); >= 1, every recomputation counts.
+  std::size_t sp_calculations = 0;
+  /// Total hops traveled from the initiator until delivery or discard.
+  std::size_t hops = 0;
+  /// Recovery-header bytes (failed list + source route) carried while
+  /// traversing each hop; drives Fig. 10 and the wasted-transmission
+  /// metric of Fig. 13.
+  std::vector<std::size_t> bytes_per_hop;
+  /// Header state when the run ended.
+  net::FcpHeader header;
+  /// The nodes actually visited, starting at the initiator.
+  std::vector<NodeId> walk;
+};
+
+/// Runs FCP recovery for a packet at `initiator` destined to `dest`.
+/// Requires a live initiator; the default next hop towards dest is
+/// expected to be unreachable (that is what triggered recovery).
+FcpResult run_fcp(const graph::Graph& g, const fail::FailureSet& failure,
+                  NodeId initiator, NodeId dest, const FcpOptions& opts = {});
+
+/// The *original* (non-source-routing) FCP: every router along the way
+/// recomputes the shortest path on the consistent map minus the carried
+/// failures and forwards a single hop, so the computational overhead
+/// grows with the path length -- which is exactly why Section IV-A
+/// evaluates "the source routing version, which reduces the
+/// computational overhead of the original FCP".
+/// bench_ext_fcp_variants quantifies the difference.
+FcpResult run_fcp_original(const graph::Graph& g,
+                           const fail::FailureSet& failure, NodeId initiator,
+                           NodeId dest, const FcpOptions& opts = {});
+
+}  // namespace rtr::baseline

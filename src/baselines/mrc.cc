@@ -1,0 +1,168 @@
+#include "baselines/mrc.h"
+
+#include "graph/properties.h"
+
+namespace rtr::baseline {
+
+namespace {
+
+/// True when removing `candidate` plus the nodes already isolated in
+/// the configuration keeps the remaining backbone connected.
+bool isolation_feasible(const graph::Graph& g,
+                        const std::vector<char>& isolated, NodeId candidate) {
+  std::vector<char> removed = isolated;
+  removed[candidate] = 1;
+  // has_live: at least two nodes must remain for connectivity to be a
+  // meaningful requirement; a backbone of <= 1 node is degenerate.
+  std::size_t remaining = 0;
+  for (char c : removed) remaining += (c == 0);
+  if (remaining < 2) return false;
+  return graph::connected(g, {&removed, nullptr});
+}
+
+}  // namespace
+
+Mrc::Mrc(const graph::Graph& g, const spf::RoutingTable& base, Options opts)
+    : g_(&g), base_(&base), opts_(opts) {
+  RTR_EXPECT(opts_.num_configs >= 1);
+  const std::size_t n = g.num_nodes();
+  isolated_in_.assign(n, kNoConfig);
+
+  std::vector<std::vector<char>> isolated(
+      opts_.num_configs, std::vector<char>(n, 0));
+  // Round-robin assignment with a connectivity feasibility check; a
+  // node that fits no configuration stays unprotected (rare on the
+  // topologies under study; tests report the count).
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t k = 0; k < opts_.num_configs; ++k) {
+      const std::size_t c = (v + k) % opts_.num_configs;
+      if (isolation_feasible(g, isolated[c], v)) {
+        isolated[c][v] = 1;
+        isolated_in_[v] = c;
+        break;
+      }
+    }
+  }
+
+  // Designated restricted links: each protected node keeps exactly one
+  // usable (restricted-weight) link in its isolating configuration --
+  // the smallest-id neighbour that is not isolated in the same
+  // configuration (falling back to any neighbour).
+  restricted_link_.assign(n, kNoLink);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t c = isolated_in_[v];
+    if (c == kNoConfig) continue;
+    LinkId chosen = kNoLink;
+    NodeId chosen_neighbor = kNoNode;
+    bool chosen_backbone = false;
+    for (const graph::Adjacency& a : g.neighbors(v)) {
+      const bool backbone = !isolated[c][a.neighbor];
+      const bool better =
+          chosen == kNoLink || (backbone && !chosen_backbone) ||
+          (backbone == chosen_backbone && a.neighbor < chosen_neighbor);
+      if (better) {
+        chosen = a.link;
+        chosen_neighbor = a.neighbor;
+        chosen_backbone = backbone;
+      }
+    }
+    restricted_link_[v] = chosen;
+  }
+
+  // Build each configuration's weighted topology and routing table.
+  // Configurations are constructed in place: the routing table keeps a
+  // pointer to its configuration's weighted graph, so that graph's
+  // address must be final before the table is built.
+  configs_.reserve(opts_.num_configs);
+  for (std::size_t c = 0; c < opts_.num_configs; ++c) {
+    Config& cfg = configs_.emplace_back();
+    cfg.isolated = isolated[c];
+    for (NodeId v = 0; v < n; ++v) cfg.weighted.add_node(g.position(v));
+    for (LinkId l = 0; l < g.num_links(); ++l) {
+      const graph::Link& e = g.link(l);
+      Cost w = 1.0;
+      for (NodeId end : {e.u, e.v}) {
+        if (!isolated[c][end]) continue;
+        // The designated link stays restricted; everything else on an
+        // isolated node is (near-)unusable.
+        w = std::max(w, restricted_link_[end] == l
+                            ? opts_.restricted_weight
+                            : opts_.isolated_weight);
+      }
+      cfg.weighted.add_link(e.u, e.v, w);
+    }
+    cfg.table = std::make_unique<spf::RoutingTable>(
+        cfg.weighted, spf::RoutingTable::Metric::kLinkCost);
+  }
+}
+
+LinkId Mrc::restricted_link_of(NodeId v) const {
+  RTR_EXPECT(g_->valid_node(v));
+  return restricted_link_[v];
+}
+
+std::vector<NodeId> Mrc::isolated_nodes(std::size_t c) const {
+  RTR_EXPECT(c < configs_.size());
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    if (configs_[c].isolated[v]) out.push_back(v);
+  }
+  return out;
+}
+
+bool Mrc::backbone_connected(std::size_t c) const {
+  RTR_EXPECT(c < configs_.size());
+  return graph::connected(*g_, {&configs_[c].isolated, nullptr});
+}
+
+Mrc::Result Mrc::forward(const fail::FailureSet& failure, NodeId initiator,
+                         NodeId dest) const {
+  RTR_EXPECT(g_->valid_node(initiator) && g_->valid_node(dest));
+  RTR_EXPECT_MSG(!failure.node_failed(initiator), "initiator failed");
+  Result r;
+  r.walk.push_back(initiator);
+  NodeId at = initiator;
+  const spf::RoutingTable* table = base_;
+  bool switched = false;
+  const std::size_t hop_cap = 4 * g_->num_nodes() + 16;
+
+  while (at != dest) {
+    const LinkId l = table->next_link(at, dest);
+    const NodeId nxt = table->next_hop(at, dest);
+    if (l == kNoLink) {
+      r.final_node = at;  // no route in this configuration: drop
+      return r;
+    }
+    if (failure.link_failed(l) || failure.node_failed(nxt)) {
+      if (switched) {
+        // Second failure encountered: MRC gives up (single-failure
+        // protection), which is its downfall under area failures.
+        r.final_node = at;
+        return r;
+      }
+      // The router cannot tell node from link failure; standard MRC
+      // switches to the configuration isolating the suspect next hop.
+      const std::size_t c = config_of(nxt);
+      if (c == kNoConfig) {
+        r.final_node = at;
+        return r;
+      }
+      table = configs_[c].table.get();
+      switched = true;
+      ++r.config_switches;
+      continue;  // re-evaluate the next hop under the new configuration
+    }
+    at = nxt;
+    ++r.hops;
+    r.walk.push_back(at);
+    if (r.hops > hop_cap) {
+      r.final_node = at;  // defensive: should be unreachable
+      return r;
+    }
+  }
+  r.delivered = true;
+  r.final_node = dest;
+  return r;
+}
+
+}  // namespace rtr::baseline

@@ -1,0 +1,95 @@
+// MRC: Multiple Routing Configurations (proactive baseline).
+//
+// Kvalbein et al., "Fast IP network recovery using multiple routing
+// configurations" (INFOCOM 2006), as compared against in Section IV.
+// k backup configurations are precomputed; every protected node is
+// *isolated* in exactly one configuration, meaning that configuration
+// routes traffic around it (its incident links carry a prohibitive
+// restricted weight, usable only as a first/last hop).  On detecting an
+// unreachable next hop, a router switches the packet to the
+// configuration isolating that next hop and forwards along that
+// configuration's routes; a packet may switch only once, so a second
+// encountered failure drops it.  Under large-scale failures a path and
+// its backup configuration routes often fail together, which is exactly
+// the weakness the paper demonstrates (Table III).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "failure/failure_set.h"
+#include "graph/graph.h"
+#include "spf/routing_table.h"
+
+namespace rtr::baseline {
+
+class Mrc {
+ public:
+  struct Options {
+    std::size_t num_configs = 5;
+    /// Weight of the single designated link over which traffic may
+    /// still enter an isolated node (first/last hop); exceeds any
+    /// normal-path cost.
+    Cost restricted_weight = 1e4;
+    /// Weight of every other link of an isolated node; effectively
+    /// unusable (Kvalbein et al. use infinite weight).
+    Cost isolated_weight = 1e8;
+  };
+
+  /// Precomputes configurations and their routing tables; `base` is the
+  /// failure-free hop-count table used until a failure is met.
+  Mrc(const graph::Graph& g, const spf::RoutingTable& base, Options opts);
+  Mrc(const graph::Graph& g, const spf::RoutingTable& base)
+      : Mrc(g, base, Options()) {}
+
+  std::size_t num_configs() const { return configs_.size(); }
+
+  /// Index of the configuration isolating v, or kNoConfig when v could
+  /// not be protected (isolating it would disconnect some backbone).
+  static constexpr std::size_t kNoConfig = static_cast<std::size_t>(-1);
+  std::size_t config_of(NodeId v) const { return isolated_in_[v]; }
+
+  /// Nodes isolated in configuration c.
+  std::vector<NodeId> isolated_nodes(std::size_t c) const;
+
+  /// The designated restricted link of node v in the configuration
+  /// isolating it (kNoLink when v is unprotected).
+  LinkId restricted_link_of(NodeId v) const;
+
+  /// True when configuration c's backbone (graph minus its isolated
+  /// nodes) is connected -- the MRC validity invariant.
+  bool backbone_connected(std::size_t c) const;
+
+  struct Result {
+    bool delivered = false;
+    NodeId final_node = kNoNode;  ///< delivery or drop location
+    std::size_t hops = 0;         ///< traveled from the initiator
+    std::size_t config_switches = 0;
+    std::vector<NodeId> walk;
+  };
+
+  /// Forwards a packet sitting at `initiator` towards `dest` under the
+  /// ground-truth failure; proactive, so zero on-demand SP calculations.
+  Result forward(const fail::FailureSet& failure, NodeId initiator,
+                 NodeId dest) const;
+
+ private:
+  struct Config {
+    /// Re-weighted copy of the topology: same link ids; an isolated
+    /// node keeps one restricted-weight link and its remaining links
+    /// carry the (prohibitive) isolated weight.
+    graph::Graph weighted;
+    std::vector<char> isolated;  ///< per node
+    std::unique_ptr<spf::RoutingTable> table;
+  };
+
+  const graph::Graph* g_;
+  const spf::RoutingTable* base_;
+  Options opts_;
+  std::vector<Config> configs_;
+  std::vector<std::size_t> isolated_in_;   ///< per node; kNoConfig if none
+  std::vector<LinkId> restricted_link_;    ///< per node; kNoLink if none
+};
+
+}  // namespace rtr::baseline

@@ -1,0 +1,46 @@
+// Lightweight contract checking.
+//
+// RTR_EXPECT guards preconditions and invariants that indicate programmer
+// error; violations throw rtr::ContractViolation so tests can assert on
+// them and applications fail loudly instead of corrupting state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rtr {
+
+/// Thrown when a precondition or invariant checked by RTR_EXPECT fails.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::string what = std::string("contract violated: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) what += " (" + msg + ")";
+  throw ContractViolation(what);
+}
+}  // namespace detail
+
+}  // namespace rtr
+
+/// Precondition / invariant check.  Always on: the checks used in this
+/// code base are O(1) and outside inner loops, so the cost is negligible
+/// relative to the safety they buy in a simulator whose results feed a
+/// reproduction study.
+#define RTR_EXPECT(cond)                                                \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::rtr::detail::contract_fail(#cond, __FILE__, __LINE__, "");      \
+  } while (0)
+
+/// Precondition check with an explanatory message.
+#define RTR_EXPECT_MSG(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::rtr::detail::contract_fail(#cond, __FILE__, __LINE__, (msg));   \
+  } while (0)

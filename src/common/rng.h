@@ -1,0 +1,56 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of the reproduction (topology generation, failure
+// placement, test-case sampling) draw from an explicitly seeded Rng so
+// that every experiment is bit-reproducible from the seed recorded in the
+// bench output.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/expect.h"
+
+namespace rtr {
+
+/// Thin wrapper over std::mt19937_64 with convenience samplers.
+/// Copyable: copying forks the stream deterministically.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    RTR_EXPECT(lo <= hi);
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).  Requires lo < hi.
+  double uniform_real(double lo, double hi) {
+    RTR_EXPECT(lo < hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    RTR_EXPECT(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniform index in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n) {
+    RTR_EXPECT(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, n - 1));
+  }
+
+  /// Derive an independent child stream; used to give each experiment
+  /// repetition its own seed without correlating draws.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rtr

@@ -1,0 +1,37 @@
+// Fundamental identifier types and constants shared by every module.
+//
+// The paper represents a link id with 16 bits in the packet header
+// (Section III-B); node ids fit the same width for the topologies under
+// study (|V| <= a few hundred).  Internally we use 32-bit indices so that
+// arithmetic never overflows, and serialize to 16 bits at the codec layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rtr {
+
+/// Index of a node (router) within a Graph.  Dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// Index of an undirected link within a Graph.  Dense, 0-based.
+using LinkId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no link".
+inline constexpr LinkId kNoLink = std::numeric_limits<LinkId>::max();
+
+/// Link cost type.  The paper's evaluation uses hop-count routing
+/// (every cost 1) but the model allows asymmetric weighted costs.
+using Cost = double;
+
+/// Sentinel for "unreachable".
+inline constexpr Cost kInfCost = std::numeric_limits<Cost>::infinity();
+
+/// Wire size of a link or node id in the packet header (Section III-B:
+/// "The link id is represented by 16 bits").
+inline constexpr std::size_t kWireIdBytes = 2;
+
+}  // namespace rtr

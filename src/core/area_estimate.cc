@@ -1,0 +1,52 @@
+#include "core/area_estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/convex_hull.h"
+
+namespace rtr::core {
+
+AreaEstimate estimate_failure_area(const graph::Graph& g,
+                                   const fail::FailureSet& failure,
+                                   const Phase1Result& phase1) {
+  AreaEstimate est;
+  const auto add_link_midpoint = [&](LinkId l) {
+    const geom::Segment s = g.segment(l);
+    est.evidence.push_back((s.a + s.b) * 0.5);
+  };
+  for (LinkId l : phase1.header.failed_links) add_link_midpoint(l);
+  if (!failure.node_failed(phase1.initiator)) {
+    for (LinkId l : failure.observed_failed_links(g, phase1.initiator)) {
+      add_link_midpoint(l);
+    }
+  }
+  if (est.evidence.empty()) return est;
+
+  // Bounding circle around the centroid.
+  geom::Point centroid{0, 0};
+  for (const geom::Point& p : est.evidence) centroid = centroid + p;
+  centroid = centroid * (1.0 / static_cast<double>(est.evidence.size()));
+  double radius = 0.0;
+  for (const geom::Point& p : est.evidence) {
+    radius = std::max(radius, geom::distance(centroid, p));
+  }
+  est.bounding_circle = geom::Circle{centroid, std::max(radius, 1.0)};
+
+  const std::vector<geom::Point> hull = geom::convex_hull(est.evidence);
+  if (hull.size() >= 3) est.hull = geom::Polygon(hull);
+  return est;
+}
+
+double evidence_coverage(const AreaEstimate& estimate,
+                         const fail::FailureArea& area) {
+  if (estimate.evidence.empty()) return 0.0;
+  std::size_t inside = 0;
+  for (const geom::Point& p : estimate.evidence) {
+    if (area.contains(p)) ++inside;
+  }
+  return static_cast<double>(inside) /
+         static_cast<double>(estimate.evidence.size());
+}
+
+}  // namespace rtr::core

@@ -1,0 +1,49 @@
+// Failure-region estimation from collected failure information.
+//
+// An extension beyond the paper's protocol: the recovery initiator
+// knows the coordinates of every router (Section II-A) and, after
+// phase 1, a set of failed links.  The midpoints of those links (plus
+// its own observed failed links) bracket the disaster; their convex
+// hull, optionally dilated, estimates the failure region.  Useful for
+// operator diagnostics ("where did the disaster strike?") and for the
+// SVG visualisations; nothing in the recovery path computation depends
+// on it -- RTR deliberately makes no assumption about the area's shape
+// or location.
+#pragma once
+
+#include <optional>
+
+#include "core/phase1.h"
+#include "failure/failure_set.h"
+#include "geom/circle.h"
+#include "geom/polygon.h"
+#include "graph/graph.h"
+
+namespace rtr::core {
+
+struct AreaEstimate {
+  /// Convex hull of the evidence (empty optional when fewer than three
+  /// non-collinear evidence points exist).
+  std::optional<geom::Polygon> hull;
+  /// Smallest circle centred at the evidence centroid covering all
+  /// evidence points (always available with >= 1 point).
+  std::optional<geom::Circle> bounding_circle;
+  /// The evidence: midpoints of known-failed links.
+  std::vector<geom::Point> evidence;
+};
+
+/// Estimates the failure region from a completed phase 1: evidence is
+/// the midpoint of every collected failed link plus the initiator's own
+/// observed failed links.
+AreaEstimate estimate_failure_area(const graph::Graph& g,
+                                   const fail::FailureSet& failure,
+                                   const Phase1Result& phase1);
+
+/// Fraction of the evidence points of `estimate` that a candidate
+/// ground-truth area contains (diagnostic quality metric; the evidence
+/// always sits on failed links, so a correct area scores 1 under the
+/// geometric link-cut rule up to midpoints of endpoint-dead links).
+double evidence_coverage(const AreaEstimate& estimate,
+                         const fail::FailureArea& area);
+
+}  // namespace rtr::core

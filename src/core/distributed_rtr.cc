@@ -1,0 +1,160 @@
+#include "core/distributed_rtr.h"
+
+#include "spf/shortest_path.h"
+
+namespace rtr::core {
+
+DistributedRtr::DistributedRtr(const graph::Graph& g,
+                               const graph::CrossingIndex& crossings,
+                               const spf::RoutingTable& rt,
+                               const fail::FailureSet& failure,
+                               Phase1Options opts)
+    : g_(&g),
+      crossings_(&crossings),
+      rt_(&rt),
+      failure_(&failure),
+      opts_(opts),
+      rule_{opts.clockwise} {}
+
+bool DistributedRtr::phase1_complete(NodeId n) const {
+  const auto it = states_.find(n);
+  return it != states_.end() && it->second.complete;
+}
+
+const net::RtrHeader& DistributedRtr::collected(NodeId n) const {
+  const auto it = states_.find(n);
+  RTR_EXPECT_MSG(it != states_.end() && it->second.complete,
+                 "router has not completed phase 1");
+  return it->second.collected;
+}
+
+net::RouterApp::Decision DistributedRtr::on_packet(NodeId at, NodeId prev,
+                                                   net::DataPacket& p) {
+  // Hop cap mirrors the centralized engine's Theorem-1 safety net.
+  if (p.trace.size() > opts_.max_hops_factor * g_->num_links() + 32) {
+    return Decision::drop();
+  }
+  switch (p.header.mode) {
+    case net::Mode::kDefault:
+      return handle_default(at, p);
+    case net::Mode::kCollect:
+      return handle_collect(at, prev, p);
+    case net::Mode::kSourceRoute:
+      return handle_source_route(at, p);
+  }
+  return Decision::drop();
+}
+
+net::RouterApp::Decision DistributedRtr::handle_default(
+    NodeId at, net::DataPacket& p) {
+  if (at == p.dst) return Decision::deliver();
+  const LinkId l = rt_->next_link(at, p.dst);
+  if (l == kNoLink) return Decision::drop();  // never routable
+  const graph::Adjacency a{rt_->next_hop(at, p.dst), l};
+  if (!failure_->neighbor_unreachable(a)) return Decision::forward(l);
+  // The default next hop is unreachable: this router becomes a
+  // recovery initiator (Section II-B).
+  return begin_recovery(at, p, l);
+}
+
+net::RouterApp::Decision DistributedRtr::begin_recovery(
+    NodeId at, net::DataPacket& p, LinkId dead) {
+  InitiatorState& st = states_[at];
+  if (st.isolated) return Decision::drop();
+  if (st.complete) {
+    // Phase 1 already ran here; its information benefits every
+    // destination (Section III-A).
+    return enter_phase2(at, st, p);
+  }
+  p.header.mode = net::Mode::kCollect;
+  p.header.rec_init = at;
+  if (opts_.constraint1) {
+    seed_constraint1(*g_, *crossings_, *failure_, p.header, at);
+  }
+  const Selection first =
+      select_next_hop(*g_, *crossings_, *failure_, p.header, at,
+                      g_->other_end(dead, at), rule_);
+  if (!first.found()) {
+    st.isolated = true;
+    return Decision::drop();
+  }
+  st.first_link = first.link;
+  if (opts_.constraint2) {
+    maybe_record_cross(*crossings_, p.header, first.link);
+  }
+  return Decision::forward(first.link);
+}
+
+net::RouterApp::Decision DistributedRtr::handle_collect(
+    NodeId at, NodeId prev, net::DataPacket& p) {
+  RTR_EXPECT_MSG(prev != kNoNode, "collect-mode packets travel");
+  if (at == p.header.rec_init) {
+    InitiatorState& st = states_[at];
+    const Selection sel = select_next_hop(*g_, *crossings_, *failure_,
+                                          p.header, at, prev, rule_);
+    if (sel.found() && sel.link == st.first_link) {
+      // The packet closed the cycle: phase 1 is complete
+      // (Section III-B step 3).  Build this initiator's view and move
+      // the very same data packet on to phase 2.
+      st.complete = true;
+      st.collected = p.header;
+      st.view_link_failed.assign(g_->num_links(), 0);
+      for (LinkId l : p.header.failed_links) st.view_link_failed[l] = 1;
+      for (LinkId l : failure_->observed_failed_links(*g_, at)) {
+        st.view_link_failed[l] = 1;
+      }
+      return enter_phase2(at, st, p);
+    }
+    if (!sel.found()) return Decision::drop();  // ablation only
+    if (opts_.constraint2) {
+      maybe_record_cross(*crossings_, p.header, sel.link);
+    }
+    return Decision::forward(sel.link);
+  }
+  record_failures(*g_, *failure_, p.header, at);
+  const Selection sel = select_next_hop(*g_, *crossings_, *failure_,
+                                        p.header, at, prev, rule_);
+  if (!sel.found()) return Decision::drop();  // ablation only
+  if (opts_.constraint2) {
+    maybe_record_cross(*crossings_, p.header, sel.link);
+  }
+  return Decision::forward(sel.link);
+}
+
+net::RouterApp::Decision DistributedRtr::enter_phase2(
+    NodeId at, InitiatorState& st, net::DataPacket& p) {
+  spf::Path path;
+  const auto cached = st.path_cache.find(p.dst);
+  if (cached != st.path_cache.end()) {
+    path = cached->second;
+  } else {
+    path = spf::shortest_path(*g_, at, p.dst,
+                              {nullptr, &st.view_link_failed});
+    st.path_cache.emplace(p.dst, path);
+  }
+  if (path.empty()) return Decision::drop();  // declared unreachable
+  p.header.mode = net::Mode::kSourceRoute;
+  p.header.source_route.assign(path.nodes.begin() + 1, path.nodes.end());
+  p.route_index = 0;
+  return handle_source_route(at, p);
+}
+
+net::RouterApp::Decision DistributedRtr::handle_source_route(
+    NodeId at, net::DataPacket& p) {
+  if (at == p.dst) return Decision::deliver();
+  RTR_EXPECT_MSG(p.route_index < p.header.source_route.size(),
+                 "source route exhausted before the destination");
+  const NodeId next = p.header.source_route[p.route_index];
+  const LinkId l = g_->find_link(at, next);
+  RTR_EXPECT_MSG(l != kNoLink, "source route uses a non-existent link");
+  const graph::Adjacency a{next, l};
+  if (failure_->neighbor_unreachable(a)) {
+    // Phase 1 missed this failure; RTR simply discards the packet
+    // (Section III-D).
+    return Decision::drop();
+  }
+  ++p.route_index;
+  return Decision::forward(l);
+}
+
+}  // namespace rtr::core

@@ -1,0 +1,70 @@
+// RTR as a distributed per-router protocol over the event simulator.
+//
+// DistributedRtr is a net::RouterApp: each on_packet() call performs
+// exactly one router's action of Sections III-B/C/D -- default
+// forwarding, becoming a recovery initiator, one step of the phase-1
+// traversal (record failures, apply the right-hand rule with both
+// constraints), or source-routed phase-2 forwarding.  It shares the
+// forwarding rule implementation with the centralized engine
+// (core/forwarding_rule.h), and tests/test_distributed.cc proves the
+// two produce identical traversals, headers and outcomes -- the
+// centralized RtrRecovery is then just the fast path for experiments.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/forwarding_rule.h"
+#include "core/phase1.h"
+#include "net/network.h"
+#include "spf/routing_table.h"
+
+namespace rtr::core {
+
+class DistributedRtr : public net::RouterApp {
+ public:
+  DistributedRtr(const graph::Graph& g,
+                 const graph::CrossingIndex& crossings,
+                 const spf::RoutingTable& rt,
+                 const fail::FailureSet& failure,
+                 Phase1Options opts = {});
+
+  Decision on_packet(NodeId at, NodeId prev,
+                     net::DataPacket& p) override;
+
+  /// True when router n has completed phase 1 (i.e. acted as a
+  /// recovery initiator and collected failure information).
+  bool phase1_complete(NodeId n) const;
+
+  /// The failure information router n collected (requires
+  /// phase1_complete(n)).
+  const net::RtrHeader& collected(NodeId n) const;
+
+ private:
+  /// Per-router recovery state, created when the router becomes a
+  /// recovery initiator.
+  struct InitiatorState {
+    bool complete = false;
+    bool isolated = false;
+    LinkId first_link = kNoLink;
+    net::RtrHeader collected;            ///< final phase-1 header
+    std::vector<char> view_link_failed;  ///< post-phase-1 view
+    std::unordered_map<NodeId, spf::Path> path_cache;
+  };
+
+  Decision handle_default(NodeId at, net::DataPacket& p);
+  Decision handle_collect(NodeId at, NodeId prev, net::DataPacket& p);
+  Decision handle_source_route(NodeId at, net::DataPacket& p);
+  Decision begin_recovery(NodeId at, net::DataPacket& p, LinkId dead);
+  Decision enter_phase2(NodeId at, InitiatorState& st,
+                        net::DataPacket& p);
+
+  const graph::Graph* g_;
+  const graph::CrossingIndex* crossings_;
+  const spf::RoutingTable* rt_;
+  const fail::FailureSet* failure_;
+  Phase1Options opts_;
+  RuleOptions rule_;
+  std::unordered_map<NodeId, InitiatorState> states_;
+};
+
+}  // namespace rtr::core

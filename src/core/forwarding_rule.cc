@@ -1,0 +1,71 @@
+#include "core/forwarding_rule.h"
+
+#include "geom/angle.h"
+
+namespace rtr::core {
+
+bool link_excluded(const graph::CrossingIndex& crossings,
+                   const net::RtrHeader& header, LinkId l) {
+  for (LinkId c : header.cross_links) {
+    if (crossings.cross(l, c)) return true;
+  }
+  return false;
+}
+
+Selection select_next_hop(const graph::Graph& g,
+                          const graph::CrossingIndex& crossings,
+                          const fail::FailureSet& failure,
+                          const net::RtrHeader& header, NodeId at,
+                          NodeId ref, const RuleOptions& opts) {
+  const geom::Point origin = g.position(at);
+  const geom::Point sweep = g.position(ref) - origin;
+  Selection best;
+  double best_angle = 0.0;
+  for (const graph::Adjacency& a : g.neighbors(at)) {
+    if (failure.neighbor_unreachable(a)) continue;
+    if (link_excluded(crossings, header, a.link)) continue;
+    const geom::Point dir = g.position(a.neighbor) - origin;
+    const double angle = opts.clockwise ? geom::cw_angle(sweep, dir)
+                                        : geom::ccw_angle(sweep, dir);
+    // Smaller rotation wins; exact ties (collinear neighbours) resolve
+    // to the smaller node id for determinism.
+    if (!best.found() || angle < best_angle ||
+        (angle == best_angle && a.neighbor < best.node)) {
+      best = {a.neighbor, a.link};
+      best_angle = angle;
+    }
+  }
+  return best;
+}
+
+void seed_constraint1(const graph::Graph& g,
+                      const graph::CrossingIndex& crossings,
+                      const fail::FailureSet& failure,
+                      net::RtrHeader& header, NodeId initiator) {
+  for (const graph::Adjacency& a : g.neighbors(initiator)) {
+    if (failure.neighbor_unreachable(a) &&
+        !crossings.crossing(a.link).empty()) {
+      header.add_cross(a.link);
+    }
+  }
+}
+
+void maybe_record_cross(const graph::CrossingIndex& crossings,
+                        net::RtrHeader& header, LinkId chosen) {
+  for (LinkId l : crossings.crossing(chosen)) {
+    if (!link_excluded(crossings, header, l)) {
+      header.add_cross(chosen);
+      return;
+    }
+  }
+}
+
+void record_failures(const graph::Graph& g, const fail::FailureSet& failure,
+                     net::RtrHeader& header, NodeId at) {
+  for (const graph::Adjacency& a : g.neighbors(at)) {
+    if (a.neighbor == header.rec_init) continue;
+    if (failure.neighbor_unreachable(a)) header.add_failed(a.link);
+  }
+}
+
+}  // namespace rtr::core

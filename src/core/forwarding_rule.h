@@ -1,0 +1,64 @@
+// The phase-1 forwarding rule (Sections III-B/C), factored out so that
+// the centralized traversal engine (phase1.cc) and the event-driven
+// distributed router (distributed_rtr.cc) execute the *same* rule and
+// cannot diverge.
+#pragma once
+
+#include "common/types.h"
+#include "failure/failure_set.h"
+#include "graph/crossings.h"
+#include "graph/graph.h"
+#include "net/header.h"
+
+namespace rtr::core {
+
+/// Result of a next-hop selection.
+struct Selection {
+  NodeId node = kNoNode;
+  LinkId link = kNoLink;
+  bool found() const { return node != kNoNode; }
+};
+
+/// Options steering the rule; mirrors Phase1Options' relevant knobs.
+struct RuleOptions {
+  bool clockwise = false;
+};
+
+/// True when candidate link l is excluded: it properly crosses some
+/// link recorded in the header's cross_link field (Section III-C).
+bool link_excluded(const graph::CrossingIndex& crossings,
+                   const net::RtrHeader& header, LinkId l);
+
+/// The right-hand rule: `at` takes the direction towards `ref` (its
+/// previous hop, or the unreachable default next hop at the initiator)
+/// as the sweeping line and rotates it counterclockwise until reaching
+/// a live, non-excluded neighbour.  Exact angular ties resolve to the
+/// smaller node id.
+Selection select_next_hop(const graph::Graph& g,
+                          const graph::CrossingIndex& crossings,
+                          const fail::FailureSet& failure,
+                          const net::RtrHeader& header, NodeId at,
+                          NodeId ref, const RuleOptions& opts = {});
+
+/// Constraint 1 seeding at the recovery initiator: each of its links
+/// to unreachable neighbours that crosses other links is recorded in
+/// cross_link (Section III-C step 1).
+void seed_constraint1(const graph::Graph& g,
+                      const graph::CrossingIndex& crossings,
+                      const fail::FailureSet& failure,
+                      net::RtrHeader& header, NodeId initiator);
+
+/// Constraint 2 recording: after selecting `chosen`, record it in
+/// cross_link when some link across it is not yet excluded
+/// (Section III-C step 2).
+void maybe_record_cross(const graph::CrossingIndex& crossings,
+                        net::RtrHeader& header, LinkId chosen);
+
+/// Failed-link recording at a visited node (Section III-B step 2): one
+/// entry per unreachable neighbour, skipping links incident to the
+/// recovery initiator.
+void record_failures(const graph::Graph& g,
+                     const fail::FailureSet& failure,
+                     net::RtrHeader& header, NodeId at);
+
+}  // namespace rtr::core

@@ -1,0 +1,86 @@
+#include "core/phase1.h"
+
+#include "core/forwarding_rule.h"
+
+namespace rtr::core {
+
+Phase1Result run_phase1(const graph::Graph& g,
+                        const graph::CrossingIndex& crossings,
+                        const fail::FailureSet& failure, NodeId initiator,
+                        LinkId dead_link, const Phase1Options& opts) {
+  RTR_EXPECT(g.valid_node(initiator) && g.valid_link(dead_link));
+  RTR_EXPECT_MSG(!failure.node_failed(initiator),
+                 "a failed router cannot initiate recovery");
+  const NodeId dead_neighbor = g.other_end(dead_link, initiator);
+  RTR_EXPECT_MSG(failure.link_failed(dead_link) ||
+                     failure.node_failed(dead_neighbor),
+                 "phase 1 requires an unreachable default next hop");
+
+  const RuleOptions rule{opts.clockwise};
+  Phase1Result r;
+  r.initiator = initiator;
+  r.header.mode = net::Mode::kCollect;
+  r.header.rec_init = initiator;
+  r.visits.push_back(initiator);
+
+  // Constraint 1 (Section III-C step 1).
+  if (opts.constraint1) {
+    seed_constraint1(g, crossings, failure, r.header, initiator);
+  }
+
+  const Selection first = select_next_hop(g, crossings, failure, r.header,
+                                          initiator, dead_neighbor, rule);
+  if (!first.found()) {
+    r.status = Phase1Result::Status::kInitiatorIsolated;
+    return r;
+  }
+  if (opts.constraint2) maybe_record_cross(crossings, r.header, first.link);
+
+  const std::size_t hop_cap = opts.max_hops_factor * g.num_links() + 16;
+  const auto take_hop = [&r](const Selection& sel) {
+    r.bytes_per_hop.push_back(r.header.recovery_bytes());
+    r.failed_count_per_hop.push_back(r.header.failed_links.size());
+    r.cross_count_per_hop.push_back(r.header.cross_links.size());
+    r.traversed_links.push_back(sel.link);
+  };
+
+  NodeId prev = initiator;
+  NodeId cur = first.node;
+  take_hop(first);
+
+  while (true) {
+    r.visits.push_back(cur);
+    Selection sel;
+    if (cur == initiator) {
+      // Section III-B step 3: re-select; stop when the selection equals
+      // the original first hop, otherwise keep forwarding so no node on
+      // the cycle is missed.
+      sel = select_next_hop(g, crossings, failure, r.header, cur, prev,
+                            rule);
+      if (sel.found() && sel.link == first.link) {
+        r.status = Phase1Result::Status::kCompleted;
+        return r;
+      }
+    } else {
+      record_failures(g, failure, r.header, cur);
+      sel = select_next_hop(g, crossings, failure, r.header, cur, prev,
+                            rule);
+    }
+    // With both constraints on, the arrival link is always selectable
+    // (Theorem 1); an empty selection can only happen in ablation runs.
+    if (!sel.found()) {
+      r.status = Phase1Result::Status::kAborted;
+      return r;
+    }
+    if (opts.constraint2) maybe_record_cross(crossings, r.header, sel.link);
+    if (r.traversed_links.size() >= hop_cap) {
+      r.status = Phase1Result::Status::kAborted;
+      return r;
+    }
+    take_hop(sel);
+    prev = cur;
+    cur = sel.node;
+  }
+}
+
+}  // namespace rtr::core

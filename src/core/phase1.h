@@ -1,0 +1,85 @@
+// Phase 1 of RTR: collecting failure information (Sections III-B/C).
+//
+// Starting at the recovery initiator, the packet is forwarded around
+// the failure area with a right-hand rule: the node that received the
+// packet from its neighbour takes that link as a sweeping line and
+// rotates it counterclockwise until it reaches a live neighbour.  Two
+// constraints repair the rule on general (non-planar) graphs:
+//   1. the forwarding path must not cross the links between the
+//      initiator and its unreachable neighbours;
+//   2. the forwarding path must not contain cross links.
+// Both are enforced through the cross_link header field: a candidate
+// link that properly crosses any recorded link is excluded.  Visited
+// nodes record their links to unreachable neighbours (except links
+// incident to the initiator) in the failed_link field.  The phase ends
+// when the packet returns to the initiator and the initiator's next-hop
+// selection equals the original first hop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "failure/failure_set.h"
+#include "graph/crossings.h"
+#include "graph/graph.h"
+#include "net/header.h"
+
+namespace rtr::core {
+
+struct Phase1Options {
+  /// Enforce Constraint 1 (seed cross_link with the initiator's failed
+  /// incident links that cross other links).  Off only for ablation.
+  bool constraint1 = true;
+  /// Enforce Constraint 2 (record a selected link that is crossed by a
+  /// not-yet-excluded link).  Off only for ablation.
+  bool constraint2 = true;
+  /// Sweep clockwise instead of counterclockwise (orientation ablation;
+  /// either consistent orientation encloses the area).
+  bool clockwise = false;
+  /// Safety cap: abort after max_hops_factor * |E| + 16 hops.  Theorem 1
+  /// says the cap is never reached when both constraints are on; the
+  /// property tests assert exactly that.
+  std::size_t max_hops_factor = 8;
+};
+
+struct Phase1Result {
+  enum class Status {
+    kCompleted,          ///< traversal closed back at the initiator
+    kInitiatorIsolated,  ///< the initiator has no live neighbour
+    kAborted,            ///< hop cap hit (only possible in ablations)
+  };
+
+  Status status = Status::kAborted;
+  NodeId initiator = kNoNode;
+
+  /// Node sequence: visits.front() == initiator; when completed, the
+  /// last entry is the initiator again.
+  std::vector<NodeId> visits;
+  /// Links traversed, in order; traversed_links.size()+1 == visits.size().
+  std::vector<LinkId> traversed_links;
+  /// Recovery-header bytes carried while traversing each hop (after the
+  /// sender's insertions) -- the Fig. 10 byte series.
+  std::vector<std::size_t> bytes_per_hop;
+  /// Number of failed_link / cross_link entries carried on each hop;
+  /// with the insertion-ordered lists in `header`, these prefix sizes
+  /// reproduce the per-hop field contents of Table I exactly.
+  std::vector<std::size_t> failed_count_per_hop;
+  std::vector<std::size_t> cross_count_per_hop;
+  /// Final header: failed_link and cross_link field contents in
+  /// insertion order (the Table I columns).
+  net::RtrHeader header;
+
+  std::size_t hops() const { return traversed_links.size(); }
+  bool completed() const { return status == Status::kCompleted; }
+};
+
+/// Runs phase 1 at `initiator` whose default next hop over `dead_link`
+/// is unreachable.  Requires: initiator live and an endpoint of
+/// dead_link, and dead_link observed failed by the initiator.
+Phase1Result run_phase1(const graph::Graph& g,
+                        const graph::CrossingIndex& crossings,
+                        const fail::FailureSet& failure, NodeId initiator,
+                        LinkId dead_link, const Phase1Options& opts = {});
+
+}  // namespace rtr::core

@@ -1,0 +1,177 @@
+#include "core/rtr.h"
+
+#include "spf/incremental.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::core {
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kRecovered:
+      return "recovered";
+    case Outcome::kDroppedOnPath:
+      return "dropped-on-path";
+    case Outcome::kDeclaredUnreachable:
+      return "declared-unreachable";
+    case Outcome::kInitiatorIsolated:
+      return "initiator-isolated";
+  }
+  return "?";
+}
+
+RtrRecovery::RtrRecovery(const graph::Graph& g,
+                         const graph::CrossingIndex& crossings,
+                         const spf::RoutingTable& rt,
+                         const fail::FailureSet& failure, RtrOptions opts)
+    : g_(&g),
+      crossings_(&crossings),
+      rt_(&rt),
+      failure_(&failure),
+      opts_(opts) {}
+
+RtrRecovery::InitiatorState& RtrRecovery::state_for(NodeId initiator,
+                                                    LinkId dead_hint) {
+  auto it = states_.find(initiator);
+  if (it != states_.end()) return it->second;
+
+  // First use of this initiator: run phase 1 once (Section III-A: the
+  // first phase "needs to run only once at a recovery initiator and can
+  // benefit all destinations").  The sweeping line starts at the dead
+  // link that triggered recovery.
+  const std::vector<LinkId> observed =
+      failure_->observed_failed_links(*g_, initiator);
+  RTR_EXPECT_MSG(!observed.empty(),
+                 "an initiator must have an unreachable neighbour");
+  LinkId dead = observed.front();
+  if (dead_hint != kNoLink) {
+    for (LinkId l : observed) {
+      if (l == dead_hint) dead = dead_hint;
+    }
+  }
+  InitiatorState st;
+  st.phase1 = run_phase1(*g_, *crossings_, *failure_, initiator, dead,
+                         opts_.phase1);
+  // The initiator's view: collected failures plus local knowledge.
+  st.view_link_failed.assign(g_->num_links(), 0);
+  for (LinkId l : st.phase1.header.failed_links) st.view_link_failed[l] = 1;
+  for (LinkId l : observed) st.view_link_failed[l] = 1;
+  return states_.emplace(initiator, std::move(st)).first->second;
+}
+
+const Phase1Result& RtrRecovery::phase1_for(NodeId initiator) {
+  return state_for(initiator).phase1;
+}
+
+RecoveryResult RtrRecovery::recover(NodeId initiator, NodeId dest) {
+  RTR_EXPECT(g_->valid_node(initiator) && g_->valid_node(dest));
+  RTR_EXPECT(initiator != dest);
+  RTR_EXPECT_MSG(!failure_->node_failed(initiator), "initiator failed");
+  InitiatorState& st = state_for(initiator, rt_->next_link(initiator, dest));
+  return recover_in_view(st, initiator, dest, nullptr);
+}
+
+RecoveryResult RtrRecovery::recover_in_view(
+    InitiatorState& st, NodeId initiator, NodeId dest,
+    const std::vector<char>* extra_failed) {
+  RecoveryResult r;
+  r.initiator = initiator;
+  r.destination = dest;
+
+  if (st.phase1.status == Phase1Result::Status::kInitiatorIsolated) {
+    r.outcome = Outcome::kInitiatorIsolated;
+    // Even a completely cut-off initiator computes once on its local
+    // view to learn that no route exists (the paper's wasted
+    // computation for RTR is exactly 1 in every irrecoverable case).
+    r.sp_calculations = 1;
+    return r;
+  }
+
+  // Phase 2: shortest path in the initiator's view.
+  spf::Path path;
+  if (extra_failed == nullptr) {
+    const auto cached = st.path_cache.find(dest);
+    if (cached != st.path_cache.end()) {
+      path = cached->second;
+    } else {
+      if (!st.spt) {
+        // One SPT serves every destination of this initiator; the
+        // paper's metric counts one calculation per destination
+        // (Section III-D caches per-destination recovery paths).
+        if (opts_.use_incremental_spt) {
+          spf::IncrementalSpt inc(*g_, initiator);
+          std::vector<LinkId> removed;
+          for (LinkId l = 0; l < g_->num_links(); ++l) {
+            if (st.view_link_failed[l]) removed.push_back(l);
+          }
+          inc.remove_links(removed);
+          st.spt = std::make_unique<spf::SptResult>(inc.result());
+        } else {
+          st.spt = std::make_unique<spf::SptResult>(spf::dijkstra_from(
+              *g_, initiator, {nullptr, &st.view_link_failed}));
+        }
+      }
+      path = spf::extract_path(*g_, *st.spt, dest);
+      st.path_cache.emplace(dest, path);
+    }
+  } else {
+    // Multi-area leg: the view also excludes the failures carried in
+    // the packet header from earlier legs; not cached.
+    std::vector<char> combined = st.view_link_failed;
+    for (LinkId l = 0; l < g_->num_links(); ++l) {
+      if ((*extra_failed)[l]) combined[l] = 1;
+    }
+    path = spf::shortest_path(*g_, initiator, dest, {nullptr, &combined});
+  }
+  r.sp_calculations = 1;
+  r.computed_path = path;
+
+  if (path.empty()) {
+    r.outcome = Outcome::kDeclaredUnreachable;
+    return r;
+  }
+  r.source_route_bytes = kWireIdBytes * path.hops();
+
+  // Walk the source route against ground truth; phase 1 may have missed
+  // failures (E1 is a subset of E2), in which case the packet is
+  // discarded where the failure is detected (Section III-D).
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    if (failure_->link_failed(path.links[i])) {
+      r.outcome = Outcome::kDroppedOnPath;
+      r.delivered_hops = i;
+      return r;
+    }
+  }
+  r.outcome = Outcome::kRecovered;
+  r.delivered_hops = path.hops();
+  return r;
+}
+
+RtrRecovery::MultiResult RtrRecovery::recover_multi(NodeId initiator,
+                                                    NodeId dest,
+                                                    std::size_t max_legs) {
+  RTR_EXPECT(max_legs >= 1);
+  MultiResult mr;
+  std::vector<char> carried(g_->num_links(), 0);
+  NodeId cur = initiator;
+  LinkId dead_hint = rt_->next_link(initiator, dest);
+  for (std::size_t leg = 0; leg < max_legs; ++leg) {
+    InitiatorState& st = state_for(cur, dead_hint);
+    RecoveryResult r = recover_in_view(st, cur, dest,
+                                       leg == 0 ? nullptr : &carried);
+    mr.legs.push_back(r);
+    mr.outcome = r.outcome;
+    mr.total_delivered_hops += r.delivered_hops;
+    if (r.outcome != Outcome::kDroppedOnPath) return mr;
+    // The packet header carries everything this initiator knew
+    // (Section III-E): the next initiator removes those links too.
+    for (LinkId l = 0; l < g_->num_links(); ++l) {
+      if (st.view_link_failed[l]) carried[l] = 1;
+    }
+    dead_hint = r.computed_path.links[r.delivered_hops];
+    carried[dead_hint] = 1;
+    cur = r.computed_path.nodes[r.delivered_hops];
+  }
+  return mr;
+}
+
+}  // namespace rtr::core

@@ -1,0 +1,124 @@
+// RTR: Reactive Two-phase Rerouting (the paper's contribution).
+//
+// RtrRecovery models one live router acting as a recovery initiator
+// during IGP convergence (Section II-B): phase 1 collects failure
+// information once per initiator (cached -- "can benefit all
+// destinations"), phase 2 removes the collected failed links from the
+// initiator's view of the topology, computes the shortest path to the
+// destination and source-routes packets along it.  The computed path is
+// then walked against ground truth: if phase 1 missed a failure on it,
+// the packet is discarded where the failure is detected (Section III-D).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "core/phase1.h"
+#include "failure/failure_set.h"
+#include "graph/crossings.h"
+#include "graph/graph.h"
+#include "spf/path.h"
+#include "spf/routing_table.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::core {
+
+struct RtrOptions {
+  Phase1Options phase1;
+  /// Maintain the initiator's view with the incremental SPT of
+  /// Section III-D instead of a fresh Dijkstra per destination.  Both
+  /// produce identical distances; the flag exists for the A2 ablation.
+  bool use_incremental_spt = false;
+};
+
+/// How one recovery attempt ended.
+enum class Outcome {
+  kRecovered,           ///< packet delivered over the computed path
+  kDroppedOnPath,       ///< computed path hit a failure phase 1 missed
+  kDeclaredUnreachable, ///< initiator's view has no path: drop at once
+  kInitiatorIsolated,   ///< initiator has no live neighbour at all
+};
+
+const char* to_string(Outcome o);
+
+struct RecoveryResult {
+  Outcome outcome = Outcome::kInitiatorIsolated;
+  NodeId initiator = kNoNode;
+  NodeId destination = kNoNode;
+
+  /// Shortest-path calculations performed for this test case.  RTR
+  /// computes once per destination (Fig. 9 / Fig. 12: always 1 for a
+  /// non-isolated initiator).
+  std::size_t sp_calculations = 0;
+
+  /// Path computed in the initiator's view; empty when unreachable.
+  spf::Path computed_path;
+  /// Hops actually traveled in phase 2 before delivery or discard.
+  std::size_t delivered_hops = 0;
+  /// Recovery bytes carried by phase-2 packets (source route).
+  std::size_t source_route_bytes = 0;
+
+  bool recovered() const { return outcome == Outcome::kRecovered; }
+};
+
+class RtrRecovery {
+ public:
+  /// All arguments are borrowed and must outlive the object.
+  RtrRecovery(const graph::Graph& g, const graph::CrossingIndex& crossings,
+              const spf::RoutingTable& rt, const fail::FailureSet& failure,
+              RtrOptions opts = {});
+
+  /// Recovers traffic at `initiator` towards `dest`.  Requires a live
+  /// initiator whose default next hop towards dest is unreachable.
+  RecoveryResult recover(NodeId initiator, NodeId dest);
+
+  /// The cached phase-1 run of an initiator (executed on first use).
+  const Phase1Result& phase1_for(NodeId initiator);
+
+  /// Multi-area extension (Section III-E): when the phase-2 packet is
+  /// dropped at a live router, that router becomes a new initiator that
+  /// inherits the failure information already in the packet header.
+  struct MultiResult {
+    Outcome outcome = Outcome::kInitiatorIsolated;
+    std::vector<RecoveryResult> legs;  ///< one entry per initiator
+    std::size_t total_delivered_hops = 0;
+  };
+  MultiResult recover_multi(NodeId initiator, NodeId dest,
+                            std::size_t max_legs = 8);
+
+  const RtrOptions& options() const { return opts_; }
+
+ private:
+  struct InitiatorState {
+    Phase1Result phase1;
+    /// The initiator's post-phase-1 view: links believed failed
+    /// (collected + locally observed).
+    std::vector<char> view_link_failed;
+    /// Lazily built SPT from the initiator in that view.
+    std::unique_ptr<spf::SptResult> spt;
+    /// Cached recovery paths per destination (Section III-D: "by
+    /// caching the recovery paths, the recovery initiator needs to
+    /// calculate the shortest path only once for each destination").
+    std::unordered_map<NodeId, spf::Path> path_cache;
+  };
+
+  /// Finds or creates the per-initiator state; on first use phase 1 is
+  /// triggered over `dead_hint` (the unreachable default next hop link
+  /// of the destination that detected the failure) when it is one of
+  /// the initiator's observed failures, else over the first observed
+  /// failed link.
+  InitiatorState& state_for(NodeId initiator, LinkId dead_hint = kNoLink);
+  RecoveryResult recover_in_view(InitiatorState& st, NodeId initiator,
+                                 NodeId dest,
+                                 const std::vector<char>* extra_failed);
+
+  const graph::Graph* g_;
+  const graph::CrossingIndex* crossings_;
+  const spf::RoutingTable* rt_;
+  const fail::FailureSet* failure_;
+  RtrOptions opts_;
+  std::unordered_map<NodeId, InitiatorState> states_;
+};
+
+}  // namespace rtr::core

@@ -1,0 +1,40 @@
+#include "exp/bench_config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace rtr::exp {
+
+namespace {
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+}  // namespace
+
+BenchConfig BenchConfig::from_env() {
+  BenchConfig c;
+  c.cases = static_cast<std::size_t>(env_u64("RTR_CASES", c.cases));
+  c.fig11_areas =
+      static_cast<std::size_t>(env_u64("RTR_FIG11_AREAS", c.fig11_areas));
+  c.seed = env_u64("RTR_SEED", c.seed);
+  const char* rule = std::getenv("RTR_CUT_RULE");
+  if (rule != nullptr && std::string(rule) == "geometric") {
+    c.cut_rule = fail::LinkCutRule::kGeometric;
+  }
+  return c;
+}
+
+std::string BenchConfig::describe() const {
+  std::ostringstream os;
+  os << "cases/topology=" << cases << " fig11-areas/radius=" << fig11_areas
+     << " seed=" << seed << " cut-rule="
+     << (cut_rule == fail::LinkCutRule::kEndpointsOnly ? "endpoint"
+                                                       : "geometric");
+  return os.str();
+}
+
+}  // namespace rtr::exp

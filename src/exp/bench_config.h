@@ -1,0 +1,31 @@
+// Bench-binary configuration from environment variables, so the full
+// 10,000-case paper workload can be scaled down (e.g. in CI) without
+// rebuilding:
+//   RTR_CASES        recoverable and irrecoverable cases per topology
+//                    (default 10000, the paper's count)
+//   RTR_FIG11_AREAS  areas per radius in the Fig. 11 sweep (default 1000)
+//   RTR_SEED         master seed (default 20120618)
+//   RTR_CUT_RULE     "endpoint" (default; matches the paper's simulated
+//                    data) or "geometric" (the stated Section II-A model)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "failure/failure_set.h"
+
+namespace rtr::exp {
+
+struct BenchConfig {
+  std::size_t cases = 10000;
+  std::size_t fig11_areas = 1000;
+  std::uint64_t seed = 20120618;
+  fail::LinkCutRule cut_rule = fail::LinkCutRule::kEndpointsOnly;
+
+  static BenchConfig from_env();
+
+  /// One-line provenance string printed at the top of every bench.
+  std::string describe() const;
+};
+
+}  // namespace rtr::exp

@@ -1,0 +1,88 @@
+#include "exp/cases.h"
+
+#include <unordered_set>
+
+#include "graph/properties.h"
+
+namespace rtr::exp {
+
+Scenario extract_scenario(const TopologyContext& ctx,
+                          const fail::CircleArea& area,
+                          FailedPathCounts* counts,
+                          fail::LinkCutRule rule) {
+  const graph::Graph& g = ctx.g;
+  Scenario sc(area, fail::FailureSet(g, area, rule));
+  const fail::FailureSet& fs = sc.failure;
+  if (fs.empty()) return sc;
+
+  // Connectivity of the damaged graph classifies destinations.
+  const graph::Components comp = graph::components(g, fs.masks());
+
+  const std::size_t n = g.num_nodes();
+  std::unordered_set<std::uint64_t> seen;  // dedupe (initiator, dest)
+  for (NodeId s = 0; s < n; ++s) {
+    if (fs.node_failed(s)) continue;  // "the source fails": ignored
+    for (NodeId t = 0; t < n; ++t) {
+      if (t == s) continue;
+      if (ctx.rt.distance(s, t) == kInfCost) continue;
+      // Walk the default routing path until the first failure is
+      // detected: that node is the recovery initiator (Section II-B).
+      NodeId u = s;
+      NodeId initiator = kNoNode;
+      LinkId dead = kNoLink;
+      while (u != t) {
+        const LinkId l = ctx.rt.next_link(u, t);
+        const NodeId nxt = ctx.rt.next_hop(u, t);
+        if (fs.link_failed(l) || fs.node_failed(nxt)) {
+          initiator = u;
+          dead = l;
+          break;
+        }
+        u = nxt;
+      }
+      if (initiator == kNoNode) continue;  // path unaffected
+
+      const bool dest_reachable =
+          !fs.node_failed(t) && comp.id[initiator] == comp.id[t];
+      if (counts != nullptr) {
+        ++counts->failed;
+        if (!dest_reachable) ++counts->irrecoverable;
+      }
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(initiator) * n + t;
+      if (!seen.insert(key).second) continue;
+      TestCase tc{initiator, t, dead};
+      (dest_reachable ? sc.recoverable : sc.irrecoverable).push_back(tc);
+    }
+  }
+  return sc;
+}
+
+std::vector<Scenario> generate_scenarios(const TopologyContext& ctx,
+                                         const fail::ScenarioConfig& cfg,
+                                         const CaseBudget& budget,
+                                         std::uint64_t seed,
+                                         fail::LinkCutRule rule) {
+  Rng rng(seed);
+  std::vector<Scenario> out;
+  std::size_t need_rec = budget.recoverable;
+  std::size_t need_irr = budget.irrecoverable;
+  std::size_t areas = 0;
+  while ((need_rec > 0 || need_irr > 0) && areas < budget.max_areas) {
+    ++areas;
+    const fail::CircleArea area = fail::random_circle_area(cfg, rng);
+    Scenario sc = extract_scenario(ctx, area, nullptr, rule);
+    if (sc.recoverable.empty() && sc.irrecoverable.empty()) continue;
+    // Truncate to the remaining budgets so totals are exact.
+    if (sc.recoverable.size() > need_rec) sc.recoverable.resize(need_rec);
+    if (sc.irrecoverable.size() > need_irr) sc.irrecoverable.resize(need_irr);
+    need_rec -= sc.recoverable.size();
+    need_irr -= sc.irrecoverable.size();
+    out.push_back(std::move(sc));
+  }
+  RTR_EXPECT_MSG(need_rec == 0 && need_irr == 0,
+                 "failed to meet the case budget within max_areas");
+  return out;
+}
+
+}  // namespace rtr::exp

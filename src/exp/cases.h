@@ -1,0 +1,71 @@
+// Test-case extraction and generation (Section IV-A).
+//
+// "For a failed routing path with a live source, the recovery process is
+// invoked at the recovery initiator.  Some failed routing paths with the
+// same destination may have the same recovery initiator.  Their recovery
+// processes are the same; thus we take them as one test case.  Given a
+// topology, a test case is determined by three factors, i.e., the
+// recovery initiator, the destination, and the failure area."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/context.h"
+#include "failure/failure_set.h"
+#include "failure/scenario.h"
+
+namespace rtr::exp {
+
+/// One deduplicated test case within a scenario.
+struct TestCase {
+  NodeId initiator = kNoNode;  ///< live node that detects the failure
+  NodeId dest = kNoNode;
+  LinkId dead_link = kNoLink;  ///< the unreachable default next hop link
+};
+
+/// One failure area applied to a topology, with its extracted cases.
+struct Scenario {
+  fail::CircleArea area;
+  fail::FailureSet failure;
+  std::vector<TestCase> recoverable;    ///< destination still reachable
+  std::vector<TestCase> irrecoverable;  ///< destination dead/partitioned
+
+  Scenario(fail::CircleArea a, fail::FailureSet f)
+      : area(a), failure(std::move(f)) {}
+};
+
+/// Counts of *failed routing paths* (per source-destination pair with a
+/// live source, before test-case deduplication) -- Fig. 11's metric.
+struct FailedPathCounts {
+  std::size_t failed = 0;         ///< paths containing a failure
+  std::size_t irrecoverable = 0;  ///< of those, destination unreachable
+};
+
+/// Applies `area` to the topology and extracts all deduplicated test
+/// cases, classified per Section IV-A.  `counts`, when non-null,
+/// receives the per-pair failed-path statistics.  Experiments default
+/// to the endpoint-only link-cut rule (see fail::LinkCutRule: this is
+/// what the paper's simulated data implies).
+Scenario extract_scenario(
+    const TopologyContext& ctx, const fail::CircleArea& area,
+    FailedPathCounts* counts = nullptr,
+    fail::LinkCutRule rule = fail::LinkCutRule::kEndpointsOnly);
+
+struct CaseBudget {
+  std::size_t recoverable = 10000;
+  std::size_t irrecoverable = 10000;
+  /// Give up after this many drawn areas (defensive; never reached on
+  /// the topologies under study).
+  std::size_t max_areas = 200000;
+};
+
+/// Draws random circular areas (Section IV-A parameters by default)
+/// until both budgets are met; scenario case lists are truncated to the
+/// remaining budget so the totals are exact.
+std::vector<Scenario> generate_scenarios(
+    const TopologyContext& ctx, const fail::ScenarioConfig& cfg,
+    const CaseBudget& budget, std::uint64_t seed,
+    fail::LinkCutRule rule = fail::LinkCutRule::kEndpointsOnly);
+
+}  // namespace rtr::exp

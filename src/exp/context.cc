@@ -1,0 +1,9 @@
+#include "exp/context.h"
+
+namespace rtr::exp {
+
+TopologyContext make_context(const graph::IspSpec& spec) {
+  return TopologyContext(spec.name, graph::make_isp_topology(spec));
+}
+
+}  // namespace rtr::exp

@@ -1,0 +1,38 @@
+// Per-topology immutable context shared by every experiment: the graph,
+// its crossing index (Section III-C precomputation) and the failure-free
+// hop-count routing tables (Section IV-A).
+#pragma once
+
+#include <string>
+
+#include "graph/crossings.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/graph.h"
+#include "spf/routing_table.h"
+
+namespace rtr::exp {
+
+struct TopologyContext {
+  std::string name;
+  graph::Graph g;
+  graph::CrossingIndex crossings;
+  spf::RoutingTable rt;
+
+  TopologyContext(std::string topo_name, graph::Graph graph)
+      : name(std::move(topo_name)),
+        g(std::move(graph)),
+        crossings(g),
+        rt(g, spf::RoutingTable::Metric::kHopCount) {}
+
+  // rt borrows g: moving the context would leave rt pointing at the
+  // moved-from graph.  Contexts are created in place (guaranteed copy
+  // elision) or held by unique_ptr; they never relocate.
+  TopologyContext(const TopologyContext&) = delete;
+  TopologyContext& operator=(const TopologyContext&) = delete;
+};
+
+/// Builds the context of one surrogate ISP topology (in place, via
+/// guaranteed copy elision).
+TopologyContext make_context(const graph::IspSpec& spec);
+
+}  // namespace rtr::exp

@@ -1,0 +1,212 @@
+#include "exp/runners.h"
+
+#include <unordered_map>
+
+#include "baselines/fcp.h"
+#include "baselines/mrc.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::exp {
+
+namespace {
+
+/// Ground-truth shortest distances (hop count) from each initiator in
+/// the damaged graph, cached per scenario.
+class TruthCache {
+ public:
+  TruthCache(const graph::Graph& g, const fail::FailureSet& fs)
+      : g_(&g), fs_(&fs) {}
+
+  double dist(NodeId from, NodeId to) {
+    auto it = spts_.find(from);
+    if (it == spts_.end()) {
+      it = spts_.emplace(from, spf::bfs_from(*g_, from, fs_->masks())).first;
+    }
+    return it->second.dist[to];
+  }
+
+ private:
+  const graph::Graph* g_;
+  const fail::FailureSet* fs_;
+  std::unordered_map<NodeId, spf::SptResult> spts_;
+};
+
+/// Adds a per-case byte series into the timeline accumulator: hop i of
+/// the recovery occupies [i*per_hop, (i+1)*per_hop) ms carrying
+/// bytes_per_hop[i]; afterwards the packet stream carries steady_bytes.
+void accumulate_timeline(std::vector<double>& acc,
+                         const std::vector<std::size_t>& bytes_per_hop,
+                         double per_hop_ms, double steady_bytes) {
+  for (std::size_t t = 0; t < acc.size(); ++t) {
+    const std::size_t hop =
+        static_cast<std::size_t>(static_cast<double>(t) / per_hop_ms);
+    acc[t] += hop < bytes_per_hop.size()
+                  ? static_cast<double>(bytes_per_hop[hop])
+                  : steady_bytes;
+  }
+}
+
+}  // namespace
+
+RecoverableResults run_recoverable(const TopologyContext& ctx,
+                                   const std::vector<Scenario>& scenarios,
+                                   const RunOptions& opts) {
+  RecoverableResults out;
+  out.topo = ctx.name;
+  out.rtr_bytes_timeline.assign(opts.timeline_ms, 0.0);
+  out.fcp_bytes_timeline.assign(opts.timeline_ms, 0.0);
+  const double per_hop = opts.delay.per_hop_ms();
+
+  // MRC configurations are proactive: built once per topology,
+  // independent of any failure.
+  std::unique_ptr<baseline::Mrc> mrc;
+  if (opts.run_mrc) {
+    mrc = std::make_unique<baseline::Mrc>(ctx.g, ctx.rt);
+  }
+
+  for (const Scenario& sc : scenarios) {
+    core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure,
+                          opts.rtr);
+    TruthCache truth(ctx.g, sc.failure);
+    for (const TestCase& tc : sc.recoverable) {
+      ++out.cases;
+      const double true_dist = truth.dist(tc.initiator, tc.dest);
+      RTR_EXPECT_MSG(true_dist < kInfCost,
+                     "recoverable case with unreachable destination");
+
+      // ---- RTR ----
+      const core::RecoveryResult rr = rtr.recover(tc.initiator, tc.dest);
+      const core::Phase1Result& p1 = rtr.phase1_for(tc.initiator);
+      if (p1.status == core::Phase1Result::Status::kAborted) {
+        ++out.rtr_phase1_aborted;
+      }
+      out.phase1_duration_ms.push_back(opts.delay.duration_ms(p1.hops()));
+      out.rtr_calcs.push_back(static_cast<double>(rr.sp_calculations));
+      if (rr.recovered()) {
+        ++out.rtr_recovered;
+        const double stretch =
+            static_cast<double>(rr.computed_path.hops()) / true_dist;
+        out.rtr_stretch.push_back(stretch);
+        if (static_cast<double>(rr.computed_path.hops()) == true_dist) {
+          ++out.rtr_optimal;
+        }
+      }
+      const double rtr_steady =
+          rr.computed_path.empty()
+              ? 0.0
+              : static_cast<double>(rr.source_route_bytes);
+      accumulate_timeline(out.rtr_bytes_timeline, p1.bytes_per_hop, per_hop,
+                          rtr_steady);
+
+      // ---- FCP ----
+      if (opts.run_fcp) {
+        const baseline::FcpResult fr =
+            baseline::run_fcp(ctx.g, sc.failure, tc.initiator, tc.dest);
+        out.fcp_calcs.push_back(static_cast<double>(fr.sp_calculations));
+        if (fr.delivered) {
+          ++out.fcp_recovered;
+          const double stretch = static_cast<double>(fr.hops) / true_dist;
+          out.fcp_stretch.push_back(stretch);
+          if (static_cast<double>(fr.hops) == true_dist) ++out.fcp_optimal;
+        }
+        accumulate_timeline(
+            out.fcp_bytes_timeline, fr.bytes_per_hop, per_hop,
+            fr.delivered ? static_cast<double>(fr.header.recovery_bytes())
+                         : 0.0);
+      }
+
+      // ---- MRC ----
+      if (mrc) {
+        const baseline::Mrc::Result mr =
+            mrc->forward(sc.failure, tc.initiator, tc.dest);
+        if (mr.delivered) {
+          ++out.mrc_recovered;
+          const double stretch = static_cast<double>(mr.hops) / true_dist;
+          out.mrc_stretch.push_back(stretch);
+          if (static_cast<double>(mr.hops) == true_dist) ++out.mrc_optimal;
+        }
+      }
+    }
+  }
+
+  // Timeline sums -> means over the cases of this topology.
+  if (out.cases > 0) {
+    for (double& v : out.rtr_bytes_timeline) {
+      v /= static_cast<double>(out.cases);
+    }
+    for (double& v : out.fcp_bytes_timeline) {
+      v /= static_cast<double>(out.cases);
+    }
+  }
+  return out;
+}
+
+IrrecoverableResults run_irrecoverable(const TopologyContext& ctx,
+                                       const std::vector<Scenario>& scenarios,
+                                       const RunOptions& opts) {
+  IrrecoverableResults out;
+  out.topo = ctx.name;
+  for (const Scenario& sc : scenarios) {
+    core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure,
+                          opts.rtr);
+    for (const TestCase& tc : sc.irrecoverable) {
+      ++out.cases;
+
+      // ---- RTR ----
+      const core::RecoveryResult rr = rtr.recover(tc.initiator, tc.dest);
+      if (rr.recovered()) ++out.rtr_delivered;
+      const core::Phase1Result& p1 = rtr.phase1_for(tc.initiator);
+      out.phase1_duration_ms.push_back(opts.delay.duration_ms(p1.hops()));
+      out.rtr_wasted_comp.push_back(static_cast<double>(rr.sp_calculations));
+      // Wasted transmission (Section IV-D): s * h, where s is 1000
+      // bytes plus the recovery header and h the hops traveled before
+      // the packet is discarded.  RTR packets towards an unreachable
+      // destination either die at the initiator (h = 0) or walk part of
+      // a computed path that phase 1 could not know was broken.
+      out.rtr_wasted_trans.push_back(
+          static_cast<double>(rr.delivered_hops) *
+          static_cast<double>(net::kPayloadBytes + rr.source_route_bytes));
+
+      // ---- FCP ----
+      if (opts.run_fcp) {
+        const baseline::FcpResult fr =
+            baseline::run_fcp(ctx.g, sc.failure, tc.initiator, tc.dest);
+        if (fr.delivered) ++out.fcp_delivered;
+        out.fcp_wasted_comp.push_back(
+            static_cast<double>(fr.sp_calculations));
+        double bytes = 0.0;
+        for (std::size_t b : fr.bytes_per_hop) {
+          bytes += static_cast<double>(net::kPayloadBytes + b);
+        }
+        out.fcp_wasted_trans.push_back(bytes);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RadiusPoint> radius_sweep(const TopologyContext& ctx,
+                                      const std::vector<double>& radii,
+                                      std::size_t areas_per_radius,
+                                      std::uint64_t seed, double extent,
+                                      fail::LinkCutRule rule) {
+  Rng rng(seed);
+  std::vector<RadiusPoint> out;
+  out.reserve(radii.size());
+  for (double radius : radii) {
+    RadiusPoint pt;
+    pt.radius = radius;
+    for (std::size_t i = 0; i < areas_per_radius; ++i) {
+      const fail::CircleArea area =
+          fail::random_circle_area_fixed_radius(extent, radius, rng);
+      FailedPathCounts counts;
+      extract_scenario(ctx, area, &counts, rule);
+      pt.failed_paths += counts.failed;
+      pt.irrecoverable_paths += counts.irrecoverable;
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace rtr::exp

@@ -1,0 +1,92 @@
+// Experiment runners: execute RTR / FCP / MRC over generated test cases
+// and produce the raw samples behind every table and figure of
+// Section IV.  Bench binaries format these; tests assert their
+// invariants (Theorems 1-3, FCP delivery, metric sanity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rtr.h"
+#include "exp/cases.h"
+#include "exp/context.h"
+#include "net/delay.h"
+
+namespace rtr::exp {
+
+struct RunOptions {
+  bool run_mrc = true;                ///< MRC appears only in Table III
+  bool run_fcp = true;
+  std::size_t timeline_ms = 1000;     ///< Fig. 10 horizon (first second)
+  net::DelayModel delay;              ///< 1.8 ms per hop (Section IV-B)
+  core::RtrOptions rtr;               ///< constraint/SPT knobs (ablations)
+};
+
+/// Aggregated results over the recoverable test cases of one topology
+/// (Table III and Figs. 7-10).
+struct RecoverableResults {
+  std::string topo;
+  std::size_t cases = 0;
+
+  std::size_t rtr_recovered = 0, rtr_optimal = 0;
+  std::size_t fcp_recovered = 0, fcp_optimal = 0;
+  std::size_t mrc_recovered = 0, mrc_optimal = 0;
+  /// Phase-1 traversals that failed to close (Theorem 1 says zero when
+  /// both constraints are on; nonzero only in ablations).
+  std::size_t rtr_phase1_aborted = 0;
+
+  std::vector<double> phase1_duration_ms;           ///< per case (Fig. 7)
+  std::vector<double> rtr_stretch;                  ///< recovered cases (Fig. 8)
+  std::vector<double> fcp_stretch;
+  std::vector<double> mrc_stretch;
+  std::vector<double> rtr_calcs;                    ///< per case (Fig. 9)
+  std::vector<double> fcp_calcs;
+  std::vector<double> rtr_bytes_timeline;           ///< mean bytes at ms t (Fig. 10)
+  std::vector<double> fcp_bytes_timeline;
+};
+
+RecoverableResults run_recoverable(const TopologyContext& ctx,
+                                   const std::vector<Scenario>& scenarios,
+                                   const RunOptions& opts = {});
+
+/// Aggregated results over the irrecoverable test cases of one topology
+/// (Table IV and Figs. 12-13; phase-1 samples also feed Fig. 7).
+struct IrrecoverableResults {
+  std::string topo;
+  std::size_t cases = 0;
+
+  /// Packets that RTR nevertheless delivered (must stay 0: the
+  /// destination is unreachable; tests assert it).
+  std::size_t rtr_delivered = 0, fcp_delivered = 0;
+
+  std::vector<double> phase1_duration_ms;
+  std::vector<double> rtr_wasted_comp, fcp_wasted_comp;    ///< SP calcs
+  std::vector<double> rtr_wasted_trans, fcp_wasted_trans;  ///< bytes
+};
+
+IrrecoverableResults run_irrecoverable(const TopologyContext& ctx,
+                                       const std::vector<Scenario>& scenarios,
+                                       const RunOptions& opts = {});
+
+/// Fig. 11: percentage of failed routing paths that are irrecoverable,
+/// per failure radius.
+struct RadiusPoint {
+  double radius = 0.0;
+  std::size_t failed_paths = 0;
+  std::size_t irrecoverable_paths = 0;
+  double pct_irrecoverable() const {
+    return failed_paths == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(irrecoverable_paths) /
+                     static_cast<double>(failed_paths);
+  }
+};
+
+std::vector<RadiusPoint> radius_sweep(
+    const TopologyContext& ctx, const std::vector<double>& radii,
+    std::size_t areas_per_radius, std::uint64_t seed,
+    double extent = 2000.0,
+    fail::LinkCutRule rule = fail::LinkCutRule::kEndpointsOnly);
+
+}  // namespace rtr::exp

@@ -1,0 +1,45 @@
+#include "failure/area.h"
+
+#include <sstream>
+
+namespace rtr::fail {
+
+std::string CircleArea::describe() const {
+  std::ostringstream os;
+  os << "circle(center=(" << circle_.center.x << "," << circle_.center.y
+     << "), r=" << circle_.radius << ")";
+  return os.str();
+}
+
+std::string PolygonArea::describe() const {
+  std::ostringstream os;
+  os << "polygon(" << poly_.size() << " vertices)";
+  return os.str();
+}
+
+bool UnionArea::contains(geom::Point p) const {
+  for (const auto& a : parts_) {
+    if (a->contains(p)) return true;
+  }
+  return false;
+}
+
+bool UnionArea::intersects(const geom::Segment& s) const {
+  for (const auto& a : parts_) {
+    if (a->intersects(s)) return true;
+  }
+  return false;
+}
+
+std::string UnionArea::describe() const {
+  std::ostringstream os;
+  os << "union[";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i) os << ", ";
+    os << parts_[i]->describe();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace rtr::fail

@@ -1,0 +1,89 @@
+// Failure areas.
+//
+// Section II-A: "the failure area is modeled as a continuous area in the
+// network.  Routers within it and links across it all fail."  The paper
+// makes no assumption on shape or location; its evaluation uses circles
+// (Section IV-A).  FailureArea is the shape abstraction; CircleArea is
+// the evaluation's shape, PolygonArea models arbitrary-shape disasters,
+// and UnionArea composes multiple simultaneous areas (Section III-E).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/circle.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/segment.h"
+
+namespace rtr::fail {
+
+class FailureArea {
+ public:
+  virtual ~FailureArea() = default;
+
+  /// True when a router at p is destroyed.
+  virtual bool contains(geom::Point p) const = 0;
+
+  /// True when a link occupying segment s is cut.
+  virtual bool intersects(const geom::Segment& s) const = 0;
+
+  /// Human-readable description for traces and bench logs.
+  virtual std::string describe() const = 0;
+};
+
+/// The circular area of the paper's evaluation.
+class CircleArea final : public FailureArea {
+ public:
+  explicit CircleArea(geom::Circle c) : circle_(c) {}
+  CircleArea(geom::Point center, double radius) : circle_{center, radius} {}
+
+  bool contains(geom::Point p) const override { return circle_.contains(p); }
+  bool intersects(const geom::Segment& s) const override {
+    return circle_.intersects(s);
+  }
+  std::string describe() const override;
+
+  const geom::Circle& circle() const { return circle_; }
+
+ private:
+  geom::Circle circle_;
+};
+
+/// An arbitrary simple-polygon area (hurricane track, cut corridor...).
+class PolygonArea final : public FailureArea {
+ public:
+  explicit PolygonArea(geom::Polygon poly) : poly_(std::move(poly)) {}
+
+  bool contains(geom::Point p) const override { return poly_.contains(p); }
+  bool intersects(const geom::Segment& s) const override {
+    return poly_.intersects(s);
+  }
+  std::string describe() const override;
+
+  const geom::Polygon& polygon() const { return poly_; }
+
+ private:
+  geom::Polygon poly_;
+};
+
+/// Several simultaneous failure areas (Section III-E: "RTR also works
+/// for multiple failure areas").
+class UnionArea final : public FailureArea {
+ public:
+  explicit UnionArea(std::vector<std::unique_ptr<FailureArea>> parts)
+      : parts_(std::move(parts)) {}
+
+  bool contains(geom::Point p) const override;
+  bool intersects(const geom::Segment& s) const override;
+  std::string describe() const override;
+
+  std::size_t size() const { return parts_.size(); }
+  const FailureArea& part(std::size_t i) const { return *parts_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<FailureArea>> parts_;
+};
+
+}  // namespace rtr::fail

@@ -1,0 +1,83 @@
+#include "failure/failure_set.h"
+
+namespace rtr::fail {
+
+FailureSet::FailureSet(const graph::Graph& g)
+    : node_failed_(g.num_nodes(), 0), link_failed_(g.num_links(), 0) {}
+
+FailureSet::FailureSet(const graph::Graph& g, const FailureArea& area,
+                       LinkCutRule rule)
+    : FailureSet(g) {
+  add(g, area, rule);
+}
+
+FailureSet FailureSet::of_links(const graph::Graph& g,
+                                const std::vector<LinkId>& links) {
+  FailureSet fs(g);
+  for (LinkId l : links) fs.add_link(l);
+  return fs;
+}
+
+FailureSet FailureSet::of_nodes(const graph::Graph& g,
+                                const std::vector<NodeId>& nodes) {
+  FailureSet fs(g);
+  for (NodeId n : nodes) fs.add_node(g, n);
+  return fs;
+}
+
+void FailureSet::add(const graph::Graph& g, const FailureArea& area,
+                     LinkCutRule rule) {
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (!node_failed_[n] && area.contains(g.position(n))) {
+      node_failed_[n] = 1;
+      ++failed_node_count_;
+    }
+  }
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    if (link_failed_[l]) continue;
+    const graph::Link& e = g.link(l);
+    const bool endpoint_dead = node_failed_[e.u] || node_failed_[e.v];
+    const bool cut = rule == LinkCutRule::kGeometric &&
+                     area.intersects(g.segment(l));
+    if (endpoint_dead || cut) {
+      link_failed_[l] = 1;
+      ++failed_link_count_;
+    }
+  }
+}
+
+void FailureSet::add_link(LinkId l) {
+  RTR_EXPECT(l < link_failed_.size());
+  if (!link_failed_[l]) {
+    link_failed_[l] = 1;
+    ++failed_link_count_;
+  }
+}
+
+void FailureSet::add_node(const graph::Graph& g, NodeId n) {
+  RTR_EXPECT(g.valid_node(n));
+  if (!node_failed_[n]) {
+    node_failed_[n] = 1;
+    ++failed_node_count_;
+  }
+  for (const graph::Adjacency& a : g.neighbors(n)) add_link(a.link);
+}
+
+std::vector<LinkId> FailureSet::observed_failed_links(const graph::Graph& g,
+                                                      NodeId u) const {
+  RTR_EXPECT_MSG(!node_failed(u), "a failed router observes nothing");
+  std::vector<LinkId> out;
+  for (const graph::Adjacency& a : g.neighbors(u)) {
+    if (neighbor_unreachable(a)) out.push_back(a.link);
+  }
+  return out;
+}
+
+bool FailureSet::has_live_neighbor(const graph::Graph& g, NodeId u) const {
+  for (const graph::Adjacency& a : g.neighbors(u)) {
+    if (!neighbor_unreachable(a)) return true;
+  }
+  return false;
+}
+
+}  // namespace rtr::fail

@@ -1,0 +1,49 @@
+#include "failure/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/expect.h"
+
+namespace rtr::fail {
+
+CircleArea random_circle_area(const ScenarioConfig& cfg, Rng& rng) {
+  RTR_EXPECT(cfg.min_radius > 0.0 && cfg.min_radius <= cfg.max_radius);
+  const double r = cfg.min_radius == cfg.max_radius
+                       ? cfg.min_radius
+                       : rng.uniform_real(cfg.min_radius, cfg.max_radius);
+  return CircleArea({rng.uniform_real(0.0, cfg.extent),
+                     rng.uniform_real(0.0, cfg.extent)},
+                    r);
+}
+
+CircleArea random_circle_area_fixed_radius(double extent, double radius,
+                                           Rng& rng) {
+  RTR_EXPECT(radius > 0.0);
+  return CircleArea(
+      {rng.uniform_real(0.0, extent), rng.uniform_real(0.0, extent)}, radius);
+}
+
+PolygonArea random_polygon_area(const ScenarioConfig& cfg,
+                                std::size_t vertices, Rng& rng) {
+  RTR_EXPECT(vertices >= 3);
+  const geom::Point c = {rng.uniform_real(0.0, cfg.extent),
+                         rng.uniform_real(0.0, cfg.extent)};
+  // Sorted random angles with random radii give a simple (star-shaped)
+  // polygon around c.
+  std::vector<double> angles(vertices);
+  for (double& a : angles) {
+    a = rng.uniform_real(0.0, 2.0 * std::numbers::pi);
+  }
+  std::sort(angles.begin(), angles.end());
+  std::vector<geom::Point> vs;
+  vs.reserve(vertices);
+  for (double a : angles) {
+    const double r = rng.uniform_real(cfg.min_radius, cfg.max_radius);
+    vs.push_back({c.x + r * std::cos(a), c.y + r * std::sin(a)});
+  }
+  return PolygonArea(geom::Polygon(std::move(vs)));
+}
+
+}  // namespace rtr::fail

@@ -1,0 +1,34 @@
+// Random failure scenarios per the paper's simulation setup.
+//
+// Section IV-A: "the failure area is a circle randomly placed in the
+// 2000x2000 area with a radius randomly selected between 100 and 300.
+// The radius and location of the circular area are unknown to RTR."
+#pragma once
+
+#include "common/rng.h"
+#include "failure/area.h"
+
+namespace rtr::fail {
+
+struct ScenarioConfig {
+  double extent = 2000.0;      ///< side of the square placement area
+  double min_radius = 100.0;   ///< Section IV-A default
+  double max_radius = 300.0;   ///< Section IV-A default
+};
+
+/// Draws a random circular failure area (center uniform in the square,
+/// radius uniform in [min_radius, max_radius]).
+CircleArea random_circle_area(const ScenarioConfig& cfg, Rng& rng);
+
+/// Draws a circle of the given fixed radius at a uniform center (the
+/// radius sweep of Fig. 11).
+CircleArea random_circle_area_fixed_radius(double extent, double radius,
+                                           Rng& rng);
+
+/// Draws a random simple polygon area: a star-shaped polygon around a
+/// uniform center with `vertices` corners at radii in
+/// [min_radius, max_radius].  Exercises the arbitrary-shape claim.
+PolygonArea random_polygon_area(const ScenarioConfig& cfg,
+                                std::size_t vertices, Rng& rng);
+
+}  // namespace rtr::fail

@@ -1,0 +1,43 @@
+// Counterclockwise angle sweeps for the right-hand rule.
+//
+// Section III-B: a node takes the link to its previous hop (or, at the
+// recovery initiator, the link to the unreachable default next hop) as a
+// sweeping line and rotates it counterclockwise until it reaches a live
+// neighbour.  The neighbour minimising the counterclockwise rotation
+// angle is therefore the next hop.  ccw_angle returns that rotation in
+// (0, 2*pi], mapping "no rotation" to a full turn so that the previous
+// hop itself is always the candidate of last resort (dead-end backtrack).
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "geom/point.h"
+
+namespace rtr::geom {
+
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Counterclockwise rotation, in radians in (0, 2*pi], that carries
+/// direction `from` onto direction `to`.  Both must be nonzero vectors.
+inline double ccw_angle(Point from, Point to) {
+  const double a = std::atan2(cross(from, to), dot(from, to));
+  // atan2 yields (-pi, pi]; fold into (0, 2*pi] with 0 -> 2*pi.
+  return a > 0.0 ? a : a + kTwoPi;
+}
+
+/// Clockwise variant, used by the traversal-orientation ablation.
+/// Returns the clockwise rotation in (0, 2*pi].
+inline double cw_angle(Point from, Point to) {
+  const double a = ccw_angle(from, to);
+  return a == kTwoPi ? kTwoPi : kTwoPi - a;
+}
+
+/// Absolute bearing of a direction vector in [0, 2*pi).
+inline double bearing(Point dir) {
+  double a = std::atan2(dir.y, dir.x);
+  if (a < 0.0) a += kTwoPi;
+  return a;
+}
+
+}  // namespace rtr::geom

@@ -1,0 +1,28 @@
+// Circles: the failure-area shape used throughout the paper's evaluation
+// (Section IV-A: "the failure area is a circle randomly placed in the
+// 2000x2000 area with a radius randomly selected between 100 and 300").
+#pragma once
+
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace rtr::geom {
+
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  /// True when p lies strictly inside the circle.
+  bool contains(Point p) const {
+    return distance2(p, center) < radius * radius;
+  }
+
+  /// True when the segment passes through the circle's interior.
+  /// A link "across" the failure area fails (Section II-A) -- this
+  /// includes chords whose endpoints are both outside.
+  bool intersects(const Segment& s) const {
+    return distance2_to_segment(center, s) < radius * radius;
+  }
+};
+
+}  // namespace rtr::geom

@@ -1,0 +1,48 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "geom/segment.h"
+
+namespace rtr::geom {
+
+std::vector<Point> convex_hull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](Point a, Point b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const std::size_t n = points.size();
+  if (n <= 2) return points;
+
+  std::vector<Point> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           orientation(hull[k - 2], hull[k - 1], points[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower &&
+           orientation(hull[k - 2], hull[k - 1], points[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // last point repeats the first
+  return hull;
+}
+
+Polygon convex_hull_polygon(std::vector<Point> points) {
+  std::vector<Point> hull = convex_hull(std::move(points));
+  RTR_EXPECT_MSG(hull.size() >= 3,
+                 "hull polygon needs 3 non-collinear points");
+  return Polygon(std::move(hull));
+}
+
+}  // namespace rtr::geom

@@ -1,0 +1,23 @@
+// Convex hulls (Andrew's monotone chain).
+//
+// Supports the failure-region estimation extension: the recovery
+// initiator knows the coordinates of all routers (Section II-A), so the
+// hull of the failed links it collected localises the disaster.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/polygon.h"
+
+namespace rtr::geom {
+
+/// Convex hull of the points, counterclockwise, no three collinear
+/// vertices.  Fewer than 3 distinct non-collinear points yield the
+/// degenerate hull (the distinct points themselves, possibly < 3).
+std::vector<Point> convex_hull(std::vector<Point> points);
+
+/// Hull as a Polygon; requires at least 3 non-collinear points.
+Polygon convex_hull_polygon(std::vector<Point> points);
+
+}  // namespace rtr::geom

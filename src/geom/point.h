@@ -1,0 +1,44 @@
+// 2-D points and vectors.
+//
+// The paper embeds routers in a 2000x2000 plane (Section IV-A) and relies
+// on coordinates for the right-hand-rule traversal of Section III-B/C.
+// Everything geometric in the code base is built on this header.
+#pragma once
+
+#include <cmath>
+
+namespace rtr::geom {
+
+/// A point (or displacement vector) in the plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend Point operator*(double s, Point a) { return a * s; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+  friend bool operator!=(Point a, Point b) { return !(a == b); }
+};
+
+/// Dot product.
+inline double dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+/// 2-D cross product (z component of the 3-D cross product).
+/// Positive when b is counterclockwise from a.
+inline double cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+/// Squared Euclidean norm.
+inline double norm2(Point a) { return dot(a, a); }
+
+/// Euclidean norm.
+inline double norm(Point a) { return std::sqrt(norm2(a)); }
+
+/// Euclidean distance between two points.
+inline double distance(Point a, Point b) { return norm(b - a); }
+
+/// Squared distance (avoids the sqrt when only comparisons are needed).
+inline double distance2(Point a, Point b) { return norm2(b - a); }
+
+}  // namespace rtr::geom

@@ -1,0 +1,77 @@
+#include "geom/polygon.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/expect.h"
+
+namespace rtr::geom {
+
+Polygon::Polygon(std::vector<Point> vertices) : vertices_(std::move(vertices)) {
+  RTR_EXPECT_MSG(vertices_.size() >= 3, "a polygon needs at least 3 vertices");
+}
+
+Segment Polygon::edge(std::size_t i) const {
+  RTR_EXPECT(i < vertices_.size());
+  return {vertices_[i], vertices_[(i + 1) % vertices_.size()]};
+}
+
+bool Polygon::contains(Point p) const {
+  // Even-odd rule via a horizontal ray towards +x.
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    const bool straddles = (a.y > p.y) != (b.y > p.y);
+    if (straddles) {
+      const double x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool Polygon::intersects(const Segment& s) const {
+  if (contains(s.a) || contains(s.b)) return true;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (segments_intersect(edge(i), s)) return true;
+  }
+  return false;
+}
+
+double Polygon::signed_area() const {
+  double acc = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    acc += cross(vertices_[j], vertices_[i]);
+  }
+  return acc / 2.0;
+}
+
+std::pair<Point, Point> Polygon::bounding_box() const {
+  Point lo = vertices_.front();
+  Point hi = vertices_.front();
+  for (const Point& v : vertices_) {
+    lo.x = std::min(lo.x, v.x);
+    lo.y = std::min(lo.y, v.y);
+    hi.x = std::max(hi.x, v.x);
+    hi.y = std::max(hi.y, v.y);
+  }
+  return {lo, hi};
+}
+
+Polygon make_regular_polygon(Point center, double radius, std::size_t n) {
+  RTR_EXPECT(n >= 3 && radius > 0.0);
+  std::vector<Point> vs;
+  vs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                     static_cast<double>(n);
+    vs.push_back({center.x + radius * std::cos(a),
+                  center.y + radius * std::sin(a)});
+  }
+  return Polygon(std::move(vs));
+}
+
+}  // namespace rtr::geom

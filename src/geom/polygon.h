@@ -1,0 +1,51 @@
+// Simple polygons.
+//
+// The paper stresses that RTR makes "no assumption on the shape and
+// location of the failure area" (Section II-A); only the *evaluation*
+// uses circles.  Polygon areas let the library model arbitrary-shape
+// disasters (e.g. a hurricane track or a fibre-cut corridor) and back
+// the PolygonArea failure shape and its tests.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace rtr::geom {
+
+/// A simple polygon given by its vertices in order (either winding).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+
+  /// Edge i runs from vertex i to vertex (i+1) mod n.
+  Segment edge(std::size_t i) const;
+
+  /// True when p lies strictly inside the polygon (even-odd rule;
+  /// points on the boundary are treated as outside).
+  bool contains(Point p) const;
+
+  /// True when segment s passes through the polygon's interior or
+  /// crosses its boundary.
+  bool intersects(const Segment& s) const;
+
+  /// Signed area (positive for counterclockwise vertex order).
+  double signed_area() const;
+
+  /// Axis-aligned bounding box as {min, max} corners.
+  std::pair<Point, Point> bounding_box() const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// Convenience: a regular n-gon approximating a circle; used by tests to
+/// cross-validate PolygonArea against CircleArea.
+Polygon make_regular_polygon(Point center, double radius, std::size_t n);
+
+}  // namespace rtr::geom

@@ -1,0 +1,80 @@
+// Segment predicates: orientation tests and the "cross links" predicate.
+//
+// Section III-C of the paper excludes candidate next-hop links that
+// *cross* links recorded in the packet's cross_link field.  Two links
+// cross when their open interiors intersect; links that merely share a
+// router (endpoint) are adjacent, not crossing.  Routers precompute, for
+// every link, the set of links across it (Section III-C), which is
+// implemented in graph/crossings.h on top of these predicates.
+#pragma once
+
+#include <algorithm>
+
+#include "geom/point.h"
+
+namespace rtr::geom {
+
+/// Tolerance for orientation tests.  Coordinates in this code base live
+/// in [0, 2000] so 1e-9 is far below any meaningful feature size.
+inline constexpr double kEps = 1e-9;
+
+/// A closed line segment between two points.
+struct Segment {
+  Point a;
+  Point b;
+};
+
+/// Sign of the orientation of the triple (a, b, c):
+/// +1 counterclockwise, -1 clockwise, 0 collinear (within kEps).
+inline int orientation(Point a, Point b, Point c) {
+  const double v = cross(b - a, c - a);
+  if (v > kEps) return 1;
+  if (v < -kEps) return -1;
+  return 0;
+}
+
+/// True when point p lies on segment s (within tolerance).
+inline bool on_segment(Point p, const Segment& s) {
+  if (orientation(s.a, s.b, p) != 0) return false;
+  return p.x >= std::min(s.a.x, s.b.x) - kEps &&
+         p.x <= std::max(s.a.x, s.b.x) + kEps &&
+         p.y >= std::min(s.a.y, s.b.y) - kEps &&
+         p.y <= std::max(s.a.y, s.b.y) + kEps;
+}
+
+/// True when the two segments *properly* cross: they intersect in exactly
+/// one point that is interior to both.  This is the paper's notion of one
+/// link being "across" another; segments sharing an endpoint do not cross.
+inline bool properly_cross(const Segment& s, const Segment& t) {
+  const int o1 = orientation(s.a, s.b, t.a);
+  const int o2 = orientation(s.a, s.b, t.b);
+  const int o3 = orientation(t.a, t.b, s.a);
+  const int o4 = orientation(t.a, t.b, s.b);
+  return o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 && o1 != o2 && o3 != o4;
+}
+
+/// True when the segments intersect at all (including touching at
+/// endpoints or collinear overlap).  Used by topology generators that
+/// want visually clean layouts; the protocol itself uses properly_cross.
+inline bool segments_intersect(const Segment& s, const Segment& t) {
+  if (properly_cross(s, t)) return true;
+  return on_segment(t.a, s) || on_segment(t.b, s) || on_segment(s.a, t) ||
+         on_segment(s.b, t);
+}
+
+/// Squared distance from point p to segment s.
+inline double distance2_to_segment(Point p, const Segment& s) {
+  const Point d = s.b - s.a;
+  const double len2 = norm2(d);
+  if (len2 <= kEps * kEps) return distance2(p, s.a);  // degenerate segment
+  double t = dot(p - s.a, d) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return distance2(p, s.a + d * t);
+}
+
+/// Distance from point p to segment s.
+inline double distance_to_segment(Point p, const Segment& s) {
+  return std::sqrt(distance2_to_segment(p, s));
+}
+
+}  // namespace rtr::geom

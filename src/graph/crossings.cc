@@ -1,0 +1,35 @@
+#include "graph/crossings.h"
+
+#include <algorithm>
+
+#include "geom/segment.h"
+
+namespace rtr::graph {
+
+CrossingIndex::CrossingIndex(const Graph& g) {
+  const std::size_t m = g.num_links();
+  crossing_.resize(m);
+  std::vector<geom::Segment> segs;
+  segs.reserve(m);
+  for (LinkId l = 0; l < m; ++l) segs.push_back(g.segment(l));
+  for (LinkId a = 0; a < m; ++a) {
+    for (LinkId b = a + 1; b < m; ++b) {
+      if (geom::properly_cross(segs[a], segs[b])) {
+        crossing_[a].push_back(b);
+        crossing_[b].push_back(a);
+        ++num_pairs_;
+      }
+    }
+  }
+  // Ascending order within each list (construction already yields it for
+  // the second index but not the first).
+  for (auto& v : crossing_) std::sort(v.begin(), v.end());
+}
+
+bool CrossingIndex::cross(LinkId a, LinkId b) const {
+  RTR_EXPECT(a < crossing_.size() && b < crossing_.size());
+  const auto& v = crossing_[a];
+  return std::binary_search(v.begin(), v.end(), b);
+}
+
+}  // namespace rtr::graph

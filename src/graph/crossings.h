@@ -1,0 +1,44 @@
+// Per-link crossing sets.
+//
+// Section III-C: "For each link, routers precompute the set of links
+// across it."  CrossingIndex is that precomputation; the phase-1
+// forwarding rule consults it to enforce Constraints 1 and 2, and the
+// planarity diagnostics feed topology statistics and tests.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace rtr::graph {
+
+/// Immutable index of which links properly cross which.
+class CrossingIndex {
+ public:
+  /// Builds the index in O(E^2) segment tests; E is a few hundred for
+  /// the topologies under study so this is microseconds.
+  explicit CrossingIndex(const Graph& g);
+
+  /// Links that properly cross link l (sorted ascending).
+  const std::vector<LinkId>& crossing(LinkId l) const {
+    RTR_EXPECT(l < crossing_.size());
+    return crossing_[l];
+  }
+
+  /// True when links a and b properly cross.
+  bool cross(LinkId a, LinkId b) const;
+
+  /// Total number of unordered crossing pairs.
+  std::size_t num_crossing_pairs() const { return num_pairs_; }
+
+  /// True when the embedding has no crossing links (a planar embedding,
+  /// the easy case of Section III-B).
+  bool planar_embedding() const { return num_pairs_ == 0; }
+
+ private:
+  std::vector<std::vector<LinkId>> crossing_;
+  std::size_t num_pairs_ = 0;
+};
+
+}  // namespace rtr::graph

@@ -1,0 +1,90 @@
+#include "graph/gen/generators.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace rtr::graph {
+
+Graph make_grid(std::size_t rows, std::size_t cols, double spacing) {
+  RTR_EXPECT(rows >= 1 && cols >= 1);
+  Graph g;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_node({static_cast<double>(c) * spacing,
+                  static_cast<double>(r) * spacing});
+    }
+  }
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_link(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_link(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_ring(std::size_t n, double radius, geom::Point center) {
+  RTR_EXPECT(n >= 3);
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                     static_cast<double>(n);
+    g.add_node({center.x + radius * std::cos(a),
+                center.y + radius * std::sin(a)});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph make_random_geometric(std::size_t n, double radius, double extent,
+                            Rng& rng) {
+  RTR_EXPECT(n >= 1 && radius > 0.0 && extent > 0.0);
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_node({rng.uniform_real(0.0, extent), rng.uniform_real(0.0, extent)});
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (geom::distance(g.position(u), g.position(v)) <= radius) {
+        g.add_link(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_random_tree(std::size_t n, double extent, Rng& rng) {
+  RTR_EXPECT(n >= 1 && extent > 0.0);
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_node({rng.uniform_real(0.0, extent), rng.uniform_real(0.0, extent)});
+    if (i > 0) {
+      g.add_link(static_cast<NodeId>(i),
+                 static_cast<NodeId>(rng.index(i)));
+    }
+  }
+  return g;
+}
+
+Graph make_waxman(std::size_t n, double alpha, double beta, double extent,
+                  Rng& rng) {
+  Graph g = make_random_tree(n, extent, rng);
+  const double diag = extent * std::numbers::sqrt2;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (g.find_link(u, v) != kNoLink) continue;
+      const double d = geom::distance(g.position(u), g.position(v));
+      if (rng.bernoulli(alpha * std::exp(-d / (beta * diag)))) {
+        g.add_link(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace rtr::graph

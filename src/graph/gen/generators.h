@@ -1,0 +1,31 @@
+// Elementary topology generators used by tests and property suites.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace rtr::graph {
+
+/// rows x cols grid with unit spacing scaled by `spacing`; planar.
+Graph make_grid(std::size_t rows, std::size_t cols, double spacing = 100.0);
+
+/// n-node cycle embedded on a circle; planar.
+Graph make_ring(std::size_t n, double radius = 500.0,
+                geom::Point center = {1000.0, 1000.0});
+
+/// Random geometric graph: n nodes uniform in [0, extent]^2, link when
+/// within `radius`.  Not guaranteed connected; callers may retry.
+Graph make_random_geometric(std::size_t n, double radius, double extent,
+                            Rng& rng);
+
+/// Random tree: node i attaches to a uniformly random earlier node.
+/// Always connected, n-1 links.
+Graph make_random_tree(std::size_t n, double extent, Rng& rng);
+
+/// Waxman graph on top of a random spanning tree (always connected):
+/// extra pair (u, v) linked with probability alpha * exp(-d / (beta * L))
+/// where L is the plane diagonal.
+Graph make_waxman(std::size_t n, double alpha, double beta, double extent,
+                  Rng& rng);
+
+}  // namespace rtr::graph

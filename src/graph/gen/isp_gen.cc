@@ -1,0 +1,108 @@
+#include "graph/gen/isp_gen.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtr::graph {
+
+namespace {
+
+/// Samples an index in [0, weights.size()) proportionally to weights.
+std::size_t weighted_pick(const std::vector<double>& weights, Rng& rng) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  RTR_EXPECT(total > 0.0);
+  double r = rng.uniform_real(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace
+
+Graph make_isp_topology(const IspSpec& spec, const IspGenConfig& cfg) {
+  RTR_EXPECT_MSG(spec.nodes >= 2, "need at least two routers");
+  RTR_EXPECT_MSG(spec.links >= spec.nodes - 1,
+                 "link count below spanning-tree minimum");
+  RTR_EXPECT_MSG(spec.links <= spec.nodes * (spec.nodes - 1) / 2,
+                 "link count above simple-graph maximum");
+
+  Rng rng(spec.seed);
+  Graph g;
+  for (std::size_t i = 0; i < spec.nodes; ++i) {
+    g.add_node({rng.uniform_real(0.0, cfg.extent),
+                rng.uniform_real(0.0, cfg.extent)});
+  }
+
+  // Spanning tree: each node joins an earlier node chosen with weight
+  // (degree + 1)^hub_bias, optionally damped by distance.  The mild hub
+  // bias yields ISP-like degree skew, and in sparse specs (AS7018) the
+  // long tree branches the paper calls out in Section IV-B.
+  for (NodeId i = 1; i < spec.nodes; ++i) {
+    std::vector<double> w(i);
+    for (NodeId j = 0; j < i; ++j) {
+      w[j] = std::pow(static_cast<double>(g.degree(j)) + 1.0, cfg.hub_bias);
+      if (cfg.tree_locality > 0.0) {
+        const double d = geom::distance(g.position(i), g.position(j));
+        w[j] *= std::exp(-d / cfg.tree_locality);
+      }
+    }
+    g.add_link(i, static_cast<NodeId>(weighted_pick(w, rng)));
+  }
+
+  // Extra links between uniform random pairs (optionally distance
+  // biased), up to the exact Table II count.
+  const double max_extra_tries = 1e7;
+  double tries = 0.0;
+  while (g.num_links() < spec.links) {
+    RTR_EXPECT_MSG(++tries < max_extra_tries,
+                   "extra-link sampling failed to converge");
+    const NodeId u = static_cast<NodeId>(rng.index(spec.nodes));
+    const NodeId v = static_cast<NodeId>(rng.index(spec.nodes));
+    if (u == v || g.find_link(u, v) != kNoLink) continue;
+    if (cfg.extra_locality > 0.0) {
+      const double d = geom::distance(g.position(u), g.position(v));
+      if (!rng.bernoulli(std::exp(-d / cfg.extra_locality))) continue;
+    }
+    g.add_link(u, v);
+  }
+  return g;
+}
+
+const std::vector<IspSpec>& rocketfuel_specs() {
+  // Table II of the paper; seeds fixed so every bench/test sees the same
+  // surrogate map for a given AS.  AS2914/AS3356 sizes are surrogate
+  // estimates (the paper plots them but does not tabulate them).
+  static const std::vector<IspSpec> specs = {
+      {"AS209", 58, 108, 0x209001, true},
+      {"AS701", 83, 219, 0x701001, true},
+      {"AS1239", 52, 84, 0x1239001, true},
+      {"AS3320", 70, 355, 0x3320001, true},
+      {"AS3549", 61, 486, 0x3549001, true},
+      {"AS3561", 92, 329, 0x3561001, true},
+      {"AS4323", 51, 161, 0x4323001, true},
+      {"AS7018", 115, 148, 0x7018001, true},
+      {"AS2914", 66, 182, 0x2914001, false},
+      {"AS3356", 63, 285, 0x3356001, false},
+  };
+  return specs;
+}
+
+std::vector<IspSpec> table2_specs() {
+  std::vector<IspSpec> out;
+  for (const IspSpec& s : rocketfuel_specs()) {
+    if (s.core) out.push_back(s);
+  }
+  return out;
+}
+
+const IspSpec& spec_by_name(const std::string& name) {
+  for (const IspSpec& s : rocketfuel_specs()) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("unknown topology: " + name);
+}
+
+}  // namespace rtr::graph

@@ -1,0 +1,64 @@
+// Rocketfuel-surrogate ISP topology generation.
+//
+// The paper's evaluation (Section IV-A, Table II) uses eight ISP maps
+// from the Rocketfuel project, with nodes then placed *uniformly at
+// random* in a 2000x2000 area.  The Rocketfuel data files are not
+// available offline, so we synthesise surrogate topologies with the
+// exact node and link counts of Table II: a preferential, distance-
+// biased spanning tree (hub-and-spoke structure with the tree branches
+// the paper calls out for AS7018) plus distance-biased extra links up to
+// the exact link count.  Because the paper itself randomises the
+// embedding, matching size/density/branchiness is what preserves the
+// evaluated behaviour.  See DESIGN.md, "Substitutions".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace rtr::graph {
+
+/// Parameters of one surrogate ISP topology.
+struct IspSpec {
+  std::string name;        ///< e.g. "AS209"
+  std::size_t nodes = 0;   ///< Table II node count
+  std::size_t links = 0;   ///< Table II link count
+  std::uint64_t seed = 0;  ///< deterministic generation seed
+  bool core = true;        ///< in Table II (false: AS2914/AS3356, which
+                           ///< appear only in Fig. 11-13 legends)
+};
+
+/// Tuning knobs of the generator.
+///
+/// The defaults mirror the paper's procedure: the adjacency structure
+/// of a Rocketfuel map is independent of where the paper then drops the
+/// nodes ("we randomly place nodes in a 2000x2000 area"), so the
+/// surrogate's structure must not be correlated with the embedding
+/// either -- locality biases default to off (0 = disabled).  A mild
+/// hub bias reproduces ISP degree skew without the fragile pure-star
+/// hubs that a strong preferential attachment would create.
+struct IspGenConfig {
+  double extent = 2000.0;        ///< side of the square embedding area
+  double tree_locality = 0.0;    ///< exp(-d/tree_locality) attachment
+                                 ///< bias; <= 0 disables (default)
+  double extra_locality = 0.0;   ///< same for extra links
+  double hub_bias = 0.5;         ///< (degree+1)^hub_bias weight
+};
+
+/// Generates a connected surrogate with exactly spec.nodes nodes and
+/// spec.links links.  Deterministic in spec.seed.
+Graph make_isp_topology(const IspSpec& spec, const IspGenConfig& cfg = {});
+
+/// The ten topologies used across the paper's figures: the eight of
+/// Table II plus AS2914 and AS3356 (surrogate sizes; see DESIGN.md).
+const std::vector<IspSpec>& rocketfuel_specs();
+
+/// The subset listed in Table II (core == true).
+std::vector<IspSpec> table2_specs();
+
+/// Looks up a spec by name; throws std::out_of_range when unknown.
+const IspSpec& spec_by_name(const std::string& name);
+
+}  // namespace rtr::graph

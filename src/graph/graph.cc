@@ -1,0 +1,43 @@
+#include "graph/graph.h"
+
+namespace rtr::graph {
+
+NodeId Graph::add_node(geom::Point p) {
+  coords_.push_back(p);
+  adj_.emplace_back();
+  return static_cast<NodeId>(coords_.size() - 1);
+}
+
+LinkId Graph::add_link(NodeId u, NodeId v, Cost cost) {
+  return add_link_asym(u, v, cost, cost);
+}
+
+LinkId Graph::add_link_asym(NodeId u, NodeId v, Cost cost_uv, Cost cost_vu) {
+  RTR_EXPECT(valid_node(u) && valid_node(v));
+  RTR_EXPECT_MSG(u != v, "self-loops are not allowed");
+  RTR_EXPECT_MSG(find_link(u, v) == kNoLink, "parallel links are not allowed");
+  RTR_EXPECT(cost_uv > 0.0 && cost_vu > 0.0);
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{u, v, cost_uv, cost_vu});
+  adj_[u].push_back(Adjacency{v, id});
+  adj_[v].push_back(Adjacency{u, id});
+  return id;
+}
+
+LinkId Graph::find_link(NodeId u, NodeId v) const {
+  RTR_EXPECT(valid_node(u) && valid_node(v));
+  // Scan the smaller adjacency list.
+  const NodeId base = adj_[u].size() <= adj_[v].size() ? u : v;
+  const NodeId target = base == u ? v : u;
+  for (const Adjacency& a : adj_[base]) {
+    if (a.neighbor == target) return a.link;
+  }
+  return kNoLink;
+}
+
+std::string Graph::link_name(LinkId l) const {
+  const Link& e = link(l);
+  return "e(" + std::to_string(e.u) + "," + std::to_string(e.v) + ")";
+}
+
+}  // namespace rtr::graph

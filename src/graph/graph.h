@@ -1,0 +1,108 @@
+// The network model of Section II-A: an undirected graph whose nodes
+// (routers) are embedded in the plane and whose links carry costs that
+// may be asymmetric (c_ij != c_ji).  Every router in an AS knows the
+// full topology and the coordinates of all nodes, so Graph is the shared
+// "map" each simulated router consults.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/expect.h"
+#include "common/types.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace rtr::graph {
+
+/// An undirected link e_{u,v}.  cost_uv is the cost from u to v and
+/// cost_vu from v to u; the evaluation uses hop count (both 1).
+struct Link {
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+  Cost cost_uv = 1.0;
+  Cost cost_vu = 1.0;
+};
+
+/// One adjacency entry: the neighbour reached and the link used.
+struct Adjacency {
+  NodeId neighbor = kNoNode;
+  LinkId link = kNoLink;
+};
+
+/// Undirected simple graph with planar embedding.
+///
+/// Nodes and links are dense 0-based indices, so algorithms use plain
+/// vectors indexed by id.  Parallel links and self-loops are rejected:
+/// the protocol identifies a link by the unordered pair of endpoints in
+/// several places (e.g. "the link between the recovery initiator and an
+/// unreachable neighbour").
+class Graph {
+ public:
+  /// Adds a router at position p; returns its id.
+  NodeId add_node(geom::Point p);
+
+  /// Adds an undirected link between distinct existing nodes u and v with
+  /// symmetric cost `cost`; returns its id.  Requires no existing u-v link.
+  LinkId add_link(NodeId u, NodeId v, Cost cost = 1.0);
+
+  /// Adds a link with asymmetric per-direction costs.
+  LinkId add_link_asym(NodeId u, NodeId v, Cost cost_uv, Cost cost_vu);
+
+  std::size_t num_nodes() const { return coords_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+
+  bool valid_node(NodeId n) const { return n < coords_.size(); }
+  bool valid_link(LinkId l) const { return l < links_.size(); }
+
+  geom::Point position(NodeId n) const {
+    RTR_EXPECT(valid_node(n));
+    return coords_[n];
+  }
+
+  const Link& link(LinkId l) const {
+    RTR_EXPECT(valid_link(l));
+    return links_[l];
+  }
+
+  /// The geometric segment a link occupies in the embedding.
+  geom::Segment segment(LinkId l) const {
+    const Link& e = link(l);
+    return {coords_[e.u], coords_[e.v]};
+  }
+
+  /// The endpoint of link l that is not n.  Requires n incident to l.
+  NodeId other_end(LinkId l, NodeId n) const {
+    const Link& e = link(l);
+    RTR_EXPECT(e.u == n || e.v == n);
+    return e.u == n ? e.v : e.u;
+  }
+
+  /// Directed cost of traversing link l from node `from`.
+  Cost cost_from(LinkId l, NodeId from) const {
+    const Link& e = link(l);
+    RTR_EXPECT(e.u == from || e.v == from);
+    return e.u == from ? e.cost_uv : e.cost_vu;
+  }
+
+  /// Adjacency list of node n (neighbour, link) pairs in insertion order.
+  const std::vector<Adjacency>& neighbors(NodeId n) const {
+    RTR_EXPECT(valid_node(n));
+    return adj_[n];
+  }
+
+  std::size_t degree(NodeId n) const { return neighbors(n).size(); }
+
+  /// The link between u and v, or kNoLink when absent.
+  LinkId find_link(NodeId u, NodeId v) const;
+
+  /// Human-readable link name "e(u,v)" for logs and traces.
+  std::string link_name(LinkId l) const;
+
+ private:
+  std::vector<geom::Point> coords_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adj_;
+};
+
+}  // namespace rtr::graph

@@ -1,0 +1,86 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rtr::graph {
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << "# rtr topology: " << g.num_nodes() << " nodes, " << g.num_links()
+     << " links\n";
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const geom::Point p = g.position(n);
+    os << "node " << p.x << ' ' << p.y << '\n';
+  }
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const Link& e = g.link(l);
+    os << "link " << e.u << ' ' << e.v << ' ' << e.cost_uv;
+    if (e.cost_vu != e.cost_uv) os << ' ' << e.cost_vu;
+    os << '\n';
+  }
+}
+
+Graph read_graph(std::istream& is) {
+  Graph g;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+    const auto fail = [&](const std::string& why) {
+      throw ParseError("line " + std::to_string(lineno) + ": " + why);
+    };
+    if (kind == "node") {
+      double x = 0.0;
+      double y = 0.0;
+      if (!(ls >> x >> y)) fail("expected: node <x> <y>");
+      g.add_node({x, y});
+    } else if (kind == "link") {
+      NodeId u = 0;
+      NodeId v = 0;
+      Cost c_uv = 0.0;
+      if (!(ls >> u >> v >> c_uv)) fail("expected: link <u> <v> <cost>");
+      Cost c_vu = c_uv;
+      ls >> c_vu;  // optional reverse cost
+      if (u >= g.num_nodes() || v >= g.num_nodes()) {
+        fail("link endpoint not yet declared");
+      }
+      if (u == v) fail("self-loop");
+      if (g.find_link(u, v) != kNoLink) fail("duplicate link");
+      if (c_uv <= 0.0 || c_vu <= 0.0) fail("non-positive link cost");
+      g.add_link_asym(u, v, c_uv, c_vu);
+    } else {
+      fail("unknown record '" + kind + "'");
+    }
+  }
+  return g;
+}
+
+std::string to_string(const Graph& g) {
+  std::ostringstream os;
+  write_graph(os, g);
+  return os.str();
+}
+
+Graph from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_graph(is);
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  write_graph(f, g);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  return read_graph(f);
+}
+
+}  // namespace rtr::graph

@@ -1,0 +1,40 @@
+// Plain-text topology serialization.
+//
+// Format (one record per line, '#' starts a comment):
+//   node <x> <y>
+//   link <u> <v> <cost_uv> [<cost_vu>]
+// Nodes are implicitly numbered in order of appearance.  The format is
+// deliberately trivial so that generated surrogate topologies can be
+// dumped, inspected, diffed and re-loaded by the benches and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace rtr::graph {
+
+/// Thrown on malformed topology input.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes g to the stream in the text format above.
+void write_graph(std::ostream& os, const Graph& g);
+
+/// Parses a graph from the stream.  Throws ParseError on malformed input
+/// (unknown record, bad arity, link before both endpoints exist, ...).
+Graph read_graph(std::istream& is);
+
+/// Convenience: serialize to / parse from a string.
+std::string to_string(const Graph& g);
+Graph from_string(const std::string& text);
+
+/// File helpers.  Throw std::runtime_error when the file cannot be
+/// opened and ParseError on malformed content.
+void save_graph(const std::string& path, const Graph& g);
+Graph load_graph(const std::string& path);
+
+}  // namespace rtr::graph

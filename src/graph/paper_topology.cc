@@ -1,0 +1,90 @@
+#include "graph/paper_topology.h"
+
+#include "common/expect.h"
+
+namespace rtr::graph {
+
+namespace {
+
+/// Coordinates eyeballed from Figure 1 (x to the right, y upward) and
+/// then adjusted so every geometric predicate the worked example relies
+/// on (which links cross, what the failure circle cuts) holds exactly.
+constexpr double kCoords[18][2] = {
+    {100, 540},  // v1
+    {230, 560},  // v2
+    {60, 300},   // v3
+    {180, 460},  // v4
+    {120, 380},  // v5
+    {200, 280},  // v6
+    {120, 190},  // v7
+    {260, 180},  // v8
+    {370, 480},  // v9
+    {360, 370},  // v10
+    {400, 280},  // v11
+    {460, 180},  // v12
+    {480, 570},  // v13
+    {530, 470},  // v14
+    {540, 300},  // v15
+    {520, 90},   // v16
+    {620, 390},  // v17
+    {640, 200},  // v18
+};
+
+Graph build(bool planar) {
+  Graph g;
+  for (const auto& c : kCoords) g.add_node({c[0], c[1]});
+  const auto link = [&g](int a, int b) {
+    g.add_link(paper_node(a), paper_node(b));
+  };
+  // Perimeter/backbone links traversed by the phase-1 example.
+  link(6, 5);
+  link(5, 4);
+  link(4, 9);
+  link(9, 13);
+  link(13, 14);
+  link(12, 11);
+  link(12, 8);
+  link(8, 7);
+  link(7, 6);
+  // Default routing path towards v17 and its continuation.
+  link(6, 11);
+  link(11, 15);
+  link(15, 17);
+  // Links to v10 (destroyed by the failure area).
+  link(5, 10);
+  link(9, 10);
+  link(14, 10);
+  link(11, 10);
+  // Periphery.
+  link(1, 2);
+  link(1, 4);
+  link(2, 9);
+  link(2, 13);
+  link(3, 5);
+  link(3, 6);
+  link(3, 7);
+  link(14, 17);
+  link(17, 18);
+  link(15, 16);
+  link(12, 16);
+  link(11, 16);
+  if (!planar) {
+    // The three crossing links that make Figures 4/6 a general graph:
+    // e5,12 crosses e6,11; e4,11 crosses e5,10; e14,12 crosses e11,15
+    // and e11,16.
+    link(5, 12);
+    link(4, 11);
+    link(14, 12);
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph fig1_graph() { return build(/*planar=*/false); }
+
+Graph fig1_planar_graph() { return build(/*planar=*/true); }
+
+geom::Circle fig1_failure_area() { return {{370.0, 340.0}, 65.0}; }
+
+}  // namespace rtr::graph

@@ -1,0 +1,36 @@
+// The 18-router example network of the paper's Figures 1, 2, 4 and 6.
+//
+// The embedding below was constructed so that the implementation
+// reproduces the paper's worked examples exactly:
+//  * the general graph's phase-1 traversal and the per-hop contents of
+//    failed_link / cross_link match Table I hop for hop;
+//  * the planar variant (the general graph minus its three crossing
+//    links) records exactly the four failed links the paper lists for
+//    Figure 2 (e5,10, e9,10, e14,10, e11,10);
+//  * the default routing path from v7 to v17 is v7-v6-v11-v15-v17 and is
+//    disconnected at e6,11 by the failure area, making v6 the recovery
+//    initiator (Section II-B).
+// Node vK of the paper is node id K-1 here (dense 0-based ids).
+#pragma once
+
+#include "geom/circle.h"
+#include "graph/graph.h"
+
+namespace rtr::graph {
+
+/// Paper node vK as a 0-based NodeId.
+constexpr NodeId paper_node(int k) { return static_cast<NodeId>(k - 1); }
+
+/// The general (non-planar) graph of Figures 4 and 6: 18 nodes, 31
+/// links, four crossing pairs.
+Graph fig1_graph();
+
+/// The planar variant of Figure 2: fig1_graph() without the three
+/// crossing links e5,12, e4,11 and e14,12.
+Graph fig1_planar_graph();
+
+/// The failure area of the worked example: a circle that destroys v10
+/// and cuts e6,11 (and, in the general graph, e4,11).
+geom::Circle fig1_failure_area();
+
+}  // namespace rtr::graph

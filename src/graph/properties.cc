@@ -1,0 +1,94 @@
+#include "graph/properties.h"
+
+#include <queue>
+
+namespace rtr::graph {
+
+std::vector<char> reachable_from(const Graph& g, NodeId src,
+                                 const Masks& masks) {
+  RTR_EXPECT(g.valid_node(src));
+  std::vector<char> seen(g.num_nodes(), 0);
+  if (!masks.node_ok(src)) return seen;
+  std::queue<NodeId> q;
+  q.push(src);
+  seen[src] = 1;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const Adjacency& a : g.neighbors(u)) {
+      if (seen[a.neighbor] || !masks.link_ok(a.link) ||
+          !masks.node_ok(a.neighbor)) {
+        continue;
+      }
+      seen[a.neighbor] = 1;
+      q.push(a.neighbor);
+    }
+  }
+  return seen;
+}
+
+bool reachable(const Graph& g, NodeId src, NodeId dst, const Masks& masks) {
+  RTR_EXPECT(g.valid_node(dst));
+  return reachable_from(g, src, masks)[dst] != 0;
+}
+
+bool connected(const Graph& g, const Masks& masks) {
+  const std::size_t n = g.num_nodes();
+  NodeId start = kNoNode;
+  std::size_t alive = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    if (masks.node_ok(i)) {
+      ++alive;
+      if (start == kNoNode) start = i;
+    }
+  }
+  if (alive <= 1) return true;
+  const std::vector<char> seen = reachable_from(g, start, masks);
+  std::size_t cnt = 0;
+  for (NodeId i = 0; i < n; ++i) cnt += static_cast<std::size_t>(seen[i]);
+  return cnt == alive;
+}
+
+Components components(const Graph& g, const Masks& masks) {
+  Components out;
+  out.id.assign(g.num_nodes(), kNoNode);
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    if (!masks.node_ok(i) || out.id[i] != kNoNode) continue;
+    const NodeId comp = static_cast<NodeId>(out.count++);
+    std::queue<NodeId> q;
+    q.push(i);
+    out.id[i] = comp;
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (const Adjacency& a : g.neighbors(u)) {
+        if (out.id[a.neighbor] != kNoNode || !masks.link_ok(a.link) ||
+            !masks.node_ok(a.neighbor)) {
+          continue;
+        }
+        out.id[a.neighbor] = comp;
+        q.push(a.neighbor);
+      }
+    }
+  }
+  return out;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return s;
+  s.min_degree = g.degree(0);
+  for (NodeId i = 0; i < n; ++i) {
+    const std::size_t d = g.degree(i);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    s.mean_degree += static_cast<double>(d);
+    if (d == 1) ++s.leaves;
+    if (d <= 2) ++s.degree_le_two;
+  }
+  s.mean_degree /= static_cast<double>(n);
+  return s;
+}
+
+}  // namespace rtr::graph

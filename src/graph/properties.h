@@ -1,0 +1,59 @@
+// Structural graph queries: connectivity, components, degree statistics.
+//
+// These back the failure classifier (recoverable vs irrecoverable test
+// cases, Section IV-A), the topology generator's feasibility checks, and
+// the per-topology statistics printed by the benches.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace rtr::graph {
+
+/// Optional node/link masks: an element set to true is treated as absent
+/// (failed).  Either pointer may be null meaning "nothing masked".
+struct Masks {
+  const std::vector<char>* node_failed = nullptr;
+  const std::vector<char>* link_failed = nullptr;
+
+  bool node_ok(NodeId n) const {
+    return node_failed == nullptr || !(*node_failed)[n];
+  }
+  bool link_ok(LinkId l) const {
+    return link_failed == nullptr || !(*link_failed)[l];
+  }
+};
+
+/// Nodes reachable from src (including src) honouring the masks.
+/// Returns an empty vector when src itself is masked.
+std::vector<char> reachable_from(const Graph& g, NodeId src,
+                                 const Masks& masks = {});
+
+/// True when dst is reachable from src honouring the masks.
+bool reachable(const Graph& g, NodeId src, NodeId dst,
+               const Masks& masks = {});
+
+/// True when all unmasked nodes lie in one connected component.
+bool connected(const Graph& g, const Masks& masks = {});
+
+/// Component id per node (kNoNode-sized ids for masked nodes are set to
+/// kNoNode cast down; use component_count to know how many there are).
+struct Components {
+  std::vector<NodeId> id;   ///< per node; kNoNode for masked nodes
+  std::size_t count = 0;    ///< number of components among unmasked nodes
+};
+Components components(const Graph& g, const Masks& masks = {});
+
+/// Degree distribution statistics for topology reporting.
+struct DegreeStats {
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  std::size_t leaves = 0;           ///< degree-1 nodes ("tree branches")
+  std::size_t degree_le_two = 0;    ///< nodes on chains or branches
+};
+DegreeStats degree_stats(const Graph& g);
+
+}  // namespace rtr::graph

@@ -1,0 +1,90 @@
+#include "net/codec.h"
+
+namespace rtr::net {
+
+namespace {
+
+constexpr std::uint32_t kUnsetId16 = 0xFFFF;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint32_t v,
+             const char* what) {
+  if (v > 0xFFFF) {
+    throw CodecError(std::string(what) + " does not fit 16 bits");
+  }
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& b) : b_(b) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return b_[pos_++];
+  }
+  std::uint32_t u16() {
+    need(2);
+    const std::uint32_t v =
+        (static_cast<std::uint32_t>(b_[pos_]) << 8) | b_[pos_ + 1];
+    pos_ += 2;
+    return v;
+  }
+  bool exhausted() const { return pos_ == b_.size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > b_.size()) throw CodecError("truncated header");
+  }
+  const std::vector<std::uint8_t>& b_;
+  std::size_t pos_ = 0;
+};
+
+template <typename Id>
+void put_list(std::vector<std::uint8_t>& out, const std::vector<Id>& ids,
+              const char* what) {
+  put_u16(out, static_cast<std::uint32_t>(ids.size()), "list length");
+  for (Id id : ids) put_u16(out, static_cast<std::uint32_t>(id), what);
+}
+
+template <typename Id>
+std::vector<Id> get_list(Reader& r) {
+  const std::uint32_t n = r.u16();
+  std::vector<Id> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<Id>(r.u16()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const RtrHeader& h) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(h.mode));
+  put_u16(out, h.rec_init == kNoNode ? kUnsetId16 : h.rec_init, "rec_init");
+  put_list(out, h.failed_links, "failed link id");
+  put_list(out, h.cross_links, "cross link id");
+  put_list(out, h.source_route, "route node id");
+  return out;
+}
+
+RtrHeader decode(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  RtrHeader h;
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(Mode::kSourceRoute)) {
+    throw CodecError("unknown mode");
+  }
+  h.mode = static_cast<Mode>(mode);
+  const std::uint32_t init = r.u16();
+  h.rec_init = init == kUnsetId16 ? kNoNode : static_cast<NodeId>(init);
+  h.failed_links = get_list<LinkId>(r);
+  h.cross_links = get_list<LinkId>(r);
+  h.source_route = get_list<NodeId>(r);
+  if (!r.exhausted()) throw CodecError("trailing bytes");
+  return h;
+}
+
+}  // namespace rtr::net

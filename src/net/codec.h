@@ -1,0 +1,36 @@
+// Wire codec for the RTR recovery header.
+//
+// Grounds the byte accounting of net/header.h in an actual encoding:
+// ids are 16-bit big-endian (Section III-B), list lengths are 16-bit,
+// and the mode/initiator ride in a fixed prologue.  encode() refuses
+// ids that do not fit 16 bits; decode() validates structure and throws
+// CodecError on truncated or malformed input.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/header.h"
+
+namespace rtr::net {
+
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes h.  Layout:
+///   u8  mode
+///   u16 rec_init          (0xFFFF when unset)
+///   u16 n_failed, n_failed * u16
+///   u16 n_cross,  n_cross * u16
+///   u16 n_route,  n_route * u16
+/// Throws CodecError when any id exceeds 16 bits.
+std::vector<std::uint8_t> encode(const RtrHeader& h);
+
+/// Parses bytes produced by encode(); throws CodecError on malformed
+/// input (truncation, trailing bytes, unknown mode).
+RtrHeader decode(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace rtr::net

@@ -1,0 +1,123 @@
+#include "net/compress.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace rtr::net {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::vector<std::uint8_t>& in,
+                         std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= in.size()) throw CodecError("truncated varint");
+    if (shift > 63) throw CodecError("varint overflow");
+    const std::uint8_t b = in[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::vector<std::uint8_t> encode_id_set(const std::vector<LinkId>& ids) {
+  std::vector<LinkId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  RTR_EXPECT_MSG(
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+      "id sets must not contain duplicates");
+  std::vector<std::uint8_t> out;
+  put_varint(out, sorted.size());
+  LinkId prev = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // First delta is the id itself; subsequent deltas are >= 1, so
+    // store delta-1 to squeeze dense runs into single bytes.
+    const std::uint64_t delta =
+        i == 0 ? sorted[0] : static_cast<std::uint64_t>(sorted[i]) - prev - 1;
+    put_varint(out, delta);
+    prev = sorted[i];
+  }
+  return out;
+}
+
+std::vector<LinkId> decode_id_set(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  const auto out = [&] {
+    const std::uint64_t n = get_varint(bytes, pos);
+    std::vector<LinkId> ids;
+    ids.reserve(n);
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t delta = get_varint(bytes, pos);
+      const std::uint64_t id = i == 0 ? delta : prev + delta + 1;
+      if (id > 0xFFFFFFFF) throw CodecError("id overflow");
+      ids.push_back(static_cast<LinkId>(id));
+      prev = id;
+    }
+    return ids;
+  }();
+  if (pos != bytes.size()) throw CodecError("trailing bytes in id set");
+  return out;
+}
+
+std::vector<std::uint8_t> encode_compressed_header(const RtrHeader& h) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(h.mode));
+  put_varint(out, h.rec_init == kNoNode
+                      ? 0
+                      : static_cast<std::uint64_t>(h.rec_init) + 1);
+  const auto put_set = [&out](const std::vector<LinkId>& ids) {
+    const std::vector<std::uint8_t> enc = encode_id_set(ids);
+    put_varint(out, enc.size());
+    out.insert(out.end(), enc.begin(), enc.end());
+  };
+  put_set(h.failed_links);
+  put_set(h.cross_links);
+  put_varint(out, h.source_route.size());
+  for (NodeId n : h.source_route) put_varint(out, n);
+  return out;
+}
+
+RtrHeader decode_compressed_header(
+    const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  if (bytes.empty()) throw CodecError("empty header");
+  RtrHeader h;
+  const std::uint8_t mode = bytes[pos++];
+  if (mode > static_cast<std::uint8_t>(Mode::kSourceRoute)) {
+    throw CodecError("unknown mode");
+  }
+  h.mode = static_cast<Mode>(mode);
+  const std::uint64_t init = get_varint(bytes, pos);
+  h.rec_init = init == 0 ? kNoNode : static_cast<NodeId>(init - 1);
+  const auto get_set = [&] {
+    const std::uint64_t len = get_varint(bytes, pos);
+    if (pos + len > bytes.size()) throw CodecError("truncated id set");
+    const std::vector<std::uint8_t> sub(bytes.begin() + pos,
+                                        bytes.begin() + pos + len);
+    pos += len;
+    return decode_id_set(sub);
+  };
+  h.failed_links = get_set();
+  h.cross_links = get_set();
+  const std::uint64_t route_len = get_varint(bytes, pos);
+  for (std::uint64_t i = 0; i < route_len; ++i) {
+    h.source_route.push_back(static_cast<NodeId>(get_varint(bytes, pos)));
+  }
+  if (pos != bytes.size()) throw CodecError("trailing bytes");
+  return h;
+}
+
+HeaderSizes header_sizes(const RtrHeader& h) {
+  return {encode(h).size(), encode_compressed_header(h).size()};
+}
+
+}  // namespace rtr::net

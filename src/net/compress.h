@@ -1,0 +1,45 @@
+// Compact header encoding (Section III-E: "to reduce the packet header
+// overhead, we can use the mapping technique in [22] to reduce
+// storage").
+//
+// FCP's mapping observation is that a set of link ids drawn from a
+// known, consistent topology map compresses well: sort the ids, delta
+// encode, and store the deltas as LEB128-style varints.  For the small
+// ids and clustered failures of the workloads here this roughly halves
+// the fixed 16-bit-per-id cost.  encode_compressed_header() applies the
+// scheme to the set-valued fields of the RTR header (failed_link,
+// cross_link -- order-insensitive sets) while the source route, whose
+// order matters, stays positionally encoded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/header.h"
+
+namespace rtr::net {
+
+/// Varint (LEB128) primitives.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+std::uint64_t get_varint(const std::vector<std::uint8_t>& in,
+                         std::size_t& pos);  // throws CodecError
+
+/// Sorted-delta-varint codec for an id set (order is not preserved:
+/// decode returns the ids ascending).
+std::vector<std::uint8_t> encode_id_set(const std::vector<LinkId>& ids);
+std::vector<LinkId> decode_id_set(const std::vector<std::uint8_t>& bytes);
+
+/// Whole-header compressed codec.  decode(encode(h)) reproduces h up to
+/// the (documented) reordering of failed_links and cross_links.
+std::vector<std::uint8_t> encode_compressed_header(const RtrHeader& h);
+RtrHeader decode_compressed_header(const std::vector<std::uint8_t>& bytes);
+
+/// Convenience: byte sizes of both encodings for overhead studies.
+struct HeaderSizes {
+  std::size_t plain = 0;
+  std::size_t compressed = 0;
+};
+HeaderSizes header_sizes(const RtrHeader& h);
+
+}  // namespace rtr::net

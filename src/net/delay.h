@@ -1,0 +1,25 @@
+// The per-hop delay model of Section IV-B.
+//
+// "We use 100 microseconds as the delay at a router ... The propagation
+// delay on a link is about 1.7 milliseconds, assuming that links are 500
+// kilometers long on average.  Hence, the one-hop delay is 1.8
+// milliseconds."
+#pragma once
+
+#include <cstddef>
+
+namespace rtr::net {
+
+struct DelayModel {
+  double router_delay_ms = 0.1;      ///< 100 microseconds per router
+  double propagation_delay_ms = 1.7; ///< per link
+
+  double per_hop_ms() const { return router_delay_ms + propagation_delay_ms; }
+
+  /// Elapsed time after forwarding over `hops` links.
+  double duration_ms(std::size_t hops) const {
+    return per_hop_ms() * static_cast<double>(hops);
+  }
+};
+
+}  // namespace rtr::net

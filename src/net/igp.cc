@@ -1,0 +1,78 @@
+#include "net/igp.h"
+
+#include <queue>
+#include <tuple>
+
+#include "common/expect.h"
+
+namespace rtr::net {
+
+ConvergenceTimeline igp_convergence(const graph::Graph& g,
+                                    const fail::FailureSet& failure,
+                                    const IgpTimers& timers) {
+  ConvergenceTimeline out;
+  out.converged_at_ms.assign(g.num_nodes(), kInfCost);
+  if (failure.empty()) {
+    out.converged_at_ms.assign(g.num_nodes(), 0.0);
+    return out;
+  }
+
+  // Detectors: live routers with at least one unreachable neighbour.
+  // Each originates a topology update at detection + origination time.
+  struct Entry {
+    double time;
+    NodeId node;
+    bool operator>(const Entry& o) const {
+      return std::tie(time, node) > std::tie(o.time, o.node);
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  out.detection_ms = kInfCost;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (failure.node_failed(n)) continue;
+    if (failure.observed_failed_links(g, n).empty()) continue;
+    out.detection_ms = timers.detection_ms;
+    heap.push({timers.detection_ms + timers.origination_ms, n});
+  }
+  if (heap.empty()) {
+    // Nothing observable (e.g. only links between failed routers):
+    // nobody re-converges because nobody needs to.
+    out.converged_at_ms.assign(g.num_nodes(), 0.0);
+    out.detection_ms = 0.0;
+    return out;
+  }
+
+  // Flood over the surviving topology: Dijkstra on arrival times.
+  std::vector<double> update_at(g.num_nodes(), kInfCost);
+  while (!heap.empty()) {
+    const auto [t, u] = heap.top();
+    heap.pop();
+    if (t >= update_at[u]) continue;
+    update_at[u] = t;
+    for (const graph::Adjacency& a : g.neighbors(u)) {
+      if (failure.neighbor_unreachable(a)) continue;
+      const double nt = t + timers.flooding_per_hop_ms;
+      if (nt < update_at[a.neighbor]) heap.push({nt, a.neighbor});
+    }
+  }
+
+  // Each reached router recomputes and installs.
+  out.convergence_ms = 0.0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (failure.node_failed(n) || update_at[n] == kInfCost) continue;
+    out.converged_at_ms[n] =
+        update_at[n] + timers.spf_ms + timers.fib_update_ms;
+    out.convergence_ms = std::max(out.convergence_ms,
+                                  out.converged_at_ms[n]);
+  }
+  return out;
+}
+
+double packets_dropped(double rate_bps, double outage_ms,
+                       std::size_t packet_bytes) {
+  RTR_EXPECT(rate_bps >= 0.0 && outage_ms >= 0.0 && packet_bytes > 0);
+  const double bits = rate_bps * (outage_ms / 1000.0);
+  return bits / (8.0 * static_cast<double>(packet_bytes));
+}
+
+}  // namespace rtr::net

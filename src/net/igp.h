@@ -1,0 +1,74 @@
+// A link-state IGP convergence timeline model.
+//
+// RTR only operates *during IGP convergence* (Section II-B): from the
+// moment a failure is detected until every live router has recomputed
+// its routing table, the default routes are broken and -- without a
+// recovery scheme -- packets on failed paths are dropped.  The paper's
+// introduction quantifies the stake: disconnecting an OC-192 link for
+// 10 s drops ~12 million 1000-byte packets.
+//
+// IgpConvergenceModel reproduces the standard component breakdown of
+// Francois et al. ("Achieving sub-second IGP convergence in large IP
+// networks", reference [10] of the paper): failure detection, LSP/LSA
+// origination and flooding (per-hop propagation + processing), SPF
+// computation and FIB/RIB update.  It yields, for a given failure and
+// detector set, the instant each router's table is fixed -- the window
+// in which RTR must carry the traffic.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "failure/failure_set.h"
+#include "graph/graph.h"
+#include "net/delay.h"
+#include "net/header.h"
+
+namespace rtr::net {
+
+struct IgpTimers {
+  /// Failure detection at the adjacent routers (hello timers or BFD;
+  /// the paper argues against aggressive tuning -- "rapidly triggering
+  /// the IGP convergence may cause route flapping" -- so the default
+  /// models a conservative sub-second hold time).
+  double detection_ms = 500.0;
+  /// Pacing delay before the detecting router originates its update
+  /// (route-flap damping of topology updates, Section II-A: "routers
+  /// do not immediately disseminate topology updates").
+  double origination_ms = 1000.0;
+  /// Per-hop flooding cost: propagation plus LSA processing.
+  double flooding_per_hop_ms = 12.0;
+  /// Shortest-path recomputation at a router.
+  double spf_ms = 30.0;
+  /// Routing/forwarding table update after SPF.
+  double fib_update_ms = 200.0;
+};
+
+/// Convergence outcome for one failure event.
+struct ConvergenceTimeline {
+  /// Per live router: the time (ms after the failure) at which its
+  /// forwarding table reflects the failure.  Unreachable routers (cut
+  /// off from every detector) keep +infinity.
+  std::vector<double> converged_at_ms;
+  /// max over live, reachable routers -- the IGP convergence time.
+  double convergence_ms = 0.0;
+  /// The earliest detection instant (when RTR may start operating).
+  double detection_ms = 0.0;
+};
+
+/// Computes the timeline: every live router adjacent to a failed
+/// element detects at `timers.detection_ms`, originates an update
+/// after the pacing delay, the update floods over the surviving
+/// topology at `flooding_per_hop_ms` per hop, and each receiving
+/// router converges after its SPF + FIB update.
+ConvergenceTimeline igp_convergence(const graph::Graph& g,
+                                    const fail::FailureSet& failure,
+                                    const IgpTimers& timers = {});
+
+/// The paper's headline arithmetic: packets dropped on a flow of
+/// `rate_bps` during `outage_ms` of convergence, at `packet_bytes` per
+/// packet (Introduction: OC-192, 10 s, 1000 B => ~12.5 million).
+double packets_dropped(double rate_bps, double outage_ms,
+                       std::size_t packet_bytes = kPayloadBytes);
+
+}  // namespace rtr::net

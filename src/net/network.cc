@@ -1,0 +1,69 @@
+#include "net/network.h"
+
+#include <memory>
+#include <utility>
+
+namespace rtr::net {
+
+struct Network::InFlight {
+  DataPacket packet;
+  RouterApp* app = nullptr;
+  DoneFn done;
+};
+
+Network::Network(const graph::Graph& g, const fail::FailureSet& failure,
+                 Simulator& sim, DelayModel delay)
+    : g_(&g), failure_(&failure), sim_(&sim), delay_(delay) {}
+
+void Network::send(DataPacket p, RouterApp& app, DoneFn done) {
+  RTR_EXPECT(g_->valid_node(p.src) && g_->valid_node(p.dst));
+  RTR_EXPECT_MSG(!failure_->node_failed(p.src),
+                 "a failed router cannot send");
+  InFlight flight{std::move(p), &app, std::move(done)};
+  flight.packet.trace.clear();
+  flight.packet.trace.push_back(flight.packet.src);
+  // The sending router's own processing delay applies before the first
+  // decision.
+  const NodeId src = flight.packet.src;
+  auto shared = std::make_shared<InFlight>(std::move(flight));
+  sim_->after(delay_.router_delay_ms, [this, shared, src] {
+    process(std::move(*shared), src, kNoNode);
+  });
+}
+
+void Network::process(InFlight flight, NodeId at, NodeId prev) {
+  const RouterApp::Decision d =
+      flight.app->on_packet(at, prev, flight.packet);
+  switch (d.kind) {
+    case RouterApp::Decision::Kind::kDeliver: {
+      ++delivered_;
+      if (flight.done) flight.done(flight.packet, at, true);
+      return;
+    }
+    case RouterApp::Decision::Kind::kDrop: {
+      ++dropped_;
+      if (flight.done) flight.done(flight.packet, at, false);
+      return;
+    }
+    case RouterApp::Decision::Kind::kForward:
+      break;
+  }
+  RTR_EXPECT(g_->valid_link(d.link));
+  const graph::Link& e = g_->link(d.link);
+  RTR_EXPECT_MSG(e.u == at || e.v == at,
+                 "router forwarded over a non-incident link");
+  const NodeId next = g_->other_end(d.link, at);
+  RTR_EXPECT_MSG(!failure_->link_failed(d.link) &&
+                     !failure_->node_failed(next),
+                 "router forwarded into an observable failure");
+  ++hops_;
+  flight.packet.trace.push_back(next);
+  flight.packet.bytes_transmitted +=
+      flight.packet.payload_bytes + flight.packet.header.recovery_bytes();
+  auto shared = std::make_shared<InFlight>(std::move(flight));
+  sim_->after(delay_.per_hop_ms(), [this, shared, next, at] {
+    process(std::move(*shared), next, at);
+  });
+}
+
+}  // namespace rtr::net

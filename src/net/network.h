@@ -1,0 +1,94 @@
+// Event-driven packet forwarding.
+//
+// Network binds a topology, a ground-truth failure state, the delay
+// model of Section IV-B and a Simulator into a packet-level network: a
+// RouterApp implements per-router protocol logic (one decision per
+// packet arrival), and the Network moves packets between routers with
+// the 1.8 ms per-hop latency, enforcing that no packet ever crosses a
+// failed link (a router always knows its neighbours' reachability, so
+// forwarding into a failed link is a protocol bug, not a model event).
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+#include "failure/failure_set.h"
+#include "graph/graph.h"
+#include "net/delay.h"
+#include "net/header.h"
+#include "net/sim.h"
+
+namespace rtr::net {
+
+/// A routable data packet with its recovery header and instrumentation.
+struct DataPacket {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  RtrHeader header;
+  std::size_t payload_bytes = kPayloadBytes;
+
+  /// Position of the next hop inside header.source_route.
+  std::size_t route_index = 0;
+
+  // Instrumentation (not "on the wire").
+  std::vector<NodeId> trace;          ///< nodes visited, starting at src
+  std::size_t bytes_transmitted = 0;  ///< sum over hops of payload+header
+};
+
+/// Protocol logic running at every router.
+class RouterApp {
+ public:
+  struct Decision {
+    enum class Kind { kForward, kDeliver, kDrop };
+    Kind kind = Kind::kDrop;
+    LinkId link = kNoLink;
+
+    static Decision forward(LinkId l) {
+      return {Kind::kForward, l};
+    }
+    static Decision deliver() { return {Kind::kDeliver, kNoLink}; }
+    static Decision drop() { return {Kind::kDrop, kNoLink}; }
+  };
+
+  virtual ~RouterApp() = default;
+
+  /// Invoked when packet p sits at router `at`; prev is the previous
+  /// hop (kNoNode when the packet originates here).  May mutate the
+  /// packet header (that is how recovery state travels).
+  virtual Decision on_packet(NodeId at, NodeId prev, DataPacket& p) = 0;
+};
+
+class Network {
+ public:
+  /// All references are borrowed and must outlive the Network.
+  Network(const graph::Graph& g, const fail::FailureSet& failure,
+          Simulator& sim, DelayModel delay = {});
+
+  /// Final disposition callback: the packet, where it ended up, and
+  /// whether it was delivered.
+  using DoneFn =
+      std::function<void(const DataPacket&, NodeId final_node,
+                         bool delivered)>;
+
+  /// Injects packet p at p.src at the current simulation time; `app`
+  /// drives every forwarding decision.  Both must outlive the run.
+  void send(DataPacket p, RouterApp& app, DoneFn done = {});
+
+  std::size_t packets_delivered() const { return delivered_; }
+  std::size_t packets_dropped() const { return dropped_; }
+  std::size_t hops_forwarded() const { return hops_; }
+
+ private:
+  struct InFlight;
+  void process(InFlight flight, NodeId at, NodeId prev);
+
+  const graph::Graph* g_;
+  const fail::FailureSet* failure_;
+  Simulator* sim_;
+  DelayModel delay_;
+  std::size_t delivered_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t hops_ = 0;
+};
+
+}  // namespace rtr::net

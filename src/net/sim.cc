@@ -1,0 +1,36 @@
+#include "net/sim.h"
+
+#include <utility>
+
+namespace rtr::net {
+
+void Simulator::at(double t_ms, Callback cb) {
+  RTR_EXPECT_MSG(t_ms >= now_ms_, "cannot schedule in the past");
+  RTR_EXPECT(cb != nullptr);
+  queue_.push(Event{t_ms, next_seq_++, std::move(cb)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via the
+  // copy below, which is cheap relative to event work.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ms_ = ev.time;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(double t_ms) {
+  RTR_EXPECT(t_ms >= now_ms_);
+  while (!queue_.empty() && queue_.top().time <= t_ms) step();
+  now_ms_ = t_ms;
+}
+
+}  // namespace rtr::net

@@ -1,0 +1,61 @@
+// A minimal discrete-event simulator.
+//
+// Drives the time-domain examples (disaster timeline) and the Fig. 10
+// transmission-overhead-over-time experiment: events are closures
+// executed in timestamp order; ties run in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace rtr::net {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_ms_; }
+
+  /// Schedules cb at absolute time t_ms (>= now).
+  void at(double t_ms, Callback cb);
+
+  /// Schedules cb `delay_ms` from now (delay >= 0).
+  void after(double delay_ms, Callback cb) { at(now_ms_ + delay_ms, cb); }
+
+  /// Runs the earliest pending event; returns false when none is left.
+  bool step();
+
+  /// Runs until the queue drains.
+  void run();
+
+  /// Runs events with timestamp <= t_ms, then advances the clock to
+  /// t_ms even if idle.
+  void run_until(double t_ms);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  ///< FIFO among equal timestamps
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return std::tie(a.time, a.seq) > std::tie(b.time, b.seq);
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ms_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace rtr::net

@@ -1,0 +1,47 @@
+#include "spf/bellman_ford.h"
+
+namespace rtr::spf {
+
+BellmanFordResult bellman_ford(const graph::Graph& g, NodeId source,
+                               const graph::Masks& masks) {
+  RTR_EXPECT(g.valid_node(source));
+  const std::size_t n = g.num_nodes();
+  BellmanFordResult r;
+  r.dist.assign(n, kInfCost);
+  r.parent.assign(n, kNoNode);
+  if (!masks.node_ok(source)) return r;
+  r.dist[source] = 0.0;
+
+  // Each undirected link is two directed edges with their own costs.
+  const auto relax_all = [&]() {
+    bool changed = false;
+    for (LinkId l = 0; l < g.num_links(); ++l) {
+      if (!masks.link_ok(l)) continue;
+      const graph::Link& e = g.link(l);
+      if (!masks.node_ok(e.u) || !masks.node_ok(e.v)) continue;
+      if (r.dist[e.u] < kInfCost &&
+          r.dist[e.u] + e.cost_uv < r.dist[e.v]) {
+        r.dist[e.v] = r.dist[e.u] + e.cost_uv;
+        r.parent[e.v] = e.u;
+        changed = true;
+      }
+      if (r.dist[e.v] < kInfCost &&
+          r.dist[e.v] + e.cost_vu < r.dist[e.u]) {
+        r.dist[e.u] = r.dist[e.v] + e.cost_vu;
+        r.parent[e.u] = e.v;
+        changed = true;
+      }
+    }
+    return changed;
+  };
+
+  bool changed = true;
+  for (std::size_t round = 0; round + 1 < n && changed; ++round) {
+    changed = relax_all();
+  }
+  // One extra round: any further improvement implies a negative cycle.
+  if (changed) r.negative_cycle = relax_all();
+  return r;
+}
+
+}  // namespace rtr::spf

@@ -1,0 +1,28 @@
+// Bellman-Ford single-source shortest paths.
+//
+// A deliberately independent reference implementation (edge relaxation
+// over rounds, no heap, no shared code with shortest_path.cc): the
+// property tests cross-validate Dijkstra, BFS, the routing tables and
+// the incremental SPT against it on random weighted, asymmetric and
+// masked graphs.  Also the only engine here that can certify the
+// absence of negative cycles, which Graph's positive-cost invariant
+// otherwise guarantees by construction.
+#pragma once
+
+#include "graph/properties.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::spf {
+
+struct BellmanFordResult {
+  std::vector<Cost> dist;     ///< kInfCost when unreachable
+  std::vector<NodeId> parent; ///< predecessor (kNoNode at source)
+  bool negative_cycle = false;
+};
+
+/// Runs |V|-1 relaxation rounds plus one detection round from `source`,
+/// honouring the masks.  O(V * E).
+BellmanFordResult bellman_ford(const graph::Graph& g, NodeId source,
+                               const graph::Masks& masks = {});
+
+}  // namespace rtr::spf

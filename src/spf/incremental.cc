@@ -1,0 +1,160 @@
+#include "spf/incremental.h"
+
+#include <queue>
+#include <tuple>
+
+namespace rtr::spf {
+
+namespace {
+struct HeapEntry {
+  Cost dist;
+  NodeId node;
+  NodeId via;
+  LinkId link;
+  bool operator>(const HeapEntry& o) const {
+    return std::tie(dist, node, via) > std::tie(o.dist, o.node, o.via);
+  }
+};
+}  // namespace
+
+IncrementalSpt::IncrementalSpt(const graph::Graph& g, NodeId root)
+    : g_(&g),
+      spt_(dijkstra_from(g, root)),
+      link_removed_(g.num_links(), 0),
+      node_removed_(g.num_nodes(), 0) {}
+
+bool IncrementalSpt::usable(LinkId l, NodeId via_node) const {
+  return !link_removed_[l] && !node_removed_[via_node];
+}
+
+void IncrementalSpt::remove_links(const std::vector<LinkId>& links) {
+  for (LinkId l : links) {
+    RTR_EXPECT(g_->valid_link(l));
+    link_removed_[l] = 1;
+  }
+  // Nodes whose tree edge vanished seed the affected region.
+  std::vector<NodeId> seeds;
+  for (NodeId n = 0; n < g_->num_nodes(); ++n) {
+    const LinkId pl = spt_.parent_link[n];
+    if (pl != kNoLink && link_removed_[pl]) seeds.push_back(n);
+  }
+  repair(std::move(seeds));
+}
+
+void IncrementalSpt::remove_node(NodeId n) {
+  RTR_EXPECT(g_->valid_node(n));
+  RTR_EXPECT_MSG(n != spt_.source, "cannot remove the SPT root");
+  node_removed_[n] = 1;
+  std::vector<LinkId> incident;
+  for (const graph::Adjacency& a : g_->neighbors(n)) {
+    incident.push_back(a.link);
+  }
+  // remove_links also detaches n itself (its parent link is incident).
+  remove_links(incident);
+  spt_.dist[n] = kInfCost;
+  spt_.parent[n] = kNoNode;
+  spt_.parent_link[n] = kNoLink;
+}
+
+void IncrementalSpt::restore_link(LinkId l) {
+  RTR_EXPECT(g_->valid_link(l));
+  RTR_EXPECT_MSG(link_removed_[l], "link is not removed");
+  link_removed_[l] = 0;
+  // A restoration can only *improve* distances; run a bounded Dijkstra
+  // seeded with the two possible relaxations over the restored link.
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  const graph::Link& e = g_->link(l);
+  const auto seed = [&](NodeId from, NodeId to) {
+    if (node_removed_[from] || node_removed_[to]) return;
+    if (!spt_.reachable(from)) return;
+    const Cost nd = spt_.dist[from] + g_->cost_from(l, from);
+    if (nd < spt_.dist[to]) heap.push({nd, to, from, l});
+  };
+  seed(e.u, e.v);
+  seed(e.v, e.u);
+  touched_ = 0;
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.dist >= spt_.dist[top.node]) continue;
+    spt_.dist[top.node] = top.dist;
+    spt_.parent[top.node] = top.via;
+    spt_.parent_link[top.node] = top.link;
+    ++touched_;
+    for (const graph::Adjacency& a : g_->neighbors(top.node)) {
+      if (!usable(a.link, a.neighbor)) continue;
+      const Cost nd = top.dist + g_->cost_from(a.link, top.node);
+      if (nd < spt_.dist[a.neighbor]) {
+        heap.push({nd, a.neighbor, top.node, a.link});
+      }
+    }
+  }
+}
+
+void IncrementalSpt::repair(std::vector<NodeId> affected) {
+  // 1. Grow the affected region: the whole subtree below each seed.
+  std::vector<char> is_affected(g_->num_nodes(), 0);
+  std::queue<NodeId> frontier;
+  for (NodeId n : affected) {
+    if (!is_affected[n]) {
+      is_affected[n] = 1;
+      frontier.push(n);
+    }
+  }
+  // Children lookup: parent pointers are towards the root, so scan once.
+  std::vector<std::vector<NodeId>> children(g_->num_nodes());
+  for (NodeId n = 0; n < g_->num_nodes(); ++n) {
+    if (spt_.parent[n] != kNoNode) children[spt_.parent[n]].push_back(n);
+  }
+  std::vector<NodeId> region;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    region.push_back(u);
+    for (NodeId c : children[u]) {
+      if (!is_affected[c]) {
+        is_affected[c] = 1;
+        frontier.push(c);
+      }
+    }
+  }
+  touched_ = region.size();
+  if (region.empty()) return;
+
+  // 2. Reset the region and seed the heap from its unaffected boundary.
+  for (NodeId n : region) {
+    spt_.dist[n] = kInfCost;
+    spt_.parent[n] = kNoNode;
+    spt_.parent_link[n] = kNoLink;
+  }
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (NodeId n : region) {
+    if (node_removed_[n]) continue;
+    for (const graph::Adjacency& a : g_->neighbors(n)) {
+      if (is_affected[a.neighbor]) continue;
+      if (!usable(a.link, a.neighbor) || !spt_.reachable(a.neighbor)) continue;
+      const Cost nd = spt_.dist[a.neighbor] + g_->cost_from(a.link, a.neighbor);
+      heap.push({nd, n, a.neighbor, a.link});
+    }
+  }
+
+  // 3. Dijkstra restricted to the affected region.
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.dist >= spt_.dist[top.node]) continue;
+    spt_.dist[top.node] = top.dist;
+    spt_.parent[top.node] = top.via;
+    spt_.parent_link[top.node] = top.link;
+    for (const graph::Adjacency& a : g_->neighbors(top.node)) {
+      if (!is_affected[a.neighbor] || !usable(a.link, a.neighbor)) continue;
+      if (node_removed_[a.neighbor]) continue;
+      const Cost nd = top.dist + g_->cost_from(a.link, top.node);
+      if (nd < spt_.dist[a.neighbor]) {
+        heap.push({nd, a.neighbor, top.node, a.link});
+      }
+    }
+  }
+}
+
+}  // namespace rtr::spf

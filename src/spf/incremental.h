@@ -1,0 +1,67 @@
+// Incremental shortest-path-tree maintenance (Section III-D).
+//
+// "In the second phase, RTR adopts incremental recomputation [19] to
+// calculate the shortest path from the recovery initiator to the
+// destination, which can be achieved within a few milliseconds even for
+// graphs with a thousand nodes."  IncrementalSpt maintains the SPT of a
+// fixed root under link/node removals and link restorations, repairing
+// only the affected subtree instead of rerunning Dijkstra (the dynamic
+// algorithm family of Narvaez et al.).  bench_micro_spf quantifies the
+// saving against a full recomputation.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "spf/path.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::spf {
+
+class IncrementalSpt {
+ public:
+  /// Builds the initial tree with a full Dijkstra from root.
+  IncrementalSpt(const graph::Graph& g, NodeId root);
+
+  /// Removes a set of links at once (a failure area removes many links
+  /// simultaneously) and repairs the tree.
+  void remove_links(const std::vector<LinkId>& links);
+  void remove_link(LinkId l) { remove_links({l}); }
+
+  /// Removes a node: all its incident links go down and the node itself
+  /// becomes unreachable.
+  void remove_node(NodeId n);
+
+  /// Restores a previously removed link and repairs the tree.
+  void restore_link(LinkId l);
+
+  Cost dist(NodeId n) const { return spt_.dist[n]; }
+  bool reachable(NodeId n) const { return spt_.reachable(n); }
+  NodeId root() const { return spt_.source; }
+
+  /// Current shortest path root -> dst (empty when unreachable).
+  Path path_to(NodeId dst) const { return extract_path(*g_, spt_, dst); }
+
+  /// The maintained tree (distances/parents under current removals).
+  const SptResult& result() const { return spt_; }
+
+  /// Number of nodes whose distance was re-derived by the last update;
+  /// the "locality" the incremental algorithm exploits.
+  std::size_t last_update_touched() const { return touched_; }
+
+  bool link_removed(LinkId l) const { return link_removed_[l] != 0; }
+  bool node_removed(NodeId n) const { return node_removed_[n] != 0; }
+
+ private:
+  void repair(std::vector<NodeId> affected);
+  bool usable(LinkId l, NodeId via_node) const;
+
+  const graph::Graph* g_;
+  SptResult spt_;
+  std::vector<char> link_removed_;
+  std::vector<char> node_removed_;
+  std::size_t touched_ = 0;
+};
+
+}  // namespace rtr::spf

@@ -1,0 +1,29 @@
+#include "spf/path.h"
+
+#include <cmath>
+
+namespace rtr::spf {
+
+bool valid_path(const graph::Graph& g, const Path& p) {
+  if (p.nodes.empty()) return p.links.empty();
+  if (p.nodes.size() != p.links.size() + 1) return false;
+  for (std::size_t i = 0; i < p.links.size(); ++i) {
+    if (!g.valid_link(p.links[i])) return false;
+    const graph::Link& e = g.link(p.links[i]);
+    const NodeId a = p.nodes[i];
+    const NodeId b = p.nodes[i + 1];
+    if (!((e.u == a && e.v == b) || (e.u == b && e.v == a))) return false;
+  }
+  return std::abs(path_cost(g, p) - p.cost) <= 1e-9 * (1.0 + p.cost);
+}
+
+Cost path_cost(const graph::Graph& g, const Path& p) {
+  if (p.nodes.empty()) return kInfCost;
+  Cost c = 0.0;
+  for (std::size_t i = 0; i < p.links.size(); ++i) {
+    c += g.cost_from(p.links[i], p.nodes[i]);
+  }
+  return c;
+}
+
+}  // namespace rtr::spf

@@ -1,0 +1,33 @@
+// Path representation shared by the routing substrate and the recovery
+// protocols (source routes are paths carried in the packet header).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace rtr::spf {
+
+/// A walk through the graph.  nodes.size() == links.size() + 1 when
+/// non-empty; links[i] connects nodes[i] and nodes[i+1].
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+  Cost cost = 0.0;
+
+  bool empty() const { return nodes.empty(); }
+  std::size_t hops() const { return links.size(); }
+  NodeId source() const { return nodes.front(); }
+  NodeId destination() const { return nodes.back(); }
+};
+
+/// Validates structural consistency of p against g: adjacent nodes are
+/// really joined by the stated links and the cost adds up.
+bool valid_path(const graph::Graph& g, const Path& p);
+
+/// Recomputes the directed cost of the walk (sum of per-direction link
+/// costs); returns kInfCost for an empty path.
+Cost path_cost(const graph::Graph& g, const Path& p);
+
+}  // namespace rtr::spf

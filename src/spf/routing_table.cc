@@ -1,0 +1,65 @@
+#include "spf/routing_table.h"
+
+#include "spf/shortest_path.h"
+
+namespace rtr::spf {
+
+RoutingTable::RoutingTable(const graph::Graph& g, Metric metric)
+    : g_(&g), metric_(metric) {
+  const std::size_t n = g.num_nodes();
+  next_hop_.assign(n * n, kNoNode);
+  next_link_.assign(n * n, kNoLink);
+  dist_.assign(n * n, kInfCost);
+  for (NodeId t = 0; t < n; ++t) {
+    // dist_t[u]: cost of the best u -> t path.
+    const SptResult to_t = metric == Metric::kHopCount
+                               ? bfs_from(g, t)
+                               : dijkstra_to(g, t);
+    for (NodeId u = 0; u < n; ++u) {
+      dist_[index(u, t)] = to_t.dist[u];
+      if (u == t || !to_t.reachable(u)) continue;
+      // The next hop minimises cost(u -> v) + dist_t[v]; ties resolve to
+      // the smallest neighbour id, at every router identically.
+      NodeId best = kNoNode;
+      LinkId best_link = kNoLink;
+      for (const graph::Adjacency& a : g.neighbors(u)) {
+        if (!to_t.reachable(a.neighbor)) continue;
+        const Cost step = metric == Metric::kHopCount
+                              ? 1.0
+                              : g.cost_from(a.link, u);
+        // Tolerant equality: weighted distances are float sums that may
+        // associate differently on the two sides.
+        const Cost via = step + to_t.dist[a.neighbor];
+        if (std::abs(via - to_t.dist[u]) <= 1e-9 * (1.0 + to_t.dist[u]) &&
+            (best == kNoNode || a.neighbor < best)) {
+          best = a.neighbor;
+          best_link = a.link;
+        }
+      }
+      RTR_EXPECT_MSG(best != kNoNode, "reachable node without next hop");
+      next_hop_[index(u, t)] = best;
+      next_link_[index(u, t)] = best_link;
+    }
+  }
+}
+
+Path RoutingTable::route(NodeId s, NodeId t) const {
+  Path p;
+  if (distance(s, t) == kInfCost) return p;
+  p.nodes.push_back(s);
+  NodeId cur = s;
+  while (cur != t) {
+    const LinkId l = next_link(cur, t);
+    RTR_EXPECT(l != kNoLink);
+    const NodeId nxt = next_hop(cur, t);
+    p.links.push_back(l);
+    p.nodes.push_back(nxt);
+    RTR_EXPECT_MSG(p.links.size() <= g_->num_nodes(),
+                   "routing loop in consistent tables");
+    cur = nxt;
+  }
+  p.cost = path_cost(*g_, p);
+  return p;
+}
+
+}  // namespace rtr::spf

@@ -1,0 +1,62 @@
+// Per-router forwarding state for the whole AS.
+//
+// Section II-A: every node knows the topology and routes along shortest
+// paths; Section IV-A: the evaluation uses hop-count routing.  The
+// RoutingTable precomputes, for every (router, destination) pair, the
+// default next hop with a deterministic tie-break (smallest next-hop
+// id), which makes the "default routing path" of every test case well
+// defined and identical at every router -- the consistent pre-failure
+// view the paper assumes.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "spf/path.h"
+
+namespace rtr::spf {
+
+class RoutingTable {
+ public:
+  enum class Metric {
+    kHopCount,  ///< every link counts 1 (the paper's evaluation)
+    kLinkCost,  ///< directed link costs
+  };
+
+  RoutingTable(const graph::Graph& g, Metric metric = Metric::kHopCount);
+
+  /// Default next hop of router u towards destination t.
+  /// kNoNode when u == t or t is unreachable from u.
+  NodeId next_hop(NodeId u, NodeId t) const {
+    return next_hop_[index(u, t)];
+  }
+
+  /// The link used for that next hop (kNoLink in the same cases).
+  LinkId next_link(NodeId u, NodeId t) const {
+    return next_link_[index(u, t)];
+  }
+
+  /// Cost of the shortest u -> t path (kInfCost when unreachable).
+  Cost distance(NodeId u, NodeId t) const { return dist_[index(u, t)]; }
+
+  /// The default routing path from s to t obtained by following next
+  /// hops at every router; empty when unreachable.
+  Path route(NodeId s, NodeId t) const;
+
+  Metric metric() const { return metric_; }
+
+ private:
+  std::size_t index(NodeId u, NodeId t) const {
+    RTR_EXPECT(g_->valid_node(u) && g_->valid_node(t));
+    return static_cast<std::size_t>(u) * g_->num_nodes() + t;
+  }
+
+  const graph::Graph* g_;
+  Metric metric_;
+  std::vector<NodeId> next_hop_;
+  std::vector<LinkId> next_link_;
+  std::vector<Cost> dist_;
+};
+
+}  // namespace rtr::spf

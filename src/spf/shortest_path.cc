@@ -1,0 +1,133 @@
+#include "spf/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace rtr::spf {
+
+namespace {
+
+/// Heap entry; ordering makes the smaller (dist, node) pop first so that
+/// equal-cost ties resolve towards smaller node ids deterministically.
+struct HeapEntry {
+  Cost dist;
+  NodeId node;
+  bool operator>(const HeapEntry& o) const {
+    return std::tie(dist, node) > std::tie(o.dist, o.node);
+  }
+};
+
+enum class Direction { kFromSource, kToTarget };
+
+SptResult run_dijkstra(const graph::Graph& g, NodeId root,
+                       const graph::Masks& masks, Direction dir) {
+  RTR_EXPECT(g.valid_node(root));
+  SptResult r;
+  r.source = root;
+  r.dist.assign(g.num_nodes(), kInfCost);
+  r.parent_link.assign(g.num_nodes(), kNoLink);
+  r.parent.assign(g.num_nodes(), kNoNode);
+  if (!masks.node_ok(root)) return r;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  r.dist[root] = 0.0;
+  heap.push({0.0, root});
+  std::vector<char> done(g.num_nodes(), 0);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (done[u]) continue;
+    done[u] = 1;
+    for (const graph::Adjacency& a : g.neighbors(u)) {
+      if (!masks.link_ok(a.link) || !masks.node_ok(a.neighbor)) continue;
+      // kFromSource: we travel u -> neighbor.  kToTarget: the path under
+      // construction runs neighbor -> u -> ... -> root, so the directed
+      // cost is that of traversing the link *from the neighbor*.
+      const Cost c = dir == Direction::kFromSource
+                         ? g.cost_from(a.link, u)
+                         : g.cost_from(a.link, a.neighbor);
+      const Cost nd = d + c;
+      const NodeId v = a.neighbor;
+      const bool better = nd < r.dist[v];
+      const bool tie_better =
+          nd == r.dist[v] && r.parent[v] != kNoNode && u < r.parent[v];
+      if (better || tie_better) {
+        r.dist[v] = nd;
+        r.parent[v] = u;
+        r.parent_link[v] = a.link;
+        if (better) heap.push({nd, v});
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+SptResult dijkstra_from(const graph::Graph& g, NodeId source,
+                        const graph::Masks& masks) {
+  return run_dijkstra(g, source, masks, Direction::kFromSource);
+}
+
+SptResult dijkstra_to(const graph::Graph& g, NodeId target,
+                      const graph::Masks& masks) {
+  return run_dijkstra(g, target, masks, Direction::kToTarget);
+}
+
+SptResult bfs_from(const graph::Graph& g, NodeId source,
+                   const graph::Masks& masks) {
+  RTR_EXPECT(g.valid_node(source));
+  SptResult r;
+  r.source = source;
+  r.dist.assign(g.num_nodes(), kInfCost);
+  r.parent_link.assign(g.num_nodes(), kNoLink);
+  r.parent.assign(g.num_nodes(), kNoNode);
+  if (!masks.node_ok(source)) return r;
+  std::queue<NodeId> q;
+  r.dist[source] = 0.0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    // Visit neighbours in ascending id order for deterministic parents.
+    std::vector<graph::Adjacency> adj = g.neighbors(u);
+    std::sort(adj.begin(), adj.end(),
+              [](const graph::Adjacency& x, const graph::Adjacency& y) {
+                return x.neighbor < y.neighbor;
+              });
+    for (const graph::Adjacency& a : adj) {
+      if (!masks.link_ok(a.link) || !masks.node_ok(a.neighbor)) continue;
+      if (r.dist[a.neighbor] < kInfCost) continue;
+      r.dist[a.neighbor] = r.dist[u] + 1.0;
+      r.parent[a.neighbor] = u;
+      r.parent_link[a.neighbor] = a.link;
+      q.push(a.neighbor);
+    }
+  }
+  return r;
+}
+
+Path extract_path(const graph::Graph& g, const SptResult& spt, NodeId dst) {
+  RTR_EXPECT(g.valid_node(dst));
+  Path p;
+  if (!spt.reachable(dst)) return p;
+  NodeId cur = dst;
+  while (cur != spt.source) {
+    p.nodes.push_back(cur);
+    p.links.push_back(spt.parent_link[cur]);
+    cur = spt.parent[cur];
+  }
+  p.nodes.push_back(spt.source);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.links.begin(), p.links.end());
+  p.cost = path_cost(g, p);
+  return p;
+}
+
+Path shortest_path(const graph::Graph& g, NodeId source, NodeId dst,
+                   const graph::Masks& masks) {
+  return extract_path(g, dijkstra_from(g, source, masks), dst);
+}
+
+}  // namespace rtr::spf

@@ -1,0 +1,55 @@
+// Single-source shortest paths with failure masks.
+//
+// Recovery protocols repeatedly ask "shortest path from me to the
+// destination in my current *view* of the topology" -- the full graph
+// minus the links/nodes the router believes failed.  Masks express that
+// view without copying the graph.  Tie-breaks are deterministic (smaller
+// parent node id wins) so simulations are reproducible and routing
+// tables are consistent across routers, as Section II-A assumes.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "graph/properties.h"
+#include "spf/path.h"
+
+namespace rtr::spf {
+
+/// Result of a single-source run from `source`.
+struct SptResult {
+  NodeId source = kNoNode;
+  std::vector<Cost> dist;          ///< kInfCost when unreachable
+  std::vector<LinkId> parent_link; ///< tree link towards source; kNoLink at
+                                   ///< the source and unreachable nodes
+  std::vector<NodeId> parent;      ///< predecessor on the shortest path
+
+  bool reachable(NodeId n) const { return dist[n] < kInfCost; }
+};
+
+/// Dijkstra from `source` outwards (directed costs taken source->node).
+/// Masked nodes/links are skipped; a masked source yields all-infinite.
+SptResult dijkstra_from(const graph::Graph& g, NodeId source,
+                        const graph::Masks& masks = {});
+
+/// Dijkstra *towards* `target`: dist[u] is the cost of the optimal
+/// u -> target path under directed costs.  This is what a routing table
+/// per destination needs when costs are asymmetric.
+SptResult dijkstra_to(const graph::Graph& g, NodeId target,
+                      const graph::Masks& masks = {});
+
+/// BFS specialisation for hop-count metrics (all costs treated as 1);
+/// used by the evaluation ("shortest path routing based on hop count").
+SptResult bfs_from(const graph::Graph& g, NodeId source,
+                   const graph::Masks& masks = {});
+
+/// Extracts the source->dst path from a dijkstra_from/bfs_from result.
+/// Returns an empty path when dst is unreachable.
+Path extract_path(const graph::Graph& g, const SptResult& spt, NodeId dst);
+
+/// Convenience: shortest path source->dst under masks (empty if none).
+Path shortest_path(const graph::Graph& g, NodeId source, NodeId dst,
+                   const graph::Masks& masks = {});
+
+}  // namespace rtr::spf

@@ -1,0 +1,77 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace rtr::stats {
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  for (double v : sorted_) sum_ += v;
+}
+
+double Cdf::min() const {
+  RTR_EXPECT(!empty());
+  return sorted_.front();
+}
+
+double Cdf::max() const {
+  RTR_EXPECT(!empty());
+  return sorted_.back();
+}
+
+double Cdf::mean() const {
+  RTR_EXPECT(!empty());
+  return sum_ / static_cast<double>(sorted_.size());
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double p) const {
+  RTR_EXPECT(!empty());
+  RTR_EXPECT(p > 0.0 && p <= 1.0);
+  const std::size_t n = sorted_.size();
+  std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(n));
+  if (idx > 0) --idx;
+  return sorted_[std::min(idx, n - 1)];
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t n) const {
+  std::vector<std::pair<double, double>> out;
+  if (empty() || n == 0) return out;
+  const double lo = min();
+  const double hi = max();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = n == 1 ? hi
+                            : lo + (hi - lo) * static_cast<double>(i) /
+                                       static_cast<double>(n - 1);
+    out.emplace_back(x, fraction_at_or_below(x));
+  }
+  return out;
+}
+
+Summary Summary::of(const std::vector<double>& samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  s.min = samples.front();
+  s.max = samples.front();
+  double sum = 0.0;
+  for (double v : samples) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  return s;
+}
+
+}  // namespace rtr::stats

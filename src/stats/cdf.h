@@ -1,0 +1,55 @@
+// Empirical distributions for the evaluation figures.
+//
+// Every figure of Section IV is either a cumulative distribution
+// (Figs. 7, 8, 9, 12, 13), a summary table (Tables III, IV) or a simple
+// series (Figs. 10, 11); Cdf and Summary provide those reductions.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rtr::stats {
+
+/// Empirical CDF over a sample set.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Fraction of samples <= x, in [0, 1].
+  double fraction_at_or_below(double x) const;
+
+  /// Smallest sample value v with fraction_at_or_below(v) >= p,
+  /// p in (0, 1].
+  double quantile(double p) const;
+
+  /// n evenly spaced (value, cumulative fraction) points spanning
+  /// [min, max]; what the bench binaries print as a figure curve.
+  std::vector<std::pair<double, double>> curve(std::size_t n) const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+  double sum_ = 0.0;
+};
+
+/// Mean / max / min of a sample set (the Table III / IV columns).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static Summary of(const std::vector<double>& samples);
+};
+
+}  // namespace rtr::stats

@@ -1,0 +1,38 @@
+// Fixed-width text tables and CSV output for the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rtr::stats {
+
+/// Accumulates rows of strings and prints them aligned in columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats v with `decimals` digits after the point.
+std::string fmt(double v, int decimals = 1);
+
+/// Formats a fraction as a percentage string, e.g. 0.986 -> "98.6".
+std::string fmt_pct(double fraction, int decimals = 1);
+
+/// Writes rows as CSV (no quoting: cells must not contain commas).
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace rtr::stats

@@ -1,0 +1,165 @@
+#include "viz/svg_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/expect.h"
+
+namespace rtr::viz {
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+SvgExporter::SvgExporter(const graph::Graph& g, Style style)
+    : g_(&g), style_(style) {
+  RTR_EXPECT_MSG(g.num_nodes() > 0, "cannot render an empty graph");
+  lo_ = hi_ = g.position(0);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const geom::Point p = g.position(n);
+    lo_.x = std::min(lo_.x, p.x);
+    lo_.y = std::min(lo_.y, p.y);
+    hi_.x = std::max(hi_.x, p.x);
+    hi_.y = std::max(hi_.y, p.y);
+  }
+  const double span_x = std::max(hi_.x - lo_.x, 1.0);
+  const double span_y = std::max(hi_.y - lo_.y, 1.0);
+  scale_ = (style_.width - 2.0 * style_.margin) / span_x;
+  height_ = span_y * scale_ + 2.0 * style_.margin;
+}
+
+geom::Point SvgExporter::map(geom::Point p) const {
+  // SVG's y axis grows downwards; flip so the embedding reads like the
+  // paper's figures.
+  return {style_.margin + (p.x - lo_.x) * scale_,
+          height_ - style_.margin - (p.y - lo_.y) * scale_};
+}
+
+void SvgExporter::add_failure(const fail::FailureSet& failure) {
+  failure_ = &failure;
+}
+
+void SvgExporter::add_circle(const geom::Circle& c,
+                             const std::string& color, double opacity) {
+  const geom::Point ctr = map(c.center);
+  std::ostringstream os;
+  os << "<circle cx='" << num(ctr.x) << "' cy='" << num(ctr.y) << "' r='"
+     << num(c.radius * scale_) << "' fill='" << color
+     << "' fill-opacity='" << num(opacity) << "' stroke='" << color
+     << "' stroke-dasharray='6,4'/>\n";
+  overlays_.push_back({os.str()});
+}
+
+void SvgExporter::add_polygon(const geom::Polygon& p,
+                              const std::string& color, double opacity) {
+  std::ostringstream os;
+  os << "<polygon points='";
+  for (const geom::Point& v : p.vertices()) {
+    const geom::Point m = map(v);
+    os << num(m.x) << "," << num(m.y) << " ";
+  }
+  os << "' fill='" << color << "' fill-opacity='" << num(opacity)
+     << "' stroke='" << color << "' stroke-dasharray='6,4'/>\n";
+  overlays_.push_back({os.str()});
+}
+
+std::string SvgExporter::polyline(const std::vector<NodeId>& nodes,
+                                  const std::string& color,
+                                  bool dashed) const {
+  std::ostringstream os;
+  os << "<polyline fill='none' stroke='" << color
+     << "' stroke-width='3' stroke-opacity='0.8'";
+  if (dashed) os << " stroke-dasharray='8,5'";
+  os << " points='";
+  for (NodeId n : nodes) {
+    RTR_EXPECT(g_->valid_node(n));
+    const geom::Point m = map(g_->position(n));
+    os << num(m.x) << "," << num(m.y) << " ";
+  }
+  os << "'/>\n";
+  return os.str();
+}
+
+void SvgExporter::add_walk(const std::vector<NodeId>& nodes,
+                           const std::string& color) {
+  overlays_.push_back({polyline(nodes, color, /*dashed=*/true)});
+}
+
+void SvgExporter::add_path(const std::vector<NodeId>& nodes,
+                           const std::string& color) {
+  overlays_.push_back({polyline(nodes, color, /*dashed=*/false)});
+}
+
+void SvgExporter::highlight_node(NodeId n, const std::string& color) {
+  RTR_EXPECT(g_->valid_node(n));
+  highlights_.emplace_back(n, color);
+}
+
+void SvgExporter::write(std::ostream& os) const {
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='"
+     << num(style_.width) << "' height='" << num(height_)
+     << "' viewBox='0 0 " << num(style_.width) << " " << num(height_)
+     << "'>\n<rect width='100%' height='100%' fill='white'/>\n";
+
+  // Links (failed ones red and dashed).
+  for (LinkId l = 0; l < g_->num_links(); ++l) {
+    const graph::Link& e = g_->link(l);
+    const geom::Point a = map(g_->position(e.u));
+    const geom::Point b = map(g_->position(e.v));
+    const bool dead = failure_ != nullptr && failure_->link_failed(l);
+    os << "<line x1='" << num(a.x) << "' y1='" << num(a.y) << "' x2='"
+       << num(b.x) << "' y2='" << num(b.y) << "' stroke='"
+       << (dead ? "#cc2222" : "#999999") << "' stroke-width='"
+       << (dead ? "1.5" : "1.2") << "'"
+       << (dead ? " stroke-dasharray='4,3'" : "") << "/>\n";
+  }
+
+  // Overlays above links, below nodes.
+  for (const Overlay& o : overlays_) os << o.svg;
+
+  // Nodes (failed ones red).
+  for (NodeId n = 0; n < g_->num_nodes(); ++n) {
+    const geom::Point p = map(g_->position(n));
+    const bool dead = failure_ != nullptr && failure_->node_failed(n);
+    os << "<circle cx='" << num(p.x) << "' cy='" << num(p.y) << "' r='"
+       << num(style_.node_radius) << "' fill='"
+       << (dead ? "#cc2222" : "#2b6cb0") << "' stroke='black' "
+       << "stroke-width='0.8'/>\n";
+    if (style_.node_labels) {
+      os << "<text x='" << num(p.x + style_.node_radius + 2) << "' y='"
+         << num(p.y - style_.node_radius - 2)
+         << "' font-size='11' font-family='sans-serif'>v" << n + 1
+         << "</text>\n";
+    }
+  }
+
+  // Highlights on top.
+  for (const auto& [n, color] : highlights_) {
+    const geom::Point p = map(g_->position(n));
+    os << "<circle cx='" << num(p.x) << "' cy='" << num(p.y) << "' r='"
+       << num(style_.node_radius + 4) << "' fill='none' stroke='" << color
+       << "' stroke-width='3'/>\n";
+  }
+  os << "</svg>\n";
+}
+
+void SvgExporter::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  write(f);
+}
+
+std::string SvgExporter::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+}  // namespace rtr::viz

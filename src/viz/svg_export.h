@@ -1,0 +1,72 @@
+// SVG rendering of topologies, failure areas and recovery traces.
+//
+// Produces self-contained SVG files for papers, debugging and the
+// examples: the network embedding, the failure area, failed elements,
+// the phase-1 traversal and the recovery path are drawn in layers.
+// Purely a diagnostic/visualisation facility -- nothing in the
+// protocols depends on it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "failure/failure_set.h"
+#include "geom/circle.h"
+#include "geom/polygon.h"
+#include "graph/graph.h"
+
+namespace rtr::viz {
+
+class SvgExporter {
+ public:
+  struct Style {
+    double node_radius = 6.0;
+    double margin = 40.0;
+    double width = 900.0;  ///< output width in px (height keeps aspect)
+    bool node_labels = true;
+  };
+
+  SvgExporter(const graph::Graph& g, Style style);
+  explicit SvgExporter(const graph::Graph& g)
+      : SvgExporter(g, Style()) {}
+
+  /// Overlays (drawn in call order, above the base topology).
+  void add_failure(const fail::FailureSet& failure);
+  void add_circle(const geom::Circle& c, const std::string& color,
+                  double opacity = 0.15);
+  void add_polygon(const geom::Polygon& p, const std::string& color,
+                   double opacity = 0.15);
+  /// A node walk (e.g. the phase-1 traversal), drawn as a dashed line.
+  void add_walk(const std::vector<NodeId>& nodes, const std::string& color);
+  /// A path (e.g. the phase-2 recovery path), drawn as a solid line.
+  void add_path(const std::vector<NodeId>& nodes, const std::string& color);
+  /// Highlights one node (e.g. the recovery initiator).
+  void highlight_node(NodeId n, const std::string& color);
+
+  /// Renders the document.
+  void write(std::ostream& os) const;
+  void save(const std::string& path) const;
+  std::string to_string() const;
+
+ private:
+  struct Overlay {
+    std::string svg;  ///< pre-rendered fragment
+  };
+  geom::Point map(geom::Point p) const;
+  std::string polyline(const std::vector<NodeId>& nodes,
+                       const std::string& color, bool dashed) const;
+
+  const graph::Graph* g_;
+  Style style_;
+  geom::Point lo_{0, 0};
+  geom::Point hi_{1, 1};
+  double scale_ = 1.0;
+  double height_ = 0.0;
+  const fail::FailureSet* failure_ = nullptr;
+  std::vector<Overlay> overlays_;
+  std::vector<std::pair<NodeId, std::string>> highlights_;
+};
+
+}  // namespace rtr::viz

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "core/area_estimate.h"
+#include "failure/scenario.h"
+#include "geom/convex_hull.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/paper_topology.h"
+
+namespace rtr {
+namespace {
+
+// ------------------------------------------------------- convex hull
+
+TEST(ConvexHull, SquareWithInteriorPoints) {
+  const std::vector<geom::Point> pts = {
+      {0, 0}, {10, 0}, {10, 10}, {0, 10}, {5, 5}, {3, 7}, {1, 1}};
+  const auto hull = geom::convex_hull(pts);
+  ASSERT_EQ(hull.size(), 4u);
+  // Counterclockwise with positive area.
+  const geom::Polygon poly(hull);
+  EXPECT_DOUBLE_EQ(poly.signed_area(), 100.0);
+  for (const geom::Point& p : pts) {
+    // Every input point is inside or on the hull (strict contains is
+    // false on the boundary, so test with a slight shrink towards the
+    // centroid instead).
+    const geom::Point towards_center = p + (geom::Point{5, 5} - p) * 0.01;
+    EXPECT_TRUE(poly.contains(towards_center));
+  }
+}
+
+TEST(ConvexHull, CollinearAndDegenerate) {
+  EXPECT_TRUE(geom::convex_hull({}).empty());
+  EXPECT_EQ(geom::convex_hull({{1, 1}}).size(), 1u);
+  EXPECT_EQ(geom::convex_hull({{1, 1}, {1, 1}}).size(), 1u);
+  EXPECT_EQ(geom::convex_hull({{0, 0}, {5, 5}}).size(), 2u);
+  // All collinear: monotone chain keeps the two extremes.
+  const auto line = geom::convex_hull({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_EQ(line.size(), 2u);
+  EXPECT_THROW(geom::convex_hull_polygon({{0, 0}, {1, 1}, {2, 2}}),
+               ContractViolation);
+}
+
+TEST(ConvexHull, RandomPointsAllContained) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<geom::Point> pts;
+    geom::Point centroid{0, 0};
+    for (int i = 0; i < 40; ++i) {
+      pts.push_back({rng.uniform_real(0, 100), rng.uniform_real(0, 100)});
+      centroid = centroid + pts.back();
+    }
+    centroid = centroid * (1.0 / 40.0);
+    const auto hull = geom::convex_hull(pts);
+    ASSERT_GE(hull.size(), 3u);
+    const geom::Polygon poly(hull);
+    EXPECT_GT(poly.signed_area(), 0.0);  // counterclockwise
+    for (const geom::Point& p : pts) {
+      const geom::Point inner = p + (centroid - p) * 0.001;
+      EXPECT_TRUE(poly.contains(inner));
+    }
+  }
+}
+
+// --------------------------------------------------- area estimation
+
+TEST(AreaEstimate, WorkedExampleLocalisesTheDisaster) {
+  const graph::Graph g = graph::fig1_graph();
+  const graph::CrossingIndex idx(g);
+  const geom::Circle truth = graph::fig1_failure_area();
+  const fail::CircleArea area(truth);
+  const fail::FailureSet fs(g, area, fail::LinkCutRule::kGeometric);
+  const core::Phase1Result p1 =
+      core::run_phase1(g, idx, fs, graph::paper_node(6),
+                       g.find_link(graph::paper_node(6),
+                                   graph::paper_node(11)));
+  const core::AreaEstimate est = core::estimate_failure_area(g, fs, p1);
+  ASSERT_TRUE(est.bounding_circle.has_value());
+  // The estimate centroid lands near the true center.
+  EXPECT_LT(geom::distance(est.bounding_circle->center, truth.center),
+            truth.radius * 1.5);
+  // Evidence: 5 collected + 1 own observed failed link.
+  EXPECT_EQ(est.evidence.size(), 6u);
+  EXPECT_TRUE(est.hull.has_value());
+}
+
+TEST(AreaEstimate, EvidenceCoverageAgainstTruth) {
+  const graph::Graph g = graph::fig1_graph();
+  const graph::CrossingIndex idx(g);
+  const fail::CircleArea area(graph::fig1_failure_area());
+  const fail::FailureSet fs(g, area, fail::LinkCutRule::kGeometric);
+  const core::Phase1Result p1 =
+      core::run_phase1(g, idx, fs, graph::paper_node(6),
+                       g.find_link(graph::paper_node(6),
+                                   graph::paper_node(11)));
+  const core::AreaEstimate est = core::estimate_failure_area(g, fs, p1);
+  // The true area contains part of the evidence; most midpoints of
+  // endpoint-dead links fall just outside this small circle, so any
+  // positive coverage plus zero coverage of a wrong area is the signal.
+  EXPECT_GT(core::evidence_coverage(est, area), 0.1);
+  // A far-away candidate area contains none of it.
+  const fail::CircleArea wrong({1800.0, 1800.0}, 100.0);
+  EXPECT_DOUBLE_EQ(core::evidence_coverage(est, wrong), 0.0);
+}
+
+TEST(AreaEstimate, RandomAreasAreBracketedByTheBoundingCircle) {
+  const graph::Graph g =
+      graph::make_isp_topology(graph::spec_by_name("AS209"));
+  const graph::CrossingIndex idx(g);
+  Rng rng(17);
+  const fail::ScenarioConfig cfg;
+  int checked = 0;
+  for (int trial = 0; trial < 40 && checked < 15; ++trial) {
+    const fail::CircleArea area = fail::random_circle_area(cfg, rng);
+    const fail::FailureSet fs(g, area, fail::LinkCutRule::kGeometric);
+    if (fs.num_failed_links() < 4) continue;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (fs.node_failed(n) || fs.observed_failed_links(g, n).empty()) {
+        continue;
+      }
+      const auto obs = fs.observed_failed_links(g, n);
+      const core::Phase1Result p1 =
+          core::run_phase1(g, idx, fs, n, obs.front());
+      if (!p1.completed() || p1.header.failed_links.size() < 3) break;
+      const core::AreaEstimate est =
+          core::estimate_failure_area(g, fs, p1);
+      ASSERT_TRUE(est.bounding_circle.has_value());
+      ++checked;
+      // The bounding circle must overlap the true area: centers within
+      // the sum of radii.
+      EXPECT_LT(geom::distance(est.bounding_circle->center,
+                               area.circle().center),
+                est.bounding_circle->radius + area.circle().radius);
+      break;
+    }
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(AreaEstimate, NoEvidenceYieldsEmptyEstimate) {
+  // An isolated-initiator phase 1 collects nothing and observes links
+  // only through the initiator itself; with a failed single link and
+  // no traversal, evidence reduces to the initiator's own observation.
+  graph::Graph g;
+  g.add_node({0, 0});
+  g.add_node({10, 0});
+  const LinkId dead = g.add_link(0, 1);
+  const graph::CrossingIndex idx(g);
+  const fail::FailureSet fs = fail::FailureSet::of_links(g, {dead});
+  const core::Phase1Result p1 = core::run_phase1(g, idx, fs, 0, dead);
+  EXPECT_EQ(p1.status, core::Phase1Result::Status::kInitiatorIsolated);
+  const core::AreaEstimate est = core::estimate_failure_area(g, fs, p1);
+  ASSERT_EQ(est.evidence.size(), 1u);  // the observed link midpoint
+  EXPECT_TRUE(est.bounding_circle.has_value());
+  EXPECT_FALSE(est.hull.has_value());
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "net/compress.h"
+
+namespace rtr::net {
+namespace {
+
+TEST(Varint, RoundTripBoundaries) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+        0xFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull}) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buf, pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, SingleByteForSmallValues) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  put_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 3u);  // second value took two bytes
+}
+
+TEST(Varint, TruncatedThrows) {
+  std::vector<std::uint8_t> buf = {0x80};  // continuation without end
+  std::size_t pos = 0;
+  EXPECT_THROW(get_varint(buf, pos), CodecError);
+}
+
+TEST(IdSet, RoundTripSortsIds) {
+  const std::vector<LinkId> ids = {42, 7, 100, 8, 9};
+  const auto decoded = decode_id_set(encode_id_set(ids));
+  std::vector<LinkId> expected = ids;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(decoded, expected);
+}
+
+TEST(IdSet, EmptyAndSingleton) {
+  EXPECT_TRUE(decode_id_set(encode_id_set({})).empty());
+  EXPECT_EQ(decode_id_set(encode_id_set({5})),
+            (std::vector<LinkId>{5}));
+}
+
+TEST(IdSet, DenseRunsCompressToOneBytePerId) {
+  // 20 consecutive ids: count + first + 19 zero deltas = 21 bytes,
+  // versus 40 bytes at 16 bits per id.
+  std::vector<LinkId> ids;
+  for (LinkId l = 50; l < 70; ++l) ids.push_back(l);
+  EXPECT_EQ(encode_id_set(ids).size(), 21u);
+}
+
+TEST(IdSet, RejectsDuplicates) {
+  EXPECT_THROW(encode_id_set({3, 3}), ContractViolation);
+}
+
+TEST(IdSet, RandomRoundTrips) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<LinkId> ids;
+    std::vector<char> used(2000, 0);
+    const std::size_t n = rng.index(60);
+    while (ids.size() < n) {
+      const LinkId l = static_cast<LinkId>(rng.index(2000));
+      if (!used[l]) {
+        used[l] = 1;
+        ids.push_back(l);
+      }
+    }
+    const auto decoded = decode_id_set(encode_id_set(ids));
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(decoded, ids);
+  }
+}
+
+TEST(CompressedHeader, RoundTrip) {
+  RtrHeader h;
+  h.mode = Mode::kCollect;
+  h.rec_init = 6;
+  h.failed_links = {40, 7, 12, 13};
+  h.cross_links = {3};
+  const RtrHeader d = decode_compressed_header(encode_compressed_header(h));
+  EXPECT_EQ(d.mode, h.mode);
+  EXPECT_EQ(d.rec_init, h.rec_init);
+  EXPECT_EQ(d.failed_links, (std::vector<LinkId>{7, 12, 13, 40}));
+  EXPECT_EQ(d.cross_links, h.cross_links);
+}
+
+TEST(CompressedHeader, SourceRouteOrderPreserved) {
+  RtrHeader h;
+  h.mode = Mode::kSourceRoute;
+  h.source_route = {9, 2, 57, 2};  // routes may revisit ids
+  const RtrHeader d = decode_compressed_header(encode_compressed_header(h));
+  EXPECT_EQ(d.source_route, h.source_route);
+  EXPECT_EQ(d.rec_init, kNoNode);
+}
+
+TEST(CompressedHeader, SmallerThanPlainForClusteredFailures) {
+  // Area failures produce clustered link ids; the compressed encoding
+  // must beat the fixed 16-bit scheme (the Section III-E motivation).
+  RtrHeader h;
+  h.mode = Mode::kCollect;
+  h.rec_init = 6;
+  for (LinkId l = 100; l < 120; ++l) h.add_failed(l);
+  h.cross_links = {130, 131};
+  const HeaderSizes s = header_sizes(h);
+  EXPECT_LT(s.compressed, s.plain);
+  EXPECT_LT(s.compressed, s.plain * 3 / 4);
+}
+
+TEST(CompressedHeader, MalformedInputThrows) {
+  EXPECT_THROW(decode_compressed_header({}), CodecError);
+  EXPECT_THROW(decode_compressed_header({9}), CodecError);  // bad mode
+  RtrHeader h;
+  h.mode = Mode::kCollect;
+  h.rec_init = 1;
+  h.failed_links = {5, 6};
+  auto bytes = encode_compressed_header(h);
+  bytes.pop_back();
+  EXPECT_THROW(decode_compressed_header(bytes), CodecError);
+  bytes = encode_compressed_header(h);
+  bytes.push_back(0);
+  EXPECT_THROW(decode_compressed_header(bytes), CodecError);
+}
+
+TEST(CompressedHeader, RandomEquivalenceWithPlainCodec) {
+  Rng rng(123);
+  for (int trial = 0; trial < 100; ++trial) {
+    RtrHeader h;
+    h.mode = static_cast<Mode>(rng.index(3));
+    h.rec_init = rng.bernoulli(0.2)
+                     ? kNoNode
+                     : static_cast<NodeId>(rng.index(500));
+    std::vector<char> used(4000, 0);
+    for (std::size_t i = rng.index(30); i > 0; --i) {
+      const LinkId l = static_cast<LinkId>(rng.index(4000));
+      if (!used[l]) {
+        used[l] = 1;
+        h.failed_links.push_back(l);
+      }
+    }
+    for (std::size_t i = rng.index(6); i > 0; --i) {
+      h.add_cross(static_cast<LinkId>(rng.index(4000)));
+    }
+    for (std::size_t i = rng.index(10); i > 0; --i) {
+      h.source_route.push_back(static_cast<NodeId>(rng.index(500)));
+    }
+    const RtrHeader via_plain = decode(encode(h));
+    RtrHeader via_comp =
+        decode_compressed_header(encode_compressed_header(h));
+    // The compressed codec sorts the set fields; normalise both sides.
+    std::vector<LinkId> pf = via_plain.failed_links;
+    std::sort(pf.begin(), pf.end());
+    EXPECT_EQ(via_comp.failed_links, pf);
+    std::vector<LinkId> pc = via_plain.cross_links;
+    std::sort(pc.begin(), pc.end());
+    EXPECT_EQ(via_comp.cross_links, pc);
+    EXPECT_EQ(via_comp.source_route, via_plain.source_route);
+    EXPECT_EQ(via_comp.rec_init, via_plain.rec_init);
+    EXPECT_EQ(via_comp.mode, via_plain.mode);
+  }
+}
+
+}  // namespace
+}  // namespace rtr::net

@@ -1,0 +1,185 @@
+// Cross-validation: the distributed, event-driven RTR (per-router state
+// machines over the packet simulator) must behave identically to the
+// centralized trace engine used by the experiments.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/distributed_rtr.h"
+#include "core/rtr.h"
+#include "exp/cases.h"
+#include "exp/context.h"
+#include "graph/paper_topology.h"
+
+namespace rtr::core {
+namespace {
+
+using graph::paper_node;
+
+struct Outcome2 {
+  bool delivered = false;
+  NodeId final_node = kNoNode;
+  std::vector<NodeId> trace;
+  double finished_at = -1.0;
+};
+
+TEST(DistributedRtr, WorkedExampleEndToEnd) {
+  const graph::Graph g = graph::fig1_graph();
+  const graph::CrossingIndex crossings(g);
+  const spf::RoutingTable rt(g);
+  const fail::FailureSet failure(
+      g, fail::CircleArea(graph::fig1_failure_area()),
+      fail::LinkCutRule::kGeometric);
+
+  net::Simulator sim;
+  net::Network network(g, failure, sim);
+  DistributedRtr app(g, crossings, rt, failure);
+  net::DataPacket p;
+  p.src = paper_node(7);
+  p.dst = paper_node(17);
+  Outcome2 out;
+  network.send(p, app, [&](const net::DataPacket& pkt, NodeId f,
+                           bool ok) {
+    out.delivered = ok;
+    out.final_node = f;
+    out.trace = pkt.trace;
+    out.finished_at = sim.now();
+  });
+  sim.run();
+
+  ASSERT_TRUE(out.delivered);
+  EXPECT_EQ(out.final_node, paper_node(17));
+  // Full journey: v7 -> v6 (default), the 11-hop Table I cycle, then
+  // the 4-hop recovery path v6 -> v5 -> v12 -> v14 -> v17.
+  const std::vector<NodeId> expected = [&] {
+    std::vector<int> ks = {7, 6,                                  // default
+                           5, 4, 9, 13, 14, 12, 11, 12, 8, 7, 6,  // phase 1
+                           5, 12, 14, 17};                        // phase 2
+    std::vector<NodeId> v;
+    for (int k : ks) v.push_back(paper_node(k));
+    return v;
+  }();
+  EXPECT_EQ(out.trace, expected);
+  EXPECT_TRUE(app.phase1_complete(paper_node(6)));
+  // 16 hops total at 1.8 ms plus the source's 0.1 ms processing delay.
+  EXPECT_NEAR(out.finished_at, 0.1 + 1.8 * 16, 1e-9);
+
+  // Collected information matches the centralized phase 1.
+  const Phase1Result reference =
+      run_phase1(g, crossings, failure, paper_node(6),
+                 g.find_link(paper_node(6), paper_node(11)));
+  EXPECT_EQ(app.collected(paper_node(6)).failed_links,
+            reference.header.failed_links);
+  EXPECT_EQ(app.collected(paper_node(6)).cross_links,
+            reference.header.cross_links);
+}
+
+TEST(DistributedRtr, Phase1StateIsReusedAcrossPackets) {
+  const graph::Graph g = graph::fig1_graph();
+  const graph::CrossingIndex crossings(g);
+  const spf::RoutingTable rt(g);
+  const fail::FailureSet failure(
+      g, fail::CircleArea(graph::fig1_failure_area()),
+      fail::LinkCutRule::kGeometric);
+  net::Simulator sim;
+  net::Network network(g, failure, sim);
+  DistributedRtr app(g, crossings, rt, failure);
+
+  std::vector<std::size_t> journey_hops;
+  for (int i = 0; i < 2; ++i) {
+    net::DataPacket p;
+    p.src = paper_node(7);
+    p.dst = paper_node(17);
+    network.send(p, app,
+                 [&](const net::DataPacket& pkt, NodeId, bool ok) {
+                   EXPECT_TRUE(ok);
+                   journey_hops.push_back(pkt.trace.size() - 1);
+                 });
+    sim.run();
+  }
+  ASSERT_EQ(journey_hops.size(), 2u);
+  // First packet pays for phase 1 (16 hops); the second rides the
+  // cached recovery path immediately (1 default hop + 4 source-routed).
+  EXPECT_EQ(journey_hops[0], 16u);
+  EXPECT_EQ(journey_hops[1], 5u);
+}
+
+struct TopoParam {
+  const char* name;
+  std::uint64_t seed;
+};
+
+class DistributedVsCentralized
+    : public ::testing::TestWithParam<TopoParam> {};
+
+TEST_P(DistributedVsCentralized, IdenticalOutcomesAndPaths) {
+  const exp::TopologyContext ctx =
+      exp::make_context(graph::spec_by_name(GetParam().name));
+  Rng rng(GetParam().seed);
+  const fail::ScenarioConfig cfg;
+  int cases = 0;
+  for (int trial = 0; trial < 50 && cases < 250; ++trial) {
+    const fail::CircleArea area = fail::random_circle_area(cfg, rng);
+    const exp::Scenario sc = exp::extract_scenario(ctx, area);
+    if (sc.recoverable.empty() && sc.irrecoverable.empty()) continue;
+
+    RtrRecovery centralized(ctx.g, ctx.crossings, ctx.rt, sc.failure);
+    net::Simulator sim;
+    net::Network network(ctx.g, sc.failure, sim);
+    DistributedRtr distributed(ctx.g, ctx.crossings, ctx.rt, sc.failure);
+    std::set<NodeId> phase1_seen;
+
+    const auto check = [&](const exp::TestCase& tc) {
+      ++cases;
+      const RecoveryResult want = centralized.recover(tc.initiator,
+                                                      tc.dest);
+      net::DataPacket p;
+      p.src = tc.initiator;  // the initiator detects the dead next hop
+      p.dst = tc.dest;
+      bool got_delivered = false;
+      NodeId got_final = kNoNode;
+      std::vector<NodeId> got_trace;
+      network.send(p, distributed,
+                   [&](const net::DataPacket& pkt, NodeId f, bool ok) {
+                     got_delivered = ok;
+                     got_final = f;
+                     got_trace = pkt.trace;
+                   });
+      sim.run();
+
+      EXPECT_EQ(got_delivered, want.recovered())
+          << ctx.name << " " << tc.initiator << "->" << tc.dest
+          << " centralized=" << to_string(want.outcome);
+      const bool first_use = phase1_seen.insert(tc.initiator).second;
+      if (want.recovered()) {
+        // First packet per initiator pays for phase 1; later packets
+        // go straight to the cached recovery path (Section III-A).
+        const Phase1Result& p1 = centralized.phase1_for(tc.initiator);
+        std::vector<NodeId> expected =
+            first_use ? p1.visits : std::vector<NodeId>{tc.initiator};
+        expected.insert(expected.end(),
+                        want.computed_path.nodes.begin() + 1,
+                        want.computed_path.nodes.end());
+        EXPECT_EQ(got_trace, expected);
+      } else if (want.outcome == Outcome::kDroppedOnPath) {
+        EXPECT_EQ(got_final,
+                  want.computed_path.nodes[want.delivered_hops]);
+      } else {
+        EXPECT_EQ(got_final, tc.initiator);
+      }
+    };
+    for (const exp::TestCase& tc : sc.recoverable) check(tc);
+    for (const exp::TestCase& tc : sc.irrecoverable) check(tc);
+  }
+  EXPECT_GT(cases, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, DistributedVsCentralized,
+    ::testing::Values(TopoParam{"AS209", 501}, TopoParam{"AS1239", 502},
+                      TopoParam{"AS3549", 503}, TopoParam{"AS7018", 504}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace rtr::core

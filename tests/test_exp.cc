@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "exp/bench_config.h"
+#include "exp/cases.h"
+#include "exp/context.h"
+#include "exp/runners.h"
+#include "graph/paper_topology.h"
+#include "graph/properties.h"
+
+namespace rtr::exp {
+namespace {
+
+using graph::paper_node;
+
+double stats_mean(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+}
+
+TopologyContext paper_context() {
+  return TopologyContext("paper", graph::fig1_graph());
+}
+
+TEST(ExtractScenario, WorkedExampleCases) {
+  const TopologyContext ctx = paper_context();
+  const fail::CircleArea area(graph::fig1_failure_area());
+  FailedPathCounts counts;
+  // The worked example depends on the stated geometric model (e6,11 is
+  // cut without a dead endpoint).
+  const Scenario sc = extract_scenario(ctx, area, &counts,
+                                       fail::LinkCutRule::kGeometric);
+
+  EXPECT_GT(counts.failed, 0u);
+  EXPECT_GE(counts.failed, counts.irrecoverable);
+  EXPECT_FALSE(sc.recoverable.empty());
+  EXPECT_FALSE(sc.irrecoverable.empty());
+
+  // The Section II-B case: traffic from v7 to v17 fails at e6,11, so
+  // (initiator v6, dest v17) must appear as a recoverable test case.
+  bool found = false;
+  for (const TestCase& tc : sc.recoverable) {
+    if (tc.initiator == paper_node(6) && tc.dest == paper_node(17)) {
+      found = true;
+      EXPECT_EQ(tc.dead_link,
+                ctx.g.find_link(paper_node(6), paper_node(11)));
+    }
+  }
+  EXPECT_TRUE(found);
+  // Destinations inside the failure area are irrecoverable.
+  for (const TestCase& tc : sc.irrecoverable) {
+    const bool dead_dest = sc.failure.node_failed(tc.dest);
+    const bool partitioned = !graph::reachable(
+        ctx.g, tc.initiator, tc.dest, sc.failure.masks());
+    EXPECT_TRUE(dead_dest || partitioned);
+  }
+}
+
+TEST(ExtractScenario, CasesAreDeduplicatedAndValid) {
+  const TopologyContext ctx = paper_context();
+  const Scenario sc =
+      extract_scenario(ctx, fail::CircleArea(graph::fig1_failure_area()),
+                       nullptr, fail::LinkCutRule::kGeometric);
+  std::unordered_set<std::uint64_t> keys;
+  const auto check = [&](const std::vector<TestCase>& cases) {
+    for (const TestCase& tc : cases) {
+      EXPECT_FALSE(sc.failure.node_failed(tc.initiator));
+      EXPECT_NE(tc.initiator, tc.dest);
+      // The initiator's default next hop towards dest is unreachable.
+      const LinkId l = ctx.rt.next_link(tc.initiator, tc.dest);
+      EXPECT_EQ(l, tc.dead_link);
+      const NodeId nh = ctx.rt.next_hop(tc.initiator, tc.dest);
+      EXPECT_TRUE(sc.failure.link_failed(l) ||
+                  sc.failure.node_failed(nh));
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(tc.initiator) * ctx.g.num_nodes() +
+          tc.dest;
+      EXPECT_TRUE(keys.insert(key).second) << "duplicate test case";
+    }
+  };
+  check(sc.recoverable);
+  check(sc.irrecoverable);
+}
+
+TEST(ExtractScenario, EmptyAreaYieldsNothing) {
+  const TopologyContext ctx = paper_context();
+  const Scenario sc =
+      extract_scenario(ctx, fail::CircleArea({1900.0, 1900.0}, 20.0));
+  EXPECT_TRUE(sc.recoverable.empty());
+  EXPECT_TRUE(sc.irrecoverable.empty());
+  EXPECT_TRUE(sc.failure.empty());
+}
+
+TEST(GenerateScenarios, MeetsBudgetExactly) {
+  const TopologyContext ctx =
+      make_context(graph::spec_by_name("AS1239"));
+  CaseBudget budget;
+  budget.recoverable = 150;
+  budget.irrecoverable = 80;
+  const auto scenarios =
+      generate_scenarios(ctx, fail::ScenarioConfig{}, budget, 4242);
+  std::size_t rec = 0;
+  std::size_t irr = 0;
+  for (const Scenario& sc : scenarios) {
+    rec += sc.recoverable.size();
+    irr += sc.irrecoverable.size();
+  }
+  EXPECT_EQ(rec, budget.recoverable);
+  EXPECT_EQ(irr, budget.irrecoverable);
+}
+
+TEST(GenerateScenarios, DeterministicInSeed) {
+  const TopologyContext ctx =
+      make_context(graph::spec_by_name("AS1239"));
+  CaseBudget budget;
+  budget.recoverable = 50;
+  budget.irrecoverable = 20;
+  const auto a =
+      generate_scenarios(ctx, fail::ScenarioConfig{}, budget, 7);
+  const auto b =
+      generate_scenarios(ctx, fail::ScenarioConfig{}, budget, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].area.circle().center, b[i].area.circle().center);
+    EXPECT_EQ(a[i].recoverable.size(), b[i].recoverable.size());
+  }
+}
+
+// ----------------------------------------------------------- runners -----
+
+class RunnerSmoke : public ::testing::Test {
+ protected:
+  RunnerSmoke() : ctx_(make_context(graph::spec_by_name("AS209"))) {
+    CaseBudget budget;
+    budget.recoverable = 300;
+    budget.irrecoverable = 150;
+    scenarios_ =
+        generate_scenarios(ctx_, fail::ScenarioConfig{}, budget, 99);
+  }
+
+  TopologyContext ctx_;
+  std::vector<Scenario> scenarios_;
+};
+
+TEST_F(RunnerSmoke, RecoverableInvariants) {
+  const RecoverableResults r = run_recoverable(ctx_, scenarios_);
+  EXPECT_EQ(r.cases, 300u);
+  EXPECT_EQ(r.rtr_phase1_aborted, 0u);  // Theorem 1
+
+  // Theorem 2: every recovered RTR case is optimal, so the two rates
+  // coincide and every stretch sample is exactly 1.
+  EXPECT_EQ(r.rtr_recovered, r.rtr_optimal);
+  for (double s : r.rtr_stretch) EXPECT_DOUBLE_EQ(s, 1.0);
+
+  // FCP always delivers on recoverable cases, with stretch >= 1.
+  EXPECT_EQ(r.fcp_recovered, r.cases);
+  EXPECT_GE(r.fcp_recovered, r.fcp_optimal);
+  for (double s : r.fcp_stretch) EXPECT_GE(s, 1.0);
+
+  // RTR does exactly one SP calculation per case.
+  ASSERT_EQ(r.rtr_calcs.size(), r.cases);
+  for (double c : r.rtr_calcs) EXPECT_DOUBLE_EQ(c, 1.0);
+  for (double c : r.fcp_calcs) EXPECT_GE(c, 1.0);
+
+  // MRC cannot beat a reactive scheme here.
+  EXPECT_LE(r.mrc_recovered, r.cases);
+  EXPECT_LE(r.mrc_optimal, r.mrc_recovered);
+  EXPECT_LT(r.mrc_recovered, r.fcp_recovered);
+
+  // Recovery rates in a plausible band (shape check).
+  EXPECT_GT(static_cast<double>(r.rtr_recovered), 0.85 * r.cases);
+
+  // Fig. 10 shape: the RTR timeline eventually drops to the steady
+  // source-route level, below its phase-1 peak.
+  ASSERT_EQ(r.rtr_bytes_timeline.size(), 1000u);
+  double rtr_peak = 0.0;
+  for (double v : r.rtr_bytes_timeline) rtr_peak = std::max(rtr_peak, v);
+  EXPECT_GT(rtr_peak, 0.0);
+  EXPECT_LT(r.rtr_bytes_timeline.back(), rtr_peak);
+}
+
+TEST_F(RunnerSmoke, IrrecoverableInvariants) {
+  const IrrecoverableResults r = run_irrecoverable(ctx_, scenarios_);
+  EXPECT_EQ(r.cases, 150u);
+  // Unreachable destinations are never reached, by anyone.
+  EXPECT_EQ(r.rtr_delivered, 0u);
+  EXPECT_EQ(r.fcp_delivered, 0u);
+
+  // RTR wastes exactly one SP calculation per case (Fig. 12).
+  for (double c : r.rtr_wasted_comp) EXPECT_DOUBLE_EQ(c, 1.0);
+  // FCP tries every option before giving up: strictly more on average.
+  const double rtr_avg = stats_mean(r.rtr_wasted_comp);
+  const double fcp_avg = stats_mean(r.fcp_wasted_comp);
+  EXPECT_GT(fcp_avg, rtr_avg);
+
+  // Wasted transmission: RTR is bounded by its rare missed-failure
+  // walks; FCP pays for its exploration (Fig. 13 / Table IV shape).
+  EXPECT_GT(stats_mean(r.fcp_wasted_trans),
+            stats_mean(r.rtr_wasted_trans));
+}
+
+TEST_F(RunnerSmoke, RadiusSweepShapeGeometricRule) {
+  // Under the stated geometric model the irrecoverable share rises
+  // with the radius, like the curves of Fig. 11.
+  const auto pts = radius_sweep(ctx_, {20.0, 150.0, 300.0}, 300, 5,
+                                2000.0, fail::LinkCutRule::kGeometric);
+  ASSERT_EQ(pts.size(), 3u);
+  for (const RadiusPoint& p : pts) {
+    EXPECT_GT(p.failed_paths, 0u);
+    EXPECT_LE(p.irrecoverable_paths, p.failed_paths);
+    EXPECT_LE(p.pct_irrecoverable(), 100.0);
+  }
+  EXPECT_LT(pts.front().pct_irrecoverable(),
+            pts.back().pct_irrecoverable());
+}
+
+TEST_F(RunnerSmoke, RadiusSweepShapeEndpointRule) {
+  // Under the endpoint rule every failure involves a dead router, so a
+  // large share of failed paths is irrecoverable at *every* radius --
+  // the paper's ">20% even at radius 20" observation.  Small radii
+  // rarely enclose a router, hence the many areas.
+  const auto pts = radius_sweep(ctx_, {20.0, 300.0}, 600, 5, 2000.0,
+                                fail::LinkCutRule::kEndpointsOnly);
+  ASSERT_EQ(pts.size(), 2u);
+  for (const RadiusPoint& p : pts) {
+    EXPECT_GT(p.failed_paths, 0u);
+    EXPECT_GT(p.pct_irrecoverable(), 20.0);
+    EXPECT_LE(p.pct_irrecoverable(), 100.0);
+  }
+}
+
+TEST(BenchConfig, Defaults) {
+  const BenchConfig c;
+  EXPECT_EQ(c.cases, 10000u);
+  EXPECT_EQ(c.fig11_areas, 1000u);
+  EXPECT_NE(c.describe().find("seed"), std::string::npos);
+}
+
+TEST(BenchConfig, EnvOverride) {
+  ::setenv("RTR_CASES", "123", 1);
+  ::setenv("RTR_SEED", "77", 1);
+  const BenchConfig c = BenchConfig::from_env();
+  EXPECT_EQ(c.cases, 123u);
+  EXPECT_EQ(c.seed, 77u);
+  ::unsetenv("RTR_CASES");
+  ::unsetenv("RTR_SEED");
+  const BenchConfig d = BenchConfig::from_env();
+  EXPECT_EQ(d.cases, 10000u);
+}
+
+}  // namespace
+}  // namespace rtr::exp

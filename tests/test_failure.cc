@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "failure/area.h"
+#include "failure/failure_set.h"
+#include "failure/scenario.h"
+#include "graph/paper_topology.h"
+#include "graph/properties.h"
+
+namespace rtr::fail {
+namespace {
+
+using graph::paper_node;
+
+TEST(FailureSet, EmptyByDefault) {
+  const graph::Graph g = graph::fig1_graph();
+  const FailureSet fs(g);
+  EXPECT_TRUE(fs.empty());
+  EXPECT_EQ(fs.num_failed_nodes(), 0u);
+  EXPECT_EQ(fs.num_failed_links(), 0u);
+}
+
+TEST(FailureSet, PaperAreaDestroysExactlyTheDocumentedElements) {
+  // The worked example: the circle kills v10 and cuts e6,11 and e4,11;
+  // every link incident to v10 fails with it.
+  const graph::Graph g = graph::fig1_graph();
+  const CircleArea area(graph::fig1_failure_area());
+  const FailureSet fs(g, area);
+
+  EXPECT_EQ(fs.num_failed_nodes(), 1u);
+  EXPECT_TRUE(fs.node_failed(paper_node(10)));
+
+  const auto link = [&g](int a, int b) {
+    return g.find_link(paper_node(a), paper_node(b));
+  };
+  const std::vector<LinkId> expected_failed = {
+      link(5, 10), link(9, 10), link(14, 10), link(11, 10),
+      link(6, 11), link(4, 11)};
+  EXPECT_EQ(fs.num_failed_links(), expected_failed.size());
+  for (LinkId l : expected_failed) {
+    EXPECT_TRUE(fs.link_failed(l)) << g.link_name(l);
+  }
+  // The crossing link e5,12 must survive: the paper's Constraint-1
+  // narrative requires it to be live but excluded.
+  EXPECT_FALSE(fs.link_failed(link(5, 12)));
+}
+
+TEST(FailureSet, OfLinksAndNodes) {
+  const graph::Graph g = graph::fig1_graph();
+  const LinkId l = g.find_link(paper_node(6), paper_node(11));
+  const FailureSet single = FailureSet::of_links(g, {l});
+  EXPECT_EQ(single.num_failed_links(), 1u);
+  EXPECT_EQ(single.num_failed_nodes(), 0u);
+  EXPECT_TRUE(single.link_failed(l));
+
+  const FailureSet node = FailureSet::of_nodes(g, {paper_node(10)});
+  EXPECT_TRUE(node.node_failed(paper_node(10)));
+  EXPECT_EQ(node.num_failed_links(), g.degree(paper_node(10)));
+}
+
+TEST(FailureSet, ObservedFailedLinksAreLocalKnowledge) {
+  const graph::Graph g = graph::fig1_graph();
+  const CircleArea area(graph::fig1_failure_area());
+  const FailureSet fs(g, area);
+  // v6 observes only e6,11 (its link to the unreachable v11).
+  const auto obs6 = fs.observed_failed_links(g, paper_node(6));
+  ASSERT_EQ(obs6.size(), 1u);
+  EXPECT_EQ(obs6[0], g.find_link(paper_node(6), paper_node(11)));
+  // v5 observes only e5,10.
+  const auto obs5 = fs.observed_failed_links(g, paper_node(5));
+  ASSERT_EQ(obs5.size(), 1u);
+  EXPECT_EQ(obs5[0], g.find_link(paper_node(5), paper_node(10)));
+  // A failed router observes nothing.
+  EXPECT_THROW(fs.observed_failed_links(g, paper_node(10)),
+               ContractViolation);
+}
+
+TEST(FailureSet, NeighborUnreachableCannotDistinguishCause) {
+  const graph::Graph g = graph::fig1_graph();
+  const CircleArea area(graph::fig1_failure_area());
+  const FailureSet fs(g, area);
+  for (const graph::Adjacency& a : g.neighbors(paper_node(11))) {
+    const bool unreachable = fs.neighbor_unreachable(a);
+    const bool expected = fs.link_failed(a.link) ||
+                          fs.node_failed(a.neighbor);
+    EXPECT_EQ(unreachable, expected);
+  }
+}
+
+TEST(FailureSet, HasLiveNeighbor) {
+  const graph::Graph g = graph::fig1_graph();
+  const CircleArea area(graph::fig1_failure_area());
+  const FailureSet fs(g, area);
+  EXPECT_TRUE(fs.has_live_neighbor(g, paper_node(6)));
+  // Enclose v6 completely: all its neighbours die.
+  FailureSet all(g);
+  for (const graph::Adjacency& a : g.neighbors(paper_node(6))) {
+    all.add_node(g, a.neighbor);
+  }
+  EXPECT_FALSE(all.has_live_neighbor(g, paper_node(6)));
+}
+
+TEST(FailureSet, MasksViewMatches) {
+  const graph::Graph g = graph::fig1_graph();
+  const CircleArea area(graph::fig1_failure_area());
+  const FailureSet fs(g, area);
+  const graph::Masks m = fs.masks();
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(!m.node_ok(n), fs.node_failed(n));
+  }
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    EXPECT_EQ(!m.link_ok(l), fs.link_failed(l));
+  }
+}
+
+TEST(FailureSet, AddIsIdempotent) {
+  const graph::Graph g = graph::fig1_graph();
+  FailureSet fs(g);
+  fs.add_link(0);
+  fs.add_link(0);
+  EXPECT_EQ(fs.num_failed_links(), 1u);
+  fs.add_node(g, paper_node(10));
+  const std::size_t links_after = fs.num_failed_links();
+  fs.add_node(g, paper_node(10));
+  EXPECT_EQ(fs.num_failed_links(), links_after);
+}
+
+TEST(FailureSet, MultipleAreasAccumulate) {
+  const graph::Graph g = graph::fig1_graph();
+  FailureSet fs(g, CircleArea({370, 340}, 65));
+  const std::size_t first = fs.num_failed_links();
+  fs.add(g, CircleArea({120, 190}, 40));  // around v7
+  EXPECT_TRUE(fs.node_failed(paper_node(7)));
+  EXPECT_GT(fs.num_failed_links(), first);
+}
+
+TEST(UnionArea, MatchesParts) {
+  const CircleArea a({0, 0}, 10);
+  const CircleArea b({100, 0}, 10);
+  std::vector<std::unique_ptr<FailureArea>> parts;
+  parts.push_back(std::make_unique<CircleArea>(a));
+  parts.push_back(std::make_unique<CircleArea>(b));
+  const UnionArea u(std::move(parts));
+  EXPECT_TRUE(u.contains({1, 1}));
+  EXPECT_TRUE(u.contains({99, 1}));
+  EXPECT_FALSE(u.contains({50, 0}));
+  EXPECT_TRUE(u.intersects({{-20, 0}, {-5, 0}}));
+  EXPECT_FALSE(u.intersects({{40, 40}, {60, 40}}));
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_NE(u.describe().find("union"), std::string::npos);
+}
+
+TEST(PolygonAreaVsCircle, AgreeOnFailures) {
+  // A 64-gon inscribed in the failure circle must fail (almost) the
+  // same elements as the circle itself.
+  const graph::Graph g = graph::fig1_graph();
+  const geom::Circle c = graph::fig1_failure_area();
+  const CircleArea circle(c);
+  const PolygonArea poly(geom::make_regular_polygon(c.center, c.radius, 64));
+  const FailureSet a(g, circle);
+  const FailureSet b(g, poly);
+  // The polygon is inscribed, so anything it fails the circle fails too.
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    if (b.link_failed(l)) {
+      EXPECT_TRUE(a.link_failed(l)) << g.link_name(l);
+    }
+  }
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (b.node_failed(n)) {
+      EXPECT_TRUE(a.node_failed(n));
+    }
+  }
+}
+
+TEST(Scenario, RandomCircleRespectsConfig) {
+  Rng rng(99);
+  const ScenarioConfig cfg;
+  for (int i = 0; i < 200; ++i) {
+    const CircleArea a = random_circle_area(cfg, rng);
+    EXPECT_GE(a.circle().radius, cfg.min_radius);
+    EXPECT_LE(a.circle().radius, cfg.max_radius);
+    EXPECT_GE(a.circle().center.x, 0.0);
+    EXPECT_LE(a.circle().center.x, cfg.extent);
+    EXPECT_GE(a.circle().center.y, 0.0);
+    EXPECT_LE(a.circle().center.y, cfg.extent);
+  }
+}
+
+TEST(Scenario, FixedRadius) {
+  Rng rng(5);
+  const CircleArea a = random_circle_area_fixed_radius(2000.0, 20.0, rng);
+  EXPECT_DOUBLE_EQ(a.circle().radius, 20.0);
+}
+
+TEST(Scenario, RandomPolygonIsSane) {
+  Rng rng(17);
+  const ScenarioConfig cfg;
+  const PolygonArea a = random_polygon_area(cfg, 8, rng);
+  EXPECT_EQ(a.polygon().size(), 8u);
+  // The center region of a star-shaped polygon is inside it.
+  const auto [lo, hi] = a.polygon().bounding_box();
+  EXPECT_LE(hi.x - lo.x, 2 * cfg.max_radius + 1e-6);
+}
+
+TEST(Describe, MentionsShape) {
+  EXPECT_NE(CircleArea({1, 2}, 3).describe().find("circle"),
+            std::string::npos);
+  PolygonArea p(geom::make_regular_polygon({0, 0}, 10, 5));
+  EXPECT_NE(p.describe().find("polygon"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtr::fail

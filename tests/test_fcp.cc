@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "baselines/fcp.h"
+#include "common/expect.h"
+#include "common/rng.h"
+#include "failure/scenario.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/paper_topology.h"
+#include "graph/properties.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::baseline {
+namespace {
+
+using fail::CircleArea;
+using fail::FailureSet;
+using graph::Graph;
+using graph::paper_node;
+
+TEST(Fcp, DeliversOnTheWorkedExample) {
+  const Graph g = graph::fig1_graph();
+  const FailureSet fs(g, CircleArea(graph::fig1_failure_area()));
+  const FcpResult r = run_fcp(g, fs, paper_node(6), paper_node(17));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.final_node, paper_node(17));
+  EXPECT_GE(r.sp_calculations, 1u);
+  EXPECT_EQ(r.walk.front(), paper_node(6));
+  EXPECT_EQ(r.walk.back(), paper_node(17));
+  EXPECT_EQ(r.bytes_per_hop.size(), r.hops);
+}
+
+TEST(Fcp, WalkTraversesOnlyLiveLinks) {
+  const Graph g = graph::fig1_graph();
+  const FailureSet fs(g, CircleArea(graph::fig1_failure_area()));
+  const FcpResult r = run_fcp(g, fs, paper_node(6), paper_node(17));
+  for (std::size_t i = 0; i + 1 < r.walk.size(); ++i) {
+    const LinkId l = g.find_link(r.walk[i], r.walk[i + 1]);
+    ASSERT_NE(l, kNoLink);
+    EXPECT_FALSE(fs.link_failed(l));
+  }
+}
+
+TEST(Fcp, HeaderCarriesOnlyRealFailures) {
+  const Graph g = graph::fig1_graph();
+  const FailureSet fs(g, CircleArea(graph::fig1_failure_area()));
+  const FcpResult r = run_fcp(g, fs, paper_node(6), paper_node(17));
+  for (LinkId l : r.header.failed_links) {
+    EXPECT_TRUE(fs.link_failed(l)) << g.link_name(l);
+  }
+}
+
+TEST(Fcp, DropsWhenDestinationDead) {
+  const Graph g = graph::fig1_graph();
+  const FailureSet fs(g, CircleArea(graph::fig1_failure_area()));
+  // v10 is destroyed: FCP must eventually discard, not loop.
+  const FcpResult r = run_fcp(g, fs, paper_node(6), paper_node(10));
+  EXPECT_FALSE(r.delivered);
+  EXPECT_GE(r.sp_calculations, 1u);
+}
+
+TEST(Fcp, RejectsBadArguments) {
+  const Graph g = graph::fig1_graph();
+  const FailureSet fs(g, CircleArea(graph::fig1_failure_area()));
+  EXPECT_THROW(run_fcp(g, fs, paper_node(6), paper_node(6)),
+               ContractViolation);
+  EXPECT_THROW(run_fcp(g, fs, paper_node(10), paper_node(17)),
+               ContractViolation);
+}
+
+struct TopoParam {
+  const char* name;
+  std::uint64_t seed;
+};
+
+class FcpProperties : public ::testing::TestWithParam<TopoParam> {};
+
+// FCP's convergence-free guarantee: when the destination is reachable
+// in the damaged graph, FCP always delivers (it only ever excludes
+// genuinely failed links); when it is unreachable, FCP terminates with
+// a discard after finitely many recomputations.
+TEST_P(FcpProperties, DeliversIffReachable) {
+  const Graph g = graph::make_isp_topology(
+      graph::spec_by_name(GetParam().name));
+  Rng rng(GetParam().seed);
+  const fail::ScenarioConfig cfg;
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 500; ++trial) {
+    const CircleArea area = fail::random_circle_area(cfg, rng);
+    const FailureSet fs(g, area);
+    if (fs.empty()) continue;
+    const graph::Components comp = graph::components(g, fs.masks());
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (fs.node_failed(n) || fs.observed_failed_links(g, n).empty()) {
+        continue;
+      }
+      for (NodeId dest = 0; dest < g.num_nodes(); ++dest) {
+        if (dest == n) continue;
+        const bool reachable =
+            !fs.node_failed(dest) && comp.id[n] == comp.id[dest];
+        const FcpResult r = run_fcp(g, fs, n, dest);
+        ++checked;
+        EXPECT_EQ(r.delivered, reachable)
+            << GetParam().name << " " << n << "->" << dest;
+        EXPECT_LT(r.sp_calculations, g.num_links() + 2)
+            << "failure list growth must bound recomputations";
+        if (r.delivered) {
+          // Stretch sanity: never shorter than the true optimum.
+          const spf::SptResult truth = spf::bfs_from(g, n, fs.masks());
+          EXPECT_GE(static_cast<double>(r.hops), truth.dist[dest]);
+        }
+      }
+      break;  // one initiator per area
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, FcpProperties,
+    ::testing::Values(TopoParam{"AS209", 11}, TopoParam{"AS1239", 12},
+                      TopoParam{"AS3320", 13}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Fcp, SingleLinkFailureIsOneCalculation) {
+  // With one failed link known at the initiator, the very first
+  // recomputation already avoids it: FCP needs exactly 1 calculation
+  // and achieves the optimum, like RTR (Theorem 3 parity check).
+  const Graph g = graph::make_isp_topology(graph::spec_by_name("AS209"));
+  const spf::RoutingTable rt(g);
+  for (LinkId dead = 0; dead < g.num_links(); dead += 7) {
+    const FailureSet fs = FailureSet::of_links(g, {dead});
+    const graph::Link& e = g.link(dead);
+    for (NodeId dest = 0; dest < g.num_nodes(); dest += 11) {
+      if (dest == e.u || rt.next_link(e.u, dest) != dead) continue;
+      const std::vector<char> lm = fs.link_mask();
+      const spf::Path truth =
+          spf::shortest_path(g, e.u, dest, {nullptr, &lm});
+      const FcpResult r = run_fcp(g, fs, e.u, dest);
+      if (truth.empty()) {
+        EXPECT_FALSE(r.delivered);
+        continue;
+      }
+      EXPECT_TRUE(r.delivered);
+      EXPECT_EQ(r.sp_calculations, 1u);
+      EXPECT_EQ(r.hops, truth.hops());
+    }
+  }
+}
+
+
+class FcpOriginalProperties : public ::testing::TestWithParam<TopoParam> {};
+
+// The original per-hop FCP must agree with the source-routing variant
+// on *outcomes* (delivery is a property of the carried-failure scheme,
+// not of where recomputation happens) while paying at least one SP
+// calculation per traveled hop.
+TEST_P(FcpOriginalProperties, AgreesOnOutcomeAndCostsMore) {
+  const Graph g = graph::make_isp_topology(
+      graph::spec_by_name(GetParam().name));
+  Rng rng(GetParam().seed ^ 0xFEED);
+  const fail::ScenarioConfig cfg;
+  int checked = 0;
+  for (int trial = 0; trial < 40 && checked < 200; ++trial) {
+    const CircleArea area = fail::random_circle_area(cfg, rng);
+    const FailureSet fs(g, area, fail::LinkCutRule::kEndpointsOnly);
+    if (fs.empty()) continue;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (fs.node_failed(n) || fs.observed_failed_links(g, n).empty()) {
+        continue;
+      }
+      for (NodeId dest = 0; dest < g.num_nodes(); dest += 3) {
+        if (dest == n) continue;
+        ++checked;
+        const FcpResult sr = run_fcp(g, fs, n, dest);
+        const FcpResult orig = run_fcp_original(g, fs, n, dest);
+        EXPECT_EQ(orig.delivered, sr.delivered)
+            << GetParam().name << " " << n << "->" << dest;
+        if (orig.delivered) {
+          // One computation at every visited router.
+          EXPECT_EQ(orig.sp_calculations, orig.hops + 0u)
+              << "original FCP recomputes per hop";
+          EXPECT_GE(orig.sp_calculations, sr.sp_calculations);
+          // The walk never crosses a failed link.
+          for (std::size_t i = 0; i + 1 < orig.walk.size(); ++i) {
+            const LinkId l = g.find_link(orig.walk[i], orig.walk[i + 1]);
+            ASSERT_NE(l, kNoLink);
+            EXPECT_FALSE(fs.link_failed(l));
+          }
+        }
+      }
+      break;
+    }
+  }
+  EXPECT_GT(checked, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, FcpOriginalProperties,
+    ::testing::Values(TopoParam{"AS209", 31}, TopoParam{"AS3320", 32}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(FcpOriginal, HeaderCarriesNoSourceRoute) {
+  const Graph g = graph::fig1_graph();
+  const FailureSet fs(g, CircleArea(graph::fig1_failure_area()),
+                      fail::LinkCutRule::kGeometric);
+  const FcpResult r =
+      run_fcp_original(g, fs, graph::paper_node(6), graph::paper_node(17));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_TRUE(r.header.source_route.empty());
+  for (std::size_t b : r.bytes_per_hop) {
+    EXPECT_EQ(b % kWireIdBytes, 0u);  // failure ids only
+  }
+}
+
+}  // namespace
+}  // namespace rtr::baseline

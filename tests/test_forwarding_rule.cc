@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/forwarding_rule.h"
+#include "graph/paper_topology.h"
+
+namespace rtr::core {
+namespace {
+
+using fail::FailureSet;
+using graph::CrossingIndex;
+using graph::Graph;
+using graph::paper_node;
+
+/// A star: center node 0 with four arms at the compass points.
+struct Star {
+  Graph g;
+  NodeId east, north, west, south;
+
+  Star() {
+    g.add_node({0, 0});             // 0: center
+    east = g.add_node({100, 0});    // 1
+    north = g.add_node({0, 100});   // 2
+    west = g.add_node({-100, 0});   // 3
+    south = g.add_node({0, -100});  // 4
+    g.add_link(0, east);
+    g.add_link(0, north);
+    g.add_link(0, west);
+    g.add_link(0, south);
+  }
+};
+
+TEST(ForwardingRule, CounterclockwiseOrderFromEast) {
+  Star s;
+  const CrossingIndex idx(s.g);
+  const FailureSet none(s.g);
+  net::RtrHeader h;
+  // Sweeping from the east arm, the first counterclockwise neighbour
+  // is north, then west, then south.
+  const Selection sel =
+      select_next_hop(s.g, idx, none, h, 0, s.east);
+  EXPECT_EQ(sel.node, s.north);
+}
+
+TEST(ForwardingRule, SkipsUnreachableNeighbors) {
+  Star s;
+  const CrossingIndex idx(s.g);
+  const FailureSet fs =
+      FailureSet::of_links(s.g, {s.g.find_link(0, s.north)});
+  net::RtrHeader h;
+  const Selection sel = select_next_hop(s.g, idx, fs, h, 0, s.east);
+  EXPECT_EQ(sel.node, s.west);  // north skipped
+}
+
+TEST(ForwardingRule, ClockwiseOption) {
+  Star s;
+  const CrossingIndex idx(s.g);
+  const FailureSet none(s.g);
+  net::RtrHeader h;
+  const Selection sel =
+      select_next_hop(s.g, idx, none, h, 0, s.east, {true});
+  EXPECT_EQ(sel.node, s.south);
+}
+
+TEST(ForwardingRule, PreviousHopIsLastResort) {
+  // Path 0 - 1 with nothing else live: the rule must bounce back.
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({100, 0});
+  g.add_node({200, 0});
+  g.add_link(0, 1);
+  const LinkId dead = g.add_link(1, 2);
+  const CrossingIndex idx(g);
+  const FailureSet fs = FailureSet::of_links(g, {dead});
+  net::RtrHeader h;
+  const Selection sel = select_next_hop(g, idx, fs, h, 1, 0);
+  EXPECT_EQ(sel.node, 0u);  // full turn back to the previous hop
+}
+
+TEST(ForwardingRule, NoCandidateWhenIsolated) {
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({100, 0});
+  const LinkId dead = g.add_link(0, 1);
+  const CrossingIndex idx(g);
+  const FailureSet fs = FailureSet::of_links(g, {dead});
+  net::RtrHeader h;
+  EXPECT_FALSE(select_next_hop(g, idx, fs, h, 0, 1).found());
+}
+
+TEST(ForwardingRule, CrossLinkExclusion) {
+  // Two crossing links: recording one excludes the other.
+  Graph g;
+  g.add_node({0, 0});     // 0
+  g.add_node({100, 100}); // 1
+  g.add_node({0, 100});   // 2
+  g.add_node({100, 0});   // 3
+  g.add_node({-100, 0});  // 4 (reference arm)
+  const LinkId diag1 = g.add_link(0, 1);
+  const LinkId diag2 = g.add_link(2, 3);
+  g.add_link(0, 4);
+  const CrossingIndex idx(g);
+  ASSERT_TRUE(idx.cross(diag1, diag2));
+  const FailureSet none(g);
+  net::RtrHeader h;
+  // Without exclusions node 0 sweeping from node 4 picks node 1
+  // (smallest ccw rotation upward is the diagonal).
+  EXPECT_EQ(select_next_hop(g, idx, none, h, 0, 4).node, 1u);
+  // Recording diag2 in cross_link excludes diag1.
+  h.add_cross(diag2);
+  const Selection sel = select_next_hop(g, idx, none, h, 0, 4);
+  EXPECT_EQ(sel.node, 4u);  // only the reference arm remains
+  EXPECT_TRUE(link_excluded(idx, h, diag1));
+  EXPECT_FALSE(link_excluded(idx, h, diag2));
+}
+
+TEST(ForwardingRule, SeedConstraint1OnlyRecordsCrossingFailedLinks) {
+  const Graph g = graph::fig1_graph();
+  const CrossingIndex idx(g);
+  const FailureSet fs(g, fail::CircleArea(graph::fig1_failure_area()),
+                      fail::LinkCutRule::kGeometric);
+  net::RtrHeader h;
+  h.rec_init = paper_node(6);
+  seed_constraint1(g, idx, fs, h, paper_node(6));
+  // v6's only failed incident link is e6,11, which crosses e5,12.
+  EXPECT_EQ(h.cross_links,
+            (std::vector<LinkId>{
+                g.find_link(paper_node(6), paper_node(11))}));
+
+  // v5's failed incident link e5,10 crosses e4,11: recorded too.
+  net::RtrHeader h5;
+  h5.rec_init = paper_node(5);
+  seed_constraint1(g, idx, fs, h5, paper_node(5));
+  EXPECT_EQ(h5.cross_links,
+            (std::vector<LinkId>{
+                g.find_link(paper_node(5), paper_node(10))}));
+
+  // v9's failed incident link e9,10 crosses nothing: nothing recorded.
+  net::RtrHeader h9;
+  h9.rec_init = paper_node(9);
+  seed_constraint1(g, idx, fs, h9, paper_node(9));
+  EXPECT_TRUE(h9.cross_links.empty());
+}
+
+TEST(ForwardingRule, MaybeRecordCrossSkipsFullyExcludedCrossers) {
+  const Graph g = graph::fig1_graph();
+  const CrossingIndex idx(g);
+  const LinkId e14_12 = g.find_link(paper_node(14), paper_node(12));
+  const LinkId e11_15 = g.find_link(paper_node(11), paper_node(15));
+  const LinkId e11_16 = g.find_link(paper_node(11), paper_node(16));
+
+  // Fresh header: e14,12 is crossed by the two non-excluded links, so
+  // selecting it records it.
+  net::RtrHeader h;
+  maybe_record_cross(idx, h, e14_12);
+  EXPECT_TRUE(h.has_cross(e14_12));
+
+  // Once e11,15 and e11,16 are themselves in cross_link, e14,12 (which
+  // crosses both) is excluded from selection altogether -- the
+  // recording rule never applies to it because it can never be chosen.
+  net::RtrHeader h2;
+  h2.add_cross(e11_15);
+  h2.add_cross(e11_16);
+  EXPECT_TRUE(link_excluded(idx, h2, e14_12));
+}
+
+TEST(ForwardingRule, RecordFailuresSkipsInitiatorLinks) {
+  const Graph g = graph::fig1_graph();
+  const FailureSet fs(g, fail::CircleArea(graph::fig1_failure_area()),
+                      fail::LinkCutRule::kGeometric);
+  // v11 neighbours the failed v10, the failed links e6,11 / e4,11 and
+  // live nodes.  With v6 as initiator, e6,11 must not be recorded.
+  net::RtrHeader h;
+  h.rec_init = paper_node(6);
+  record_failures(g, fs, h, paper_node(11));
+  EXPECT_FALSE(h.has_failed(g.find_link(paper_node(6), paper_node(11))));
+  EXPECT_TRUE(h.has_failed(g.find_link(paper_node(11), paper_node(10))));
+  EXPECT_TRUE(h.has_failed(g.find_link(paper_node(4), paper_node(11))));
+  // Re-recording is idempotent.
+  const std::size_t before = h.failed_links.size();
+  record_failures(g, fs, h, paper_node(11));
+  EXPECT_EQ(h.failed_links.size(), before);
+}
+
+}  // namespace
+}  // namespace rtr::core

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/crossings.h"
+#include "graph/gen/generators.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/io.h"
+#include "graph/properties.h"
+
+namespace rtr::graph {
+namespace {
+
+TEST(Generators, GridShape) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_links(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_TRUE(connected(g));
+  EXPECT_TRUE(CrossingIndex(g).planar_embedding());
+}
+
+TEST(Generators, RingShape) {
+  const Graph g = make_ring(8);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_links(), 8u);
+  EXPECT_TRUE(connected(g));
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min_degree, 2u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_TRUE(CrossingIndex(g).planar_embedding());
+}
+
+TEST(Generators, RandomTreeIsATree) {
+  Rng rng(7);
+  const Graph g = make_random_tree(40, 1000.0, rng);
+  EXPECT_EQ(g.num_nodes(), 40u);
+  EXPECT_EQ(g.num_links(), 39u);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, WaxmanConnectedSuperset) {
+  Rng rng(11);
+  const Graph g = make_waxman(60, 0.6, 0.3, 1000.0, rng);
+  EXPECT_EQ(g.num_nodes(), 60u);
+  EXPECT_GE(g.num_links(), 59u);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, RandomGeometricLinksWithinRadius) {
+  Rng rng(3);
+  const Graph g = make_random_geometric(50, 200.0, 1000.0, rng);
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const Link& e = g.link(l);
+    EXPECT_LE(geom::distance(g.position(e.u), g.position(e.v)), 200.0);
+  }
+}
+
+TEST(IspGen, ExactTable2Counts) {
+  for (const IspSpec& spec : table2_specs()) {
+    const Graph g = make_isp_topology(spec);
+    EXPECT_EQ(g.num_nodes(), spec.nodes) << spec.name;
+    EXPECT_EQ(g.num_links(), spec.links) << spec.name;
+    EXPECT_TRUE(connected(g)) << spec.name;
+  }
+}
+
+TEST(IspGen, DeterministicInSeed) {
+  const IspSpec& spec = spec_by_name("AS1239");
+  const Graph a = make_isp_topology(spec);
+  const Graph b = make_isp_topology(spec);
+  EXPECT_EQ(to_string(a), to_string(b));
+  IspSpec other = spec;
+  other.seed ^= 0xDEADBEEF;
+  const Graph c = make_isp_topology(other);
+  EXPECT_NE(to_string(a), to_string(c));
+}
+
+TEST(IspGen, NodesInsideExtent) {
+  const Graph g = make_isp_topology(spec_by_name("AS209"));
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const geom::Point p = g.position(n);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 2000.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 2000.0);
+  }
+}
+
+TEST(IspGen, SparseTopologyHasTreeBranches) {
+  // Section IV-B: AS7018 "has many tree branches"; the surrogate must
+  // reproduce that structural property (115 nodes, 148 links).
+  const Graph g = make_isp_topology(spec_by_name("AS7018"));
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GE(s.leaves, 15u);
+  EXPECT_LT(s.mean_degree, 3.0);
+}
+
+TEST(IspGen, DenseTopologyIsDense) {
+  const Graph g = make_isp_topology(spec_by_name("AS3549"));
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.mean_degree, 10.0);  // 61 nodes, 486 links
+}
+
+TEST(IspGen, CatalogContents) {
+  EXPECT_EQ(rocketfuel_specs().size(), 10u);
+  EXPECT_EQ(table2_specs().size(), 8u);
+  EXPECT_EQ(spec_by_name("AS7018").nodes, 115u);
+  EXPECT_EQ(spec_by_name("AS7018").links, 148u);
+  EXPECT_FALSE(spec_by_name("AS2914").core);
+  EXPECT_THROW(spec_by_name("AS9999"), std::out_of_range);
+}
+
+TEST(IspGen, RejectsInfeasibleSpecs) {
+  EXPECT_THROW(make_isp_topology({"bad", 10, 8, 1, true}),
+               ContractViolation);  // below spanning tree
+  EXPECT_THROW(make_isp_topology({"bad", 10, 46, 1, true}),
+               ContractViolation);  // above n(n-1)/2
+}
+
+}  // namespace
+}  // namespace rtr::graph

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/expect.h"
+#include "geom/angle.h"
+#include "geom/circle.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/segment.h"
+
+namespace rtr::geom {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Point, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Point{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Point{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Point{2.0, 4.0}));
+}
+
+TEST(Point, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(dot({2, 3}, {4, 5}), 23.0);
+  EXPECT_DOUBLE_EQ(cross({1, 0}, {0, 1}), 1.0);   // ccw positive
+  EXPECT_DOUBLE_EQ(cross({0, 1}, {1, 0}), -1.0);  // cw negative
+}
+
+TEST(Point, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(norm({3, 4}), 5.0);
+}
+
+TEST(Orientation, Signs) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, 1}), 1);   // left turn
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, -1}), -1); // right turn
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+}
+
+TEST(Segment, ProperCrossBasics) {
+  const Segment x{{0, 0}, {2, 2}};
+  const Segment plus{{0, 2}, {2, 0}};
+  EXPECT_TRUE(properly_cross(x, plus));
+  EXPECT_TRUE(properly_cross(plus, x));
+}
+
+TEST(Segment, SharedEndpointIsNotACross) {
+  // Adjacent links share a router; the paper's "across" relation must
+  // exclude them.
+  const Segment a{{0, 0}, {1, 1}};
+  const Segment b{{1, 1}, {2, 0}};
+  EXPECT_FALSE(properly_cross(a, b));
+}
+
+TEST(Segment, TouchingInteriorIsNotAProperCross) {
+  const Segment a{{0, 0}, {2, 0}};
+  const Segment t{{1, 0}, {1, 1}};  // T-junction: endpoint on interior
+  EXPECT_FALSE(properly_cross(a, t));
+  EXPECT_TRUE(segments_intersect(a, t));
+}
+
+TEST(Segment, DisjointAndParallel) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{0, 1}, {1, 1}};
+  EXPECT_FALSE(properly_cross(a, b));
+  EXPECT_FALSE(segments_intersect(a, b));
+}
+
+TEST(Segment, CollinearOverlapIntersectsButNotProperly) {
+  const Segment a{{0, 0}, {2, 0}};
+  const Segment b{{1, 0}, {3, 0}};
+  EXPECT_FALSE(properly_cross(a, b));
+  EXPECT_TRUE(segments_intersect(a, b));
+}
+
+TEST(Segment, OnSegment) {
+  const Segment s{{0, 0}, {2, 2}};
+  EXPECT_TRUE(on_segment({1, 1}, s));
+  EXPECT_TRUE(on_segment({0, 0}, s));
+  EXPECT_FALSE(on_segment({3, 3}, s));
+  EXPECT_FALSE(on_segment({1, 0}, s));
+}
+
+TEST(Segment, DistanceToSegment) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(distance_to_segment({5, 3}, s), 3.0);
+  EXPECT_DOUBLE_EQ(distance_to_segment({-3, 4}, s), 5.0);  // beyond end
+  EXPECT_DOUBLE_EQ(distance_to_segment({12, 0}, s), 2.0);
+  EXPECT_DOUBLE_EQ(distance_to_segment({5, 0}, s), 0.0);   // on it
+}
+
+TEST(Segment, DistanceToDegenerateSegment) {
+  const Segment s{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(distance_to_segment({4, 5}, s), 5.0);
+}
+
+TEST(Angle, CcwQuadrants) {
+  const Point east{1, 0};
+  EXPECT_NEAR(ccw_angle(east, {0, 1}), kPi / 2, 1e-12);
+  EXPECT_NEAR(ccw_angle(east, {-1, 0}), kPi, 1e-12);
+  EXPECT_NEAR(ccw_angle(east, {0, -1}), 1.5 * kPi, 1e-12);
+}
+
+TEST(Angle, SameDirectionIsFullTurn) {
+  // The previous hop sits at rotation 2*pi: candidate of last resort.
+  EXPECT_NEAR(ccw_angle({1, 0}, {2, 0}), kTwoPi, 1e-12);
+}
+
+TEST(Angle, CwIsComplement) {
+  const Point east{1, 0};
+  const Point ne{1, 1};
+  EXPECT_NEAR(ccw_angle(east, ne) + cw_angle(east, ne), kTwoPi, 1e-12);
+  EXPECT_NEAR(cw_angle(east, {2, 0}), kTwoPi, 1e-12);
+}
+
+TEST(Angle, Bearing) {
+  EXPECT_NEAR(bearing({1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(bearing({0, 1}), kPi / 2, 1e-12);
+  EXPECT_NEAR(bearing({-1, 0}), kPi, 1e-12);
+  EXPECT_NEAR(bearing({0, -1}), 1.5 * kPi, 1e-12);
+}
+
+TEST(Circle, ContainsStrictInterior) {
+  const Circle c{{0, 0}, 5.0};
+  EXPECT_TRUE(c.contains({3, 3}));
+  EXPECT_FALSE(c.contains({5, 0}));  // boundary is outside
+  EXPECT_FALSE(c.contains({6, 0}));
+}
+
+TEST(Circle, IntersectsChordWithBothEndpointsOutside) {
+  // A link "across" the area fails even when both routers survive.
+  const Circle c{{0, 0}, 5.0};
+  EXPECT_TRUE(c.intersects({{-10, 0}, {10, 0}}));
+  EXPECT_FALSE(c.intersects({{-10, 6}, {10, 6}}));
+  EXPECT_TRUE(c.intersects({{0, 0}, {10, 0}}));    // endpoint inside
+  EXPECT_FALSE(c.intersects({{5, 5}, {10, 10}}));  // fully outside
+}
+
+TEST(Polygon, ContainsSquare) {
+  const Polygon p({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  EXPECT_TRUE(p.contains({5, 5}));
+  EXPECT_FALSE(p.contains({-1, 5}));
+  EXPECT_FALSE(p.contains({15, 5}));
+}
+
+TEST(Polygon, ContainsConcave) {
+  // L-shape: the notch is outside.
+  const Polygon p({{0, 0}, {10, 0}, {10, 4}, {4, 4}, {4, 10}, {0, 10}});
+  EXPECT_TRUE(p.contains({2, 8}));
+  EXPECT_TRUE(p.contains({8, 2}));
+  EXPECT_FALSE(p.contains({8, 8}));  // inside the notch
+}
+
+TEST(Polygon, IntersectsSegment) {
+  const Polygon p({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  EXPECT_TRUE(p.intersects({{-5, 5}, {15, 5}}));   // straight through
+  EXPECT_TRUE(p.intersects({{5, 5}, {20, 5}}));    // one endpoint inside
+  EXPECT_FALSE(p.intersects({{-5, -5}, {-1, 20}}));
+}
+
+TEST(Polygon, SignedArea) {
+  const Polygon ccw({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  EXPECT_DOUBLE_EQ(ccw.signed_area(), 100.0);
+  const Polygon cw({{0, 10}, {10, 10}, {10, 0}, {0, 0}});
+  EXPECT_DOUBLE_EQ(cw.signed_area(), -100.0);
+}
+
+TEST(Polygon, BoundingBox) {
+  const Polygon p({{3, 7}, {-2, 1}, {5, -4}});
+  const auto [lo, hi] = p.bounding_box();
+  EXPECT_EQ(lo, (Point{-2, -4}));
+  EXPECT_EQ(hi, (Point{5, 7}));
+}
+
+TEST(Polygon, RejectsDegenerate) {
+  EXPECT_THROW(Polygon({{0, 0}, {1, 1}}), ContractViolation);
+}
+
+TEST(Polygon, RegularPolygonApproximatesCircle) {
+  const Point c{100, 100};
+  const double r = 50;
+  const Polygon p = make_regular_polygon(c, r, 64);
+  // Points comfortably inside/outside the circle agree with the n-gon.
+  EXPECT_TRUE(p.contains({100, 100}));
+  EXPECT_TRUE(p.contains({100 + r * 0.9, 100}));
+  EXPECT_FALSE(p.contains({100 + r * 1.05, 100}));
+  EXPECT_NEAR(p.signed_area(), kPi * r * r, kPi * r * r * 0.01);
+}
+
+TEST(Polygon, EdgeWraps) {
+  const Polygon p({{0, 0}, {10, 0}, {5, 8}});
+  const Segment last = p.edge(2);
+  EXPECT_EQ(last.a, (Point{5, 8}));
+  EXPECT_EQ(last.b, (Point{0, 0}));
+}
+
+}  // namespace
+}  // namespace rtr::geom

@@ -1,0 +1,125 @@
+// Randomized property suites for the geometric predicates that the
+// protocol's correctness hangs on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/angle.h"
+#include "geom/circle.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/segment.h"
+
+namespace rtr::geom {
+namespace {
+
+Point random_point(Rng& rng, double extent = 1000.0) {
+  return {rng.uniform_real(0.0, extent), rng.uniform_real(0.0, extent)};
+}
+
+class GeomProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeomProperties, ProperCrossIsSymmetricAndImpliesIntersect) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const Segment s{random_point(rng), random_point(rng)};
+    const Segment t{random_point(rng), random_point(rng)};
+    const bool st = properly_cross(s, t);
+    EXPECT_EQ(st, properly_cross(t, s));
+    if (st) {
+      EXPECT_TRUE(segments_intersect(s, t));
+      // A proper crossing means the endpoints of each segment are on
+      // strictly opposite sides of the other's supporting line.
+      EXPECT_NE(orientation(s.a, s.b, t.a), orientation(s.a, s.b, t.b));
+      EXPECT_NE(orientation(t.a, t.b, s.a), orientation(t.a, t.b, s.b));
+    }
+  }
+}
+
+TEST_P(GeomProperties, SharedEndpointNeverProperlyCrosses) {
+  Rng rng(GetParam() ^ 0x1111);
+  for (int i = 0; i < 1000; ++i) {
+    const Point shared = random_point(rng);
+    const Segment s{shared, random_point(rng)};
+    const Segment t{shared, random_point(rng)};
+    EXPECT_FALSE(properly_cross(s, t));
+  }
+}
+
+TEST_P(GeomProperties, DistanceToSegmentBracketsEndpointDistances) {
+  Rng rng(GetParam() ^ 0x2222);
+  for (int i = 0; i < 2000; ++i) {
+    const Segment s{random_point(rng), random_point(rng)};
+    const Point p = random_point(rng);
+    const double d = distance_to_segment(p, s);
+    EXPECT_LE(d, distance(p, s.a) + 1e-9);
+    EXPECT_LE(d, distance(p, s.b) + 1e-9);
+    EXPECT_GE(d, 0.0);
+    // Points on the segment have distance ~0.
+    const double t = rng.uniform_real(0.0, 1.0);
+    const Point on = s.a + (s.b - s.a) * t;
+    EXPECT_NEAR(distance_to_segment(on, s), 0.0, 1e-9);
+  }
+}
+
+TEST_P(GeomProperties, CircleIntersectionMatchesSampledDistance) {
+  Rng rng(GetParam() ^ 0x3333);
+  for (int i = 0; i < 1000; ++i) {
+    const Circle c{random_point(rng), rng.uniform_real(10.0, 300.0)};
+    const Segment s{random_point(rng), random_point(rng)};
+    // Brute-force: sample the segment densely.
+    bool sampled_inside = false;
+    for (int k = 0; k <= 200; ++k) {
+      const Point p = s.a + (s.b - s.a) * (k / 200.0);
+      if (distance(p, c.center) < c.radius - 1e-6) sampled_inside = true;
+    }
+    if (sampled_inside) {
+      EXPECT_TRUE(c.intersects(s));
+    }
+    if (!c.intersects(s)) {
+      EXPECT_FALSE(sampled_inside);
+    }
+  }
+}
+
+TEST_P(GeomProperties, CcwAngleIsAdditiveAroundTheCircle) {
+  Rng rng(GetParam() ^ 0x4444);
+  for (int i = 0; i < 1000; ++i) {
+    const double a1 = rng.uniform_real(0.0, kTwoPi);
+    const double a2 = rng.uniform_real(0.0, kTwoPi);
+    const Point u{std::cos(a1), std::sin(a1)};
+    const Point v{std::cos(a2), std::sin(a2)};
+    const double fwd = ccw_angle(u, v);
+    const double bwd = ccw_angle(v, u);
+    EXPECT_GT(fwd, 0.0);
+    EXPECT_LE(fwd, kTwoPi);
+    // Either both directions coincide (full turns) or they sum to one
+    // full turn.
+    EXPECT_NEAR(std::fmod(fwd + bwd, kTwoPi), 0.0, 1e-6);
+  }
+}
+
+TEST_P(GeomProperties, PolygonContainsAgreesWithWindingOfConvexHullCase) {
+  Rng rng(GetParam() ^ 0x5555);
+  for (int i = 0; i < 300; ++i) {
+    const Point c = random_point(rng);
+    const double r = rng.uniform_real(50.0, 200.0);
+    const Polygon poly = make_regular_polygon(c, r, 24);
+    // Interior points inside; far exterior points outside.
+    for (int k = 0; k < 10; ++k) {
+      const double a = rng.uniform_real(0.0, kTwoPi);
+      const double rr = rng.uniform_real(0.0, r * 0.9);
+      EXPECT_TRUE(poly.contains(
+          {c.x + rr * std::cos(a), c.y + rr * std::sin(a)}));
+      EXPECT_FALSE(poly.contains(
+          {c.x + (r + 10.0) * std::cos(a), c.y + (r + 10.0) * std::sin(a)}));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeomProperties,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace rtr::geom

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/expect.h"
+#include "graph/crossings.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/paper_topology.h"
+#include "graph/properties.h"
+
+namespace rtr::graph {
+namespace {
+
+Graph triangle() {
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({10, 0});
+  g.add_node({5, 8});
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 0);
+  return g;
+}
+
+TEST(Graph, BasicAccessors) {
+  Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_links(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.position(2), (geom::Point{5, 8}));
+  const Link& e = g.link(0);
+  EXPECT_EQ(e.u, 0u);
+  EXPECT_EQ(e.v, 1u);
+  EXPECT_DOUBLE_EQ(e.cost_uv, 1.0);
+}
+
+TEST(Graph, OtherEndAndCost) {
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({1, 0});
+  const LinkId l = g.add_link_asym(0, 1, 2.0, 3.0);
+  EXPECT_EQ(g.other_end(l, 0), 1u);
+  EXPECT_EQ(g.other_end(l, 1), 0u);
+  EXPECT_DOUBLE_EQ(g.cost_from(l, 0), 2.0);
+  EXPECT_DOUBLE_EQ(g.cost_from(l, 1), 3.0);
+  EXPECT_THROW(g.other_end(l, 2), ContractViolation);
+}
+
+TEST(Graph, FindLink) {
+  Graph g = triangle();
+  EXPECT_NE(g.find_link(0, 1), kNoLink);
+  EXPECT_EQ(g.find_link(0, 1), g.find_link(1, 0));
+  Graph g2 = triangle();
+  g2.add_node({20, 20});
+  EXPECT_EQ(g2.find_link(0, 3), kNoLink);
+}
+
+TEST(Graph, RejectsSelfLoopAndParallel) {
+  Graph g = triangle();
+  EXPECT_THROW(g.add_link(0, 0), ContractViolation);
+  EXPECT_THROW(g.add_link(0, 1), ContractViolation);
+  EXPECT_THROW(g.add_link(1, 0), ContractViolation);
+  EXPECT_THROW(g.add_link(0, 7), ContractViolation);
+  EXPECT_THROW(g.add_link(0, 1, -1.0), ContractViolation);
+}
+
+TEST(Graph, SegmentMatchesEmbedding) {
+  Graph g = triangle();
+  // The 0-2 link was inserted as (2, 0): the segment runs u -> v.
+  const geom::Segment s = g.segment(g.find_link(0, 2));
+  EXPECT_EQ(s.a, (geom::Point{5, 8}));
+  EXPECT_EQ(s.b, (geom::Point{0, 0}));
+}
+
+TEST(Graph, LinkName) {
+  Graph g = triangle();
+  EXPECT_EQ(g.link_name(0), "e(0,1)");
+}
+
+// ---------------------------------------------------------------- crossings
+
+TEST(Crossings, PaperTopologyHasExactlyTheDocumentedPairs) {
+  const Graph g = fig1_graph();
+  const CrossingIndex idx(g);
+  const auto link = [&g](int a, int b) {
+    const LinkId l = g.find_link(paper_node(a), paper_node(b));
+    EXPECT_NE(l, kNoLink) << "e(" << a << "," << b << ") missing";
+    return l;
+  };
+  // The embedding was designed so that exactly these pairs cross:
+  // e5,12 x e6,11; e4,11 x e5,10; e14,12 x e11,15; e14,12 x e11,16.
+  EXPECT_TRUE(idx.cross(link(5, 12), link(6, 11)));
+  EXPECT_TRUE(idx.cross(link(4, 11), link(5, 10)));
+  EXPECT_TRUE(idx.cross(link(14, 12), link(11, 15)));
+  EXPECT_TRUE(idx.cross(link(14, 12), link(11, 16)));
+  EXPECT_EQ(idx.num_crossing_pairs(), 4u);
+  EXPECT_FALSE(idx.planar_embedding());
+  // Symmetry.
+  EXPECT_TRUE(idx.cross(link(6, 11), link(5, 12)));
+  // A non-crossing sample.
+  EXPECT_FALSE(idx.cross(link(6, 5), link(7, 6)));
+}
+
+TEST(Crossings, PlanarVariantHasNone) {
+  const Graph g = fig1_planar_graph();
+  const CrossingIndex idx(g);
+  EXPECT_EQ(idx.num_crossing_pairs(), 0u);
+  EXPECT_TRUE(idx.planar_embedding());
+}
+
+TEST(Crossings, ListsAreSortedAndConsistent) {
+  const Graph g = fig1_graph();
+  const CrossingIndex idx(g);
+  std::size_t pair_count = 0;
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const auto& cs = idx.crossing(l);
+    EXPECT_TRUE(std::is_sorted(cs.begin(), cs.end()));
+    for (LinkId c : cs) {
+      EXPECT_TRUE(idx.cross(c, l));
+      ++pair_count;
+    }
+  }
+  EXPECT_EQ(pair_count, 2 * idx.num_crossing_pairs());
+}
+
+// ---------------------------------------------------------------- properties
+
+TEST(Properties, Reachability) {
+  Graph g = triangle();
+  g.add_node({50, 50});  // isolated node 3
+  EXPECT_TRUE(reachable(g, 0, 2));
+  EXPECT_FALSE(reachable(g, 0, 3));
+  EXPECT_FALSE(connected(g));
+  const Components c = components(g);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.id[0], c.id[1]);
+  EXPECT_NE(c.id[0], c.id[3]);
+}
+
+TEST(Properties, MasksCutLinksAndNodes) {
+  Graph g = triangle();
+  std::vector<char> link_mask(g.num_links(), 0);
+  link_mask[g.find_link(0, 1)] = 1;
+  link_mask[g.find_link(0, 2)] = 1;
+  EXPECT_FALSE(reachable(g, 0, 2, {nullptr, &link_mask}));
+  EXPECT_TRUE(reachable(g, 1, 2, {nullptr, &link_mask}));
+
+  std::vector<char> node_mask(g.num_nodes(), 0);
+  node_mask[1] = 1;
+  EXPECT_TRUE(reachable(g, 0, 2, {&node_mask, nullptr}));
+  const Components c = components(g, {&node_mask, nullptr});
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_EQ(c.id[1], kNoNode);  // masked node belongs to no component
+}
+
+TEST(Properties, MaskedSourceReachesNothing) {
+  Graph g = triangle();
+  std::vector<char> node_mask(g.num_nodes(), 0);
+  node_mask[0] = 1;
+  const auto seen = reachable_from(g, 0, {&node_mask, nullptr});
+  for (char s : seen) EXPECT_EQ(s, 0);
+}
+
+TEST(Properties, DegreeStats) {
+  Graph g = triangle();
+  g.add_node({20, 0});
+  g.add_link(1, 3);  // node 3 is a leaf
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 3u);
+  EXPECT_EQ(s.leaves, 1u);
+  EXPECT_EQ(s.degree_le_two, 3u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 2.0);
+}
+
+TEST(Properties, SingletonGraphIsConnected) {
+  Graph g;
+  g.add_node({0, 0});
+  EXPECT_TRUE(connected(g));
+}
+
+// ------------------------------------------------------------------------ io
+
+TEST(GraphIo, RoundTrip) {
+  const Graph g = fig1_graph();
+  const Graph h = from_string(to_string(g));
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_links(), g.num_links());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(h.position(n), g.position(n));
+  }
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    EXPECT_EQ(h.link(l).u, g.link(l).u);
+    EXPECT_EQ(h.link(l).v, g.link(l).v);
+    EXPECT_DOUBLE_EQ(h.link(l).cost_uv, g.link(l).cost_uv);
+  }
+}
+
+TEST(GraphIo, AsymmetricCostsSurvive) {
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({1, 1});
+  g.add_link_asym(0, 1, 2.5, 7.25);
+  const Graph h = from_string(to_string(g));
+  EXPECT_DOUBLE_EQ(h.link(0).cost_uv, 2.5);
+  EXPECT_DOUBLE_EQ(h.link(0).cost_vu, 7.25);
+}
+
+TEST(GraphIo, CommentsAndBlankLines) {
+  const Graph g = from_string(
+      "# header comment\n"
+      "\n"
+      "node 1 2  # trailing comment\n"
+      "node 3 4\n"
+      "link 0 1 1\n");
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_links(), 1u);
+}
+
+TEST(GraphIo, ParseErrors) {
+  EXPECT_THROW(from_string("frob 1 2\n"), ParseError);
+  EXPECT_THROW(from_string("node 1\n"), ParseError);
+  EXPECT_THROW(from_string("link 0 1 1\n"), ParseError);  // nodes undeclared
+  EXPECT_THROW(from_string("node 0 0\nnode 1 1\nlink 0 0 1\n"), ParseError);
+  EXPECT_THROW(from_string("node 0 0\nnode 1 1\nlink 0 1 0\n"), ParseError);
+  EXPECT_THROW(
+      from_string("node 0 0\nnode 1 1\nlink 0 1 1\nlink 1 0 1\n"),
+      ParseError);
+}
+
+TEST(GraphIo, FileHelpers) {
+  const Graph g = fig1_planar_graph();
+  const std::string path = ::testing::TempDir() + "/topo.txt";
+  save_graph(path, g);
+  const Graph h = load_graph(path);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_links(), g.num_links());
+  EXPECT_THROW(load_graph("/nonexistent/dir/x.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rtr::graph

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "failure/failure_set.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/paper_topology.h"
+#include "net/igp.h"
+
+namespace rtr::net {
+namespace {
+
+using fail::FailureSet;
+using graph::paper_node;
+
+TEST(Igp, NoFailureMeansInstantConvergence) {
+  const graph::Graph g = graph::fig1_graph();
+  const FailureSet none(g);
+  const ConvergenceTimeline t = igp_convergence(g, none);
+  EXPECT_DOUBLE_EQ(t.convergence_ms, 0.0);
+  for (double v : t.converged_at_ms) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Igp, SingleLinkFailureTimeline) {
+  const graph::Graph g = graph::fig1_graph();
+  const LinkId dead = g.find_link(paper_node(6), paper_node(11));
+  const FailureSet fs = FailureSet::of_links(g, {dead});
+  const IgpTimers timers;
+  const ConvergenceTimeline t = igp_convergence(g, fs, timers);
+
+  // Detection at the hold time; the detecting routers converge first.
+  EXPECT_DOUBLE_EQ(t.detection_ms, timers.detection_ms);
+  const double detector_time = timers.detection_ms +
+                               timers.origination_ms + timers.spf_ms +
+                               timers.fib_update_ms;
+  EXPECT_DOUBLE_EQ(t.converged_at_ms[paper_node(6)], detector_time);
+  EXPECT_DOUBLE_EQ(t.converged_at_ms[paper_node(11)], detector_time);
+
+  // Everyone converges; farther routers converge later, bounded by
+  // detector time + diameter * flooding delay.
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_LT(t.converged_at_ms[n], kInfCost) << n;
+    EXPECT_GE(t.converged_at_ms[n], detector_time);
+  }
+  EXPECT_GT(t.convergence_ms, detector_time);
+  EXPECT_LE(t.convergence_ms,
+            detector_time + 20 * timers.flooding_per_hop_ms);
+}
+
+TEST(Igp, ConvergenceDominatesRtrRecoveryDelay) {
+  // The premise of the whole paper: the IGP needs ~seconds while RTR's
+  // first phase needs tens of milliseconds, so RTR has a window in
+  // which it is the only thing keeping traffic alive.
+  const graph::Graph g =
+      graph::make_isp_topology(graph::spec_by_name("AS209"));
+  const FailureSet fs(g, fail::CircleArea({1000, 1000}, 250),
+                      fail::LinkCutRule::kEndpointsOnly);
+  if (fs.empty()) GTEST_SKIP();
+  const ConvergenceTimeline t = igp_convergence(g, fs);
+  EXPECT_GT(t.convergence_ms, 1500.0);   // well above a second
+  EXPECT_LT(t.convergence_ms, 10000.0);  // but not absurd
+  EXPECT_LT(t.detection_ms, t.convergence_ms);
+}
+
+TEST(Igp, FailedAndCutOffRoutersDoNotConverge) {
+  // Destroy every neighbour of a leaf-ish region so some live node is
+  // unreachable from any detector's flood.
+  graph::Graph g;
+  g.add_node({0, 0});    // 0
+  g.add_node({100, 0});  // 1 - will fail
+  g.add_node({200, 0});  // 2 - cut off behind 1
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  const FailureSet fs = FailureSet::of_nodes(g, {1});
+  const ConvergenceTimeline t = igp_convergence(g, fs);
+  EXPECT_LT(t.converged_at_ms[0], kInfCost);
+  EXPECT_DOUBLE_EQ(t.converged_at_ms[1], kInfCost);  // dead
+  // Node 2 is live and detects its side of the failure, so it
+  // converges on its own (it is a detector itself).
+  EXPECT_LT(t.converged_at_ms[2], kInfCost);
+}
+
+TEST(Igp, PacketsDroppedHeadlineArithmetic) {
+  // "Disconnection of an OC-192 link (10 Gb/s) for 10 seconds can lead
+  // to about 12 million packets being dropped" (Introduction).
+  const double dropped = packets_dropped(10e9, 10000.0, 1000);
+  EXPECT_NEAR(dropped, 12.5e6, 1e6);
+  EXPECT_DOUBLE_EQ(packets_dropped(0.0, 1000.0), 0.0);
+  EXPECT_THROW(packets_dropped(1.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Igp, TighterTimersConvergeFaster) {
+  const graph::Graph g =
+      graph::make_isp_topology(graph::spec_by_name("AS1239"));
+  const FailureSet fs(g, fail::CircleArea({1000, 1000}, 200),
+                      fail::LinkCutRule::kEndpointsOnly);
+  if (fs.empty()) GTEST_SKIP();
+  IgpTimers fast;
+  fast.detection_ms = 50.0;
+  fast.origination_ms = 100.0;
+  fast.spf_ms = 10.0;
+  fast.fib_update_ms = 50.0;
+  const double slow = igp_convergence(g, fs).convergence_ms;
+  const double quick = igp_convergence(g, fs, fast).convergence_ms;
+  EXPECT_LT(quick, slow);
+}
+
+}  // namespace
+}  // namespace rtr::net

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "baselines/mrc.h"
+#include "common/expect.h"
+#include "common/rng.h"
+#include "failure/scenario.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/paper_topology.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::baseline {
+namespace {
+
+using fail::CircleArea;
+using fail::FailureSet;
+using graph::Graph;
+
+struct MrcRig {
+  Graph g;
+  spf::RoutingTable rt;
+  Mrc mrc;
+
+  explicit MrcRig(Graph graph)
+      : g(std::move(graph)), rt(g), mrc(g, rt) {}
+};
+
+TEST(Mrc, EveryNodeIsolatedInAtMostOneConfig) {
+  MrcRig rig(graph::make_isp_topology(graph::spec_by_name("AS209")));
+  std::size_t unprotected = 0;
+  std::vector<std::size_t> per_config(rig.mrc.num_configs(), 0);
+  for (NodeId v = 0; v < rig.g.num_nodes(); ++v) {
+    const std::size_t c = rig.mrc.config_of(v);
+    if (c == Mrc::kNoConfig) {
+      ++unprotected;
+    } else {
+      ASSERT_LT(c, rig.mrc.num_configs());
+      ++per_config[c];
+    }
+  }
+  // The assignment must protect nearly everyone and spread the load.
+  EXPECT_LE(unprotected, rig.g.num_nodes() / 10);
+  for (std::size_t c = 0; c < per_config.size(); ++c) {
+    EXPECT_GT(per_config[c], 0u) << "configuration " << c << " unused";
+  }
+}
+
+TEST(Mrc, IsolatedNodesMatchAssignment) {
+  MrcRig rig(graph::make_isp_topology(graph::spec_by_name("AS1239")));
+  for (std::size_t c = 0; c < rig.mrc.num_configs(); ++c) {
+    for (NodeId v : rig.mrc.isolated_nodes(c)) {
+      EXPECT_EQ(rig.mrc.config_of(v), c);
+    }
+  }
+}
+
+TEST(Mrc, BackbonesAreConnected) {
+  // The MRC validity invariant: removing the isolated nodes of any
+  // configuration leaves the backbone connected.
+  for (const char* name : {"AS209", "AS1239", "AS4323"}) {
+    MrcRig rig(graph::make_isp_topology(graph::spec_by_name(name)));
+    for (std::size_t c = 0; c < rig.mrc.num_configs(); ++c) {
+      EXPECT_TRUE(rig.mrc.backbone_connected(c)) << name << " cfg " << c;
+    }
+  }
+}
+
+TEST(Mrc, NoFailureMeansDefaultDelivery) {
+  MrcRig rig(graph::make_isp_topology(graph::spec_by_name("AS209")));
+  const FailureSet none(rig.g);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.index(rig.g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.index(rig.g.num_nodes()));
+    if (s == t) continue;
+    const Mrc::Result r = rig.mrc.forward(none, s, t);
+    EXPECT_TRUE(r.delivered);
+    EXPECT_EQ(r.config_switches, 0u);
+    EXPECT_DOUBLE_EQ(static_cast<double>(r.hops), rig.rt.distance(s, t));
+  }
+}
+
+TEST(Mrc, RecoversFromSingleNodeFailure) {
+  // MRC's home turf: a single failed node.  For protected nodes the
+  // switch must deliver whenever the destination is still reachable.
+  MrcRig rig(graph::make_isp_topology(graph::spec_by_name("AS209")));
+  Rng rng(9);
+  int recovered = 0;
+  int attempts = 0;
+  for (int i = 0; i < 400 && attempts < 120; ++i) {
+    const NodeId dead =
+        static_cast<NodeId>(rng.index(rig.g.num_nodes()));
+    if (rig.mrc.config_of(dead) == Mrc::kNoConfig) continue;
+    const FailureSet fs = FailureSet::of_nodes(rig.g, {dead});
+    const NodeId t = static_cast<NodeId>(rng.index(rig.g.num_nodes()));
+    if (t == dead) continue;
+    // Find a neighbour of `dead` that routes through it.
+    for (const graph::Adjacency& a : rig.g.neighbors(dead)) {
+      const NodeId u = a.neighbor;
+      if (u == t || rig.rt.next_hop(u, t) != dead) continue;
+      if (!graph::reachable(rig.g, u, t, fs.masks())) continue;
+      ++attempts;
+      const Mrc::Result r = rig.mrc.forward(fs, u, t);
+      if (r.delivered) ++recovered;
+      break;
+    }
+  }
+  ASSERT_GT(attempts, 30);
+  // Single-failure recovery should be the overwhelmingly common case.
+  EXPECT_GT(recovered * 10, attempts * 8)
+      << recovered << "/" << attempts;
+}
+
+TEST(Mrc, LargeScaleFailuresOftenDefeatIt) {
+  // The paper's point (Table III): under area failures MRC recovers far
+  // less often than a reactive scheme, because primary and backup
+  // routes die together.  We only require that failures do occur.
+  MrcRig rig(graph::make_isp_topology(graph::spec_by_name("AS1239")));
+  Rng rng(21);
+  const fail::ScenarioConfig cfg;
+  int delivered = 0;
+  int cases = 0;
+  for (int trial = 0; trial < 80 && cases < 300; ++trial) {
+    const FailureSet fs(rig.g, fail::random_circle_area(cfg, rng));
+    if (fs.empty()) continue;
+    const graph::Components comp = graph::components(rig.g, fs.masks());
+    for (NodeId n = 0; n < rig.g.num_nodes(); ++n) {
+      if (fs.node_failed(n) ||
+          fs.observed_failed_links(rig.g, n).empty()) {
+        continue;
+      }
+      for (NodeId t = 0; t < rig.g.num_nodes(); ++t) {
+        if (t == n || fs.node_failed(t) || comp.id[n] != comp.id[t]) {
+          continue;
+        }
+        ++cases;
+        if (rig.mrc.forward(fs, n, t).delivered) ++delivered;
+      }
+      break;
+    }
+  }
+  ASSERT_GT(cases, 50);
+  EXPECT_LT(delivered, cases) << "area failures should defeat MRC "
+                                 "sometimes";
+}
+
+TEST(Mrc, StretchNeverBelowOptimal) {
+  MrcRig rig(graph::make_isp_topology(graph::spec_by_name("AS209")));
+  Rng rng(33);
+  const fail::ScenarioConfig cfg;
+  for (int trial = 0; trial < 30; ++trial) {
+    const FailureSet fs(rig.g, fail::random_circle_area(cfg, rng));
+    if (fs.empty()) continue;
+    for (NodeId n = 0; n < rig.g.num_nodes(); ++n) {
+      if (fs.node_failed(n) ||
+          fs.observed_failed_links(rig.g, n).empty()) {
+        continue;
+      }
+      const spf::SptResult truth = spf::bfs_from(rig.g, n, fs.masks());
+      for (NodeId t = 0; t < rig.g.num_nodes(); ++t) {
+        if (t == n) continue;
+        const Mrc::Result r = rig.mrc.forward(fs, n, t);
+        if (r.delivered) {
+          EXPECT_GE(static_cast<double>(r.hops), truth.dist[t]);
+        }
+      }
+      break;
+    }
+  }
+}
+
+TEST(Mrc, RejectsFailedInitiator) {
+  MrcRig rig(graph::make_isp_topology(graph::spec_by_name("AS209")));
+  FailureSet fs = FailureSet::of_nodes(rig.g, {0});
+  EXPECT_THROW(rig.mrc.forward(fs, 0, 5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtr::baseline

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "net/codec.h"
+#include "net/delay.h"
+#include "net/header.h"
+#include "net/sim.h"
+
+namespace rtr::net {
+namespace {
+
+TEST(RtrHeader, ByteAccounting) {
+  RtrHeader h;
+  EXPECT_EQ(h.recovery_bytes(), 0u);  // default mode carries nothing
+
+  h.mode = Mode::kCollect;
+  h.rec_init = 6;
+  EXPECT_EQ(h.recovery_bytes(), 2u);  // rec_init only
+  h.add_failed(10);
+  h.add_failed(11);
+  h.add_cross(3);
+  // 2 (rec_init) + 2*2 (failed) + 2*1 (cross) = 8, matching the paper's
+  // 16-bit link ids.
+  EXPECT_EQ(h.recovery_bytes(), 8u);
+
+  h.mode = Mode::kSourceRoute;
+  h.source_route = {1, 2, 3};
+  EXPECT_EQ(h.recovery_bytes(), 6u);  // route ids only in phase 2
+}
+
+TEST(RtrHeader, DedupingInserts) {
+  RtrHeader h;
+  EXPECT_TRUE(h.add_failed(5));
+  EXPECT_FALSE(h.add_failed(5));
+  EXPECT_EQ(h.failed_links.size(), 1u);
+  EXPECT_TRUE(h.has_failed(5));
+  EXPECT_FALSE(h.has_failed(6));
+  EXPECT_TRUE(h.add_cross(7));
+  EXPECT_FALSE(h.add_cross(7));
+  EXPECT_TRUE(h.has_cross(7));
+}
+
+TEST(FcpHeader, ByteAccounting) {
+  FcpHeader h;
+  EXPECT_EQ(h.recovery_bytes(), 0u);
+  h.add_failed(1);
+  h.add_failed(2);
+  h.source_route = {9, 8, 7};
+  EXPECT_EQ(h.recovery_bytes(), 10u);
+  EXPECT_FALSE(h.add_failed(1));
+}
+
+TEST(Codec, RoundTrip) {
+  RtrHeader h;
+  h.mode = Mode::kCollect;
+  h.rec_init = 6;
+  h.failed_links = {4, 9, 300};
+  h.cross_links = {11};
+  h.source_route = {};
+  const RtrHeader d = decode(encode(h));
+  EXPECT_EQ(d.mode, h.mode);
+  EXPECT_EQ(d.rec_init, h.rec_init);
+  EXPECT_EQ(d.failed_links, h.failed_links);
+  EXPECT_EQ(d.cross_links, h.cross_links);
+  EXPECT_EQ(d.source_route, h.source_route);
+}
+
+TEST(Codec, RoundTripUnsetInitiatorAndRoute) {
+  RtrHeader h;
+  h.mode = Mode::kSourceRoute;
+  h.source_route = {1, 2, 3, 65534};
+  const RtrHeader d = decode(encode(h));
+  EXPECT_EQ(d.rec_init, kNoNode);
+  EXPECT_EQ(d.source_route, h.source_route);
+}
+
+TEST(Codec, WireSizeMatchesAccountingPlusFixedOverhead) {
+  RtrHeader h;
+  h.mode = Mode::kCollect;
+  h.rec_init = 1;
+  h.failed_links = {1, 2, 3};
+  h.cross_links = {4, 5};
+  // encode = 1 (mode) + 2 (rec_init) + 3*2 (lengths) + ids.
+  const std::size_t ids = (3 + 2 + 0) * kWireIdBytes;
+  EXPECT_EQ(encode(h).size(), 1 + 2 + 6 + ids);
+}
+
+TEST(Codec, RejectsOversizedIds) {
+  RtrHeader h;
+  h.failed_links = {70000};  // does not fit 16 bits
+  EXPECT_THROW(encode(h), CodecError);
+}
+
+TEST(Codec, RejectsMalformedInput) {
+  RtrHeader h;
+  h.mode = Mode::kCollect;
+  h.rec_init = 3;
+  h.failed_links = {1};
+  std::vector<std::uint8_t> bytes = encode(h);
+
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 1);
+  EXPECT_THROW(decode(truncated), CodecError);
+
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(decode(trailing), CodecError);
+
+  std::vector<std::uint8_t> bad_mode = bytes;
+  bad_mode[0] = 9;
+  EXPECT_THROW(decode(bad_mode), CodecError);
+
+  EXPECT_THROW(decode({}), CodecError);
+}
+
+TEST(DelayModel, PaperConstants) {
+  const DelayModel d;
+  EXPECT_DOUBLE_EQ(d.per_hop_ms(), 1.8);  // Section IV-B
+  EXPECT_DOUBLE_EQ(d.duration_ms(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.duration_ms(11), 19.8);
+}
+
+TEST(Simulator, RunsInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(5.0, [&] { order.push_back(2); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(9.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulator, FifoAmongEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(1.0, [&] { order.push_back(2); });
+  sim.at(1.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> hop = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 4) sim.after(1.8, hop);
+  };
+  sim.after(0.0, hop);
+  sim.run();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[3], 5.4);
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10.0, [&] { ++fired; });
+  sim.at(20.0, [&] { ++fired; });
+  sim.run_until(15.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 15.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(1.0, [] {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtr::net

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "failure/failure_set.h"
+#include "graph/paper_topology.h"
+#include "net/network.h"
+#include "spf/routing_table.h"
+
+namespace rtr::net {
+namespace {
+
+using graph::paper_node;
+
+/// Follows the default routing table; no recovery logic.
+class DefaultRoutingApp : public RouterApp {
+ public:
+  explicit DefaultRoutingApp(const spf::RoutingTable& rt) : rt_(&rt) {}
+  Decision on_packet(NodeId at, NodeId /*prev*/,
+                     DataPacket& p) override {
+    if (at == p.dst) return Decision::deliver();
+    const LinkId l = rt_->next_link(at, p.dst);
+    if (l == kNoLink) return Decision::drop();
+    return Decision::forward(l);
+  }
+
+ private:
+  const spf::RoutingTable* rt_;
+};
+
+/// Drops everything on arrival at the first hop.
+class DropApp : public RouterApp {
+ public:
+  Decision on_packet(NodeId /*at*/, NodeId /*prev*/,
+                     DataPacket& /*p*/) override {
+    return Decision::drop();
+  }
+};
+
+/// Always forwards over a fixed link (used to provoke the
+/// forward-into-failure contract).
+class BlindApp : public RouterApp {
+ public:
+  explicit BlindApp(LinkId l) : link_(l) {}
+  Decision on_packet(NodeId /*at*/, NodeId /*prev*/,
+                     DataPacket& /*p*/) override {
+    return Decision::forward(link_);
+  }
+
+ private:
+  LinkId link_;
+};
+
+struct NetRig {
+  graph::Graph g = graph::fig1_graph();
+  spf::RoutingTable rt{g};
+  fail::FailureSet failure{g};
+  Simulator sim;
+  Network net{g, failure, sim};
+};
+
+TEST(Network, DeliversAlongDefaultRoute) {
+  NetRig rig;
+  DefaultRoutingApp app(rig.rt);
+  DataPacket p;
+  p.src = paper_node(7);
+  p.dst = paper_node(17);
+  bool delivered = false;
+  std::vector<NodeId> trace;
+  rig.net.send(p, app, [&](const DataPacket& pkt, NodeId final_node,
+                           bool ok) {
+    delivered = ok;
+    trace = pkt.trace;
+    EXPECT_EQ(final_node, paper_node(17));
+  });
+  rig.sim.run();
+  EXPECT_TRUE(delivered);
+  const spf::Path expected = rig.rt.route(paper_node(7), paper_node(17));
+  EXPECT_EQ(trace, expected.nodes);
+  EXPECT_EQ(rig.net.packets_delivered(), 1u);
+  EXPECT_EQ(rig.net.hops_forwarded(), expected.hops());
+}
+
+TEST(Network, TimingFollowsDelayModel) {
+  NetRig rig;
+  DefaultRoutingApp app(rig.rt);
+  DataPacket p;
+  p.src = paper_node(7);
+  p.dst = paper_node(17);
+  double done_at = -1.0;
+  rig.net.send(p, app, [&](const DataPacket&, NodeId, bool) {
+    done_at = rig.sim.now();
+  });
+  rig.sim.run();
+  const DelayModel d;
+  const std::size_t hops =
+      rig.rt.route(paper_node(7), paper_node(17)).hops();
+  EXPECT_NEAR(done_at, d.router_delay_ms + d.duration_ms(hops), 1e-9);
+}
+
+TEST(Network, BytesAccounting) {
+  NetRig rig;
+  DefaultRoutingApp app(rig.rt);
+  DataPacket p;
+  p.src = paper_node(7);
+  p.dst = paper_node(17);
+  std::size_t bytes = 0;
+  rig.net.send(p, app, [&](const DataPacket& pkt, NodeId, bool) {
+    bytes = pkt.bytes_transmitted;
+  });
+  rig.sim.run();
+  const std::size_t hops =
+      rig.rt.route(paper_node(7), paper_node(17)).hops();
+  EXPECT_EQ(bytes, hops * kPayloadBytes);  // no recovery header
+}
+
+TEST(Network, DropIsReported) {
+  NetRig rig;
+  DropApp app;
+  DataPacket p;
+  p.src = paper_node(7);
+  p.dst = paper_node(17);
+  bool delivered = true;
+  NodeId where = kNoNode;
+  rig.net.send(p, app, [&](const DataPacket&, NodeId final_node,
+                           bool ok) {
+    delivered = ok;
+    where = final_node;
+  });
+  rig.sim.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(where, paper_node(7));
+  EXPECT_EQ(rig.net.packets_dropped(), 1u);
+}
+
+TEST(Network, ForwardingIntoFailureIsAContractViolation) {
+  graph::Graph g = graph::fig1_graph();
+  const LinkId dead = g.find_link(paper_node(6), paper_node(11));
+  const fail::FailureSet failure = fail::FailureSet::of_links(g, {dead});
+  Simulator sim;
+  Network net(g, failure, sim);
+  BlindApp app(dead);
+  DataPacket p;
+  p.src = paper_node(6);
+  p.dst = paper_node(11);
+  net.send(p, app, {});
+  EXPECT_THROW(sim.run(), ContractViolation);
+}
+
+TEST(Network, FailedSourceRejected) {
+  graph::Graph g = graph::fig1_graph();
+  const fail::FailureSet failure =
+      fail::FailureSet::of_nodes(g, {paper_node(10)});
+  Simulator sim;
+  Network net(g, failure, sim);
+  DropApp app;
+  DataPacket p;
+  p.src = paper_node(10);
+  p.dst = paper_node(17);
+  EXPECT_THROW(net.send(p, app, {}), ContractViolation);
+}
+
+TEST(Network, ConcurrentPacketsInterleave) {
+  NetRig rig;
+  DefaultRoutingApp app(rig.rt);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    DataPacket p;
+    p.src = paper_node(1);
+    p.dst = paper_node(18);
+    rig.net.send(p, app,
+                 [&](const DataPacket&, NodeId, bool ok) {
+                   EXPECT_TRUE(ok);
+                   ++done;
+                 });
+  }
+  rig.sim.run();
+  EXPECT_EQ(done, 5);
+  EXPECT_EQ(rig.net.packets_delivered(), 5u);
+}
+
+}  // namespace
+}  // namespace rtr::net

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "core/phase1.h"
+#include "failure/scenario.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/paper_topology.h"
+
+namespace rtr::core {
+namespace {
+
+using fail::CircleArea;
+using fail::FailureSet;
+using graph::CrossingIndex;
+using graph::Graph;
+using graph::paper_node;
+
+struct PaperFixture {
+  Graph g;
+  CrossingIndex crossings;
+  FailureSet failure;
+
+  explicit PaperFixture(bool planar)
+      : g(planar ? graph::fig1_planar_graph() : graph::fig1_graph()),
+        crossings(g),
+        failure(g, CircleArea(graph::fig1_failure_area())) {}
+
+  LinkId link(int a, int b) const {
+    const LinkId l = g.find_link(paper_node(a), paper_node(b));
+    EXPECT_NE(l, kNoLink);
+    return l;
+  }
+};
+
+std::vector<NodeId> paper_nodes(std::initializer_list<int> ks) {
+  std::vector<NodeId> out;
+  for (int k : ks) out.push_back(paper_node(k));
+  return out;
+}
+
+// ------------------------- the worked example of Fig. 6 / Table I --------
+
+TEST(Phase1GeneralGraph, ReproducesTableIVisitSequence) {
+  PaperFixture f(/*planar=*/false);
+  const Phase1Result r = run_phase1(f.g, f.crossings, f.failure,
+                                    paper_node(6), f.link(6, 11));
+  ASSERT_TRUE(r.completed());
+  // Table I: hops 0..11 at v6,v5,v4,v9,v13,v14,v12,v11,v12,v8,v7,v6.
+  EXPECT_EQ(r.visits,
+            paper_nodes({6, 5, 4, 9, 13, 14, 12, 11, 12, 8, 7, 6}));
+  EXPECT_EQ(r.hops(), 11u);
+}
+
+TEST(Phase1GeneralGraph, ReproducesTableIFailedLinkColumn) {
+  PaperFixture f(/*planar=*/false);
+  const Phase1Result r = run_phase1(f.g, f.crossings, f.failure,
+                                    paper_node(6), f.link(6, 11));
+  ASSERT_TRUE(r.completed());
+  // Insertion order per Table I: e5,10 (at v5), e4,11 (at v4),
+  // e9,10 (at v9), e14,10 (at v14), e11,10 (at v11).
+  const std::vector<LinkId> expected = {
+      f.link(5, 10), f.link(4, 11), f.link(9, 10), f.link(14, 10),
+      f.link(11, 10)};
+  EXPECT_EQ(r.header.failed_links, expected);
+}
+
+TEST(Phase1GeneralGraph, ReproducesTableICrossLinkColumn) {
+  PaperFixture f(/*planar=*/false);
+  const Phase1Result r = run_phase1(f.g, f.crossings, f.failure,
+                                    paper_node(6), f.link(6, 11));
+  ASSERT_TRUE(r.completed());
+  // Constraint 1 seeds e6,11 at hop 0; Constraint 2 adds e14,12 when
+  // v14 selects it (hop 5).
+  const std::vector<LinkId> expected = {f.link(6, 11), f.link(14, 12)};
+  EXPECT_EQ(r.header.cross_links, expected);
+}
+
+TEST(Phase1GeneralGraph, InitiatorLinksAreNeverRecorded) {
+  PaperFixture f(/*planar=*/false);
+  const Phase1Result r = run_phase1(f.g, f.crossings, f.failure,
+                                    paper_node(6), f.link(6, 11));
+  // e6,11 is known to the initiator and must not appear in failed_link
+  // (Section III-B: "a failed link is not recorded ... if vi is one end").
+  EXPECT_FALSE(r.header.has_failed(f.link(6, 11)));
+}
+
+TEST(Phase1GeneralGraph, HeaderBytesGrowMonotonically) {
+  PaperFixture f(/*planar=*/false);
+  const Phase1Result r = run_phase1(f.g, f.crossings, f.failure,
+                                    paper_node(6), f.link(6, 11));
+  ASSERT_EQ(r.bytes_per_hop.size(), r.hops());
+  for (std::size_t i = 1; i < r.bytes_per_hop.size(); ++i) {
+    EXPECT_GE(r.bytes_per_hop[i], r.bytes_per_hop[i - 1]);
+  }
+  // Final header: rec_init + 5 failed + 2 cross = 2*(1+5+2) = 16 bytes.
+  EXPECT_EQ(r.header.recovery_bytes(), 16u);
+  EXPECT_EQ(r.bytes_per_hop.back(), 16u);
+}
+
+// ------------------------------ the planar variant of Fig. 2 -------------
+
+TEST(Phase1PlanarGraph, RecordsExactlyTheFourLinksOfFig2) {
+  PaperFixture f(/*planar=*/true);
+  const Phase1Result r = run_phase1(f.g, f.crossings, f.failure,
+                                    paper_node(6), f.link(6, 11));
+  ASSERT_TRUE(r.completed());
+  // Section III-B: "failed_link in the packet header records four links
+  // e5,10, e9,10, e14,10, and e11,10".
+  std::vector<LinkId> got = r.header.failed_links;
+  std::sort(got.begin(), got.end());
+  std::vector<LinkId> expected = {f.link(5, 10), f.link(9, 10),
+                                  f.link(14, 10), f.link(11, 10)};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+  // Planar graph, no crossing links: cross_link stays empty.
+  EXPECT_TRUE(r.header.cross_links.empty());
+}
+
+TEST(Phase1PlanarGraph, VisitsStartAndEndAtInitiator) {
+  PaperFixture f(/*planar=*/true);
+  const Phase1Result r = run_phase1(f.g, f.crossings, f.failure,
+                                    paper_node(6), f.link(6, 11));
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(r.visits.front(), paper_node(6));
+  EXPECT_EQ(r.visits.back(), paper_node(6));
+  EXPECT_EQ(r.visits.size(), r.traversed_links.size() + 1);
+}
+
+// --------------------------------------------------- degenerate cases ----
+
+TEST(Phase1, IsolatedInitiator) {
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({10, 0});
+  const LinkId l = g.add_link(0, 1);
+  const CrossingIndex idx(g);
+  const FailureSet fs = FailureSet::of_links(g, {l});
+  const Phase1Result r = run_phase1(g, idx, fs, 0, l);
+  EXPECT_EQ(r.status, Phase1Result::Status::kInitiatorIsolated);
+  EXPECT_EQ(r.hops(), 0u);
+}
+
+TEST(Phase1, SingleLiveNeighborBacktracks) {
+  // Path graph 0-1-2 with link 1-2 failed: initiator 1 sends to 0,
+  // which bounces the packet straight back.
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({10, 0});
+  g.add_node({20, 0});
+  g.add_link(0, 1);
+  const LinkId dead = g.add_link(1, 2);
+  const CrossingIndex idx(g);
+  const FailureSet fs = FailureSet::of_links(g, {dead});
+  const Phase1Result r = run_phase1(g, idx, fs, 1, dead);
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(r.visits, (std::vector<NodeId>{1, 0, 1}));
+}
+
+TEST(Phase1, RequiresObservedFailure) {
+  PaperFixture f(/*planar=*/false);
+  // e7,6 is alive: starting phase 1 over it violates the precondition.
+  EXPECT_THROW(run_phase1(f.g, f.crossings, f.failure, paper_node(7),
+                          f.link(7, 6)),
+               ContractViolation);
+}
+
+TEST(Phase1, FailedInitiatorRejected) {
+  PaperFixture f(/*planar=*/false);
+  EXPECT_THROW(run_phase1(f.g, f.crossings, f.failure, paper_node(10),
+                          f.link(11, 10)),
+               ContractViolation);
+}
+
+// ------------------------------------------------------- property suite --
+
+struct TopoParam {
+  const char* name;
+  std::uint64_t seed;
+};
+
+class Phase1Properties : public ::testing::TestWithParam<TopoParam> {};
+
+// Theorem 1 (no permanent loops) plus E1 subset-of E2, over hundreds of
+// random failure areas per topology.
+TEST_P(Phase1Properties, AlwaysTerminatesAndCollectsOnlyRealFailures) {
+  const graph::IspSpec& spec = graph::spec_by_name(GetParam().name);
+  const Graph g = graph::make_isp_topology(spec);
+  const CrossingIndex idx(g);
+  Rng rng(GetParam().seed);
+  const fail::ScenarioConfig cfg;
+  int initiations = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const CircleArea area = fail::random_circle_area(cfg, rng);
+    const FailureSet fs(g, area);
+    if (fs.empty()) continue;
+    for (NodeId n = 0; n < g.num_nodes() && initiations < 400; ++n) {
+      if (fs.node_failed(n)) continue;
+      const auto observed = fs.observed_failed_links(g, n);
+      if (observed.empty()) continue;
+      ++initiations;
+      const Phase1Result r = run_phase1(g, idx, fs, n, observed.front());
+      // Theorem 1: either the initiator is cut off entirely or the
+      // traversal closes; the hop cap is never hit.
+      ASSERT_NE(r.status, Phase1Result::Status::kAborted)
+          << GetParam().name << " initiator " << n << " trial " << trial;
+      if (r.completed()) {
+        EXPECT_EQ(r.visits.back(), n);
+        // E1 subset of E2: only genuinely failed links are recorded, and
+        // none of them is incident to the initiator.
+        for (LinkId l : r.header.failed_links) {
+          EXPECT_TRUE(fs.link_failed(l) ||
+                      fs.node_failed(g.link(l).u) ||
+                      fs.node_failed(g.link(l).v));
+          EXPECT_NE(g.link(l).u, n);
+          EXPECT_NE(g.link(l).v, n);
+        }
+        // Every traversed link is live.
+        for (LinkId l : r.traversed_links) {
+          EXPECT_FALSE(fs.link_failed(l));
+        }
+      } else {
+        EXPECT_FALSE(fs.has_live_neighbor(g, n));
+      }
+    }
+  }
+  EXPECT_GT(initiations, 50) << "test exercised too few initiations";
+}
+
+// The traversal visits only nodes reachable from the initiator, and the
+// walk is contiguous (each traversed link joins consecutive visits).
+TEST_P(Phase1Properties, WalkIsContiguous) {
+  const graph::IspSpec& spec = graph::spec_by_name(GetParam().name);
+  const Graph g = graph::make_isp_topology(spec);
+  const CrossingIndex idx(g);
+  Rng rng(GetParam().seed ^ 0xABCD);
+  const fail::ScenarioConfig cfg;
+  for (int trial = 0; trial < 40; ++trial) {
+    const CircleArea area = fail::random_circle_area(cfg, rng);
+    const FailureSet fs(g, area);
+    if (fs.empty()) continue;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (fs.node_failed(n)) continue;
+      const auto observed = fs.observed_failed_links(g, n);
+      if (observed.empty()) continue;
+      const Phase1Result r = run_phase1(g, idx, fs, n, observed.front());
+      for (std::size_t i = 0; i < r.traversed_links.size(); ++i) {
+        const graph::Link& e = g.link(r.traversed_links[i]);
+        const NodeId a = r.visits[i];
+        const NodeId b = r.visits[i + 1];
+        EXPECT_TRUE((e.u == a && e.v == b) || (e.u == b && e.v == a));
+      }
+      break;  // one initiator per area suffices here
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, Phase1Properties,
+    ::testing::Values(TopoParam{"AS209", 101}, TopoParam{"AS1239", 102},
+                      TopoParam{"AS3549", 103}, TopoParam{"AS7018", 104}),
+    [](const auto& info) { return info.param.name; });
+
+// ---------------------------------------------------------- ablations ----
+
+TEST(Phase1Ablation, WithoutConstraintsStillBoundedByCap) {
+  // Turning both constraints off on a general graph may loop or wedge;
+  // the engine must degrade to kAborted rather than hang or throw.
+  const Graph g = graph::fig1_graph();
+  const CrossingIndex idx(g);
+  const FailureSet fs(g, CircleArea(graph::fig1_failure_area()));
+  Phase1Options opts;
+  opts.constraint1 = false;
+  opts.constraint2 = false;
+  const Phase1Result r =
+      run_phase1(g, idx, fs, paper_node(6),
+                 g.find_link(paper_node(6), paper_node(11)), opts);
+  EXPECT_TRUE(r.status == Phase1Result::Status::kCompleted ||
+              r.status == Phase1Result::Status::kAborted);
+  EXPECT_LE(r.hops(), 8 * g.num_links() + 16);
+}
+
+TEST(Phase1Ablation, ClockwiseOrientationAlsoCloses) {
+  const Graph g = graph::fig1_graph();
+  const CrossingIndex idx(g);
+  const FailureSet fs(g, CircleArea(graph::fig1_failure_area()));
+  Phase1Options opts;
+  opts.clockwise = true;
+  const Phase1Result r =
+      run_phase1(g, idx, fs, paper_node(6),
+                 g.find_link(paper_node(6), paper_node(11)), opts);
+  EXPECT_TRUE(r.completed());
+  EXPECT_EQ(r.visits.back(), paper_node(6));
+}
+
+}  // namespace
+}  // namespace rtr::core

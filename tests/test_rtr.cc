@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "core/rtr.h"
+#include "failure/scenario.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/paper_topology.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::core {
+namespace {
+
+using fail::CircleArea;
+using fail::FailureSet;
+using graph::CrossingIndex;
+using graph::Graph;
+using graph::paper_node;
+
+struct Rig {
+  Graph g;
+  CrossingIndex crossings;
+  spf::RoutingTable rt;
+  FailureSet failure;
+
+  Rig(Graph graph, FailureSet fs)
+      : g(std::move(graph)), crossings(g), rt(g), failure(std::move(fs)) {}
+
+  static Rig paper() {
+    Graph g = graph::fig1_graph();
+    FailureSet fs(g, CircleArea(graph::fig1_failure_area()));
+    return Rig(std::move(g), std::move(fs));
+  }
+};
+
+TEST(Rtr, WorkedExampleRecoversOptimally) {
+  Rig rig = Rig::paper();
+  RtrRecovery rtr(rig.g, rig.crossings, rig.rt, rig.failure);
+  const RecoveryResult r = rtr.recover(paper_node(6), paper_node(17));
+  ASSERT_EQ(r.outcome, Outcome::kRecovered);
+  EXPECT_EQ(r.sp_calculations, 1u);
+  // True shortest path from v6 to v17 in the damaged graph is
+  // v6 -> v5 -> v12 -> v14 -> v17 (4 hops), over the live cross link
+  // e5,12 that phase 1 correctly refrained from marking failed.
+  EXPECT_EQ(r.computed_path.nodes,
+            (std::vector<NodeId>{paper_node(6), paper_node(5),
+                                 paper_node(12), paper_node(14),
+                                 paper_node(17)}));
+  EXPECT_EQ(r.delivered_hops, 4u);
+  EXPECT_EQ(r.source_route_bytes, 8u);  // 4 ids * 16 bit
+}
+
+TEST(Rtr, Phase1RunsOnceAcrossDestinations) {
+  Rig rig = Rig::paper();
+  RtrRecovery rtr(rig.g, rig.crossings, rig.rt, rig.failure);
+  (void)rtr.recover(paper_node(6), paper_node(17));
+  const Phase1Result* first = &rtr.phase1_for(paper_node(6));
+  (void)rtr.recover(paper_node(6), paper_node(15));
+  (void)rtr.recover(paper_node(6), paper_node(16));
+  EXPECT_EQ(first, &rtr.phase1_for(paper_node(6)))
+      << "phase 1 must be cached per initiator (Section III-A)";
+}
+
+TEST(Rtr, PathCacheReturnsSameResult) {
+  Rig rig = Rig::paper();
+  RtrRecovery rtr(rig.g, rig.crossings, rig.rt, rig.failure);
+  const RecoveryResult a = rtr.recover(paper_node(6), paper_node(17));
+  const RecoveryResult b = rtr.recover(paper_node(6), paper_node(17));
+  EXPECT_EQ(a.computed_path.nodes, b.computed_path.nodes);
+  EXPECT_EQ(b.sp_calculations, 1u);
+}
+
+TEST(Rtr, UnreachableDestinationIsDeclaredAtInitiator) {
+  // Destroy every link around v17 and v18 so the east side is cut off;
+  // v15's initiator view (after phase 1) must see the partition.
+  Graph g = graph::fig1_graph();
+  FailureSet fs = FailureSet::of_nodes(g, {paper_node(17)});
+  Rig rig(std::move(g), std::move(fs));
+  RtrRecovery rtr(rig.g, rig.crossings, rig.rt, rig.failure);
+  // v15 routes to v17 directly; the link died with v17.
+  const RecoveryResult r = rtr.recover(paper_node(15), paper_node(17));
+  // v18 is only reachable through v17 in this topology... via e17,18
+  // only, so v17's death also cuts v18.  The destination v17 itself is
+  // dead: recovery must not deliver.
+  EXPECT_NE(r.outcome, Outcome::kRecovered);
+}
+
+TEST(Rtr, IsolatedInitiator) {
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({10, 0});
+  g.add_node({20, 0});
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  FailureSet fs = FailureSet::of_nodes(g, {1});
+  Rig rig(std::move(g), std::move(fs));
+  RtrRecovery rtr(rig.g, rig.crossings, rig.rt, rig.failure);
+  const RecoveryResult r = rtr.recover(0, 2);
+  EXPECT_EQ(r.outcome, Outcome::kInitiatorIsolated);
+  // The isolated router still runs one (vain) SP calculation.
+  EXPECT_EQ(r.sp_calculations, 1u);
+  EXPECT_EQ(r.delivered_hops, 0u);
+}
+
+TEST(Rtr, OutcomeNames) {
+  EXPECT_STREQ(to_string(Outcome::kRecovered), "recovered");
+  EXPECT_STREQ(to_string(Outcome::kDroppedOnPath), "dropped-on-path");
+  EXPECT_STREQ(to_string(Outcome::kDeclaredUnreachable),
+               "declared-unreachable");
+  EXPECT_STREQ(to_string(Outcome::kInitiatorIsolated),
+               "initiator-isolated");
+}
+
+TEST(Rtr, RejectsBadArguments) {
+  Rig rig = Rig::paper();
+  RtrRecovery rtr(rig.g, rig.crossings, rig.rt, rig.failure);
+  EXPECT_THROW(rtr.recover(paper_node(6), paper_node(6)),
+               ContractViolation);
+  EXPECT_THROW(rtr.recover(paper_node(10), paper_node(17)),
+               ContractViolation);  // failed initiator
+  EXPECT_THROW(rtr.recover(paper_node(1), paper_node(17)),
+               ContractViolation);  // v1 observes no failure
+}
+
+// --------------------------------------------------------- Theorem 3 -----
+
+struct TopoParam {
+  const char* name;
+};
+
+class SingleLinkFailure : public ::testing::TestWithParam<TopoParam> {};
+
+// "Under a single link failure, RTR guarantees to recover all failed
+// routing paths with the shortest recovery paths."
+TEST_P(SingleLinkFailure, AlwaysRecoversOptimally) {
+  const Graph g = graph::make_isp_topology(
+      graph::spec_by_name(GetParam().name));
+  const CrossingIndex idx(g);
+  const spf::RoutingTable rt(g);
+  // Exhaustive over every link; sample destinations for speed.
+  Rng rng(2012);
+  for (LinkId dead = 0; dead < g.num_links(); ++dead) {
+    const FailureSet fs = FailureSet::of_links(g, {dead});
+    RtrRecovery rtr(g, idx, rt, fs);
+    const graph::Link& e = g.link(dead);
+    for (int rep = 0; rep < 6; ++rep) {
+      const NodeId dest = static_cast<NodeId>(rng.index(g.num_nodes()));
+      // Pick the endpoint whose default route to dest uses the dead
+      // link, if any.
+      NodeId initiator = kNoNode;
+      for (NodeId cand : {e.u, e.v}) {
+        if (cand != dest && rt.next_link(cand, dest) == dead) {
+          initiator = cand;
+        }
+      }
+      if (initiator == kNoNode) continue;
+      const std::vector<char> lm = fs.link_mask();
+      const spf::Path truth =
+          spf::shortest_path(g, initiator, dest, {nullptr, &lm});
+      const RecoveryResult r = rtr.recover(initiator, dest);
+      if (truth.empty()) {
+        EXPECT_NE(r.outcome, Outcome::kRecovered);
+        continue;
+      }
+      ASSERT_EQ(r.outcome, Outcome::kRecovered)
+          << GetParam().name << " link " << g.link_name(dead) << " dest "
+          << dest;
+      EXPECT_EQ(r.computed_path.hops(), truth.hops());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, SingleLinkFailure,
+                         ::testing::Values(TopoParam{"AS209"},
+                                           TopoParam{"AS1239"},
+                                           TopoParam{"AS4323"}),
+                         [](const auto& info) { return info.param.name; });
+
+// --------------------------------------------------------- Theorem 2 -----
+
+class AreaFailure : public ::testing::TestWithParam<TopoParam> {};
+
+// "For any failure area, the recovery paths provided by RTR are
+// guaranteed to be the shortest": whenever the packet is delivered, the
+// path length equals the true damaged-graph shortest path.
+TEST_P(AreaFailure, DeliveredPathsAreOptimal) {
+  const Graph g = graph::make_isp_topology(
+      graph::spec_by_name(GetParam().name));
+  const CrossingIndex idx(g);
+  const spf::RoutingTable rt(g);
+  Rng rng(77);
+  const fail::ScenarioConfig cfg;
+  int recoveries = 0;
+  for (int trial = 0; trial < 60 && recoveries < 300; ++trial) {
+    const CircleArea area = fail::random_circle_area(cfg, rng);
+    const FailureSet fs(g, area);
+    if (fs.empty()) continue;
+    RtrRecovery rtr(g, idx, rt, fs);
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (fs.node_failed(n) ||
+          fs.observed_failed_links(g, n).empty()) {
+        continue;
+      }
+      const spf::SptResult truth = spf::bfs_from(g, n, fs.masks());
+      for (NodeId dest = 0; dest < g.num_nodes(); ++dest) {
+        if (dest == n || rt.distance(n, dest) == kInfCost) continue;
+        const RecoveryResult r = rtr.recover(n, dest);
+        if (r.outcome == Outcome::kRecovered) {
+          ++recoveries;
+          ASSERT_TRUE(truth.reachable(dest));
+          EXPECT_DOUBLE_EQ(static_cast<double>(r.computed_path.hops()),
+                           truth.dist[dest])
+              << GetParam().name << " " << n << "->" << dest;
+          // The delivered path contains no failed element.
+          for (LinkId l : r.computed_path.links) {
+            EXPECT_FALSE(fs.link_failed(l));
+          }
+        } else {
+          // Contrapositive sanity: a declared-unreachable verdict is
+          // never wrong *in the initiator's view*; the ground truth may
+          // still be reachable only in the rare missed-failure case, in
+          // which case the packet was dropped on the path instead.
+          if (r.outcome == Outcome::kDeclaredUnreachable) {
+            EXPECT_TRUE(r.computed_path.empty());
+          }
+        }
+      }
+      break;  // one initiator per area keeps runtime bounded
+    }
+  }
+  EXPECT_GT(recoveries, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, AreaFailure,
+                         ::testing::Values(TopoParam{"AS209"},
+                                           TopoParam{"AS3549"},
+                                           TopoParam{"AS7018"}),
+                         [](const auto& info) { return info.param.name; });
+
+// ----------------------------------------------------- incremental SPT ---
+
+TEST(Rtr, IncrementalSptGivesIdenticalOutcomes) {
+  Rig rig = Rig::paper();
+  RtrOptions plain;
+  RtrOptions incremental;
+  incremental.use_incremental_spt = true;
+  RtrRecovery a(rig.g, rig.crossings, rig.rt, rig.failure, plain);
+  RtrRecovery b(rig.g, rig.crossings, rig.rt, rig.failure, incremental);
+  for (NodeId dest = 0; dest < rig.g.num_nodes(); ++dest) {
+    if (dest == paper_node(6) || dest == paper_node(10)) continue;
+    const RecoveryResult ra = a.recover(paper_node(6), dest);
+    const RecoveryResult rb = b.recover(paper_node(6), dest);
+    EXPECT_EQ(ra.outcome, rb.outcome) << "dest " << dest;
+    EXPECT_EQ(ra.computed_path.hops(), rb.computed_path.hops());
+  }
+}
+
+// ------------------------------------------------------- multiple areas --
+
+TEST(Rtr, MultiAreaRecovery) {
+  // Two disjoint failure areas on AS209; recover_multi must bypass both
+  // by carrying failure information across legs (Section III-E).
+  const Graph g = graph::make_isp_topology(graph::spec_by_name("AS209"));
+  const CrossingIndex idx(g);
+  const spf::RoutingTable rt(g);
+  Rng rng(31337);
+  const fail::ScenarioConfig cfg{2000.0, 120.0, 220.0};
+  int multi_successes = 0;
+  int attempts = 0;
+  for (int trial = 0; trial < 200 && multi_successes < 5; ++trial) {
+    FailureSet fs(g, fail::random_circle_area(cfg, rng));
+    fs.add(g, fail::random_circle_area(cfg, rng));
+    if (fs.empty()) continue;
+    RtrRecovery rtr(g, idx, rt, fs);
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (fs.node_failed(n) || fs.observed_failed_links(g, n).empty()) {
+        continue;
+      }
+      for (NodeId dest = 0; dest < g.num_nodes(); ++dest) {
+        if (dest == n) continue;
+        if (fs.node_failed(dest)) continue;
+        if (!graph::reachable(g, n, dest, fs.masks())) continue;
+        ++attempts;
+        const auto mr = rtr.recover_multi(n, dest);
+        if (mr.legs.size() > 1 && mr.outcome == Outcome::kRecovered) {
+          ++multi_successes;
+          // Every leg after the first inherited carried failures.
+          EXPECT_EQ(mr.legs.back().outcome, Outcome::kRecovered);
+        }
+        // A reachable destination must never be *declared* unreachable:
+        // the initiator only ever removes genuinely failed links.
+        EXPECT_NE(mr.outcome, Outcome::kDeclaredUnreachable);
+      }
+      break;
+    }
+  }
+  EXPECT_GT(attempts, 30);
+  EXPECT_GT(multi_successes, 0) << "no case needed a second leg";
+}
+
+}  // namespace
+}  // namespace rtr::core

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "graph/gen/generators.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/paper_topology.h"
+#include "spf/incremental.h"
+#include "spf/path.h"
+#include "spf/routing_table.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::spf {
+namespace {
+
+using graph::Graph;
+
+Graph diamond() {
+  // 0 -1- 1 -1- 3,  0 -1- 2 -3- 3 : shortest 0->3 goes via 1.
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({10, 10});
+  g.add_node({10, -10});
+  g.add_node({20, 0});
+  g.add_link(0, 1, 1.0);
+  g.add_link(0, 2, 1.0);
+  g.add_link(1, 3, 1.0);
+  g.add_link(2, 3, 3.0);
+  return g;
+}
+
+TEST(Dijkstra, PicksCheaperRoute) {
+  const Graph g = diamond();
+  const SptResult r = dijkstra_from(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[3], 2.0);
+  const Path p = extract_path(g, r, 3);
+  ASSERT_EQ(p.nodes.size(), 3u);
+  EXPECT_EQ(p.nodes[1], 1u);
+  EXPECT_TRUE(valid_path(g, p));
+}
+
+TEST(Dijkstra, MaskedLinkForcesDetour) {
+  const Graph g = diamond();
+  std::vector<char> lm(g.num_links(), 0);
+  lm[g.find_link(1, 3)] = 1;
+  const SptResult r = dijkstra_from(g, 0, {nullptr, &lm});
+  EXPECT_DOUBLE_EQ(r.dist[3], 4.0);
+}
+
+TEST(Dijkstra, MaskedNodeForcesDetour) {
+  const Graph g = diamond();
+  std::vector<char> nm(g.num_nodes(), 0);
+  nm[1] = 1;
+  const SptResult r = dijkstra_from(g, 0, {&nm, nullptr});
+  EXPECT_DOUBLE_EQ(r.dist[3], 4.0);
+  EXPECT_FALSE(r.reachable(1));
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  Graph g = diamond();
+  g.add_node({100, 100});
+  const SptResult r = dijkstra_from(g, 0);
+  EXPECT_FALSE(r.reachable(4));
+  EXPECT_TRUE(extract_path(g, r, 4).empty());
+}
+
+TEST(Dijkstra, AsymmetricCosts) {
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({10, 0});
+  g.add_link_asym(0, 1, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(dijkstra_from(g, 0).dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dijkstra_from(g, 1).dist[0], 5.0);
+  // dijkstra_to measures path cost *towards* the target.
+  EXPECT_DOUBLE_EQ(dijkstra_to(g, 1).dist[0], 1.0);
+  EXPECT_DOUBLE_EQ(dijkstra_to(g, 0).dist[1], 5.0);
+}
+
+TEST(Bfs, MatchesDijkstraOnUnitCosts) {
+  const Graph g = graph::fig1_graph();
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const SptResult b = bfs_from(g, s);
+    const SptResult d = dijkstra_from(g, s);
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      EXPECT_DOUBLE_EQ(b.dist[t], d.dist[t]) << s << "->" << t;
+    }
+  }
+}
+
+TEST(Bfs, DeterministicParents) {
+  const Graph g = graph::fig1_graph();
+  const SptResult a = bfs_from(g, 6);
+  const SptResult b = bfs_from(g, 6);
+  EXPECT_EQ(a.parent, b.parent);
+}
+
+TEST(ShortestPathHelper, EndToEnd) {
+  const Graph g = diamond();
+  const Path p = shortest_path(g, 0, 3);
+  EXPECT_DOUBLE_EQ(p.cost, 2.0);
+  EXPECT_EQ(p.source(), 0u);
+  EXPECT_EQ(p.destination(), 3u);
+  EXPECT_EQ(p.hops(), 2u);
+}
+
+TEST(PathChecks, DetectBrokenPaths) {
+  const Graph g = diamond();
+  Path p = shortest_path(g, 0, 3);
+  EXPECT_TRUE(valid_path(g, p));
+  Path bad = p;
+  bad.nodes[1] = 2;  // link 0 does not join 0 and 2 in this order
+  EXPECT_FALSE(valid_path(g, bad));
+  Path wrong_cost = p;
+  wrong_cost.cost += 1.0;
+  EXPECT_FALSE(valid_path(g, wrong_cost));
+  Path empty;
+  EXPECT_TRUE(valid_path(g, empty));
+  EXPECT_EQ(path_cost(g, empty), kInfCost);
+}
+
+// ------------------------------------------------------------ routing table
+
+TEST(RoutingTable, NextHopsDecreaseDistance) {
+  const Graph g = graph::fig1_graph();
+  const RoutingTable rt(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (u == t) {
+        EXPECT_EQ(rt.next_hop(u, t), kNoNode);
+        continue;
+      }
+      const NodeId nh = rt.next_hop(u, t);
+      ASSERT_NE(nh, kNoNode);
+      EXPECT_DOUBLE_EQ(rt.distance(nh, t), rt.distance(u, t) - 1.0);
+    }
+  }
+}
+
+TEST(RoutingTable, RouteMatchesShortestDistance) {
+  const Graph g = graph::fig1_graph();
+  const RoutingTable rt(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (u == t) continue;
+      const Path p = rt.route(u, t);
+      EXPECT_TRUE(valid_path(g, p));
+      EXPECT_DOUBLE_EQ(static_cast<double>(p.hops()), rt.distance(u, t));
+    }
+  }
+}
+
+TEST(RoutingTable, PaperDefaultPath) {
+  // Section II-B: "the routing path from v7 to v17 is
+  // v7 -> v6 -> v11 -> v15 -> v17".
+  const Graph g = graph::fig1_graph();
+  const RoutingTable rt(g);
+  const Path p =
+      rt.route(graph::paper_node(7), graph::paper_node(17));
+  const std::vector<NodeId> expected = {
+      graph::paper_node(7), graph::paper_node(6), graph::paper_node(11),
+      graph::paper_node(15), graph::paper_node(17)};
+  EXPECT_EQ(p.nodes, expected);
+}
+
+TEST(RoutingTable, WeightedMetric) {
+  const Graph g = diamond();
+  const RoutingTable rt(g, RoutingTable::Metric::kLinkCost);
+  EXPECT_EQ(rt.next_hop(0, 3), 1u);
+  EXPECT_DOUBLE_EQ(rt.distance(0, 3), 2.0);
+}
+
+TEST(RoutingTable, TieBreakIsSmallestNeighbor) {
+  // Square: two equal-hop routes 0->3 via 1 or 2; next hop must be 1.
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({10, 0});
+  g.add_node({0, 10});
+  g.add_node({10, 10});
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.add_link(1, 3);
+  g.add_link(2, 3);
+  const RoutingTable rt(g);
+  EXPECT_EQ(rt.next_hop(0, 3), 1u);
+}
+
+// -------------------------------------------------------------- incremental
+
+class IncrementalVsFull : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalVsFull, DistancesMatchAfterBatchRemovals) {
+  Rng rng(GetParam());
+  const Graph g =
+      graph::make_isp_topology(graph::spec_by_name("AS209"));
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId root = static_cast<NodeId>(rng.index(g.num_nodes()));
+    IncrementalSpt inc(g, root);
+    std::vector<char> removed(g.num_links(), 0);
+    // Three successive removal batches.
+    for (int batch = 0; batch < 3; ++batch) {
+      std::vector<LinkId> batch_links;
+      for (int i = 0; i < 8; ++i) {
+        const LinkId l = static_cast<LinkId>(rng.index(g.num_links()));
+        if (!removed[l]) {
+          removed[l] = 1;
+          batch_links.push_back(l);
+        }
+      }
+      inc.remove_links(batch_links);
+      const SptResult full = dijkstra_from(g, root, {nullptr, &removed});
+      for (NodeId n = 0; n < g.num_nodes(); ++n) {
+        ASSERT_DOUBLE_EQ(inc.dist(n), full.dist[n])
+            << "root=" << root << " node=" << n << " batch=" << batch;
+      }
+    }
+  }
+}
+
+TEST_P(IncrementalVsFull, RestoreUndoesRemoval) {
+  Rng rng(GetParam() ^ 0x5555);
+  const Graph g =
+      graph::make_isp_topology(graph::spec_by_name("AS1239"));
+  const NodeId root = static_cast<NodeId>(rng.index(g.num_nodes()));
+  const SptResult before = dijkstra_from(g, root);
+  IncrementalSpt inc(g, root);
+  std::vector<LinkId> removed;
+  for (int i = 0; i < 10; ++i) {
+    removed.push_back(static_cast<LinkId>(rng.index(g.num_links())));
+  }
+  inc.remove_links(removed);
+  for (LinkId l : removed) {
+    if (inc.link_removed(l)) inc.restore_link(l);
+  }
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_DOUBLE_EQ(inc.dist(n), before.dist[n]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalVsFull,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Incremental, NodeRemoval) {
+  const Graph g = diamond();
+  IncrementalSpt inc(g, 0);
+  inc.remove_node(1);
+  EXPECT_FALSE(inc.reachable(1));
+  EXPECT_DOUBLE_EQ(inc.dist(3), 4.0);  // forced via node 2
+  std::vector<char> nm(g.num_nodes(), 0);
+  nm[1] = 1;
+  const SptResult full = dijkstra_from(g, 0, {&nm, nullptr});
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_DOUBLE_EQ(inc.dist(n), full.dist[n]);
+  }
+}
+
+TEST(Incremental, CannotRemoveRoot) {
+  const Graph g = diamond();
+  IncrementalSpt inc(g, 0);
+  EXPECT_THROW(inc.remove_node(0), ContractViolation);
+}
+
+TEST(Incremental, PathToTracksUpdates) {
+  const Graph g = diamond();
+  IncrementalSpt inc(g, 0);
+  EXPECT_EQ(inc.path_to(3).hops(), 2u);
+  inc.remove_link(g.find_link(1, 3));
+  const Path p = inc.path_to(3);
+  EXPECT_TRUE(valid_path(g, p));
+  EXPECT_EQ(p.nodes[1], 2u);
+  EXPECT_GT(inc.last_update_touched(), 0u);
+}
+
+TEST(Incremental, DisconnectionYieldsUnreachable) {
+  const Graph g = diamond();
+  IncrementalSpt inc(g, 0);
+  inc.remove_links({g.find_link(0, 1), g.find_link(0, 2)});
+  EXPECT_FALSE(inc.reachable(3));
+  EXPECT_TRUE(inc.path_to(3).empty());
+}
+
+}  // namespace
+}  // namespace rtr::spf

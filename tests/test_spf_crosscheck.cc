@@ -1,0 +1,155 @@
+// Cross-validation of the whole SPF stack against the independent
+// Bellman-Ford reference, on random weighted, asymmetric and masked
+// graphs.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/gen/generators.h"
+#include "graph/gen/isp_gen.h"
+#include "spf/bellman_ford.h"
+#include "spf/incremental.h"
+#include "spf/routing_table.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::spf {
+namespace {
+
+using graph::Graph;
+
+/// A connected random graph with random asymmetric costs.
+Graph random_weighted_graph(std::size_t n, double extra_frac, Rng& rng) {
+  Graph g = graph::make_random_tree(n, 1000.0, rng);
+  const std::size_t extras =
+      static_cast<std::size_t>(extra_frac * static_cast<double>(n));
+  std::size_t added = 0;
+  while (added < extras) {
+    const NodeId u = static_cast<NodeId>(rng.index(n));
+    const NodeId v = static_cast<NodeId>(rng.index(n));
+    if (u == v || g.find_link(u, v) != kNoLink) continue;
+    g.add_link(u, v);
+    ++added;
+  }
+  // Re-cost every link with random asymmetric weights in [1, 20].
+  Graph weighted;
+  for (NodeId i = 0; i < n; ++i) weighted.add_node(g.position(i));
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const graph::Link& e = g.link(l);
+    weighted.add_link_asym(e.u, e.v, rng.uniform_real(1.0, 20.0),
+                           rng.uniform_real(1.0, 20.0));
+  }
+  return weighted;
+}
+
+class SpfCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpfCrossCheck, DijkstraMatchesBellmanFord) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = random_weighted_graph(40, 1.5, rng);
+    const NodeId src = static_cast<NodeId>(rng.index(g.num_nodes()));
+    const SptResult d = dijkstra_from(g, src);
+    const BellmanFordResult bf = bellman_ford(g, src);
+    EXPECT_FALSE(bf.negative_cycle);
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      EXPECT_NEAR(d.dist[n], bf.dist[n], 1e-9) << "node " << n;
+    }
+  }
+}
+
+TEST_P(SpfCrossCheck, DijkstraMatchesBellmanFordUnderMasks) {
+  Rng rng(GetParam() ^ 0xAAAA);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = random_weighted_graph(35, 1.2, rng);
+    std::vector<char> link_mask(g.num_links(), 0);
+    std::vector<char> node_mask(g.num_nodes(), 0);
+    for (std::size_t i = 0; i < g.num_links() / 5; ++i) {
+      link_mask[rng.index(g.num_links())] = 1;
+    }
+    for (std::size_t i = 0; i < g.num_nodes() / 10; ++i) {
+      node_mask[rng.index(g.num_nodes())] = 1;
+    }
+    NodeId src = static_cast<NodeId>(rng.index(g.num_nodes()));
+    if (node_mask[src]) node_mask[src] = 0;
+    const graph::Masks masks{&node_mask, &link_mask};
+    const SptResult d = dijkstra_from(g, src, masks);
+    const BellmanFordResult bf = bellman_ford(g, src, masks);
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      EXPECT_NEAR(d.dist[n] == kInfCost ? -1.0 : d.dist[n],
+                  bf.dist[n] == kInfCost ? -1.0 : bf.dist[n], 1e-9);
+    }
+  }
+}
+
+TEST_P(SpfCrossCheck, RoutingTableDistancesMatchBellmanFord) {
+  Rng rng(GetParam() ^ 0xBBBB);
+  const Graph g = random_weighted_graph(30, 1.0, rng);
+  const RoutingTable rt(g, RoutingTable::Metric::kLinkCost);
+  // With asymmetric costs the table's u -> t distances are validated
+  // against forward Bellman-Ford runs from each u.
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u == t) continue;
+      const Path p = rt.route(u, t);
+      ASSERT_FALSE(p.empty());
+      EXPECT_TRUE(valid_path(g, p));
+      // The route's directed cost must equal the table's distance and
+      // the true optimum computed by a forward Dijkstra from u.
+      EXPECT_NEAR(p.cost, rt.distance(u, t), 1e-9);
+      const BellmanFordResult fwd = bellman_ford(g, u);
+      EXPECT_NEAR(p.cost, fwd.dist[t], 1e-9);
+    }
+  }
+}
+
+TEST_P(SpfCrossCheck, IncrementalMatchesBellmanFordOnWeightedGraphs) {
+  Rng rng(GetParam() ^ 0xCCCC);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_weighted_graph(40, 1.5, rng);
+    const NodeId root = static_cast<NodeId>(rng.index(g.num_nodes()));
+    IncrementalSpt inc(g, root);
+    std::vector<char> removed(g.num_links(), 0);
+    std::vector<LinkId> batch;
+    for (int i = 0; i < 10; ++i) {
+      const LinkId l = static_cast<LinkId>(rng.index(g.num_links()));
+      if (!removed[l]) {
+        removed[l] = 1;
+        batch.push_back(l);
+      }
+    }
+    inc.remove_links(batch);
+    const BellmanFordResult bf =
+        bellman_ford(g, root, {nullptr, &removed});
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      EXPECT_NEAR(inc.dist(n) == kInfCost ? -1.0 : inc.dist(n),
+                  bf.dist[n] == kInfCost ? -1.0 : bf.dist[n], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpfCrossCheck,
+                         ::testing::Values(71u, 72u, 73u));
+
+TEST(BellmanFord, MatchesOnIspSurrogate) {
+  const Graph g = graph::make_isp_topology(graph::spec_by_name("AS1239"));
+  for (NodeId src = 0; src < g.num_nodes(); src += 7) {
+    const SptResult d = bfs_from(g, src);
+    const BellmanFordResult bf = bellman_ford(g, src);
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      EXPECT_DOUBLE_EQ(d.dist[n], bf.dist[n]);
+    }
+  }
+}
+
+TEST(BellmanFord, MaskedSourceYieldsNothing) {
+  Graph g;
+  g.add_node({0, 0});
+  g.add_node({1, 1});
+  g.add_link(0, 1);
+  std::vector<char> nm = {1, 0};
+  const BellmanFordResult bf = bellman_ford(g, 0, {&nm, nullptr});
+  EXPECT_EQ(bf.dist[0], kInfCost);
+  EXPECT_EQ(bf.dist[1], kInfCost);
+}
+
+}  // namespace
+}  // namespace rtr::spf

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/expect.h"
+#include "stats/cdf.h"
+#include "stats/table.h"
+
+namespace rtr::stats {
+namespace {
+
+TEST(Cdf, BasicMoments) {
+  const Cdf c({3.0, 1.0, 2.0, 4.0});
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c.min(), 1.0);
+  EXPECT_DOUBLE_EQ(c.max(), 4.0);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.5);
+}
+
+TEST(Cdf, FractionAtOrBelow) {
+  const Cdf c({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(10.0), 1.0);
+}
+
+TEST(Cdf, Quantiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const Cdf c(std::move(v));
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 100.0);
+}
+
+TEST(Cdf, CurveSpansRange) {
+  const Cdf c({0.0, 5.0, 10.0});
+  const auto pts = c.curve(11);
+  ASSERT_EQ(pts.size(), 11u);
+  EXPECT_DOUBLE_EQ(pts.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().first, 10.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].second, pts[i - 1].second);  // monotone
+  }
+}
+
+TEST(Cdf, EmptyBehaviour) {
+  const Cdf c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(1.0), 0.0);
+  EXPECT_TRUE(c.curve(5).empty());
+  EXPECT_THROW(c.min(), ContractViolation);
+  EXPECT_THROW(c.quantile(0.5), ContractViolation);
+}
+
+TEST(Summary, OfSamples) {
+  const Summary s = Summary::of({2.0, 8.0, 5.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  const Summary empty = Summary::of({});
+  EXPECT_EQ(empty.count, 0u);
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable t({"Topology", "Rate"});
+  t.add_row({"AS209", "98.2"});
+  t.add_row({"AS7018", "98.4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Topology"), std::string::npos);
+  EXPECT_NE(out.find("AS7018"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, RejectsAriryMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Fmt, Formatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_pct(0.986), "98.6");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100");
+}
+
+TEST(Csv, Writes) {
+  std::ostringstream os;
+  write_csv(os, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+}  // namespace
+}  // namespace rtr::stats

@@ -1,0 +1,93 @@
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "core/rtr.h"
+#include "failure/failure_set.h"
+#include "graph/paper_topology.h"
+#include "viz/svg_export.h"
+
+namespace rtr::viz {
+namespace {
+
+using graph::paper_node;
+
+TEST(SvgExport, ContainsAllNodesAndLinks) {
+  const graph::Graph g = graph::fig1_graph();
+  SvgExporter svg(g);
+  const std::string out = svg.to_string();
+  EXPECT_NE(out.find("<svg"), std::string::npos);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+  std::size_t circles = 0;
+  std::size_t lines = 0;
+  for (std::size_t p = out.find("<circle"); p != std::string::npos;
+       p = out.find("<circle", p + 1)) {
+    ++circles;
+  }
+  for (std::size_t p = out.find("<line"); p != std::string::npos;
+       p = out.find("<line", p + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(circles, g.num_nodes());
+  EXPECT_EQ(lines, g.num_links());
+  EXPECT_NE(out.find(">v1<"), std::string::npos);  // labels
+  EXPECT_NE(out.find(">v18<"), std::string::npos);
+}
+
+TEST(SvgExport, FailureChangesColors) {
+  const graph::Graph g = graph::fig1_graph();
+  const fail::FailureSet failure(
+      g, fail::CircleArea(graph::fig1_failure_area()),
+      fail::LinkCutRule::kGeometric);
+  SvgExporter svg(g);
+  svg.add_failure(failure);
+  const std::string out = svg.to_string();
+  EXPECT_NE(out.find("#cc2222"), std::string::npos);  // failed elements
+}
+
+TEST(SvgExport, OverlaysRender) {
+  const graph::Graph g = graph::fig1_graph();
+  SvgExporter svg(g);
+  svg.add_circle(graph::fig1_failure_area(), "orange");
+  svg.add_walk({paper_node(6), paper_node(5), paper_node(4)}, "green");
+  svg.add_path({paper_node(6), paper_node(5), paper_node(12)}, "blue");
+  svg.highlight_node(paper_node(6), "purple");
+  const std::string out = svg.to_string();
+  EXPECT_NE(out.find("orange"), std::string::npos);
+  EXPECT_NE(out.find("stroke-dasharray='8,5'"), std::string::npos);
+  EXPECT_NE(out.find("purple"), std::string::npos);
+  std::size_t polylines = 0;
+  for (std::size_t p = out.find("<polyline"); p != std::string::npos;
+       p = out.find("<polyline", p + 1)) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, 2u);
+}
+
+TEST(SvgExport, PolygonOverlay) {
+  const graph::Graph g = graph::fig1_graph();
+  SvgExporter svg(g);
+  svg.add_polygon(geom::make_regular_polygon({300, 300}, 100, 6), "red");
+  EXPECT_NE(svg.to_string().find("<polygon"), std::string::npos);
+}
+
+TEST(SvgExport, SavesToFile) {
+  const graph::Graph g = graph::fig1_planar_graph();
+  SvgExporter svg(g);
+  const std::string path = ::testing::TempDir() + "/fig.svg";
+  svg.save(path);
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good());
+  EXPECT_THROW(svg.save("/nonexistent/dir/x.svg"), std::runtime_error);
+}
+
+TEST(SvgExport, RejectsEmptyGraphAndBadNodes) {
+  graph::Graph empty;
+  EXPECT_THROW(SvgExporter svg(empty), ContractViolation);
+  const graph::Graph g = graph::fig1_graph();
+  SvgExporter svg(g);
+  EXPECT_THROW(svg.highlight_node(999, "red"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtr::viz

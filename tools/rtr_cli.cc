@@ -1,0 +1,224 @@
+// rtr_cli: command-line front end to the library.
+//
+//   rtr_cli topo    --as AS209 [--out topo.txt]
+//   rtr_cli info    (--as AS209 | --file topo.txt)
+//   rtr_cli recover (--as AS209 | --file topo.txt) --cx X --cy Y --r R
+//                   [--rule endpoint|geometric] [--svg out.svg]
+//   rtr_cli bench   --as AS209 [--cases N] [--rule endpoint|geometric]
+//
+// `topo` writes a surrogate ISP topology in the text format of
+// graph/io.h; `info` prints structural statistics; `recover` applies a
+// circular failure area and reports RTR/FCP/MRC recovery for every
+// broken flow (optionally rendering an SVG of one recovery); `bench`
+// prints a one-topology Table III row.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "baselines/fcp.h"
+#include "baselines/mrc.h"
+#include "core/rtr.h"
+#include "exp/cases.h"
+#include "exp/context.h"
+#include "exp/runners.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/io.h"
+#include "graph/properties.h"
+#include "stats/cdf.h"
+#include "stats/table.h"
+#include "viz/svg_export.h"
+
+using namespace rtr;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& k) const { return options.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& dflt = "") const {
+    const auto it = options.find(k);
+    return it == options.end() ? dflt : it->second;
+  }
+  double num(const std::string& k, double dflt) const {
+    const auto it = options.find(k);
+    return it == options.end() ? dflt : std::stod(it->second);
+  }
+};
+
+int usage() {
+  std::cerr
+      << "usage: rtr_cli <topo|info|recover|bench> [options]\n"
+         "  common:  --as <ASname> | --file <topo.txt>\n"
+         "  topo:    --out <file>\n"
+         "  recover: --cx <x> --cy <y> --r <radius>\n"
+         "           [--rule endpoint|geometric] [--svg <out.svg>]\n"
+         "  bench:   [--cases <n>] [--rule endpoint|geometric]\n";
+  return 2;
+}
+
+graph::Graph load_topology(const Args& args) {
+  if (args.has("file")) return graph::load_graph(args.get("file"));
+  const std::string as = args.get("as", "AS209");
+  return graph::make_isp_topology(graph::spec_by_name(as));
+}
+
+fail::LinkCutRule rule_of(const Args& args) {
+  return args.get("rule", "endpoint") == "geometric"
+             ? fail::LinkCutRule::kGeometric
+             : fail::LinkCutRule::kEndpointsOnly;
+}
+
+int cmd_topo(const Args& args) {
+  const graph::Graph g = load_topology(args);
+  if (args.has("out")) {
+    graph::save_graph(args.get("out"), g);
+    std::cout << "wrote " << g.num_nodes() << " nodes / " << g.num_links()
+              << " links to " << args.get("out") << "\n";
+  } else {
+    graph::write_graph(std::cout, g);
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const graph::Graph g = load_topology(args);
+  const graph::DegreeStats d = graph::degree_stats(g);
+  const graph::CrossingIndex idx(g);
+  std::cout << "nodes:            " << g.num_nodes() << "\n"
+            << "links:            " << g.num_links() << "\n"
+            << "connected:        "
+            << (graph::connected(g) ? "yes" : "no") << "\n"
+            << "degree:           min " << d.min_degree << ", mean "
+            << stats::fmt(d.mean_degree, 2) << ", max " << d.max_degree
+            << "\n"
+            << "leaves:           " << d.leaves << "\n"
+            << "crossing pairs:   " << idx.num_crossing_pairs() << "\n"
+            << "planar embedding: "
+            << (idx.planar_embedding() ? "yes" : "no") << "\n";
+  return 0;
+}
+
+int cmd_recover(const Args& args) {
+  const graph::Graph g = load_topology(args);
+  const graph::CrossingIndex crossings(g);
+  const spf::RoutingTable rt(g);
+  const fail::CircleArea area(
+      {args.num("cx", 1000.0), args.num("cy", 1000.0)},
+      args.num("r", 200.0));
+  const fail::FailureSet failure(g, area, rule_of(args));
+  std::cout << "area " << area.describe() << ": "
+            << failure.num_failed_nodes() << " routers / "
+            << failure.num_failed_links() << " links failed\n";
+  if (failure.empty()) return 0;
+
+  const graph::Components comp = graph::components(g, failure.masks());
+  core::RtrRecovery rtr(g, crossings, rt, failure);
+  const baseline::Mrc mrc(g, rt);
+  std::size_t rec_cases = 0, irr_cases = 0;
+  std::size_t rtr_ok = 0, fcp_ok = 0, mrc_ok = 0;
+  bool svg_done = false;
+  for (NodeId init = 0; init < g.num_nodes(); ++init) {
+    if (failure.node_failed(init)) continue;
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (t == init || rt.next_link(init, t) == kNoLink) continue;
+      const graph::Adjacency a{rt.next_hop(init, t), rt.next_link(init, t)};
+      if (!failure.neighbor_unreachable(a)) continue;
+      const bool reachable =
+          !failure.node_failed(t) && comp.id[init] == comp.id[t];
+      if (!reachable) {
+        ++irr_cases;
+        continue;
+      }
+      ++rec_cases;
+      const core::RecoveryResult r = rtr.recover(init, t);
+      if (r.recovered()) ++rtr_ok;
+      if (baseline::run_fcp(g, failure, init, t).delivered) ++fcp_ok;
+      if (mrc.forward(failure, init, t).delivered) ++mrc_ok;
+      if (!svg_done && args.has("svg") && r.recovered()) {
+        viz::SvgExporter svg(g);
+        svg.add_failure(failure);
+        svg.add_circle(area.circle(), "#e8a13a", 0.25);
+        svg.add_walk(rtr.phase1_for(init).visits, "#2f855a");
+        svg.add_path(r.computed_path.nodes, "#6b46c1");
+        svg.highlight_node(init, "#6b46c1");
+        svg.save(args.get("svg"));
+        std::cout << "figure (initiator v" << init << " -> v" << t
+                  << ") written to " << args.get("svg") << "\n";
+        svg_done = true;
+      }
+    }
+  }
+  std::cout << "recoverable test cases:   " << rec_cases << "\n";
+  if (rec_cases > 0) {
+    const auto pct = [&](std::size_t n) {
+      return stats::fmt(100.0 * static_cast<double>(n) /
+                        static_cast<double>(rec_cases));
+    };
+    std::cout << "  RTR recovered:          " << rtr_ok << " ("
+              << pct(rtr_ok) << "%)\n"
+              << "  FCP recovered:          " << fcp_ok << " ("
+              << pct(fcp_ok) << "%)\n"
+              << "  MRC recovered:          " << mrc_ok << " ("
+              << pct(mrc_ok) << "%)\n";
+  }
+  std::cout << "irrecoverable test cases: " << irr_cases << "\n";
+  return 0;
+}
+
+int cmd_bench(const Args& args) {
+  const std::string as = args.get("as", "AS209");
+  const exp::TopologyContext ctx =
+      exp::make_context(graph::spec_by_name(as));
+  exp::CaseBudget budget;
+  budget.recoverable =
+      static_cast<std::size_t>(args.num("cases", 2000.0));
+  budget.irrecoverable = budget.recoverable;
+  const auto scenarios = exp::generate_scenarios(
+      ctx, fail::ScenarioConfig{}, budget, 20120618, rule_of(args));
+  const exp::RecoverableResults r = exp::run_recoverable(ctx, scenarios);
+  const exp::IrrecoverableResults ir =
+      exp::run_irrecoverable(ctx, scenarios);
+  const double n = static_cast<double>(r.cases);
+  std::cout << as << ": " << r.cases << " recoverable cases\n"
+            << "  RTR recovery/optimal: "
+            << stats::fmt(100.0 * r.rtr_recovered / n) << "% / "
+            << stats::fmt(100.0 * r.rtr_optimal / n) << "%\n"
+            << "  FCP recovery/optimal: "
+            << stats::fmt(100.0 * r.fcp_recovered / n) << "% / "
+            << stats::fmt(100.0 * r.fcp_optimal / n) << "%\n"
+            << "  MRC recovery:         "
+            << stats::fmt(100.0 * r.mrc_recovered / n) << "%\n"
+            << ir.cases << " irrecoverable cases\n"
+            << "  wasted SP calcs RTR/FCP: "
+            << stats::fmt(stats::Summary::of(ir.rtr_wasted_comp).mean)
+            << " / "
+            << stats::fmt(stats::Summary::of(ir.fcp_wasted_comp).mean)
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return usage();
+    args.options[argv[i] + 2] = argv[i + 1];
+  }
+  try {
+    if (args.command == "topo") return cmd_topo(args);
+    if (args.command == "info") return cmd_info(args);
+    if (args.command == "recover") return cmd_recover(args);
+    if (args.command == "bench") return cmd_bench(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
