@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_convergence_window.dir/bench_ext_convergence_window.cc.o"
+  "CMakeFiles/bench_ext_convergence_window.dir/bench_ext_convergence_window.cc.o.d"
+  "bench_ext_convergence_window"
+  "bench_ext_convergence_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_convergence_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

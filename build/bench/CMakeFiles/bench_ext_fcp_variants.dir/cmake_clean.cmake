@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fcp_variants.dir/bench_ext_fcp_variants.cc.o"
+  "CMakeFiles/bench_ext_fcp_variants.dir/bench_ext_fcp_variants.cc.o.d"
+  "bench_ext_fcp_variants"
+  "bench_ext_fcp_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fcp_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_phase1_duration.dir/bench_fig07_phase1_duration.cc.o"
+  "CMakeFiles/bench_fig07_phase1_duration.dir/bench_fig07_phase1_duration.cc.o.d"
+  "bench_fig07_phase1_duration"
+  "bench_fig07_phase1_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_phase1_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

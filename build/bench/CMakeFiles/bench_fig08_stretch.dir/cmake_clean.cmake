@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_stretch.dir/bench_fig08_stretch.cc.o"
+  "CMakeFiles/bench_fig08_stretch.dir/bench_fig08_stretch.cc.o.d"
+  "bench_fig08_stretch"
+  "bench_fig08_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_transmission.dir/bench_fig10_transmission.cc.o"
+  "CMakeFiles/bench_fig10_transmission.dir/bench_fig10_transmission.cc.o.d"
+  "bench_fig10_transmission"
+  "bench_fig10_transmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_transmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

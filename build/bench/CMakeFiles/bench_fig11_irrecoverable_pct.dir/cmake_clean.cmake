@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_irrecoverable_pct.dir/bench_fig11_irrecoverable_pct.cc.o"
+  "CMakeFiles/bench_fig11_irrecoverable_pct.dir/bench_fig11_irrecoverable_pct.cc.o.d"
+  "bench_fig11_irrecoverable_pct"
+  "bench_fig11_irrecoverable_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_irrecoverable_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

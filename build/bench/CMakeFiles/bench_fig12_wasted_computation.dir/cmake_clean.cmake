@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_wasted_computation.dir/bench_fig12_wasted_computation.cc.o"
+  "CMakeFiles/bench_fig12_wasted_computation.dir/bench_fig12_wasted_computation.cc.o.d"
+  "bench_fig12_wasted_computation"
+  "bench_fig12_wasted_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_wasted_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

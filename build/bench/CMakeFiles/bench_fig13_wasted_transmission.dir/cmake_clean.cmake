@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_wasted_transmission.dir/bench_fig13_wasted_transmission.cc.o"
+  "CMakeFiles/bench_fig13_wasted_transmission.dir/bench_fig13_wasted_transmission.cc.o.d"
+  "bench_fig13_wasted_transmission"
+  "bench_fig13_wasted_transmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_wasted_transmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_recoverable.dir/bench_table3_recoverable.cc.o"
+  "CMakeFiles/bench_table3_recoverable.dir/bench_table3_recoverable.cc.o.d"
+  "bench_table3_recoverable"
+  "bench_table3_recoverable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_recoverable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

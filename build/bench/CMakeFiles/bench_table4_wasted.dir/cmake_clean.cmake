@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_wasted.dir/bench_table4_wasted.cc.o"
+  "CMakeFiles/bench_table4_wasted.dir/bench_table4_wasted.cc.o.d"
+  "bench_table4_wasted"
+  "bench_table4_wasted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_wasted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbitrary_shape_area.dir/arbitrary_shape_area.cpp.o"
+  "CMakeFiles/arbitrary_shape_area.dir/arbitrary_shape_area.cpp.o.d"
+  "arbitrary_shape_area"
+  "arbitrary_shape_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbitrary_shape_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

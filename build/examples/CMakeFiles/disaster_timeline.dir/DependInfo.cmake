@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/disaster_timeline.cpp" "examples/CMakeFiles/disaster_timeline.dir/disaster_timeline.cpp.o" "gcc" "examples/CMakeFiles/disaster_timeline.dir/disaster_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rtr_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/rtr_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rtr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/spf/CMakeFiles/rtr_spf.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/rtr_fail.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rtr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rtr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaster_timeline.dir/disaster_timeline.cpp.o"
+  "CMakeFiles/disaster_timeline.dir/disaster_timeline.cpp.o.d"
+  "disaster_timeline"
+  "disaster_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaster_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_graph_walkthrough.dir/general_graph_walkthrough.cpp.o"
+  "CMakeFiles/general_graph_walkthrough.dir/general_graph_walkthrough.cpp.o.d"
+  "general_graph_walkthrough"
+  "general_graph_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_graph_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fcp.cc" "src/baselines/CMakeFiles/rtr_baselines.dir/fcp.cc.o" "gcc" "src/baselines/CMakeFiles/rtr_baselines.dir/fcp.cc.o.d"
+  "/root/repo/src/baselines/mrc.cc" "src/baselines/CMakeFiles/rtr_baselines.dir/mrc.cc.o" "gcc" "src/baselines/CMakeFiles/rtr_baselines.dir/mrc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spf/CMakeFiles/rtr_spf.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/rtr_fail.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rtr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

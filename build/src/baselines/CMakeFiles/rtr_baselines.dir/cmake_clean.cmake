@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_baselines.dir/fcp.cc.o"
+  "CMakeFiles/rtr_baselines.dir/fcp.cc.o.d"
+  "CMakeFiles/rtr_baselines.dir/mrc.cc.o"
+  "CMakeFiles/rtr_baselines.dir/mrc.cc.o.d"
+  "librtr_baselines.a"
+  "librtr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area_estimate.cc" "src/core/CMakeFiles/rtr_core.dir/area_estimate.cc.o" "gcc" "src/core/CMakeFiles/rtr_core.dir/area_estimate.cc.o.d"
+  "/root/repo/src/core/distributed_rtr.cc" "src/core/CMakeFiles/rtr_core.dir/distributed_rtr.cc.o" "gcc" "src/core/CMakeFiles/rtr_core.dir/distributed_rtr.cc.o.d"
+  "/root/repo/src/core/forwarding_rule.cc" "src/core/CMakeFiles/rtr_core.dir/forwarding_rule.cc.o" "gcc" "src/core/CMakeFiles/rtr_core.dir/forwarding_rule.cc.o.d"
+  "/root/repo/src/core/phase1.cc" "src/core/CMakeFiles/rtr_core.dir/phase1.cc.o" "gcc" "src/core/CMakeFiles/rtr_core.dir/phase1.cc.o.d"
+  "/root/repo/src/core/rtr.cc" "src/core/CMakeFiles/rtr_core.dir/rtr.cc.o" "gcc" "src/core/CMakeFiles/rtr_core.dir/rtr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spf/CMakeFiles/rtr_spf.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/rtr_fail.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rtr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_core.dir/area_estimate.cc.o"
+  "CMakeFiles/rtr_core.dir/area_estimate.cc.o.d"
+  "CMakeFiles/rtr_core.dir/distributed_rtr.cc.o"
+  "CMakeFiles/rtr_core.dir/distributed_rtr.cc.o.d"
+  "CMakeFiles/rtr_core.dir/forwarding_rule.cc.o"
+  "CMakeFiles/rtr_core.dir/forwarding_rule.cc.o.d"
+  "CMakeFiles/rtr_core.dir/phase1.cc.o"
+  "CMakeFiles/rtr_core.dir/phase1.cc.o.d"
+  "CMakeFiles/rtr_core.dir/rtr.cc.o"
+  "CMakeFiles/rtr_core.dir/rtr.cc.o.d"
+  "librtr_core.a"
+  "librtr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

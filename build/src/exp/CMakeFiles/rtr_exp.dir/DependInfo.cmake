@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/bench_config.cc" "src/exp/CMakeFiles/rtr_exp.dir/bench_config.cc.o" "gcc" "src/exp/CMakeFiles/rtr_exp.dir/bench_config.cc.o.d"
+  "/root/repo/src/exp/cases.cc" "src/exp/CMakeFiles/rtr_exp.dir/cases.cc.o" "gcc" "src/exp/CMakeFiles/rtr_exp.dir/cases.cc.o.d"
+  "/root/repo/src/exp/context.cc" "src/exp/CMakeFiles/rtr_exp.dir/context.cc.o" "gcc" "src/exp/CMakeFiles/rtr_exp.dir/context.cc.o.d"
+  "/root/repo/src/exp/runners.cc" "src/exp/CMakeFiles/rtr_exp.dir/runners.cc.o" "gcc" "src/exp/CMakeFiles/rtr_exp.dir/runners.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rtr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/spf/CMakeFiles/rtr_spf.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/rtr_fail.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rtr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rtr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

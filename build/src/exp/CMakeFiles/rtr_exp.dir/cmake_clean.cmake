@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_exp.dir/bench_config.cc.o"
+  "CMakeFiles/rtr_exp.dir/bench_config.cc.o.d"
+  "CMakeFiles/rtr_exp.dir/cases.cc.o"
+  "CMakeFiles/rtr_exp.dir/cases.cc.o.d"
+  "CMakeFiles/rtr_exp.dir/context.cc.o"
+  "CMakeFiles/rtr_exp.dir/context.cc.o.d"
+  "CMakeFiles/rtr_exp.dir/runners.cc.o"
+  "CMakeFiles/rtr_exp.dir/runners.cc.o.d"
+  "librtr_exp.a"
+  "librtr_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

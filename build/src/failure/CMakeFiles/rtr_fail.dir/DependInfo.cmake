@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/failure/area.cc" "src/failure/CMakeFiles/rtr_fail.dir/area.cc.o" "gcc" "src/failure/CMakeFiles/rtr_fail.dir/area.cc.o.d"
+  "/root/repo/src/failure/failure_set.cc" "src/failure/CMakeFiles/rtr_fail.dir/failure_set.cc.o" "gcc" "src/failure/CMakeFiles/rtr_fail.dir/failure_set.cc.o.d"
+  "/root/repo/src/failure/scenario.cc" "src/failure/CMakeFiles/rtr_fail.dir/scenario.cc.o" "gcc" "src/failure/CMakeFiles/rtr_fail.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rtr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

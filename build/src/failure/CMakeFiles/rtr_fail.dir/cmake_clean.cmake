@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_fail.dir/area.cc.o"
+  "CMakeFiles/rtr_fail.dir/area.cc.o.d"
+  "CMakeFiles/rtr_fail.dir/failure_set.cc.o"
+  "CMakeFiles/rtr_fail.dir/failure_set.cc.o.d"
+  "CMakeFiles/rtr_fail.dir/scenario.cc.o"
+  "CMakeFiles/rtr_fail.dir/scenario.cc.o.d"
+  "librtr_fail.a"
+  "librtr_fail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_fail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rtr_fail.
+# This may be replaced when dependencies are built.

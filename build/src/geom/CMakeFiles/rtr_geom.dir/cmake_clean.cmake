@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_geom.dir/convex_hull.cc.o"
+  "CMakeFiles/rtr_geom.dir/convex_hull.cc.o.d"
+  "CMakeFiles/rtr_geom.dir/polygon.cc.o"
+  "CMakeFiles/rtr_geom.dir/polygon.cc.o.d"
+  "librtr_geom.a"
+  "librtr_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/crossings.cc" "src/graph/CMakeFiles/rtr_graph.dir/crossings.cc.o" "gcc" "src/graph/CMakeFiles/rtr_graph.dir/crossings.cc.o.d"
+  "/root/repo/src/graph/gen/generators.cc" "src/graph/CMakeFiles/rtr_graph.dir/gen/generators.cc.o" "gcc" "src/graph/CMakeFiles/rtr_graph.dir/gen/generators.cc.o.d"
+  "/root/repo/src/graph/gen/isp_gen.cc" "src/graph/CMakeFiles/rtr_graph.dir/gen/isp_gen.cc.o" "gcc" "src/graph/CMakeFiles/rtr_graph.dir/gen/isp_gen.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/rtr_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/rtr_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/rtr_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/rtr_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/paper_topology.cc" "src/graph/CMakeFiles/rtr_graph.dir/paper_topology.cc.o" "gcc" "src/graph/CMakeFiles/rtr_graph.dir/paper_topology.cc.o.d"
+  "/root/repo/src/graph/properties.cc" "src/graph/CMakeFiles/rtr_graph.dir/properties.cc.o" "gcc" "src/graph/CMakeFiles/rtr_graph.dir/properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_graph.dir/crossings.cc.o"
+  "CMakeFiles/rtr_graph.dir/crossings.cc.o.d"
+  "CMakeFiles/rtr_graph.dir/gen/generators.cc.o"
+  "CMakeFiles/rtr_graph.dir/gen/generators.cc.o.d"
+  "CMakeFiles/rtr_graph.dir/gen/isp_gen.cc.o"
+  "CMakeFiles/rtr_graph.dir/gen/isp_gen.cc.o.d"
+  "CMakeFiles/rtr_graph.dir/graph.cc.o"
+  "CMakeFiles/rtr_graph.dir/graph.cc.o.d"
+  "CMakeFiles/rtr_graph.dir/io.cc.o"
+  "CMakeFiles/rtr_graph.dir/io.cc.o.d"
+  "CMakeFiles/rtr_graph.dir/paper_topology.cc.o"
+  "CMakeFiles/rtr_graph.dir/paper_topology.cc.o.d"
+  "CMakeFiles/rtr_graph.dir/properties.cc.o"
+  "CMakeFiles/rtr_graph.dir/properties.cc.o.d"
+  "librtr_graph.a"
+  "librtr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

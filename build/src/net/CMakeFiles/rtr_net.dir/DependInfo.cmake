@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/codec.cc" "src/net/CMakeFiles/rtr_net.dir/codec.cc.o" "gcc" "src/net/CMakeFiles/rtr_net.dir/codec.cc.o.d"
+  "/root/repo/src/net/compress.cc" "src/net/CMakeFiles/rtr_net.dir/compress.cc.o" "gcc" "src/net/CMakeFiles/rtr_net.dir/compress.cc.o.d"
+  "/root/repo/src/net/igp.cc" "src/net/CMakeFiles/rtr_net.dir/igp.cc.o" "gcc" "src/net/CMakeFiles/rtr_net.dir/igp.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/rtr_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/rtr_net.dir/network.cc.o.d"
+  "/root/repo/src/net/sim.cc" "src/net/CMakeFiles/rtr_net.dir/sim.cc.o" "gcc" "src/net/CMakeFiles/rtr_net.dir/sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/failure/CMakeFiles/rtr_fail.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_net.dir/codec.cc.o"
+  "CMakeFiles/rtr_net.dir/codec.cc.o.d"
+  "CMakeFiles/rtr_net.dir/compress.cc.o"
+  "CMakeFiles/rtr_net.dir/compress.cc.o.d"
+  "CMakeFiles/rtr_net.dir/igp.cc.o"
+  "CMakeFiles/rtr_net.dir/igp.cc.o.d"
+  "CMakeFiles/rtr_net.dir/network.cc.o"
+  "CMakeFiles/rtr_net.dir/network.cc.o.d"
+  "CMakeFiles/rtr_net.dir/sim.cc.o"
+  "CMakeFiles/rtr_net.dir/sim.cc.o.d"
+  "librtr_net.a"
+  "librtr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spf/bellman_ford.cc" "src/spf/CMakeFiles/rtr_spf.dir/bellman_ford.cc.o" "gcc" "src/spf/CMakeFiles/rtr_spf.dir/bellman_ford.cc.o.d"
+  "/root/repo/src/spf/incremental.cc" "src/spf/CMakeFiles/rtr_spf.dir/incremental.cc.o" "gcc" "src/spf/CMakeFiles/rtr_spf.dir/incremental.cc.o.d"
+  "/root/repo/src/spf/path.cc" "src/spf/CMakeFiles/rtr_spf.dir/path.cc.o" "gcc" "src/spf/CMakeFiles/rtr_spf.dir/path.cc.o.d"
+  "/root/repo/src/spf/routing_table.cc" "src/spf/CMakeFiles/rtr_spf.dir/routing_table.cc.o" "gcc" "src/spf/CMakeFiles/rtr_spf.dir/routing_table.cc.o.d"
+  "/root/repo/src/spf/shortest_path.cc" "src/spf/CMakeFiles/rtr_spf.dir/shortest_path.cc.o" "gcc" "src/spf/CMakeFiles/rtr_spf.dir/shortest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rtr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_spf.dir/bellman_ford.cc.o"
+  "CMakeFiles/rtr_spf.dir/bellman_ford.cc.o.d"
+  "CMakeFiles/rtr_spf.dir/incremental.cc.o"
+  "CMakeFiles/rtr_spf.dir/incremental.cc.o.d"
+  "CMakeFiles/rtr_spf.dir/path.cc.o"
+  "CMakeFiles/rtr_spf.dir/path.cc.o.d"
+  "CMakeFiles/rtr_spf.dir/routing_table.cc.o"
+  "CMakeFiles/rtr_spf.dir/routing_table.cc.o.d"
+  "CMakeFiles/rtr_spf.dir/shortest_path.cc.o"
+  "CMakeFiles/rtr_spf.dir/shortest_path.cc.o.d"
+  "librtr_spf.a"
+  "librtr_spf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_spf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_stats.dir/cdf.cc.o"
+  "CMakeFiles/rtr_stats.dir/cdf.cc.o.d"
+  "CMakeFiles/rtr_stats.dir/table.cc.o"
+  "CMakeFiles/rtr_stats.dir/table.cc.o.d"
+  "librtr_stats.a"
+  "librtr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

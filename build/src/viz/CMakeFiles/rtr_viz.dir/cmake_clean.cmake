@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_viz.dir/svg_export.cc.o"
+  "CMakeFiles/rtr_viz.dir/svg_export.cc.o.d"
+  "librtr_viz.a"
+  "librtr_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

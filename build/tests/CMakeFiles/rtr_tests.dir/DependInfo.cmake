@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_area_estimate.cc" "tests/CMakeFiles/rtr_tests.dir/test_area_estimate.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_area_estimate.cc.o.d"
+  "/root/repo/tests/test_compress.cc" "tests/CMakeFiles/rtr_tests.dir/test_compress.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_compress.cc.o.d"
+  "/root/repo/tests/test_distributed.cc" "tests/CMakeFiles/rtr_tests.dir/test_distributed.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_distributed.cc.o.d"
+  "/root/repo/tests/test_exp.cc" "tests/CMakeFiles/rtr_tests.dir/test_exp.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_exp.cc.o.d"
+  "/root/repo/tests/test_failure.cc" "tests/CMakeFiles/rtr_tests.dir/test_failure.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_failure.cc.o.d"
+  "/root/repo/tests/test_fcp.cc" "tests/CMakeFiles/rtr_tests.dir/test_fcp.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_fcp.cc.o.d"
+  "/root/repo/tests/test_forwarding_rule.cc" "tests/CMakeFiles/rtr_tests.dir/test_forwarding_rule.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_forwarding_rule.cc.o.d"
+  "/root/repo/tests/test_generators.cc" "tests/CMakeFiles/rtr_tests.dir/test_generators.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_generators.cc.o.d"
+  "/root/repo/tests/test_geom.cc" "tests/CMakeFiles/rtr_tests.dir/test_geom.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_geom.cc.o.d"
+  "/root/repo/tests/test_geom_properties.cc" "tests/CMakeFiles/rtr_tests.dir/test_geom_properties.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_geom_properties.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/rtr_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_igp.cc" "tests/CMakeFiles/rtr_tests.dir/test_igp.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_igp.cc.o.d"
+  "/root/repo/tests/test_mrc.cc" "tests/CMakeFiles/rtr_tests.dir/test_mrc.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_mrc.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/rtr_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/rtr_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_phase1.cc" "tests/CMakeFiles/rtr_tests.dir/test_phase1.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_phase1.cc.o.d"
+  "/root/repo/tests/test_rtr.cc" "tests/CMakeFiles/rtr_tests.dir/test_rtr.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_rtr.cc.o.d"
+  "/root/repo/tests/test_spf.cc" "tests/CMakeFiles/rtr_tests.dir/test_spf.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_spf.cc.o.d"
+  "/root/repo/tests/test_spf_crosscheck.cc" "tests/CMakeFiles/rtr_tests.dir/test_spf_crosscheck.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_spf_crosscheck.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/rtr_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_viz.cc" "tests/CMakeFiles/rtr_tests.dir/test_viz.cc.o" "gcc" "tests/CMakeFiles/rtr_tests.dir/test_viz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rtr_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/rtr_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rtr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/spf/CMakeFiles/rtr_spf.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/rtr_fail.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rtr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rtr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

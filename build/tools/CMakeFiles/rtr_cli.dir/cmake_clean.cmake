@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_cli.dir/rtr_cli.cc.o"
+  "CMakeFiles/rtr_cli.dir/rtr_cli.cc.o.d"
+  "rtr_cli"
+  "rtr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
