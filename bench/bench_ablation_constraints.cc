@@ -10,8 +10,8 @@
 
 using namespace rtr;
 
-int main() {
-  exp::BenchConfig cfg = exp::BenchConfig::from_env();
+int main(int argc, char** argv) {
+  exp::BenchConfig cfg = bench::config_from(argc, argv);
   // The ablation is quadratic in interest, not in cases; a quarter of
   // the full workload keeps it quick at default settings.
   cfg.cases = std::max<std::size_t>(1, cfg.cases / 4);
@@ -37,7 +37,7 @@ int main() {
         exp::make_context(graph::spec_by_name(topo));
     const auto scenarios = bench::make_scenarios(ctx, cfg, cfg.cases, 0);
     for (const Variant& v : variants) {
-      exp::RunOptions opts;
+      exp::RunOptions opts = bench::run_options(cfg);
       opts.run_mrc = false;
       opts.run_fcp = false;
       opts.rtr.phase1 = v.opts;

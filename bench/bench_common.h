@@ -7,6 +7,7 @@
 // EXPERIMENTS.md.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -19,6 +20,45 @@
 #include "graph/gen/isp_gen.h"
 
 namespace rtr::bench {
+
+/// Environment config plus command-line overrides.  Every bench accepts
+///   --threads N   worker threads for the scenario fan-out
+///                 (0 = all hardware threads, 1 = serial; results are
+///                 bit-identical either way -- see exp::RunOptions)
+/// Unknown flags abort with a usage message so typos don't silently run
+/// a multi-minute workload with default settings.
+inline exp::BenchConfig config_from(int argc, char** argv) {
+  exp::BenchConfig cfg = exp::BenchConfig::from_env();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--threads" && i + 1 < argc) {
+      value = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(std::string("--threads=").size());
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--threads N]\n"
+                << "unrecognised argument: " << arg << '\n';
+      std::exit(2);
+    }
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || end == nullptr || *end != '\0') {
+      std::cerr << "invalid --threads value: " << value << '\n';
+      std::exit(2);
+    }
+    cfg.threads = static_cast<std::size_t>(n);
+  }
+  return cfg;
+}
+
+/// RunOptions seeded with the config's engine knobs; benches tweak the
+/// per-figure flags (run_mrc / run_fcp / ablations) on top.
+inline exp::RunOptions run_options(const exp::BenchConfig& cfg) {
+  exp::RunOptions opts;
+  opts.threads = cfg.threads;
+  return opts;
+}
 
 /// Builds contexts for the Table II topologies (and optionally the two
 /// extra ASes that appear in Figs. 11-13).  unique_ptr keeps each

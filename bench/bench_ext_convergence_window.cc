@@ -6,14 +6,15 @@
 // one source-routed delivery), and translates the difference into
 // packets saved per affected 10 Gb/s flow.
 #include "bench_common.h"
+#include "common/parallel.h"
 #include "net/igp.h"
 #include "stats/cdf.h"
 #include "stats/table.h"
 
 using namespace rtr;
 
-int main() {
-  exp::BenchConfig cfg = exp::BenchConfig::from_env();
+int main(int argc, char** argv) {
+  exp::BenchConfig cfg = bench::config_from(argc, argv);
   cfg.cases = std::max<std::size_t>(1, cfg.cases / 10);
   bench::print_header(
       "Extension: IGP convergence window vs RTR time-to-recovery", cfg);
@@ -24,22 +25,36 @@ int main() {
   for (const auto& ctx_ptr : bench::make_contexts(false)) {
     const exp::TopologyContext& ctx = *ctx_ptr;
     const auto scenarios = bench::make_scenarios(ctx, cfg, cfg.cases, 0);
+    // One scenario = one work unit; partials merged in index order so
+    // the printed numbers match the serial run for any --threads.
+    struct Partial {
+      double conv_ms = 0.0;
+      std::vector<double> ready_ms;
+    };
+    std::vector<Partial> partials(scenarios.size());
+    common::parallel_for(
+        scenarios.size(), cfg.threads, [&](std::size_t i) {
+          const exp::Scenario& sc = scenarios[i];
+          Partial& p = partials[i];
+          p.conv_ms = net::igp_convergence(ctx.g, sc.failure).convergence_ms;
+          core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure);
+          for (const exp::TestCase& tc : sc.recoverable) {
+            const core::RecoveryResult r =
+                rtr.recover(tc.initiator, tc.dest);
+            if (!r.recovered()) continue;
+            const core::Phase1Result& p1 = rtr.phase1_for(tc.initiator);
+            p.ready_ms.push_back(
+                delay.duration_ms(p1.hops() + r.delivered_hops));
+          }
+        });
     double conv_sum = 0.0;
     std::size_t conv_n = 0;
     std::vector<double> ready_ms;
-    for (const exp::Scenario& sc : scenarios) {
-      const net::ConvergenceTimeline t =
-          net::igp_convergence(ctx.g, sc.failure);
-      conv_sum += t.convergence_ms;
+    for (const Partial& p : partials) {
+      conv_sum += p.conv_ms;
       ++conv_n;
-      core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure);
-      for (const exp::TestCase& tc : sc.recoverable) {
-        const core::RecoveryResult r = rtr.recover(tc.initiator, tc.dest);
-        if (!r.recovered()) continue;
-        const core::Phase1Result& p1 = rtr.phase1_for(tc.initiator);
-        ready_ms.push_back(
-            delay.duration_ms(p1.hops() + r.delivered_hops));
-      }
+      ready_ms.insert(ready_ms.end(), p.ready_ms.begin(),
+                      p.ready_ms.end());
     }
     if (conv_n == 0 || ready_ms.empty()) continue;
     const double conv = conv_sum / static_cast<double>(conv_n);

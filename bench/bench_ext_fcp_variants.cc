@@ -5,14 +5,15 @@
 // recoverable workload.
 #include "baselines/fcp.h"
 #include "bench_common.h"
+#include "common/parallel.h"
 #include "core/rtr.h"
 #include "stats/cdf.h"
 #include "stats/table.h"
 
 using namespace rtr;
 
-int main() {
-  exp::BenchConfig cfg = exp::BenchConfig::from_env();
+int main(int argc, char** argv) {
+  exp::BenchConfig cfg = bench::config_from(argc, argv);
   cfg.cases = std::max<std::size_t>(1, cfg.cases / 4);
   bench::print_header(
       "Extension: SP calculations -- original FCP vs source-routing FCP "
@@ -24,17 +25,30 @@ int main() {
   for (const auto& ctx_ptr : bench::make_contexts(false)) {
     const exp::TopologyContext& ctx = *ctx_ptr;
     const auto scenarios = bench::make_scenarios(ctx, cfg, cfg.cases, 0);
+    // One scenario = one work unit; per-scenario sample vectors are
+    // concatenated in index order, matching the serial run exactly.
+    struct Partial {
+      std::vector<double> orig, sr;
+    };
+    std::vector<Partial> partials(scenarios.size());
+    common::parallel_for(
+        scenarios.size(), cfg.threads, [&](std::size_t i) {
+          const exp::Scenario& sc = scenarios[i];
+          Partial& p = partials[i];
+          for (const exp::TestCase& tc : sc.recoverable) {
+            p.orig.push_back(static_cast<double>(
+                baseline::run_fcp_original(ctx.g, sc.failure, tc.initiator,
+                                           tc.dest)
+                    .sp_calculations));
+            p.sr.push_back(static_cast<double>(
+                baseline::run_fcp(ctx.g, sc.failure, tc.initiator, tc.dest)
+                    .sp_calculations));
+          }
+        });
     std::vector<double> orig_calcs, sr_calcs;
-    for (const exp::Scenario& sc : scenarios) {
-      for (const exp::TestCase& tc : sc.recoverable) {
-        orig_calcs.push_back(static_cast<double>(
-            baseline::run_fcp_original(ctx.g, sc.failure, tc.initiator,
-                                       tc.dest)
-                .sp_calculations));
-        sr_calcs.push_back(static_cast<double>(
-            baseline::run_fcp(ctx.g, sc.failure, tc.initiator, tc.dest)
-                .sp_calculations));
-      }
+    for (const Partial& p : partials) {
+      orig_calcs.insert(orig_calcs.end(), p.orig.begin(), p.orig.end());
+      sr_calcs.insert(sr_calcs.end(), p.sr.begin(), p.sr.end());
     }
     const stats::Summary so = stats::Summary::of(orig_calcs);
     const stats::Summary ss = stats::Summary::of(sr_calcs);

@@ -7,8 +7,8 @@
 
 using namespace rtr;
 
-int main() {
-  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+int main(int argc, char** argv) {
+  const exp::BenchConfig cfg = bench::config_from(argc, argv);
   bench::print_header(
       "Fig. 7: CDF of the duration of the first phase (ms)", cfg);
 
@@ -29,13 +29,13 @@ int main() {
     // Fig. 7 pools recoverable and irrecoverable cases: "RTR has the
     // same first phase in both".
     const exp::RecoverableResults rec = exp::run_recoverable(
-        ctx, scenarios, [] {
-          exp::RunOptions o;
+        ctx, scenarios, [&cfg] {
+          exp::RunOptions o = bench::run_options(cfg);
           o.run_mrc = false;
           o.run_fcp = false;
           return o;
         }());
-    exp::RunOptions irr_opts;
+    exp::RunOptions irr_opts = bench::run_options(cfg);
     irr_opts.run_fcp = false;
     const exp::IrrecoverableResults irr =
         exp::run_irrecoverable(ctx, scenarios, irr_opts);

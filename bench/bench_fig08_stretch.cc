@@ -7,8 +7,8 @@
 
 using namespace rtr;
 
-int main() {
-  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+int main(int argc, char** argv) {
+  const exp::BenchConfig cfg = bench::config_from(argc, argv);
   bench::print_header("Fig. 8: CDF of the stretch of recovery paths", cfg);
 
   const std::vector<double> grid = {1.0, 1.25, 1.5, 2.0, 2.5,
@@ -17,7 +17,7 @@ int main() {
   for (double g : grid) header.push_back("<=" + stats::fmt(g, 2));
   stats::TextTable table(header);
 
-  exp::RunOptions opts;
+  exp::RunOptions opts = bench::run_options(cfg);
   opts.run_mrc = false;
   for (const auto& ctx_ptr : bench::make_contexts(false)) {
     const exp::TopologyContext& ctx = *ctx_ptr;

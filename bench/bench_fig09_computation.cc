@@ -8,8 +8,8 @@
 
 using namespace rtr;
 
-int main() {
-  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+int main(int argc, char** argv) {
+  const exp::BenchConfig cfg = bench::config_from(argc, argv);
   bench::print_header(
       "Fig. 9: CDF of the computational overhead (SP calculations) in "
       "recoverable test cases",
@@ -21,7 +21,7 @@ int main() {
   header.push_back("max");
   stats::TextTable table(header);
 
-  exp::RunOptions opts;
+  exp::RunOptions opts = bench::run_options(cfg);
   opts.run_mrc = false;
   for (const auto& ctx_ptr : bench::make_contexts(false)) {
     const exp::TopologyContext& ctx = *ctx_ptr;

@@ -9,8 +9,8 @@
 
 using namespace rtr;
 
-int main() {
-  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+int main(int argc, char** argv) {
+  const exp::BenchConfig cfg = bench::config_from(argc, argv);
   bench::print_header(
       "Fig. 10: average transmission overhead (bytes) over time", cfg);
 
@@ -22,7 +22,7 @@ int main() {
   }
   stats::TextTable table(header);
 
-  exp::RunOptions opts;
+  exp::RunOptions opts = bench::run_options(cfg);
   opts.run_mrc = false;
   for (const auto& ctx_ptr : bench::make_contexts(false)) {
     const exp::TopologyContext& ctx = *ctx_ptr;

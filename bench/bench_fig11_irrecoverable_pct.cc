@@ -39,8 +39,8 @@ void sweep(const exp::BenchConfig& cfg, fail::LinkCutRule rule,
 
 }  // namespace
 
-int main() {
-  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+int main(int argc, char** argv) {
+  const exp::BenchConfig cfg = bench::config_from(argc, argv);
   bench::print_header(
       "Fig. 11: percentage of irrecoverable failed routing paths vs "
       "failure radius",

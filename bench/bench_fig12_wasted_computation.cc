@@ -8,8 +8,8 @@
 
 using namespace rtr;
 
-int main() {
-  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+int main(int argc, char** argv) {
+  const exp::BenchConfig cfg = bench::config_from(argc, argv);
   bench::print_header(
       "Fig. 12: CDF of the wasted computation in irrecoverable test "
       "cases",
@@ -25,7 +25,7 @@ int main() {
     const exp::TopologyContext& ctx = *ctx_ptr;
     const auto scenarios = bench::make_scenarios(ctx, cfg, 0, cfg.cases);
     const exp::IrrecoverableResults r =
-        exp::run_irrecoverable(ctx, scenarios);
+        exp::run_irrecoverable(ctx, scenarios, bench::run_options(cfg));
     for (const auto& [name, samples] :
          {std::pair<std::string, const std::vector<double>*>{
               "RTR (" + ctx.name + ")", &r.rtr_wasted_comp},

@@ -133,4 +133,24 @@ BENCHMARK(BM_HeaderCodecRoundTrip)->Arg(4)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Accepts --threads N like every other bench binary so scripted sweeps
+// can pass a uniform flag set; the micro kernels themselves are
+// single-threaded, so the value is parsed and ignored.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    if (arg.rfind("--threads=", 0) == 0) continue;
+    args.push_back(argv[i]);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,7 +30,8 @@ void run_rule(exp::BenchConfig cfg, fail::LinkCutRule rule,
   for (const auto& ctx_ptr : bench::make_contexts(false)) {
     const exp::TopologyContext& ctx = *ctx_ptr;
     const auto scenarios = bench::make_scenarios(ctx, cfg, cfg.cases, 0);
-    const exp::RecoverableResults r = exp::run_recoverable(ctx, scenarios);
+    const exp::RecoverableResults r =
+        exp::run_recoverable(ctx, scenarios, bench::run_options(cfg));
     const double n = static_cast<double>(r.cases);
     const auto max_of = [](const std::vector<double>& v) {
       return v.empty() ? 0.0 : stats::Summary::of(v).max;
@@ -76,8 +77,8 @@ void run_rule(exp::BenchConfig cfg, fail::LinkCutRule rule,
 
 }  // namespace
 
-int main() {
-  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+int main(int argc, char** argv) {
+  const exp::BenchConfig cfg = bench::config_from(argc, argv);
   bench::print_header(
       "Table III: performance of RTR, FCP and MRC in recoverable test "
       "cases",

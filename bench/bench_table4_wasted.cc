@@ -7,8 +7,8 @@
 
 using namespace rtr;
 
-int main() {
-  const exp::BenchConfig cfg = exp::BenchConfig::from_env();
+int main(int argc, char** argv) {
+  const exp::BenchConfig cfg = bench::config_from(argc, argv);
   bench::print_header(
       "Table IV: wasted computation and wasted transmission in "
       "irrecoverable test cases",
@@ -23,7 +23,7 @@ int main() {
     const exp::TopologyContext& ctx = *ctx_ptr;
     const auto scenarios = bench::make_scenarios(ctx, cfg, 0, cfg.cases);
     const exp::IrrecoverableResults r =
-        exp::run_irrecoverable(ctx, scenarios);
+        exp::run_irrecoverable(ctx, scenarios, bench::run_options(cfg));
     const stats::Summary rc = stats::Summary::of(r.rtr_wasted_comp);
     const stats::Summary fc = stats::Summary::of(r.fcp_wasted_comp);
     const stats::Summary rt = stats::Summary::of(r.rtr_wasted_trans);

@@ -1,0 +1,82 @@
+// Deterministic parallel-for over independent work units.
+//
+// The experiment engine (exp/runners.cc) treats each failure Scenario as
+// an independent work unit over shared read-only state and merges the
+// per-unit partial results in unit-index order, so the *outputs* never
+// depend on scheduling.  This header supplies the scheduling half: a
+// fork-join parallel_for that farms indices [0, n) out to a small pool
+// of std::threads via an atomic work counter (dynamic load balancing --
+// scenarios vary a lot in case count) and rethrows the first exception a
+// work unit raised, preserving the RTR_EXPECT contract-failure behaviour
+// of the serial loop.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtr::common {
+
+/// Number of hardware threads, never 0 (1 when the runtime cannot tell).
+inline std::size_t hardware_thread_count() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+/// Maps the user-facing threads knob to an actual worker count:
+/// 0 means "use all hardware threads", anything else is taken as-is.
+inline std::size_t resolve_thread_count(std::size_t requested) {
+  return requested == 0 ? hardware_thread_count() : requested;
+}
+
+/// Invokes fn(i) for every i in [0, n), spread over `threads` workers
+/// (after resolve_thread_count; capped at n).  fn must only touch
+/// index-i state or shared read-only state: with that discipline the
+/// result is identical for every thread count, including 1, which runs
+/// the plain serial loop on the calling thread with no pool at all.
+///
+/// If any fn(i) throws, remaining indices are abandoned and the first
+/// exception (in completion order) is rethrown on the calling thread
+/// after all workers have stopped.
+template <typename Fn>
+void parallel_for(std::size_t n, std::size_t threads, Fn&& fn) {
+  const std::size_t workers = std::min(resolve_thread_count(threads), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto worker = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is worker number `workers`
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rtr::common

@@ -45,11 +45,37 @@ class Rng {
 
   /// Derive an independent child stream; used to give each experiment
   /// repetition its own seed without correlating draws.
-  Rng fork() { return Rng(engine_()); }
+  ///
+  /// The parent draw is expanded through splitmix64 into four words
+  /// fed to a seed_seq, so the child's mt19937_64 state is well mixed
+  /// instead of being the low-entropy single-word seeding that made
+  /// sibling streams start from correlated states.  Fully
+  /// deterministic: the same root seed yields the same forks.
+  Rng fork() {
+    std::uint64_t x = engine_();
+    std::uint32_t words[8];
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t z = splitmix64_next(x);
+      words[2 * i] = static_cast<std::uint32_t>(z);
+      words[2 * i + 1] = static_cast<std::uint32_t>(z >> 32);
+    }
+    std::seed_seq seq(words, words + 8);
+    return Rng(seq);
+  }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  explicit Rng(std::seed_seq& seq) : engine_(seq) {}
+
+  /// One step of Vigna's splitmix64 sequence (advances `state`).
+  static std::uint64_t splitmix64_next(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
   std::mt19937_64 engine_;
 };
 

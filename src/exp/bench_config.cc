@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/parallel.h"
+
 namespace rtr::exp {
 
 namespace {
@@ -21,6 +23,7 @@ BenchConfig BenchConfig::from_env() {
   c.fig11_areas =
       static_cast<std::size_t>(env_u64("RTR_FIG11_AREAS", c.fig11_areas));
   c.seed = env_u64("RTR_SEED", c.seed);
+  c.threads = static_cast<std::size_t>(env_u64("RTR_THREADS", c.threads));
   const char* rule = std::getenv("RTR_CUT_RULE");
   if (rule != nullptr && std::string(rule) == "geometric") {
     c.cut_rule = fail::LinkCutRule::kGeometric;
@@ -33,7 +36,13 @@ std::string BenchConfig::describe() const {
   os << "cases/topology=" << cases << " fig11-areas/radius=" << fig11_areas
      << " seed=" << seed << " cut-rule="
      << (cut_rule == fail::LinkCutRule::kEndpointsOnly ? "endpoint"
-                                                       : "geometric");
+                                                       : "geometric")
+     << " threads=";
+  if (threads == 0) {
+    os << "hw(" << common::hardware_thread_count() << ")";
+  } else {
+    os << threads;
+  }
   return os.str();
 }
 

@@ -7,6 +7,12 @@
 //   RTR_SEED         master seed (default 20120618)
 //   RTR_CUT_RULE     "endpoint" (default; matches the paper's simulated
 //                    data) or "geometric" (the stated Section II-A model)
+//   RTR_THREADS      worker threads for the scenario fan-out (default 0 =
+//                    all hardware threads; 1 = serial).  Results are
+//                    bit-identical for every value; see exp::RunOptions.
+//
+// Every bench binary additionally accepts `--threads N` on the command
+// line (see bench/bench_common.h), which overrides RTR_THREADS.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,8 @@ struct BenchConfig {
   std::size_t fig11_areas = 1000;
   std::uint64_t seed = 20120618;
   fail::LinkCutRule cut_rule = fail::LinkCutRule::kEndpointsOnly;
+  /// Worker threads for the experiment engine (0 = hardware threads).
+  std::size_t threads = 0;
 
   static BenchConfig from_env();
 

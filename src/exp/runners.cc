@@ -1,35 +1,13 @@
 #include "exp/runners.h"
 
-#include <unordered_map>
-
 #include "baselines/fcp.h"
 #include "baselines/mrc.h"
-#include "spf/shortest_path.h"
+#include "common/parallel.h"
+#include "spf/spt_cache.h"
 
 namespace rtr::exp {
 
 namespace {
-
-/// Ground-truth shortest distances (hop count) from each initiator in
-/// the damaged graph, cached per scenario.
-class TruthCache {
- public:
-  TruthCache(const graph::Graph& g, const fail::FailureSet& fs)
-      : g_(&g), fs_(&fs) {}
-
-  double dist(NodeId from, NodeId to) {
-    auto it = spts_.find(from);
-    if (it == spts_.end()) {
-      it = spts_.emplace(from, spf::bfs_from(*g_, from, fs_->masks())).first;
-    }
-    return it->second.dist[to];
-  }
-
- private:
-  const graph::Graph* g_;
-  const fail::FailureSet* fs_;
-  std::unordered_map<NodeId, spf::SptResult> spts_;
-};
 
 /// Adds a per-case byte series into the timeline accumulator: hop i of
 /// the recovery occupies [i*per_hop, (i+1)*per_hop) ms carrying
@@ -46,6 +24,165 @@ void accumulate_timeline(std::vector<double>& acc,
   }
 }
 
+// ------------------------------------------------------------------
+// Parallel experiment engine.
+//
+// Each Scenario is an independent work unit: it owns its RtrRecovery
+// (per-initiator phase-1 caches), its ground-truth SptCache and its
+// partial accumulators, and only reads the shared TopologyContext (and
+// the proactive Mrc, whose forward() is const).  Work units are farmed
+// out with common::parallel_for and their partials merged in
+// scenario-index order, which makes the merged result a pure function
+// of (ctx, scenarios, opts): bit-identical for every thread count,
+// including the threads=1 serial loop.
+// ------------------------------------------------------------------
+
+/// Per-scenario slice of RecoverableResults (everything but topo; the
+/// timelines here are sums, normalised to means only after the merge).
+struct RecoverablePartial {
+  std::size_t cases = 0;
+  std::size_t rtr_recovered = 0, rtr_optimal = 0;
+  std::size_t fcp_recovered = 0, fcp_optimal = 0;
+  std::size_t mrc_recovered = 0, mrc_optimal = 0;
+  std::size_t rtr_phase1_aborted = 0;
+  std::vector<double> phase1_duration_ms;
+  std::vector<double> rtr_stretch, fcp_stretch, mrc_stretch;
+  std::vector<double> rtr_calcs, fcp_calcs;
+  std::vector<double> rtr_bytes_timeline, fcp_bytes_timeline;
+};
+
+RecoverablePartial run_scenario_recoverable(const TopologyContext& ctx,
+                                            const Scenario& sc,
+                                            const RunOptions& opts,
+                                            const baseline::Mrc* mrc) {
+  RecoverablePartial out;
+  out.rtr_bytes_timeline.assign(opts.timeline_ms, 0.0);
+  out.fcp_bytes_timeline.assign(opts.timeline_ms, 0.0);
+  const double per_hop = opts.delay.per_hop_ms();
+
+  core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure, opts.rtr);
+  // Ground-truth distances in the damaged graph; private to this work
+  // unit (SptCache is not thread-safe by design).
+  spf::SptCache truth(ctx.g, sc.failure.masks());
+  for (const TestCase& tc : sc.recoverable) {
+    ++out.cases;
+    const double true_dist = truth.dist(tc.initiator, tc.dest);
+    RTR_EXPECT_MSG(true_dist < kInfCost,
+                   "recoverable case with unreachable destination");
+
+    // ---- RTR ----
+    const core::RecoveryResult rr = rtr.recover(tc.initiator, tc.dest);
+    const core::Phase1Result& p1 = rtr.phase1_for(tc.initiator);
+    if (p1.status == core::Phase1Result::Status::kAborted) {
+      ++out.rtr_phase1_aborted;
+    }
+    out.phase1_duration_ms.push_back(opts.delay.duration_ms(p1.hops()));
+    out.rtr_calcs.push_back(static_cast<double>(rr.sp_calculations));
+    if (rr.recovered()) {
+      ++out.rtr_recovered;
+      const double stretch =
+          static_cast<double>(rr.computed_path.hops()) / true_dist;
+      out.rtr_stretch.push_back(stretch);
+      if (static_cast<double>(rr.computed_path.hops()) == true_dist) {
+        ++out.rtr_optimal;
+      }
+    }
+    const double rtr_steady =
+        rr.computed_path.empty()
+            ? 0.0
+            : static_cast<double>(rr.source_route_bytes);
+    accumulate_timeline(out.rtr_bytes_timeline, p1.bytes_per_hop, per_hop,
+                        rtr_steady);
+
+    // ---- FCP ----
+    if (opts.run_fcp) {
+      const baseline::FcpResult fr =
+          baseline::run_fcp(ctx.g, sc.failure, tc.initiator, tc.dest);
+      out.fcp_calcs.push_back(static_cast<double>(fr.sp_calculations));
+      if (fr.delivered) {
+        ++out.fcp_recovered;
+        const double stretch = static_cast<double>(fr.hops) / true_dist;
+        out.fcp_stretch.push_back(stretch);
+        if (static_cast<double>(fr.hops) == true_dist) ++out.fcp_optimal;
+      }
+      accumulate_timeline(
+          out.fcp_bytes_timeline, fr.bytes_per_hop, per_hop,
+          fr.delivered ? static_cast<double>(fr.header.recovery_bytes())
+                       : 0.0);
+    }
+
+    // ---- MRC ----
+    if (mrc) {
+      const baseline::Mrc::Result mr =
+          mrc->forward(sc.failure, tc.initiator, tc.dest);
+      if (mr.delivered) {
+        ++out.mrc_recovered;
+        const double stretch = static_cast<double>(mr.hops) / true_dist;
+        out.mrc_stretch.push_back(stretch);
+        if (static_cast<double>(mr.hops) == true_dist) ++out.mrc_optimal;
+      }
+    }
+  }
+  return out;
+}
+
+/// Per-scenario slice of IrrecoverableResults.
+struct IrrecoverablePartial {
+  std::size_t cases = 0;
+  std::size_t rtr_delivered = 0, fcp_delivered = 0;
+  std::vector<double> phase1_duration_ms;
+  std::vector<double> rtr_wasted_comp, fcp_wasted_comp;
+  std::vector<double> rtr_wasted_trans, fcp_wasted_trans;
+};
+
+IrrecoverablePartial run_scenario_irrecoverable(const TopologyContext& ctx,
+                                                const Scenario& sc,
+                                                const RunOptions& opts) {
+  IrrecoverablePartial out;
+  core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure, opts.rtr);
+  for (const TestCase& tc : sc.irrecoverable) {
+    ++out.cases;
+
+    // ---- RTR ----
+    const core::RecoveryResult rr = rtr.recover(tc.initiator, tc.dest);
+    if (rr.recovered()) ++out.rtr_delivered;
+    const core::Phase1Result& p1 = rtr.phase1_for(tc.initiator);
+    out.phase1_duration_ms.push_back(opts.delay.duration_ms(p1.hops()));
+    out.rtr_wasted_comp.push_back(static_cast<double>(rr.sp_calculations));
+    // Wasted transmission (Section IV-D): s * h, where s is 1000
+    // bytes plus the recovery header and h the hops traveled before
+    // the packet is discarded.  RTR packets towards an unreachable
+    // destination either die at the initiator (h = 0) or walk part of
+    // a computed path that phase 1 could not know was broken.
+    out.rtr_wasted_trans.push_back(
+        static_cast<double>(rr.delivered_hops) *
+        static_cast<double>(net::kPayloadBytes + rr.source_route_bytes));
+
+    // ---- FCP ----
+    if (opts.run_fcp) {
+      const baseline::FcpResult fr =
+          baseline::run_fcp(ctx.g, sc.failure, tc.initiator, tc.dest);
+      if (fr.delivered) ++out.fcp_delivered;
+      out.fcp_wasted_comp.push_back(
+          static_cast<double>(fr.sp_calculations));
+      double bytes = 0.0;
+      for (std::size_t b : fr.bytes_per_hop) {
+        bytes += static_cast<double>(net::kPayloadBytes + b);
+      }
+      out.fcp_wasted_trans.push_back(bytes);
+    }
+  }
+  return out;
+}
+
+void append(std::vector<double>& acc, const std::vector<double>& v) {
+  acc.insert(acc.end(), v.begin(), v.end());
+}
+
+void add_into(std::vector<double>& acc, const std::vector<double>& v) {
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += v[i];
+}
+
 }  // namespace
 
 RecoverableResults run_recoverable(const TopologyContext& ctx,
@@ -55,78 +192,40 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
   out.topo = ctx.name;
   out.rtr_bytes_timeline.assign(opts.timeline_ms, 0.0);
   out.fcp_bytes_timeline.assign(opts.timeline_ms, 0.0);
-  const double per_hop = opts.delay.per_hop_ms();
 
   // MRC configurations are proactive: built once per topology,
-  // independent of any failure.
+  // independent of any failure, and only read (forward() is const)
+  // by the work units.
   std::unique_ptr<baseline::Mrc> mrc;
   if (opts.run_mrc) {
     mrc = std::make_unique<baseline::Mrc>(ctx.g, ctx.rt);
   }
 
-  for (const Scenario& sc : scenarios) {
-    core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure,
-                          opts.rtr);
-    TruthCache truth(ctx.g, sc.failure);
-    for (const TestCase& tc : sc.recoverable) {
-      ++out.cases;
-      const double true_dist = truth.dist(tc.initiator, tc.dest);
-      RTR_EXPECT_MSG(true_dist < kInfCost,
-                     "recoverable case with unreachable destination");
+  std::vector<RecoverablePartial> partials(scenarios.size());
+  common::parallel_for(scenarios.size(), opts.threads, [&](std::size_t i) {
+    partials[i] = run_scenario_recoverable(ctx, scenarios[i], opts,
+                                           mrc.get());
+  });
 
-      // ---- RTR ----
-      const core::RecoveryResult rr = rtr.recover(tc.initiator, tc.dest);
-      const core::Phase1Result& p1 = rtr.phase1_for(tc.initiator);
-      if (p1.status == core::Phase1Result::Status::kAborted) {
-        ++out.rtr_phase1_aborted;
-      }
-      out.phase1_duration_ms.push_back(opts.delay.duration_ms(p1.hops()));
-      out.rtr_calcs.push_back(static_cast<double>(rr.sp_calculations));
-      if (rr.recovered()) {
-        ++out.rtr_recovered;
-        const double stretch =
-            static_cast<double>(rr.computed_path.hops()) / true_dist;
-        out.rtr_stretch.push_back(stretch);
-        if (static_cast<double>(rr.computed_path.hops()) == true_dist) {
-          ++out.rtr_optimal;
-        }
-      }
-      const double rtr_steady =
-          rr.computed_path.empty()
-              ? 0.0
-              : static_cast<double>(rr.source_route_bytes);
-      accumulate_timeline(out.rtr_bytes_timeline, p1.bytes_per_hop, per_hop,
-                          rtr_steady);
-
-      // ---- FCP ----
-      if (opts.run_fcp) {
-        const baseline::FcpResult fr =
-            baseline::run_fcp(ctx.g, sc.failure, tc.initiator, tc.dest);
-        out.fcp_calcs.push_back(static_cast<double>(fr.sp_calculations));
-        if (fr.delivered) {
-          ++out.fcp_recovered;
-          const double stretch = static_cast<double>(fr.hops) / true_dist;
-          out.fcp_stretch.push_back(stretch);
-          if (static_cast<double>(fr.hops) == true_dist) ++out.fcp_optimal;
-        }
-        accumulate_timeline(
-            out.fcp_bytes_timeline, fr.bytes_per_hop, per_hop,
-            fr.delivered ? static_cast<double>(fr.header.recovery_bytes())
-                         : 0.0);
-      }
-
-      // ---- MRC ----
-      if (mrc) {
-        const baseline::Mrc::Result mr =
-            mrc->forward(sc.failure, tc.initiator, tc.dest);
-        if (mr.delivered) {
-          ++out.mrc_recovered;
-          const double stretch = static_cast<double>(mr.hops) / true_dist;
-          out.mrc_stretch.push_back(stretch);
-          if (static_cast<double>(mr.hops) == true_dist) ++out.mrc_optimal;
-        }
-      }
-    }
+  // Merge in scenario-index order; this fixes the sample order and the
+  // floating-point summation order independently of scheduling.
+  for (const RecoverablePartial& p : partials) {
+    out.cases += p.cases;
+    out.rtr_recovered += p.rtr_recovered;
+    out.rtr_optimal += p.rtr_optimal;
+    out.fcp_recovered += p.fcp_recovered;
+    out.fcp_optimal += p.fcp_optimal;
+    out.mrc_recovered += p.mrc_recovered;
+    out.mrc_optimal += p.mrc_optimal;
+    out.rtr_phase1_aborted += p.rtr_phase1_aborted;
+    append(out.phase1_duration_ms, p.phase1_duration_ms);
+    append(out.rtr_stretch, p.rtr_stretch);
+    append(out.fcp_stretch, p.fcp_stretch);
+    append(out.mrc_stretch, p.mrc_stretch);
+    append(out.rtr_calcs, p.rtr_calcs);
+    append(out.fcp_calcs, p.fcp_calcs);
+    add_into(out.rtr_bytes_timeline, p.rtr_bytes_timeline);
+    add_into(out.fcp_bytes_timeline, p.fcp_bytes_timeline);
   }
 
   // Timeline sums -> means over the cases of this topology.
@@ -146,41 +245,21 @@ IrrecoverableResults run_irrecoverable(const TopologyContext& ctx,
                                        const RunOptions& opts) {
   IrrecoverableResults out;
   out.topo = ctx.name;
-  for (const Scenario& sc : scenarios) {
-    core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure,
-                          opts.rtr);
-    for (const TestCase& tc : sc.irrecoverable) {
-      ++out.cases;
 
-      // ---- RTR ----
-      const core::RecoveryResult rr = rtr.recover(tc.initiator, tc.dest);
-      if (rr.recovered()) ++out.rtr_delivered;
-      const core::Phase1Result& p1 = rtr.phase1_for(tc.initiator);
-      out.phase1_duration_ms.push_back(opts.delay.duration_ms(p1.hops()));
-      out.rtr_wasted_comp.push_back(static_cast<double>(rr.sp_calculations));
-      // Wasted transmission (Section IV-D): s * h, where s is 1000
-      // bytes plus the recovery header and h the hops traveled before
-      // the packet is discarded.  RTR packets towards an unreachable
-      // destination either die at the initiator (h = 0) or walk part of
-      // a computed path that phase 1 could not know was broken.
-      out.rtr_wasted_trans.push_back(
-          static_cast<double>(rr.delivered_hops) *
-          static_cast<double>(net::kPayloadBytes + rr.source_route_bytes));
+  std::vector<IrrecoverablePartial> partials(scenarios.size());
+  common::parallel_for(scenarios.size(), opts.threads, [&](std::size_t i) {
+    partials[i] = run_scenario_irrecoverable(ctx, scenarios[i], opts);
+  });
 
-      // ---- FCP ----
-      if (opts.run_fcp) {
-        const baseline::FcpResult fr =
-            baseline::run_fcp(ctx.g, sc.failure, tc.initiator, tc.dest);
-        if (fr.delivered) ++out.fcp_delivered;
-        out.fcp_wasted_comp.push_back(
-            static_cast<double>(fr.sp_calculations));
-        double bytes = 0.0;
-        for (std::size_t b : fr.bytes_per_hop) {
-          bytes += static_cast<double>(net::kPayloadBytes + b);
-        }
-        out.fcp_wasted_trans.push_back(bytes);
-      }
-    }
+  for (const IrrecoverablePartial& p : partials) {
+    out.cases += p.cases;
+    out.rtr_delivered += p.rtr_delivered;
+    out.fcp_delivered += p.fcp_delivered;
+    append(out.phase1_duration_ms, p.phase1_duration_ms);
+    append(out.rtr_wasted_comp, p.rtr_wasted_comp);
+    append(out.fcp_wasted_comp, p.fcp_wasted_comp);
+    append(out.rtr_wasted_trans, p.rtr_wasted_trans);
+    append(out.fcp_wasted_trans, p.fcp_wasted_trans);
   }
   return out;
 }

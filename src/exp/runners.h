@@ -21,6 +21,12 @@ struct RunOptions {
   std::size_t timeline_ms = 1000;     ///< Fig. 10 horizon (first second)
   net::DelayModel delay;              ///< 1.8 ms per hop (Section IV-B)
   core::RtrOptions rtr;               ///< constraint/SPT knobs (ablations)
+  /// Worker threads for the scenario fan-out: 0 = all hardware threads,
+  /// 1 = plain serial loop on the calling thread.  Every Scenario is an
+  /// independent work unit whose partial results are merged in
+  /// scenario-index order, so results are bit-identical for every value
+  /// of this knob -- it only changes wall-clock time.
+  std::size_t threads = 0;
 };
 
 /// Aggregated results over the recoverable test cases of one topology

@@ -1,0 +1,16 @@
+#include "spf/spt_cache.h"
+
+namespace rtr::spf {
+
+const SptResult& SptCache::from(NodeId source) {
+  auto it = spts_.find(source);
+  if (it == spts_.end()) {
+    SptResult r = alg_ == Algorithm::kBfsHopCount
+                      ? bfs_from(*g_, source, masks_)
+                      : dijkstra_from(*g_, source, masks_);
+    it = spts_.emplace(source, std::move(r)).first;
+  }
+  return it->second;
+}
+
+}  // namespace rtr::spf

@@ -1,0 +1,53 @@
+// Ground-truth shortest-path-tree cache for a fixed masked view.
+//
+// The experiment runners repeatedly ask "true shortest distance from
+// initiator X in the damaged graph" while scoring test cases; within one
+// failure scenario many cases share an initiator, so the tree from each
+// source is computed once and memoised.
+//
+// Concurrency discipline: SptCache is intentionally NOT thread-safe (no
+// locks on the hot path).  The parallel experiment engine gives each
+// work unit -- one Scenario -- its own private cache over the shared
+// read-only Graph/FailureSet, which is both faster than a shared locked
+// map and trivially deterministic.  Do not share an instance across
+// threads.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "graph/properties.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::spf {
+
+class SptCache {
+ public:
+  enum class Algorithm {
+    kBfsHopCount,  ///< hop-count metric (the paper's evaluation)
+    kDijkstra,     ///< directed link costs
+  };
+
+  /// Both g and whatever backs `masks` are borrowed and must outlive
+  /// the cache (masks hold pointers into e.g. a fail::FailureSet).
+  SptCache(const graph::Graph& g, graph::Masks masks,
+           Algorithm alg = Algorithm::kBfsHopCount)
+      : g_(&g), masks_(masks), alg_(alg) {}
+
+  /// The memoised tree rooted at `source` (computed on first use).
+  const SptResult& from(NodeId source);
+
+  /// True shortest distance source -> dest (kInfCost if unreachable).
+  Cost dist(NodeId source, NodeId dest) { return from(source).dist[dest]; }
+
+  std::size_t trees_computed() const { return spts_.size(); }
+
+ private:
+  const graph::Graph* g_;
+  graph::Masks masks_;
+  Algorithm alg_;
+  std::unordered_map<NodeId, SptResult> spts_;
+};
+
+}  // namespace rtr::spf

@@ -1,6 +1,7 @@
 #include "stats/cdf.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/expect.h"
 
@@ -36,10 +37,14 @@ double Cdf::fraction_at_or_below(double x) const {
 double Cdf::quantile(double p) const {
   RTR_EXPECT(!empty());
   RTR_EXPECT(p > 0.0 && p <= 1.0);
+  // Nearest-rank: the smallest sample whose cumulative fraction is
+  // >= p, i.e. rank ceil(p*n) (1-based).  Truncating p*n instead
+  // returned the wrong rank for p strictly between the k/n grid points
+  // (e.g. n=4, p=0.51 must pick rank 3, not rank 2).
   const std::size_t n = sorted_.size();
-  std::size_t idx = static_cast<std::size_t>(
-      p * static_cast<double>(n));
-  if (idx > 0) --idx;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(n)));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
   return sorted_[std::min(idx, n - 1)];
 }
 

@@ -1,0 +1,285 @@
+// Determinism coverage for the parallel experiment engine (and the
+// deterministic primitives it leans on): identical results for every
+// thread count, the documented shortest-path tie-breaks, and Rng::fork
+// stream independence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/expect.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "exp/cases.h"
+#include "exp/context.h"
+#include "exp/runners.h"
+#include "geom/point.h"
+#include "graph/gen/isp_gen.h"
+#include "spf/shortest_path.h"
+#include "spf/spt_cache.h"
+
+namespace rtr {
+namespace {
+
+// --------------------------------------------------------- parallel_for --
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3},
+                              std::size_t{8}, std::size_t{0}}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    common::parallel_for(hits.size(), threads,
+                         [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  std::size_t calls = 0;
+  common::parallel_for(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  common::parallel_for(1, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ParallelFor, IndexedWritesMatchSerial) {
+  std::vector<double> serial(1000), parallel(1000);
+  const auto fn = [](std::size_t i) {
+    return static_cast<double>(i) * 1.5 + 1.0;
+  };
+  common::parallel_for(serial.size(), 1,
+                       [&](std::size_t i) { serial[i] = fn(i); });
+  common::parallel_for(parallel.size(), 8,
+                       [&](std::size_t i) { parallel[i] = fn(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      common::parallel_for(100, 4,
+                           [](std::size_t i) {
+                             RTR_EXPECT_MSG(i != 42, "boom");
+                           }),
+      ContractViolation);
+  // Serial path too.
+  EXPECT_THROW(
+      common::parallel_for(100, 1,
+                           [](std::size_t i) { RTR_EXPECT(i != 42); }),
+      ContractViolation);
+}
+
+// ------------------------------------------------------- runner engine --
+
+class EngineDeterminism : public ::testing::Test {
+ protected:
+  EngineDeterminism()
+      : ctx_(exp::make_context(graph::spec_by_name("AS209"))) {
+    exp::CaseBudget budget;
+    budget.recoverable = 200;
+    budget.irrecoverable = 100;
+    scenarios_ = exp::generate_scenarios(ctx_, fail::ScenarioConfig{},
+                                         budget, 99);
+  }
+
+  void SetUp() override {
+    ASSERT_GT(scenarios_.size(), 1u) << "need multiple work units";
+  }
+
+  exp::RunOptions opts_with(std::size_t threads) const {
+    exp::RunOptions o;
+    o.threads = threads;
+    return o;
+  }
+
+  exp::TopologyContext ctx_;
+  std::vector<exp::Scenario> scenarios_;
+};
+
+void expect_identical(const exp::RecoverableResults& a,
+                      const exp::RecoverableResults& b) {
+  EXPECT_EQ(a.topo, b.topo);
+  EXPECT_EQ(a.cases, b.cases);
+  EXPECT_EQ(a.rtr_recovered, b.rtr_recovered);
+  EXPECT_EQ(a.rtr_optimal, b.rtr_optimal);
+  EXPECT_EQ(a.fcp_recovered, b.fcp_recovered);
+  EXPECT_EQ(a.fcp_optimal, b.fcp_optimal);
+  EXPECT_EQ(a.mrc_recovered, b.mrc_recovered);
+  EXPECT_EQ(a.mrc_optimal, b.mrc_optimal);
+  EXPECT_EQ(a.rtr_phase1_aborted, b.rtr_phase1_aborted);
+  // Exact (bitwise) equality of every sample vector: determinism means
+  // the same values in the same order, not approximately-equal sums.
+  EXPECT_EQ(a.phase1_duration_ms, b.phase1_duration_ms);
+  EXPECT_EQ(a.rtr_stretch, b.rtr_stretch);
+  EXPECT_EQ(a.fcp_stretch, b.fcp_stretch);
+  EXPECT_EQ(a.mrc_stretch, b.mrc_stretch);
+  EXPECT_EQ(a.rtr_calcs, b.rtr_calcs);
+  EXPECT_EQ(a.fcp_calcs, b.fcp_calcs);
+  EXPECT_EQ(a.rtr_bytes_timeline, b.rtr_bytes_timeline);
+  EXPECT_EQ(a.fcp_bytes_timeline, b.fcp_bytes_timeline);
+}
+
+void expect_identical(const exp::IrrecoverableResults& a,
+                      const exp::IrrecoverableResults& b) {
+  EXPECT_EQ(a.topo, b.topo);
+  EXPECT_EQ(a.cases, b.cases);
+  EXPECT_EQ(a.rtr_delivered, b.rtr_delivered);
+  EXPECT_EQ(a.fcp_delivered, b.fcp_delivered);
+  EXPECT_EQ(a.phase1_duration_ms, b.phase1_duration_ms);
+  EXPECT_EQ(a.rtr_wasted_comp, b.rtr_wasted_comp);
+  EXPECT_EQ(a.fcp_wasted_comp, b.fcp_wasted_comp);
+  EXPECT_EQ(a.rtr_wasted_trans, b.rtr_wasted_trans);
+  EXPECT_EQ(a.fcp_wasted_trans, b.fcp_wasted_trans);
+}
+
+TEST_F(EngineDeterminism, RecoverableBitIdenticalAcrossThreadCounts) {
+  const exp::RecoverableResults serial =
+      exp::run_recoverable(ctx_, scenarios_, opts_with(1));
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const exp::RecoverableResults parallel =
+        exp::run_recoverable(ctx_, scenarios_, opts_with(threads));
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST_F(EngineDeterminism, IrrecoverableBitIdenticalAcrossThreadCounts) {
+  const exp::IrrecoverableResults serial =
+      exp::run_irrecoverable(ctx_, scenarios_, opts_with(1));
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const exp::IrrecoverableResults parallel =
+        exp::run_irrecoverable(ctx_, scenarios_, opts_with(threads));
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST_F(EngineDeterminism, RepeatedRunsReproduce) {
+  // Same inputs, same thread count -> same outputs (no hidden state).
+  const exp::RecoverableResults a =
+      exp::run_recoverable(ctx_, scenarios_, opts_with(8));
+  const exp::RecoverableResults b =
+      exp::run_recoverable(ctx_, scenarios_, opts_with(8));
+  expect_identical(a, b);
+}
+
+// ---------------------------------------------------- SPT tie-breaking --
+
+/// Equal-cost diamond: 0 -> {1, 2} -> 3, all unit costs.  Both
+/// two-hop paths tie, so the documented "smaller parent id wins" rule
+/// must pick node 1 as 3's parent no matter the link insertion order.
+graph::Graph diamond(bool reverse_insertion) {
+  graph::Graph g;
+  const NodeId a = g.add_node({0.0, 0.0});
+  const NodeId b = g.add_node({1.0, 1.0});
+  const NodeId c = g.add_node({1.0, -1.0});
+  const NodeId d = g.add_node({2.0, 0.0});
+  if (reverse_insertion) {
+    g.add_link(a, c);
+    g.add_link(a, b);
+    g.add_link(c, d);
+    g.add_link(b, d);
+  } else {
+    g.add_link(a, b);
+    g.add_link(a, c);
+    g.add_link(b, d);
+    g.add_link(c, d);
+  }
+  return g;
+}
+
+TEST(SptTieBreak, DijkstraSmallerParentWinsOnDiamond) {
+  for (bool reversed : {false, true}) {
+    const graph::Graph g = diamond(reversed);
+    const spf::SptResult r = spf::dijkstra_from(g, 0);
+    EXPECT_DOUBLE_EQ(r.dist[3], 2.0);
+    EXPECT_EQ(r.parent[3], 1u) << "insertion order reversed=" << reversed;
+    EXPECT_EQ(r.parent_link[3], g.find_link(1, 3));
+  }
+}
+
+TEST(SptTieBreak, BfsSmallerParentWinsOnDiamond) {
+  for (bool reversed : {false, true}) {
+    const graph::Graph g = diamond(reversed);
+    const spf::SptResult r = spf::bfs_from(g, 0);
+    EXPECT_DOUBLE_EQ(r.dist[3], 2.0);
+    EXPECT_EQ(r.parent[3], 1u);
+  }
+}
+
+TEST(SptCache, MemoisesAndMatchesDirectRuns) {
+  const graph::Graph g = diamond(false);
+  spf::SptCache cache(g, {});
+  EXPECT_EQ(cache.trees_computed(), 0u);
+  EXPECT_DOUBLE_EQ(cache.dist(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(cache.dist(0, 1), 1.0);
+  EXPECT_EQ(cache.trees_computed(), 1u);  // second query hit the cache
+  const spf::SptResult direct = spf::bfs_from(g, 0);
+  EXPECT_EQ(cache.from(0).dist, direct.dist);
+  EXPECT_EQ(cache.from(0).parent, direct.parent);
+}
+
+// -------------------------------------------------------------- Rng fork --
+
+TEST(RngFork, ChildStreamsDifferFromParentAndSiblings) {
+  Rng root(20120618);
+  Rng a = root.fork();
+  Rng b = root.fork();
+  Rng parent_copy(20120618);
+
+  const auto draw = [](Rng& r) {
+    std::vector<std::uint64_t> v;
+    for (int i = 0; i < 16; ++i) v.push_back(r.engine()());
+    return v;
+  };
+  const auto va = draw(a);
+  const auto vb = draw(b);
+  const auto vp = draw(parent_copy);
+  EXPECT_NE(va, vb);
+  EXPECT_NE(va, vp);
+  EXPECT_NE(vb, vp);
+}
+
+TEST(RngFork, SameRootSeedReproducesForks) {
+  Rng r1(7);
+  Rng r2(7);
+  Rng c1 = r1.fork();
+  Rng c2 = r2.fork();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(c1.engine()(), c2.engine()());
+  }
+  // Second fork of the same root also reproduces.
+  Rng d1 = r1.fork();
+  Rng d2 = r2.fork();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(d1.engine()(), d2.engine()());
+  }
+}
+
+TEST(RngFork, ScenarioGenerationStillReproducible) {
+  // The experiment pipeline seeded from one root seed keeps producing
+  // identical workloads after the fork() seeding change.
+  const exp::TopologyContext ctx =
+      exp::make_context(graph::spec_by_name("AS209"));
+  exp::CaseBudget budget;
+  budget.recoverable = 40;
+  budget.irrecoverable = 20;
+  const auto a = exp::generate_scenarios(ctx, fail::ScenarioConfig{},
+                                         budget, 4242);
+  const auto b = exp::generate_scenarios(ctx, fail::ScenarioConfig{},
+                                         budget, 4242);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].area.circle().center, b[i].area.circle().center);
+    ASSERT_EQ(a[i].recoverable.size(), b[i].recoverable.size());
+    for (std::size_t j = 0; j < a[i].recoverable.size(); ++j) {
+      EXPECT_EQ(a[i].recoverable[j].initiator,
+                b[i].recoverable[j].initiator);
+      EXPECT_EQ(a[i].recoverable[j].dest, b[i].recoverable[j].dest);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtr

@@ -34,6 +34,49 @@ TEST(Cdf, Quantiles) {
   EXPECT_DOUBLE_EQ(c.quantile(1.0), 100.0);
 }
 
+TEST(Cdf, QuantileNearestRankOffGrid) {
+  // Regression: truncate-then-decrement returned rank 2 for p just
+  // above 0.5 on n=4; nearest-rank semantics require rank ceil(p*n).
+  const Cdf c({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(c.quantile(0.51), 30.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.50), 20.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.26), 20.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.75), 30.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.76), 40.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 40.0);
+}
+
+TEST(Cdf, QuantileHandChecked) {
+  // n=5: p in (0, 0.2] -> 1st sample, (0.2, 0.4] -> 2nd, etc.
+  const Cdf c({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(c.quantile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.21), 2.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.4), 2.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.99), 5.0);
+
+  const Cdf single({7.0});
+  EXPECT_DOUBLE_EQ(single.quantile(0.01), 7.0);
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 7.0);
+}
+
+TEST(Cdf, QuantileAgreesWithFractionAtOrBelow) {
+  // quantile(p) is the smallest sample v with
+  // fraction_at_or_below(v) >= p -- check against the other primitive.
+  const Cdf c({2.0, 2.0, 5.0, 9.0, 9.0, 9.0, 12.0});
+  for (double p : {0.05, 0.2, 0.25, 0.3, 0.5, 0.7, 0.85, 0.99, 1.0}) {
+    const double q = c.quantile(p);
+    EXPECT_GE(c.fraction_at_or_below(q), p);
+    for (double v : c.sorted_samples()) {
+      if (v < q) {
+        EXPECT_LT(c.fraction_at_or_below(v), p);
+      }
+    }
+  }
+}
+
 TEST(Cdf, CurveSpansRange) {
   const Cdf c({0.0, 5.0, 10.0});
   const auto pts = c.curve(11);
