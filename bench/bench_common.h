@@ -1,53 +1,146 @@
 // Shared plumbing for the per-table/per-figure bench binaries.
 //
-// Every bench prints a provenance line (case counts, seed, link-cut
-// rule) followed by plain-text tables that mirror the corresponding
-// paper artifact.  Absolute numbers depend on the surrogate topologies
-// (see DESIGN.md); the *shape* is the reproduction target recorded in
-// EXPERIMENTS.md.
+// Every bench prints plain-text tables on stdout that mirror the
+// corresponding paper artifact, and a provenance line (case counts,
+// seed, link-cut rule, thread count) on *stderr* so stdout stays
+// byte-comparable between runs -- the CI bench smoke diffs full stdout
+// across thread counts.  Absolute numbers depend on the surrogate
+// topologies (see DESIGN.md); the *shape* is the reproduction target
+// recorded in EXPERIMENTS.md.
+//
+// Observability: every bench accepts `--metrics-out FILE` (or
+// RTR_METRICS_OUT) and emits the rtr::obs registry as one
+// schema-versioned JSON document at process exit; the CI perf gate
+// (tools/check_bench_regression.py) consumes it.  Emission never writes
+// to stdout, so table output is bit-identical with metrics on or off.
 #pragma once
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "exp/bench_config.h"
 #include "exp/cases.h"
 #include "exp/context.h"
 #include "exp/runners.h"
 #include "graph/gen/isp_gen.h"
+#include "obs/emit.h"
+#include "obs/metrics.h"
 
 namespace rtr::bench {
 
-/// Environment config plus command-line overrides.  Every bench accepts
-///   --threads N   worker threads for the scenario fan-out
-///                 (0 = all hardware threads, 1 = serial; results are
-///                 bit-identical either way -- see exp::RunOptions)
-/// Unknown flags abort with a usage message so typos don't silently run
-/// a multi-minute workload with default settings.
-inline exp::BenchConfig config_from(int argc, char** argv) {
+namespace detail {
+
+/// State for the atexit metrics emitter (value-copied so it outlives
+/// main's locals).
+inline exp::BenchConfig g_emit_cfg;        // NOLINT
+inline std::string g_bench_name = "bench"; // NOLINT
+
+inline void emit_metrics_at_exit() {
+  if (detail::g_emit_cfg.metrics_out.empty()) return;
+  const exp::BenchConfig& cfg = detail::g_emit_cfg;
+  obs::RunInfo run;
+  run.bench = detail::g_bench_name;
+  run.config = {
+      {"cases", std::to_string(cfg.cases)},
+      {"cut_rule", cfg.cut_rule == fail::LinkCutRule::kEndpointsOnly
+                       ? "endpoint"
+                       : "geometric"},
+      {"fig11_areas", std::to_string(cfg.fig11_areas)},
+      {"seed", std::to_string(cfg.seed)},
+  };
+  obs::EmitOptions opts;
+  opts.include_volatile = !cfg.metrics_deterministic;
+  opts.threads = common::resolve_thread_count(cfg.threads);
+  opts.wall_clock_ms = obs::process_uptime_ms();
+  obs::write_metrics_file(cfg.metrics_out,
+                          obs::Registry::global().snapshot(), run, opts);
+}
+
+/// Parses "--flag VALUE" / "--flag=VALUE" at args[i]; on a match stores
+/// the value and the number of argv slots consumed (1 or 2).
+inline bool match_value_flag(const std::vector<char*>& args, std::size_t i,
+                             const char* flag, std::string* value,
+                             std::size_t* consumed) {
+  const std::string arg = args[i];
+  const std::string prefix = std::string(flag) + "=";
+  if (arg == flag && i + 1 < args.size()) {
+    *value = args[i + 1];
+    *consumed = 2;
+    return true;
+  }
+  if (arg.rfind(prefix, 0) == 0) {
+    *value = arg.substr(prefix.size());
+    *consumed = 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// Consumes the engine flags every bench accepts
+///   --threads N        worker threads for the scenario fan-out
+///                      (0 = all hardware threads, 1 = serial; results
+///                      are bit-identical either way)
+///   --metrics-out FILE write the obs metrics JSON to FILE at exit
+/// from `args` (argv[0] expected at index 0 and left in place); other
+/// arguments are kept in order for the caller to handle.  Also
+/// registers the at-exit metrics emitter, so every bench routed through
+/// here gets `--metrics-out` behaviour with no per-binary code.
+inline exp::BenchConfig consume_engine_flags(std::vector<char*>& args) {
   exp::BenchConfig cfg = exp::BenchConfig::from_env();
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+  std::vector<char*> rest;
+  std::size_t i = 0;
+  if (!args.empty()) {
+    const char* slash = std::strrchr(args[0], '/');
+    detail::g_bench_name = slash != nullptr ? slash + 1 : args[0];
+    rest.push_back(args[0]);
+    i = 1;
+  }
+  while (i < args.size()) {
     std::string value;
-    if (arg == "--threads" && i + 1 < argc) {
-      value = argv[++i];
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      value = arg.substr(std::string("--threads=").size());
+    std::size_t consumed = 0;
+    if (detail::match_value_flag(args, i, "--threads", &value, &consumed)) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        std::cerr << "invalid --threads value: " << value << '\n';
+        std::exit(2);
+      }
+      cfg.threads = static_cast<std::size_t>(n);
+      i += consumed;
+    } else if (detail::match_value_flag(args, i, "--metrics-out", &value,
+                                        &consumed)) {
+      cfg.metrics_out = value;
+      i += consumed;
     } else {
-      std::cerr << "usage: " << argv[0] << " [--threads N]\n"
-                << "unrecognised argument: " << arg << '\n';
-      std::exit(2);
+      rest.push_back(args[i]);
+      ++i;
     }
-    char* end = nullptr;
-    const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
-    if (value.empty() || end == nullptr || *end != '\0') {
-      std::cerr << "invalid --threads value: " << value << '\n';
-      std::exit(2);
-    }
-    cfg.threads = static_cast<std::size_t>(n);
+  }
+  args = rest;
+  detail::g_emit_cfg = cfg;
+  static const int registered = std::atexit(detail::emit_metrics_at_exit);
+  (void)registered;
+  return cfg;
+}
+
+/// Environment config plus command-line overrides; unknown flags abort
+/// with a usage message so typos don't silently run a multi-minute
+/// workload with default settings.
+inline exp::BenchConfig config_from(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  exp::BenchConfig cfg = consume_engine_flags(args);
+  if (args.size() > 1) {
+    std::cerr << "usage: " << argv[0]
+              << " [--threads N] [--metrics-out FILE]\n"
+              << "unrecognised argument: " << args[1] << '\n';
+    std::exit(2);
   }
   return cfg;
 }
@@ -90,10 +183,12 @@ inline std::vector<exp::Scenario> make_scenarios(
                                  cfg.cut_rule);
 }
 
+/// Title on stdout (part of the comparable output); provenance -- which
+/// embeds the volatile thread-count knob -- on stderr.
 inline void print_header(const std::string& title,
                          const exp::BenchConfig& cfg) {
-  std::cout << "==== " << title << " ====\n"
-            << "(" << cfg.describe() << ")\n\n";
+  std::cout << "==== " << title << " ====\n\n";
+  std::cerr << "(" << cfg.describe() << ")\n";
 }
 
 }  // namespace rtr::bench

@@ -18,7 +18,14 @@ void sweep(const exp::BenchConfig& cfg, fail::LinkCutRule rule,
   std::vector<double> radii;
   for (double r = 20.0; r <= 300.0; r += 20.0) radii.push_back(r);
   std::vector<std::string> header = {"Topology"};
-  for (double r : radii) header.push_back("r" + stats::fmt(r, 0));
+  for (double r : radii) {
+    // Built via append rather than `"r" + fmt(...)`: the rvalue
+    // operator+ overload trips GCC 12's -Wrestrict false positive
+    // (PR105329), which -Werror would turn fatal.
+    std::string col = "r";
+    col += stats::fmt(r, 0);
+    header.push_back(std::move(col));
+  }
   stats::TextTable table(header);
 
   for (const auto& ctx_ptr : bench::make_contexts(true)) {

@@ -5,6 +5,7 @@
 // the header codec.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "core/phase1.h"
 #include "failure/scenario.h"
@@ -133,20 +134,14 @@ BENCHMARK(BM_HeaderCodecRoundTrip)->Arg(4)->Arg(32);
 
 }  // namespace
 
-// Accepts --threads N like every other bench binary so scripted sweeps
-// can pass a uniform flag set; the micro kernels themselves are
-// single-threaded, so the value is parsed and ignored.
+// Accepts --threads N and --metrics-out FILE like every other bench
+// binary so scripted sweeps can pass a uniform flag set; the micro
+// kernels themselves are single-threaded, so the thread count is parsed
+// and ignored while --metrics-out still captures the kernels' op
+// counters.  Remaining flags go to google-benchmark.
 int main(int argc, char** argv) {
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--threads" && i + 1 < argc) {
-      ++i;
-      continue;
-    }
-    if (arg.rfind("--threads=", 0) == 0) continue;
-    args.push_back(argv[i]);
-  }
+  std::vector<char*> args(argv, argv + argc);
+  bench::consume_engine_flags(args);
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;

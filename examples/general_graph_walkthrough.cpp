@@ -18,14 +18,23 @@ using namespace rtr;
 
 namespace {
 
+// Labels are built via append rather than `"v" + std::to_string(...)`:
+// the rvalue operator+ overload trips GCC 12's -Wrestrict false
+// positive (PR105329), which -Werror would turn fatal.
 std::string paper_name(const graph::Graph& g, NodeId n) {
   (void)g;
-  return "v" + std::to_string(n + 1);
+  std::string name = "v";
+  name += std::to_string(n + 1);
+  return name;
 }
 
 std::string paper_link(const graph::Graph& g, LinkId l) {
   const graph::Link& e = g.link(l);
-  return "e" + std::to_string(e.u + 1) + "," + std::to_string(e.v + 1);
+  std::string name = "e";
+  name += std::to_string(e.u + 1);
+  name += ',';
+  name += std::to_string(e.v + 1);
+  return name;
 }
 
 void replay(const graph::Graph& g, const char* title,

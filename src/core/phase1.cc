@@ -1,8 +1,57 @@
 #include "core/phase1.h"
 
 #include "core/forwarding_rule.h"
+#include "obs/metrics.h"
 
 namespace rtr::core {
+
+namespace {
+
+/// Phase-1 observability: traversal volume, the two constraints'
+/// activity (cross links recorded), and how runs end.  All stable --
+/// pure functions of (graph, failure, initiator).
+struct Phase1Metrics {
+  obs::Counter& runs;
+  obs::Counter& steps;
+  obs::Counter& constraint1_seeded;
+  obs::Counter& constraint2_recorded;
+  obs::Counter& completed;
+  obs::Counter& aborted;
+  obs::Counter& isolated;
+  obs::Histogram& hops;
+
+  static Phase1Metrics& get() {
+    obs::Registry& r = obs::Registry::global();
+    static Phase1Metrics m{r.counter("core.phase1.runs"),
+                           r.counter("core.phase1.steps"),
+                           r.counter("core.phase1.constraint1_seeded"),
+                           r.counter("core.phase1.constraint2_recorded"),
+                           r.counter("core.phase1.completed"),
+                           r.counter("core.phase1.aborted"),
+                           r.counter("core.phase1.initiator_isolated"),
+                           r.histogram("core.phase1.hops",
+                                       obs::size_bounds())};
+    return m;
+  }
+
+  void finish(const Phase1Result& r) {
+    steps.add(r.hops());
+    hops.observe(r.hops());
+    switch (r.status) {
+      case Phase1Result::Status::kCompleted:
+        completed.inc();
+        break;
+      case Phase1Result::Status::kAborted:
+        aborted.inc();
+        break;
+      case Phase1Result::Status::kInitiatorIsolated:
+        isolated.inc();
+        break;
+    }
+  }
+};
+
+}  // namespace
 
 Phase1Result run_phase1(const graph::Graph& g,
                         const graph::CrossingIndex& crossings,
@@ -17,16 +66,31 @@ Phase1Result run_phase1(const graph::Graph& g,
                  "phase 1 requires an unreachable default next hop");
 
   const RuleOptions rule{opts.clockwise};
+  Phase1Metrics& metrics = Phase1Metrics::get();
+  metrics.runs.inc();
   Phase1Result r;
   r.initiator = initiator;
   r.header.mode = net::Mode::kCollect;
   r.header.rec_init = initiator;
   r.visits.push_back(initiator);
+  // Records traversal volume and final status on every exit path.
+  struct Finisher {
+    Phase1Metrics& m;
+    const Phase1Result& r;
+    ~Finisher() { m.finish(r); }
+  } finisher{metrics, r};
 
   // Constraint 1 (Section III-C step 1).
   if (opts.constraint1) {
     seed_constraint1(g, crossings, failure, r.header, initiator);
+    metrics.constraint1_seeded.add(r.header.cross_links.size());
   }
+  // Constraint-2 hits are observed as growth of the cross_link field.
+  const auto record_cross = [&](LinkId link) {
+    const std::size_t before = r.header.cross_links.size();
+    maybe_record_cross(crossings, r.header, link);
+    metrics.constraint2_recorded.add(r.header.cross_links.size() - before);
+  };
 
   const Selection first = select_next_hop(g, crossings, failure, r.header,
                                           initiator, dead_neighbor, rule);
@@ -34,7 +98,7 @@ Phase1Result run_phase1(const graph::Graph& g,
     r.status = Phase1Result::Status::kInitiatorIsolated;
     return r;
   }
-  if (opts.constraint2) maybe_record_cross(crossings, r.header, first.link);
+  if (opts.constraint2) record_cross(first.link);
 
   const std::size_t hop_cap = opts.max_hops_factor * g.num_links() + 16;
   const auto take_hop = [&r](const Selection& sel) {
@@ -72,7 +136,7 @@ Phase1Result run_phase1(const graph::Graph& g,
       r.status = Phase1Result::Status::kAborted;
       return r;
     }
-    if (opts.constraint2) maybe_record_cross(crossings, r.header, sel.link);
+    if (opts.constraint2) record_cross(sel.link);
     if (r.traversed_links.size() >= hop_cap) {
       r.status = Phase1Result::Status::kAborted;
       return r;

@@ -1,5 +1,6 @@
 #include "core/rtr.h"
 
+#include "obs/metrics.h"
 #include "spf/incremental.h"
 #include "spf/shortest_path.h"
 
@@ -73,6 +74,11 @@ RecoveryResult RtrRecovery::recover(NodeId initiator, NodeId dest) {
 RecoveryResult RtrRecovery::recover_in_view(
     InitiatorState& st, NodeId initiator, NodeId dest,
     const std::vector<char>* extra_failed) {
+  static obs::Counter& attempts =
+      obs::Registry::global().counter("core.rtr.recovery_attempts");
+  static obs::Counter& path_cache_hits =
+      obs::Registry::global().counter("core.rtr.path_cache_hits");
+  attempts.inc();
   RecoveryResult r;
   r.initiator = initiator;
   r.destination = dest;
@@ -91,6 +97,7 @@ RecoveryResult RtrRecovery::recover_in_view(
   if (extra_failed == nullptr) {
     const auto cached = st.path_cache.find(dest);
     if (cached != st.path_cache.end()) {
+      path_cache_hits.inc();
       path = cached->second;
     } else {
       if (!st.spt) {

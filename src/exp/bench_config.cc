@@ -28,6 +28,12 @@ BenchConfig BenchConfig::from_env() {
   if (rule != nullptr && std::string(rule) == "geometric") {
     c.cut_rule = fail::LinkCutRule::kGeometric;
   }
+  const char* metrics = std::getenv("RTR_METRICS_OUT");
+  if (metrics != nullptr && *metrics != '\0') c.metrics_out = metrics;
+  const char* det = std::getenv("RTR_METRICS_DETERMINISTIC");
+  if (det != nullptr && std::string(det) == "1") {
+    c.metrics_deterministic = true;
+  }
   return c;
 }
 

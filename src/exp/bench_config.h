@@ -10,9 +10,17 @@
 //   RTR_THREADS      worker threads for the scenario fan-out (default 0 =
 //                    all hardware threads; 1 = serial).  Results are
 //                    bit-identical for every value; see exp::RunOptions.
+//   RTR_METRICS_OUT  when set, write the rtr::obs metrics registry as a
+//                    schema-versioned JSON document to this path at exit
+//                    (see obs/emit.h and bench/bench_common.h)
+//   RTR_METRICS_DETERMINISTIC
+//                    "1" drops the wall-clock ("timing") block from the
+//                    metrics JSON so the file is bit-identical across
+//                    thread counts (used by the CI determinism smoke)
 //
-// Every bench binary additionally accepts `--threads N` on the command
-// line (see bench/bench_common.h), which overrides RTR_THREADS.
+// Every bench binary additionally accepts `--threads N` and
+// `--metrics-out FILE` on the command line (see bench/bench_common.h),
+// which override the corresponding environment variables.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +37,10 @@ struct BenchConfig {
   fail::LinkCutRule cut_rule = fail::LinkCutRule::kEndpointsOnly;
   /// Worker threads for the experiment engine (0 = hardware threads).
   std::size_t threads = 0;
+  /// Destination of the metrics JSON document ("" = do not emit).
+  std::string metrics_out;
+  /// Omit the volatile (wall-clock) block from the metrics JSON.
+  bool metrics_deterministic = false;
 
   static BenchConfig from_env();
 

@@ -1,13 +1,50 @@
 #include "exp/runners.h"
 
+#include <chrono>
+
 #include "baselines/fcp.h"
 #include "baselines/mrc.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "spf/spt_cache.h"
 
 namespace rtr::exp {
 
 namespace {
+
+/// Runner observability.  Scenario/case throughput is stable (a pure
+/// function of the workload); the phase timers and the parallel_for
+/// queue-wait histogram are wall clock and therefore volatile.
+struct RunnerMetrics {
+  obs::Counter& scenarios;
+  obs::Counter& recoverable_cases;
+  obs::Counter& irrecoverable_cases;
+  obs::Histogram& recoverable_phase_ns;
+  obs::Histogram& irrecoverable_phase_ns;
+  obs::Histogram& queue_wait_ns;
+
+  static RunnerMetrics& get() {
+    obs::Registry& r = obs::Registry::global();
+    static RunnerMetrics m{
+        r.counter("exp.scenarios_completed"),
+        r.counter("exp.cases.recoverable"),
+        r.counter("exp.cases.irrecoverable"),
+        r.timer("phase.run_recoverable_ns"),
+        r.timer("phase.run_irrecoverable_ns"),
+        r.timer("exp.parallel_for.queue_wait_ns")};
+    return m;
+  }
+};
+
+/// Time from fan-out start until work unit i is picked up by a worker
+/// -- the queue wait of the dynamic load balancer in common/parallel.h.
+void record_queue_wait(RunnerMetrics& m,
+                       std::chrono::steady_clock::time_point fan_out_start) {
+  const auto waited = std::chrono::steady_clock::now() - fan_out_start;
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count();
+  m.queue_wait_ns.observe(ns < 0 ? 0 : static_cast<obs::Value>(ns));
+}
 
 /// Adds a per-case byte series into the timeline accumulator: hop i of
 /// the recovery occupies [i*per_hop, (i+1)*per_hop) ms carrying
@@ -188,6 +225,8 @@ void add_into(std::vector<double>& acc, const std::vector<double>& v) {
 RecoverableResults run_recoverable(const TopologyContext& ctx,
                                    const std::vector<Scenario>& scenarios,
                                    const RunOptions& opts) {
+  RunnerMetrics& metrics = RunnerMetrics::get();
+  obs::ScopedTimer phase_timer(metrics.recoverable_phase_ns);
   RecoverableResults out;
   out.topo = ctx.name;
   out.rtr_bytes_timeline.assign(opts.timeline_ms, 0.0);
@@ -202,14 +241,18 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
   }
 
   std::vector<RecoverablePartial> partials(scenarios.size());
+  const auto fan_out_start = std::chrono::steady_clock::now();
   common::parallel_for(scenarios.size(), opts.threads, [&](std::size_t i) {
+    record_queue_wait(metrics, fan_out_start);
     partials[i] = run_scenario_recoverable(ctx, scenarios[i], opts,
                                            mrc.get());
+    metrics.scenarios.inc();
   });
 
   // Merge in scenario-index order; this fixes the sample order and the
   // floating-point summation order independently of scheduling.
   for (const RecoverablePartial& p : partials) {
+    metrics.recoverable_cases.add(p.cases);
     out.cases += p.cases;
     out.rtr_recovered += p.rtr_recovered;
     out.rtr_optimal += p.rtr_optimal;
@@ -243,15 +286,21 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
 IrrecoverableResults run_irrecoverable(const TopologyContext& ctx,
                                        const std::vector<Scenario>& scenarios,
                                        const RunOptions& opts) {
+  RunnerMetrics& metrics = RunnerMetrics::get();
+  obs::ScopedTimer phase_timer(metrics.irrecoverable_phase_ns);
   IrrecoverableResults out;
   out.topo = ctx.name;
 
   std::vector<IrrecoverablePartial> partials(scenarios.size());
+  const auto fan_out_start = std::chrono::steady_clock::now();
   common::parallel_for(scenarios.size(), opts.threads, [&](std::size_t i) {
+    record_queue_wait(metrics, fan_out_start);
     partials[i] = run_scenario_irrecoverable(ctx, scenarios[i], opts);
+    metrics.scenarios.inc();
   });
 
   for (const IrrecoverablePartial& p : partials) {
+    metrics.irrecoverable_cases.add(p.cases);
     out.cases += p.cases;
     out.rtr_delivered += p.rtr_delivered;
     out.fcp_delivered += p.fcp_delivered;
@@ -269,6 +318,12 @@ std::vector<RadiusPoint> radius_sweep(const TopologyContext& ctx,
                                       std::size_t areas_per_radius,
                                       std::uint64_t seed, double extent,
                                       fail::LinkCutRule rule) {
+  static obs::Histogram& phase_ns =
+      obs::Registry::global().timer("phase.radius_sweep_ns");
+  static obs::Counter& areas =
+      obs::Registry::global().counter("exp.radius_sweep.areas");
+  obs::ScopedTimer phase_timer(phase_ns);
+  areas.add(radii.size() * areas_per_radius);
   Rng rng(seed);
   std::vector<RadiusPoint> out;
   out.reserve(radii.size());

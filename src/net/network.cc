@@ -3,7 +3,15 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace rtr::net {
+
+namespace {
+obs::Counter& packets_counter(const char* name) {
+  return obs::Registry::global().counter(name);
+}
+}  // namespace
 
 struct Network::InFlight {
   DataPacket packet;
@@ -37,11 +45,16 @@ void Network::process(InFlight flight, NodeId at, NodeId prev) {
   switch (d.kind) {
     case RouterApp::Decision::Kind::kDeliver: {
       ++delivered_;
+      static obs::Counter& delivered =
+          packets_counter("net.packets.delivered");
+      delivered.inc();
       if (flight.done) flight.done(flight.packet, at, true);
       return;
     }
     case RouterApp::Decision::Kind::kDrop: {
       ++dropped_;
+      static obs::Counter& dropped = packets_counter("net.packets.dropped");
+      dropped.inc();
       if (flight.done) flight.done(flight.packet, at, false);
       return;
     }
@@ -57,6 +70,8 @@ void Network::process(InFlight flight, NodeId at, NodeId prev) {
                      !failure_->node_failed(next),
                  "router forwarded into an observable failure");
   ++hops_;
+  static obs::Counter& hops = packets_counter("net.packets.hops_forwarded");
+  hops.inc();
   flight.packet.trace.push_back(next);
   flight.packet.bytes_transmitted +=
       flight.packet.payload_bytes + flight.packet.header.recovery_bytes();

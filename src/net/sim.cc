@@ -2,16 +2,27 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace rtr::net {
 
 void Simulator::at(double t_ms, Callback cb) {
   RTR_EXPECT_MSG(t_ms >= now_ms_, "cannot schedule in the past");
   RTR_EXPECT(cb != nullptr);
   queue_.push(Event{t_ms, next_seq_++, std::move(cb)});
+  // Depth summary (count/min/max/mean) of the event queue after each
+  // scheduling -- the simulator is single-threaded and event order is
+  // deterministic, so this series is stable.
+  static obs::Gauge& depth =
+      obs::Registry::global().gauge("net.sim.queue_depth");
+  depth.record(queue_.size());
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
+  static obs::Counter& events =
+      obs::Registry::global().counter("net.sim.events");
+  events.inc();
   // priority_queue::top() is const; the callback is moved out via the
   // copy below, which is cheap relative to event work.
   Event ev = queue_.top();

@@ -1,0 +1,154 @@
+#include "obs/emit.h"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace rtr::obs {
+
+namespace {
+
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_value_array(std::string& out, const std::vector<Value>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(v[i]);
+  }
+  out += ']';
+}
+
+void append_series(std::string& out, const Sample& s) {
+  append_escaped(out, s.name);
+  out += ":{\"kind\":\"";
+  out += to_string(s.kind);
+  out += '"';
+  if (s.kind == Kind::kCounter) {
+    out += ",\"value\":" + std::to_string(s.count);
+  } else {
+    out += ",\"count\":" + std::to_string(s.count);
+    out += ",\"sum\":" + std::to_string(s.sum);
+    out += ",\"min\":" + std::to_string(s.min);
+    out += ",\"max\":" + std::to_string(s.max);
+  }
+  if (s.kind == Kind::kHistogram) {
+    out += ",\"bounds\":";
+    append_value_array(out, s.bucket_bounds);
+    out += ",\"counts\":";
+    append_value_array(out, s.bucket_counts);
+  }
+  out += '}';
+}
+
+void append_series_map(std::string& out, const Snapshot& snapshot,
+                       Stability want) {
+  out += '{';
+  bool first = true;
+  for (const Sample& s : snapshot) {  // snapshot is sorted by name
+    if (s.stability != want) continue;
+    if (!first) out += ',';
+    first = false;
+    append_series(out, s);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+const char* git_describe() {
+#ifdef RTR_GIT_DESCRIBE
+  return RTR_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+Value process_uptime_ms() {
+  const auto d = std::chrono::steady_clock::now() - g_process_start;
+  return static_cast<Value>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(d).count());
+}
+
+std::string to_json(const Snapshot& snapshot, const RunInfo& run,
+                    const EmitOptions& opts) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":\"rtr.metrics.v1\",\"schema_version\":1,";
+
+  out += "\"run\":{\"bench\":";
+  append_escaped(out, run.bench);
+  out += ",\"git_describe\":";
+  append_escaped(out, git_describe());
+  out += ",\"config\":{";
+  for (std::size_t i = 0; i < run.config.size(); ++i) {
+    if (i > 0) out += ',';
+    append_escaped(out, run.config[i].first);
+    out += ':';
+    append_escaped(out, run.config[i].second);
+  }
+  out += "}},";
+
+  out += "\"metrics\":";
+  append_series_map(out, snapshot, Stability::kStable);
+
+  if (opts.include_volatile) {
+    out += ",\"timing\":{\"threads\":" + std::to_string(opts.threads);
+    out += ",\"wall_clock_ms\":" + std::to_string(opts.wall_clock_ms);
+    out += ",\"series\":";
+    append_series_map(out, snapshot, Stability::kVolatile);
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+bool write_metrics_file(const std::string& path, const Snapshot& snapshot,
+                        const RunInfo& run, const EmitOptions& opts) {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f) {
+    std::cerr << "obs: cannot open metrics file " << path << '\n';
+    return false;
+  }
+  f << to_json(snapshot, run, opts) << '\n';
+  f.close();
+  if (!f) {
+    std::cerr << "obs: failed writing metrics file " << path << '\n';
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rtr::obs

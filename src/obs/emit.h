@@ -1,0 +1,71 @@
+// JSON emission for rtr::obs -- the machine-readable half of every
+// bench binary's `--metrics-out <file>` flag, consumed by
+// tools/check_bench_regression.py in the CI perf gate.
+//
+// Document layout (schema "rtr.metrics.v1"):
+//   {
+//     "schema": "rtr.metrics.v1",
+//     "schema_version": 1,
+//     "run": { "bench": ..., "git_describe": ..., "config": {k: "v"} },
+//     "metrics": { <stable series only> },
+//     "timing":  {                      // omitted in deterministic mode
+//       "threads": N,
+//       "wall_clock_ms": M,
+//       "series": { <volatile series> }
+//     }
+//   }
+// Series render as
+//   counter:   {"kind": "counter", "value": N}
+//   gauge:     {"kind": "gauge", "count": c, "sum": s, "min": m, "max": M}
+//   histogram: gauge fields plus "bounds": [...], "counts": [...]
+//              (counts has bounds.size()+1 entries; the last is +inf)
+//
+// Keys are emitted in sorted order and every value is an unsigned
+// integer or a string, so the document is byte-reproducible: with
+// include_volatile=false the whole file is bit-identical across thread
+// counts and repeat runs (the CI determinism smoke diffs it verbatim).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rtr::obs {
+
+/// Provenance of one bench run, embedded under "run".
+struct RunInfo {
+  std::string bench;  ///< binary basename, e.g. "bench_table3_recoverable"
+  /// Workload knobs (cases, seed, cut rule, ...) -- stable inputs only;
+  /// the thread count is volatile and lives in EmitOptions instead.
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+struct EmitOptions {
+  /// false drops the "timing" block (wall clock, thread count, volatile
+  /// series) so the document is bit-identical across thread counts; set
+  /// by RTR_METRICS_DETERMINISTIC=1 for the determinism tests/CI smoke.
+  bool include_volatile = true;
+  std::size_t threads = 0;     ///< resolved worker count of the run
+  Value wall_clock_ms = 0;     ///< process wall clock at emission
+};
+
+/// The source tree's `git describe --always --dirty` captured at
+/// configure time ("unknown" outside a git checkout).
+const char* git_describe();
+
+/// Milliseconds since the obs library was loaded (process start for all
+/// practical purposes).
+Value process_uptime_ms();
+
+/// Serialises one snapshot to the schema above.
+std::string to_json(const Snapshot& snapshot, const RunInfo& run,
+                    const EmitOptions& opts);
+
+/// Writes to_json() plus a trailing newline to `path`.  Returns false
+/// (after printing to stderr) when the file cannot be written.
+bool write_metrics_file(const std::string& path, const Snapshot& snapshot,
+                        const RunInfo& run, const EmitOptions& opts);
+
+}  // namespace rtr::obs

@@ -1,0 +1,255 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace rtr::obs {
+
+const char* to_string(Stability s) {
+  return s == Stability::kStable ? "stable" : "volatile";
+}
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+namespace detail {
+
+void atomic_max(std::atomic<Value>& a, Value v) {
+  Value cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<Value>& a, Value v) {
+  Value cur = a.load(std::memory_order_relaxed);
+  while (cur > v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+void reset_cell(ShardCell& c) {
+  c.count.store(0, std::memory_order_relaxed);
+  c.sum.store(0, std::memory_order_relaxed);
+  c.max.store(0, std::memory_order_relaxed);
+  c.min.store(~Value{0}, std::memory_order_relaxed);
+}
+
+/// Folds the shard cells into a Sample in shard-index order.  Every fold
+/// (integer +, max, min) is commutative, so the result cannot depend on
+/// which thread landed on which shard.
+void merge_cells(const std::array<ShardCell, kShards>& cells, Sample& s) {
+  Value min = ~Value{0};
+  for (const ShardCell& c : cells) {
+    s.count += c.count.load(std::memory_order_relaxed);
+    s.sum += c.sum.load(std::memory_order_relaxed);
+    s.max = std::max(s.max, c.max.load(std::memory_order_relaxed));
+    min = std::min(min, c.min.load(std::memory_order_relaxed));
+  }
+  s.min = s.count == 0 ? 0 : min;
+}
+
+void record_into(ShardCell& c, Value v) {
+  c.count.fetch_add(1, std::memory_order_relaxed);
+  c.sum.fetch_add(v, std::memory_order_relaxed);
+  atomic_max(c.max, v);
+  atomic_min(c.min, v);
+}
+
+}  // namespace
+}  // namespace detail
+
+// ---------------------------------------------------------------- Counter --
+
+Value Counter::total() const {
+  Value t = 0;
+  for (const detail::ShardCell& c : cells_) {
+    t += c.count.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+Sample Counter::sample() const {
+  Sample s = base_sample();
+  s.count = total();
+  return s;
+}
+
+void Counter::reset() {
+  for (detail::ShardCell& c : cells_) detail::reset_cell(c);
+}
+
+// ------------------------------------------------------------------ Gauge --
+
+void Gauge::record(Value v) {
+  detail::record_into(cells_[this_thread_shard()], v);
+}
+
+Sample Gauge::sample() const {
+  Sample s = base_sample();
+  detail::merge_cells(cells_, s);
+  return s;
+}
+
+void Gauge::reset() {
+  for (detail::ShardCell& c : cells_) detail::reset_cell(c);
+}
+
+// -------------------------------------------------------------- Histogram --
+
+Histogram::Histogram(std::string name, Stability stability,
+                     std::vector<Value> bounds)
+    : Metric(std::move(name), Kind::kHistogram, stability),
+      bounds_(std::move(bounds)) {
+  RTR_EXPECT_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bucket bounds must be sorted");
+  for (BucketShard& b : buckets_) {
+    b.counts = std::make_unique<std::atomic<Value>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) b.counts[i] = 0;
+  }
+}
+
+void Histogram::observe(Value v) {
+  const std::size_t shard = this_thread_shard();
+  detail::record_into(cells_[shard], v);
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+      bounds_.begin());
+  buckets_[shard].counts[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+Sample Histogram::sample() const {
+  Sample s = base_sample();
+  detail::merge_cells(cells_, s);
+  s.bucket_bounds = bounds_;
+  s.bucket_counts.assign(bounds_.size() + 1, 0);
+  for (const BucketShard& b : buckets_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      s.bucket_counts[i] += b.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (detail::ShardCell& c : cells_) detail::reset_cell(c);
+  for (BucketShard& b : buckets_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      b.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<Value> latency_ns_bounds() {
+  std::vector<Value> b;
+  for (Value v = 1000; v <= Value{1000} << 22; v <<= 2) b.push_back(v);
+  return b;
+}
+
+std::vector<Value> size_bounds() {
+  std::vector<Value> b;
+  for (Value v = 1; v <= 65536; v <<= 1) b.push_back(v);
+  return b;
+}
+
+// --------------------------------------------------------------- Registry --
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: see header
+  return *r;
+}
+
+namespace {
+template <typename T, typename Make>
+T& find_or_make(std::mutex& mu,
+                std::map<std::string, std::unique_ptr<Metric>,
+                         std::less<>>& metrics,
+                std::string_view name, Kind kind, Stability stability,
+                Make make) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = metrics.find(name);
+  if (it == metrics.end()) {
+    it = metrics.emplace(std::string(name), make()).first;
+  }
+  Metric& m = *it->second;
+  RTR_EXPECT_MSG(m.kind() == kind,
+                 "metric re-registered with a different kind");
+  RTR_EXPECT_MSG(m.stability() == stability,
+                 "metric re-registered with a different stability");
+  return static_cast<T&>(m);
+}
+}  // namespace
+
+Counter& Registry::counter(std::string_view name, Stability stability) {
+  return find_or_make<Counter>(mu_, metrics_, name, Kind::kCounter,
+                               stability, [&] {
+                                 return std::make_unique<Counter>(
+                                     std::string(name), stability);
+                               });
+}
+
+Gauge& Registry::gauge(std::string_view name, Stability stability) {
+  return find_or_make<Gauge>(mu_, metrics_, name, Kind::kGauge, stability,
+                             [&] {
+                               return std::make_unique<Gauge>(
+                                   std::string(name), stability);
+                             });
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<Value> bounds,
+                               Stability stability) {
+  Histogram& h = find_or_make<Histogram>(
+      mu_, metrics_, name, Kind::kHistogram, stability, [&] {
+        return std::make_unique<Histogram>(std::string(name), stability,
+                                           std::move(bounds));
+      });
+  return h;
+}
+
+Histogram& Registry::timer(std::string_view name) {
+  return histogram(name, latency_ns_bounds(), Stability::kVolatile);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out;
+  out.reserve(metrics_.size());
+  // std::map iterates in key order, so the snapshot (and hence the JSON
+  // document) is sorted by series name.
+  for (const auto& [name, metric] : metrics_) {
+    out.push_back(metric->sample());
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, metric] : metrics_) metric->reset();
+}
+
+std::size_t Registry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+}  // namespace rtr::obs

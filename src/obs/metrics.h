@@ -1,0 +1,243 @@
+// rtr::obs -- lightweight, thread-safe run metrics.
+//
+// A process-wide Registry of named series backs every bench binary's
+// `--metrics-out` JSON document and the CI perf-regression gate:
+//   Counter    monotonically increasing count (ops, hops, calls)
+//   Gauge      value summary: count / sum / min / max of recorded values
+//   Histogram  fixed-bucket distribution (plus count / sum / max)
+//   ScopedTimer RAII wall-clock probe feeding a nanosecond Histogram
+//
+// Determinism contract (mirrors the PR 1 parallel engine): every cell is
+// a 64-bit unsigned integer updated with relaxed atomics and sharded per
+// worker thread; snapshot() merges the shards in shard-index order.
+// Because integer addition / max / min are commutative and associative,
+// every *stable* series is a pure function of the workload -- bit-stable
+// across thread counts and across runs.  Series measured in wall-clock
+// time can never be: they are registered as Stability::kVolatile and the
+// JSON emitter segregates (or omits) them, so the stable section of the
+// document is bit-identical at --threads 1/2/8.
+//
+// Instrumentation is always on; an update is one relaxed fetch_add on a
+// cache-line-padded shard, cheap enough for the SPF and forwarding hot
+// paths.  `--metrics-out` only controls emission.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtr::obs {
+
+using Value = std::uint64_t;
+
+/// Whether a series is a pure function of the workload (op counts,
+/// sizes: bit-stable across thread counts) or measures wall-clock time
+/// (volatile: differs run to run).
+enum class Stability { kStable, kVolatile };
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+const char* to_string(Stability s);
+const char* to_string(Kind k);
+
+/// Shards per metric.  Threads map onto shards with a process-wide
+/// first-touch slot (modulo kShards); two threads sharing a shard is
+/// still correct -- the cells are atomics -- just slower.
+inline constexpr std::size_t kShards = 16;
+
+/// The shard slot of the calling thread (assigned on first use).
+std::size_t this_thread_shard();
+
+namespace detail {
+/// One cache line of atomic u64 cells, so workers on different shards
+/// never false-share.
+struct alignas(64) ShardCell {
+  std::atomic<Value> count{0};
+  std::atomic<Value> sum{0};
+  std::atomic<Value> max{0};
+  std::atomic<Value> min{~Value{0}};
+};
+
+void atomic_max(std::atomic<Value>& a, Value v);
+void atomic_min(std::atomic<Value>& a, Value v);
+}  // namespace detail
+
+/// Point-in-time value of one series (shards already merged).
+struct Sample {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  Stability stability = Stability::kStable;
+  Value count = 0;  ///< counter total / number of recorded observations
+  Value sum = 0;    ///< sum of observations (gauge, histogram)
+  Value max = 0;    ///< max observation; 0 when count == 0
+  Value min = 0;    ///< min observation; 0 when count == 0
+  /// Histogram only: cumulative-style bucket pairs (upper_bound, count);
+  /// the final implicit +inf bucket is `count - sum(buckets)`.
+  std::vector<Value> bucket_bounds;
+  std::vector<Value> bucket_counts;
+};
+
+/// Registry snapshot, sorted by series name.
+using Snapshot = std::vector<Sample>;
+
+class Metric {
+ public:
+  Metric(std::string name, Kind kind, Stability stability)
+      : name_(std::move(name)), kind_(kind), stability_(stability) {}
+  virtual ~Metric() = default;
+
+  const std::string& name() const { return name_; }
+  Kind kind() const { return kind_; }
+  Stability stability() const { return stability_; }
+
+  virtual Sample sample() const = 0;
+  virtual void reset() = 0;
+
+ protected:
+  Sample base_sample() const {
+    Sample s;
+    s.name = name_;
+    s.kind = kind_;
+    s.stability = stability_;
+    return s;
+  }
+
+ private:
+  std::string name_;
+  Kind kind_;
+  Stability stability_;
+};
+
+/// Monotonic counter; add() is one relaxed fetch_add.
+class Counter final : public Metric {
+ public:
+  Counter(std::string name, Stability stability)
+      : Metric(std::move(name), Kind::kCounter, stability) {}
+
+  void add(Value v) {
+    cells_[this_thread_shard()].count.fetch_add(v,
+                                                std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  Value total() const;
+  Sample sample() const override;
+  void reset() override;
+
+ private:
+  std::array<detail::ShardCell, kShards> cells_;
+};
+
+/// Summary gauge: record(v) folds v into count / sum / min / max.  All
+/// four folds are commutative, so the merged summary is order-free.
+class Gauge final : public Metric {
+ public:
+  Gauge(std::string name, Stability stability)
+      : Metric(std::move(name), Kind::kGauge, stability) {}
+
+  void record(Value v);
+
+  Sample sample() const override;
+  void reset() override;
+
+ private:
+  std::array<detail::ShardCell, kShards> cells_;
+};
+
+/// Fixed-bucket histogram: observe(v) increments the first bucket whose
+/// upper bound is >= v (the implicit +inf bucket catches the rest) and
+/// folds v into the summary cells.
+class Histogram final : public Metric {
+ public:
+  Histogram(std::string name, Stability stability,
+            std::vector<Value> bounds);
+
+  void observe(Value v);
+
+  const std::vector<Value>& bounds() const { return bounds_; }
+  Sample sample() const override;
+  void reset() override;
+
+ private:
+  struct alignas(64) BucketShard {
+    // bounds_.size() + 1 slots; the last is the +inf bucket.
+    std::unique_ptr<std::atomic<Value>[]> counts;
+  };
+
+  std::vector<Value> bounds_;
+  std::array<detail::ShardCell, kShards> cells_;
+  std::array<BucketShard, kShards> buckets_;
+};
+
+/// Default bucket bounds for nanosecond latency histograms: powers of
+/// four from 1us to ~4.4s.
+std::vector<Value> latency_ns_bounds();
+
+/// Default bucket bounds for small size/step distributions: powers of
+/// two from 1 to 65536.
+std::vector<Value> size_bounds();
+
+/// Process-wide registry.  Lookup is mutex-guarded and intended for the
+/// `static Counter& c = Registry::global().counter(...)` idiom: pay the
+/// lock once per call site, then update lock-free.
+class Registry {
+ public:
+  /// The process-wide instance (leaked on purpose: emission may run from
+  /// an atexit handler, after static destructors would have fired).
+  static Registry& global();
+
+  Counter& counter(std::string_view name,
+                   Stability stability = Stability::kStable);
+  Gauge& gauge(std::string_view name,
+               Stability stability = Stability::kStable);
+  Histogram& histogram(std::string_view name, std::vector<Value> bounds,
+                       Stability stability = Stability::kStable);
+  /// Nanosecond latency histogram; always volatile (it is wall clock).
+  Histogram& timer(std::string_view name);
+
+  /// All series merged (shards in index order) and sorted by name.
+  Snapshot snapshot() const;
+
+  /// Zeroes every series but keeps the registrations (tests).
+  void reset();
+
+  std::size_t series_count() const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics_;
+};
+
+/// RAII wall-clock probe: records elapsed nanoseconds into a (volatile)
+/// histogram on destruction.  Nests freely; each scope records its own
+/// inclusive elapsed time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink)
+      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_->observe(elapsed_ns()); }
+
+  Value elapsed_ns() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+    return ns < 0 ? 0 : static_cast<Value>(ns);
+  }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rtr::obs

@@ -3,9 +3,24 @@
 #include <queue>
 #include <tuple>
 
+#include "obs/metrics.h"
+
 namespace rtr::spf {
 
 namespace {
+
+/// One incremental update finished after re-deriving `touched` node
+/// distances -- the locality Section III-D banks on, now visible as a
+/// stable histogram in --metrics-out.
+void count_update(std::size_t touched) {
+  static obs::Counter& updates =
+      obs::Registry::global().counter("spf.incremental.updates");
+  static obs::Histogram& dist = obs::Registry::global().histogram(
+      "spf.incremental.touched_nodes", obs::size_bounds());
+  updates.inc();
+  dist.observe(touched);
+}
+
 struct HeapEntry {
   Cost dist;
   NodeId node;
@@ -39,6 +54,7 @@ void IncrementalSpt::remove_links(const std::vector<LinkId>& links) {
     if (pl != kNoLink && link_removed_[pl]) seeds.push_back(n);
   }
   repair(std::move(seeds));
+  count_update(touched_);
 }
 
 void IncrementalSpt::remove_node(NodeId n) {
@@ -89,6 +105,7 @@ void IncrementalSpt::restore_link(LinkId l) {
       }
     }
   }
+  count_update(touched_);
 }
 
 void IncrementalSpt::repair(std::vector<NodeId> affected) {

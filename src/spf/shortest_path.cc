@@ -4,6 +4,8 @@
 #include <queue>
 #include <tuple>
 
+#include "obs/metrics.h"
+
 namespace rtr::spf {
 
 namespace {
@@ -23,6 +25,9 @@ enum class Direction { kFromSource, kToTarget };
 SptResult run_dijkstra(const graph::Graph& g, NodeId root,
                        const graph::Masks& masks, Direction dir) {
   RTR_EXPECT(g.valid_node(root));
+  static obs::Counter& runs =
+      obs::Registry::global().counter("spf.dijkstra.full_runs");
+  runs.inc();
   SptResult r;
   r.source = root;
   r.dist.assign(g.num_nodes(), kInfCost);
@@ -78,6 +83,9 @@ SptResult dijkstra_to(const graph::Graph& g, NodeId target,
 SptResult bfs_from(const graph::Graph& g, NodeId source,
                    const graph::Masks& masks) {
   RTR_EXPECT(g.valid_node(source));
+  static obs::Counter& runs =
+      obs::Registry::global().counter("spf.bfs.runs");
+  runs.inc();
   SptResult r;
   r.source = source;
   r.dist.assign(g.num_nodes(), kInfCost);

@@ -1,14 +1,23 @@
 #include "spf/spt_cache.h"
 
+#include "obs/metrics.h"
+
 namespace rtr::spf {
 
 const SptResult& SptCache::from(NodeId source) {
+  static obs::Counter& hits =
+      obs::Registry::global().counter("spf.spt_cache.hits");
+  static obs::Counter& misses =
+      obs::Registry::global().counter("spf.spt_cache.misses");
   auto it = spts_.find(source);
   if (it == spts_.end()) {
+    misses.inc();
     SptResult r = alg_ == Algorithm::kBfsHopCount
                       ? bfs_from(*g_, source, masks_)
                       : dijkstra_from(*g_, source, masks_);
     it = spts_.emplace(source, std::move(r)).first;
+  } else {
+    hits.inc();
   }
   return it->second;
 }

@@ -1,0 +1,246 @@
+// rtr::obs -- counter/gauge/histogram semantics, shard-merge
+// determinism across thread counts, scoped-timer nesting, and the
+// "rtr.metrics.v1" JSON document shape.
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "obs/emit.h"
+#include "obs/metrics.h"
+
+using namespace rtr;
+
+namespace {
+
+// Every test names its series under a test-unique prefix, so the
+// process-wide registry (shared with the instrumented library code the
+// other test files exercise) never causes cross-talk.
+const obs::Sample* find(const obs::Snapshot& snap, const std::string& name) {
+  for (const obs::Sample& s : snap) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(ObsCounter, AddAndIncAccumulate) {
+  obs::Counter c("obs_test.counter.basic", obs::Stability::kStable);
+  EXPECT_EQ(c.total(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.total(), 42u);
+
+  const obs::Sample s = c.sample();
+  EXPECT_EQ(s.name, "obs_test.counter.basic");
+  EXPECT_EQ(s.kind, obs::Kind::kCounter);
+  EXPECT_EQ(s.count, 42u);
+
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(ObsGauge, SummarisesCountSumMinMax) {
+  obs::Gauge g("obs_test.gauge.basic", obs::Stability::kStable);
+  obs::Sample s = g.sample();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u) << "empty gauge must report min 0, not ~0";
+  EXPECT_EQ(s.max, 0u);
+
+  for (obs::Value v : {7u, 3u, 11u, 3u}) g.record(v);
+  s = g.sample();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 24u);
+  EXPECT_EQ(s.min, 3u);
+  EXPECT_EQ(s.max, 11u);
+}
+
+TEST(ObsHistogram, BucketsByUpperBoundWithOverflow) {
+  obs::Histogram h("obs_test.hist.basic", obs::Stability::kStable,
+                   {10, 100, 1000});
+  // One per bucket: <=10, <=100, <=1000, +inf.
+  h.observe(10);
+  h.observe(11);
+  h.observe(1000);
+  h.observe(5000);
+
+  const obs::Sample s = h.sample();
+  ASSERT_EQ(s.bucket_bounds, (std::vector<obs::Value>{10, 100, 1000}));
+  ASSERT_EQ(s.bucket_counts.size(), 4u)
+      << "bounds.size() + 1 buckets; the last is +inf";
+  EXPECT_EQ(s.bucket_counts, (std::vector<obs::Value>{1, 1, 1, 1}));
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 10u + 11u + 1000u + 5000u);
+  EXPECT_EQ(s.min, 10u);
+  EXPECT_EQ(s.max, 5000u);
+}
+
+TEST(ObsRegistry, FindsSameSeriesByNameAndSnapshotsSorted) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& a = reg.counter("obs_test.registry.b");
+  obs::Counter& b = reg.counter("obs_test.registry.a");
+  EXPECT_EQ(&a, &reg.counter("obs_test.registry.b"))
+      << "same name must resolve to the same series";
+  a.add(2);
+  b.add(1);
+
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      snap.begin(), snap.end(),
+      [](const obs::Sample& x, const obs::Sample& y) {
+        return x.name < y.name;
+      }));
+  ASSERT_NE(find(snap, "obs_test.registry.a"), nullptr);
+  EXPECT_EQ(find(snap, "obs_test.registry.a")->count, 1u);
+  EXPECT_EQ(find(snap, "obs_test.registry.b")->count, 2u);
+}
+
+// The determinism contract: a fixed workload must produce bit-identical
+// stable samples no matter how many threads updated the shards.
+TEST(ObsMergeDeterminism, StableSeriesIdenticalAcrossThreadCounts) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& ops = reg.counter("obs_test.det.ops");
+  obs::Gauge& sizes = reg.gauge("obs_test.det.sizes");
+  obs::Histogram& touched = reg.histogram(
+      "obs_test.det.touched", obs::size_bounds());
+
+  constexpr std::size_t kUnits = 512;
+  const auto workload = [&](std::size_t i) {
+    ops.add(i % 7 + 1);
+    sizes.record(i * i % 1009);
+    touched.observe(i % 300);
+  };
+
+  struct Result {
+    obs::Sample ops, sizes, touched;
+  };
+  std::vector<Result> per_thread_count;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ops.reset();
+    sizes.reset();
+    touched.reset();
+    common::parallel_for(kUnits, threads, workload);
+    const obs::Snapshot snap = reg.snapshot();
+    per_thread_count.push_back({*find(snap, "obs_test.det.ops"),
+                                *find(snap, "obs_test.det.sizes"),
+                                *find(snap, "obs_test.det.touched")});
+  }
+
+  const auto same = [](const obs::Sample& x, const obs::Sample& y) {
+    return x.count == y.count && x.sum == y.sum && x.min == y.min &&
+           x.max == y.max && x.bucket_counts == y.bucket_counts;
+  };
+  for (std::size_t i = 1; i < per_thread_count.size(); ++i) {
+    EXPECT_TRUE(same(per_thread_count[0].ops, per_thread_count[i].ops));
+    EXPECT_TRUE(same(per_thread_count[0].sizes, per_thread_count[i].sizes));
+    EXPECT_TRUE(
+        same(per_thread_count[0].touched, per_thread_count[i].touched));
+  }
+  obs::Value expect_ops = 0;
+  for (std::size_t i = 0; i < kUnits; ++i) expect_ops += i % 7 + 1;
+  EXPECT_EQ(per_thread_count[0].ops.count, expect_ops);
+}
+
+// And end to end: the deterministic-mode JSON document (the thing CI
+// byte-compares) must come out identical at 1/2/8 threads.
+TEST(ObsMergeDeterminism, DeterministicJsonBitIdenticalAcrossThreadCounts) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& ops = reg.counter("obs_test.json_det.ops");
+  obs::Histogram& wall = reg.timer("obs_test.json_det.elapsed_ns");
+
+  obs::RunInfo run;
+  run.bench = "obs_unit_test";
+  run.config = {{"units", "256"}};
+  obs::EmitOptions opts;
+  opts.include_volatile = false;  // deterministic mode
+
+  std::vector<std::string> docs;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    reg.reset();
+    common::parallel_for(256, threads, [&](std::size_t i) {
+      obs::ScopedTimer t(wall);  // volatile: must not leak into the doc
+      ops.add(i + 1);
+    });
+    docs.push_back(obs::to_json(reg.snapshot(), run, opts));
+  }
+  EXPECT_EQ(docs[0], docs[1]);
+  EXPECT_EQ(docs[0], docs[2]);
+  EXPECT_EQ(docs[0].find("json_det.elapsed_ns"), std::string::npos)
+      << "volatile series must be omitted in deterministic mode";
+  EXPECT_NE(docs[0].find("\"obs_test.json_det.ops\""), std::string::npos);
+}
+
+TEST(ObsScopedTimer, NestedScopesEachRecordOnce) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Histogram& outer = reg.timer("obs_test.timer.outer_ns");
+  obs::Histogram& inner = reg.timer("obs_test.timer.inner_ns");
+  {
+    obs::ScopedTimer to(outer);
+    {
+      obs::ScopedTimer ti(inner);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      EXPECT_GT(ti.elapsed_ns(), 0u);
+    }
+    {
+      obs::ScopedTimer ti(inner);
+    }
+  }
+  const obs::Sample so = outer.sample();
+  const obs::Sample si = inner.sample();
+  EXPECT_EQ(so.count, 1u);
+  EXPECT_EQ(si.count, 2u);
+  EXPECT_GE(so.max, si.max) << "outer scope includes the inner scopes";
+  EXPECT_EQ(so.stability, obs::Stability::kVolatile)
+      << "timers are wall clock and must never be marked stable";
+}
+
+TEST(ObsEmit, JsonDocumentMatchesSchemaShape) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.reset();
+  obs::Counter& c = reg.counter("obs_test.emit.ops");
+  obs::Gauge& g = reg.gauge("obs_test.emit.depth");
+  obs::Histogram& h =
+      reg.histogram("obs_test.emit.sizes", {1, 2}, obs::Stability::kStable);
+  c.add(3);
+  g.record(5);
+  h.observe(2);
+
+  obs::RunInfo run;
+  run.bench = "obs_unit_test";
+  run.config = {{"seed", "7"}, {"cases", "10"}};
+  obs::EmitOptions opts;
+  opts.include_volatile = true;
+  opts.threads = 4;
+  opts.wall_clock_ms = 123;
+
+  const std::string doc = obs::to_json(reg.snapshot(), run, opts);
+
+  // Shape, not a full parser: the gate's python side json.load()s it.
+  EXPECT_NE(doc.find("\"schema\":\"rtr.metrics.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"bench\":\"obs_unit_test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seed\":\"7\""), std::string::npos);
+  EXPECT_NE(doc.find("\"obs_test.emit.ops\":{\"kind\":\"counter\","
+                     "\"value\":3}"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"obs_test.emit.depth\":{\"kind\":\"gauge\","
+                     "\"count\":1,\"sum\":5,\"min\":5,\"max\":5}"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"bounds\":[1,2]"), std::string::npos);
+  EXPECT_NE(doc.find("\"counts\":[0,1,0]"), std::string::npos);
+  EXPECT_NE(doc.find("\"threads\":4"), std::string::npos);
+  EXPECT_NE(doc.find("\"wall_clock_ms\":123"), std::string::npos);
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_EQ(doc.back(), '}');
+  // Braces balance (cheap structural sanity; no strings in the schema
+  // contain braces).
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+            std::count(doc.begin(), doc.end(), '}'));
+
+  // Emission is a pure function of the snapshot: same input, same bytes.
+  EXPECT_EQ(doc, obs::to_json(reg.snapshot(), run, opts));
+}
+
+}  // namespace

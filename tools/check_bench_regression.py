@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over rtr::obs metrics documents.
+
+Compares one or more ``--metrics-out`` JSON files (schema
+``rtr.metrics.v1``, see src/obs/emit.h) against the checked-in
+``bench/baseline.json``:
+
+* **Op counts** (the ``metrics`` block: every stable counter / gauge /
+  histogram) must match the baseline **exactly** -- they are bit-stable
+  pure functions of the workload, so any drift means behaviour changed
+  and the baseline must be consciously refreshed.
+* **Wall clock** (``timing.wall_clock_ms``) may regress by at most the
+  configured tolerance factor (default 1.25, i.e. fail on >25%
+  slowdown).  Faster-than-baseline runs only produce a note.
+
+Benches whose op counts are inherently unstable (``bench_micro``:
+google-benchmark chooses iteration counts dynamically) are compared on
+wall clock only, controlled per bench by ``check_op_counts`` in the
+baseline document.
+
+Refresh the baseline after an intentional change with::
+
+    tools/check_bench_regression.py --baseline bench/baseline.json \
+        --update current1.json current2.json ...
+
+Exit status: 0 ok, 1 regression / op-count drift, 2 usage or schema
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE_SCHEMA = "rtr.bench_baseline.v1"
+METRICS_SCHEMA = "rtr.metrics.v1"
+DEFAULT_TOLERANCE = 1.25
+
+# Benches whose op counts depend on adaptive iteration counts rather
+# than a pinned workload; --update marks them wall-clock-only.
+VOLATILE_OP_COUNT_BENCHES = {"bench_micro"}
+
+
+def fail(msg: str, code: int = 2) -> "sys.NoReturn":
+    print(f"check_bench_regression: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def load_json(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def load_metrics_doc(path: str) -> dict:
+    doc = load_json(path)
+    if doc.get("schema") != METRICS_SCHEMA:
+        fail(f"{path}: expected schema {METRICS_SCHEMA!r}, "
+             f"got {doc.get('schema')!r}")
+    for key in ("run", "metrics"):
+        if key not in doc:
+            fail(f"{path}: missing {key!r} block")
+    if "bench" not in doc["run"]:
+        fail(f"{path}: missing run.bench")
+    return doc
+
+
+def diff_op_counts(name: str, baseline: dict, current: dict) -> list[str]:
+    """Exact comparison of the stable metrics blocks."""
+    problems = []
+    for series in sorted(set(baseline) | set(current)):
+        if series not in current:
+            problems.append(f"{name}: series {series} disappeared")
+        elif series not in baseline:
+            problems.append(f"{name}: new series {series} "
+                            f"(refresh the baseline)")
+        elif baseline[series] != current[series]:
+            problems.append(
+                f"{name}: op-count drift in {series}: "
+                f"baseline {json.dumps(baseline[series], sort_keys=True)} "
+                f"!= current {json.dumps(current[series], sort_keys=True)}")
+    return problems
+
+
+def check(baseline_doc: dict, docs: list[dict], tolerance: float) -> int:
+    benches = baseline_doc.get("benches", {})
+    problems: list[str] = []
+    for doc in docs:
+        name = doc["run"]["bench"]
+        entry = benches.get(name)
+        if entry is None:
+            problems.append(f"{name}: not in baseline "
+                            f"(run with --update to add it)")
+            continue
+
+        if entry.get("check_op_counts", True):
+            problems += diff_op_counts(name, entry.get("metrics", {}),
+                                       doc.get("metrics", {}))
+
+        base_ms = entry.get("wall_clock_ms")
+        cur_ms = doc.get("timing", {}).get("wall_clock_ms")
+        if base_ms is None or cur_ms is None:
+            print(f"{name}: no wall-clock data (deterministic-mode file "
+                  f"or fresh baseline); skipping timing check")
+        elif cur_ms > base_ms * tolerance:
+            problems.append(
+                f"{name}: wall-clock regression: {cur_ms} ms > "
+                f"{base_ms} ms baseline * {tolerance:.2f} tolerance")
+        elif base_ms > 0 and cur_ms * tolerance < base_ms:
+            print(f"{name}: faster than baseline ({cur_ms} ms vs "
+                  f"{base_ms} ms) -- consider refreshing with --update")
+        else:
+            print(f"{name}: wall clock {cur_ms} ms within "
+                  f"{tolerance:.2f}x of baseline {base_ms} ms")
+
+    for p in problems:
+        print(f"FAIL {p}", file=sys.stderr)
+    if not problems:
+        print(f"perf gate ok: {len(docs)} bench(es) checked")
+    return 1 if problems else 0
+
+
+def update(baseline_path: str, old: dict, docs: list[dict],
+           tolerance: float) -> int:
+    benches = dict(old.get("benches", {}))
+    for doc in docs:
+        name = doc["run"]["bench"]
+        prev = benches.get(name, {})
+        default_checked = name not in VOLATILE_OP_COUNT_BENCHES
+        entry = {
+            "check_op_counts": prev.get("check_op_counts", default_checked),
+            "config": doc["run"].get("config", {}),
+            "wall_clock_ms": doc.get("timing", {}).get("wall_clock_ms"),
+        }
+        if entry["check_op_counts"]:
+            entry["metrics"] = doc.get("metrics", {})
+        benches[name] = entry
+    out = {
+        "schema": BASELINE_SCHEMA,
+        "tolerance": tolerance,
+        "benches": {k: benches[k] for k in sorted(benches)},
+    }
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"baseline updated: {baseline_path} ({len(docs)} bench(es))")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", required=True,
+                    help="path to bench/baseline.json")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="wall-clock regression factor "
+                         "(default: baseline file's, else "
+                         f"{DEFAULT_TOLERANCE})")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the current files")
+    ap.add_argument("current", nargs="+",
+                    help="metrics JSON files from --metrics-out")
+    args = ap.parse_args()
+
+    docs = [load_metrics_doc(p) for p in args.current]
+
+    if args.update:
+        old = load_json(args.baseline) if os.path.exists(args.baseline) \
+            else {}
+        tol = args.tolerance or old.get("tolerance", DEFAULT_TOLERANCE)
+        return update(args.baseline, old, docs, tol)
+
+    baseline_doc = load_json(args.baseline)
+    if baseline_doc.get("schema") != BASELINE_SCHEMA:
+        fail(f"{args.baseline}: expected schema {BASELINE_SCHEMA!r}, "
+             f"got {baseline_doc.get('schema')!r}")
+    tol = args.tolerance or baseline_doc.get("tolerance",
+                                             DEFAULT_TOLERANCE)
+    return check(baseline_doc, docs, tol)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
