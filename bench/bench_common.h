@@ -37,7 +37,9 @@ namespace detail {
 
 /// State for the atexit metrics emitter (value-copied so it outlives
 /// main's locals).
+// lint:allow(mutable-static) — written once in main before any worker
 inline exp::BenchConfig g_emit_cfg;        // NOLINT
+// lint:allow(mutable-static) — written once in main before any worker
 inline std::string g_bench_name = "bench"; // NOLINT
 
 inline void emit_metrics_at_exit() {
@@ -73,7 +75,7 @@ inline bool match_value_flag(const std::vector<char*>& args, std::size_t i,
     *consumed = 2;
     return true;
   }
-  if (arg.rfind(prefix, 0) == 0) {
+  if (arg.starts_with(prefix)) {
     *value = arg.substr(prefix.size());
     *consumed = 1;
     return true;

@@ -21,6 +21,7 @@ using namespace rtr;
 namespace {
 
 const graph::Graph& topo(const std::string& name) {
+  // lint:allow(mutable-static) — single-threaded bench setup memo
   static std::map<std::string, graph::Graph> cache;
   auto it = cache.find(name);
   if (it == cache.end()) {
@@ -101,7 +102,7 @@ void BM_Phase1Traversal(benchmark::State& state) {
     fs = fail::FailureSet(g, fail::random_circle_area(cfg, rng),
                           fail::LinkCutRule::kEndpointsOnly);
     if (fs.empty()) continue;
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
       if (fs.node_failed(n)) continue;
       const auto obs = fs.observed_failed_links(g, n);
       if (!obs.empty()) {

@@ -25,7 +25,7 @@ bool isolation_feasible(const graph::Graph& g,
 Mrc::Mrc(const graph::Graph& g, const spf::RoutingTable& base, Options opts)
     : g_(&g), base_(&base), opts_(opts) {
   RTR_EXPECT(opts_.num_configs >= 1);
-  const std::size_t n = g.num_nodes();
+  const NodeId n = g.node_count();
   isolated_in_.assign(n, kNoConfig);
 
   std::vector<std::vector<char>> isolated(
@@ -78,7 +78,7 @@ Mrc::Mrc(const graph::Graph& g, const spf::RoutingTable& base, Options opts)
     Config& cfg = configs_.emplace_back();
     cfg.isolated = isolated[c];
     for (NodeId v = 0; v < n; ++v) cfg.weighted.add_node(g.position(v));
-    for (LinkId l = 0; l < g.num_links(); ++l) {
+    for (LinkId l = 0; l < g.link_count(); ++l) {
       const graph::Link& e = g.link(l);
       Cost w = 1.0;
       for (NodeId end : {e.u, e.v}) {
@@ -104,7 +104,7 @@ LinkId Mrc::restricted_link_of(NodeId v) const {
 std::vector<NodeId> Mrc::isolated_nodes(std::size_t c) const {
   RTR_EXPECT(c < configs_.size());
   std::vector<NodeId> out;
-  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+  for (NodeId v = 0; v < g_->node_count(); ++v) {
     if (configs_[c].isolated[v]) out.push_back(v);
   }
   return out;

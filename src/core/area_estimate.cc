@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/expect.h"
 #include "geom/convex_hull.h"
 
 namespace rtr::core {
@@ -10,6 +11,7 @@ namespace rtr::core {
 AreaEstimate estimate_failure_area(const graph::Graph& g,
                                    const fail::FailureSet& failure,
                                    const Phase1Result& phase1) {
+  RTR_EXPECT(phase1.initiator < g.num_nodes());
   AreaEstimate est;
   const auto add_link_midpoint = [&](LinkId l) {
     const geom::Segment s = g.segment(l);
@@ -38,6 +40,7 @@ AreaEstimate estimate_failure_area(const graph::Graph& g,
   return est;
 }
 
+// lint:allow(missing-expect) — pure total function, no precondition to state
 double evidence_coverage(const AreaEstimate& estimate,
                          const fail::FailureArea& area) {
   if (estimate.evidence.empty()) return 0.0;

@@ -17,6 +17,7 @@ DistributedRtr::DistributedRtr(const graph::Graph& g,
       rule_{opts.clockwise} {}
 
 bool DistributedRtr::phase1_complete(NodeId n) const {
+  RTR_EXPECT(n < g_->num_nodes());
   const auto it = states_.find(n);
   return it != states_.end() && it->second.complete;
 }
@@ -30,6 +31,7 @@ const net::RtrHeader& DistributedRtr::collected(NodeId n) const {
 
 net::RouterApp::Decision DistributedRtr::on_packet(NodeId at, NodeId prev,
                                                    net::DataPacket& p) {
+  RTR_EXPECT(at < g_->num_nodes());
   // Hop cap mirrors the centralized engine's Theorem-1 safety net.
   if (p.trace.size() > opts_.max_hops_factor * g_->num_links() + 32) {
     return Decision::drop();

@@ -1,11 +1,13 @@
 #include "core/forwarding_rule.h"
 
+#include "common/expect.h"
 #include "geom/angle.h"
 
 namespace rtr::core {
 
 bool link_excluded(const graph::CrossingIndex& crossings,
                    const net::RtrHeader& header, LinkId l) {
+  RTR_EXPECT(l != kNoLink);
   for (LinkId c : header.cross_links) {
     if (crossings.cross(l, c)) return true;
   }
@@ -17,6 +19,7 @@ Selection select_next_hop(const graph::Graph& g,
                           const fail::FailureSet& failure,
                           const net::RtrHeader& header, NodeId at,
                           NodeId ref, const RuleOptions& opts) {
+  RTR_EXPECT(at < g.num_nodes() && ref < g.num_nodes());
   const geom::Point origin = g.position(at);
   const geom::Point sweep = g.position(ref) - origin;
   Selection best;
@@ -42,6 +45,7 @@ void seed_constraint1(const graph::Graph& g,
                       const graph::CrossingIndex& crossings,
                       const fail::FailureSet& failure,
                       net::RtrHeader& header, NodeId initiator) {
+  RTR_EXPECT(initiator < g.num_nodes());
   for (const graph::Adjacency& a : g.neighbors(initiator)) {
     if (failure.neighbor_unreachable(a) &&
         !crossings.crossing(a.link).empty()) {
@@ -52,6 +56,7 @@ void seed_constraint1(const graph::Graph& g,
 
 void maybe_record_cross(const graph::CrossingIndex& crossings,
                         net::RtrHeader& header, LinkId chosen) {
+  RTR_EXPECT(chosen != kNoLink);
   for (LinkId l : crossings.crossing(chosen)) {
     if (!link_excluded(crossings, header, l)) {
       header.add_cross(chosen);
@@ -62,6 +67,7 @@ void maybe_record_cross(const graph::CrossingIndex& crossings,
 
 void record_failures(const graph::Graph& g, const fail::FailureSet& failure,
                      net::RtrHeader& header, NodeId at) {
+  RTR_EXPECT(at < g.num_nodes());
   for (const graph::Adjacency& a : g.neighbors(at)) {
     if (a.neighbor == header.rec_init) continue;
     if (failure.neighbor_unreachable(a)) header.add_failed(a.link);

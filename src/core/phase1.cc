@@ -22,6 +22,7 @@ struct Phase1Metrics {
 
   static Phase1Metrics& get() {
     obs::Registry& r = obs::Registry::global();
+    // lint:allow(mutable-static) — references into the sharded obs registry
     static Phase1Metrics m{r.counter("core.phase1.runs"),
                            r.counter("core.phase1.steps"),
                            r.counter("core.phase1.constraint1_seeded"),

@@ -6,6 +6,7 @@
 
 namespace rtr::core {
 
+// lint:allow(missing-expect) — total switch over the Outcome enum
 const char* to_string(Outcome o) {
   switch (o) {
     case Outcome::kRecovered:
@@ -60,6 +61,7 @@ RtrRecovery::InitiatorState& RtrRecovery::state_for(NodeId initiator,
 }
 
 const Phase1Result& RtrRecovery::phase1_for(NodeId initiator) {
+  RTR_EXPECT(initiator < g_->num_nodes());
   return state_for(initiator).phase1;
 }
 
@@ -107,7 +109,7 @@ RecoveryResult RtrRecovery::recover_in_view(
         if (opts_.use_incremental_spt) {
           spf::IncrementalSpt inc(*g_, initiator);
           std::vector<LinkId> removed;
-          for (LinkId l = 0; l < g_->num_links(); ++l) {
+          for (LinkId l = 0; l < g_->link_count(); ++l) {
             if (st.view_link_failed[l]) removed.push_back(l);
           }
           inc.remove_links(removed);
@@ -124,7 +126,7 @@ RecoveryResult RtrRecovery::recover_in_view(
     // Multi-area leg: the view also excludes the failures carried in
     // the packet header from earlier legs; not cached.
     std::vector<char> combined = st.view_link_failed;
-    for (LinkId l = 0; l < g_->num_links(); ++l) {
+    for (LinkId l = 0; l < g_->link_count(); ++l) {
       if ((*extra_failed)[l]) combined[l] = 1;
     }
     path = spf::shortest_path(*g_, initiator, dest, {nullptr, &combined});
@@ -171,7 +173,7 @@ RtrRecovery::MultiResult RtrRecovery::recover_multi(NodeId initiator,
     if (r.outcome != Outcome::kDroppedOnPath) return mr;
     // The packet header carries everything this initiator knew
     // (Section III-E): the next initiator removes those links too.
-    for (LinkId l = 0; l < g_->num_links(); ++l) {
+    for (LinkId l = 0; l < g_->link_count(); ++l) {
       if (st.view_link_failed[l]) carried[l] = 1;
     }
     dead_hint = r.computed_path.links[r.delivered_hops];

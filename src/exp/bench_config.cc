@@ -9,7 +9,7 @@ namespace rtr::exp {
 
 namespace {
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(v, &end, 10);
@@ -24,12 +24,15 @@ BenchConfig BenchConfig::from_env() {
       static_cast<std::size_t>(env_u64("RTR_FIG11_AREAS", c.fig11_areas));
   c.seed = env_u64("RTR_SEED", c.seed);
   c.threads = static_cast<std::size_t>(env_u64("RTR_THREADS", c.threads));
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): env read before workers start
   const char* rule = std::getenv("RTR_CUT_RULE");
   if (rule != nullptr && std::string(rule) == "geometric") {
     c.cut_rule = fail::LinkCutRule::kGeometric;
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): env read before workers start
   const char* metrics = std::getenv("RTR_METRICS_OUT");
   if (metrics != nullptr && *metrics != '\0') c.metrics_out = metrics;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): env read before workers start
   const char* det = std::getenv("RTR_METRICS_DETERMINISTIC");
   if (det != nullptr && std::string(det) == "1") {
     c.metrics_deterministic = true;

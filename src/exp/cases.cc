@@ -18,7 +18,7 @@ Scenario extract_scenario(const TopologyContext& ctx,
   // Connectivity of the damaged graph classifies destinations.
   const graph::Components comp = graph::components(g, fs.masks());
 
-  const std::size_t n = g.num_nodes();
+  const NodeId n = g.node_count();
   std::unordered_set<std::uint64_t> seen;  // dedupe (initiator, dest)
   for (NodeId s = 0; s < n; ++s) {
     if (fs.node_failed(s)) continue;  // "the source fails": ignored

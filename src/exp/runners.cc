@@ -25,6 +25,7 @@ struct RunnerMetrics {
 
   static RunnerMetrics& get() {
     obs::Registry& r = obs::Registry::global();
+    // lint:allow(mutable-static) — references into the sharded obs registry
     static RunnerMetrics m{
         r.counter("exp.scenarios_completed"),
         r.counter("exp.cases.recoverable"),
@@ -40,6 +41,7 @@ struct RunnerMetrics {
 /// -- the queue wait of the dynamic load balancer in common/parallel.h.
 void record_queue_wait(RunnerMetrics& m,
                        std::chrono::steady_clock::time_point fan_out_start) {
+  // lint:allow(wall-clock) — feeds only the volatile queue-wait series
   const auto waited = std::chrono::steady_clock::now() - fan_out_start;
   const auto ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count();
@@ -225,6 +227,7 @@ void add_into(std::vector<double>& acc, const std::vector<double>& v) {
 RecoverableResults run_recoverable(const TopologyContext& ctx,
                                    const std::vector<Scenario>& scenarios,
                                    const RunOptions& opts) {
+  RTR_EXPECT_MSG(ctx.g.num_nodes() > 0, "empty topology context");
   RunnerMetrics& metrics = RunnerMetrics::get();
   obs::ScopedTimer phase_timer(metrics.recoverable_phase_ns);
   RecoverableResults out;
@@ -241,6 +244,7 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
   }
 
   std::vector<RecoverablePartial> partials(scenarios.size());
+  // lint:allow(wall-clock) — anchors the volatile queue-wait series only
   const auto fan_out_start = std::chrono::steady_clock::now();
   common::parallel_for(scenarios.size(), opts.threads, [&](std::size_t i) {
     record_queue_wait(metrics, fan_out_start);
@@ -286,12 +290,14 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
 IrrecoverableResults run_irrecoverable(const TopologyContext& ctx,
                                        const std::vector<Scenario>& scenarios,
                                        const RunOptions& opts) {
+  RTR_EXPECT_MSG(ctx.g.num_nodes() > 0, "empty topology context");
   RunnerMetrics& metrics = RunnerMetrics::get();
   obs::ScopedTimer phase_timer(metrics.irrecoverable_phase_ns);
   IrrecoverableResults out;
   out.topo = ctx.name;
 
   std::vector<IrrecoverablePartial> partials(scenarios.size());
+  // lint:allow(wall-clock) — anchors the volatile queue-wait series only
   const auto fan_out_start = std::chrono::steady_clock::now();
   common::parallel_for(scenarios.size(), opts.threads, [&](std::size_t i) {
     record_queue_wait(metrics, fan_out_start);
@@ -318,6 +324,7 @@ std::vector<RadiusPoint> radius_sweep(const TopologyContext& ctx,
                                       std::size_t areas_per_radius,
                                       std::uint64_t seed, double extent,
                                       fail::LinkCutRule rule) {
+  RTR_EXPECT_MSG(extent > 0.0, "radius sweep needs a positive extent");
   static obs::Histogram& phase_ns =
       obs::Registry::global().timer("phase.radius_sweep_ns");
   static obs::Counter& areas =

@@ -27,13 +27,13 @@ FailureSet FailureSet::of_nodes(const graph::Graph& g,
 
 void FailureSet::add(const graph::Graph& g, const FailureArea& area,
                      LinkCutRule rule) {
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     if (!node_failed_[n] && area.contains(g.position(n))) {
       node_failed_[n] = 1;
       ++failed_node_count_;
     }
   }
-  for (LinkId l = 0; l < g.num_links(); ++l) {
+  for (LinkId l = 0; l < g.link_count(); ++l) {
     if (link_failed_[l]) continue;
     const graph::Link& e = g.link(l);
     const bool endpoint_dead = node_failed_[e.u] || node_failed_[e.v];

@@ -7,7 +7,7 @@
 namespace rtr::graph {
 
 CrossingIndex::CrossingIndex(const Graph& g) {
-  const std::size_t m = g.num_links();
+  const LinkId m = g.link_count();
   crossing_.resize(m);
   std::vector<geom::Segment> segs;
   segs.reserve(m);

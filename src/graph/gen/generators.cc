@@ -48,8 +48,8 @@ Graph make_random_geometric(std::size_t n, double radius, double extent,
   for (std::size_t i = 0; i < n; ++i) {
     g.add_node({rng.uniform_real(0.0, extent), rng.uniform_real(0.0, extent)});
   }
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v = u + 1; v < n; ++v) {
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v = u + 1; v < g.node_count(); ++v) {
       if (geom::distance(g.position(u), g.position(v)) <= radius) {
         g.add_link(u, v);
       }
@@ -75,8 +75,8 @@ Graph make_waxman(std::size_t n, double alpha, double beta, double extent,
                   Rng& rng) {
   Graph g = make_random_tree(n, extent, rng);
   const double diag = extent * std::numbers::sqrt2;
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v = u + 1; v < n; ++v) {
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v = u + 1; v < g.node_count(); ++v) {
       if (g.find_link(u, v) != kNoLink) continue;
       const double d = geom::distance(g.position(u), g.position(v));
       if (rng.bernoulli(alpha * std::exp(-d / (beta * diag)))) {

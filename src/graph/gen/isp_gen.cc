@@ -40,7 +40,7 @@ Graph make_isp_topology(const IspSpec& spec, const IspGenConfig& cfg) {
   // (degree + 1)^hub_bias, optionally damped by distance.  The mild hub
   // bias yields ISP-like degree skew, and in sparse specs (AS7018) the
   // long tree branches the paper calls out in Section IV-B.
-  for (NodeId i = 1; i < spec.nodes; ++i) {
+  for (NodeId i = 1; i < g.node_count(); ++i) {
     std::vector<double> w(i);
     for (NodeId j = 0; j < i; ++j) {
       w[j] = std::pow(static_cast<double>(g.degree(j)) + 1.0, cfg.hub_bias);

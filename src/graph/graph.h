@@ -52,6 +52,12 @@ class Graph {
   std::size_t num_nodes() const { return coords_.size(); }
   std::size_t num_links() const { return links_.size(); }
 
+  /// num_nodes()/num_links() in id width, for counter loops over ids.
+  /// Ids are dense, so `for (NodeId n = 0; n < g.node_count(); ++n)`
+  /// visits every node without a mixed-width comparison.
+  NodeId node_count() const { return static_cast<NodeId>(coords_.size()); }
+  LinkId link_count() const { return static_cast<LinkId>(links_.size()); }
+
   bool valid_node(NodeId n) const { return n < coords_.size(); }
   bool valid_link(LinkId l) const { return l < links_.size(); }
 

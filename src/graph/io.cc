@@ -8,11 +8,11 @@ namespace rtr::graph {
 void write_graph(std::ostream& os, const Graph& g) {
   os << "# rtr topology: " << g.num_nodes() << " nodes, " << g.num_links()
      << " links\n";
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     const geom::Point p = g.position(n);
     os << "node " << p.x << ' ' << p.y << '\n';
   }
-  for (LinkId l = 0; l < g.num_links(); ++l) {
+  for (LinkId l = 0; l < g.link_count(); ++l) {
     const Link& e = g.link(l);
     os << "link " << e.u << ' ' << e.v << ' ' << e.cost_uv;
     if (e.cost_vu != e.cost_uv) os << ' ' << e.cost_vu;

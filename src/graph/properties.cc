@@ -33,7 +33,7 @@ bool reachable(const Graph& g, NodeId src, NodeId dst, const Masks& masks) {
 }
 
 bool connected(const Graph& g, const Masks& masks) {
-  const std::size_t n = g.num_nodes();
+  const NodeId n = g.node_count();
   NodeId start = kNoNode;
   std::size_t alive = 0;
   for (NodeId i = 0; i < n; ++i) {
@@ -52,7 +52,7 @@ bool connected(const Graph& g, const Masks& masks) {
 Components components(const Graph& g, const Masks& masks) {
   Components out;
   out.id.assign(g.num_nodes(), kNoNode);
-  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+  for (NodeId i = 0; i < g.node_count(); ++i) {
     if (!masks.node_ok(i) || out.id[i] != kNoNode) continue;
     const NodeId comp = static_cast<NodeId>(out.count++);
     std::queue<NodeId> q;
@@ -76,7 +76,7 @@ Components components(const Graph& g, const Masks& masks) {
 
 DegreeStats degree_stats(const Graph& g) {
   DegreeStats s;
-  const std::size_t n = g.num_nodes();
+  const NodeId n = g.node_count();
   if (n == 0) return s;
   s.min_degree = g.degree(0);
   for (NodeId i = 0; i < n; ++i) {

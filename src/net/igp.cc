@@ -28,7 +28,7 @@ ConvergenceTimeline igp_convergence(const graph::Graph& g,
   };
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
   out.detection_ms = kInfCost;
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     if (failure.node_failed(n)) continue;
     if (failure.observed_failed_links(g, n).empty()) continue;
     out.detection_ms = timers.detection_ms;
@@ -58,7 +58,7 @@ ConvergenceTimeline igp_convergence(const graph::Graph& g,
 
   // Each reached router recomputes and installs.
   out.convergence_ms = 0.0;
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     if (failure.node_failed(n) || update_at[n] == kInfCost) continue;
     out.converged_at_ms[n] =
         update_at[n] + timers.spf_ms + timers.fib_update_ms;

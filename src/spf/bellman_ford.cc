@@ -15,7 +15,7 @@ BellmanFordResult bellman_ford(const graph::Graph& g, NodeId source,
   // Each undirected link is two directed edges with their own costs.
   const auto relax_all = [&]() {
     bool changed = false;
-    for (LinkId l = 0; l < g.num_links(); ++l) {
+    for (LinkId l = 0; l < g.link_count(); ++l) {
       if (!masks.link_ok(l)) continue;
       const graph::Link& e = g.link(l);
       if (!masks.node_ok(e.u) || !masks.node_ok(e.v)) continue;

@@ -49,11 +49,11 @@ void IncrementalSpt::remove_links(const std::vector<LinkId>& links) {
   }
   // Nodes whose tree edge vanished seed the affected region.
   std::vector<NodeId> seeds;
-  for (NodeId n = 0; n < g_->num_nodes(); ++n) {
+  for (NodeId n = 0; n < g_->node_count(); ++n) {
     const LinkId pl = spt_.parent_link[n];
     if (pl != kNoLink && link_removed_[pl]) seeds.push_back(n);
   }
-  repair(std::move(seeds));
+  repair(seeds);
   count_update(touched_);
 }
 
@@ -108,7 +108,7 @@ void IncrementalSpt::restore_link(LinkId l) {
   count_update(touched_);
 }
 
-void IncrementalSpt::repair(std::vector<NodeId> affected) {
+void IncrementalSpt::repair(const std::vector<NodeId>& affected) {
   // 1. Grow the affected region: the whole subtree below each seed.
   std::vector<char> is_affected(g_->num_nodes(), 0);
   std::queue<NodeId> frontier;
@@ -120,7 +120,7 @@ void IncrementalSpt::repair(std::vector<NodeId> affected) {
   }
   // Children lookup: parent pointers are towards the root, so scan once.
   std::vector<std::vector<NodeId>> children(g_->num_nodes());
-  for (NodeId n = 0; n < g_->num_nodes(); ++n) {
+  for (NodeId n = 0; n < g_->node_count(); ++n) {
     if (spt_.parent[n] != kNoNode) children[spt_.parent[n]].push_back(n);
   }
   std::vector<NodeId> region;

@@ -54,7 +54,7 @@ class IncrementalSpt {
   bool node_removed(NodeId n) const { return node_removed_[n] != 0; }
 
  private:
-  void repair(std::vector<NodeId> affected);
+  void repair(const std::vector<NodeId>& affected);
   bool usable(LinkId l, NodeId via_node) const;
 
   const graph::Graph* g_;

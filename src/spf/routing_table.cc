@@ -6,16 +6,18 @@ namespace rtr::spf {
 
 RoutingTable::RoutingTable(const graph::Graph& g, Metric metric)
     : g_(&g), metric_(metric) {
+  // n stays std::size_t: the n * n table sizes must multiply in full
+  // width; the id loops below bound on node_count() instead.
   const std::size_t n = g.num_nodes();
   next_hop_.assign(n * n, kNoNode);
   next_link_.assign(n * n, kNoLink);
   dist_.assign(n * n, kInfCost);
-  for (NodeId t = 0; t < n; ++t) {
+  for (NodeId t = 0; t < g.node_count(); ++t) {
     // dist_t[u]: cost of the best u -> t path.
     const SptResult to_t = metric == Metric::kHopCount
                                ? bfs_from(g, t)
                                : dijkstra_to(g, t);
-    for (NodeId u = 0; u < n; ++u) {
+    for (NodeId u = 0; u < g.node_count(); ++u) {
       dist_[index(u, t)] = to_t.dist[u];
       if (u == t || !to_t.reachable(u)) continue;
       // The next hop minimises cost(u -> v) + dist_t[v]; ties resolve to

@@ -22,7 +22,7 @@ SvgExporter::SvgExporter(const graph::Graph& g, Style style)
     : g_(&g), style_(style) {
   RTR_EXPECT_MSG(g.num_nodes() > 0, "cannot render an empty graph");
   lo_ = hi_ = g.position(0);
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     const geom::Point p = g.position(n);
     lo_.x = std::min(lo_.x, p.x);
     lo_.y = std::min(lo_.y, p.y);
@@ -109,7 +109,7 @@ void SvgExporter::write(std::ostream& os) const {
      << "'>\n<rect width='100%' height='100%' fill='white'/>\n";
 
   // Links (failed ones red and dashed).
-  for (LinkId l = 0; l < g_->num_links(); ++l) {
+  for (LinkId l = 0; l < g_->link_count(); ++l) {
     const graph::Link& e = g_->link(l);
     const geom::Point a = map(g_->position(e.u));
     const geom::Point b = map(g_->position(e.v));
@@ -125,7 +125,7 @@ void SvgExporter::write(std::ostream& os) const {
   for (const Overlay& o : overlays_) os << o.svg;
 
   // Nodes (failed ones red).
-  for (NodeId n = 0; n < g_->num_nodes(); ++n) {
+  for (NodeId n = 0; n < g_->node_count(); ++n) {
     const geom::Point p = map(g_->position(n));
     const bool dead = failure_ != nullptr && failure_->node_failed(n);
     os << "<circle cx='" << num(p.x) << "' cy='" << num(p.y) << "' r='"

@@ -115,7 +115,7 @@ TEST(AreaEstimate, RandomAreasAreBracketedByTheBoundingCircle) {
     const fail::CircleArea area = fail::random_circle_area(cfg, rng);
     const fail::FailureSet fs(g, area, fail::LinkCutRule::kGeometric);
     if (fs.num_failed_links() < 4) continue;
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
       if (fs.node_failed(n) || fs.observed_failed_links(g, n).empty()) {
         continue;
       }

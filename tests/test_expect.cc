@@ -1,0 +1,101 @@
+// The RTR_EXPECT contract: a violated precondition surfaces as
+// rtr::ContractViolation (a std::logic_error) whose message pins down
+// the failing expression and site, and the parallel experiment engine
+// hands it to the caller unchanged at any thread count -- so a bad
+// input fails loudly instead of corrupting merged results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "common/expect.h"
+#include "common/parallel.h"
+
+namespace rtr {
+namespace {
+
+int guarded_increment(int x) {
+  RTR_EXPECT(x >= 0);
+  return x + 1;
+}
+
+TEST(Expect, PassingCheckIsInvisible) {
+  EXPECT_EQ(guarded_increment(4), 5);
+  EXPECT_NO_THROW(RTR_EXPECT(2 + 2 == 4));
+  EXPECT_NO_THROW(RTR_EXPECT_MSG(true, "never used"));
+}
+
+TEST(Expect, ViolationThrowsContractViolation) {
+  EXPECT_THROW(guarded_increment(-1), ContractViolation);
+  // ContractViolation is-a logic_error, so generic handlers that know
+  // nothing about this codebase still catch programmer error.
+  try {
+    guarded_increment(-7);
+    FAIL() << "RTR_EXPECT(false) must throw";
+  } catch (const std::logic_error&) {
+  }
+}
+
+TEST(Expect, MessageNamesExpressionSiteAndExplanation) {
+  try {
+    RTR_EXPECT_MSG(1 + 1 == 3, "arithmetic holds");
+    FAIL() << "violated RTR_EXPECT_MSG must throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("contract violated:"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_expect.cc"), std::string::npos) << what;
+    EXPECT_NE(what.find("(arithmetic holds)"), std::string::npos) << what;
+  }
+}
+
+TEST(Expect, BareExpectOmitsTheParenthetical) {
+  try {
+    RTR_EXPECT(guarded_increment(1) == 0);
+    FAIL() << "violated RTR_EXPECT must throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("guarded_increment(1) == 0"), std::string::npos)
+        << what;
+    EXPECT_EQ(what.find(" ("), std::string::npos)
+        << "no message -> no trailing parenthetical: " << what;
+  }
+}
+
+TEST(Expect, PropagatesThroughParallelForAtAnyThreadCount) {
+  for (std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::atomic<int> calls{0};
+    try {
+      common::parallel_for(64, threads, [&](std::size_t i) {
+        calls.fetch_add(1);
+        RTR_EXPECT_MSG(i != 13, "work unit 13 poisoned");
+      });
+      FAIL() << "exception lost at threads=" << threads;
+    } catch (const ContractViolation& e) {
+      EXPECT_NE(std::string(e.what()).find("work unit 13 poisoned"),
+                std::string::npos);
+    }
+    // The engine stopped early instead of grinding through all 64
+    // units, and every started unit ran to completion exactly once.
+    EXPECT_GE(calls.load(), 1);
+    EXPECT_LE(calls.load(), 64);
+  }
+}
+
+TEST(Expect, EngineIsReusableAfterAViolation) {
+  try {
+    common::parallel_for(16, 4, [](std::size_t i) { RTR_EXPECT(i != 3); });
+    FAIL() << "expected a ContractViolation";
+  } catch (const ContractViolation&) {
+  }
+  // All workers joined before the rethrow: a fresh parallel_for on the
+  // same thread runs normally.
+  std::atomic<int> ok{0};
+  common::parallel_for(32, 4, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 32);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -106,10 +106,10 @@ TEST(FailureSet, MasksViewMatches) {
   const CircleArea area(graph::fig1_failure_area());
   const FailureSet fs(g, area);
   const graph::Masks m = fs.masks();
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     EXPECT_EQ(!m.node_ok(n), fs.node_failed(n));
   }
-  for (LinkId l = 0; l < g.num_links(); ++l) {
+  for (LinkId l = 0; l < g.link_count(); ++l) {
     EXPECT_EQ(!m.link_ok(l), fs.link_failed(l));
   }
 }
@@ -161,12 +161,12 @@ TEST(PolygonAreaVsCircle, AgreeOnFailures) {
   const FailureSet a(g, circle);
   const FailureSet b(g, poly);
   // The polygon is inscribed, so anything it fails the circle fails too.
-  for (LinkId l = 0; l < g.num_links(); ++l) {
+  for (LinkId l = 0; l < g.link_count(); ++l) {
     if (b.link_failed(l)) {
       EXPECT_TRUE(a.link_failed(l)) << g.link_name(l);
     }
   }
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     if (b.node_failed(n)) {
       EXPECT_TRUE(a.node_failed(n));
     }

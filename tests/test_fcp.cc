@@ -89,11 +89,11 @@ TEST_P(FcpProperties, DeliversIffReachable) {
     const FailureSet fs(g, area);
     if (fs.empty()) continue;
     const graph::Components comp = graph::components(g, fs.masks());
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
       if (fs.node_failed(n) || fs.observed_failed_links(g, n).empty()) {
         continue;
       }
-      for (NodeId dest = 0; dest < g.num_nodes(); ++dest) {
+      for (NodeId dest = 0; dest < g.node_count(); ++dest) {
         if (dest == n) continue;
         const bool reachable =
             !fs.node_failed(dest) && comp.id[n] == comp.id[dest];
@@ -127,10 +127,10 @@ TEST(Fcp, SingleLinkFailureIsOneCalculation) {
   // and achieves the optimum, like RTR (Theorem 3 parity check).
   const Graph g = graph::make_isp_topology(graph::spec_by_name("AS209"));
   const spf::RoutingTable rt(g);
-  for (LinkId dead = 0; dead < g.num_links(); dead += 7) {
+  for (LinkId dead = 0; dead < g.link_count(); dead += 7) {
     const FailureSet fs = FailureSet::of_links(g, {dead});
     const graph::Link& e = g.link(dead);
-    for (NodeId dest = 0; dest < g.num_nodes(); dest += 11) {
+    for (NodeId dest = 0; dest < g.node_count(); dest += 11) {
       if (dest == e.u || rt.next_link(e.u, dest) != dead) continue;
       const std::vector<char> lm = fs.link_mask();
       const spf::Path truth =
@@ -164,11 +164,11 @@ TEST_P(FcpOriginalProperties, AgreesOnOutcomeAndCostsMore) {
     const CircleArea area = fail::random_circle_area(cfg, rng);
     const FailureSet fs(g, area, fail::LinkCutRule::kEndpointsOnly);
     if (fs.empty()) continue;
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
       if (fs.node_failed(n) || fs.observed_failed_links(g, n).empty()) {
         continue;
       }
-      for (NodeId dest = 0; dest < g.num_nodes(); dest += 3) {
+      for (NodeId dest = 0; dest < g.node_count(); dest += 3) {
         if (dest == n) continue;
         ++checked;
         const FcpResult sr = run_fcp(g, fs, n, dest);

@@ -48,7 +48,7 @@ TEST(Generators, WaxmanConnectedSuperset) {
 TEST(Generators, RandomGeometricLinksWithinRadius) {
   Rng rng(3);
   const Graph g = make_random_geometric(50, 200.0, 1000.0, rng);
-  for (LinkId l = 0; l < g.num_links(); ++l) {
+  for (LinkId l = 0; l < g.link_count(); ++l) {
     const Link& e = g.link(l);
     EXPECT_LE(geom::distance(g.position(e.u), g.position(e.v)), 200.0);
   }
@@ -76,7 +76,7 @@ TEST(IspGen, DeterministicInSeed) {
 
 TEST(IspGen, NodesInsideExtent) {
   const Graph g = make_isp_topology(spec_by_name("AS209"));
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     const geom::Point p = g.position(n);
     EXPECT_GE(p.x, 0.0);
     EXPECT_LE(p.x, 2000.0);

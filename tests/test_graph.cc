@@ -113,7 +113,7 @@ TEST(Crossings, ListsAreSortedAndConsistent) {
   const Graph g = fig1_graph();
   const CrossingIndex idx(g);
   std::size_t pair_count = 0;
-  for (LinkId l = 0; l < g.num_links(); ++l) {
+  for (LinkId l = 0; l < g.link_count(); ++l) {
     const auto& cs = idx.crossing(l);
     EXPECT_TRUE(std::is_sorted(cs.begin(), cs.end()));
     for (LinkId c : cs) {
@@ -187,10 +187,10 @@ TEST(GraphIo, RoundTrip) {
   const Graph h = from_string(to_string(g));
   ASSERT_EQ(h.num_nodes(), g.num_nodes());
   ASSERT_EQ(h.num_links(), g.num_links());
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     EXPECT_EQ(h.position(n), g.position(n));
   }
-  for (LinkId l = 0; l < g.num_links(); ++l) {
+  for (LinkId l = 0; l < g.link_count(); ++l) {
     EXPECT_EQ(h.link(l).u, g.link(l).u);
     EXPECT_EQ(h.link(l).v, g.link(l).v);
     EXPECT_DOUBLE_EQ(h.link(l).cost_uv, g.link(l).cost_uv);

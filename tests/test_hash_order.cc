@@ -1,0 +1,179 @@
+// Hash-order regression coverage.  The engines memoise per-initiator
+// state in std::unordered_map (core/rtr.h states_, spf/spt_cache.h
+// spts_, exp/cases.cc's dedupe set), which is fine for *lookup* but
+// would break the bit-identical-results contract the moment an
+// iteration order leaked into output -- hash order varies across
+// standard libraries and insertion histories.  These tests drive the
+// same API along two different orders (and through hashers salted two
+// different ways) and require identical results, so a future change
+// that starts emitting in hash order fails here before it reaches CI's
+// cross-thread bench smoke.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/rtr.h"
+#include "exp/cases.h"
+#include "exp/context.h"
+#include "failure/scenario.h"
+#include "graph/gen/isp_gen.h"
+#include "graph/paper_topology.h"
+#include "spf/spt_cache.h"
+
+namespace rtr {
+namespace {
+
+using fail::CircleArea;
+using fail::FailureSet;
+using graph::Graph;
+
+struct QueryPair {
+  NodeId initiator = kNoNode;
+  NodeId dest = kNoNode;
+};
+
+/// Every (initiator, dest) pair recover() accepts on this failure: a
+/// live initiator that observed at least one failed link, any other
+/// node as destination.
+std::vector<QueryPair> valid_pairs(const Graph& g, const FailureSet& fs) {
+  std::vector<QueryPair> out;
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    if (fs.node_failed(i) || fs.observed_failed_links(g, i).empty()) {
+      continue;
+    }
+    for (NodeId d = 0; d < g.node_count(); ++d) {
+      if (d != i) out.push_back({i, d});
+    }
+  }
+  return out;
+}
+
+void expect_same_result(const core::RecoveryResult& a,
+                        const core::RecoveryResult& b) {
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.sp_calculations, b.sp_calculations);
+  EXPECT_EQ(a.computed_path.nodes, b.computed_path.nodes);
+  EXPECT_EQ(a.computed_path.links, b.computed_path.links);
+  EXPECT_EQ(a.delivered_hops, b.delivered_hops);
+  EXPECT_EQ(a.source_route_bytes, b.source_route_bytes);
+}
+
+TEST(HashOrder, RtrRecoveryIndependentOfQueryOrder) {
+  Graph g = graph::fig1_graph();
+  FailureSet fs(g, CircleArea(graph::fig1_failure_area()));
+  const graph::CrossingIndex crossings(g);
+  const spf::RoutingTable rt(g);
+  const std::vector<QueryPair> pairs = valid_pairs(g, fs);
+  ASSERT_GT(pairs.size(), 4u);
+
+  // Two independent engines populate their per-initiator memo maps in
+  // opposite orders; every per-pair answer must still agree.
+  core::RtrRecovery forward(g, crossings, rt, fs);
+  core::RtrRecovery backward(g, crossings, rt, fs);
+  std::vector<core::RecoveryResult> fwd;
+  fwd.reserve(pairs.size());
+  for (const QueryPair& p : pairs) {
+    fwd.push_back(forward.recover(p.initiator, p.dest));
+  }
+  std::vector<core::RecoveryResult> bwd(pairs.size());
+  for (std::size_t k = pairs.size(); k-- > 0;) {
+    bwd[k] = backward.recover(pairs[k].initiator, pairs[k].dest);
+  }
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    expect_same_result(fwd[k], bwd[k]);
+  }
+}
+
+TEST(HashOrder, SptCacheIndependentOfQueryOrder) {
+  const Graph g = graph::fig1_graph();
+  FailureSet fs(g, CircleArea(graph::fig1_failure_area()));
+  spf::SptCache ascending(g, fs.masks());
+  spf::SptCache descending(g, fs.masks());
+  const NodeId n = g.node_count();
+  const std::size_t nn = static_cast<std::size_t>(n) * n;
+  std::vector<Cost> da(nn), db(nn);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      da[static_cast<std::size_t>(s) * n + t] = ascending.dist(s, t);
+    }
+  }
+  for (NodeId s = n; s-- > 0;) {
+    for (NodeId t = n; t-- > 0;) {
+      db[static_cast<std::size_t>(s) * n + t] = descending.dist(s, t);
+    }
+  }
+  EXPECT_EQ(da, db);
+  EXPECT_EQ(ascending.trees_computed(), descending.trees_computed());
+}
+
+TEST(HashOrder, ExtractScenarioOutputIsReproducible) {
+  // The case-extraction dedupe set is unordered; the emitted case lists
+  // must come out in (initiator, dest) scan order, i.e. identical on
+  // every call.
+  const exp::TopologyContext ctx =
+      exp::make_context(graph::spec_by_name("AS209"));
+  Rng rng(20120618);
+  const fail::CircleArea area =
+      fail::random_circle_area(fail::ScenarioConfig{}, rng);
+  const exp::Scenario a = exp::extract_scenario(ctx, area);
+  const exp::Scenario b = exp::extract_scenario(ctx, area);
+  ASSERT_EQ(a.recoverable.size(), b.recoverable.size());
+  ASSERT_EQ(a.irrecoverable.size(), b.irrecoverable.size());
+  for (std::size_t k = 0; k < a.recoverable.size(); ++k) {
+    EXPECT_EQ(a.recoverable[k].initiator, b.recoverable[k].initiator);
+    EXPECT_EQ(a.recoverable[k].dest, b.recoverable[k].dest);
+    EXPECT_EQ(a.recoverable[k].dead_link, b.recoverable[k].dead_link);
+  }
+  for (std::size_t k = 0; k < a.irrecoverable.size(); ++k) {
+    EXPECT_EQ(a.irrecoverable[k].initiator, b.irrecoverable[k].initiator);
+    EXPECT_EQ(a.irrecoverable[k].dest, b.irrecoverable[k].dest);
+  }
+}
+
+/// A hasher whose salt stands in for "different standard library /
+/// different insertion history": two salts give two traversal orders
+/// over the same key set.
+struct SaltedHash {
+  std::uint64_t salt = 0;
+  std::size_t operator()(std::uint32_t v) const {
+    std::uint64_t x = v ^ salt;  // splitmix64-style finaliser
+    x ^= x >> 33U;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33U;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33U;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+TEST(HashOrder, SortBeforeEmitNormalisesSaltedSetOrder) {
+  std::vector<std::uint32_t> ids(101);
+  std::iota(ids.begin(), ids.end(), 0U);
+  std::unordered_set<std::uint32_t, SaltedHash> salt_a(0, SaltedHash{1});
+  std::unordered_set<std::uint32_t, SaltedHash> salt_b(
+      0, SaltedHash{0x9e3779b97f4a7c15ULL});
+  for (std::uint32_t v : ids) {
+    salt_a.insert(v);
+    salt_b.insert(v);
+  }
+  // Deliberate hash-order walks (this is what the determinism linter's
+  // unordered-iteration rule exists to catch in engine code).
+  // lint:allow(unordered-iteration) — the test demonstrates the hazard
+  std::vector<std::uint32_t> walk_a(salt_a.begin(), salt_a.end());
+  // lint:allow(unordered-iteration) — the test demonstrates the hazard
+  std::vector<std::uint32_t> walk_b(salt_b.begin(), salt_b.end());
+  // The repo-wide emit discipline -- sort before anything observable --
+  // collapses both walks onto the same sequence.
+  std::sort(walk_a.begin(), walk_a.end());
+  std::sort(walk_b.begin(), walk_b.end());
+  EXPECT_EQ(walk_a, walk_b);
+  EXPECT_EQ(walk_a, ids);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -37,7 +37,7 @@ TEST(Igp, SingleLinkFailureTimeline) {
 
   // Everyone converges; farther routers converge later, bounded by
   // detector time + diameter * flooding delay.
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     EXPECT_LT(t.converged_at_ms[n], kInfCost) << n;
     EXPECT_GE(t.converged_at_ms[n], detector_time);
   }

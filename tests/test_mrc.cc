@@ -28,7 +28,7 @@ TEST(Mrc, EveryNodeIsolatedInAtMostOneConfig) {
   MrcRig rig(graph::make_isp_topology(graph::spec_by_name("AS209")));
   std::size_t unprotected = 0;
   std::vector<std::size_t> per_config(rig.mrc.num_configs(), 0);
-  for (NodeId v = 0; v < rig.g.num_nodes(); ++v) {
+  for (NodeId v = 0; v < rig.g.node_count(); ++v) {
     const std::size_t c = rig.mrc.config_of(v);
     if (c == Mrc::kNoConfig) {
       ++unprotected;
@@ -123,12 +123,12 @@ TEST(Mrc, LargeScaleFailuresOftenDefeatIt) {
     const FailureSet fs(rig.g, fail::random_circle_area(cfg, rng));
     if (fs.empty()) continue;
     const graph::Components comp = graph::components(rig.g, fs.masks());
-    for (NodeId n = 0; n < rig.g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < rig.g.node_count(); ++n) {
       if (fs.node_failed(n) ||
           fs.observed_failed_links(rig.g, n).empty()) {
         continue;
       }
-      for (NodeId t = 0; t < rig.g.num_nodes(); ++t) {
+      for (NodeId t = 0; t < rig.g.node_count(); ++t) {
         if (t == n || fs.node_failed(t) || comp.id[n] != comp.id[t]) {
           continue;
         }
@@ -150,13 +150,13 @@ TEST(Mrc, StretchNeverBelowOptimal) {
   for (int trial = 0; trial < 30; ++trial) {
     const FailureSet fs(rig.g, fail::random_circle_area(cfg, rng));
     if (fs.empty()) continue;
-    for (NodeId n = 0; n < rig.g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < rig.g.node_count(); ++n) {
       if (fs.node_failed(n) ||
           fs.observed_failed_links(rig.g, n).empty()) {
         continue;
       }
       const spf::SptResult truth = spf::bfs_from(rig.g, n, fs.masks());
-      for (NodeId t = 0; t < rig.g.num_nodes(); ++t) {
+      for (NodeId t = 0; t < rig.g.node_count(); ++t) {
         if (t == n) continue;
         const Mrc::Result r = rig.mrc.forward(fs, n, t);
         if (r.delivered) {

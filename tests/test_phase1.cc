@@ -196,7 +196,7 @@ TEST_P(Phase1Properties, AlwaysTerminatesAndCollectsOnlyRealFailures) {
     const CircleArea area = fail::random_circle_area(cfg, rng);
     const FailureSet fs(g, area);
     if (fs.empty()) continue;
-    for (NodeId n = 0; n < g.num_nodes() && initiations < 400; ++n) {
+    for (NodeId n = 0; n < g.node_count() && initiations < 400; ++n) {
       if (fs.node_failed(n)) continue;
       const auto observed = fs.observed_failed_links(g, n);
       if (observed.empty()) continue;
@@ -241,7 +241,7 @@ TEST_P(Phase1Properties, WalkIsContiguous) {
     const CircleArea area = fail::random_circle_area(cfg, rng);
     const FailureSet fs(g, area);
     if (fs.empty()) continue;
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
       if (fs.node_failed(n)) continue;
       const auto observed = fs.observed_failed_links(g, n);
       if (observed.empty()) continue;

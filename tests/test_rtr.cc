@@ -139,7 +139,7 @@ TEST_P(SingleLinkFailure, AlwaysRecoversOptimally) {
   const spf::RoutingTable rt(g);
   // Exhaustive over every link; sample destinations for speed.
   Rng rng(2012);
-  for (LinkId dead = 0; dead < g.num_links(); ++dead) {
+  for (LinkId dead = 0; dead < g.link_count(); ++dead) {
     const FailureSet fs = FailureSet::of_links(g, {dead});
     RtrRecovery rtr(g, idx, rt, fs);
     const graph::Link& e = g.link(dead);
@@ -196,13 +196,13 @@ TEST_P(AreaFailure, DeliveredPathsAreOptimal) {
     const FailureSet fs(g, area);
     if (fs.empty()) continue;
     RtrRecovery rtr(g, idx, rt, fs);
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
       if (fs.node_failed(n) ||
           fs.observed_failed_links(g, n).empty()) {
         continue;
       }
       const spf::SptResult truth = spf::bfs_from(g, n, fs.masks());
-      for (NodeId dest = 0; dest < g.num_nodes(); ++dest) {
+      for (NodeId dest = 0; dest < g.node_count(); ++dest) {
         if (dest == n || rt.distance(n, dest) == kInfCost) continue;
         const RecoveryResult r = rtr.recover(n, dest);
         if (r.outcome == Outcome::kRecovered) {
@@ -246,7 +246,7 @@ TEST(Rtr, IncrementalSptGivesIdenticalOutcomes) {
   incremental.use_incremental_spt = true;
   RtrRecovery a(rig.g, rig.crossings, rig.rt, rig.failure, plain);
   RtrRecovery b(rig.g, rig.crossings, rig.rt, rig.failure, incremental);
-  for (NodeId dest = 0; dest < rig.g.num_nodes(); ++dest) {
+  for (NodeId dest = 0; dest < rig.g.node_count(); ++dest) {
     if (dest == paper_node(6) || dest == paper_node(10)) continue;
     const RecoveryResult ra = a.recover(paper_node(6), dest);
     const RecoveryResult rb = b.recover(paper_node(6), dest);
@@ -272,11 +272,11 @@ TEST(Rtr, MultiAreaRecovery) {
     fs.add(g, fail::random_circle_area(cfg, rng));
     if (fs.empty()) continue;
     RtrRecovery rtr(g, idx, rt, fs);
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
       if (fs.node_failed(n) || fs.observed_failed_links(g, n).empty()) {
         continue;
       }
-      for (NodeId dest = 0; dest < g.num_nodes(); ++dest) {
+      for (NodeId dest = 0; dest < g.node_count(); ++dest) {
         if (dest == n) continue;
         if (fs.node_failed(dest)) continue;
         if (!graph::reachable(g, n, dest, fs.masks())) continue;

@@ -78,10 +78,10 @@ TEST(Dijkstra, AsymmetricCosts) {
 
 TEST(Bfs, MatchesDijkstraOnUnitCosts) {
   const Graph g = graph::fig1_graph();
-  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+  for (NodeId s = 0; s < g.node_count(); ++s) {
     const SptResult b = bfs_from(g, s);
     const SptResult d = dijkstra_from(g, s);
-    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
       EXPECT_DOUBLE_EQ(b.dist[t], d.dist[t]) << s << "->" << t;
     }
   }
@@ -123,8 +123,8 @@ TEST(PathChecks, DetectBrokenPaths) {
 TEST(RoutingTable, NextHopsDecreaseDistance) {
   const Graph g = graph::fig1_graph();
   const RoutingTable rt(g);
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
       if (u == t) {
         EXPECT_EQ(rt.next_hop(u, t), kNoNode);
         continue;
@@ -139,8 +139,8 @@ TEST(RoutingTable, NextHopsDecreaseDistance) {
 TEST(RoutingTable, RouteMatchesShortestDistance) {
   const Graph g = graph::fig1_graph();
   const RoutingTable rt(g);
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
       if (u == t) continue;
       const Path p = rt.route(u, t);
       EXPECT_TRUE(valid_path(g, p));
@@ -208,7 +208,7 @@ TEST_P(IncrementalVsFull, DistancesMatchAfterBatchRemovals) {
       }
       inc.remove_links(batch_links);
       const SptResult full = dijkstra_from(g, root, {nullptr, &removed});
-      for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      for (NodeId n = 0; n < g.node_count(); ++n) {
         ASSERT_DOUBLE_EQ(inc.dist(n), full.dist[n])
             << "root=" << root << " node=" << n << " batch=" << batch;
       }
@@ -231,7 +231,7 @@ TEST_P(IncrementalVsFull, RestoreUndoesRemoval) {
   for (LinkId l : removed) {
     if (inc.link_removed(l)) inc.restore_link(l);
   }
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     EXPECT_DOUBLE_EQ(inc.dist(n), before.dist[n]);
   }
 }
@@ -248,7 +248,7 @@ TEST(Incremental, NodeRemoval) {
   std::vector<char> nm(g.num_nodes(), 0);
   nm[1] = 1;
   const SptResult full = dijkstra_from(g, 0, {&nm, nullptr});
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     EXPECT_DOUBLE_EQ(inc.dist(n), full.dist[n]);
   }
 }

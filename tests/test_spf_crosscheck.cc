@@ -31,8 +31,8 @@ Graph random_weighted_graph(std::size_t n, double extra_frac, Rng& rng) {
   }
   // Re-cost every link with random asymmetric weights in [1, 20].
   Graph weighted;
-  for (NodeId i = 0; i < n; ++i) weighted.add_node(g.position(i));
-  for (LinkId l = 0; l < g.num_links(); ++l) {
+  for (NodeId i = 0; i < g.node_count(); ++i) weighted.add_node(g.position(i));
+  for (LinkId l = 0; l < g.link_count(); ++l) {
     const graph::Link& e = g.link(l);
     weighted.add_link_asym(e.u, e.v, rng.uniform_real(1.0, 20.0),
                            rng.uniform_real(1.0, 20.0));
@@ -50,7 +50,7 @@ TEST_P(SpfCrossCheck, DijkstraMatchesBellmanFord) {
     const SptResult d = dijkstra_from(g, src);
     const BellmanFordResult bf = bellman_ford(g, src);
     EXPECT_FALSE(bf.negative_cycle);
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
       EXPECT_NEAR(d.dist[n], bf.dist[n], 1e-9) << "node " << n;
     }
   }
@@ -73,7 +73,7 @@ TEST_P(SpfCrossCheck, DijkstraMatchesBellmanFordUnderMasks) {
     const graph::Masks masks{&node_mask, &link_mask};
     const SptResult d = dijkstra_from(g, src, masks);
     const BellmanFordResult bf = bellman_ford(g, src, masks);
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
       EXPECT_NEAR(d.dist[n] == kInfCost ? -1.0 : d.dist[n],
                   bf.dist[n] == kInfCost ? -1.0 : bf.dist[n], 1e-9);
     }
@@ -86,8 +86,8 @@ TEST_P(SpfCrossCheck, RoutingTableDistancesMatchBellmanFord) {
   const RoutingTable rt(g, RoutingTable::Metric::kLinkCost);
   // With asymmetric costs the table's u -> t distances are validated
   // against forward Bellman-Ford runs from each u.
-  for (NodeId t = 0; t < g.num_nodes(); ++t) {
-    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+  for (NodeId t = 0; t < g.node_count(); ++t) {
+    for (NodeId u = 0; u < g.node_count(); ++u) {
       if (u == t) continue;
       const Path p = rt.route(u, t);
       ASSERT_FALSE(p.empty());
@@ -119,7 +119,7 @@ TEST_P(SpfCrossCheck, IncrementalMatchesBellmanFordOnWeightedGraphs) {
     inc.remove_links(batch);
     const BellmanFordResult bf =
         bellman_ford(g, root, {nullptr, &removed});
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
       EXPECT_NEAR(inc.dist(n) == kInfCost ? -1.0 : inc.dist(n),
                   bf.dist[n] == kInfCost ? -1.0 : bf.dist[n], 1e-9);
     }
@@ -131,10 +131,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SpfCrossCheck,
 
 TEST(BellmanFord, MatchesOnIspSurrogate) {
   const Graph g = graph::make_isp_topology(graph::spec_by_name("AS1239"));
-  for (NodeId src = 0; src < g.num_nodes(); src += 7) {
+  for (NodeId src = 0; src < g.node_count(); src += 7) {
     const SptResult d = bfs_from(g, src);
     const BellmanFordResult bf = bellman_ford(g, src);
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
       EXPECT_DOUBLE_EQ(d.dist[n], bf.dist[n]);
     }
   }

@@ -1,0 +1,15 @@
+"""Project-specific determinism linter for the RTR reproduction.
+
+Mechanically enforces the repo contract that experiment results and
+rtr.metrics.v1 documents are bit-identical at any thread count: no
+unordered-container iteration into emitted/merged output, no ambient
+randomness or wall-clock reads outside the sanctioned modules, no
+mutable statics outside the sharded obs registry, and RTR_EXPECT
+contracts on every public entry point of the core/exp engines.
+
+See tools/lint/rules.py for the rule catalogue and README.md
+("Static analysis") for rationale and the lint:allow convention.
+"""
+
+from tools.lint.engine import Finding, lint_paths, lint_text  # noqa: F401
+from tools.lint.rules import ALL_RULES, Config  # noqa: F401

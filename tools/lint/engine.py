@@ -1,0 +1,197 @@
+"""Walking, masking and suppression plumbing for the determinism linter.
+
+The engine reads each C++ source file once, produces a *masked* copy
+(comments and string literals blanked out, newlines preserved) so rules
+never match inside prose, and applies every rule from
+tools/lint/rules.py.  Findings are suppressed by an inline annotation on
+the offending line or the line directly above it:
+
+    // lint:allow(<rule-id>) — <non-empty reason>
+
+The reason is mandatory (an em-dash, ``--`` or ``-`` separator is
+accepted); a malformed or reason-free annotation is itself reported as a
+``bad-allow`` finding so every suppression stays a reviewable,
+justified artefact.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+
+# Directories never linted: build trees and the linter's own seeded
+# bad fixtures (which contain deliberate violations).
+SKIPPED_DIR_PARTS = ("build", "build-asan", ".git", "fixtures")
+
+ALLOW_RE = re.compile(
+    r"lint:allow\(([A-Za-z0-9_-]+)\)\s*(?:—|--|-)?\s*(.*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def mask_comments_and_strings(text: str) -> str:
+    """Blanks // and /* */ comments plus "..." / '...' literals.
+
+    The returned string has identical length and newline positions, so
+    offsets and line numbers computed against it map 1:1 onto the
+    original file.
+    """
+    out = list(text)
+    i = 0
+    n = len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out[i] = out[i + 1] = " "
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out[i] = out[i + 1] = " "
+                i += 2
+            elif c == '"':
+                state = "string"
+                out[i] = " "
+                i += 1
+            elif c == "'":
+                state = "char"
+                out[i] = " "
+                i += 1
+            else:
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+            else:
+                out[i] = " "
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out[i] = out[i + 1] = " "
+                i += 2
+            else:
+                if c != "\n":
+                    out[i] = " "
+                i += 1
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and nxt:
+                out[i] = " "
+                if nxt != "\n":
+                    out[i + 1] = " "
+                i += 2
+            elif c == quote:
+                out[i] = " "
+                state = "code"
+                i += 1
+            else:
+                if c != "\n":
+                    out[i] = " "
+                i += 1
+    return "".join(out)
+
+
+def parse_allows(text: str, known_rules: set[str]):
+    """Returns ({line: rule}, [bad-allow findings-as-(line, message)]).
+
+    An allowance on line L suppresses findings on L and L+1, so the
+    annotation can sit on its own line above the code it justifies.
+    """
+    allows: dict[int, set[str]] = {}
+    bad: list[tuple[int, str]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "lint:allow" not in line:
+            continue
+        m = ALLOW_RE.search(line)
+        if not m:
+            bad.append((lineno, "malformed lint:allow annotation "
+                                "(expected lint:allow(<rule>) — <reason>)"))
+            continue
+        rule, reason = m.group(1), m.group(2).strip()
+        if rule not in known_rules:
+            bad.append((lineno, f"lint:allow names unknown rule '{rule}'"))
+            continue
+        if not reason:
+            bad.append((lineno, f"lint:allow({rule}) has no justification "
+                                "— a reason is mandatory"))
+            continue
+        allows.setdefault(lineno, set()).add(rule)
+        allows.setdefault(lineno + 1, set()).add(rule)
+    return allows, bad
+
+
+def line_of_offset(text: str, offset: int) -> int:
+    """1-based line number of a character offset."""
+    return text.count("\n", 0, offset) + 1
+
+
+def lint_text(path: str, text: str, rules, config) -> list[Finding]:
+    """Applies `rules` to one in-memory file; returns kept findings."""
+    masked = mask_comments_and_strings(text)
+    known = {r.rule_id for r in rules}
+    allows, bad = parse_allows(text, known)
+    findings = [Finding(path, line, "bad-allow", msg) for line, msg in bad]
+    for rule in rules:
+        for finding in rule.apply(path, text, masked, config):
+            if finding.rule in allows.get(finding.line, ()):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def iter_source_files(paths):
+    """Yields every .h/.cc under the given files/directories, sorted."""
+    seen = []
+    for p in paths:
+        if os.path.isfile(p):
+            if p.endswith(SOURCE_EXTENSIONS):
+                seen.append(p)
+            continue
+        for root, dirs, files in os.walk(p):
+            dirs[:] = sorted(d for d in dirs if d not in SKIPPED_DIR_PARTS)
+            for f in sorted(files):
+                if f.endswith(SOURCE_EXTENSIONS):
+                    seen.append(os.path.join(root, f))
+    return sorted(set(seen))
+
+
+def lint_paths(paths, rules, config) -> list[Finding]:
+    """Lints every C++ source under `paths`."""
+    findings: list[Finding] = []
+    for path in iter_source_files(paths):
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        findings.extend(lint_text(normalize(path, config), text, rules,
+                                  config))
+    return findings
+
+
+def normalize(path: str, config) -> str:
+    """Repo-relative posix path, so allowlist prefixes are stable."""
+    root = getattr(config, "root", None)
+    if root:
+        try:
+            path = os.path.relpath(path, root)
+        except ValueError:
+            pass
+    return path.replace(os.sep, "/")

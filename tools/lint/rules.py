@@ -1,0 +1,364 @@
+"""Rule catalogue for the determinism linter.
+
+Each rule encodes one clause of the repo's bit-identical-results
+contract (README.md "Static analysis" has the full rationale):
+
+  unordered-iteration  iterating a std::unordered_{map,set} feeds
+                       hash-order — i.e. libc++-vs-libstdc++- and
+                       insertion-order-dependent — sequences into
+                       whatever consumes the loop.  Sort first,
+                       re-container, or justify with lint:allow.
+  banned-random        std::rand / srand / std::random_device draw from
+                       ambient, unseeded state; all randomness must
+                       flow through common/rng.h so a recorded seed
+                       replays the exact experiment.
+  wall-clock           steady/system_clock::now(), time(), clock() and
+                       gettimeofday() differ run to run; wall-clock
+                       reads live only in the obs volatile-timing
+                       block, which is segregated from stable series.
+  mutable-static       a mutable static or inline global is cross-thread
+                       shared state whose merge order the engine cannot
+                       fix; the sharded obs::Registry is the sanctioned
+                       home for such state.  Static *references* (the
+                       `static obs::Counter& c = ...` idiom) are
+                       allowed: bound once, aliasing the registry.
+  missing-expect       public entry points of the recovery engines
+                       (src/core, src/exp/runners.cc) must carry at
+                       least one RTR_EXPECT/RTR_EXPECT_MSG so contract
+                       violations surface as rtr::ContractViolation
+                       instead of silently corrupting merged results.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+
+from tools.lint.engine import Finding, line_of_offset
+
+
+@dataclass
+class Config:
+    """Path policy; defaults describe the real repo layout."""
+
+    root: str | None = None
+    # Modules allowed to read wall clocks / own mutable process state.
+    timing_allowed_prefixes: tuple = ("src/obs/", "src/common/rng.h")
+    mutable_static_allowed_prefixes: tuple = ("src/obs/",)
+    # Files whose public functions must carry RTR_EXPECT contracts.
+    entry_point_dirs: tuple = ("src/core/",)
+    entry_point_files: tuple = ("src/exp/runners.cc",)
+    # Optional override used by the self-tests to point the
+    # missing-expect rule at fixture .cc/.h pairs.
+    header_lookup: dict = field(default_factory=dict)
+
+
+def _path_allowed(path: str, prefixes) -> bool:
+    return any(path.startswith(p) or f"/{p}" in path for p in prefixes)
+
+
+class Rule:
+    rule_id = "abstract"
+    description = ""
+
+    def apply(self, path, raw, masked, config):
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# unordered-iteration
+# ----------------------------------------------------------------------
+
+_UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s*[&*]?"
+    r"\s*(\w+)\s*[;={(),]"
+)
+_RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*([\w.>\-]+)\s*\)")
+_BEGIN_RE = re.compile(r"([\w.>\-]+)\s*\.\s*(?:c?r?begin)\s*\(")
+
+
+def _last_component(expr: str) -> str:
+    return re.split(r"\.|->", expr)[-1]
+
+
+class UnorderedIterationRule(Rule):
+    rule_id = "unordered-iteration"
+    description = ("iteration over a std::unordered_map/set observed "
+                   "in hash order")
+
+    def apply(self, path, raw, masked, config):
+        names = set(_UNORDERED_DECL_RE.findall(masked))
+        if not names:
+            return []
+        findings = []
+        for regex, what in ((_RANGE_FOR_RE, "range-for over"),
+                            (_BEGIN_RE, "iterator walk of")):
+            for m in regex.finditer(masked):
+                name = _last_component(m.group(1))
+                if name not in names:
+                    continue
+                findings.append(Finding(
+                    path, line_of_offset(masked, m.start()), self.rule_id,
+                    f"{what} unordered container '{name}': hash order is "
+                    "not deterministic across libraries or insertion "
+                    "histories; sort into a vector (or re-container) "
+                    "before the sequence can reach merged or emitted "
+                    "output"))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# banned-random
+# ----------------------------------------------------------------------
+
+_BANNED_RANDOM = (
+    (re.compile(r"std::rand\b"), "std::rand()"),
+    (re.compile(r"(?<![\w.:>])rand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+)
+
+
+class BannedRandomRule(Rule):
+    rule_id = "banned-random"
+    description = "ambient randomness outside common/rng.h"
+
+    def apply(self, path, raw, masked, config):
+        if _path_allowed(path, config.timing_allowed_prefixes):
+            return []
+        findings = []
+        for regex, what in _BANNED_RANDOM:
+            for m in regex.finditer(masked):
+                findings.append(Finding(
+                    path, line_of_offset(masked, m.start()), self.rule_id,
+                    f"{what} is unseeded ambient randomness; draw from an "
+                    "explicitly seeded rtr::Rng (common/rng.h) so the "
+                    "recorded seed replays the experiment bit-exactly"))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# wall-clock
+# ----------------------------------------------------------------------
+
+_BANNED_CLOCK = (
+    (re.compile(r"::now\s*\("), "std::chrono::*_clock::now()"),
+    (re.compile(r"(?<![\w.:])time\s*\("), "time()"),
+    (re.compile(r"(?<![\w.:])clock\s*\("), "clock()"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
+)
+
+
+class WallClockRule(Rule):
+    rule_id = "wall-clock"
+    description = "wall-clock read outside the obs volatile-timing block"
+
+    def apply(self, path, raw, masked, config):
+        if _path_allowed(path, config.timing_allowed_prefixes):
+            return []
+        findings = []
+        for regex, what in _BANNED_CLOCK:
+            for m in regex.finditer(masked):
+                findings.append(Finding(
+                    path, line_of_offset(masked, m.start()), self.rule_id,
+                    f"{what} differs between runs; wall-clock reads belong "
+                    "in src/obs (whose timing series are segregated as "
+                    "volatile), never in anything feeding stable output"))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# mutable-static
+# ----------------------------------------------------------------------
+
+_STATIC_RE = re.compile(r"^(\s*)(?:inline\s+)?static\s+(?!const\b|constexpr\b"
+                        r"|_?assert\b)", re.MULTILINE)
+_INLINE_GLOBAL_RE = re.compile(r"^inline\s+(?!const\b|constexpr\b|static\b"
+                               r"|namespace\b)", re.MULTILINE)
+
+
+def _scan_decl_tail(masked: str, start: int):
+    """Classifies the declaration starting after a static/inline keyword.
+
+    Scans to the first of ``( ; = {`` outside template angle brackets.
+    Returns one of 'function' (hit '('), 'reference' ('&' seen first),
+    'variable', or None (ran off the file / unparsable).
+    """
+    depth = 0
+    i = start
+    n = len(masked)
+    saw_ref = False
+    while i < n:
+        c = masked[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            if c == "&":
+                saw_ref = True
+            elif c == "(":
+                return "function"
+            elif c in ";={":
+                return "reference" if saw_ref else "variable"
+        i += 1
+    return None
+
+
+class MutableStaticRule(Rule):
+    rule_id = "mutable-static"
+    description = "mutable static / inline global outside obs::Registry"
+
+    def apply(self, path, raw, masked, config):
+        if _path_allowed(path, config.mutable_static_allowed_prefixes):
+            return []
+        findings = []
+        for regex, kind in ((_STATIC_RE, "static"),
+                            (_INLINE_GLOBAL_RE, "inline global")):
+            for m in regex.finditer(masked):
+                if _scan_decl_tail(masked, m.end()) != "variable":
+                    continue
+                findings.append(Finding(
+                    path, line_of_offset(masked, m.start()), self.rule_id,
+                    f"mutable {kind} variable: shared mutable state with "
+                    "no deterministic merge order; route it through the "
+                    "sharded obs::Registry, make it const/constexpr, or "
+                    "justify with lint:allow"))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# missing-expect
+# ----------------------------------------------------------------------
+
+_ACCESS_RE = re.compile(r"\b(public|private|protected)\s*:")
+_DEF_START_RE = re.compile(r"^[A-Za-z_]")
+_DEF_SKIP_RE = re.compile(
+    r"^(?:namespace|using|template|struct|class|enum|extern|typedef|#|\})")
+
+
+def _is_public_in_header(name: str, header: str) -> bool:
+    """True when `name(` appears in the header outside a private/protected
+    section.  Nearest preceding access specifier wins; none means
+    namespace scope or a struct's default-public section."""
+    for m in re.finditer(r"\b%s\s*\(" % re.escape(name), header):
+        specifiers = list(_ACCESS_RE.finditer(header, 0, m.start()))
+        if not specifiers or specifiers[-1].group(1) == "public":
+            return True
+    return False
+
+
+def _match_brace(masked: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(masked)):
+        if masked[i] == "{":
+            depth += 1
+        elif masked[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(masked) - 1
+
+
+class MissingExpectRule(Rule):
+    rule_id = "missing-expect"
+    description = ("public engine entry point without an RTR_EXPECT "
+                   "contract")
+
+    def _applies(self, path, config) -> bool:
+        if path in config.header_lookup:
+            return True
+        if any(d in path for d in config.entry_point_files):
+            return True
+        return any(path.startswith(d) or f"/{d}" in path
+                   for d in config.entry_point_dirs) and path.endswith(".cc")
+
+    def _header_text(self, path, config) -> str:
+        if path in config.header_lookup:
+            header_path = config.header_lookup[path]
+        else:
+            header_path = re.sub(r"\.cc$", ".h", path)
+            if config.root:
+                header_path = os.path.join(config.root, header_path)
+        try:
+            with open(header_path, encoding="utf-8",
+                      errors="replace") as fh:
+                return fh.read()
+        except OSError:
+            return ""
+
+    def apply(self, path, raw, masked, config):
+        if not self._applies(path, config):
+            return []
+        header = self._header_text(path, config)
+        if not header:
+            return []
+        findings = []
+        lines = masked.splitlines(keepends=True)
+        offsets = []
+        off = 0
+        for ln in lines:
+            offsets.append(off)
+            off += len(ln)
+        for idx, line in enumerate(lines):
+            if not _DEF_START_RE.match(line) or _DEF_SKIP_RE.match(line):
+                continue
+            # Join lines until the signature closes with '{' (definition)
+            # or ';' (declaration) at paren depth 0.
+            sig_end = None
+            body_open = None
+            depth = 0
+            pos = offsets[idx]
+            while pos < len(masked):
+                c = masked[pos]
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                elif depth == 0 and c == ";":
+                    break
+                elif depth == 0 and c == "{":
+                    sig_end = pos
+                    body_open = pos
+                    break
+                pos += 1
+            if body_open is None:
+                continue
+            signature = masked[offsets[idx]:sig_end]
+            paren = signature.find("(")
+            if paren < 0:
+                continue
+            before = signature[:paren].rstrip()
+            name_m = re.search(r"([\w~]+)$", before)
+            if not name_m:
+                continue
+            name = name_m.group(1)
+            qualifier = re.search(r"(\w+)\s*::\s*[\w~]+$", before)
+            if name.startswith("~") or name.startswith("operator"):
+                continue
+            if qualifier and qualifier.group(1) == name:
+                continue  # constructor
+            if not _is_public_in_header(name, header):
+                continue
+            body = raw[body_open:_match_brace(masked, body_open) + 1]
+            if "RTR_EXPECT" in body:
+                continue
+            findings.append(Finding(
+                path, idx + 1, self.rule_id,
+                f"public entry point '{name}' has no RTR_EXPECT / "
+                "RTR_EXPECT_MSG precondition; engine entry points must "
+                "fail loudly (rtr::ContractViolation) on bad input "
+                "instead of corrupting merged results"))
+        return findings
+
+
+ALL_RULES = (
+    UnorderedIterationRule(),
+    BannedRandomRule(),
+    WallClockRule(),
+    MutableStaticRule(),
+    MissingExpectRule(),
+)
+
+RULE_IDS = tuple(r.rule_id for r in ALL_RULES) + ("bad-allow",)

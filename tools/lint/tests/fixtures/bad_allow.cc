@@ -1,0 +1,10 @@
+// Seeded bad fixture: suppressions that are not justified.
+#include <cstdlib>
+
+int unjustified() {
+  // lint:allow(banned-random)
+  int a = std::rand();
+  // lint:allow(no-such-rule) — typo in the rule id
+  int b = std::rand();
+  return a + b;
+}

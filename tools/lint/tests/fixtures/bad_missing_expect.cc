@@ -1,0 +1,29 @@
+// Seeded bad fixture: public entry points without RTR_EXPECT.
+#include "bad_missing_expect.h"
+
+#define RTR_EXPECT(cond) (void)(cond)
+
+namespace fix {
+
+namespace {
+int local_helper(int v) { return v; }  // not in header: exempt
+}  // namespace
+
+int public_entry(int v) {  // finding
+  return local_helper(v) + 1;
+}
+
+int Engine::run(int v) {  // finding
+  return v * 2;
+}
+
+int Engine::checked(int v) {
+  RTR_EXPECT(v >= 0);
+  return v * 3;
+}
+
+int Engine::helper(int v) {  // private: exempt
+  return v - 1;
+}
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// Paired header for the missing-expect fixtures.
+#pragma once
+
+namespace fix {
+
+int public_entry(int v);
+
+class Engine {
+ public:
+  int run(int v);
+  int checked(int v);
+
+ private:
+  int helper(int v);
+};
+
+}  // namespace fix

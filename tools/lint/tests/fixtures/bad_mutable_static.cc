@@ -1,0 +1,10 @@
+// Seeded bad fixture: mutable process-wide state.
+#include <cstddef>
+#include <string>
+
+inline std::string g_name = "x";  // finding: mutable inline global
+
+std::size_t bump() {
+  static std::size_t calls = 0;  // finding: mutable function-local
+  return ++calls;
+}

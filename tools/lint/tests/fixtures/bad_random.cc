@@ -1,0 +1,9 @@
+// Seeded bad fixture: ambient randomness.
+#include <cstdlib>
+#include <random>
+
+int ambient() {
+  std::random_device rd;                  // finding
+  std::srand(rd());                       // findings (srand + rd above)
+  return std::rand();                     // finding
+}

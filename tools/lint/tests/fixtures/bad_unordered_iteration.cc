@@ -1,0 +1,16 @@
+// Seeded bad fixture: unordered iteration feeding output.
+#include <iostream>
+#include <unordered_map>
+#include <unordered_set>
+
+void emit_counts(const std::unordered_map<int, int>& unused) {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  for (const auto& kv : counts) {  // finding: hash-order output
+    std::cout << kv.first << " " << kv.second << "\n";
+  }
+  std::unordered_set<int> seen;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // finding
+    std::cout << *it;
+  }
+}

@@ -1,0 +1,11 @@
+// Seeded bad fixture: wall-clock reads outside src/obs.
+#include <chrono>
+#include <ctime>
+
+long stamps() {
+  const auto t0 = std::chrono::steady_clock::now();   // finding
+  const std::time_t t1 = time(nullptr);               // finding
+  const long t2 = clock();                            // finding
+  (void)t0;
+  return static_cast<long>(t1) + t2;
+}

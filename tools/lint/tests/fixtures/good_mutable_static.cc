@@ -1,0 +1,19 @@
+// Seeded good fixture: const statics, static references, functions.
+#include <string>
+
+struct Registry {
+  static Registry& global();
+  int& counter(const std::string& name);
+};
+
+inline int pure(int x) { return x + 1; }
+
+int sanctioned() {
+  static const int kBase = 41;
+  static constexpr int kStep = 1;
+  static int& slot = Registry::global().counter("x");  // bound once
+  // lint:allow(mutable-static) — fixture demonstrating justified state
+  static int justified = 0;
+  ++justified;
+  return kBase + kStep + slot + justified;
+}

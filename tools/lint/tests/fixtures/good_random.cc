@@ -1,0 +1,10 @@
+// Seeded good fixture: explicitly seeded engine; look-alike
+// identifiers (operand, brand) must not trip the word-boundary regex.
+#include <random>
+
+int seeded(unsigned long long seed) {
+  std::mt19937_64 engine(seed);
+  int operand = static_cast<int>(engine());
+  int brand(3);  // not rand(
+  return operand + brand;
+}

@@ -1,0 +1,23 @@
+// Seeded good fixture: unordered containers used for membership only,
+// or iterated under a justified allowance.
+#include <algorithm>
+#include <iostream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int lookup_only(const std::unordered_map<int, int>& unused) {
+  std::unordered_set<int> seen;
+  seen.insert(7);
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  // A comment mentioning "for (x : counts)" must not trip the rule.
+  int total = 0;
+  if (seen.count(7) != 0) total += counts.at(1);
+  std::vector<int> keys{3, 1, 2};
+  std::sort(keys.begin(), keys.end());
+  for (int k : keys) total += k;  // sorted vector: fine
+  // lint:allow(unordered-iteration) — summing is order-independent
+  for (const auto& kv : counts) total += kv.second;
+  return total;
+}

@@ -1,0 +1,14 @@
+// Seeded good fixture: durations and look-alikes without clock reads.
+#include <chrono>
+
+long durations(long uptime_ms) {
+  // "time(" inside this comment must not count, nor does uptime_ms(
+  // below read any clock: the boundary regex requires a bare token.
+  const std::chrono::milliseconds d(uptime_ms);
+  std::chrono::steady_clock::time_point unset;  // type name only
+  (void)unset;
+  // lint:allow(wall-clock) — fixture demonstrating a justified read
+  const auto allowed = std::chrono::steady_clock::now();
+  (void)allowed;
+  return d.count();
+}

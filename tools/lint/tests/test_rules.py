@@ -1,0 +1,192 @@
+"""Self-tests for the determinism linter.
+
+Every rule is exercised against a seeded *bad* fixture (must produce
+findings at known lines) and a *good* fixture (must be silent), so the
+linter itself is regression-tested the same way the C++ engine is.
+Runnable with either of:
+
+    python3 -m unittest discover -s tools/lint/tests -t .
+    python3 -m pytest tools/lint/tests
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(_HERE)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from tools.lint.engine import lint_text, mask_comments_and_strings  # noqa: E402
+from tools.lint.rules import ALL_RULES, Config  # noqa: E402
+
+FIXTURES = os.path.join(_HERE, "fixtures")
+
+
+def lint_fixture(name: str, config: Config | None = None):
+    path = os.path.join(FIXTURES, name)
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    return lint_text(name, text, ALL_RULES, config or Config())
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class MaskingTest(unittest.TestCase):
+    def test_comments_and_strings_blanked_newlines_kept(self):
+        text = 'int x; // std::rand()\nconst char* s = "time(";\n/* now() */\n'
+        masked = mask_comments_and_strings(text)
+        self.assertEqual(len(masked), len(text))
+        self.assertEqual(masked.count("\n"), text.count("\n"))
+        self.assertNotIn("rand", masked)
+        self.assertNotIn("time(", masked)
+        self.assertNotIn("now()", masked)
+        self.assertIn("int x;", masked)
+
+    def test_escaped_quote_does_not_derail(self):
+        masked = mask_comments_and_strings('f("a\\"b"); g(h);\n')
+        self.assertIn("g(h);", masked)
+
+
+class UnorderedIterationTest(unittest.TestCase):
+    def test_bad_fixture_flags_range_for_and_iterator_walk(self):
+        findings = lint_fixture("bad_unordered_iteration.cc")
+        self.assertEqual(rules_of(findings),
+                         ["unordered-iteration", "unordered-iteration"])
+        self.assertEqual(sorted(f.line for f in findings), [9, 13])
+
+    def test_good_fixture_is_clean(self):
+        self.assertEqual(lint_fixture("good_unordered_iteration.cc"), [])
+
+
+class BannedRandomTest(unittest.TestCase):
+    def test_bad_fixture(self):
+        findings = lint_fixture("bad_random.cc")
+        self.assertEqual(rules_of(findings),
+                         ["banned-random"] * 3)
+        self.assertEqual(sorted(f.line for f in findings), [6, 7, 8])
+
+    def test_good_fixture_is_clean(self):
+        self.assertEqual(lint_fixture("good_random.cc"), [])
+
+    def test_allowed_path_is_exempt(self):
+        findings = lint_fixture("bad_random.cc")
+        self.assertTrue(findings)
+        path = os.path.join(FIXTURES, "bad_random.cc")
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        self.assertEqual(
+            lint_text("src/common/rng.h", text, ALL_RULES, Config()), [])
+
+
+class WallClockTest(unittest.TestCase):
+    def test_bad_fixture(self):
+        findings = lint_fixture("bad_wall_clock.cc")
+        self.assertEqual(rules_of(findings), ["wall-clock"] * 3)
+        self.assertEqual(sorted(f.line for f in findings), [6, 7, 8])
+
+    def test_good_fixture_is_clean(self):
+        self.assertEqual(lint_fixture("good_wall_clock.cc"), [])
+
+    def test_obs_paths_are_exempt(self):
+        path = os.path.join(FIXTURES, "bad_wall_clock.cc")
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        self.assertEqual(
+            lint_text("src/obs/metrics.h", text, ALL_RULES, Config()), [])
+
+
+class MutableStaticTest(unittest.TestCase):
+    def test_bad_fixture(self):
+        findings = lint_fixture("bad_mutable_static.cc")
+        self.assertEqual(rules_of(findings), ["mutable-static"] * 2)
+        self.assertEqual(sorted(f.line for f in findings), [5, 8])
+
+    def test_good_fixture_is_clean(self):
+        self.assertEqual(lint_fixture("good_mutable_static.cc"), [])
+
+
+class MissingExpectTest(unittest.TestCase):
+    def config(self):
+        return Config(header_lookup={
+            "bad_missing_expect.cc":
+                os.path.join(FIXTURES, "bad_missing_expect.h"),
+        })
+
+    def test_bad_fixture_flags_expect_free_public_functions(self):
+        findings = lint_fixture("bad_missing_expect.cc", self.config())
+        self.assertEqual(rules_of(findings), ["missing-expect"] * 2)
+        names = sorted(f.message.split("'")[1] for f in findings)
+        self.assertEqual(names, ["public_entry", "run"])
+
+    def test_private_and_local_helpers_exempt(self):
+        findings = lint_fixture("bad_missing_expect.cc", self.config())
+        for f in findings:
+            self.assertNotIn("helper", f.message)
+            self.assertNotIn("checked", f.message)
+
+
+class AllowAnnotationTest(unittest.TestCase):
+    def test_reason_free_or_unknown_allow_is_a_finding(self):
+        findings = lint_fixture("bad_allow.cc")
+        self.assertEqual(
+            rules_of(findings),
+            ["bad-allow", "bad-allow", "banned-random", "banned-random"])
+
+    def test_allow_suppresses_same_and_next_line(self):
+        text = ("// lint:allow(banned-random) — seeded test vector\n"
+                "int x = std::rand();\n")
+        self.assertEqual(lint_text("a.cc", text, ALL_RULES, Config()), [])
+        inline = "int x = std::rand();  // lint:allow(banned-random) — ok\n"
+        self.assertEqual(lint_text("a.cc", inline, ALL_RULES, Config()), [])
+
+    def test_allow_does_not_leak_past_next_line(self):
+        text = ("// lint:allow(banned-random) — only covers next line\n"
+                "int x = 0;\n"
+                "int y = std::rand();\n")
+        findings = lint_text("a.cc", text, ALL_RULES, Config())
+        self.assertEqual(rules_of(findings), ["banned-random"])
+
+
+class CliTest(unittest.TestCase):
+    """The CLI exits 0 on clean trees and non-zero on each bad fixture."""
+
+    CLI = os.path.join(_REPO_ROOT, "tools", "lint_determinism.py")
+
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, self.CLI, *args],
+            capture_output=True, text=True, cwd=_REPO_ROOT, check=False)
+
+    def test_exits_zero_on_good_fixtures(self):
+        for name in ("good_unordered_iteration.cc", "good_random.cc",
+                     "good_wall_clock.cc", "good_mutable_static.cc"):
+            proc = self.run_cli(os.path.join(FIXTURES, name))
+            self.assertEqual(proc.returncode, 0,
+                             f"{name}: {proc.stdout}{proc.stderr}")
+
+    def test_exits_nonzero_on_each_bad_fixture(self):
+        for name in ("bad_unordered_iteration.cc", "bad_random.cc",
+                     "bad_wall_clock.cc", "bad_mutable_static.cc",
+                     "bad_allow.cc"):
+            proc = self.run_cli(os.path.join(FIXTURES, name))
+            self.assertEqual(proc.returncode, 1,
+                             f"{name}: {proc.stdout}{proc.stderr}")
+            self.assertIn(":", proc.stdout)
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("unordered-iteration", "banned-random", "wall-clock",
+                     "mutable-static", "missing-expect"):
+            self.assertIn(rule, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Determinism linter CLI — mechanical enforcement of the repo's
+bit-identical-results contract.
+
+Usage:
+    python3 tools/lint_determinism.py [PATH ...]
+    python3 tools/lint_determinism.py --list-rules
+
+With no PATHs, lints src/ bench/ tests/ tools/ relative to the repo
+root.  Exits non-zero when any finding survives the lint:allow
+annotations.  Run the self-tests with:
+
+    python3 -m unittest discover -s tools/lint/tests -t .
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+# Allow running as a plain script from any CWD: imports resolve against
+# the repo root (the parent of tools/).
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from tools.lint.engine import lint_paths  # noqa: E402
+from tools.lint.rules import ALL_RULES, Config  # noqa: E402
+
+DEFAULT_PATHS = ("src", "bench", "tests", "tools")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Project determinism linter (see README.md "
+                    "'Static analysis').")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: src bench tests tools)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id:22s} {rule.description}")
+        return 0
+
+    paths = args.paths or [os.path.join(_REPO_ROOT, p)
+                           for p in DEFAULT_PATHS]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"lint_determinism: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    config = Config(root=_REPO_ROOT)
+    findings = lint_paths(paths, ALL_RULES, config)
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"\nlint_determinism: {len(findings)} finding(s). "
+              "Fix, or annotate with '// lint:allow(<rule>) — <reason>'.",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,9 +121,9 @@ int cmd_recover(const Args& args) {
   std::size_t rec_cases = 0, irr_cases = 0;
   std::size_t rtr_ok = 0, fcp_ok = 0, mrc_ok = 0;
   bool svg_done = false;
-  for (NodeId init = 0; init < g.num_nodes(); ++init) {
+  for (NodeId init = 0; init < g.node_count(); ++init) {
     if (failure.node_failed(init)) continue;
-    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
       if (t == init || rt.next_link(init, t) == kNoLink) continue;
       const graph::Adjacency a{rt.next_hop(init, t), rt.next_link(init, t)};
       if (!failure.neighbor_unreachable(a)) continue;
