@@ -54,6 +54,9 @@ inline void emit_metrics_at_exit() {
                        : "geometric"},
       {"fig11_areas", std::to_string(cfg.fig11_areas)},
       {"seed", std::to_string(cfg.seed)},
+      {"spf_engine", cfg.spf_engine == spf::SpfEngine::kIncremental
+                         ? "incremental"
+                         : "full"},
   };
   obs::EmitOptions opts;
   opts.include_volatile = !cfg.metrics_deterministic;
@@ -152,6 +155,7 @@ inline exp::BenchConfig config_from(int argc, char** argv) {
 inline exp::RunOptions run_options(const exp::BenchConfig& cfg) {
   exp::RunOptions opts;
   opts.threads = cfg.threads;
+  opts.spf_engine = cfg.spf_engine;
   return opts;
 }
 

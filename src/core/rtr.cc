@@ -1,7 +1,6 @@
 #include "core/rtr.h"
 
 #include "obs/metrics.h"
-#include "spf/incremental.h"
 #include "spf/shortest_path.h"
 
 namespace rtr::core {
@@ -24,12 +23,17 @@ const char* to_string(Outcome o) {
 RtrRecovery::RtrRecovery(const graph::Graph& g,
                          const graph::CrossingIndex& crossings,
                          const spf::RoutingTable& rt,
-                         const fail::FailureSet& failure, RtrOptions opts)
+                         const fail::FailureSet& failure, RtrOptions opts,
+                         const spf::BaseTreeStore* base_trees)
     : g_(&g),
       crossings_(&crossings),
       rt_(&rt),
       failure_(&failure),
-      opts_(opts) {}
+      opts_(opts),
+      base_trees_(base_trees) {
+  RTR_EXPECT(base_trees_ == nullptr ||
+             base_trees_->algorithm() == spf::SpfAlgorithm::kDijkstra);
+}
 
 RtrRecovery::InitiatorState& RtrRecovery::state_for(NodeId initiator,
                                                     LinkId dead_hint) {
@@ -106,16 +110,13 @@ RecoveryResult RtrRecovery::recover_in_view(
         // One SPT serves every destination of this initiator; the
         // paper's metric counts one calculation per destination
         // (Section III-D caches per-destination recovery paths).
-        if (opts_.use_incremental_spt) {
-          spf::IncrementalSpt inc(*g_, initiator);
-          std::vector<LinkId> removed;
-          for (LinkId l = 0; l < g_->link_count(); ++l) {
-            if (st.view_link_failed[l]) removed.push_back(l);
-          }
-          inc.remove_links(removed);
-          st.spt = std::make_unique<spf::SptResult>(inc.result());
+        if (base_trees_ != nullptr) {
+          st.spt = spf::repair_spt(*g_, base_trees_->from(initiator),
+                                   {nullptr, &st.view_link_failed},
+                                   spf::SpfAlgorithm::kDijkstra,
+                                   opts_.batch_repair);
         } else {
-          st.spt = std::make_unique<spf::SptResult>(spf::dijkstra_from(
+          st.spt = std::make_shared<const spf::SptResult>(spf::dijkstra_from(
               *g_, initiator, {nullptr, &st.view_link_failed}));
         }
       }

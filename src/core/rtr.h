@@ -18,6 +18,7 @@
 #include "failure/failure_set.h"
 #include "graph/crossings.h"
 #include "graph/graph.h"
+#include "spf/batch_repair.h"
 #include "spf/path.h"
 #include "spf/routing_table.h"
 #include "spf/shortest_path.h"
@@ -26,10 +27,9 @@ namespace rtr::core {
 
 struct RtrOptions {
   Phase1Options phase1;
-  /// Maintain the initiator's view with the incremental SPT of
-  /// Section III-D instead of a fresh Dijkstra per destination.  Both
-  /// produce identical distances; the flag exists for the A2 ablation.
-  bool use_incremental_spt = false;
+  /// Tuning for the batch-repair engine; only read when the recovery is
+  /// constructed with a BaseTreeStore (incremental phase 2).
+  spf::BatchRepairOptions batch_repair;
 };
 
 /// How one recovery attempt ended.
@@ -64,10 +64,16 @@ struct RecoveryResult {
 
 class RtrRecovery {
  public:
-  /// All arguments are borrowed and must outlive the object.
+  /// All arguments are borrowed and must outlive the object.  When
+  /// `base_trees` is non-null (it must hold kDijkstra trees of the
+  /// undamaged graph), phase 2 derives the initiator's SPT by batch
+  /// repair of the shared base instead of a fresh Dijkstra -- the
+  /// Section III-D incremental recomputation.  Both produce
+  /// bit-identical trees (enforced by tests/prop/).
   RtrRecovery(const graph::Graph& g, const graph::CrossingIndex& crossings,
               const spf::RoutingTable& rt, const fail::FailureSet& failure,
-              RtrOptions opts = {});
+              RtrOptions opts = {},
+              const spf::BaseTreeStore* base_trees = nullptr);
 
   /// Recovers traffic at `initiator` towards `dest`.  Requires a live
   /// initiator whose default next hop towards dest is unreachable.
@@ -95,8 +101,9 @@ class RtrRecovery {
     /// The initiator's post-phase-1 view: links believed failed
     /// (collected + locally observed).
     std::vector<char> view_link_failed;
-    /// Lazily built SPT from the initiator in that view.
-    std::unique_ptr<spf::SptResult> spt;
+    /// Lazily built SPT from the initiator in that view (shared with
+    /// the base store when repair finds nothing to do).
+    std::shared_ptr<const spf::SptResult> spt;
     /// Cached recovery paths per destination (Section III-D: "by
     /// caching the recovery paths, the recovery initiator needs to
     /// calculate the shortest path only once for each destination").
@@ -118,6 +125,7 @@ class RtrRecovery {
   const spf::RoutingTable* rt_;
   const fail::FailureSet* failure_;
   RtrOptions opts_;
+  const spf::BaseTreeStore* base_trees_;
   std::unordered_map<NodeId, InitiatorState> states_;
 };
 

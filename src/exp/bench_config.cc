@@ -30,6 +30,11 @@ BenchConfig BenchConfig::from_env() {
     c.cut_rule = fail::LinkCutRule::kGeometric;
   }
   // NOLINTNEXTLINE(concurrency-mt-unsafe): env read before workers start
+  const char* engine = std::getenv("RTR_SPF_ENGINE");
+  if (engine != nullptr && std::string(engine) == "full") {
+    c.spf_engine = spf::SpfEngine::kFull;
+  }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): env read before workers start
   const char* metrics = std::getenv("RTR_METRICS_OUT");
   if (metrics != nullptr && *metrics != '\0') c.metrics_out = metrics;
   // NOLINTNEXTLINE(concurrency-mt-unsafe): env read before workers start
@@ -46,6 +51,8 @@ std::string BenchConfig::describe() const {
      << " seed=" << seed << " cut-rule="
      << (cut_rule == fail::LinkCutRule::kEndpointsOnly ? "endpoint"
                                                        : "geometric")
+     << " spf-engine="
+     << (spf_engine == spf::SpfEngine::kIncremental ? "incremental" : "full")
      << " threads=";
   if (threads == 0) {
     os << "hw(" << common::hardware_thread_count() << ")";

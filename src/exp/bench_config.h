@@ -7,6 +7,10 @@
 //   RTR_SEED         master seed (default 20120618)
 //   RTR_CUT_RULE     "endpoint" (default; matches the paper's simulated
 //                    data) or "geometric" (the stated Section II-A model)
+//   RTR_SPF_ENGINE   "incremental" (default; batch-repair shared base
+//                    SPTs per failure set) or "full" (recompute per
+//                    (source, failure set)).  Results are bit-identical
+//                    either way; only the spf.* op counters move.
 //   RTR_THREADS      worker threads for the scenario fan-out (default 0 =
 //                    all hardware threads; 1 = serial).  Results are
 //                    bit-identical for every value; see exp::RunOptions.
@@ -27,6 +31,7 @@
 #include <string>
 
 #include "failure/failure_set.h"
+#include "spf/batch_repair.h"
 
 namespace rtr::exp {
 
@@ -35,6 +40,8 @@ struct BenchConfig {
   std::size_t fig11_areas = 1000;
   std::uint64_t seed = 20120618;
   fail::LinkCutRule cut_rule = fail::LinkCutRule::kEndpointsOnly;
+  /// Scenario-evaluation SPF engine (RTR_SPF_ENGINE).
+  spf::SpfEngine spf_engine = spf::SpfEngine::kIncremental;
   /// Worker threads for the experiment engine (0 = hardware threads).
   std::size_t threads = 0;
   /// Destination of the metrics JSON document ("" = do not emit).

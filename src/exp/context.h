@@ -1,6 +1,7 @@
 // Per-topology immutable context shared by every experiment: the graph,
-// its crossing index (Section III-C precomputation) and the failure-free
-// hop-count routing tables (Section IV-A).
+// its crossing index (Section III-C precomputation), the failure-free
+// hop-count routing tables (Section IV-A), and the per-source base SPTs
+// the incremental scenario engine repairs from (spf/batch_repair.h).
 #pragma once
 
 #include <string>
@@ -8,6 +9,7 @@
 #include "graph/crossings.h"
 #include "graph/gen/isp_gen.h"
 #include "graph/graph.h"
+#include "spf/batch_repair.h"
 #include "spf/routing_table.h"
 
 namespace rtr::exp {
@@ -17,12 +19,21 @@ struct TopologyContext {
   graph::Graph g;
   graph::CrossingIndex crossings;
   spf::RoutingTable rt;
+  /// Undamaged-graph base trees shared by every scenario work unit
+  /// (compute-once, thread-safe; trees appear lazily on first use, so
+  /// the full-recompute engine pays nothing for them).  spf_base feeds
+  /// RTR phase 2 (link costs), truth_base the ground-truth hop-count
+  /// distances.
+  spf::BaseTreeStore spf_base;
+  spf::BaseTreeStore truth_base;
 
   TopologyContext(std::string topo_name, graph::Graph graph)
       : name(std::move(topo_name)),
         g(std::move(graph)),
         crossings(g),
-        rt(g, spf::RoutingTable::Metric::kHopCount) {}
+        rt(g, spf::RoutingTable::Metric::kHopCount),
+        spf_base(g, spf::SpfAlgorithm::kDijkstra),
+        truth_base(g, spf::SpfAlgorithm::kBfsHopCount) {}
 
   // rt borrows g: moving the context would leave rt pointing at the
   // moved-from graph.  Contexts are created in place (guaranteed copy

@@ -99,10 +99,19 @@ RecoverablePartial run_scenario_recoverable(const TopologyContext& ctx,
   out.fcp_bytes_timeline.assign(opts.timeline_ms, 0.0);
   const double per_hop = opts.delay.per_hop_ms();
 
-  core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure, opts.rtr);
+  const bool incremental = opts.spf_engine == spf::SpfEngine::kIncremental;
+  core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure, opts.rtr,
+                        incremental ? &ctx.spf_base : nullptr);
   // Ground-truth distances in the damaged graph; private to this work
-  // unit (SptCache is not thread-safe by design).
-  spf::SptCache truth(ctx.g, sc.failure.masks());
+  // unit (SptCache is not thread-safe by design), repairing from the
+  // shared base trees when the incremental engine is selected.
+  spf::SptCache::Options cache_opts;
+  cache_opts.max_entries = opts.spt_cache_entries;
+  cache_opts.engine = opts.spf_engine;
+  cache_opts.base = incremental ? &ctx.truth_base : nullptr;
+  cache_opts.batch_repair = opts.batch_repair;
+  spf::SptCache truth(ctx.g, sc.failure.masks(),
+                      spf::SptCache::Algorithm::kBfsHopCount, cache_opts);
   for (const TestCase& tc : sc.recoverable) {
     ++out.cases;
     const double true_dist = truth.dist(tc.initiator, tc.dest);
@@ -178,7 +187,10 @@ IrrecoverablePartial run_scenario_irrecoverable(const TopologyContext& ctx,
                                                 const Scenario& sc,
                                                 const RunOptions& opts) {
   IrrecoverablePartial out;
-  core::RtrRecovery rtr(ctx.g, ctx.crossings, ctx.rt, sc.failure, opts.rtr);
+  core::RtrRecovery rtr(
+      ctx.g, ctx.crossings, ctx.rt, sc.failure, opts.rtr,
+      opts.spf_engine == spf::SpfEngine::kIncremental ? &ctx.spf_base
+                                                      : nullptr);
   for (const TestCase& tc : sc.irrecoverable) {
     ++out.cases;
 

@@ -21,6 +21,20 @@ struct RunOptions {
   std::size_t timeline_ms = 1000;     ///< Fig. 10 horizon (first second)
   net::DelayModel delay;              ///< 1.8 ms per hop (Section IV-B)
   core::RtrOptions rtr;               ///< constraint/SPT knobs (ablations)
+  /// How scenario-evaluation SPTs are derived (ground truth and RTR
+  /// phase 2): kFull recomputes per (source, failure set); kIncremental
+  /// batch-repairs the shared base trees in TopologyContext.  Results
+  /// are bit-identical either way (tests/prop/ enforces it); the knob
+  /// only changes how much work `spf.*` counters record.
+  spf::SpfEngine spf_engine = spf::SpfEngine::kIncremental;
+  /// LRU bound on each work unit's ground-truth SptCache; generous so
+  /// paper-sized sweeps never evict, bounded so arbitrarily large
+  /// scenarios cannot hold every tree alive.  Eviction only changes
+  /// spf.spt_cache.* metrics, never results.
+  std::size_t spt_cache_entries = 4096;
+  /// Tuning for the batch-repair engine (fallback threshold); read by
+  /// the ground-truth cache.  RTR phase 2 reads rtr.batch_repair.
+  spf::BatchRepairOptions batch_repair;
   /// Worker threads for the scenario fan-out: 0 = all hardware threads,
   /// 1 = plain serial loop on the calling thread.  Every Scenario is an
   /// independent work unit whose partial results are merged in

@@ -1,0 +1,248 @@
+#include "spf/batch_repair.h"
+
+#include <queue>
+#include <tuple>
+
+#include "obs/metrics.h"
+
+namespace rtr::spf {
+
+namespace {
+
+/// One repair call finished; which path it took and how many node
+/// distances it re-derived -- the locality the engine banks on, visible
+/// as stable spf.batch_repair.* series in --metrics-out.
+struct RepairMetrics {
+  obs::Counter& shared;
+  obs::Counter& repaired;
+  obs::Counter& fallback;
+  obs::Histogram& touched;
+
+  static RepairMetrics& get() {
+    obs::Registry& r = obs::Registry::global();
+    // lint:allow(mutable-static) — references into the sharded obs registry
+    static RepairMetrics m{r.counter("spf.batch_repair.shared"),
+                           r.counter("spf.batch_repair.repaired"),
+                           r.counter("spf.batch_repair.fallback_full"),
+                           r.histogram("spf.batch_repair.touched_nodes",
+                                       obs::size_bounds())};
+    return m;
+  }
+};
+
+struct HeapEntry {
+  Cost dist;
+  NodeId node;
+  NodeId via;
+  LinkId link;
+  bool operator>(const HeapEntry& o) const {
+    return std::tie(dist, node, via) > std::tie(o.dist, o.node, o.via);
+  }
+};
+
+/// Directed cost of entering `to` over link l from `from` under the
+/// tree's metric (hop count treats every traversal as 1).
+Cost step_cost(const graph::Graph& g, LinkId l, NodeId from,
+               SpfAlgorithm alg) {
+  return alg == SpfAlgorithm::kBfsHopCount ? 1.0 : g.cost_from(l, from);
+}
+
+bool usable(const graph::Masks& masks, LinkId l, NodeId via) {
+  return masks.link_ok(l) && masks.node_ok(via);
+}
+
+}  // namespace
+
+void canonicalize_parents(const graph::Graph& g, SptResult& spt,
+                          const graph::Masks& masks, SpfAlgorithm alg,
+                          const std::vector<NodeId>& nodes) {
+  RTR_EXPECT(g.valid_node(spt.source));
+  const auto canonicalize = [&](NodeId v) {
+    if (v == spt.source) return;
+    if (!spt.reachable(v)) {
+      spt.parent[v] = kNoNode;
+      spt.parent_link[v] = kNoLink;
+      return;
+    }
+    NodeId best = kNoNode;
+    LinkId best_link = kNoLink;
+    for (const graph::Adjacency& a : g.neighbors(v)) {
+      if (!usable(masks, a.link, a.neighbor)) continue;
+      if (!spt.reachable(a.neighbor)) continue;
+      const Cost nd =
+          spt.dist[a.neighbor] + step_cost(g, a.link, a.neighbor, alg);
+      if (nd == spt.dist[v] && a.neighbor < best) {
+        best = a.neighbor;
+        best_link = a.link;
+      }
+    }
+    RTR_EXPECT_MSG(best != kNoNode,
+                   "reachable node has no shortest-path predecessor");
+    spt.parent[v] = best;
+    spt.parent_link[v] = best_link;
+  };
+  if (nodes.empty()) {
+    for (NodeId v = 0; v < g.node_count(); ++v) canonicalize(v);
+  } else {
+    for (NodeId v : nodes) canonicalize(v);
+  }
+}
+
+std::shared_ptr<const SptResult> repair_spt(
+    const graph::Graph& g, std::shared_ptr<const SptResult> base,
+    const graph::Masks& masks, SpfAlgorithm alg,
+    const BatchRepairOptions& opts, BatchRepairStats* stats) {
+  RTR_EXPECT(base != nullptr && g.valid_node(base->source));
+  RTR_EXPECT(base->dist.size() == g.num_nodes());
+  RepairMetrics& metrics = RepairMetrics::get();
+
+  // 1. Seeds: tree nodes the delta detaches.  A masked node loses its
+  // whole subtree; a node whose tree edge (or tree parent) is masked
+  // loses its attachment and must re-anchor.
+  constexpr char kUnknown = 0, kIn = 1, kOut = 2;
+  std::vector<char> status(g.num_nodes(), kUnknown);
+  bool any_seed = false;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!base->reachable(v)) {
+      status[v] = kOut;  // stays unreachable under a removal-only delta
+      continue;
+    }
+    if (!masks.node_ok(v)) {
+      status[v] = kIn;
+      any_seed = true;
+      continue;
+    }
+    const LinkId pl = base->parent_link[v];
+    if (pl == kNoLink) {
+      status[v] = kOut;  // the source anchors the tree
+    } else if (!usable(masks, pl, base->parent[v])) {
+      status[v] = kIn;
+      any_seed = true;
+    }
+  }
+  if (!any_seed) {
+    // Copy-on-write fast path: the failure set does not intersect this
+    // tree, so the shared base IS the damaged-graph tree (removals can
+    // only detach subtrees, and no subtree was detached).
+    metrics.shared.inc();
+    if (stats != nullptr) *stats = {RepairPath::kShared, 0};
+    return base;
+  }
+
+  // 2. Affected region: the subtree closure of the seeds.  A node is
+  // detached iff a seed sits on its parent chain; each walk memoises
+  // the chain it visited, so the whole pass is O(n) amortised.
+  std::vector<NodeId> chain;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    NodeId u = v;
+    while (status[u] == kUnknown) {
+      chain.push_back(u);
+      u = base->parent[u];
+    }
+    const char verdict = status[u];
+    for (NodeId w : chain) status[w] = verdict;
+    chain.clear();
+  }
+  std::vector<NodeId> region;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (status[v] == kIn) region.push_back(v);
+  }
+  metrics.touched.observe(region.size());
+  if (stats != nullptr) *stats = {RepairPath::kRepaired, region.size()};
+
+  // 3. Correctness/perf fallback: a delta touching most of the tree
+  // gains nothing from regional repair -- recompute under the masks.
+  if (static_cast<double>(region.size()) >
+      opts.fallback_fraction * static_cast<double>(g.num_nodes())) {
+    metrics.fallback.inc();
+    if (stats != nullptr) stats->path = RepairPath::kFallback;
+    SptResult full = alg == SpfAlgorithm::kBfsHopCount
+                         ? bfs_from(g, base->source, masks)
+                         : dijkstra_from(g, base->source, masks);
+    if (alg == SpfAlgorithm::kBfsHopCount) {
+      canonicalize_parents(g, full, masks, alg);
+    }
+    return std::make_shared<const SptResult>(std::move(full));
+  }
+  metrics.repaired.inc();
+
+  // 4. Regional repair: reset the region, seed a heap from its intact
+  // boundary (whose distances are final: under a pure-removal delta an
+  // untouched node's distance cannot change), then run Dijkstra
+  // restricted to the region.
+  SptResult r = *base;
+  for (NodeId v : region) {
+    r.dist[v] = kInfCost;
+    r.parent[v] = kNoNode;
+    r.parent_link[v] = kNoLink;
+  }
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (NodeId v : region) {
+    if (!masks.node_ok(v)) continue;
+    for (const graph::Adjacency& a : g.neighbors(v)) {
+      if (status[a.neighbor] == kIn) continue;
+      if (!usable(masks, a.link, a.neighbor)) continue;
+      if (!r.reachable(a.neighbor)) continue;
+      const Cost nd =
+          r.dist[a.neighbor] + step_cost(g, a.link, a.neighbor, alg);
+      heap.push({nd, v, a.neighbor, a.link});
+    }
+  }
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.dist >= r.dist[top.node]) continue;
+    r.dist[top.node] = top.dist;
+    r.parent[top.node] = top.via;
+    r.parent_link[top.node] = top.link;
+    for (const graph::Adjacency& a : g.neighbors(top.node)) {
+      if (status[a.neighbor] != kIn) continue;
+      if (!usable(masks, a.link, a.neighbor)) continue;
+      const Cost nd = top.dist + step_cost(g, a.link, top.node, alg);
+      if (nd < r.dist[a.neighbor]) {
+        heap.push({nd, a.neighbor, top.node, a.link});
+      }
+    }
+  }
+
+  // 5. Re-derive the region's parent pointers under the canonical
+  // tie-break so the repaired tree is bit-identical to a full run.
+  canonicalize_parents(g, r, masks, alg, region);
+  return std::make_shared<const SptResult>(std::move(r));
+}
+
+BaseTreeStore::BaseTreeStore(const graph::Graph& g, SpfAlgorithm alg)
+    : g_(&g), alg_(alg), trees_(g.num_nodes()) {}
+
+std::shared_ptr<const SptResult> BaseTreeStore::from(NodeId source) const {
+  RTR_EXPECT(g_->valid_node(source));
+  static obs::Counter& computed =
+      obs::Registry::global().counter("spf.base_trees.computed");
+  // The mutex is held across the computation on purpose: each tree is
+  // then computed exactly once per process, keeping the spf.*.runs
+  // counters bit-identical at every thread count.
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const SptResult>& slot = trees_[source];
+  if (slot == nullptr) {
+    computed.inc();
+    SptResult r = alg_ == SpfAlgorithm::kBfsHopCount
+                      ? bfs_from(*g_, source)
+                      : dijkstra_from(*g_, source);
+    if (alg_ == SpfAlgorithm::kBfsHopCount) {
+      // bfs_from's discovery-order parents are deterministic but not
+      // canonical; repairs compose only over canonical bases.
+      canonicalize_parents(*g_, r, {}, alg_);
+    }
+    slot = std::make_shared<const SptResult>(std::move(r));
+  }
+  return slot;
+}
+
+std::size_t BaseTreeStore::trees_computed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& t : trees_) n += t != nullptr ? 1 : 0;
+  return n;
+}
+
+}  // namespace rtr::spf

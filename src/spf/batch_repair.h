@@ -1,0 +1,108 @@
+// Multi-link batch SPT repair from shared base trees.
+//
+// Every scenario of the Section IV sweeps differs from the undamaged
+// topology by one failure set, so the scenario engine keeps ONE
+// shortest-path tree per source for the whole topology (BaseTreeStore)
+// and derives each damaged view by applying the failure set as a single
+// delta (repair_spt): the subtrees hanging off failed tree edges are
+// re-derived by a Dijkstra restricted to that region, everything else
+// is reused.  When the delta touches more than a threshold fraction of
+// the nodes the repair falls back to a full recomputation, so the
+// incremental engine is never asymptotically worse than Dijkstra.
+//
+// Determinism contract: the repaired tree is bit-identical -- distances
+// AND parent pointers -- to what the full-recompute engine hands out.
+// Full Dijkstra's tie-break (smaller parent id wins on equal distance)
+// makes its parent pointers a pure function of the distance field:
+// parent[v] is the smallest u with dist[u] + cost(u->v) == dist[v].
+// canonicalize_parents() re-derives exactly that rule over the repaired
+// region, so the two engines agree bit-for-bit and the bench sweeps
+// diff clean between RTR_SPF_ENGINE=full and =incremental.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "graph/properties.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::spf {
+
+/// Metric a tree is built under (mirrors the two full algorithms).
+enum class SpfAlgorithm {
+  kBfsHopCount,  ///< hop-count metric (the paper's evaluation)
+  kDijkstra,     ///< directed link costs
+};
+
+/// Scenario-evaluation engine selector (RunOptions / RTR_SPF_ENGINE).
+enum class SpfEngine {
+  kFull,         ///< full recompute per (source, failure set)
+  kIncremental,  ///< batch repair from shared base trees
+};
+
+struct BatchRepairOptions {
+  /// Fall back to a full recomputation when the affected region exceeds
+  /// this fraction of the nodes; regional repair only pays off while
+  /// the delta is local (Section III-D's incremental recomputation).
+  double fallback_fraction = 0.5;
+};
+
+/// Which path one repair_spt call took (also visible process-wide as
+/// the spf.batch_repair.* counters).
+enum class RepairPath {
+  kShared,    ///< delta missed the tree: base handed out, zero copies
+  kRepaired,  ///< regional repair of the affected subtrees
+  kFallback,  ///< region too large: full recompute under the masks
+};
+
+struct BatchRepairStats {
+  RepairPath path = RepairPath::kShared;
+  std::size_t touched = 0;  ///< nodes re-derived (0 when shared)
+};
+
+/// Rewrites parent/parent_link of every node in `nodes` (all nodes when
+/// empty) to the canonical full-Dijkstra tie-break: the smallest usable
+/// predecessor u with dist[u] + cost(u->v) == dist[v] (cost 1 under
+/// kBfsHopCount).  Distances are read, never written.
+void canonicalize_parents(const graph::Graph& g, SptResult& spt,
+                          const graph::Masks& masks, SpfAlgorithm alg,
+                          const std::vector<NodeId>& nodes = {});
+
+/// Applies `masks` (a whole failure set) as one delta to `base`, the
+/// canonical tree of the UNDAMAGED graph, and returns the tree of the
+/// masked graph.  Copy-on-write: when no masked node or link intersects
+/// the tree the shared base is returned unchanged (no allocation).
+/// `base` must be canonical (BaseTreeStore output, or any dijkstra_from
+/// result) and must have been built without masks.
+std::shared_ptr<const SptResult> repair_spt(
+    const graph::Graph& g, std::shared_ptr<const SptResult> base,
+    const graph::Masks& masks, SpfAlgorithm alg,
+    const BatchRepairOptions& opts = {}, BatchRepairStats* stats = nullptr);
+
+/// Thread-safe, compute-once store of per-source base trees of the
+/// undamaged graph, shared by every scenario work unit of a topology
+/// (unlike SptCache, which stays private per work unit).  Each tree is
+/// computed at most once per process under a mutex, so the spf.*.runs
+/// counters stay bit-identical across thread counts.
+class BaseTreeStore {
+ public:
+  /// g is borrowed and must outlive the store.
+  BaseTreeStore(const graph::Graph& g, SpfAlgorithm alg);
+
+  /// The canonical base tree rooted at `source` (computed on first use).
+  std::shared_ptr<const SptResult> from(NodeId source) const;
+
+  SpfAlgorithm algorithm() const { return alg_; }
+  std::size_t trees_computed() const;
+
+ private:
+  const graph::Graph* g_;
+  SpfAlgorithm alg_;
+  mutable std::mutex mu_;
+  mutable std::vector<std::shared_ptr<const SptResult>> trees_;
+};
+
+}  // namespace rtr::spf

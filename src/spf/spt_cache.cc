@@ -1,25 +1,59 @@
 #include "spf/spt_cache.h"
 
+#include <utility>
+
 #include "obs/metrics.h"
 
 namespace rtr::spf {
 
-const SptResult& SptCache::from(NodeId source) {
+SptCache::SptCache(const graph::Graph& g, graph::Masks masks, Algorithm alg,
+                   Options opts)
+    : g_(&g), masks_(masks), alg_(alg), opts_(opts) {
+  RTR_EXPECT(opts_.max_entries >= 1);
+  RTR_EXPECT(opts_.engine == SpfEngine::kFull ||
+             (opts_.base != nullptr && opts_.base->algorithm() == alg_));
+}
+
+std::shared_ptr<const SptResult> SptCache::from(NodeId source) {
+  RTR_EXPECT(g_->valid_node(source));
   static obs::Counter& hits =
       obs::Registry::global().counter("spf.spt_cache.hits");
   static obs::Counter& misses =
       obs::Registry::global().counter("spf.spt_cache.misses");
-  auto it = spts_.find(source);
-  if (it == spts_.end()) {
-    misses.inc();
+  static obs::Counter& evicted =
+      obs::Registry::global().counter("spf.spt_cache.evictions");
+  auto it = entries_.find(source);
+  if (it != entries_.end()) {
+    hits.inc();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.tree;
+  }
+  misses.inc();
+  ++trees_computed_;
+  std::shared_ptr<const SptResult> tree;
+  if (opts_.engine == SpfEngine::kIncremental) {
+    tree = repair_spt(*g_, opts_.base->from(source), masks_, alg_,
+                      opts_.batch_repair);
+  } else {
     SptResult r = alg_ == Algorithm::kBfsHopCount
                       ? bfs_from(*g_, source, masks_)
                       : dijkstra_from(*g_, source, masks_);
-    it = spts_.emplace(source, std::move(r)).first;
-  } else {
-    hits.inc();
+    if (alg_ == Algorithm::kBfsHopCount) {
+      // bfs_from parents are discovery-ordered; canonicalize so both
+      // engines hand out bit-identical trees (see spf/batch_repair.h).
+      canonicalize_parents(*g_, r, masks_, alg_);
+    }
+    tree = std::make_shared<const SptResult>(std::move(r));
   }
-  return it->second;
+  if (entries_.size() >= opts_.max_entries) {
+    evicted.inc();
+    ++evictions_;
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(source);
+  entries_.emplace(source, Entry{tree, lru_.begin()});
+  return tree;
 }
 
 }  // namespace rtr::spf

@@ -3,51 +3,89 @@
 // The experiment runners repeatedly ask "true shortest distance from
 // initiator X in the damaged graph" while scoring test cases; within one
 // failure scenario many cases share an initiator, so the tree from each
-// source is computed once and memoised.
+// source is derived once and memoised under an LRU bound
+// (Options::max_entries).  Trees are handed out as shared_ptr so an
+// entry the cache evicts stays valid for whoever still holds it.
+//
+// Two engines produce the trees (Options::engine):
+//   kFull         recompute per source under the masks (seed behaviour)
+//   kIncremental  batch-repair the shared per-source base tree of the
+//                 undamaged graph (Options::base) with the masks as one
+//                 delta -- see spf/batch_repair.h.  Copy-on-write: when
+//                 the failure set misses the tree, the shared base is
+//                 handed out without copying.
+// Both engines canonicalize parent pointers (hop-count trees included),
+// so the trees they hand out are bit-identical.
 //
 // Concurrency discipline: SptCache is intentionally NOT thread-safe (no
 // locks on the hot path).  The parallel experiment engine gives each
 // work unit -- one Scenario -- its own private cache over the shared
-// read-only Graph/FailureSet, which is both faster than a shared locked
-// map and trivially deterministic.  Do not share an instance across
-// threads.
+// read-only Graph/FailureSet/BaseTreeStore, which is both faster than a
+// shared locked map and trivially deterministic.  Do not share an
+// instance across threads.
 #pragma once
 
+#include <list>
+#include <memory>
 #include <unordered_map>
 
 #include "common/types.h"
 #include "graph/graph.h"
 #include "graph/properties.h"
+#include "spf/batch_repair.h"
 #include "spf/shortest_path.h"
 
 namespace rtr::spf {
 
+struct SptCacheOptions {
+  /// LRU bound on live entries; generous by default so sweeps over
+  /// paper-sized topologies never evict, but a bound exists so a
+  /// sweep over an arbitrarily large scenario cannot hold every tree
+  /// alive at once.  Must be >= 1.
+  std::size_t max_entries = 4096;
+  SpfEngine engine = SpfEngine::kFull;
+  /// Required (and must match the cache's algorithm) when engine ==
+  /// kIncremental.
+  const BaseTreeStore* base = nullptr;
+  BatchRepairOptions batch_repair;
+};
+
 class SptCache {
  public:
-  enum class Algorithm {
-    kBfsHopCount,  ///< hop-count metric (the paper's evaluation)
-    kDijkstra,     ///< directed link costs
-  };
+  using Algorithm = SpfAlgorithm;
+  using Options = SptCacheOptions;
 
-  /// Both g and whatever backs `masks` are borrowed and must outlive
-  /// the cache (masks hold pointers into e.g. a fail::FailureSet).
+  /// g and whatever backs `masks` (and `opts.base`) are borrowed and
+  /// must outlive the cache.
   SptCache(const graph::Graph& g, graph::Masks masks,
-           Algorithm alg = Algorithm::kBfsHopCount)
-      : g_(&g), masks_(masks), alg_(alg) {}
+           Algorithm alg = Algorithm::kBfsHopCount, Options opts = {});
 
-  /// The memoised tree rooted at `source` (computed on first use).
-  const SptResult& from(NodeId source);
+  /// The memoised tree rooted at `source` (derived on first use).  The
+  /// returned pointer stays valid after eviction.
+  std::shared_ptr<const SptResult> from(NodeId source);
 
   /// True shortest distance source -> dest (kInfCost if unreachable).
-  Cost dist(NodeId source, NodeId dest) { return from(source).dist[dest]; }
+  Cost dist(NodeId source, NodeId dest) { return from(source)->dist[dest]; }
 
-  std::size_t trees_computed() const { return spts_.size(); }
+  /// Cumulative trees derived (cache misses), including re-derivations
+  /// forced by eviction.
+  std::size_t trees_computed() const { return trees_computed_; }
+  std::size_t evictions() const { return evictions_; }
 
  private:
+  struct Entry {
+    std::shared_ptr<const SptResult> tree;
+    std::list<NodeId>::iterator lru_pos;
+  };
+
   const graph::Graph* g_;
   graph::Masks masks_;
   Algorithm alg_;
-  std::unordered_map<NodeId, SptResult> spts_;
+  Options opts_;
+  std::size_t trees_computed_ = 0;
+  std::size_t evictions_ = 0;
+  std::list<NodeId> lru_;  ///< front = most recently used
+  std::unordered_map<NodeId, Entry> entries_;
 };
 
 }  // namespace rtr::spf

@@ -1,0 +1,185 @@
+// Differential-test plumbing for the property harness: tree
+// comparison, a ddmin-style case minimizer and a standalone-reproducer
+// emitter.
+//
+// The minimizer shrinks a failing PropCase against a caller-supplied
+// predicate ("does this case still fail?"): it greedily drops failure
+// links, failure nodes, topology links and trailing isolated nodes
+// until a fixpoint, then reproducer() renders the survivor as a short
+// self-contained C++ snippet (the acceptance bar is under 20 lines) so
+// a generator-found bug can be replayed in a unit test without the
+// harness.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::prop {
+
+/// "" when the trees agree bit-for-bit; else a one-line description of
+/// the first mismatch (node, field, both values).
+inline std::string diff_trees(const spf::SptResult& a,
+                              const spf::SptResult& b) {
+  std::ostringstream os;
+  for (NodeId v = 0; v < static_cast<NodeId>(a.dist.size()); ++v) {
+    if (a.dist[v] != b.dist[v]) {
+      os << "dist[" << v << "]: " << a.dist[v] << " vs " << b.dist[v];
+      return os.str();
+    }
+    if (a.parent[v] != b.parent[v]) {
+      os << "parent[" << v << "]: " << a.parent[v] << " vs " << b.parent[v];
+      return os.str();
+    }
+    if (a.parent_link[v] != b.parent_link[v]) {
+      os << "parent_link[" << v << "]: " << a.parent_link[v] << " vs "
+         << b.parent_link[v];
+      return os.str();
+    }
+  }
+  return "";
+}
+
+using FailPred = std::function<bool(const PropCase&)>;
+
+/// Rebuilds the case without topology link `victim` (ids above it shift
+/// down by one; the failure list is remapped, dropping the victim).
+inline PropCase without_link(const PropCase& c, LinkId victim) {
+  PropCase out;
+  out.seed = c.seed;
+  out.source = c.source;
+  out.fail_nodes = c.fail_nodes;
+  for (NodeId v = 0; v < c.g.node_count(); ++v) {
+    out.g.add_node(c.g.position(v));
+  }
+  std::vector<LinkId> remap(c.g.num_links(), kNoLink);
+  for (LinkId l = 0; l < c.g.link_count(); ++l) {
+    if (l == victim) continue;
+    const graph::Link& e = c.g.link(l);
+    remap[l] = out.g.add_link_asym(e.u, e.v, e.cost_uv, e.cost_vu);
+  }
+  for (LinkId l : c.fail_links) {
+    if (remap[l] != kNoLink) out.fail_links.push_back(remap[l]);
+  }
+  return out;
+}
+
+/// Rebuilds the case without the (isolated, trailing) node `victim`.
+inline PropCase without_trailing_node(const PropCase& c) {
+  PropCase out;
+  out.seed = c.seed;
+  out.source = c.source;
+  out.fail_links = c.fail_links;
+  out.fail_nodes = c.fail_nodes;
+  for (NodeId v = 0; v + 1 < c.g.node_count(); ++v) {
+    out.g.add_node(c.g.position(v));
+  }
+  for (LinkId l = 0; l < c.g.link_count(); ++l) {
+    const graph::Link& e = c.g.link(l);
+    out.g.add_link_asym(e.u, e.v, e.cost_uv, e.cost_vu);
+  }
+  return out;
+}
+
+/// Greedy delta-debugging: repeatedly drop one element (failure link,
+/// failure node, topology link, trailing isolated node) while the
+/// predicate keeps failing; stops at a 1-minimal fixpoint.  The
+/// predicate must be deterministic.
+inline PropCase minimize(PropCase c, const FailPred& fails) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t i = 0; i < c.fail_links.size(); ++i) {
+      PropCase next = c;
+      next.fail_links.erase(next.fail_links.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (fails(next)) {
+        c = next;
+        shrunk = true;
+        break;
+      }
+    }
+    if (shrunk) continue;
+    for (std::size_t i = 0; i < c.fail_nodes.size(); ++i) {
+      PropCase next = c;
+      next.fail_nodes.erase(next.fail_nodes.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (fails(next)) {
+        c = next;
+        shrunk = true;
+        break;
+      }
+    }
+    if (shrunk) continue;
+    for (LinkId l = 0; l < c.g.link_count(); ++l) {
+      const PropCase next = without_link(c, l);
+      if (fails(next)) {
+        c = next;
+        shrunk = true;
+        break;
+      }
+    }
+    if (shrunk) continue;
+    while (c.g.num_nodes() > 1 &&
+           c.g.degree(c.g.node_count() - 1) == 0 &&
+           c.source != c.g.node_count() - 1) {
+      PropCase next = without_trailing_node(c);
+      bool names_last = false;
+      for (NodeId v : next.fail_nodes) {
+        names_last = names_last || v == next.g.node_count();
+      }
+      if (names_last || !fails(next)) break;
+      c = next;
+      shrunk = true;
+    }
+  }
+  return c;
+}
+
+/// Renders the case as a standalone snippet: build the graph, the
+/// failure vectors and the source, ready to paste into a unit test.
+/// Line count stays small because the edge list is packed 6 per line.
+inline std::string reproducer(const PropCase& c) {
+  std::ostringstream os;
+  os << "// minimized repro, generator seed " << c.seed << "\n";
+  os << "rtr::graph::Graph g;\n";
+  os << "for (int i = 0; i < " << c.g.num_nodes()
+     << "; ++i) g.add_node({1.0 * i, 0.0});\n";
+  os << "const double E[][4] = {";
+  for (LinkId l = 0; l < c.g.link_count(); ++l) {
+    const graph::Link& e = c.g.link(l);
+    if (l > 0) os << ", ";
+    if (l > 0 && l % 6 == 0) os << "\n    ";
+    os << "{" << e.u << ", " << e.v << ", " << e.cost_uv << ", " << e.cost_vu
+       << "}";
+  }
+  os << "};\n";
+  os << "for (const auto& e : E) g.add_link_asym("
+        "rtr::NodeId(e[0]), rtr::NodeId(e[1]), e[2], e[3]);\n";
+  os << "const std::vector<rtr::LinkId> fail_links = {";
+  for (std::size_t i = 0; i < c.fail_links.size(); ++i) {
+    os << (i > 0 ? ", " : "") << c.fail_links[i];
+  }
+  os << "};\n";
+  os << "const std::vector<rtr::NodeId> fail_nodes = {";
+  for (std::size_t i = 0; i < c.fail_nodes.size(); ++i) {
+    os << (i > 0 ? ", " : "") << c.fail_nodes[i];
+  }
+  os << "};\n";
+  os << "const rtr::NodeId source = " << c.source << ";\n";
+  os << "// diff repair_spt(g, base, masks, alg) against the full"
+        " recompute under the same masks\n";
+  return os.str();
+}
+
+inline std::size_t line_count(const std::string& s) {
+  std::size_t n = 0;
+  for (char ch : s) n += ch == '\n' ? 1 : 0;
+  return n;
+}
+
+}  // namespace rtr::prop

@@ -1,0 +1,165 @@
+// Seeded generators for the property-based differential harness.
+//
+// Every case is a pure function of one 64-bit seed: a random connected
+// planar-embedded topology, an ordered failure sequence (links, and
+// sometimes nodes) and a live source.  The checked-in corpus
+// (corpus_seeds) replays the same 200 cases on every CI run; setting
+// RTR_PROP_ITERS=N appends N extra locally-generated seeds for deeper
+// soak runs without touching the corpus.
+//
+// Link costs are small integers stored in doubles, so path-cost sums
+// are exact in any summation order and the differential tests can
+// compare distances with operator== -- and unit costs are drawn often,
+// which maximises shortest-path ties and exercises the canonical
+// tie-break (spf/batch_repair.h) where it can actually break.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "graph/properties.h"
+
+namespace rtr::prop {
+
+/// One generated differential case.
+struct PropCase {
+  std::uint64_t seed = 0;
+  graph::Graph g;
+  std::vector<LinkId> fail_links;  ///< ordered, distinct
+  std::vector<NodeId> fail_nodes;  ///< distinct, possibly empty
+  NodeId source = 0;               ///< never in fail_nodes
+};
+
+/// Owning mask vectors for a case (graph::Masks only borrows).
+struct CaseMasks {
+  std::vector<char> node;
+  std::vector<char> link;
+
+  explicit CaseMasks(const PropCase& c)
+      : node(c.g.num_nodes(), 0), link(c.g.num_links(), 0) {
+    for (NodeId n : c.fail_nodes) node[n] = 1;
+    for (LinkId l : c.fail_links) link[l] = 1;
+  }
+  graph::Masks masks() const { return {&node, &link}; }
+};
+
+inline constexpr std::uint64_t kCorpusBaseSeed = 0x525452'50524f50ULL;
+inline constexpr std::size_t kCorpusSize = 200;
+
+/// The fixed-seed corpus: kCorpusSize seeds derived from the checked-in
+/// base by splitmix64, so the sequence is part of the source and every
+/// CI run replays exactly these cases.
+inline std::vector<std::uint64_t> corpus_seeds() {
+  std::vector<std::uint64_t> out;
+  out.reserve(kCorpusSize);
+  std::uint64_t state = kCorpusBaseSeed;
+  for (std::size_t i = 0; i < kCorpusSize; ++i) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    out.push_back(z ^ (z >> 31));
+  }
+  return out;
+}
+
+/// RTR_PROP_ITERS extra iterations (0 when unset/invalid).
+inline std::size_t extra_iters() {
+  const char* v = std::getenv("RTR_PROP_ITERS");  // NOLINT(concurrency-mt-unsafe)
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<std::size_t>(n) : 0;
+}
+
+/// Corpus plus RTR_PROP_ITERS locally-derived extras.
+inline std::vector<std::uint64_t> all_seeds() {
+  std::vector<std::uint64_t> out = corpus_seeds();
+  Rng rng(kCorpusBaseSeed ^ 0xe7'75'a1ULL);
+  for (std::size_t i = 0; i < extra_iters(); ++i) {
+    out.push_back(rng.engine()());
+  }
+  return out;
+}
+
+/// Random connected topology: a random spanning tree (node i attaches
+/// to a uniform earlier node) plus a handful of extra links.  4..32
+/// nodes keeps a single case fast while still producing articulation
+/// points, bridges and multi-edge-disjoint regions.
+inline graph::Graph random_graph(Rng& rng) {
+  const NodeId n = static_cast<NodeId>(rng.uniform_int(4, 32));
+  graph::Graph g;
+  for (NodeId i = 0; i < n; ++i) {
+    g.add_node({rng.uniform_real(0.0, 1000.0), rng.uniform_real(0.0, 1000.0)});
+  }
+  const auto random_cost = [&rng]() {
+    return static_cast<Cost>(rng.uniform_int(1, 4));
+  };
+  const auto add = [&](NodeId u, NodeId v) {
+    if (rng.bernoulli(0.5)) {
+      g.add_link(u, v);  // unit cost: hop metric, maximal ties
+    } else if (rng.bernoulli(0.3)) {
+      g.add_link_asym(u, v, random_cost(), random_cost());
+    } else {
+      g.add_link(u, v, random_cost());
+    }
+  };
+  for (NodeId i = 1; i < n; ++i) {
+    add(static_cast<NodeId>(rng.index(i)), i);
+  }
+  const std::size_t extra = rng.index(2 * static_cast<std::size_t>(n));
+  for (std::size_t k = 0; k < extra; ++k) {
+    const NodeId u = static_cast<NodeId>(rng.index(n));
+    const NodeId v = static_cast<NodeId>(rng.index(n));
+    if (u == v || g.find_link(u, v) != kNoLink) continue;
+    add(u, v);
+  }
+  return g;
+}
+
+/// The full case: topology, failure sequence (1..max(2, links/3)
+/// distinct links, sometimes 1-2 nodes) and a surviving source.
+/// Failures are drawn uniformly -- disconnection is frequent by
+/// construction (tree links are bridges).
+inline PropCase make_case(std::uint64_t seed) {
+  PropCase c;
+  c.seed = seed;
+  Rng rng(seed);
+  c.g = random_graph(rng);
+  const std::size_t links = c.g.num_links();
+  const std::size_t max_fail = links / 3 > 2 ? links / 3 : 2;
+  const std::size_t want = 1 + rng.index(max_fail);
+  std::vector<char> picked(links, 0);
+  for (std::size_t k = 0; k < want; ++k) {
+    const LinkId l = static_cast<LinkId>(rng.index(links));
+    if (picked[l]) continue;
+    picked[l] = 1;
+    c.fail_links.push_back(l);
+  }
+  if (rng.bernoulli(0.4)) {
+    const std::size_t dead = 1 + rng.index(2);
+    std::vector<char> gone(c.g.num_nodes(), 0);
+    for (std::size_t k = 0; k < dead && k + 1 < c.g.num_nodes(); ++k) {
+      const NodeId v = static_cast<NodeId>(rng.index(c.g.num_nodes()));
+      if (gone[v]) continue;
+      gone[v] = 1;
+      c.fail_nodes.push_back(v);
+    }
+  }
+  for (;;) {
+    const NodeId s = static_cast<NodeId>(rng.index(c.g.num_nodes()));
+    bool dead = false;
+    for (NodeId v : c.fail_nodes) dead = dead || v == s;
+    if (!dead) {
+      c.source = s;
+      break;
+    }
+  }
+  return c;
+}
+
+}  // namespace rtr::prop

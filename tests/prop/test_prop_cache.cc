@@ -1,0 +1,87 @@
+// SptCache LRU bound: eviction must change only the spf.spt_cache.*
+// metrics (misses, evictions, trees recomputed), never a distance or a
+// tree -- under both engines.
+#include <gtest/gtest.h>
+
+#include "gen.h"
+#include "spf/batch_repair.h"
+#include "spf/spt_cache.h"
+
+namespace rtr {
+namespace {
+
+using prop::CaseMasks;
+using prop::PropCase;
+
+/// A deterministic query sequence with revisits: strided scans hit
+/// every source several times in an order that defeats pure MRU reuse.
+std::vector<NodeId> query_sequence(NodeId n) {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < n; ++i) out.push_back(i);
+  for (std::size_t pass = 1; pass < 3; ++pass) {
+    for (NodeId i = 0; i < n; ++i) {
+      out.push_back(static_cast<NodeId>((i * 7 + pass * 3) % n));
+    }
+  }
+  return out;
+}
+
+TEST(PropCache, EvictionChangesMetricsNotResults) {
+  std::size_t evicting_cases = 0;
+  for (std::uint64_t seed : prop::all_seeds()) {
+    const PropCase c = prop::make_case(seed);
+    const CaseMasks cm(c);
+    const spf::BaseTreeStore base(c.g, spf::SpfAlgorithm::kBfsHopCount);
+    for (const spf::SpfEngine engine :
+         {spf::SpfEngine::kFull, spf::SpfEngine::kIncremental}) {
+      spf::SptCacheOptions generous;
+      generous.engine = engine;
+      generous.base = engine == spf::SpfEngine::kIncremental ? &base : nullptr;
+      spf::SptCacheOptions tiny = generous;
+      tiny.max_entries = 2;
+      spf::SptCache unbounded(c.g, cm.masks(),
+                              spf::SptCache::Algorithm::kBfsHopCount,
+                              generous);
+      spf::SptCache bounded(c.g, cm.masks(),
+                            spf::SptCache::Algorithm::kBfsHopCount, tiny);
+      for (NodeId s : query_sequence(c.g.node_count())) {
+        const auto a = unbounded.from(s);
+        const auto b = bounded.from(s);
+        ASSERT_EQ(a->dist, b->dist) << "seed " << seed << " source " << s;
+        ASSERT_EQ(a->parent, b->parent) << "seed " << seed;
+        ASSERT_EQ(a->parent_link, b->parent_link) << "seed " << seed;
+      }
+      EXPECT_EQ(unbounded.evictions(), 0u);
+      EXPECT_EQ(unbounded.trees_computed(), c.g.num_nodes());
+      if (c.g.num_nodes() > 2) {
+        EXPECT_GT(bounded.evictions(), 0u) << "seed " << seed;
+        EXPECT_GT(bounded.trees_computed(), unbounded.trees_computed());
+        ++evicting_cases;
+      }
+    }
+  }
+  EXPECT_GT(evicting_cases, 100u);
+}
+
+TEST(PropCache, HandedOutTreesSurviveEviction) {
+  // The shared_ptr a caller holds must stay valid after the entry is
+  // evicted and even after the cache dies.
+  const PropCase c = prop::make_case(prop::corpus_seeds()[0]);
+  const CaseMasks cm(c);
+  spf::SptCacheOptions tiny;
+  tiny.max_entries = 1;
+  std::shared_ptr<const spf::SptResult> kept;
+  std::vector<Cost> dist_copy;
+  {
+    spf::SptCache cache(c.g, cm.masks(),
+                        spf::SptCache::Algorithm::kBfsHopCount, tiny);
+    kept = cache.from(0);
+    dist_copy = kept->dist;
+    for (NodeId s = 1; s < c.g.node_count(); ++s) cache.from(s);
+    EXPECT_GT(cache.evictions(), 0u);
+  }
+  EXPECT_EQ(kept->dist, dist_copy);
+}
+
+}  // namespace
+}  // namespace rtr

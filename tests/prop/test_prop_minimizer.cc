@@ -1,0 +1,80 @@
+// Mutation check for the harness itself: a deliberately buggy repair
+// (it "forgets" to detach the subtree behind the last failed link --
+// the classic missed-seed bug batch repair could regress into) must be
+// caught by the corpus, and the minimizer must shrink the first
+// offending case to a reproducer under 20 lines.
+#include <gtest/gtest.h>
+
+#include <iostream>
+
+#include "differential.h"
+#include "gen.h"
+#include "spf/batch_repair.h"
+#include "spf/shortest_path.h"
+
+namespace rtr {
+namespace {
+
+using prop::CaseMasks;
+using prop::PropCase;
+
+/// The injected bug: repairs against a view that silently drops the
+/// last failed link, then presents the result as the tree of the full
+/// failure set.  Returns true when the harness would catch it (the
+/// buggy tree differs from the truth).
+bool buggy_repair_detected(const PropCase& c) {
+  if (c.fail_links.empty()) return false;
+  const CaseMasks full_masks(c);
+  CaseMasks buggy_masks(c);
+  buggy_masks.link[c.fail_links.back()] = 0;  // the injected omission
+  const spf::BaseTreeStore store(c.g, spf::SpfAlgorithm::kDijkstra);
+  const auto buggy = spf::repair_spt(c.g, store.from(c.source),
+                                     buggy_masks.masks(),
+                                     spf::SpfAlgorithm::kDijkstra);
+  const spf::SptResult truth =
+      spf::dijkstra_from(c.g, c.source, full_masks.masks());
+  return !prop::diff_trees(truth, *buggy).empty();
+}
+
+TEST(PropMinimizer, CorpusCatchesInjectedRepairBugAndMinimizes) {
+  // 1. The corpus must contain cases where the omission is visible.
+  PropCase found;
+  bool caught = false;
+  for (std::uint64_t seed : prop::all_seeds()) {
+    PropCase c = prop::make_case(seed);
+    if (buggy_repair_detected(c)) {
+      found = std::move(c);
+      caught = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(caught) << "corpus never exposed the injected repair bug";
+
+  // 2. Minimize against the same predicate.
+  const PropCase tiny = prop::minimize(found, buggy_repair_detected);
+  ASSERT_TRUE(buggy_repair_detected(tiny));
+  EXPECT_LE(tiny.fail_links.size(), found.fail_links.size());
+  EXPECT_LE(tiny.g.num_links(), found.g.num_links());
+
+  // 3. The reproducer is a standalone snippet under 20 lines.
+  const std::string repro = prop::reproducer(tiny);
+  EXPECT_LT(prop::line_count(repro), 20u);
+  // Shown in the test log so a failure elsewhere can reuse the flow.
+  std::cout << repro;
+}
+
+TEST(PropMinimizer, MinimizerPreservesDeterministicFailure) {
+  // Minimizing twice from the same case lands on the same reproducer:
+  // the minimizer is a pure function of (case, predicate).
+  for (std::uint64_t seed : prop::corpus_seeds()) {
+    PropCase c = prop::make_case(seed);
+    if (!buggy_repair_detected(c)) continue;
+    const PropCase a = prop::minimize(c, buggy_repair_detected);
+    const PropCase b = prop::minimize(c, buggy_repair_detected);
+    EXPECT_EQ(prop::reproducer(a), prop::reproducer(b));
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace rtr

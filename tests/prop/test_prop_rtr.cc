@@ -1,0 +1,128 @@
+// Differential properties of RTR recovery over the seeded corpus:
+// phase-2 source routes against the oracle shortest path in the
+// initiator's pruned view, full-vs-incremental engine equivalence, and
+// irrecoverable classification against graph::components.
+#include <gtest/gtest.h>
+
+#include "core/rtr.h"
+#include "failure/failure_set.h"
+#include "gen.h"
+#include "graph/crossings.h"
+#include "graph/properties.h"
+#include "spf/batch_repair.h"
+#include "spf/path.h"
+#include "spf/routing_table.h"
+
+namespace rtr {
+namespace {
+
+using prop::PropCase;
+
+/// The corpus case as a ground-truth FailureSet (links + nodes).
+fail::FailureSet failure_of(const PropCase& c) {
+  fail::FailureSet fs = fail::FailureSet::of_links(c.g, c.fail_links);
+  for (NodeId n : c.fail_nodes) fs.add_node(c.g, n);
+  return fs;
+}
+
+/// Initiators RtrRecovery::recover accepts: live, and observing at
+/// least one unreachable neighbour.  Capped to bound the quadratic
+/// (initiator x destination) sweep per case.
+std::vector<NodeId> initiators_of(const PropCase& c,
+                                  const fail::FailureSet& fs,
+                                  std::size_t cap) {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < c.g.node_count() && out.size() < cap; ++n) {
+    if (fs.node_failed(n)) continue;
+    if (fs.observed_failed_links(c.g, n).empty()) continue;
+    out.push_back(n);
+  }
+  return out;
+}
+
+TEST(PropRtr, SourceRoutesEqualOracleOnPrunedView) {
+  std::size_t recovered = 0;
+  for (std::uint64_t seed : prop::all_seeds()) {
+    const PropCase c = prop::make_case(seed);
+    const fail::FailureSet fs = failure_of(c);
+    if (fs.empty()) continue;
+    const graph::CrossingIndex idx(c.g);
+    const spf::RoutingTable rt(c.g);
+    const graph::Components comp = graph::components(c.g, fs.masks());
+    core::RtrRecovery rtr(c.g, idx, rt, fs);
+
+    for (NodeId initiator : initiators_of(c, fs, 4)) {
+      // The initiator's pruned view, rebuilt the way rtr.cc builds it:
+      // phase-1 collected failures plus locally observed ones.
+      const core::Phase1Result& p1 = rtr.phase1_for(initiator);
+      std::vector<char> view(c.g.num_links(), 0);
+      for (LinkId l : p1.header.failed_links) view[l] = 1;
+      for (LinkId l : fs.observed_failed_links(c.g, initiator)) view[l] = 1;
+      const spf::SptResult oracle =
+          spf::dijkstra_from(c.g, initiator, {nullptr, &view});
+      const spf::SptResult truth =
+          spf::dijkstra_from(c.g, initiator, fs.masks());
+
+      for (NodeId dest = 0; dest < c.g.node_count(); ++dest) {
+        if (dest == initiator) continue;
+        const core::RecoveryResult r = rtr.recover(initiator, dest);
+        // Oracle equivalence: the source route IS the (canonical)
+        // shortest path of the pruned view, link for link.
+        const spf::Path want = spf::extract_path(c.g, oracle, dest);
+        EXPECT_EQ(r.computed_path.links, want.links)
+            << "seed " << seed << " " << initiator << "->" << dest;
+
+        // Irrecoverable classification: components decides.  A pair in
+        // different components (or a dead destination) must never be
+        // recovered; components must agree with reachable().
+        const bool reachable_truth =
+            !fs.node_failed(dest) && comp.id[initiator] == comp.id[dest];
+        EXPECT_EQ(reachable_truth,
+                  graph::reachable(c.g, initiator, dest, fs.masks()));
+        if (!reachable_truth) {
+          EXPECT_NE(r.outcome, core::Outcome::kRecovered)
+              << "seed " << seed << " " << initiator << "->" << dest;
+        }
+        // Delivered-path optimality: the view only ever prunes REAL
+        // failures, so a delivered packet travelled a true shortest
+        // path of the damaged graph (costs are small integers: exact).
+        if (r.outcome == core::Outcome::kRecovered) {
+          ++recovered;
+          EXPECT_EQ(spf::path_cost(c.g, r.computed_path),
+                    truth.dist[dest])
+              << "seed " << seed << " " << initiator << "->" << dest;
+        }
+      }
+    }
+  }
+  EXPECT_GT(recovered, 100u);  // the corpus exercises the delivered path
+}
+
+TEST(PropRtr, IncrementalEngineMatchesFullEngine) {
+  for (std::uint64_t seed : prop::all_seeds()) {
+    const PropCase c = prop::make_case(seed);
+    const fail::FailureSet fs = failure_of(c);
+    if (fs.empty()) continue;
+    const graph::CrossingIndex idx(c.g);
+    const spf::RoutingTable rt(c.g);
+    const spf::BaseTreeStore base(c.g, spf::SpfAlgorithm::kDijkstra);
+    core::RtrRecovery full(c.g, idx, rt, fs);
+    core::RtrRecovery incremental(c.g, idx, rt, fs, {}, &base);
+    for (NodeId initiator : initiators_of(c, fs, 3)) {
+      for (NodeId dest = 0; dest < c.g.node_count(); ++dest) {
+        if (dest == initiator) continue;
+        const core::RecoveryResult a = full.recover(initiator, dest);
+        const core::RecoveryResult b = incremental.recover(initiator, dest);
+        EXPECT_EQ(a.outcome, b.outcome)
+            << "seed " << seed << " " << initiator << "->" << dest;
+        EXPECT_EQ(a.computed_path.links, b.computed_path.links)
+            << "seed " << seed << " " << initiator << "->" << dest;
+        EXPECT_EQ(a.delivered_hops, b.delivered_hops);
+        EXPECT_EQ(a.source_route_bytes, b.source_route_bytes);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,117 @@
+// Differential properties of the SPF layer, driven by the seeded
+// corpus: IncrementalSpt under sequential single-link removals,
+// repair_spt under whole failure-set deltas, and the canonical-parent
+// invariant the batch-repair determinism contract rests on.
+#include <gtest/gtest.h>
+
+#include "differential.h"
+#include "gen.h"
+#include "spf/batch_repair.h"
+#include "spf/incremental.h"
+#include "spf/shortest_path.h"
+
+namespace rtr {
+namespace {
+
+using prop::CaseMasks;
+using prop::PropCase;
+
+// Satellite: IncrementalSpt repair after each single-link removal in
+// the failure sequence equals a full recompute over the removed-so-far
+// set, including disconnections (infinite distances).
+TEST(PropSpf, IncrementalSingleLinkRemovalsMatchFullRecompute) {
+  for (std::uint64_t seed : prop::all_seeds()) {
+    const PropCase c = prop::make_case(seed);
+    spf::IncrementalSpt inc(c.g, c.source);
+    std::vector<char> removed(c.g.num_links(), 0);
+    for (LinkId l : c.fail_links) {
+      inc.remove_link(l);
+      removed[l] = 1;
+      const spf::SptResult full =
+          spf::dijkstra_from(c.g, c.source, {nullptr, &removed});
+      ASSERT_EQ(inc.result().dist, full.dist)
+          << "seed " << seed << " after removing link " << l;
+    }
+  }
+}
+
+// Tentpole: batch repair of a whole failure set (links AND nodes) from
+// the canonical base tree is bit-identical -- distances, parents,
+// parent links -- to the full recompute, under both metrics.
+TEST(PropSpf, BatchRepairBitIdenticalToFullRecompute) {
+  for (std::uint64_t seed : prop::all_seeds()) {
+    const PropCase c = prop::make_case(seed);
+    const CaseMasks cm(c);
+    for (const spf::SpfAlgorithm alg :
+         {spf::SpfAlgorithm::kBfsHopCount, spf::SpfAlgorithm::kDijkstra}) {
+      const spf::BaseTreeStore store(c.g, alg);
+      spf::BatchRepairStats stats;
+      const auto repaired =
+          spf::repair_spt(c.g, store.from(c.source), cm.masks(), alg, {},
+                          &stats);
+      spf::SptResult full = alg == spf::SpfAlgorithm::kBfsHopCount
+                                ? spf::bfs_from(c.g, c.source, cm.masks())
+                                : spf::dijkstra_from(c.g, c.source,
+                                                     cm.masks());
+      if (alg == spf::SpfAlgorithm::kBfsHopCount) {
+        spf::canonicalize_parents(c.g, full, cm.masks(), alg);
+      }
+      EXPECT_EQ(prop::diff_trees(full, *repaired), "")
+          << "seed " << seed << " alg "
+          << (alg == spf::SpfAlgorithm::kDijkstra ? "dijkstra" : "bfs")
+          << " path " << static_cast<int>(stats.path);
+    }
+  }
+}
+
+// The canonical-parent theorem itself: full Dijkstra's tie-break
+// already produces canonical parents, so canonicalize_parents must be
+// a no-op on its output.  (This is the invariant that lets a repaired
+// region compose with untouched base parents bit-for-bit.)
+TEST(PropSpf, FullDijkstraParentsAreAlreadyCanonical) {
+  for (std::uint64_t seed : prop::all_seeds()) {
+    const PropCase c = prop::make_case(seed);
+    const CaseMasks cm(c);
+    const spf::SptResult full =
+        spf::dijkstra_from(c.g, c.source, cm.masks());
+    spf::SptResult canon = full;
+    spf::canonicalize_parents(c.g, canon, cm.masks(),
+                              spf::SpfAlgorithm::kDijkstra);
+    EXPECT_EQ(prop::diff_trees(full, canon), "") << "seed " << seed;
+  }
+}
+
+// Sharing fast path: a failure set that misses the tree hands back the
+// base pointer itself, and a repair that does run touches only nodes
+// whose distance or attachment actually had to be re-derived.
+TEST(PropSpf, UntouchedTreeIsSharedNotCopied) {
+  std::size_t shared = 0;
+  for (std::uint64_t seed : prop::all_seeds()) {
+    const PropCase c = prop::make_case(seed);
+    if (!c.fail_nodes.empty()) continue;
+    // Fail only links outside the base tree: repair must share.
+    const auto base =
+        spf::BaseTreeStore(c.g, spf::SpfAlgorithm::kDijkstra).from(c.source);
+    prop::PropCase off_tree = c;
+    off_tree.fail_links.clear();
+    for (LinkId l : c.fail_links) {
+      bool on_tree = false;
+      for (NodeId v = 0; v < c.g.node_count(); ++v) {
+        on_tree = on_tree || base->parent_link[v] == l;
+      }
+      if (!on_tree) off_tree.fail_links.push_back(l);
+    }
+    if (off_tree.fail_links.empty()) continue;
+    const CaseMasks cm(off_tree);
+    spf::BatchRepairStats stats;
+    const auto repaired = spf::repair_spt(
+        c.g, base, cm.masks(), spf::SpfAlgorithm::kDijkstra, {}, &stats);
+    EXPECT_EQ(repaired.get(), base.get()) << "seed " << seed;
+    EXPECT_EQ(stats.path, spf::RepairPath::kShared);
+    ++shared;
+  }
+  EXPECT_GT(shared, 20u);  // the corpus must actually exercise the path
+}
+
+}  // namespace
+}  // namespace rtr

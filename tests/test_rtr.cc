@@ -241,17 +241,18 @@ INSTANTIATE_TEST_SUITE_P(Topologies, AreaFailure,
 
 TEST(Rtr, IncrementalSptGivesIdenticalOutcomes) {
   Rig rig = Rig::paper();
-  RtrOptions plain;
-  RtrOptions incremental;
-  incremental.use_incremental_spt = true;
-  RtrRecovery a(rig.g, rig.crossings, rig.rt, rig.failure, plain);
-  RtrRecovery b(rig.g, rig.crossings, rig.rt, rig.failure, incremental);
+  const spf::BaseTreeStore base(rig.g, spf::SpfAlgorithm::kDijkstra);
+  RtrRecovery a(rig.g, rig.crossings, rig.rt, rig.failure, {});
+  RtrRecovery b(rig.g, rig.crossings, rig.rt, rig.failure, {}, &base);
   for (NodeId dest = 0; dest < rig.g.node_count(); ++dest) {
     if (dest == paper_node(6) || dest == paper_node(10)) continue;
     const RecoveryResult ra = a.recover(paper_node(6), dest);
     const RecoveryResult rb = b.recover(paper_node(6), dest);
     EXPECT_EQ(ra.outcome, rb.outcome) << "dest " << dest;
-    EXPECT_EQ(ra.computed_path.hops(), rb.computed_path.hops());
+    // Batch repair must agree with the fresh Dijkstra bit-for-bit:
+    // same links, not merely the same hop count.
+    EXPECT_EQ(ra.computed_path.links, rb.computed_path.links)
+        << "dest " << dest;
   }
 }
 

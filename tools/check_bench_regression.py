@@ -18,6 +18,13 @@ google-benchmark chooses iteration counts dynamically) are compared on
 wall clock only, controlled per bench by ``check_op_counts`` in the
 baseline document.
 
+Baseline entries additionally carry ``seed_full_runs``: the total number
+of full shortest-path-tree computations the original full-recompute
+engine performed on that workload.  The field is captured once (from the
+pre-update baseline) and preserved verbatim across ``--update``; any run
+whose ``run.config.spf_engine`` is ``incremental`` must report strictly
+fewer full SPT runs than it.
+
 Refresh the baseline after an intentional change with::
 
     tools/check_bench_regression.py --baseline bench/baseline.json \
@@ -41,6 +48,23 @@ DEFAULT_TOLERANCE = 1.25
 # Benches whose op counts depend on adaptive iteration counts rather
 # than a pinned workload; --update marks them wall-clock-only.
 VOLATILE_OP_COUNT_BENCHES = {"bench_micro"}
+
+# Counters that each record one full shortest-path-tree computation.
+# Their sum is the figure of merit the incremental SPF engine exists to
+# reduce; ``seed_full_runs`` in the baseline pins the full-engine total
+# so the incremental engine can never silently regress past it.
+FULL_RUN_SERIES = ("spf.dijkstra.full_runs", "spf.bfs.runs")
+
+
+def full_runs_of(metrics: dict) -> int | None:
+    """Sum of the full-SPT-run counters, or None when absent."""
+    total, seen = 0, False
+    for series in FULL_RUN_SERIES:
+        entry = metrics.get(series)
+        if isinstance(entry, dict) and entry.get("kind") == "counter":
+            total += int(entry.get("value", 0))
+            seen = True
+    return total if seen else None
 
 
 def fail(msg: str, code: int = 2) -> "sys.NoReturn":
@@ -101,6 +125,23 @@ def check(baseline_doc: dict, docs: list[dict], tolerance: float) -> int:
             problems += diff_op_counts(name, entry.get("metrics", {}),
                                        doc.get("metrics", {}))
 
+        # The incremental engine must do strictly fewer full SPT runs
+        # than the seed (full-engine) baseline it replaced.
+        seed_full = entry.get("seed_full_runs")
+        engine = doc["run"].get("config", {}).get("spf_engine")
+        if seed_full is not None and engine == "incremental":
+            cur_full = full_runs_of(doc.get("metrics", {}))
+            if cur_full is None:
+                problems.append(f"{name}: incremental engine but no "
+                                f"full-run counters in metrics")
+            elif cur_full >= seed_full:
+                problems.append(
+                    f"{name}: incremental engine ran {cur_full} full SPTs, "
+                    f"not fewer than the seed baseline's {seed_full}")
+            else:
+                print(f"{name}: full SPT runs {cur_full} < seed baseline "
+                      f"{seed_full} ({100.0 * cur_full / seed_full:.1f}%)")
+
         base_ms = entry.get("wall_clock_ms")
         cur_ms = doc.get("timing", {}).get("wall_clock_ms")
         if base_ms is None or cur_ms is None:
@@ -138,6 +179,18 @@ def update(baseline_path: str, old: dict, docs: list[dict],
         }
         if entry["check_op_counts"]:
             entry["metrics"] = doc.get("metrics", {})
+        # seed_full_runs is sticky: first set from the pre-update
+        # baseline's (full-engine) metrics, then preserved verbatim so
+        # later refreshes under the incremental engine cannot raise it.
+        seed_full = prev.get("seed_full_runs")
+        if seed_full is None:
+            seed_full = full_runs_of(prev.get("metrics", {}))
+        if seed_full is None and \
+                doc["run"].get("config", {}).get("spf_engine") != \
+                "incremental":
+            seed_full = full_runs_of(doc.get("metrics", {}))
+        if seed_full is not None:
+            entry["seed_full_runs"] = seed_full
         benches[name] = entry
     out = {
         "schema": BASELINE_SCHEMA,
