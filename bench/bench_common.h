@@ -58,6 +58,11 @@ inline void emit_metrics_at_exit() {
                          ? "incremental"
                          : "full"},
   };
+  // Fault knobs only appear when armed, so fault-free documents stay
+  // byte-identical to those of a build without the fault layer.
+  if (cfg.fault.any()) {
+    run.config.emplace_back("fault", cfg.fault.describe());
+  }
   obs::EmitOptions opts;
   opts.include_volatile = !cfg.metrics_deterministic;
   opts.threads = common::resolve_thread_count(cfg.threads);
@@ -86,6 +91,28 @@ inline bool match_value_flag(const std::vector<char*>& args, std::size_t i,
   return false;
 }
 
+inline bool parse_f64(const std::string& value, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+inline bool parse_u64(const std::string& value, unsigned long long* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+[[noreturn]] inline void bad_flag_value(const char* flag,
+                                        const std::string& value) {
+  std::cerr << "invalid " << flag << " value: " << value << '\n';
+  std::exit(2);
+}
+
 }  // namespace detail
 
 /// Consumes the engine flags every bench accepts
@@ -93,12 +120,29 @@ inline bool match_value_flag(const std::vector<char*>& args, std::size_t i,
 ///                      (0 = all hardware threads, 1 = serial; results
 ///                      are bit-identical either way)
 ///   --metrics-out FILE write the obs metrics JSON to FILE at exit
+///   --fault-* VALUE    fault-injection knobs overriding RTR_FAULT_*:
+///                      loss, corrupt, dup, flap (probabilities),
+///                      detect-ms, dyn-window-ms, backoff-ms (ms),
+///                      dyn-links, retry-cap, seed (integers)
 /// from `args` (argv[0] expected at index 0 and left in place); other
 /// arguments are kept in order for the caller to handle.  Also
 /// registers the at-exit metrics emitter, so every bench routed through
 /// here gets `--metrics-out` behaviour with no per-binary code.
 inline exp::BenchConfig consume_engine_flags(std::vector<char*>& args) {
   exp::BenchConfig cfg = exp::BenchConfig::from_env();
+  struct FaultF64Flag {
+    const char* flag;
+    double* dst;
+  };
+  const FaultF64Flag fault_f64_flags[] = {
+      {"--fault-loss", &cfg.fault.loss_prob},
+      {"--fault-corrupt", &cfg.fault.corrupt_prob},
+      {"--fault-dup", &cfg.fault.duplicate_prob},
+      {"--fault-detect-ms", &cfg.fault.max_detection_delay_ms},
+      {"--fault-dyn-window-ms", &cfg.fault.dynamic_window_ms},
+      {"--fault-flap", &cfg.fault.flap_prob},
+      {"--fault-backoff-ms", &cfg.fault.backoff_base_ms},
+  };
   std::vector<char*> rest;
   std::size_t i = 0;
   if (!args.empty()) {
@@ -110,12 +154,10 @@ inline exp::BenchConfig consume_engine_flags(std::vector<char*>& args) {
   while (i < args.size()) {
     std::string value;
     std::size_t consumed = 0;
+    unsigned long long n = 0;
     if (detail::match_value_flag(args, i, "--threads", &value, &consumed)) {
-      char* end = nullptr;
-      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
-      if (value.empty() || end == nullptr || *end != '\0') {
-        std::cerr << "invalid --threads value: " << value << '\n';
-        std::exit(2);
+      if (!detail::parse_u64(value, &n)) {
+        detail::bad_flag_value("--threads", value);
       }
       cfg.threads = static_cast<std::size_t>(n);
       i += consumed;
@@ -123,9 +165,43 @@ inline exp::BenchConfig consume_engine_flags(std::vector<char*>& args) {
                                         &consumed)) {
       cfg.metrics_out = value;
       i += consumed;
+    } else if (detail::match_value_flag(args, i, "--fault-dyn-links",
+                                        &value, &consumed)) {
+      if (!detail::parse_u64(value, &n)) {
+        detail::bad_flag_value("--fault-dyn-links", value);
+      }
+      cfg.fault.dynamic_links = static_cast<std::size_t>(n);
+      i += consumed;
+    } else if (detail::match_value_flag(args, i, "--fault-retry-cap",
+                                        &value, &consumed)) {
+      if (!detail::parse_u64(value, &n)) {
+        detail::bad_flag_value("--fault-retry-cap", value);
+      }
+      cfg.fault.retry_cap = static_cast<std::size_t>(n);
+      i += consumed;
+    } else if (detail::match_value_flag(args, i, "--fault-seed", &value,
+                                        &consumed)) {
+      if (!detail::parse_u64(value, &n)) {
+        detail::bad_flag_value("--fault-seed", value);
+      }
+      cfg.fault.seed = n;
+      i += consumed;
     } else {
-      rest.push_back(args[i]);
-      ++i;
+      bool matched = false;
+      for (const FaultF64Flag& f : fault_f64_flags) {
+        if (detail::match_value_flag(args, i, f.flag, &value, &consumed)) {
+          if (!detail::parse_f64(value, f.dst)) {
+            detail::bad_flag_value(f.flag, value);
+          }
+          i += consumed;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        rest.push_back(args[i]);
+        ++i;
+      }
     }
   }
   args = rest;
@@ -143,7 +219,8 @@ inline exp::BenchConfig config_from(int argc, char** argv) {
   exp::BenchConfig cfg = consume_engine_flags(args);
   if (args.size() > 1) {
     std::cerr << "usage: " << argv[0]
-              << " [--threads N] [--metrics-out FILE]\n"
+              << " [--threads N] [--metrics-out FILE]"
+                 " [--fault-KNOB VALUE ...]\n"
               << "unrecognised argument: " << args[1] << '\n';
     std::exit(2);
   }
@@ -156,6 +233,7 @@ inline exp::RunOptions run_options(const exp::BenchConfig& cfg) {
   exp::RunOptions opts;
   opts.threads = cfg.threads;
   opts.spf_engine = cfg.spf_engine;
+  opts.fault = cfg.fault;
   return opts;
 }
 

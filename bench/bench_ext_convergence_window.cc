@@ -69,5 +69,41 @@ int main(int argc, char** argv) {
                "drops ~12.5 million 1000-byte packets; RTR shrinks the "
                "unprotected window from the IGP's seconds to tens of "
                "milliseconds.\n";
+
+  // --fault-* sweep: the same recoverable workload re-run as distributed
+  // recovery sessions under the armed rtr::fault plan (see
+  // EXPERIMENTS.md).  Printed only when faults are armed, so the
+  // fault-free stdout stays byte-identical to builds without the layer.
+  if (cfg.fault.any()) {
+    std::cout << "\n==== Fault sweep: graceful degradation under "
+                 "injected faults ====\n\n";
+    stats::TextTable fault_table({"Topology", "Cases", "Recovered",
+                                  "Unrecovered", "Dropped", "Attempts",
+                                  "Reinit", "Mean recovery (ms)"});
+    exp::RunOptions fopts = bench::run_options(cfg);
+    fopts.run_fcp = false;
+    fopts.run_mrc = false;
+    for (const auto& ctx_ptr : bench::make_contexts(false)) {
+      const exp::TopologyContext& ctx = *ctx_ptr;
+      const auto scenarios = bench::make_scenarios(ctx, cfg, cfg.cases, 0);
+      const exp::RecoverableResults r =
+          exp::run_recoverable(ctx, scenarios, fopts);
+      const double mean_ms =
+          r.rtr_recovery_ms.empty()
+              ? 0.0
+              : stats::Summary::of(r.rtr_recovery_ms).mean;
+      fault_table.add_row(
+          {r.topo, std::to_string(r.cases),
+           std::to_string(r.rtr_recovered),
+           std::to_string(r.rtr_unrecovered),
+           std::to_string(r.rtr_dropped),
+           std::to_string(r.rtr_retry_attempts),
+           std::to_string(r.rtr_reinitiations), stats::fmt(mean_ms)});
+    }
+    fault_table.print(std::cout);
+    std::cout << "\nEvery injected fault replays bit-exactly from "
+                 "--fault-seed; unrecovered cases exhausted the retry "
+                 "cap gracefully (no assertion ever fires).\n";
+  }
   return 0;
 }

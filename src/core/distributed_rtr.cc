@@ -1,8 +1,13 @@
 #include "core/distributed_rtr.h"
 
+#include "obs/metrics.h"
 #include "spf/shortest_path.h"
 
 namespace rtr::core {
+
+namespace {
+using DropReason = net::DataPacket::DropReason;
+}  // namespace
 
 DistributedRtr::DistributedRtr(const graph::Graph& g,
                                const graph::CrossingIndex& crossings,
@@ -32,8 +37,32 @@ const net::RtrHeader& DistributedRtr::collected(NodeId n) const {
 net::RouterApp::Decision DistributedRtr::on_packet(NodeId at, NodeId prev,
                                                    net::DataPacket& p) {
   RTR_EXPECT(at < g_->num_nodes());
+  if (fault_aware_) {
+    // Fault-injected copies carry the (flow, seq) of exactly one
+    // arrival of the original; a repeated key is therefore always a
+    // duplicate, and legitimate revisits (phase-1 traversals cross a
+    // node twice all the time) always carry a fresh seq.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(p.header.flow) << 32) | p.header.seq;
+    if (!seen_.insert(key).second) {
+      static obs::Counter& suppressed =
+          obs::Registry::global().counter("rtr.fault.duplicate.suppressed");
+      suppressed.inc();
+      p.drop_reason = DropReason::kDuplicate;
+      return Decision::drop();
+    }
+  }
   // Hop cap mirrors the centralized engine's Theorem-1 safety net.
   if (p.trace.size() > opts_.max_hops_factor * g_->num_links() + 32) {
+    if (p.header.mode == net::Mode::kCollect) {
+      // A phase-1 abort in the distributed engine; the recovery
+      // session turns this into a re-initiation with the opposite
+      // sweep orientation rather than a terminal failure.
+      static obs::Counter& aborted =
+          obs::Registry::global().counter("core.distributed.phase1_aborted");
+      aborted.inc();
+    }
+    p.drop_reason = DropReason::kHopCap;
     return Decision::drop();
   }
   switch (p.header.mode) {
@@ -51,9 +80,16 @@ net::RouterApp::Decision DistributedRtr::handle_default(
     NodeId at, net::DataPacket& p) {
   if (at == p.dst) return Decision::deliver();
   const LinkId l = rt_->next_link(at, p.dst);
-  if (l == kNoLink) return Decision::drop();  // never routable
+  if (l == kNoLink) {
+    p.drop_reason = DropReason::kNeverRoutable;
+    return Decision::drop();
+  }
   const graph::Adjacency a{rt_->next_hop(at, p.dst), l};
-  if (!failure_->neighbor_unreachable(a)) return Decision::forward(l);
+  // A link learned dead via note_link_dead counts as unreachable too:
+  // delayed detection has caught up by the time a retry runs.
+  if (!failure_->neighbor_unreachable(a) && !dyn_dead(l)) {
+    return Decision::forward(l);
+  }
   // The default next hop is unreachable: this router becomes a
   // recovery initiator (Section II-B).
   return begin_recovery(at, p, l);
@@ -62,7 +98,10 @@ net::RouterApp::Decision DistributedRtr::handle_default(
 net::RouterApp::Decision DistributedRtr::begin_recovery(
     NodeId at, net::DataPacket& p, LinkId dead) {
   InitiatorState& st = states_[at];
-  if (st.isolated) return Decision::drop();
+  if (st.isolated) {
+    p.drop_reason = DropReason::kIsolated;
+    return Decision::drop();
+  }
   if (st.complete) {
     // Phase 1 already ran here; its information benefits every
     // destination (Section III-A).
@@ -78,6 +117,7 @@ net::RouterApp::Decision DistributedRtr::begin_recovery(
                       g_->other_end(dead, at), rule_);
   if (!first.found()) {
     st.isolated = true;
+    p.drop_reason = DropReason::kIsolated;
     return Decision::drop();
   }
   st.first_link = first.link;
@@ -105,9 +145,19 @@ net::RouterApp::Decision DistributedRtr::handle_collect(
       for (LinkId l : failure_->observed_failed_links(*g_, at)) {
         st.view_link_failed[l] = 1;
       }
+      if (!dynamic_dead_.empty()) {
+        // Links learned dead mid-recovery are part of this initiator's
+        // view even though phase 1 could not have recorded them.
+        for (LinkId l = 0; l < g_->num_links(); ++l) {
+          if (dynamic_dead_[l] != 0) st.view_link_failed[l] = 1;
+        }
+      }
       return enter_phase2(at, st, p);
     }
-    if (!sel.found()) return Decision::drop();  // ablation only
+    if (!sel.found()) {
+      p.drop_reason = DropReason::kNoNextHop;
+      return Decision::drop();  // ablation only
+    }
     if (opts_.constraint2) {
       maybe_record_cross(*crossings_, p.header, sel.link);
     }
@@ -116,7 +166,10 @@ net::RouterApp::Decision DistributedRtr::handle_collect(
   record_failures(*g_, *failure_, p.header, at);
   const Selection sel = select_next_hop(*g_, *crossings_, *failure_,
                                         p.header, at, prev, rule_);
-  if (!sel.found()) return Decision::drop();  // ablation only
+  if (!sel.found()) {
+    p.drop_reason = DropReason::kNoNextHop;
+    return Decision::drop();  // ablation only
+  }
   if (opts_.constraint2) {
     maybe_record_cross(*crossings_, p.header, sel.link);
   }
@@ -134,7 +187,10 @@ net::RouterApp::Decision DistributedRtr::enter_phase2(
                               {nullptr, &st.view_link_failed});
     st.path_cache.emplace(p.dst, path);
   }
-  if (path.empty()) return Decision::drop();  // declared unreachable
+  if (path.empty()) {
+    p.drop_reason = DropReason::kUnreachable;
+    return Decision::drop();
+  }
   p.header.mode = net::Mode::kSourceRoute;
   p.header.source_route.assign(path.nodes.begin() + 1, path.nodes.end());
   p.route_index = 0;
@@ -150,13 +206,26 @@ net::RouterApp::Decision DistributedRtr::handle_source_route(
   const LinkId l = g_->find_link(at, next);
   RTR_EXPECT_MSG(l != kNoLink, "source route uses a non-existent link");
   const graph::Adjacency a{next, l};
-  if (failure_->neighbor_unreachable(a)) {
-    // Phase 1 missed this failure; RTR simply discards the packet
-    // (Section III-D).
+  if (failure_->neighbor_unreachable(a) || dyn_dead(l)) {
+    // Phase 1 missed this failure (or the link died after the view was
+    // built); RTR simply discards the packet (Section III-D).
+    p.drop_reason = DropReason::kRouteDead;
     return Decision::drop();
   }
   ++p.route_index;
   return Decision::forward(l);
+}
+
+void DistributedRtr::note_link_dead(LinkId l) {
+  RTR_EXPECT(g_->valid_link(l));
+  if (dynamic_dead_.empty()) dynamic_dead_.assign(g_->num_links(), 0);
+  dynamic_dead_[l] = 1;
+}
+
+void DistributedRtr::prepare_retry(NodeId initiator, bool clockwise) {
+  RTR_EXPECT(initiator < g_->num_nodes());
+  states_.erase(initiator);
+  rule_.clockwise = clockwise;
 }
 
 }  // namespace rtr::core

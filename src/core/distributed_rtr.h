@@ -11,7 +11,10 @@
 // centralized RtrRecovery is then just the fast path for experiments.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "core/forwarding_rule.h"
 #include "core/phase1.h"
@@ -39,6 +42,25 @@ class DistributedRtr : public net::RouterApp {
   /// phase1_complete(n)).
   const net::RtrHeader& collected(NodeId n) const;
 
+  // --- fault-mode degradation machinery (rtr::fault) -----------------
+  // All of it is inert until set_fault_aware(true); the fault-free
+  // paths are byte-identical with it off.
+
+  /// Arms duplicate suppression via the (flow, seq) pair the Network
+  /// stamps on every packet when a FaultPlan is active.
+  void set_fault_aware(bool on) { fault_aware_ = on; }
+
+  /// Records that link l died mid-recovery (reported by the transit
+  /// layer as TransitFault::kLinkDied).  Future default forwarding
+  /// treats it as an unreachable next hop, source routes over it are
+  /// discarded as kRouteDead, and completed phase-1 views exclude it.
+  void note_link_dead(LinkId l);
+
+  /// Resets the initiator's recovery state for a bounded retry: drops
+  /// any InitiatorState at `initiator` (stale phase-1 progress must not
+  /// leak into the next attempt) and re-orients the phase-1 sweep.
+  void prepare_retry(NodeId initiator, bool clockwise);
+
  private:
   /// Per-router recovery state, created when the router becomes a
   /// recovery initiator.
@@ -57,6 +79,10 @@ class DistributedRtr : public net::RouterApp {
   Decision begin_recovery(NodeId at, net::DataPacket& p, LinkId dead);
   Decision enter_phase2(NodeId at, InitiatorState& st,
                         net::DataPacket& p);
+  /// True when the app has learned (note_link_dead) that l is dead.
+  bool dyn_dead(LinkId l) const {
+    return !dynamic_dead_.empty() && dynamic_dead_[l] != 0;
+  }
 
   const graph::Graph* g_;
   const graph::CrossingIndex* crossings_;
@@ -65,6 +91,9 @@ class DistributedRtr : public net::RouterApp {
   Phase1Options opts_;
   RuleOptions rule_;
   std::unordered_map<NodeId, InitiatorState> states_;
+  bool fault_aware_ = false;
+  std::vector<char> dynamic_dead_;  ///< lazily sized; empty = none dead
+  std::unordered_set<std::uint64_t> seen_;  ///< (flow << 32) | seq
 };
 
 }  // namespace rtr::core

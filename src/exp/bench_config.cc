@@ -42,6 +42,7 @@ BenchConfig BenchConfig::from_env() {
   if (det != nullptr && std::string(det) == "1") {
     c.metrics_deterministic = true;
   }
+  c.fault = fault::FaultOptions::from_env();
   return c;
 }
 
@@ -59,6 +60,7 @@ std::string BenchConfig::describe() const {
   } else {
     os << threads;
   }
+  if (fault.any()) os << " " << fault.describe();
   return os.str();
 }
 

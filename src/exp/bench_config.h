@@ -21,6 +21,11 @@
 //                    "1" drops the wall-clock ("timing") block from the
 //                    metrics JSON so the file is bit-identical across
 //                    thread counts (used by the CI determinism smoke)
+//   RTR_FAULT_*      fault-injection knobs (see fault/fault.h): LOSS,
+//                    CORRUPT, DUP, DETECT_MS, DYN_LINKS, DYN_WINDOW_MS,
+//                    FLAP, RETRY_CAP, BACKOFF_MS, SEED.  All zero by
+//                    default, which leaves every bench byte-identical
+//                    to a build without the fault layer.
 //
 // Every bench binary additionally accepts `--threads N` and
 // `--metrics-out FILE` on the command line (see bench/bench_common.h),
@@ -31,6 +36,7 @@
 #include <string>
 
 #include "failure/failure_set.h"
+#include "fault/fault.h"
 #include "spf/batch_repair.h"
 
 namespace rtr::exp {
@@ -48,6 +54,9 @@ struct BenchConfig {
   std::string metrics_out;
   /// Omit the volatile (wall-clock) block from the metrics JSON.
   bool metrics_deterministic = false;
+  /// Fault-injection knobs (RTR_FAULT_* / --fault-*); disarmed by
+  /// default, in which case no bench output changes at all.
+  fault::FaultOptions fault;
 
   static BenchConfig from_env();
 

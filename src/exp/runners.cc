@@ -5,6 +5,11 @@
 #include "baselines/fcp.h"
 #include "baselines/mrc.h"
 #include "common/parallel.h"
+#include "core/distributed_rtr.h"
+#include "core/recovery_session.h"
+#include "fault/plan.h"
+#include "net/network.h"
+#include "net/sim.h"
 #include "obs/metrics.h"
 #include "spf/spt_cache.h"
 
@@ -84,9 +89,12 @@ struct RecoverablePartial {
   std::size_t fcp_recovered = 0, fcp_optimal = 0;
   std::size_t mrc_recovered = 0, mrc_optimal = 0;
   std::size_t rtr_phase1_aborted = 0;
+  std::size_t rtr_unrecovered = 0, rtr_dropped = 0;
+  std::size_t rtr_retry_attempts = 0, rtr_reinitiations = 0;
   std::vector<double> phase1_duration_ms;
   std::vector<double> rtr_stretch, fcp_stretch, mrc_stretch;
   std::vector<double> rtr_calcs, fcp_calcs;
+  std::vector<double> rtr_recovery_ms;
   std::vector<double> rtr_bytes_timeline, fcp_bytes_timeline;
 };
 
@@ -174,6 +182,83 @@ RecoverablePartial run_scenario_recoverable(const TopologyContext& ctx,
   return out;
 }
 
+/// Fault-mode work unit: the scenario's recoverable cases run as
+/// distributed recovery sessions over the event simulator under a
+/// per-scenario FaultPlan.  Everything simulated here is private to the
+/// unit (simulator, network, app, plan), so the outcome is a pure
+/// function of (ctx, sc, opts, scenario_index) and thread-count
+/// invariant like the fault-free path.
+RecoverablePartial run_scenario_recoverable_fault(
+    const TopologyContext& ctx, const Scenario& sc, const RunOptions& opts,
+    std::size_t scenario_index) {
+  RecoverablePartial out;
+  out.rtr_bytes_timeline.assign(opts.timeline_ms, 0.0);
+  out.fcp_bytes_timeline.assign(opts.timeline_ms, 0.0);
+
+  fault::FaultPlan plan(
+      opts.fault, fault::FaultPlan::stream_seed(opts.fault.seed,
+                                                scenario_index),
+      ctx.g, sc.failure);
+  net::Simulator sim;
+  net::Network network(ctx.g, sc.failure, sim, opts.delay, &plan);
+  core::DistributedRtr app(ctx.g, ctx.crossings, ctx.rt, sc.failure,
+                           opts.rtr.phase1);
+  app.set_fault_aware(true);
+
+  const bool incremental = opts.spf_engine == spf::SpfEngine::kIncremental;
+  spf::SptCache::Options cache_opts;
+  cache_opts.max_entries = opts.spt_cache_entries;
+  cache_opts.engine = opts.spf_engine;
+  cache_opts.base = incremental ? &ctx.truth_base : nullptr;
+  cache_opts.batch_repair = opts.batch_repair;
+  spf::SptCache truth(ctx.g, sc.failure.masks(),
+                      spf::SptCache::Algorithm::kBfsHopCount, cache_opts);
+
+  for (const TestCase& tc : sc.recoverable) {
+    ++out.cases;
+    const double true_dist = truth.dist(tc.initiator, tc.dest);
+    RTR_EXPECT_MSG(true_dist < kInfCost,
+                   "recoverable case with unreachable destination");
+
+    core::SessionOptions sopts;
+    sopts.retry_cap = static_cast<std::uint32_t>(opts.fault.retry_cap);
+    sopts.backoff_base_ms = opts.fault.backoff_base_ms;
+    sopts.detection_delay_ms = plan.next_detection_delay_ms();
+    sopts.first_clockwise = opts.rtr.phase1.clockwise;
+    const double t0 = sim.now();
+    core::RecoverySession session(sim, network, app, tc.initiator,
+                                  tc.dest, sopts);
+    session.start();
+    sim.run();
+    const core::SessionResult& r = session.result();
+    RTR_EXPECT_MSG(r.done(), "simulator drained with session pending");
+    out.rtr_retry_attempts += r.attempts;
+    out.rtr_reinitiations += r.reinitiations;
+    switch (r.outcome) {
+      case core::SessionOutcome::kRecovered: {
+        ++out.rtr_recovered;
+        const double stretch =
+            static_cast<double>(r.delivered_hops) / true_dist;
+        out.rtr_stretch.push_back(stretch);
+        if (static_cast<double>(r.delivered_hops) == true_dist) {
+          ++out.rtr_optimal;
+        }
+        out.rtr_recovery_ms.push_back(r.finished_ms - t0);
+        break;
+      }
+      case core::SessionOutcome::kDropped:
+        ++out.rtr_dropped;
+        break;
+      case core::SessionOutcome::kUnrecovered:
+        ++out.rtr_unrecovered;
+        break;
+      case core::SessionOutcome::kPending:
+        break;  // unreachable: r.done() checked above
+    }
+  }
+  return out;
+}
+
 /// Per-scenario slice of IrrecoverableResults.
 struct IrrecoverablePartial {
   std::size_t cases = 0;
@@ -249,9 +334,10 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
 
   // MRC configurations are proactive: built once per topology,
   // independent of any failure, and only read (forward() is const)
-  // by the work units.
+  // by the work units.  Fault mode skips the baselines entirely.
+  const bool faults = opts.fault.any();
   std::unique_ptr<baseline::Mrc> mrc;
-  if (opts.run_mrc) {
+  if (opts.run_mrc && !faults) {
     mrc = std::make_unique<baseline::Mrc>(ctx.g, ctx.rt);
   }
 
@@ -260,8 +346,10 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
   const auto fan_out_start = std::chrono::steady_clock::now();
   common::parallel_for(scenarios.size(), opts.threads, [&](std::size_t i) {
     record_queue_wait(metrics, fan_out_start);
-    partials[i] = run_scenario_recoverable(ctx, scenarios[i], opts,
-                                           mrc.get());
+    partials[i] =
+        faults ? run_scenario_recoverable_fault(ctx, scenarios[i], opts, i)
+               : run_scenario_recoverable(ctx, scenarios[i], opts,
+                                          mrc.get());
     metrics.scenarios.inc();
   });
 
@@ -277,6 +365,11 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
     out.mrc_recovered += p.mrc_recovered;
     out.mrc_optimal += p.mrc_optimal;
     out.rtr_phase1_aborted += p.rtr_phase1_aborted;
+    out.rtr_unrecovered += p.rtr_unrecovered;
+    out.rtr_dropped += p.rtr_dropped;
+    out.rtr_retry_attempts += p.rtr_retry_attempts;
+    out.rtr_reinitiations += p.rtr_reinitiations;
+    append(out.rtr_recovery_ms, p.rtr_recovery_ms);
     append(out.phase1_duration_ms, p.phase1_duration_ms);
     append(out.rtr_stretch, p.rtr_stretch);
     append(out.fcp_stretch, p.fcp_stretch);

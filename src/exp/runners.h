@@ -11,6 +11,7 @@
 #include "core/rtr.h"
 #include "exp/cases.h"
 #include "exp/context.h"
+#include "fault/fault.h"
 #include "net/delay.h"
 
 namespace rtr::exp {
@@ -35,6 +36,16 @@ struct RunOptions {
   /// Tuning for the batch-repair engine (fallback threshold); read by
   /// the ground-truth cache.  RTR phase 2 reads rtr.batch_repair.
   spf::BatchRepairOptions batch_repair;
+  /// Fault-injection knobs (rtr::fault).  When fault.any() is false --
+  /// the default -- the fault layer is never constructed and every
+  /// result and metric is byte-identical to a build without it.  When
+  /// armed, recoverable cases run as distributed recovery sessions over
+  /// the event simulator under a per-scenario FaultPlan (stream seed =
+  /// FaultPlan::stream_seed(fault.seed, scenario index)), with bounded
+  /// retry and graceful kUnrecovered/kDropped terminal outcomes; FCP
+  /// and MRC baselines are skipped.  Results stay bit-identical across
+  /// `threads` values because each scenario owns its plan and stream.
+  fault::FaultOptions fault;
   /// Worker threads for the scenario fan-out: 0 = all hardware threads,
   /// 1 = plain serial loop on the calling thread.  Every Scenario is an
   /// independent work unit whose partial results are merged in
@@ -55,6 +66,14 @@ struct RecoverableResults {
   /// Phase-1 traversals that failed to close (Theorem 1 says zero when
   /// both constraints are on; nonzero only in ablations).
   std::size_t rtr_phase1_aborted = 0;
+
+  // Fault-mode outcomes (all zero when RunOptions::fault is disarmed).
+  std::size_t rtr_unrecovered = 0;      ///< retry cap exhausted
+  std::size_t rtr_dropped = 0;          ///< declared unreachable
+  std::size_t rtr_retry_attempts = 0;   ///< sends across all sessions
+  std::size_t rtr_reinitiations = 0;    ///< re-initiated phase-1 sweeps
+  std::vector<double> rtr_recovery_ms;  ///< per recovered case, detection
+                                        ///< through delivery (sim time)
 
   std::vector<double> phase1_duration_ms;           ///< per case (Fig. 7)
   std::vector<double> rtr_stretch;                  ///< recovered cases (Fig. 8)

@@ -1,0 +1,58 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace rtr::fault {
+
+namespace {
+
+double env_f64(const char* name, double fallback) {
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace
+
+FaultOptions FaultOptions::from_env() {
+  FaultOptions o;
+  o.loss_prob = env_f64("RTR_FAULT_LOSS", o.loss_prob);
+  o.corrupt_prob = env_f64("RTR_FAULT_CORRUPT", o.corrupt_prob);
+  o.duplicate_prob = env_f64("RTR_FAULT_DUP", o.duplicate_prob);
+  o.max_detection_delay_ms =
+      env_f64("RTR_FAULT_DETECT_MS", o.max_detection_delay_ms);
+  o.dynamic_links = static_cast<std::size_t>(
+      env_u64("RTR_FAULT_DYN_LINKS", o.dynamic_links));
+  o.dynamic_window_ms =
+      env_f64("RTR_FAULT_DYN_WINDOW_MS", o.dynamic_window_ms);
+  o.flap_prob = env_f64("RTR_FAULT_FLAP", o.flap_prob);
+  o.retry_cap =
+      static_cast<std::size_t>(env_u64("RTR_FAULT_RETRY_CAP", o.retry_cap));
+  o.backoff_base_ms = env_f64("RTR_FAULT_BACKOFF_MS", o.backoff_base_ms);
+  o.seed = env_u64("RTR_FAULT_SEED", o.seed);
+  return o;
+}
+
+std::string FaultOptions::describe() const {
+  std::ostringstream os;
+  os << "fault[loss=" << loss_prob << " corrupt=" << corrupt_prob
+     << " dup=" << duplicate_prob << " detect-ms=" << max_detection_delay_ms
+     << " dyn-links=" << dynamic_links
+     << " dyn-window-ms=" << dynamic_window_ms << " flap=" << flap_prob
+     << " retry-cap=" << retry_cap << " backoff-ms=" << backoff_base_ms
+     << " seed=" << seed << "]";
+  return os.str();
+}
+
+}  // namespace rtr::fault

@@ -1,0 +1,65 @@
+// Deterministic fault-injection knobs (rtr::fault).
+//
+// The paper's model is idealized: the failure set is frozen for the
+// whole recovery, surviving links never lose or corrupt packets, and
+// detection is instant.  FaultOptions describes the adversities a real
+// disaster adds -- lossy survivors, byte corruption, duplication,
+// delayed detection and links that die (or flap) mid-recovery -- as a
+// small set of knobs read from RTR_FAULT_* environment variables or the
+// benches' --fault-* flags.  fault::FaultPlan (plan.h) compiles them
+// into per-event decisions drawn from a dedicated seeded rtr::Rng
+// stream, so every injected fault replays bit-exactly from the seed.
+//
+// With every knob at its zero default (any() == false) the layer is
+// inert: the net/ and core/ hooks reduce to one pointer test and bench
+// output stays byte-identical to the fault-free build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rtr::fault {
+
+struct FaultOptions {
+  // Per-hop fates of a packet crossing a surviving link.  The three
+  // probabilities partition one uniform draw and must sum to <= 1.
+  double loss_prob = 0.0;       ///< RTR_FAULT_LOSS / --fault-loss
+  double corrupt_prob = 0.0;    ///< RTR_FAULT_CORRUPT / --fault-corrupt
+  double duplicate_prob = 0.0;  ///< RTR_FAULT_DUP / --fault-dup
+
+  /// Failure-detection delay: each recovery starts after a uniform
+  /// draw in [0, max) simulated milliseconds instead of instantly.
+  double max_detection_delay_ms = 0.0;  ///< RTR_FAULT_DETECT_MS
+
+  /// Dynamic failures: this many surviving links die at uniform times
+  /// inside [0, dynamic_window_ms), re-evaluated against the live
+  /// net::Simulator clock; with flap_prob each death later revives.
+  std::size_t dynamic_links = 0;   ///< RTR_FAULT_DYN_LINKS
+  double dynamic_window_ms = 0.0;  ///< RTR_FAULT_DYN_WINDOW_MS
+  double flap_prob = 0.0;          ///< RTR_FAULT_FLAP
+
+  // Degradation machinery (core::RecoverySession).
+  std::size_t retry_cap = 3;      ///< RTR_FAULT_RETRY_CAP: max attempts
+  double backoff_base_ms = 10.0;  ///< RTR_FAULT_BACKOFF_MS: 2^n backoff
+
+  /// Base seed of the fault stream; each work unit forks its own
+  /// substream via FaultPlan::stream_seed.  RTR_FAULT_SEED.
+  std::uint64_t seed = 0x52545246;  // "RTRF"
+
+  /// True when any injection knob is armed -- the master switch every
+  /// hook tests before touching the plan.
+  bool any() const {
+    return loss_prob > 0.0 || corrupt_prob > 0.0 || duplicate_prob > 0.0 ||
+           max_detection_delay_ms > 0.0 || dynamic_links > 0;
+  }
+
+  /// Reads the RTR_FAULT_* environment (unset knobs keep defaults).
+  static FaultOptions from_env();
+
+  /// One-line provenance fragment (appended to BenchConfig::describe()
+  /// when any() is true).
+  std::string describe() const;
+};
+
+}  // namespace rtr::fault

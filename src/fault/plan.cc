@@ -1,0 +1,104 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+
+namespace rtr::fault {
+
+namespace {
+
+/// Stateless splitmix64 finalizer (same mixer as Rng::fork()).
+std::uint64_t splitmix64(std::uint64_t x) {
+  std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t FaultPlan::stream_seed(std::uint64_t base,
+                                     std::uint64_t index) {
+  return splitmix64(base ^ splitmix64(index));
+}
+
+FaultPlan::FaultPlan(const FaultOptions& opts, std::uint64_t stream_seed,
+                     const graph::Graph& g, const fail::FailureSet& failure)
+    : opts_(opts), enabled_(opts.any()), rng_(stream_seed) {
+  RTR_EXPECT_MSG(opts.loss_prob >= 0.0 && opts.loss_prob <= 1.0 &&
+                     opts.corrupt_prob >= 0.0 && opts.corrupt_prob <= 1.0 &&
+                     opts.duplicate_prob >= 0.0 &&
+                     opts.duplicate_prob <= 1.0,
+                 "per-hop fault probabilities must lie in [0, 1]");
+  RTR_EXPECT_MSG(
+      opts.loss_prob + opts.corrupt_prob + opts.duplicate_prob <= 1.0,
+      "per-hop fault probabilities must sum to at most 1");
+  RTR_EXPECT_MSG(opts.flap_prob >= 0.0 && opts.flap_prob <= 1.0,
+                 "flap probability must lie in [0, 1]");
+  RTR_EXPECT_MSG(opts.max_detection_delay_ms >= 0.0 &&
+                     opts.backoff_base_ms >= 0.0,
+                 "fault delays must be non-negative");
+  if (!enabled_ || opts.dynamic_links == 0) return;
+  RTR_EXPECT_MSG(opts.dynamic_window_ms > 0.0,
+                 "dynamic failures need a positive window");
+  // Candidate pool: surviving links, in LinkId order, so the draw below
+  // depends only on the rng stream and the static failure set.
+  std::vector<LinkId> pool;
+  for (std::size_t l = 0; l < g.num_links(); ++l) {
+    if (!failure.link_failed(static_cast<LinkId>(l))) {
+      pool.push_back(static_cast<LinkId>(l));
+    }
+  }
+  death_of_link_.assign(g.num_links(), -1);
+  const std::size_t want = std::min(opts.dynamic_links, pool.size());
+  for (std::size_t k = 0; k < want; ++k) {
+    const std::size_t j = rng_.index(pool.size());
+    const LinkId victim = pool[j];
+    pool[j] = pool.back();
+    pool.pop_back();
+    Death d;
+    d.down_ms = rng_.uniform_real(0.0, opts.dynamic_window_ms);
+    if (rng_.bernoulli(opts.flap_prob)) {
+      d.up_ms =
+          d.down_ms +
+          rng_.uniform_real(0.0, opts.dynamic_window_ms - d.down_ms);
+    }
+    death_of_link_[victim] = static_cast<std::int32_t>(deaths_.size());
+    deaths_.push_back(d);
+  }
+}
+
+HopFault FaultPlan::next_hop_fault() {
+  const double total =
+      opts_.loss_prob + opts_.corrupt_prob + opts_.duplicate_prob;
+  if (total <= 0.0) return HopFault::kNone;
+  const double u = rng_.uniform_real(0.0, 1.0);
+  if (u < opts_.loss_prob) return HopFault::kLoss;
+  if (u < opts_.loss_prob + opts_.corrupt_prob) return HopFault::kCorrupt;
+  if (u < total) return HopFault::kDuplicate;
+  return HopFault::kNone;
+}
+
+std::size_t FaultPlan::next_corrupt_offset(std::size_t n_bytes) {
+  RTR_EXPECT_MSG(n_bytes > 0, "cannot corrupt an empty encoding");
+  return rng_.index(n_bytes);
+}
+
+std::uint8_t FaultPlan::next_corrupt_mask() {
+  return static_cast<std::uint8_t>(1U << rng_.index(8));
+}
+
+double FaultPlan::next_detection_delay_ms() {
+  if (opts_.max_detection_delay_ms <= 0.0) return 0.0;
+  return rng_.uniform_real(0.0, opts_.max_detection_delay_ms);
+}
+
+bool FaultPlan::link_down_at(LinkId l, double t_ms) const {
+  if (deaths_.empty()) return false;
+  RTR_EXPECT(static_cast<std::size_t>(l) < death_of_link_.size());
+  const std::int32_t i = death_of_link_[l];
+  if (i < 0) return false;
+  const Death& d = deaths_[static_cast<std::size_t>(i)];
+  return t_ms >= d.down_ms && (d.up_ms < 0.0 || t_ms < d.up_ms);
+}
+
+}  // namespace rtr::fault

@@ -1,0 +1,85 @@
+// A compiled, seeded fault plan for one simulated work unit.
+//
+// FaultPlan turns FaultOptions into concrete per-event decisions:
+//   * next_hop_fault() partitions one uniform draw into
+//     loss / corrupt / duplicate / none for the hop about to be taken
+//     (consumed by net::Network just before it schedules the hop);
+//   * next_corrupt_offset()/next_corrupt_mask() pick the flipped byte;
+//   * next_detection_delay_ms() delays a recovery's first attempt;
+//   * link_down_at() answers whether a dynamic failure has killed a
+//     surviving link at a given simulated time -- the death (and
+//     optional flap revival) schedule is fixed at construction, so the
+//     answer is a pure function of (plan seed, link, time).
+//
+// Every draw flows through one dedicated rtr::Rng stream seeded from
+// (base fault seed, work-unit index) via stream_seed(), and the
+// simulator is single-threaded, so the full fault sequence of a work
+// unit is bit-reproducible regardless of how many worker threads run
+// other work units concurrently.  A plan never touches wall clocks:
+// time only enters through the caller-supplied simulated t_ms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "failure/failure_set.h"
+#include "fault/fault.h"
+#include "graph/graph.h"
+
+namespace rtr::fault {
+
+/// Fate of one packet-hop on a surviving link.
+enum class HopFault : std::uint8_t { kNone, kLoss, kCorrupt, kDuplicate };
+
+class FaultPlan {
+ public:
+  /// Compiles `opts` against the topology and the static failure set:
+  /// dynamic deaths are drawn here (surviving links only, in LinkId
+  /// order) so link_down_at() is a cheap const lookup afterwards.
+  FaultPlan(const FaultOptions& opts, std::uint64_t stream_seed,
+            const graph::Graph& g, const fail::FailureSet& failure);
+
+  /// False when every knob is zero; hooks bail out on this first.
+  bool enabled() const { return enabled_; }
+  const FaultOptions& options() const { return opts_; }
+
+  /// One partitioned uniform draw for the hop about to be scheduled.
+  HopFault next_hop_fault();
+
+  /// Byte offset (in [0, n_bytes)) and single-bit mask of a corruption.
+  std::size_t next_corrupt_offset(std::size_t n_bytes);
+  std::uint8_t next_corrupt_mask();
+
+  /// Uniform draw in [0, max_detection_delay_ms); 0 when the knob is
+  /// off.
+  double next_detection_delay_ms();
+
+  /// True when dynamic failure has link l down at simulated time t_ms.
+  bool link_down_at(LinkId l, double t_ms) const;
+
+  /// Number of dynamic deaths actually scheduled (<= dynamic_links when
+  /// few links survive).
+  std::size_t num_dynamic_deaths() const { return deaths_.size(); }
+
+  /// Deterministic per-work-unit substream seed: splitmix64 mix of the
+  /// base fault seed and the unit's index, so sibling units draw from
+  /// uncorrelated streams and the assignment is independent of thread
+  /// scheduling.
+  static std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index);
+
+ private:
+  struct Death {
+    double down_ms = 0.0;
+    double up_ms = -1.0;  ///< < 0: stays down forever (no flap)
+  };
+
+  FaultOptions opts_;
+  bool enabled_ = false;
+  Rng rng_;
+  std::vector<std::int32_t> death_of_link_;  ///< per link; -1 = none
+  std::vector<Death> deaths_;
+};
+
+}  // namespace rtr::fault

@@ -34,6 +34,17 @@ struct RtrHeader {
   std::vector<LinkId> cross_links;   ///< cross_link field, insertion order
   std::vector<NodeId> source_route;  ///< phase-2 route (nodes after source)
 
+  /// Transport-layer sequencing for fault-mode duplicate suppression
+  /// (rtr::fault): a per-send flow id and a sequence number bumped on
+  /// every forwarded hop, so each arrival of the original packet is
+  /// unique and an injected copy shares the (flow, seq) of exactly one
+  /// of them.  Like the one-bit mode flag these ride in existing header
+  /// bits: not charged by recovery_bytes() and not part of the wire
+  /// codecs (net/codec.h, net/compress.h), so byte accounting and
+  /// encodings are unchanged whether faults are on or off.
+  std::uint32_t flow = 0;
+  std::uint32_t seq = 0;
+
   bool has_failed(LinkId l) const {
     return std::find(failed_links.begin(), failed_links.end(), l) !=
            failed_links.end();

@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "fault/plan.h"
+#include "net/codec.h"
 #include "obs/metrics.h"
 
 namespace rtr::net {
@@ -20,13 +22,23 @@ struct Network::InFlight {
 };
 
 Network::Network(const graph::Graph& g, const fail::FailureSet& failure,
-                 Simulator& sim, DelayModel delay)
-    : g_(&g), failure_(&failure), sim_(&sim), delay_(delay) {}
+                 Simulator& sim, DelayModel delay, fault::FaultPlan* plan)
+    : g_(&g),
+      failure_(&failure),
+      sim_(&sim),
+      delay_(delay),
+      // A disabled plan degenerates to the no-plan fast path: the hot
+      // loop only ever tests the pointer.
+      plan_(plan != nullptr && plan->enabled() ? plan : nullptr) {}
 
 void Network::send(DataPacket p, RouterApp& app, DoneFn done) {
   RTR_EXPECT(g_->valid_node(p.src) && g_->valid_node(p.dst));
   RTR_EXPECT_MSG(!failure_->node_failed(p.src),
                  "a failed router cannot send");
+  if (plan_ != nullptr) {
+    p.header.flow = next_flow_++;
+    p.header.seq = 0;
+  }
   InFlight flight{std::move(p), &app, std::move(done)};
   flight.packet.trace.clear();
   flight.packet.trace.push_back(flight.packet.src);
@@ -69,16 +81,112 @@ void Network::process(InFlight flight, NodeId at, NodeId prev) {
   RTR_EXPECT_MSG(!failure_->link_failed(d.link) &&
                      !failure_->node_failed(next),
                  "router forwarded into an observable failure");
+  bool make_duplicate = false;
+  if (plan_ != nullptr &&
+      inject_faults(flight, at, d.link, &make_duplicate)) {
+    return;
+  }
   ++hops_;
   static obs::Counter& hops = packets_counter("net.packets.hops_forwarded");
   hops.inc();
   flight.packet.trace.push_back(next);
   flight.packet.bytes_transmitted +=
       flight.packet.payload_bytes + flight.packet.header.recovery_bytes();
+  if (make_duplicate) {
+    // The copy rides the same hop with the same (flow, seq) as the
+    // original, arrives strictly after it (FIFO among equal
+    // timestamps), and carries no done callback: its only observable
+    // effect is the receiver's duplicate suppression.
+    InFlight copy{flight.packet, flight.app, DoneFn{}};
+    copy.packet.duplicate = true;
+    auto shared = std::make_shared<InFlight>(std::move(flight));
+    sim_->after(delay_.per_hop_ms(), [this, shared, next, at] {
+      process(std::move(*shared), next, at);
+    });
+    auto shared_copy = std::make_shared<InFlight>(std::move(copy));
+    sim_->after(delay_.per_hop_ms(), [this, shared_copy, next, at] {
+      process(std::move(*shared_copy), next, at);
+    });
+    return;
+  }
   auto shared = std::make_shared<InFlight>(std::move(flight));
   sim_->after(delay_.per_hop_ms(), [this, shared, next, at] {
     process(std::move(*shared), next, at);
   });
+}
+
+bool Network::inject_faults(InFlight& flight, NodeId at, LinkId link,
+                            bool* duplicate) {
+  RTR_EXPECT(plan_ != nullptr && plan_->enabled());
+  DataPacket& p = flight.packet;
+  // Injected copies take no further fault draws: their fate is decided
+  // entirely by the receiver, which keeps the conservation identity
+  // rtr.fault.duplicate == rtr.fault.duplicate.suppressed exact.
+  if (p.duplicate) return false;
+  // A dynamic failure that has taken the link down by "now" blackholes
+  // the packet: the sender has not yet detected the death, so it
+  // forwards into the void.
+  if (plan_->link_down_at(link, sim_->now())) {
+    static obs::Counter& link_dead = packets_counter("rtr.fault.link_dead");
+    link_dead.inc();
+    p.fault_link = link;
+    finish_transit_drop(flight, at, DataPacket::TransitFault::kLinkDied);
+    return true;
+  }
+  switch (plan_->next_hop_fault()) {
+    case fault::HopFault::kNone:
+      break;
+    case fault::HopFault::kLoss: {
+      static obs::Counter& loss = packets_counter("rtr.fault.loss");
+      loss.inc();
+      finish_transit_drop(flight, at, DataPacket::TransitFault::kLost);
+      return true;
+    }
+    case fault::HopFault::kCorrupt: {
+      static obs::Counter& corrupt = packets_counter("rtr.fault.corrupt");
+      corrupt.inc();
+      // Model the receiver's parse of a bit-flipped header: either the
+      // codec rejects the bytes (CodecError — the degradation path the
+      // adversarial property tests pin down) or the flip survives
+      // decoding and the link-layer CRC catches it.  Both end in a
+      // counted discard; corrupted state never enters the protocol.
+      std::vector<std::uint8_t> bytes = encode(p.header);
+      bytes[plan_->next_corrupt_offset(bytes.size())] ^=
+          plan_->next_corrupt_mask();
+      try {
+        (void)decode(bytes);
+        static obs::Counter& crc =
+            packets_counter("rtr.fault.corrupt.crc_caught");
+        crc.inc();
+      } catch (const CodecError&) {
+        static obs::Counter& codec =
+            packets_counter("rtr.fault.corrupt.codec_error");
+        codec.inc();
+      }
+      finish_transit_drop(flight, at, DataPacket::TransitFault::kCorrupted);
+      return true;
+    }
+    case fault::HopFault::kDuplicate: {
+      static obs::Counter& dup = packets_counter("rtr.fault.duplicate");
+      dup.inc();
+      *duplicate = true;
+      break;
+    }
+  }
+  // Each arrival of the original packet gets a unique (flow, seq); the
+  // injected copy (made after this bump) shares the seq of exactly one.
+  ++p.header.seq;
+  return false;
+}
+
+void Network::finish_transit_drop(InFlight& flight, NodeId at,
+                                  DataPacket::TransitFault why) {
+  ++transit_dropped_;
+  static obs::Counter& transit =
+      packets_counter("rtr.fault.transit_dropped");
+  transit.inc();
+  flight.packet.transit_fault = why;
+  if (flight.done) flight.done(flight.packet, at, false);
 }
 
 }  // namespace rtr::net

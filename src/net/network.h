@@ -18,6 +18,10 @@
 #include "net/header.h"
 #include "net/sim.h"
 
+namespace rtr::fault {
+class FaultPlan;
+}  // namespace rtr::fault
+
 namespace rtr::net {
 
 /// A routable data packet with its recovery header and instrumentation.
@@ -33,6 +37,32 @@ struct DataPacket {
   // Instrumentation (not "on the wire").
   std::vector<NodeId> trace;          ///< nodes visited, starting at src
   std::size_t bytes_transmitted = 0;  ///< sum over hops of payload+header
+
+  /// How the fault layer consumed the packet in transit, when it did
+  /// (written by Network just before the done callback).
+  enum class TransitFault : std::uint8_t {
+    kNone,       ///< reached an app decision (deliver or drop)
+    kLost,       ///< injected loss on a surviving link
+    kCorrupted,  ///< injected byte flip; discarded, never parsed into use
+    kLinkDied,   ///< crossed a link a dynamic failure had killed
+  };
+  TransitFault transit_fault = TransitFault::kNone;
+  /// The link a dynamic failure blackholed the packet on (kLinkDied).
+  LinkId fault_link = kNoLink;
+  /// Why the protocol app dropped the packet (written by the app; lets
+  /// core::RecoverySession separate retryable from terminal drops).
+  enum class DropReason : std::uint8_t {
+    kNone,
+    kHopCap,        ///< phase-1 abort: Theorem-1 safety net tripped
+    kIsolated,      ///< initiator has no live neighbour
+    kNoNextHop,     ///< phase-1 dead end (constraint ablations)
+    kUnreachable,   ///< initiator's view has no phase-2 path
+    kRouteDead,     ///< source route hit a failure phase 1 missed
+    kNeverRoutable, ///< no route to dst even in the intact topology
+    kDuplicate,     ///< fault-injected copy suppressed by sequencing
+  };
+  DropReason drop_reason = DropReason::kNone;
+  bool duplicate = false;  ///< this packet is a fault-injected copy
 };
 
 /// Protocol logic running at every router.
@@ -60,9 +90,15 @@ class RouterApp {
 
 class Network {
  public:
-  /// All references are borrowed and must outlive the Network.
+  /// All references are borrowed and must outlive the Network.  `plan`
+  /// (optional, also borrowed) arms deterministic fault injection: per
+  /// forwarded hop the plan may lose, corrupt or duplicate the packet,
+  /// and dynamic failures blackhole packets on links that died at the
+  /// current simulated time.  A null or disabled plan costs one pointer
+  /// test per hop and changes nothing.
   Network(const graph::Graph& g, const fail::FailureSet& failure,
-          Simulator& sim, DelayModel delay = {});
+          Simulator& sim, DelayModel delay = {},
+          fault::FaultPlan* plan = nullptr);
 
   /// Final disposition callback: the packet, where it ended up, and
   /// whether it was delivered.
@@ -77,18 +113,31 @@ class Network {
   std::size_t packets_delivered() const { return delivered_; }
   std::size_t packets_dropped() const { return dropped_; }
   std::size_t hops_forwarded() const { return hops_; }
+  /// Packets the fault layer consumed in transit (loss, corruption or a
+  /// dynamically-dead link); disjoint from packets_dropped().
+  std::size_t packets_lost_in_transit() const { return transit_dropped_; }
 
  private:
   struct InFlight;
   void process(InFlight flight, NodeId at, NodeId prev);
+  /// Applies the fault plan to the hop `at -> next` over `link`.
+  /// Returns true when the packet was consumed (lost, corrupted or
+  /// blackholed); sets *duplicate when a copy must ride along.
+  bool inject_faults(InFlight& flight, NodeId at, LinkId link,
+                     bool* duplicate);
+  void finish_transit_drop(InFlight& flight, NodeId at,
+                           DataPacket::TransitFault why);
 
   const graph::Graph* g_;
   const fail::FailureSet* failure_;
   Simulator* sim_;
   DelayModel delay_;
+  fault::FaultPlan* plan_;
   std::size_t delivered_ = 0;
   std::size_t dropped_ = 0;
   std::size_t hops_ = 0;
+  std::size_t transit_dropped_ = 0;
+  std::uint32_t next_flow_ = 0;
 };
 
 }  // namespace rtr::net

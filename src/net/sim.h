@@ -9,6 +9,7 @@
 #include <functional>
 #include <queue>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/expect.h"
@@ -24,8 +25,15 @@ class Simulator {
   /// Schedules cb at absolute time t_ms (>= now).
   void at(double t_ms, Callback cb);
 
-  /// Schedules cb `delay_ms` from now (delay >= 0).
-  void after(double delay_ms, Callback cb) { at(now_ms_ + delay_ms, cb); }
+  /// Schedules cb `delay_ms` from now.  The sum is clamped at now():
+  /// injected-delay arithmetic (negative or non-finite adjustments from
+  /// the fault layer) can therefore never violate at()'s
+  /// cannot-schedule-in-the-past contract.
+  void after(double delay_ms, Callback cb) {
+    double t_ms = now_ms_ + delay_ms;
+    if (!(t_ms >= now_ms_)) t_ms = now_ms_;
+    at(t_ms, std::move(cb));
+  }
 
   /// Runs the earliest pending event; returns false when none is left.
   bool step();

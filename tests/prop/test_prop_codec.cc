@@ -1,0 +1,238 @@
+// Adversarial properties of the wire codecs (net/codec.h,
+// net/compress.h): malformed input must always surface as CodecError --
+// never undefined behaviour, never a silently-wrong header.  This is
+// the contract the fault layer's corruption model leans on: a
+// bit-flipped header either fails to parse (counted drop) or parses to
+// a header that is itself perfectly well-formed.
+//
+// Seeded like the rest of the harness: the corpus replays bit-exactly
+// on every run, RTR_PROP_ITERS appends extra seeds for soaks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen.h"
+#include "net/codec.h"
+#include "net/compress.h"
+#include "net/header.h"
+
+namespace rtr::prop {
+namespace {
+
+using net::CodecError;
+using net::RtrHeader;
+
+/// Random well-formed header: any mode, optional initiator, duplicate-
+/// free id sets within the plain codec's 16-bit id range, and a source
+/// route whose order matters (and may repeat nodes).
+RtrHeader random_header(Rng& rng) {
+  RtrHeader h;
+  h.mode = static_cast<net::Mode>(rng.index(3));
+  h.rec_init =
+      rng.bernoulli(0.2) ? kNoNode : static_cast<NodeId>(rng.index(60000));
+  const std::size_t nf = rng.index(12);
+  for (std::size_t i = 0; i < nf; ++i) {
+    h.add_failed(static_cast<LinkId>(rng.index(65536)));
+  }
+  const std::size_t nc = rng.index(8);
+  for (std::size_t i = 0; i < nc; ++i) {
+    h.add_cross(static_cast<LinkId>(rng.index(65536)));
+  }
+  const std::size_t nr = rng.index(10);
+  for (std::size_t i = 0; i < nr; ++i) {
+    h.source_route.push_back(static_cast<NodeId>(rng.index(65000)));
+  }
+  return h;
+}
+
+std::vector<LinkId> sorted(std::vector<LinkId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void expect_equal(const RtrHeader& a, const RtrHeader& b,
+                  bool sets_as_sets) {
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.rec_init, b.rec_init);
+  if (sets_as_sets) {
+    EXPECT_EQ(sorted(a.failed_links), sorted(b.failed_links));
+    EXPECT_EQ(sorted(a.cross_links), sorted(b.cross_links));
+  } else {
+    EXPECT_EQ(a.failed_links, b.failed_links);
+    EXPECT_EQ(a.cross_links, b.cross_links);
+  }
+  EXPECT_EQ(a.source_route, b.source_route);
+}
+
+TEST(PropCodec, BothCodecsRoundTripEveryGeneratedHeader) {
+  for (const std::uint64_t seed : all_seeds()) {
+    Rng rng(seed ^ 0xC0DECULL);
+    const RtrHeader h = random_header(rng);
+    expect_equal(h, net::decode(net::encode(h)), /*sets_as_sets=*/false);
+    // The compressed codec documents that sets come back ascending.
+    expect_equal(h, net::decode_compressed_header(
+                        net::encode_compressed_header(h)),
+                 /*sets_as_sets=*/true);
+  }
+}
+
+TEST(PropCodec, EveryStrictPrefixIsRejected) {
+  // Truncation is the common corruption in practice (cut-through drops,
+  // MTU clipping); both codecs must detect it at every cut point
+  // because both pin total length against the declared list lengths.
+  const auto reject_all_prefixes = [](const std::vector<std::uint8_t>& full,
+                                      const auto& decode_fn,
+                                      std::uint64_t seed) {
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      const std::vector<std::uint8_t> prefix(full.begin(),
+                                             full.begin() + cut);
+      EXPECT_THROW((void)decode_fn(prefix), CodecError)
+          << "seed " << seed << " cut " << cut << " of " << full.size();
+    }
+  };
+  for (const std::uint64_t seed : all_seeds()) {
+    Rng rng(seed ^ 0x7472756EULL);
+    const RtrHeader h = random_header(rng);
+    reject_all_prefixes(
+        net::encode(h),
+        [](const std::vector<std::uint8_t>& b) { return net::decode(b); },
+        seed);
+    reject_all_prefixes(net::encode_compressed_header(h),
+                        [](const std::vector<std::uint8_t>& b) {
+                          return net::decode_compressed_header(b);
+                        },
+                        seed);
+  }
+}
+
+TEST(PropCodec, SingleBitFlipsNeverEscapeThePlainCodec) {
+  // For the positional codec a decodable byte string is canonical:
+  // either the flip is caught, or the bytes decode to a header that
+  // re-encodes to exactly those bytes.  Nothing in between.
+  for (const std::uint64_t seed : all_seeds()) {
+    Rng rng(seed ^ 0x666C6970ULL);
+    const std::vector<std::uint8_t> bytes = net::encode(random_header(rng));
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> flipped = bytes;
+        flipped[i] ^= static_cast<std::uint8_t>(1u << bit);
+        try {
+          const RtrHeader h = net::decode(flipped);
+          EXPECT_EQ(net::encode(h), flipped)
+              << "seed " << seed << " byte " << i << " bit " << bit;
+        } catch (const CodecError&) {
+          // Caught corruption is the expected outcome.
+        }
+      }
+    }
+  }
+}
+
+TEST(PropCodec, SingleBitFlipsNeverEscapeTheCompressedCodec) {
+  // Varints admit non-canonical spellings, so byte identity is too
+  // strong here.  The guarantee that matters: a decodable flip yields a
+  // header that is well-formed (strictly ascending duplicate-free sets,
+  // so re-encoding cannot trip encode_id_set's no-duplicates contract)
+  // and one re-encode reaches a fixed point.
+  for (const std::uint64_t seed : all_seeds()) {
+    Rng rng(seed ^ 0x7A6970ULL);
+    const std::vector<std::uint8_t> bytes =
+        net::encode_compressed_header(random_header(rng));
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> flipped = bytes;
+        flipped[i] ^= static_cast<std::uint8_t>(1u << bit);
+        try {
+          const RtrHeader h = net::decode_compressed_header(flipped);
+          const auto strictly_ascending =
+              [](const std::vector<LinkId>& ids) {
+                for (std::size_t k = 1; k < ids.size(); ++k) {
+                  if (ids[k] <= ids[k - 1]) return false;
+                }
+                return true;
+              };
+          EXPECT_TRUE(strictly_ascending(h.failed_links));
+          EXPECT_TRUE(strictly_ascending(h.cross_links));
+          const std::vector<std::uint8_t> re =
+              net::encode_compressed_header(h);
+          expect_equal(h, net::decode_compressed_header(re),
+                       /*sets_as_sets=*/false);
+        } catch (const CodecError&) {
+          // Caught corruption is the expected outcome.
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ varint edge cases -----
+
+TEST(VarintEdges, BoundaryValuesRoundTripCanonically) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  255,
+                                  16383,
+                                  16384,
+                                  (1ULL << 21) - 1,
+                                  1ULL << 21,
+                                  (~0ULL) >> 1,
+                                  ~0ULL};
+  for (const std::uint64_t v : values) {
+    std::vector<std::uint8_t> bytes;
+    net::put_varint(bytes, v);
+    // Canonical length: ceil(bits/7), one byte for zero.
+    std::size_t want = 1;
+    for (std::uint64_t x = v; x >= 0x80; x >>= 7) ++want;
+    EXPECT_EQ(bytes.size(), want) << v;
+    std::size_t pos = 0;
+    EXPECT_EQ(net::get_varint(bytes, pos), v);
+    EXPECT_EQ(pos, bytes.size());
+  }
+}
+
+TEST(VarintEdges, TruncationAndOverflowAreRejected) {
+  std::size_t pos = 0;
+  EXPECT_THROW(net::get_varint({}, pos), CodecError);
+  pos = 0;
+  EXPECT_THROW(net::get_varint({0x80}, pos), CodecError);
+  // Eleven continuation bytes push the shift past 63 bits: overflow,
+  // caught before any out-of-range read.
+  pos = 0;
+  const std::vector<std::uint8_t> wide(11, 0x80);
+  EXPECT_THROW(net::get_varint(wide, pos), CodecError);
+}
+
+TEST(VarintEdges, OverlongZeroIsAcceptedButNeverEmitted) {
+  // LEB128 tolerates padded spellings on decode; the encoder is
+  // canonical.  The compressed-codec flip property above relies on
+  // exactly this asymmetry.
+  const std::vector<std::uint8_t> overlong = {0x80, 0x00};
+  std::size_t pos = 0;
+  EXPECT_EQ(net::get_varint(overlong, pos), 0u);
+  EXPECT_EQ(pos, 2u);
+  std::vector<std::uint8_t> canonical;
+  net::put_varint(canonical, 0);
+  EXPECT_EQ(canonical, (std::vector<std::uint8_t>{0x00}));
+}
+
+TEST(VarintEdges, IdSetHandlesEmptyLargeAndTrailing) {
+  EXPECT_TRUE(net::decode_id_set(net::encode_id_set({})).empty());
+
+  // Ids past the two-byte varint boundary (>= 2^14) still round trip;
+  // the set comes back ascending.
+  const std::vector<LinkId> big = {40000, 16384, 16385};
+  EXPECT_EQ(net::decode_id_set(net::encode_id_set(big)),
+            (std::vector<LinkId>{16384, 16385, 40000}));
+
+  std::vector<std::uint8_t> trailing = net::encode_id_set({3, 7});
+  trailing.push_back(0x00);
+  EXPECT_THROW(net::decode_id_set(trailing), CodecError);
+}
+
+}  // namespace
+}  // namespace rtr::prop

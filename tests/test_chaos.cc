@@ -1,0 +1,191 @@
+// Chaos soak (`ctest -L chaos`): hundreds of seeded FaultPlans pushed
+// through the full exp::run_recoverable fault pipeline.  Two pillars:
+//
+//  * Thread-count invariance: every RecoverableResults field is
+//    bit-identical at --threads 1, 2 and 8 for every base seed, because
+//    each scenario owns its Simulator, Network, DistributedRtr and
+//    FaultPlan substream (FaultPlan::stream_seed).
+//  * Conservation: the rtr.fault.* counters obey their exact identities
+//    over the whole soak -- nothing injected is ever lost track of, and
+//    every session ends in exactly one terminal outcome.
+//
+// CI runs this label under ASan/UBSan and TSan; the default tier-1
+// ctest pass runs it unsanitized.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "exp/cases.h"
+#include "exp/context.h"
+#include "exp/runners.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
+namespace rtr::exp {
+namespace {
+
+/// Shared topology + scenario set: built once per process, reused by
+/// every soak iteration so the time goes into the soak itself.
+struct ChaosWorld {
+  TopologyContext ctx;
+  std::vector<Scenario> scenarios;
+};
+
+const ChaosWorld& world() {
+  static const ChaosWorld* w = [] {
+    auto* out = new ChaosWorld{make_context(graph::spec_by_name("AS209")),
+                               {}};
+    CaseBudget budget;
+    budget.recoverable = 40;
+    budget.irrecoverable = 0;  // fault mode only runs recoverable cases
+    out->scenarios =
+        generate_scenarios(out->ctx, fail::ScenarioConfig{}, budget, 2601);
+    return out;
+  }();
+  return *w;
+}
+
+/// Derives an armed FaultOptions from a base seed: rotate through
+/// loss-heavy, corrupt-heavy, duplicate-heavy, dynamic-death and
+/// everything-at-once profiles so the soak exercises every injection
+/// path, not just the blended average.
+fault::FaultOptions chaos_options(std::uint64_t seed) {
+  fault::FaultOptions f;
+  f.seed = seed;
+  f.retry_cap = 3;
+  f.backoff_base_ms = 5.0;
+  switch (seed % 5) {
+    case 0:
+      f.loss_prob = 0.05;
+      break;
+    case 1:
+      f.corrupt_prob = 0.04;
+      break;
+    case 2:
+      f.duplicate_prob = 0.06;
+      break;
+    case 3:
+      f.dynamic_links = 2;
+      f.dynamic_window_ms = 40.0;
+      f.flap_prob = 0.5;
+      break;
+    default:
+      f.loss_prob = 0.02;
+      f.corrupt_prob = 0.02;
+      f.duplicate_prob = 0.02;
+      f.max_detection_delay_ms = 5.0;
+      f.dynamic_links = 1;
+      f.dynamic_window_ms = 60.0;
+      break;
+  }
+  return f;
+}
+
+RunOptions chaos_run(std::uint64_t seed, std::size_t threads) {
+  RunOptions opts;
+  opts.run_fcp = false;
+  opts.run_mrc = false;
+  opts.fault = chaos_options(seed);
+  opts.threads = threads;
+  return opts;
+}
+
+void expect_identical(const RecoverableResults& a,
+                      const RecoverableResults& b) {
+  EXPECT_EQ(a.topo, b.topo);
+  EXPECT_EQ(a.cases, b.cases);
+  EXPECT_EQ(a.rtr_recovered, b.rtr_recovered);
+  EXPECT_EQ(a.rtr_optimal, b.rtr_optimal);
+  EXPECT_EQ(a.rtr_phase1_aborted, b.rtr_phase1_aborted);
+  EXPECT_EQ(a.rtr_unrecovered, b.rtr_unrecovered);
+  EXPECT_EQ(a.rtr_dropped, b.rtr_dropped);
+  EXPECT_EQ(a.rtr_retry_attempts, b.rtr_retry_attempts);
+  EXPECT_EQ(a.rtr_reinitiations, b.rtr_reinitiations);
+  // Vector comparisons are element-wise and exact: "bit-identical", not
+  // "statistically close".
+  EXPECT_EQ(a.rtr_recovery_ms, b.rtr_recovery_ms);
+  EXPECT_EQ(a.rtr_stretch, b.rtr_stretch);
+  EXPECT_EQ(a.phase1_duration_ms, b.phase1_duration_ms);
+  EXPECT_EQ(a.rtr_calcs, b.rtr_calcs);
+  EXPECT_EQ(a.rtr_bytes_timeline, b.rtr_bytes_timeline);
+}
+
+TEST(ChaosSoak, BitIdenticalAcrossThreadCountsForEverySeed) {
+  const ChaosWorld& w = world();
+  ASSERT_FALSE(w.scenarios.empty());
+  // Every run compiles one FaultPlan per scenario (stream-seeded from
+  // the base seed), so plans exercised = seeds x scenarios; push the
+  // soak past 200 distinct plans regardless of how the budget packed.
+  const std::size_t per_run = w.scenarios.size();
+  std::size_t seeds = (200 + per_run - 1) / per_run;
+  if (seeds < 10) seeds = 10;
+  std::size_t plans = 0;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    const std::uint64_t base = 0xC0DED00D + 977 * s;
+    const RecoverableResults serial =
+        run_recoverable(w.ctx, w.scenarios, chaos_run(base, 1));
+    EXPECT_EQ(serial.cases, 40u);
+    plans += per_run;
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      const RecoverableResults parallel =
+          run_recoverable(w.ctx, w.scenarios, chaos_run(base, threads));
+      expect_identical(serial, parallel);
+    }
+  }
+  EXPECT_GE(plans, 200u);
+}
+
+TEST(ChaosSoak, CountersConserveEverythingInjected) {
+  const ChaosWorld& w = world();
+  auto& reg = obs::Registry::global();
+  obs::Counter& loss = reg.counter("rtr.fault.loss");
+  obs::Counter& corrupt = reg.counter("rtr.fault.corrupt");
+  obs::Counter& crc = reg.counter("rtr.fault.corrupt.crc_caught");
+  obs::Counter& codec = reg.counter("rtr.fault.corrupt.codec_error");
+  obs::Counter& dup = reg.counter("rtr.fault.duplicate");
+  obs::Counter& sup = reg.counter("rtr.fault.duplicate.suppressed");
+  obs::Counter& link_dead = reg.counter("rtr.fault.link_dead");
+  obs::Counter& transit = reg.counter("rtr.fault.transit_dropped");
+
+  const obs::Value loss0 = loss.total(), corrupt0 = corrupt.total();
+  const obs::Value crc0 = crc.total(), codec0 = codec.total();
+  const obs::Value dup0 = dup.total(), sup0 = sup.total();
+  const obs::Value dead0 = link_dead.total(), transit0 = transit.total();
+
+  std::size_t cases = 0, recovered = 0, unrecovered = 0, dropped = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const RecoverableResults r =
+        run_recoverable(w.ctx, w.scenarios, chaos_run(7000 + s, 2));
+    cases += r.cases;
+    recovered += r.rtr_recovered;
+    unrecovered += r.rtr_unrecovered;
+    dropped += r.rtr_dropped;
+    // Per-run identities: one terminal recovery time per recovered
+    // case, and every attempt beyond a session's first is a counted
+    // re-initiation.
+    EXPECT_EQ(r.rtr_recovery_ms.size(), r.rtr_recovered);
+    EXPECT_EQ(r.rtr_retry_attempts, r.cases + r.rtr_reinitiations);
+  }
+
+  // Every session reached exactly one terminal outcome.
+  EXPECT_EQ(recovered + unrecovered + dropped, cases);
+  // Every injected duplicate was suppressed by exactly one receiver.
+  EXPECT_EQ(dup.total() - dup0, sup.total() - sup0);
+  // Every corruption was classified exactly once.
+  EXPECT_EQ(corrupt.total() - corrupt0,
+            (crc.total() - crc0) + (codec.total() - codec0));
+  // Every in-transit drop has exactly one recorded cause.
+  EXPECT_EQ(transit.total() - transit0,
+            (loss.total() - loss0) + (corrupt.total() - corrupt0) +
+                (link_dead.total() - dead0));
+  // The soak actually injected something on every path.
+  EXPECT_GT(loss.total() - loss0, 0u);
+  EXPECT_GT(corrupt.total() - corrupt0, 0u);
+  EXPECT_GT(dup.total() - dup0, 0u);
+  EXPECT_GT(link_dead.total() - dead0, 0u);
+}
+
+}  // namespace
+}  // namespace rtr::exp

@@ -3,6 +3,8 @@
 // centralized trace engine used by the experiments.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstddef>
 #include <set>
 
 #include "common/rng.h"
@@ -11,6 +13,7 @@
 #include "exp/cases.h"
 #include "exp/context.h"
 #include "graph/paper_topology.h"
+#include "obs/metrics.h"
 
 namespace rtr::core {
 namespace {
@@ -180,6 +183,91 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(TopoParam{"AS209", 501}, TopoParam{"AS1239", 502},
                       TopoParam{"AS3549", 503}, TopoParam{"AS7018", 504}),
     [](const auto& info) { return info.param.name; });
+
+/// Ring of n nodes on a circle; with a zeroed hop-cap factor every
+/// phase-1 traversal overruns the distributed cap and aborts.
+graph::Graph ring_graph(std::size_t n) {
+  graph::Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = 2.0 * 3.14159265358979323846 *
+                     static_cast<double>(i) / static_cast<double>(n);
+    g.add_node({100.0 * std::cos(a), 100.0 * std::sin(a)});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return g;
+}
+
+TEST(DistributedRtr, ReusableAfterPhase1Abort) {
+  // Satellite check: a hop-cap abort mid-collect must be counted, must
+  // surface as an ordinary drop (kHopCap), and must leave no stale
+  // InitiatorState behind -- the retried traversal and an untouched
+  // flow both behave exactly like a fresh engine's.
+  const graph::Graph g = ring_graph(20);
+  const LinkId dead = g.find_link(0, 1);
+  const fail::FailureSet failure = fail::FailureSet::of_links(g, {dead});
+  const graph::CrossingIndex crossings(g);
+  const spf::RoutingTable rt(g);
+
+  Phase1Options ablated;
+  ablated.max_hops_factor = 0;  // distributed cap = 32 trace entries
+  net::Simulator sim;
+  net::Network network(g, failure, sim);
+  DistributedRtr app(g, crossings, rt, failure, ablated);
+
+  const auto send = [&](DistributedRtr& a, NodeId src, NodeId dst) {
+    net::DataPacket p;
+    p.src = src;
+    p.dst = dst;
+    struct {
+      bool delivered = false;
+      std::vector<NodeId> trace;
+      net::DataPacket::DropReason reason = net::DataPacket::DropReason::kNone;
+    } out;
+    network.send(p, a,
+                 [&](const net::DataPacket& pkt, NodeId, bool ok) {
+                   out.delivered = ok;
+                   out.trace = pkt.trace;
+                   out.reason = pkt.drop_reason;
+                 });
+    sim.run();
+    return out;
+  };
+
+  obs::Counter& aborted =
+      obs::Registry::global().counter("core.distributed.phase1_aborted");
+  const obs::Value aborted0 = aborted.total();
+  const auto first = send(app, 0, 1);
+  EXPECT_FALSE(first.delivered);
+  EXPECT_EQ(first.reason, net::DataPacket::DropReason::kHopCap);
+  EXPECT_GT(first.trace.size(), 32u);
+  EXPECT_EQ(aborted.total() - aborted0, 1u);
+  EXPECT_FALSE(app.phase1_complete(0));
+
+  // Re-initiation after the abort restarts phase 1 from scratch: the
+  // retried traversal is bit-identical to the first (nothing stale
+  // steers it), and prepare_retry leaves no state at the initiator.
+  app.prepare_retry(0, /*clockwise=*/false);
+  EXPECT_FALSE(app.phase1_complete(0));
+  const auto second = send(app, 0, 1);
+  EXPECT_EQ(second.delivered, first.delivered);
+  EXPECT_EQ(second.trace, first.trace);
+  EXPECT_EQ(second.reason, first.reason);
+  EXPECT_EQ(aborted.total() - aborted0, 2u);
+
+  // Flows that never touch the failure still deliver on the same app.
+  const auto clean = send(app, 5, 9);
+  EXPECT_TRUE(clean.delivered);
+  EXPECT_EQ(clean.trace, (std::vector<NodeId>{5, 6, 7, 8, 9}));
+
+  // A fresh engine with the default cap completes the same recovery;
+  // the abort was purely the ablated cap's doing.
+  DistributedRtr healthy(g, crossings, rt, failure);
+  const auto ok = send(healthy, 0, 1);
+  EXPECT_TRUE(ok.delivered);
+  EXPECT_TRUE(healthy.phase1_complete(0));
+}
 
 }  // namespace
 }  // namespace rtr::core

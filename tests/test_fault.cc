@@ -1,0 +1,535 @@
+// The deterministic fault-injection layer (rtr::fault): plan
+// compilation and replay, the net::Network injection hooks, and the
+// graceful-degradation machinery in core::DistributedRtr /
+// core::RecoverySession.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/expect.h"
+#include "core/distributed_rtr.h"
+#include "core/recovery_session.h"
+#include "fault/fault.h"
+#include "fault/plan.h"
+#include "graph/paper_topology.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "spf/routing_table.h"
+
+namespace rtr::fault {
+namespace {
+
+using graph::paper_node;
+
+obs::Value counter_total(const char* name) {
+  return obs::Registry::global().counter(name).total();
+}
+
+struct FaultRig {
+  graph::Graph g = graph::fig1_graph();
+  graph::CrossingIndex crossings{g};
+  spf::RoutingTable rt{g};
+  fail::FailureSet failure{g};
+};
+
+TEST(FaultOptions, AnyIsTheMasterSwitch) {
+  FaultOptions o;
+  EXPECT_FALSE(o.any());
+  o.loss_prob = 0.1;
+  EXPECT_TRUE(o.any());
+  o = FaultOptions{};
+  o.max_detection_delay_ms = 5.0;
+  EXPECT_TRUE(o.any());
+  o = FaultOptions{};
+  o.dynamic_links = 1;
+  EXPECT_TRUE(o.any());
+  // Retry knobs alone arm nothing: they only matter once faults exist.
+  o = FaultOptions{};
+  o.retry_cap = 7;
+  o.backoff_base_ms = 99.0;
+  EXPECT_FALSE(o.any());
+}
+
+TEST(FaultOptions, FromEnvReadsEveryKnob) {
+  setenv("RTR_FAULT_LOSS", "0.25", 1);
+  setenv("RTR_FAULT_CORRUPT", "0.125", 1);
+  setenv("RTR_FAULT_DUP", "0.5", 1);
+  setenv("RTR_FAULT_DETECT_MS", "12.5", 1);
+  setenv("RTR_FAULT_DYN_LINKS", "3", 1);
+  setenv("RTR_FAULT_DYN_WINDOW_MS", "40", 1);
+  setenv("RTR_FAULT_FLAP", "0.75", 1);
+  setenv("RTR_FAULT_RETRY_CAP", "5", 1);
+  setenv("RTR_FAULT_BACKOFF_MS", "2.5", 1);
+  setenv("RTR_FAULT_SEED", "1234", 1);
+  const FaultOptions o = FaultOptions::from_env();
+  unsetenv("RTR_FAULT_LOSS");
+  unsetenv("RTR_FAULT_CORRUPT");
+  unsetenv("RTR_FAULT_DUP");
+  unsetenv("RTR_FAULT_DETECT_MS");
+  unsetenv("RTR_FAULT_DYN_LINKS");
+  unsetenv("RTR_FAULT_DYN_WINDOW_MS");
+  unsetenv("RTR_FAULT_FLAP");
+  unsetenv("RTR_FAULT_RETRY_CAP");
+  unsetenv("RTR_FAULT_BACKOFF_MS");
+  unsetenv("RTR_FAULT_SEED");
+  EXPECT_EQ(o.loss_prob, 0.25);
+  EXPECT_EQ(o.corrupt_prob, 0.125);
+  EXPECT_EQ(o.duplicate_prob, 0.5);
+  EXPECT_EQ(o.max_detection_delay_ms, 12.5);
+  EXPECT_EQ(o.dynamic_links, 3u);
+  EXPECT_EQ(o.dynamic_window_ms, 40.0);
+  EXPECT_EQ(o.flap_prob, 0.75);
+  EXPECT_EQ(o.retry_cap, 5u);
+  EXPECT_EQ(o.backoff_base_ms, 2.5);
+  EXPECT_EQ(o.seed, 1234u);
+  EXPECT_TRUE(o.any());
+  // Defaults come back once the environment is clean again.
+  EXPECT_FALSE(FaultOptions::from_env().any());
+}
+
+TEST(FaultPlan, SameSeedReplaysBitExactly) {
+  FaultRig rig;
+  FaultOptions o;
+  o.loss_prob = 0.2;
+  o.corrupt_prob = 0.1;
+  o.duplicate_prob = 0.1;
+  o.max_detection_delay_ms = 50.0;
+  FaultPlan a(o, 42, rig.g, rig.failure);
+  FaultPlan b(o, 42, rig.g, rig.failure);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.next_hop_fault(), b.next_hop_fault());
+    EXPECT_EQ(a.next_corrupt_offset(33), b.next_corrupt_offset(33));
+    EXPECT_EQ(a.next_corrupt_mask(), b.next_corrupt_mask());
+    EXPECT_EQ(a.next_detection_delay_ms(), b.next_detection_delay_ms());
+  }
+}
+
+TEST(FaultPlan, StreamSeedsDecorrelateWorkUnits) {
+  EXPECT_NE(FaultPlan::stream_seed(1, 0), FaultPlan::stream_seed(1, 1));
+  EXPECT_NE(FaultPlan::stream_seed(1, 0), FaultPlan::stream_seed(2, 0));
+  EXPECT_EQ(FaultPlan::stream_seed(7, 3), FaultPlan::stream_seed(7, 3));
+}
+
+TEST(FaultPlan, HopFaultPartitionsOneDraw) {
+  FaultRig rig;
+  FaultOptions o;
+  o.loss_prob = 1.0;
+  FaultPlan all_loss(o, 1, rig.g, rig.failure);
+  o = FaultOptions{};
+  o.corrupt_prob = 1.0;
+  FaultPlan all_corrupt(o, 1, rig.g, rig.failure);
+  o = FaultOptions{};
+  o.duplicate_prob = 1.0;
+  FaultPlan all_dup(o, 1, rig.g, rig.failure);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(all_loss.next_hop_fault(), HopFault::kLoss);
+    EXPECT_EQ(all_corrupt.next_hop_fault(), HopFault::kCorrupt);
+    EXPECT_EQ(all_dup.next_hop_fault(), HopFault::kDuplicate);
+  }
+  // Armed via a non-hop knob: hop fates stay kNone without consuming
+  // any rng draw, so detection delays match a plan that never asked.
+  o = FaultOptions{};
+  o.max_detection_delay_ms = 10.0;
+  FaultPlan detect_only(o, 9, rig.g, rig.failure);
+  FaultPlan control(o, 9, rig.g, rig.failure);
+  EXPECT_EQ(detect_only.next_hop_fault(), HopFault::kNone);
+  EXPECT_EQ(detect_only.next_detection_delay_ms(),
+            control.next_detection_delay_ms());
+}
+
+TEST(FaultPlan, RejectsInvalidProbabilities) {
+  FaultRig rig;
+  FaultOptions o;
+  o.loss_prob = 0.7;
+  o.corrupt_prob = 0.7;
+  EXPECT_THROW(FaultPlan(o, 1, rig.g, rig.failure), ContractViolation);
+  o = FaultOptions{};
+  o.loss_prob = -0.1;
+  EXPECT_THROW(FaultPlan(o, 1, rig.g, rig.failure), ContractViolation);
+  o = FaultOptions{};
+  o.dynamic_links = 2;  // armed, but no window
+  EXPECT_THROW(FaultPlan(o, 1, rig.g, rig.failure), ContractViolation);
+}
+
+TEST(FaultPlan, DynamicDeathsFollowTheSchedule) {
+  FaultRig rig;
+  FaultOptions o;
+  o.dynamic_links = 4;
+  o.dynamic_window_ms = 100.0;
+  FaultPlan plan(o, 99, rig.g, rig.failure);
+  EXPECT_EQ(plan.num_dynamic_deaths(), 4u);
+  std::size_t down_late = 0;
+  for (std::size_t l = 0; l < rig.g.num_links(); ++l) {
+    const LinkId link = static_cast<LinkId>(l);
+    // Before time zero nothing is down; far past the window every
+    // non-flapping death is down.
+    EXPECT_FALSE(plan.link_down_at(link, -1.0));
+    if (plan.link_down_at(link, 1e9)) ++down_late;
+  }
+  EXPECT_LE(down_late, 4u);
+  // A dead link is down from its death time on (sample the window).
+  std::size_t observed_down = 0;
+  for (std::size_t l = 0; l < rig.g.num_links(); ++l) {
+    for (double t = 0.0; t <= 100.0; t += 1.0) {
+      if (plan.link_down_at(static_cast<LinkId>(l), t)) {
+        ++observed_down;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(observed_down, 4u);
+}
+
+TEST(FaultPlan, FlappedLinksComeBack) {
+  FaultRig rig;
+  FaultOptions o;
+  o.dynamic_links = 6;
+  o.dynamic_window_ms = 50.0;
+  o.flap_prob = 1.0;  // every death revives inside the window
+  FaultPlan plan(o, 7, rig.g, rig.failure);
+  for (std::size_t l = 0; l < rig.g.num_links(); ++l) {
+    EXPECT_FALSE(plan.link_down_at(static_cast<LinkId>(l), 1e9));
+  }
+}
+
+// ---- Network injection hooks --------------------------------------
+
+/// Follows the default routing table; no recovery logic.
+class DefaultRoutingApp : public net::RouterApp {
+ public:
+  explicit DefaultRoutingApp(const spf::RoutingTable& rt) : rt_(&rt) {}
+  Decision on_packet(NodeId at, NodeId /*prev*/,
+                     net::DataPacket& p) override {
+    if (at == p.dst) return Decision::deliver();
+    return Decision::forward(rt_->next_link(at, p.dst));
+  }
+
+ private:
+  const spf::RoutingTable* rt_;
+};
+
+net::DataPacket make_packet(int src, int dst) {
+  net::DataPacket p;
+  p.src = paper_node(src);
+  p.dst = paper_node(dst);
+  return p;
+}
+
+TEST(NetworkFaults, CertainLossConsumesThePacket) {
+  FaultRig rig;
+  FaultOptions o;
+  o.loss_prob = 1.0;
+  FaultPlan plan(o, 3, rig.g, rig.failure);
+  net::Simulator sim;
+  net::Network network(rig.g, rig.failure, sim, {}, &plan);
+  DefaultRoutingApp app(rig.rt);
+  const obs::Value loss0 = counter_total("rtr.fault.loss");
+  const obs::Value transit0 = counter_total("rtr.fault.transit_dropped");
+  bool done_called = false;
+  net::DataPacket::TransitFault why = net::DataPacket::TransitFault::kNone;
+  network.send(make_packet(7, 17), app,
+               [&](const net::DataPacket& pkt, NodeId final_node,
+                   bool delivered) {
+                 done_called = true;
+                 why = pkt.transit_fault;
+                 EXPECT_FALSE(delivered);
+                 // Lost on the very first hop, at the source.
+                 EXPECT_EQ(final_node, paper_node(7));
+               });
+  sim.run();
+  EXPECT_TRUE(done_called);
+  EXPECT_EQ(why, net::DataPacket::TransitFault::kLost);
+  EXPECT_EQ(network.packets_lost_in_transit(), 1u);
+  EXPECT_EQ(network.packets_delivered(), 0u);
+  EXPECT_EQ(network.packets_dropped(), 0u);
+  EXPECT_EQ(counter_total("rtr.fault.loss") - loss0, 1);
+  EXPECT_EQ(counter_total("rtr.fault.transit_dropped") - transit0, 1);
+}
+
+TEST(NetworkFaults, CorruptionIsCountedAndNeverPropagates) {
+  FaultRig rig;
+  FaultOptions o;
+  o.corrupt_prob = 1.0;
+  net::Simulator sim;
+  DefaultRoutingApp app(rig.rt);
+  const obs::Value corrupt0 = counter_total("rtr.fault.corrupt");
+  const obs::Value crc0 = counter_total("rtr.fault.corrupt.crc_caught");
+  const obs::Value codec0 = counter_total("rtr.fault.corrupt.codec_error");
+  const int kPackets = 64;
+  std::size_t corrupted = 0;
+  for (int i = 0; i < kPackets; ++i) {
+    FaultPlan plan(o, static_cast<std::uint64_t>(i), rig.g, rig.failure);
+    net::Network network(rig.g, rig.failure, sim, {}, &plan);
+    network.send(make_packet(7, 17), app,
+                 [&](const net::DataPacket& pkt, NodeId, bool delivered) {
+                   EXPECT_FALSE(delivered);
+                   EXPECT_EQ(pkt.transit_fault,
+                             net::DataPacket::TransitFault::kCorrupted);
+                   ++corrupted;
+                 });
+    sim.run();
+  }
+  EXPECT_EQ(corrupted, static_cast<std::size_t>(kPackets));
+  const obs::Value n_corrupt = counter_total("rtr.fault.corrupt") - corrupt0;
+  const obs::Value n_crc =
+      counter_total("rtr.fault.corrupt.crc_caught") - crc0;
+  const obs::Value n_codec =
+      counter_total("rtr.fault.corrupt.codec_error") - codec0;
+  EXPECT_EQ(n_corrupt, kPackets);
+  // Conservation: every corruption is classified exactly once.
+  EXPECT_EQ(n_crc + n_codec, n_corrupt);
+}
+
+TEST(NetworkFaults, DynamicDeathBlackholesAndReportsTheLink) {
+  FaultRig rig;
+  FaultOptions o;
+  o.dynamic_links = rig.g.num_links();  // kill everything at some point
+  o.dynamic_window_ms = 0.0001;        // effectively from the start
+  FaultPlan plan(o, 11, rig.g, rig.failure);
+  net::Simulator sim;
+  net::Network network(rig.g, rig.failure, sim, {}, &plan);
+  DefaultRoutingApp app(rig.rt);
+  bool done_called = false;
+  network.send(make_packet(7, 17), app,
+               [&](const net::DataPacket& pkt, NodeId, bool delivered) {
+                 done_called = true;
+                 EXPECT_FALSE(delivered);
+                 EXPECT_EQ(pkt.transit_fault,
+                           net::DataPacket::TransitFault::kLinkDied);
+                 EXPECT_NE(pkt.fault_link, kNoLink);
+                 EXPECT_TRUE(rig.g.valid_link(pkt.fault_link));
+               });
+  sim.run();
+  EXPECT_TRUE(done_called);
+  EXPECT_EQ(network.packets_lost_in_transit(), 1u);
+}
+
+TEST(NetworkFaults, DisabledPlanIsByteIdenticalToNoPlan) {
+  FaultRig rig;
+  const FaultOptions off;  // all defaults: any() == false
+  FaultPlan plan(off, 5, rig.g, rig.failure);
+  EXPECT_FALSE(plan.enabled());
+  net::Simulator sim_a;
+  net::Network with_plan(rig.g, rig.failure, sim_a, {}, &plan);
+  net::Simulator sim_b;
+  net::Network without(rig.g, rig.failure, sim_b);
+  DefaultRoutingApp app(rig.rt);
+  std::vector<NodeId> trace_a;
+  std::vector<NodeId> trace_b;
+  net::RtrHeader header_a;
+  with_plan.send(make_packet(7, 17), app,
+                 [&](const net::DataPacket& pkt, NodeId, bool ok) {
+                   EXPECT_TRUE(ok);
+                   trace_a = pkt.trace;
+                   header_a = pkt.header;
+                 });
+  without.send(make_packet(7, 17), app,
+               [&](const net::DataPacket& pkt, NodeId, bool ok) {
+                 EXPECT_TRUE(ok);
+                 trace_b = pkt.trace;
+               });
+  sim_a.run();
+  sim_b.run();
+  EXPECT_EQ(trace_a, trace_b);
+  // The disabled plan does not even stamp flow/seq.
+  EXPECT_EQ(header_a.flow, 0u);
+  EXPECT_EQ(header_a.seq, 0u);
+}
+
+// ---- Duplicate suppression through DistributedRtr -----------------
+
+TEST(NetworkFaults, DuplicatesAreInjectedAndSuppressedOneForOne) {
+  FaultRig rig;
+  FaultOptions o;
+  o.duplicate_prob = 1.0;  // every hop spawns a copy
+  FaultPlan plan(o, 21, rig.g, rig.failure);
+  net::Simulator sim;
+  net::Network network(rig.g, rig.failure, sim, {}, &plan);
+  core::DistributedRtr app(rig.g, rig.crossings, rig.rt, rig.failure);
+  app.set_fault_aware(true);
+  const obs::Value dup0 = counter_total("rtr.fault.duplicate");
+  const obs::Value sup0 = counter_total("rtr.fault.duplicate.suppressed");
+  bool delivered = false;
+  std::size_t hops = 0;
+  network.send(make_packet(7, 17), app,
+               [&](const net::DataPacket& pkt, NodeId, bool ok) {
+                 delivered = ok;
+                 hops = pkt.trace.size() - 1;
+               });
+  sim.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(network.packets_delivered(), 1u);
+  const obs::Value injected = counter_total("rtr.fault.duplicate") - dup0;
+  const obs::Value suppressed =
+      counter_total("rtr.fault.duplicate.suppressed") - sup0;
+  // One copy per forwarded hop, every copy suppressed at its receiver.
+  EXPECT_EQ(injected, static_cast<obs::Value>(hops));
+  EXPECT_EQ(suppressed, injected);
+  // Suppressed copies surface as ordinary app drops.
+  EXPECT_EQ(network.packets_dropped(), hops);
+}
+
+TEST(NetworkFaults, SuppressionNeverEatsLegitimateRevisits) {
+  // The fig. 1 recovery traversal revisits nodes (the phase-1 cycle
+  // crosses v7, v6 and v12 twice); with the plan armed via a non-hop
+  // knob the fault-aware app must still deliver over the exact same
+  // trace as the fault-free run.
+  const graph::Graph g = graph::fig1_graph();
+  const graph::CrossingIndex crossings(g);
+  const spf::RoutingTable rt(g);
+  const fail::FailureSet failure(
+      g, fail::CircleArea(graph::fig1_failure_area()),
+      fail::LinkCutRule::kGeometric);
+  const auto run = [&](bool with_faults) {
+    FaultOptions o;
+    if (with_faults) o.max_detection_delay_ms = 1.0;  // arms the plan
+    FaultPlan plan(o, 13, g, failure);
+    net::Simulator sim;
+    net::Network network(g, failure, sim, {}, &plan);
+    core::DistributedRtr app(g, crossings, rt, failure);
+    app.set_fault_aware(with_faults);
+    std::vector<NodeId> trace;
+    net::DataPacket p;
+    p.src = paper_node(7);
+    p.dst = paper_node(17);
+    network.send(p, app,
+                 [&](const net::DataPacket& pkt, NodeId, bool ok) {
+                   EXPECT_TRUE(ok);
+                   trace = pkt.trace;
+                 });
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// ---- RecoverySession: bounded retry and graceful exhaustion -------
+
+struct SessionRig {
+  graph::Graph g = graph::fig1_graph();
+  graph::CrossingIndex crossings{g};
+  spf::RoutingTable rt{g};
+  fail::FailureSet failure{g, fail::CircleArea(graph::fig1_failure_area()),
+                           fail::LinkCutRule::kGeometric};
+};
+
+TEST(RecoverySession, FaultFreeSessionRecoversFirstTry) {
+  SessionRig rig;
+  FaultOptions o;
+  o.max_detection_delay_ms = 1.0;  // armed, but no packet faults
+  FaultPlan plan(o, 31, rig.g, rig.failure);
+  net::Simulator sim;
+  net::Network network(rig.g, rig.failure, sim, {}, &plan);
+  core::DistributedRtr app(rig.g, rig.crossings, rig.rt, rig.failure);
+  app.set_fault_aware(true);
+  core::SessionOptions sopts;
+  sopts.detection_delay_ms = 4.0;
+  core::RecoverySession session(sim, network, app, paper_node(7),
+                                paper_node(17), sopts);
+  session.start();
+  sim.run();
+  const core::SessionResult& r = session.result();
+  EXPECT_EQ(r.outcome, core::SessionOutcome::kRecovered);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_EQ(r.reinitiations, 0u);
+  EXPECT_EQ(r.delivered_hops, 16u);  // the worked example's journey
+  // Detection delay is simulated time: 4 ms wait + 0.1 ms router
+  // processing + 16 hops at 1.8 ms.
+  EXPECT_NEAR(r.finished_ms, 4.0 + 0.1 + 1.8 * 16, 1e-9);
+}
+
+TEST(RecoverySession, CertainLossExhaustsRetriesGracefully) {
+  SessionRig rig;
+  FaultOptions o;
+  o.loss_prob = 1.0;  // nothing ever gets through
+  FaultPlan plan(o, 37, rig.g, rig.failure);
+  net::Simulator sim;
+  net::Network network(rig.g, rig.failure, sim, {}, &plan);
+  core::DistributedRtr app(rig.g, rig.crossings, rig.rt, rig.failure);
+  app.set_fault_aware(true);
+  const obs::Value exhausted0 = counter_total("rtr.core.retry.exhausted");
+  const obs::Value reinit0 = counter_total("rtr.core.retry.reinitiated");
+  core::SessionOptions sopts;
+  sopts.retry_cap = 3;
+  sopts.backoff_base_ms = 10.0;
+  core::RecoverySession session(sim, network, app, paper_node(7),
+                                paper_node(17), sopts);
+  session.start();
+  sim.run();  // terminates: no assertion, no infinite loop
+  const core::SessionResult& r = session.result();
+  EXPECT_EQ(r.outcome, core::SessionOutcome::kUnrecovered);
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(r.reinitiations, 2u);
+  EXPECT_EQ(counter_total("rtr.core.retry.exhausted") - exhausted0, 1);
+  EXPECT_EQ(counter_total("rtr.core.retry.reinitiated") - reinit0, 2);
+  // Exponential backoff in simulated time: attempt 1 at 0, attempt 2
+  // after 10 ms, attempt 3 after another 20 ms.  Each lost attempt dies
+  // on the first hop, 0.1 ms (router processing) after its send.
+  EXPECT_NEAR(r.finished_ms, 10.0 + 20.0 + 3 * 0.1, 1e-9);
+}
+
+TEST(RecoverySession, BackoffAlternatesSweepOrientation) {
+  // With certain loss the session re-initiates with flipped orientation
+  // every time; determinism makes the whole schedule replayable.
+  SessionRig rig;
+  FaultOptions o;
+  o.loss_prob = 1.0;
+  const auto run_once = [&] {
+    FaultPlan plan(o, 41, rig.g, rig.failure);
+    net::Simulator sim;
+    net::Network network(rig.g, rig.failure, sim, {}, &plan);
+    core::DistributedRtr app(rig.g, rig.crossings, rig.rt, rig.failure);
+    app.set_fault_aware(true);
+    core::SessionOptions sopts;
+    sopts.retry_cap = 4;
+    core::RecoverySession session(sim, network, app, paper_node(7),
+                                  paper_node(17), sopts);
+    session.start();
+    sim.run();
+    return session.result();
+  };
+  const core::SessionResult a = run_once();
+  const core::SessionResult b = run_once();
+  EXPECT_EQ(a.outcome, core::SessionOutcome::kUnrecovered);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.finished_ms, b.finished_ms);
+}
+
+TEST(RecoverySession, LinkDeathIsLearnedAndRoutedAround) {
+  // Kill one surviving link the worked example's phase-2 path uses
+  // (v12 -> v14): the first attempt blackholes on it, the session
+  // feeds it back via note_link_dead, and the retry recovers around it.
+  SessionRig rig;
+  const LinkId victim = rig.g.find_link(paper_node(12), paper_node(14));
+  ASSERT_NE(victim, kNoLink);
+  FaultOptions o;
+  o.dynamic_links = 1;
+  o.dynamic_window_ms = 1e-6;  // down before any packet moves
+  // Seed chosen so the single scheduled death lands on `victim`: scan
+  // a few seeds deterministically instead of hard-coding rng internals.
+  std::uint64_t seed = 0;
+  for (; seed < 512; ++seed) {
+    FaultPlan probe(o, seed, rig.g, rig.failure);
+    if (probe.link_down_at(victim, 1.0)) break;
+  }
+  ASSERT_LT(seed, 512u) << "no seed kills the victim link";
+  FaultPlan plan(o, seed, rig.g, rig.failure);
+  net::Simulator sim;
+  net::Network network(rig.g, rig.failure, sim, {}, &plan);
+  core::DistributedRtr app(rig.g, rig.crossings, rig.rt, rig.failure);
+  app.set_fault_aware(true);
+  core::SessionOptions sopts;
+  sopts.retry_cap = 3;
+  core::RecoverySession session(sim, network, app, paper_node(7),
+                                paper_node(17), sopts);
+  session.start();
+  sim.run();
+  const core::SessionResult& r = session.result();
+  EXPECT_EQ(r.outcome, core::SessionOutcome::kRecovered);
+  EXPECT_GE(r.attempts, 2u);  // at least one blackhole before success
+}
+
+}  // namespace
+}  // namespace rtr::fault

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/expect.h"
 #include "net/codec.h"
 #include "net/delay.h"
@@ -172,6 +174,25 @@ TEST(Simulator, RejectsPastScheduling) {
   sim.at(5.0, [] {});
   sim.run();
   EXPECT_THROW(sim.at(1.0, [] {}), ContractViolation);
+}
+
+TEST(Simulator, AfterClampsInjectedDelaysAtNow) {
+  // Regression: fault-layer delay arithmetic can produce a negative or
+  // non-finite adjustment; after() must clamp the sum at now() instead
+  // of tripping at()'s cannot-schedule-in-the-past contract.
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run();
+  ASSERT_DOUBLE_EQ(sim.now(), 5.0);
+  std::vector<double> fired_at;
+  sim.after(-3.0, [&] { fired_at.push_back(sim.now()); });
+  sim.after(std::numeric_limits<double>::quiet_NaN(),
+            [&] { fired_at.push_back(sim.now()); });
+  sim.after(0.5, [&] { fired_at.push_back(sim.now()); });
+  sim.run();
+  // The clamped events run immediately at now(), in FIFO order, before
+  // the genuinely later one.
+  EXPECT_EQ(fired_at, (std::vector<double>{5.0, 5.0, 5.5}));
 }
 
 }  // namespace

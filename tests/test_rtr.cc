@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/expect.h"
 #include "common/rng.h"
 #include "core/rtr.h"
 #include "failure/scenario.h"
 #include "graph/gen/isp_gen.h"
 #include "graph/paper_topology.h"
+#include "obs/metrics.h"
 #include "spf/shortest_path.h"
 
 namespace rtr::core {
@@ -297,6 +300,67 @@ TEST(Rtr, MultiAreaRecovery) {
   }
   EXPECT_GT(attempts, 30);
   EXPECT_GT(multi_successes, 0) << "no case needed a second leg";
+}
+
+/// Ring of n nodes on a circle: every phase-1 traversal walks nearly
+/// the whole ring, so a zeroed hop-cap factor forces kAborted.
+Graph ring_graph(std::size_t n) {
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = 2.0 * 3.14159265358979323846 *
+                     static_cast<double>(i) / static_cast<double>(n);
+    g.add_node({100.0 * std::cos(a), 100.0 * std::sin(a)});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return g;
+}
+
+TEST(Rtr, EngineStaysUsableAfterPhase1Abort) {
+  // Satellite check: an aborted phase 1 (hop cap, forced here by the
+  // max_hops_factor ablation on a 20-ring) must leave the engine fully
+  // reusable -- repeated calls agree, the abort is counted once (the
+  // phase-1 run is cached), and a fresh engine with the normal cap
+  // recovers the very same case.
+  Graph g = ring_graph(20);
+  const LinkId dead = g.find_link(0, 1);
+  const FailureSet fs = FailureSet::of_links(g, {dead});
+  Rig rig(std::move(g), FailureSet(fs));
+
+  RtrOptions ablated;
+  ablated.phase1.max_hops_factor = 0;  // cap = 16 hops < ring cycle
+  RtrRecovery rtr(rig.g, rig.crossings, rig.rt, rig.failure, ablated);
+  const obs::Value aborted0 =
+      obs::Registry::global().counter("core.phase1.aborted").total();
+  const RecoveryResult first = rtr.recover(0, 1);  // graceful, no throw
+  EXPECT_EQ(rtr.phase1_for(0).status, Phase1Result::Status::kAborted);
+  EXPECT_EQ(
+      obs::Registry::global().counter("core.phase1.aborted").total() -
+          aborted0,
+      1);
+
+  // Reuse 1: the same engine answers the same case identically.
+  const RecoveryResult again = rtr.recover(0, 1);
+  EXPECT_EQ(again.outcome, first.outcome);
+  EXPECT_EQ(again.computed_path.nodes, first.computed_path.nodes);
+  // ... and without re-running (and re-counting) phase 1.
+  EXPECT_EQ(
+      obs::Registry::global().counter("core.phase1.aborted").total() -
+          aborted0,
+      1);
+
+  // Reuse 2: a different initiator on the same engine still works.
+  const RecoveryResult other = rtr.recover(1, 19);
+  EXPECT_NO_FATAL_FAILURE((void)to_string(other.outcome));
+
+  // The abort is an artifact of the ablated cap: the default cap
+  // completes phase 1 and recovers around the ring.
+  RtrRecovery healthy(rig.g, rig.crossings, rig.rt, rig.failure);
+  const RecoveryResult ok = healthy.recover(0, 1);
+  EXPECT_EQ(ok.outcome, Outcome::kRecovered);
+  EXPECT_EQ(healthy.phase1_for(0).status,
+            Phase1Result::Status::kCompleted);
 }
 
 }  // namespace

@@ -1,0 +1,18 @@
+// Seeded bad fixture: a fault plan that draws ambient randomness and
+// paces retry backoff off the host clock -- either one breaks the
+// bit-exact replay of an injected-fault schedule from its seed.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double next_fault_delay_ms() {
+  std::random_device entropy;                        // finding: banned-random
+  const unsigned jitter = entropy() % 100u;
+  const auto t0 = std::chrono::steady_clock::now();  // finding: wall-clock
+  const std::time_t wall = time(nullptr);            // finding: wall-clock
+  (void)t0;
+  const int burst = std::rand() % 5;                 // finding: banned-random
+  return static_cast<double>(jitter + burst) +
+         static_cast<double>(wall % 7);
+}

@@ -1,0 +1,15 @@
+// Seeded good fixture: the same fault-plan decisions drawn from an
+// explicitly seeded engine and paced in simulated milliseconds, so
+// (seed, attempt) alone replays the schedule bit-exactly.
+#include <cstdint>
+#include <random>
+
+double next_fault_delay_ms(std::uint64_t seed, int attempt) {
+  std::mt19937_64 engine(seed);
+  const double jitter = static_cast<double>(engine() % 100u) / 10.0;
+  // Exponential backoff in *simulated* time: pure arithmetic on the
+  // attempt index, no host clock anywhere.
+  double backoff_ms = 10.0;
+  for (int i = 1; i < attempt; ++i) backoff_ms *= 2.0;
+  return backoff_ms + jitter;
+}

@@ -102,6 +102,26 @@ class WallClockTest(unittest.TestCase):
             lint_text("src/obs/metrics.h", text, ALL_RULES, Config()), [])
 
 
+class FaultPlanFixtureTest(unittest.TestCase):
+    """Fault-injection code is the canonical tempted consumer of ambient
+    entropy and host clocks (jittered loss, wall-clock backoff); the
+    paired fixtures pin both rules on exactly that shape of code."""
+
+    def test_bad_fixture_flags_entropy_and_clock_reads(self):
+        findings = lint_fixture("bad_fault_plan.cc")
+        self.assertEqual(rules_of(findings),
+                         ["banned-random", "banned-random",
+                          "wall-clock", "wall-clock"])
+        by_rule = {}
+        for f in findings:
+            by_rule.setdefault(f.rule, []).append(f.line)
+        self.assertEqual(sorted(by_rule["banned-random"]), [10, 15])
+        self.assertEqual(sorted(by_rule["wall-clock"]), [12, 13])
+
+    def test_good_fixture_is_clean(self):
+        self.assertEqual(lint_fixture("good_fault_plan.cc"), [])
+
+
 class MutableStaticTest(unittest.TestCase):
     def test_bad_fixture(self):
         findings = lint_fixture("bad_mutable_static.cc")
@@ -166,7 +186,8 @@ class CliTest(unittest.TestCase):
 
     def test_exits_zero_on_good_fixtures(self):
         for name in ("good_unordered_iteration.cc", "good_random.cc",
-                     "good_wall_clock.cc", "good_mutable_static.cc"):
+                     "good_wall_clock.cc", "good_mutable_static.cc",
+                     "good_fault_plan.cc"):
             proc = self.run_cli(os.path.join(FIXTURES, name))
             self.assertEqual(proc.returncode, 0,
                              f"{name}: {proc.stdout}{proc.stderr}")
@@ -174,7 +195,7 @@ class CliTest(unittest.TestCase):
     def test_exits_nonzero_on_each_bad_fixture(self):
         for name in ("bad_unordered_iteration.cc", "bad_random.cc",
                      "bad_wall_clock.cc", "bad_mutable_static.cc",
-                     "bad_allow.cc"):
+                     "bad_allow.cc", "bad_fault_plan.cc"):
             proc = self.run_cli(os.path.join(FIXTURES, name))
             self.assertEqual(proc.returncode, 1,
                              f"{name}: {proc.stdout}{proc.stderr}")
