@@ -42,6 +42,10 @@ net::RouterApp::Decision DistributedRtr::on_packet(NodeId at, NodeId prev,
     // arrival of the original; a repeated key is therefore always a
     // duplicate, and legitimate revisits (phase-1 traversals cross a
     // node twice all the time) always carry a fresh seq.
+    RTR_EXPECT_MSG(p.header.flow != 0,
+                   "fault-aware duplicate suppression needs sequenced "
+                   "packets: pair set_fault_aware(true) with a Network "
+                   "whose FaultPlan is armed (sequencing_armed())");
     const std::uint64_t key =
         (static_cast<std::uint64_t>(p.header.flow) << 32) | p.header.seq;
     if (!seen_.insert(key).second) {

@@ -47,8 +47,24 @@ class DistributedRtr : public net::RouterApp {
   // paths are byte-identical with it off.
 
   /// Arms duplicate suppression via the (flow, seq) pair the Network
-  /// stamps on every packet when a FaultPlan is active.
+  /// stamps on every packet when a FaultPlan is active.  Requires a
+  /// Network whose sequencing_armed() is true: an unsequenced packet
+  /// (flow 0) arriving while fault-aware trips a contract check, since
+  /// suppressing on unstamped keys would falsely eat live packets.
   void set_fault_aware(bool on) { fault_aware_ = on; }
+
+  /// Forgets the duplicate-suppression keys of earlier flows, bounding
+  /// their memory to one flow's arrivals.  Safe whenever no packet of
+  /// an earlier flow can still be in flight: an injected copy lives
+  /// exactly one hop (it is suppressed at its first arrival, whose key
+  /// the original inserted one event earlier), so any event scheduled
+  /// after a flow's final disposition runs after its last copy.
+  /// core::RecoverySession calls this at the start of every attempt.
+  void begin_flow() { seen_.clear(); }
+
+  /// Duplicate-suppression keys currently retained (tests pin down
+  /// that begin_flow() keeps this bounded across sessions).
+  std::size_t sequencing_keys() const { return seen_.size(); }
 
   /// Records that link l died mid-recovery (reported by the transit
   /// layer as TransitFault::kLinkDied).  Future default forwarding

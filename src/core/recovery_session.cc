@@ -1,0 +1,107 @@
+#include "core/recovery_session.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace rtr::core {
+
+namespace {
+using DropReason = net::DataPacket::DropReason;
+using TransitFault = net::DataPacket::TransitFault;
+
+obs::Counter& retry_counter(const char* name) {
+  return obs::Registry::global().counter(name);
+}
+}  // namespace
+
+RecoverySession::RecoverySession(net::Simulator& sim, net::Network& net,
+                                 DistributedRtr& app, NodeId src,
+                                 NodeId dst, SessionOptions opts)
+    : sim_(&sim),
+      net_(&net),
+      app_(&app),
+      src_(src),
+      dst_(dst),
+      opts_(opts) {
+  RTR_EXPECT_MSG(opts_.retry_cap >= 1, "at least one attempt");
+  RTR_EXPECT(opts_.backoff_base_ms >= 0.0 &&
+             opts_.detection_delay_ms >= 0.0);
+}
+
+void RecoverySession::start() {
+  RTR_EXPECT_MSG(!result_.done(), "session already finished");
+  RTR_EXPECT(result_.attempts == 0);
+  app_->prepare_retry(src_, orientation(1));
+  sim_->after(opts_.detection_delay_ms, [this] { attempt(); });
+}
+
+void RecoverySession::attempt() {
+  ++result_.attempts;
+  static obs::Counter& attempts = retry_counter("rtr.core.retry.attempts");
+  attempts.inc();
+  // Earlier flows are fully settled by now -- injected copies live one
+  // hop and this event was scheduled after the last disposition -- so
+  // their suppression keys can be dropped.  Without this the shared
+  // app's key set would grow with every arrival of every case.
+  app_->begin_flow();
+  net::DataPacket p;
+  p.src = src_;
+  p.dst = dst_;
+  net_->send(std::move(p), *app_,
+             [this](const net::DataPacket& pkt, NodeId /*final_node*/,
+                    bool delivered) { on_done(pkt, delivered); });
+}
+
+void RecoverySession::finish(SessionOutcome outcome) {
+  result_.outcome = outcome;
+  result_.finished_ms = sim_->now();
+}
+
+void RecoverySession::on_done(const net::DataPacket& p, bool delivered) {
+  RTR_EXPECT_MSG(!result_.done(), "one disposition per attempt");
+  if (delivered) {
+    result_.delivered_hops = p.trace.size() - 1;
+    finish(SessionOutcome::kRecovered);
+    return;
+  }
+  // Terminal protocol verdicts: retrying cannot change them.  An
+  // isolated initiator has no live neighbour, a never-routable or
+  // view-unreachable destination stays that way (the view only grows
+  // dead links), and a duplicate's fate is its original's.
+  if (p.drop_reason == DropReason::kIsolated ||
+      p.drop_reason == DropReason::kNeverRoutable ||
+      p.drop_reason == DropReason::kUnreachable) {
+    finish(SessionOutcome::kDropped);
+    return;
+  }
+  // A dynamic link death is the one failure the app can learn from:
+  // fold it into the app's view so the retry routes around it.
+  if (p.transit_fault == TransitFault::kLinkDied) {
+    RTR_EXPECT(p.fault_link != kNoLink);
+    app_->note_link_dead(p.fault_link);
+  }
+  if (result_.attempts >= opts_.retry_cap) {
+    static obs::Counter& exhausted =
+        retry_counter("rtr.core.retry.exhausted");
+    exhausted.inc();
+    finish(SessionOutcome::kUnrecovered);
+    return;
+  }
+  // Retryable: loss/corruption in transit, a hop-cap abort, a phase-1
+  // dead end or a source route over a missed failure.  Re-initiate
+  // with the opposite sweep orientation (the clockwise ablation doubles
+  // as a fallback) after simulated-time exponential backoff.
+  const NodeId initiator =
+      p.header.rec_init != kNoNode ? p.header.rec_init : src_;
+  app_->prepare_retry(initiator, orientation(result_.attempts + 1));
+  ++result_.reinitiations;
+  static obs::Counter& reinitiated =
+      retry_counter("rtr.core.retry.reinitiated");
+  reinitiated.inc();
+  double backoff_ms = opts_.backoff_base_ms;
+  for (std::uint32_t i = 1; i < result_.attempts; ++i) backoff_ms *= 2.0;
+  sim_->after(backoff_ms, [this] { attempt(); });
+}
+
+}  // namespace rtr::core

@@ -1,0 +1,85 @@
+// Bounded-retry recovery driver for fault-mode experiments.
+//
+// Under an armed rtr::fault::FaultPlan a single recovery attempt can
+// fail for reasons the protocol of Sections III-B/D never had to face:
+// the collect packet is lost or corrupted in transit, a link dies
+// mid-traversal, or the phase-1 hop cap aborts the sweep.
+// RecoverySession wraps one (src, dst) flow in the degradation policy:
+// wait out the (injected) failure-detection delay, attempt delivery,
+// and on a retryable failure re-initiate with the opposite sweep
+// orientation under simulated-time exponential backoff, up to a retry
+// cap.  Exhaustion is a terminal kUnrecovered outcome the experiment
+// layer reports as data -- never an assertion.
+//
+// All timing flows through net::Simulator; all outcomes are plain
+// state.  The session is deterministic given the plan's RNG stream.
+#pragma once
+
+#include <cstdint>
+
+#include "core/distributed_rtr.h"
+#include "net/network.h"
+#include "net/sim.h"
+
+namespace rtr::core {
+
+/// Degradation knobs, mirroring fault::FaultOptions' retry fields.
+struct SessionOptions {
+  std::uint32_t retry_cap = 3;     ///< max sends (first attempt included)
+  double backoff_base_ms = 10.0;   ///< retry i waits base * 2^(i-1) ms
+  double detection_delay_ms = 0.0; ///< injected failure-detection lag
+  bool first_clockwise = false;    ///< sweep orientation of attempt 1
+};
+
+enum class SessionOutcome : std::uint8_t {
+  kPending = 0,   ///< not finished yet
+  kRecovered,     ///< packet delivered
+  kDropped,       ///< RTR declared the destination unreachable
+  kUnrecovered,   ///< retry cap exhausted under faults
+};
+
+struct SessionResult {
+  SessionOutcome outcome = SessionOutcome::kPending;
+  std::uint32_t attempts = 0;       ///< sends performed
+  std::uint32_t reinitiations = 0;  ///< re-initiated phase-1 sweeps
+  std::size_t delivered_hops = 0;   ///< trace hops when kRecovered
+  double finished_ms = 0.0;         ///< simulated completion time
+
+  bool done() const { return outcome != SessionOutcome::kPending; }
+};
+
+class RecoverySession {
+ public:
+  /// All references are borrowed and must outlive the session (and the
+  /// simulator run that drives it).
+  RecoverySession(net::Simulator& sim, net::Network& net,
+                  DistributedRtr& app, NodeId src, NodeId dst,
+                  SessionOptions opts = {});
+
+  /// Schedules the first attempt detection_delay_ms from now.  Drive
+  /// the simulator (sim.run()) to completion afterwards.
+  void start();
+
+  const SessionResult& result() const { return result_; }
+
+ private:
+  void attempt();
+  void finish(SessionOutcome outcome);
+  void on_done(const net::DataPacket& p, bool delivered);
+  /// Sweep orientation for the (1-based) attempt number: alternates
+  /// starting from opts_.first_clockwise.
+  bool orientation(std::uint32_t attempt_no) const {
+    return (attempt_no % 2 == 0) ? !opts_.first_clockwise
+                                 : opts_.first_clockwise;
+  }
+
+  net::Simulator* sim_;
+  net::Network* net_;
+  DistributedRtr* app_;
+  NodeId src_;
+  NodeId dst_;
+  SessionOptions opts_;
+  SessionResult result_;
+};
+
+}  // namespace rtr::core

@@ -35,10 +35,11 @@ struct RtrHeader {
   std::vector<NodeId> source_route;  ///< phase-2 route (nodes after source)
 
   /// Transport-layer sequencing for fault-mode duplicate suppression
-  /// (rtr::fault): a per-send flow id and a sequence number bumped on
-  /// every forwarded hop, so each arrival of the original packet is
-  /// unique and an injected copy shares the (flow, seq) of exactly one
-  /// of them.  Like the one-bit mode flag these ride in existing header
+  /// (rtr::fault): a per-send flow id (>= 1 when a plan is armed; 0
+  /// means "never sequenced") and a sequence number bumped on every
+  /// forwarded hop, so each arrival of the original packet is unique
+  /// and an injected copy shares the (flow, seq) of exactly one of
+  /// them.  Like the one-bit mode flag these ride in existing header
   /// bits: not charged by recovery_bytes() and not part of the wire
   /// codecs (net/codec.h, net/compress.h), so byte accounting and
   /// encodings are unchanged whether faults are on or off.

@@ -36,7 +36,10 @@ void Network::send(DataPacket p, RouterApp& app, DoneFn done) {
   RTR_EXPECT_MSG(!failure_->node_failed(p.src),
                  "a failed router cannot send");
   if (plan_ != nullptr) {
-    p.header.flow = next_flow_++;
+    // Flow ids start at 1: flow 0 marks a packet that was never
+    // sequenced, which lets a fault-aware app detect it is paired with
+    // a Network whose plan is null or disabled (see sequencing_armed()).
+    p.header.flow = ++next_flow_;
     p.header.seq = 0;
   }
   InFlight flight{std::move(p), &app, std::move(done)};

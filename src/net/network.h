@@ -113,6 +113,11 @@ class Network {
   std::size_t packets_delivered() const { return delivered_; }
   std::size_t packets_dropped() const { return dropped_; }
   std::size_t hops_forwarded() const { return hops_; }
+  /// True when an enabled FaultPlan is armed, i.e. every sent packet is
+  /// stamped with a (flow >= 1, seq) pair.  DistributedRtr's duplicate
+  /// suppression requires this; pairing set_fault_aware(true) with an
+  /// unarmed Network trips a contract check on the first packet.
+  bool sequencing_armed() const { return plan_ != nullptr; }
   /// Packets the fault layer consumed in transit (loss, corruption or a
   /// dynamically-dead link); disjoint from packets_dropped().
   std::size_t packets_lost_in_transit() const { return transit_dropped_; }

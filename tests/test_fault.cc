@@ -370,6 +370,21 @@ TEST(NetworkFaults, DuplicatesAreInjectedAndSuppressedOneForOne) {
   EXPECT_EQ(network.packets_dropped(), hops);
 }
 
+TEST(NetworkFaults, FaultAwareWithoutArmedPlanIsRejected) {
+  // A fault-aware app over an unarmed Network would see every packet
+  // carry (flow 0, seq 0) and falsely suppress all but the first
+  // arrival; the app rejects the misconfiguration loudly instead.
+  FaultRig rig;
+  FaultPlan disabled(FaultOptions{}, 1, rig.g, rig.failure);
+  net::Simulator sim;
+  net::Network network(rig.g, rig.failure, sim, {}, &disabled);
+  EXPECT_FALSE(network.sequencing_armed());
+  core::DistributedRtr app(rig.g, rig.crossings, rig.rt, rig.failure);
+  app.set_fault_aware(true);
+  network.send(make_packet(7, 17), app);
+  EXPECT_THROW(sim.run(), ContractViolation);
+}
+
 TEST(NetworkFaults, SuppressionNeverEatsLegitimateRevisits) {
   // The fig. 1 recovery traversal revisits nodes (the phase-1 cycle
   // crosses v7, v6 and v12 twice); with the plan armed via a non-hop
@@ -495,6 +510,34 @@ TEST(RecoverySession, BackoffAlternatesSweepOrientation) {
   EXPECT_EQ(a.outcome, b.outcome);
   EXPECT_EQ(a.attempts, b.attempts);
   EXPECT_EQ(a.finished_ms, b.finished_ms);
+}
+
+TEST(RecoverySession, SuppressionKeysDoNotAccumulateAcrossSessions) {
+  // One app/network pair serves every case of a scenario
+  // (exp::runners); begin_flow() at each attempt keeps the key set
+  // bounded by one flow's arrivals instead of growing with the
+  // scenario (and makes the uint32 flow-id wraparound harmless).
+  SessionRig rig;
+  FaultOptions o;
+  o.max_detection_delay_ms = 1.0;  // armed, but no packet faults
+  FaultPlan plan(o, 61, rig.g, rig.failure);
+  net::Simulator sim;
+  net::Network network(rig.g, rig.failure, sim, {}, &plan);
+  core::DistributedRtr app(rig.g, rig.crossings, rig.rt, rig.failure);
+  app.set_fault_aware(true);
+  for (int i = 0; i < 8; ++i) {
+    core::RecoverySession session(sim, network, app, paper_node(7),
+                                  paper_node(17), {});
+    session.start();
+    sim.run();
+    const core::SessionResult& r = session.result();
+    EXPECT_EQ(r.outcome, core::SessionOutcome::kRecovered);
+    // Exactly the final flow's arrivals are retained: its hops plus
+    // the source's own arrival, never prior sessions' keys.  (Later
+    // sessions reuse the initiator's completed phase-1 state and skip
+    // the collect cycle, so their journeys are legitimately shorter.)
+    EXPECT_EQ(app.sequencing_keys(), r.delivered_hops + 1);
+  }
 }
 
 TEST(RecoverySession, LinkDeathIsLearnedAndRoutedAround) {
