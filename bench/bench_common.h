@@ -67,6 +67,7 @@ inline void emit_metrics_at_exit() {
   opts.include_volatile = !cfg.metrics_deterministic;
   opts.threads = common::resolve_thread_count(cfg.threads);
   opts.wall_clock_ms = obs::process_uptime_ms();
+  opts.max_rss_kb = obs::peak_rss_kb();
   obs::write_metrics_file(cfg.metrics_out,
                           obs::Registry::global().snapshot(), run, opts);
 }

@@ -77,7 +77,8 @@ Mrc::Mrc(const graph::Graph& g, const spf::RoutingTable& base, Options opts)
   for (std::size_t c = 0; c < opts_.num_configs; ++c) {
     Config& cfg = configs_.emplace_back();
     cfg.isolated = isolated[c];
-    for (NodeId v = 0; v < n; ++v) cfg.weighted.add_node(g.position(v));
+    graph::GraphBuilder weighted;
+    for (NodeId v = 0; v < n; ++v) weighted.add_node(g.position(v));
     for (LinkId l = 0; l < g.link_count(); ++l) {
       const graph::Link& e = g.link(l);
       Cost w = 1.0;
@@ -89,8 +90,9 @@ Mrc::Mrc(const graph::Graph& g, const spf::RoutingTable& base, Options opts)
                             ? opts_.restricted_weight
                             : opts_.isolated_weight);
       }
-      cfg.weighted.add_link(e.u, e.v, w);
+      weighted.add_link(e.u, e.v, w);
     }
+    cfg.weighted = weighted.build();
     cfg.table = std::make_unique<spf::RoutingTable>(
         cfg.weighted, spf::RoutingTable::Metric::kLinkCost);
   }

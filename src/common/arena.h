@@ -1,0 +1,66 @@
+// Single-block bump allocator backing frozen data structures.
+//
+// The CSR graph (graph/graph.h) freezes all of its arrays -- coords,
+// links, adjacency offsets and the two adjacency orderings -- into one
+// contiguous allocation so a continental-scale topology costs one
+// malloc, packs with no per-vector slack, and walks with predictable
+// locality.  The builder knows every array length before freezing, so
+// the arena is sized exactly once and never grows: allocate_array()
+// hands out raw, uninitialized storage and the caller constructs into
+// it (std::uninitialized_copy / std::construct_at).  Only trivially
+// destructible element types are accepted -- the arena frees bytes, it
+// never runs destructors.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "common/expect.h"
+
+namespace rtr::common {
+
+class Arena {
+ public:
+  Arena() = default;
+  explicit Arena(std::size_t capacity_bytes)
+      : block_(capacity_bytes > 0 ? new std::byte[capacity_bytes] : nullptr),
+        capacity_(capacity_bytes) {}
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for n objects of T, aligned for T.  The
+  /// caller must construct the elements before reading them.  Requires
+  /// the aligned request to fit in the remaining capacity.
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is freed without running destructors");
+    const std::size_t align = alignof(T);
+    const std::size_t aligned = (used_ + align - 1) / align * align;
+    RTR_EXPECT_MSG(aligned + n * sizeof(T) <= capacity_,
+                   "arena capacity exhausted");
+    used_ = aligned + n * sizeof(T);
+    return reinterpret_cast<T*>(block_.get() + aligned);
+  }
+
+  /// Bytes needed to later allocate_array<T>(n) after arbitrary prior
+  /// allocations: the element storage plus worst-case alignment pad.
+  template <typename T>
+  static std::size_t bytes_for(std::size_t n) {
+    return n * sizeof(T) + alignof(T) - 1;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+
+ private:
+  std::unique_ptr<std::byte[]> block_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace rtr::common

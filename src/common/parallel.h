@@ -73,10 +73,31 @@ void parallel_for(std::size_t n, std::size_t threads, Fn&& fn) {
 
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread is worker number `workers`
+  bool spawn_failed = false;
+  for (std::size_t t = 0; t + 1 < workers; ++t) {
+    try {
+      pool.emplace_back(worker);
+    } catch (const std::system_error&) {
+      // Thread creation failed (resource exhaustion).  Letting the
+      // exception fly would destroy the already-spawned joinable
+      // threads and std::terminate; instead drain the work counter,
+      // join what was started and finish the leftovers serially below.
+      spawn_failed = true;
+      break;
+    }
+  }
+  if (!spawn_failed) {
+    worker();  // the calling thread is worker number `workers`
+  }
+  std::size_t claimed = n;
+  if (spawn_failed) {
+    // Everything at or past `claimed` was never handed to a worker;
+    // indices below it are done or in flight (finished by join below).
+    claimed = std::min(next.exchange(n, std::memory_order_relaxed), n);
+  }
   for (std::thread& th : pool) th.join();
   if (first_error) std::rethrow_exception(first_error);
+  for (std::size_t i = claimed; i < n; ++i) fn(i);
 }
 
 }  // namespace rtr::common

@@ -29,8 +29,11 @@ FaultPlan::FaultPlan(const FaultOptions& opts, std::uint64_t stream_seed,
                      opts.duplicate_prob >= 0.0 &&
                      opts.duplicate_prob <= 1.0,
                  "per-hop fault probabilities must lie in [0, 1]");
+  // Epsilon absorbs float rounding in the sum: 0.1 + 0.2 + 0.7 is
+  // 1.0000000000000002 in double and must still be accepted.
   RTR_EXPECT_MSG(
-      opts.loss_prob + opts.corrupt_prob + opts.duplicate_prob <= 1.0,
+      opts.loss_prob + opts.corrupt_prob + opts.duplicate_prob <=
+          1.0 + kProbSumEpsilon,
       "per-hop fault probabilities must sum to at most 1");
   RTR_EXPECT_MSG(opts.flap_prob >= 0.0 && opts.flap_prob <= 1.0,
                  "flap probability must lie in [0, 1]");
@@ -68,8 +71,11 @@ FaultPlan::FaultPlan(const FaultOptions& opts, std::uint64_t stream_seed,
 }
 
 HopFault FaultPlan::next_hop_fault() {
-  const double total =
-      opts_.loss_prob + opts_.corrupt_prob + opts_.duplicate_prob;
+  // Clamp the partition: the ctor tolerates a rounded sum slightly
+  // above 1, but the draw in [0, 1) must never fall past the duplicate
+  // band into an impossible fourth region.
+  const double total = std::min(
+      opts_.loss_prob + opts_.corrupt_prob + opts_.duplicate_prob, 1.0);
   if (total <= 0.0) return HopFault::kNone;
   const double u = rng_.uniform_real(0.0, 1.0);
   if (u < opts_.loss_prob) return HopFault::kLoss;

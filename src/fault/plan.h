@@ -33,6 +33,10 @@ namespace rtr::fault {
 /// Fate of one packet-hop on a surviving link.
 enum class HopFault : std::uint8_t { kNone, kLoss, kCorrupt, kDuplicate };
 
+/// Tolerance on the loss+corrupt+duplicate sum check: a config like
+/// 0.1/0.2/0.7 sums to 1.0000000000000002 in double and is valid.
+inline constexpr double kProbSumEpsilon = 1e-9;
+
 class FaultPlan {
  public:
   /// Compiles `opts` against the topology and the static failure set:

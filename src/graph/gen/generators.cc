@@ -5,9 +5,29 @@
 
 namespace rtr::graph {
 
+namespace {
+
+// Shared by make_random_tree and make_waxman: a uniform random spanning
+// tree grown by attaching each new node to a uniformly chosen earlier
+// one.  Returned as a builder so make_waxman can keep densifying.
+GraphBuilder random_tree_builder(std::size_t n, double extent, Rng& rng) {
+  RTR_EXPECT(n >= 1 && extent > 0.0);
+  GraphBuilder g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_node({rng.uniform_real(0.0, extent), rng.uniform_real(0.0, extent)});
+    if (i > 0) {
+      g.add_link(static_cast<NodeId>(i),
+                 static_cast<NodeId>(rng.index(i)));
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
 Graph make_grid(std::size_t rows, std::size_t cols, double spacing) {
   RTR_EXPECT(rows >= 1 && cols >= 1);
-  Graph g;
+  GraphBuilder g;
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       g.add_node({static_cast<double>(c) * spacing,
@@ -23,12 +43,12 @@ Graph make_grid(std::size_t rows, std::size_t cols, double spacing) {
       if (r + 1 < rows) g.add_link(id(r, c), id(r + 1, c));
     }
   }
-  return g;
+  return g.build();
 }
 
 Graph make_ring(std::size_t n, double radius, geom::Point center) {
   RTR_EXPECT(n >= 3);
-  Graph g;
+  GraphBuilder g;
   for (std::size_t i = 0; i < n; ++i) {
     const double a = 2.0 * std::numbers::pi * static_cast<double>(i) /
                      static_cast<double>(n);
@@ -38,13 +58,13 @@ Graph make_ring(std::size_t n, double radius, geom::Point center) {
   for (std::size_t i = 0; i < n; ++i) {
     g.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
   }
-  return g;
+  return g.build();
 }
 
 Graph make_random_geometric(std::size_t n, double radius, double extent,
                             Rng& rng) {
   RTR_EXPECT(n >= 1 && radius > 0.0 && extent > 0.0);
-  Graph g;
+  GraphBuilder g;
   for (std::size_t i = 0; i < n; ++i) {
     g.add_node({rng.uniform_real(0.0, extent), rng.uniform_real(0.0, extent)});
   }
@@ -55,25 +75,16 @@ Graph make_random_geometric(std::size_t n, double radius, double extent,
       }
     }
   }
-  return g;
+  return g.build();
 }
 
 Graph make_random_tree(std::size_t n, double extent, Rng& rng) {
-  RTR_EXPECT(n >= 1 && extent > 0.0);
-  Graph g;
-  for (std::size_t i = 0; i < n; ++i) {
-    g.add_node({rng.uniform_real(0.0, extent), rng.uniform_real(0.0, extent)});
-    if (i > 0) {
-      g.add_link(static_cast<NodeId>(i),
-                 static_cast<NodeId>(rng.index(i)));
-    }
-  }
-  return g;
+  return random_tree_builder(n, extent, rng).build();
 }
 
 Graph make_waxman(std::size_t n, double alpha, double beta, double extent,
                   Rng& rng) {
-  Graph g = make_random_tree(n, extent, rng);
+  GraphBuilder g = random_tree_builder(n, extent, rng);
   const double diag = extent * std::numbers::sqrt2;
   for (NodeId u = 0; u < g.node_count(); ++u) {
     for (NodeId v = u + 1; v < g.node_count(); ++v) {
@@ -84,7 +95,7 @@ Graph make_waxman(std::size_t n, double alpha, double beta, double extent,
       }
     }
   }
-  return g;
+  return g.build();
 }
 
 }  // namespace rtr::graph

@@ -30,7 +30,7 @@ Graph make_isp_topology(const IspSpec& spec, const IspGenConfig& cfg) {
                  "link count above simple-graph maximum");
 
   Rng rng(spec.seed);
-  Graph g;
+  GraphBuilder g;
   for (std::size_t i = 0; i < spec.nodes; ++i) {
     g.add_node({rng.uniform_real(0.0, cfg.extent),
                 rng.uniform_real(0.0, cfg.extent)});
@@ -68,7 +68,7 @@ Graph make_isp_topology(const IspSpec& spec, const IspGenConfig& cfg) {
     }
     g.add_link(u, v);
   }
-  return g;
+  return g.build();
 }
 
 const std::vector<IspSpec>& rocketfuel_specs() {

@@ -1,0 +1,69 @@
+#include "graph/gen/scale_gen.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/point.h"
+
+namespace rtr::graph {
+
+Graph make_scale_topology(const ScaleSpec& spec) {
+  RTR_EXPECT(spec.nodes >= 1 && spec.spacing > 0.0 && spec.jitter >= 0.0);
+  RTR_EXPECT(spec.express_cost_factor > 0.0);
+  const std::size_t n = spec.nodes;
+  const std::size_t cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  Rng rng(spec.seed);
+
+  GraphBuilder g;
+  g.reserve(n, 2 * n + (spec.express_stride > 0
+                            ? n / spec.express_stride
+                            : 0));
+
+  // Backbone: row-major jittered grid.  Node i sits near cell
+  // (i / cols, i % cols); linking west (same row) and north keeps the
+  // graph connected for ANY n, including a ragged last row.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t row = i / cols;
+    const std::size_t col = i % cols;
+    const double jx =
+        spec.jitter > 0.0
+            ? rng.uniform_real(-spec.jitter, spec.jitter)
+            : 0.0;
+    const double jy =
+        spec.jitter > 0.0
+            ? rng.uniform_real(-spec.jitter, spec.jitter)
+            : 0.0;
+    g.add_node({static_cast<double>(col) * spec.spacing + jx,
+                static_cast<double>(row) * spec.spacing + jy});
+    const NodeId v = static_cast<NodeId>(i);
+    if (col > 0) {
+      const NodeId west = static_cast<NodeId>(i - 1);
+      g.add_link(west, v, geom::distance(g.position(west), g.position(v)));
+    }
+    if (row > 0) {
+      const NodeId north = static_cast<NodeId>(i - cols);
+      g.add_link(north, v,
+                 geom::distance(g.position(north), g.position(v)));
+    }
+  }
+
+  // Express overlay: sparse long-range trunks at a discounted cost, so
+  // they carry real shortest-path traffic.  Collisions with existing
+  // links (or self) are skipped, not retried, keeping the pass O(n)
+  // and the draw count a pure function of the spec.
+  if (spec.express_stride > 0) {
+    for (std::size_t i = spec.express_stride / 2; i < n;
+         i += spec.express_stride) {
+      const NodeId u = static_cast<NodeId>(i);
+      const NodeId v = static_cast<NodeId>(rng.index(n));
+      if (u == v || g.find_link(u, v) != kNoLink) continue;
+      g.add_link(u, v,
+                 spec.express_cost_factor *
+                     geom::distance(g.position(u), g.position(v)));
+    }
+  }
+  return g.build();
+}
+
+}  // namespace rtr::graph

@@ -1,0 +1,36 @@
+// Continental-scale synthetic topology generator for the bench_scale
+// family.  The Rocketfuel surrogates (isp_gen.h) top out near 10^3
+// nodes; exercising the CSR graph core and the delta-compressed base
+// tree store needs 10^5-10^6 nodes, far beyond anything a rejection-
+// sampling generator can produce in bench time.  This one is O(n) and
+// connected by construction: a jittered grid backbone (every node links
+// to its west and north neighbour) overlaid with sparse long-range
+// express links, mimicking a continental IP network's mesh of regional
+// rings plus inter-city trunks.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace rtr::graph {
+
+struct ScaleSpec {
+  std::size_t nodes = 100000;   ///< >= 1
+  double spacing = 100.0;       ///< grid pitch between neighbours
+  double jitter = 30.0;         ///< max per-axis placement jitter
+  /// One long-range express link is attempted per this many nodes
+  /// (0 disables them); targets are drawn from the seeded stream.
+  std::size_t express_stride = 64;
+  /// Express links are priced at this fraction of their Euclidean
+  /// length, so shortest paths actually route through them (and base
+  /// trees gain the far-away parents that stress delta compression).
+  double express_cost_factor = 0.25;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic pure function of the spec: same spec, same graph,
+/// bit-for-bit -- node ids, link ids, coordinates and costs.
+Graph make_scale_topology(const ScaleSpec& spec);
+
+}  // namespace rtr::graph

@@ -1,22 +1,48 @@
 #include "graph/graph.h"
 
+#include <algorithm>
+#include <memory>
+
 namespace rtr::graph {
 
-NodeId Graph::add_node(geom::Point p) {
+LinkId Graph::find_link(NodeId u, NodeId v) const {
+  RTR_EXPECT(valid_node(u) && valid_node(v));
+  // Binary-search the sorted adjacency of the smaller-degree endpoint.
+  const NodeId base = degree(u) <= degree(v) ? u : v;
+  const NodeId target = base == u ? v : u;
+  const AdjacencySpan adj = sorted_neighbors(base);
+  const Adjacency* it = std::lower_bound(
+      adj.begin(), adj.end(), target,
+      [](const Adjacency& a, NodeId key) { return a.neighbor < key; });
+  if (it != adj.end() && it->neighbor == target) return it->link;
+  return kNoLink;
+}
+
+std::string Graph::link_name(LinkId l) const {
+  const Link& e = link(l);
+  return "e(" + std::to_string(e.u) + "," + std::to_string(e.v) + ")";
+}
+
+NodeId GraphBuilder::add_node(geom::Point p) {
+  RTR_EXPECT_MSG(coords_.size() < max_nodes_,
+                 "node id space exhausted: adding this node would wrap NodeId");
   coords_.push_back(p);
   adj_.emplace_back();
   return static_cast<NodeId>(coords_.size() - 1);
 }
 
-LinkId Graph::add_link(NodeId u, NodeId v, Cost cost) {
+LinkId GraphBuilder::add_link(NodeId u, NodeId v, Cost cost) {
   return add_link_asym(u, v, cost, cost);
 }
 
-LinkId Graph::add_link_asym(NodeId u, NodeId v, Cost cost_uv, Cost cost_vu) {
+LinkId GraphBuilder::add_link_asym(NodeId u, NodeId v, Cost cost_uv,
+                                   Cost cost_vu) {
   RTR_EXPECT(valid_node(u) && valid_node(v));
   RTR_EXPECT_MSG(u != v, "self-loops are not allowed");
   RTR_EXPECT_MSG(find_link(u, v) == kNoLink, "parallel links are not allowed");
   RTR_EXPECT(cost_uv > 0.0 && cost_vu > 0.0);
+  RTR_EXPECT_MSG(links_.size() < max_links_,
+                 "link id space exhausted: adding this link would wrap LinkId");
   const LinkId id = static_cast<LinkId>(links_.size());
   links_.push_back(Link{u, v, cost_uv, cost_vu});
   adj_[u].push_back(Adjacency{v, id});
@@ -24,7 +50,13 @@ LinkId Graph::add_link_asym(NodeId u, NodeId v, Cost cost_uv, Cost cost_vu) {
   return id;
 }
 
-LinkId Graph::find_link(NodeId u, NodeId v) const {
+void GraphBuilder::reserve(std::size_t nodes, std::size_t links) {
+  coords_.reserve(nodes);
+  links_.reserve(links);
+  adj_.reserve(nodes);
+}
+
+LinkId GraphBuilder::find_link(NodeId u, NodeId v) const {
   RTR_EXPECT(valid_node(u) && valid_node(v));
   // Scan the smaller adjacency list.
   const NodeId base = adj_[u].size() <= adj_[v].size() ? u : v;
@@ -35,9 +67,60 @@ LinkId Graph::find_link(NodeId u, NodeId v) const {
   return kNoLink;
 }
 
-std::string Graph::link_name(LinkId l) const {
-  const Link& e = link(l);
-  return "e(" + std::to_string(e.u) + "," + std::to_string(e.v) + ")";
+Graph GraphBuilder::build() {
+  const std::size_t n = coords_.size();
+  const std::size_t m = links_.size();
+  const std::size_t entries = 2 * m;
+
+  auto storage = std::make_shared<Graph::Storage>();
+  storage->num_nodes = n;
+  storage->num_links = m;
+
+  const std::size_t bytes =
+      common::Arena::bytes_for<geom::Point>(n) +
+      common::Arena::bytes_for<Link>(m) +
+      common::Arena::bytes_for<std::uint64_t>(n + 1) +
+      common::Arena::bytes_for<Adjacency>(entries) +
+      common::Arena::bytes_for<Adjacency>(entries);
+  storage->arena = common::Arena(bytes);
+  common::Arena& arena = storage->arena;
+
+  geom::Point* coords = arena.allocate_array<geom::Point>(n);
+  std::uninitialized_copy(coords_.begin(), coords_.end(), coords);
+  storage->coords = coords;
+
+  Link* links = arena.allocate_array<Link>(m);
+  std::uninitialized_copy(links_.begin(), links_.end(), links);
+  storage->links = links;
+
+  std::uint64_t* offsets = arena.allocate_array<std::uint64_t>(n + 1);
+  offsets[0] = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + adj_[v].size();
+  }
+  storage->adj_offset = offsets;
+
+  Adjacency* adj = arena.allocate_array<Adjacency>(entries);
+  Adjacency* adj_sorted = arena.allocate_array<Adjacency>(entries);
+  for (std::size_t v = 0; v < n; ++v) {
+    Adjacency* slice = adj + offsets[v];
+    std::uninitialized_copy(adj_[v].begin(), adj_[v].end(), slice);
+    Adjacency* sorted_slice = adj_sorted + offsets[v];
+    std::uninitialized_copy(adj_[v].begin(), adj_[v].end(), sorted_slice);
+    // Neighbour ids within a node are unique (no parallel links), so
+    // sorting by neighbour id is a total order.
+    std::sort(sorted_slice, sorted_slice + adj_[v].size(),
+              [](const Adjacency& a, const Adjacency& b) {
+                return a.neighbor < b.neighbor;
+              });
+  }
+  storage->adj = adj;
+  storage->adj_sorted = adj_sorted;
+
+  coords_.clear();
+  links_.clear();
+  adj_.clear();
+  return Graph(std::move(storage));
 }
 
 }  // namespace rtr::graph

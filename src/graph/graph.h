@@ -3,11 +3,23 @@
 // may be asymmetric (c_ij != c_ji).  Every router in an AS knows the
 // full topology and the coordinates of all nodes, so Graph is the shared
 // "map" each simulated router consults.
+//
+// Storage is CSR / struct-of-arrays over one arena block: coordinates,
+// links, per-node adjacency offsets and two adjacency orderings --
+// insertion order (what neighbors() iterates, preserving the historical
+// vector-of-vectors order bit-for-bit) and neighbour-id order (what
+// find_link() binary-searches and sorted_neighbors() iterates).  A
+// Graph is frozen at construction: build one through GraphBuilder,
+// which owns the only mutable representation.  Copies share the frozen
+// storage (shared_ptr), so passing Graph by value is O(1).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/expect.h"
 #include "common/types.h"
 #include "geom/point.h"
@@ -30,51 +42,65 @@ struct Adjacency {
   LinkId link = kNoLink;
 };
 
-/// Undirected simple graph with planar embedding.
+/// Immutable view of one node's adjacency slice in the CSR arena.
+class AdjacencySpan {
+ public:
+  using value_type = Adjacency;
+  using const_iterator = const Adjacency*;
+
+  AdjacencySpan() = default;
+  AdjacencySpan(const Adjacency* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  const Adjacency* begin() const { return data_; }
+  const Adjacency* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Adjacency& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  const Adjacency* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Frozen undirected simple graph with planar embedding.
 ///
 /// Nodes and links are dense 0-based indices, so algorithms use plain
-/// vectors indexed by id.  Parallel links and self-loops are rejected:
-/// the protocol identifies a link by the unordered pair of endpoints in
-/// several places (e.g. "the link between the recovery initiator and an
-/// unreachable neighbour").
+/// vectors indexed by id.  Parallel links and self-loops are rejected
+/// at build time: the protocol identifies a link by the unordered pair
+/// of endpoints in several places (e.g. "the link between the recovery
+/// initiator and an unreachable neighbour").
 class Graph {
  public:
-  /// Adds a router at position p; returns its id.
-  NodeId add_node(geom::Point p);
+  /// An empty graph (no storage allocated).
+  Graph() = default;
 
-  /// Adds an undirected link between distinct existing nodes u and v with
-  /// symmetric cost `cost`; returns its id.  Requires no existing u-v link.
-  LinkId add_link(NodeId u, NodeId v, Cost cost = 1.0);
-
-  /// Adds a link with asymmetric per-direction costs.
-  LinkId add_link_asym(NodeId u, NodeId v, Cost cost_uv, Cost cost_vu);
-
-  std::size_t num_nodes() const { return coords_.size(); }
-  std::size_t num_links() const { return links_.size(); }
+  std::size_t num_nodes() const { return st().num_nodes; }
+  std::size_t num_links() const { return st().num_links; }
 
   /// num_nodes()/num_links() in id width, for counter loops over ids.
   /// Ids are dense, so `for (NodeId n = 0; n < g.node_count(); ++n)`
   /// visits every node without a mixed-width comparison.
-  NodeId node_count() const { return static_cast<NodeId>(coords_.size()); }
-  LinkId link_count() const { return static_cast<LinkId>(links_.size()); }
+  NodeId node_count() const { return static_cast<NodeId>(st().num_nodes); }
+  LinkId link_count() const { return static_cast<LinkId>(st().num_links); }
 
-  bool valid_node(NodeId n) const { return n < coords_.size(); }
-  bool valid_link(LinkId l) const { return l < links_.size(); }
+  bool valid_node(NodeId n) const { return n < st().num_nodes; }
+  bool valid_link(LinkId l) const { return l < st().num_links; }
 
   geom::Point position(NodeId n) const {
     RTR_EXPECT(valid_node(n));
-    return coords_[n];
+    return st().coords[n];
   }
 
   const Link& link(LinkId l) const {
     RTR_EXPECT(valid_link(l));
-    return links_[l];
+    return st().links[l];
   }
 
   /// The geometric segment a link occupies in the embedding.
   geom::Segment segment(LinkId l) const {
     const Link& e = link(l);
-    return {coords_[e.u], coords_[e.v]};
+    return {st().coords[e.u], st().coords[e.v]};
   }
 
   /// The endpoint of link l that is not n.  Requires n incident to l.
@@ -91,21 +117,126 @@ class Graph {
     return e.u == from ? e.cost_uv : e.cost_vu;
   }
 
-  /// Adjacency list of node n (neighbour, link) pairs in insertion order.
-  const std::vector<Adjacency>& neighbors(NodeId n) const {
+  /// Adjacency of node n, (neighbour, link) pairs in insertion order --
+  /// the same order the historical vector-of-vectors representation
+  /// iterated, so consumers' tie-breaks are unchanged.
+  AdjacencySpan neighbors(NodeId n) const {
     RTR_EXPECT(valid_node(n));
-    return adj_[n];
+    const Storage& s = st();
+    return {s.adj + s.adj_offset[n], s.adj_offset[n + 1] - s.adj_offset[n]};
+  }
+
+  /// Adjacency of node n in ascending neighbour-id order (the order
+  /// find_link() binary-searches).  BFS uses this directly instead of
+  /// copying and sorting each node's list.
+  AdjacencySpan sorted_neighbors(NodeId n) const {
+    RTR_EXPECT(valid_node(n));
+    const Storage& s = st();
+    return {s.adj_sorted + s.adj_offset[n],
+            s.adj_offset[n + 1] - s.adj_offset[n]};
   }
 
   std::size_t degree(NodeId n) const { return neighbors(n).size(); }
 
-  /// The link between u and v, or kNoLink when absent.
+  /// The link between u and v, or kNoLink when absent.  Binary search
+  /// over the sorted adjacency of the smaller-degree endpoint.
   LinkId find_link(NodeId u, NodeId v) const;
 
   /// Human-readable link name "e(u,v)" for logs and traces.
   std::string link_name(LinkId l) const;
 
+  /// Bytes of frozen storage (the arena block): the resident footprint
+  /// a topology contributes, reported by bench_scale.
+  std::size_t storage_bytes() const { return st().arena.capacity(); }
+
  private:
+  friend class GraphBuilder;
+
+  /// The frozen struct-of-arrays payload; all pointers alias the arena.
+  struct Storage {
+    common::Arena arena;
+    std::size_t num_nodes = 0;
+    std::size_t num_links = 0;
+    const geom::Point* coords = nullptr;   ///< [num_nodes]
+    const Link* links = nullptr;           ///< [num_links]
+    const std::uint64_t* adj_offset = nullptr;  ///< [num_nodes + 1]
+    const Adjacency* adj = nullptr;         ///< [2 * num_links], insertion
+    const Adjacency* adj_sorted = nullptr;  ///< [2 * num_links], by id
+  };
+
+  explicit Graph(std::shared_ptr<const Storage> s) : s_(std::move(s)) {}
+
+  static const Storage& empty_storage() {
+    static const Storage kEmpty;
+    return kEmpty;
+  }
+
+  const Storage& st() const { return s_ != nullptr ? *s_ : empty_storage(); }
+
+  std::shared_ptr<const Storage> s_;
+};
+
+/// Mutable construction-time representation: cheap appends over
+/// vector-of-vectors adjacency, frozen into a CSR Graph by build().
+/// Supports the structural queries topology generators interleave with
+/// construction (degree-weighted attachment, duplicate-link probes).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Test seam: lower the id-space bounds so the overflow guards can be
+  /// exercised without 2^32 allocations.  Ids must stay below the
+  /// kNoNode/kNoLink sentinels; production builders use the defaults.
+  GraphBuilder(NodeId max_nodes, LinkId max_links)
+      : max_nodes_(max_nodes), max_links_(max_links) {}
+
+  /// Adds a router at position p; returns its id.
+  NodeId add_node(geom::Point p);
+
+  /// Adds an undirected link between distinct existing nodes u and v with
+  /// symmetric cost `cost`; returns its id.  Requires no existing u-v link.
+  LinkId add_link(NodeId u, NodeId v, Cost cost = 1.0);
+
+  /// Adds a link with asymmetric per-direction costs.
+  LinkId add_link_asym(NodeId u, NodeId v, Cost cost_uv, Cost cost_vu);
+
+  /// Pre-sizes the node/link arrays (optional; build() packs exactly).
+  void reserve(std::size_t nodes, std::size_t links);
+
+  std::size_t num_nodes() const { return coords_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+  NodeId node_count() const { return static_cast<NodeId>(coords_.size()); }
+  LinkId link_count() const { return static_cast<LinkId>(links_.size()); }
+  bool valid_node(NodeId n) const { return n < coords_.size(); }
+  bool valid_link(LinkId l) const { return l < links_.size(); }
+
+  geom::Point position(NodeId n) const {
+    RTR_EXPECT(valid_node(n));
+    return coords_[n];
+  }
+
+  const Link& link(LinkId l) const {
+    RTR_EXPECT(valid_link(l));
+    return links_[l];
+  }
+
+  std::size_t degree(NodeId n) const {
+    RTR_EXPECT(valid_node(n));
+    return adj_[n].size();
+  }
+
+  /// The link between u and v, or kNoLink when absent (linear scan of
+  /// the smaller adjacency list; the sorted index exists only after
+  /// build()).
+  LinkId find_link(NodeId u, NodeId v) const;
+
+  /// Freezes the accumulated topology into an immutable CSR Graph and
+  /// resets the builder to empty.
+  Graph build();
+
+ private:
+  NodeId max_nodes_ = kNoNode;
+  LinkId max_links_ = kNoLink;
   std::vector<geom::Point> coords_;
   std::vector<Link> links_;
   std::vector<std::vector<Adjacency>> adj_;

@@ -21,7 +21,7 @@ void write_graph(std::ostream& os, const Graph& g) {
 }
 
 Graph read_graph(std::istream& is) {
-  Graph g;
+  GraphBuilder g;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(is, line)) {
@@ -57,7 +57,7 @@ Graph read_graph(std::istream& is) {
       fail("unknown record '" + kind + "'");
     }
   }
-  return g;
+  return g.build();
 }
 
 std::string to_string(const Graph& g) {

@@ -31,7 +31,7 @@ constexpr double kCoords[18][2] = {
 };
 
 Graph build(bool planar) {
-  Graph g;
+  GraphBuilder g;
   for (const auto& c : kCoords) g.add_node({c[0], c[1]});
   const auto link = [&g](int a, int b) {
     g.add_link(paper_node(a), paper_node(b));
@@ -76,7 +76,7 @@ Graph build(bool planar) {
     link(4, 11);
     link(14, 12);
   }
-  return g;
+  return g.build();
 }
 
 }  // namespace

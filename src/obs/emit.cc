@@ -1,5 +1,7 @@
 #include "obs/emit.h"
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -102,6 +104,24 @@ Value process_uptime_ms() {
       std::chrono::duration_cast<std::chrono::milliseconds>(d).count());
 }
 
+Value peak_rss_kb() {
+  // VmHWM is the kernel's high-water mark of the resident set; the
+  // value is already in KiB.
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<Value>(
+          std::strtoull(line.c_str() + 6, nullptr, 10));
+    }
+  }
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+    return static_cast<Value>(ru.ru_maxrss);  // Linux: KiB
+  }
+  return 0;
+}
+
 std::string to_json(const Snapshot& snapshot, const RunInfo& run,
                     const EmitOptions& opts) {
   std::string out;
@@ -127,6 +147,7 @@ std::string to_json(const Snapshot& snapshot, const RunInfo& run,
   if (opts.include_volatile) {
     out += ",\"timing\":{\"threads\":" + std::to_string(opts.threads);
     out += ",\"wall_clock_ms\":" + std::to_string(opts.wall_clock_ms);
+    out += ",\"max_rss_kb\":" + std::to_string(opts.max_rss_kb);
     out += ",\"series\":";
     append_series_map(out, snapshot, Stability::kVolatile);
     out += '}';

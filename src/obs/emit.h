@@ -11,6 +11,7 @@
 //     "timing":  {                      // omitted in deterministic mode
 //       "threads": N,
 //       "wall_clock_ms": M,
+//       "max_rss_kb": R,                // peak RSS, 0 when unknown
 //       "series": { <volatile series> }
 //     }
 //   }
@@ -49,6 +50,7 @@ struct EmitOptions {
   bool include_volatile = true;
   std::size_t threads = 0;     ///< resolved worker count of the run
   Value wall_clock_ms = 0;     ///< process wall clock at emission
+  Value max_rss_kb = 0;        ///< peak RSS in KiB (0 = unknown)
 };
 
 /// The source tree's `git describe --always --dirty` captured at
@@ -58,6 +60,12 @@ const char* git_describe();
 /// Milliseconds since the obs library was loaded (process start for all
 /// practical purposes).
 Value process_uptime_ms();
+
+/// Peak resident set size of this process in KiB (VmHWM from
+/// /proc/self/status, getrusage as fallback; 0 when neither is
+/// available).  Volatile by nature: it lives in the timing block, never
+/// among the stable metrics.
+Value peak_rss_kb();
 
 /// Serialises one snapshot to the schema above.
 std::string to_json(const Snapshot& snapshot, const RunInfo& run,

@@ -211,8 +211,32 @@ std::shared_ptr<const SptResult> repair_spt(
   return std::make_shared<const SptResult>(std::move(r));
 }
 
-BaseTreeStore::BaseTreeStore(const graph::Graph& g, SpfAlgorithm alg)
-    : g_(&g), alg_(alg), trees_(g.num_nodes()) {}
+namespace {
+
+/// Heap footprint of one materialised tree, the unit the hot-ring
+/// budget is measured in.
+std::size_t materialized_tree_bytes(std::size_t num_nodes) {
+  return sizeof(SptResult) +
+         num_nodes * (sizeof(Cost) + sizeof(NodeId) + sizeof(LinkId));
+}
+
+}  // namespace
+
+BaseTreeStore::BaseTreeStore(const graph::Graph& g, SpfAlgorithm alg,
+                             std::size_t hot_budget_bytes)
+    : g_(&g),
+      alg_(alg),
+      hot_capacity_(std::min(
+          hot_budget_bytes / materialized_tree_bytes(g.num_nodes()),
+          g.num_nodes())),
+      compressed_(g.num_nodes()),
+      cache_(g.num_nodes()) {
+  // A non-zero budget always keeps at least one tree hot: the common
+  // access pattern re-reads the tree it just asked for.
+  if (hot_budget_bytes > 0 && hot_capacity_ == 0 && g.num_nodes() > 0) {
+    hot_capacity_ = 1;
+  }
+}
 
 std::shared_ptr<const SptResult> BaseTreeStore::from(NodeId source) const {
   RTR_EXPECT(g_->valid_node(source));
@@ -222,26 +246,49 @@ std::shared_ptr<const SptResult> BaseTreeStore::from(NodeId source) const {
   // then computed exactly once per process, keeping the spf.*.runs
   // counters bit-identical at every thread count.
   const std::lock_guard<std::mutex> lock(mu_);
-  std::shared_ptr<const SptResult>& slot = trees_[source];
-  if (slot == nullptr) {
-    computed.inc();
-    SptResult r = alg_ == SpfAlgorithm::kBfsHopCount
-                      ? bfs_from(*g_, source)
-                      : dijkstra_from(*g_, source);
-    if (alg_ == SpfAlgorithm::kBfsHopCount) {
-      // bfs_from's discovery-order parents are deterministic but not
-      // canonical; repairs compose only over canonical bases.
-      canonicalize_parents(*g_, r, {}, alg_);
+  std::shared_ptr<const SptResult> tree = cache_[source].lock();
+  if (tree == nullptr) {
+    CompressedSpt& slot = compressed_[source];
+    if (!slot.computed()) {
+      computed.inc();
+      SptResult r = alg_ == SpfAlgorithm::kBfsHopCount
+                        ? bfs_from(*g_, source)
+                        : dijkstra_from(*g_, source);
+      if (alg_ == SpfAlgorithm::kBfsHopCount) {
+        // bfs_from's discovery-order parents are deterministic but not
+        // canonical; repairs compose only over canonical bases.
+        canonicalize_parents(*g_, r, {}, alg_);
+      }
+      slot = compress_spt(r);
     }
-    slot = std::make_shared<const SptResult>(std::move(r));
+    // Always hand out the codec's output -- including right after the
+    // first computation -- so every consumer sees the same bytes and a
+    // codec defect cannot hide behind the transient materialised copy.
+    tree = std::make_shared<const SptResult>(decompress_spt(*g_, slot, alg_));
+    cache_[source] = tree;
   }
-  return slot;
+  if (hot_capacity_ > 0) {
+    if (hot_.size() < hot_capacity_) {
+      hot_.push_back(tree);
+    } else {
+      hot_[hot_next_] = tree;
+      hot_next_ = (hot_next_ + 1) % hot_capacity_;
+    }
+  }
+  return tree;
 }
 
 std::size_t BaseTreeStore::trees_computed() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (const auto& t : trees_) n += t != nullptr ? 1 : 0;
+  for (const auto& t : compressed_) n += t.computed() ? 1 : 0;
+  return n;
+}
+
+std::size_t BaseTreeStore::compressed_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& t : compressed_) n += t.byte_size();
   return n;
 }
 

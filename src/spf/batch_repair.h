@@ -27,21 +27,11 @@
 #include "common/types.h"
 #include "graph/graph.h"
 #include "graph/properties.h"
+#include "spf/engine.h"
 #include "spf/shortest_path.h"
+#include "spf/spt_compress.h"
 
 namespace rtr::spf {
-
-/// Metric a tree is built under (mirrors the two full algorithms).
-enum class SpfAlgorithm {
-  kBfsHopCount,  ///< hop-count metric (the paper's evaluation)
-  kDijkstra,     ///< directed link costs
-};
-
-/// Scenario-evaluation engine selector (RunOptions / RTR_SPF_ENGINE).
-enum class SpfEngine {
-  kFull,         ///< full recompute per (source, failure set)
-  kIncremental,  ///< batch repair from shared base trees
-};
 
 struct BatchRepairOptions {
   /// Fall back to a full recomputation when the affected region exceeds
@@ -87,10 +77,35 @@ std::shared_ptr<const SptResult> repair_spt(
 /// (unlike SptCache, which stays private per work unit).  Each tree is
 /// computed at most once per process under a mutex, so the spf.*.runs
 /// counters stay bit-identical across thread counts.
+///
+/// Trees rest delta-compressed (spt_compress.h, ~1-2 bytes/node instead
+/// of 16) so a store over a 10^5-10^6-node topology stays resident.
+/// from() hands out materialised SptResults through a weak cache:
+/// while any caller still holds a tree it is shared, and once the last
+/// reference drops the next request re-materialises it from the
+/// compressed bytes -- bit-identical, and without re-running the SPF
+/// (the spf.*.runs / base_trees.computed counters only ever count the
+/// first computation).
+///
+/// A bounded "hot ring" of strong references keeps the most recently
+/// handed-out trees materialised so the scenario sweeps -- which hit
+/// the same sources thousands of times -- do not pay the decompression
+/// on every call.  Its capacity is hot_budget_bytes over the
+/// materialised tree size: on the paper's 10^2-10^3-node topologies
+/// every tree stays hot (the store behaves like the old uncompressed
+/// one), on a 10^6-node graph only a handful do and memory stays
+/// bounded.  The ring only affects speed, never results.
 class BaseTreeStore {
  public:
-  /// g is borrowed and must outlive the store.
-  BaseTreeStore(const graph::Graph& g, SpfAlgorithm alg);
+  /// Default hot-ring budget: comfortably every tree of a paper-sized
+  /// topology, four trees of a 10^6-node one.
+  static constexpr std::size_t kDefaultHotBudgetBytes = 64u << 20;
+
+  /// g is borrowed and must outlive the store.  hot_budget_bytes = 0
+  /// disables the strong ring (pure weak caching; test seam).
+  explicit BaseTreeStore(const graph::Graph& g, SpfAlgorithm alg,
+                         std::size_t hot_budget_bytes =
+                             kDefaultHotBudgetBytes);
 
   /// The canonical base tree rooted at `source` (computed on first use).
   std::shared_ptr<const SptResult> from(NodeId source) const;
@@ -98,11 +113,20 @@ class BaseTreeStore {
   SpfAlgorithm algorithm() const { return alg_; }
   std::size_t trees_computed() const;
 
+  /// Bytes of compressed tree storage currently held (excludes
+  /// transiently materialised trees callers keep alive).
+  std::size_t compressed_bytes() const;
+
  private:
   const graph::Graph* g_;
   SpfAlgorithm alg_;
+  std::size_t hot_capacity_;
   mutable std::mutex mu_;
-  mutable std::vector<std::shared_ptr<const SptResult>> trees_;
+  mutable std::vector<CompressedSpt> compressed_;
+  mutable std::vector<std::weak_ptr<const SptResult>> cache_;
+  /// Round-robin ring of strong refs to recently returned trees.
+  mutable std::vector<std::shared_ptr<const SptResult>> hot_;
+  mutable std::size_t hot_next_ = 0;
 };
 
 }  // namespace rtr::spf

@@ -1,0 +1,22 @@
+// Engine/metric selectors shared across the SPF layer.
+//
+// Split out of batch_repair.h so the compressed-tree codec
+// (spt_compress.h) and the repair machinery can both name the metric a
+// tree was built under without including each other.
+#pragma once
+
+namespace rtr::spf {
+
+/// Metric a tree is built under (mirrors the two full algorithms).
+enum class SpfAlgorithm {
+  kBfsHopCount,  ///< hop-count metric (the paper's evaluation)
+  kDijkstra,     ///< directed link costs
+};
+
+/// Scenario-evaluation engine selector (RunOptions / RTR_SPF_ENGINE).
+enum class SpfEngine {
+  kFull,         ///< full recompute per (source, failure set)
+  kIncremental,  ///< batch repair from shared base trees
+};
+
+}  // namespace rtr::spf

@@ -99,12 +99,7 @@ SptResult bfs_from(const graph::Graph& g, NodeId source,
     const NodeId u = q.front();
     q.pop();
     // Visit neighbours in ascending id order for deterministic parents.
-    std::vector<graph::Adjacency> adj = g.neighbors(u);
-    std::sort(adj.begin(), adj.end(),
-              [](const graph::Adjacency& x, const graph::Adjacency& y) {
-                return x.neighbor < y.neighbor;
-              });
-    for (const graph::Adjacency& a : adj) {
+    for (const graph::Adjacency& a : g.sorted_neighbors(u)) {
       if (!masks.link_ok(a.link) || !masks.node_ok(a.neighbor)) continue;
       if (r.dist[a.neighbor] < kInfCost) continue;
       r.dist[a.neighbor] = r.dist[u] + 1.0;

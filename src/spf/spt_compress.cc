@@ -1,0 +1,111 @@
+#include "spf/spt_compress.h"
+
+namespace rtr::spf {
+
+namespace {
+
+/// (delta << 1) ^ (delta >> 63): small magnitudes of either sign map to
+/// small unsigned values, which is what keeps the varints short.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::vector<std::uint8_t>& in,
+                         std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    RTR_EXPECT_MSG(pos < in.size() && shift < 64,
+                   "truncated compressed tree");
+    const std::uint8_t b = in[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+CompressedSpt compress_spt(const SptResult& spt) {
+  CompressedSpt c;
+  c.source = spt.source;
+  c.num_nodes = spt.parent.size();
+  c.bytes.reserve(c.num_nodes + c.num_nodes / 4);
+  for (std::size_t v = 0; v < c.num_nodes; ++v) {
+    const NodeId p = spt.parent[v];
+    if (p == kNoNode) {
+      put_varint(c.bytes, 0);  // source or unreachable
+    } else {
+      const std::int64_t delta = static_cast<std::int64_t>(p) -
+                                 static_cast<std::int64_t>(v);
+      put_varint(c.bytes, zigzag(delta));  // delta != 0: no self-loops
+    }
+  }
+  return c;
+}
+
+SptResult decompress_spt(const graph::Graph& g, const CompressedSpt& c,
+                         SpfAlgorithm alg) {
+  RTR_EXPECT_MSG(c.computed(), "decompressing an un-computed tree");
+  RTR_EXPECT(c.num_nodes == g.num_nodes() && g.valid_node(c.source));
+  SptResult r;
+  r.source = c.source;
+  r.dist.assign(c.num_nodes, kInfCost);
+  r.parent_link.assign(c.num_nodes, kNoLink);
+  r.parent.assign(c.num_nodes, kNoNode);
+
+  std::size_t pos = 0;
+  for (std::size_t v = 0; v < c.num_nodes; ++v) {
+    const std::uint64_t enc = get_varint(c.bytes, pos);
+    if (enc == 0) continue;
+    const std::int64_t p = static_cast<std::int64_t>(v) + unzigzag(enc);
+    RTR_EXPECT_MSG(p >= 0 && static_cast<std::size_t>(p) < c.num_nodes,
+                   "compressed parent out of range");
+    r.parent[v] = static_cast<NodeId>(p);
+    r.parent_link[v] = g.find_link(r.parent[v], static_cast<NodeId>(v));
+    RTR_EXPECT_MSG(r.parent_link[v] != kNoLink,
+                   "compressed tree edge not in graph");
+  }
+  RTR_EXPECT_MSG(pos == c.bytes.size(), "trailing bytes in compressed tree");
+
+  // Distances: accumulate parent chains root-to-leaf, memoised via the
+  // dist array itself (kInfCost = not yet computed).  The additions
+  // replay the engines' own dist[parent] + step order, so every sum is
+  // bit-identical to the original run's.
+  r.dist[c.source] = 0.0;
+  std::vector<NodeId> chain;
+  for (std::size_t v = 0; v < c.num_nodes; ++v) {
+    if (r.dist[v] < kInfCost || r.parent[v] == kNoNode) continue;
+    chain.clear();
+    NodeId cur = static_cast<NodeId>(v);
+    while (r.dist[cur] == kInfCost) {
+      chain.push_back(cur);
+      RTR_EXPECT_MSG(r.parent[cur] != kNoNode && chain.size() <= c.num_nodes,
+                     "compressed tree parent chain does not reach the source");
+      cur = r.parent[cur];
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      const Cost step = alg == SpfAlgorithm::kBfsHopCount
+                            ? 1.0
+                            : g.cost_from(r.parent_link[*it], r.parent[*it]);
+      r.dist[*it] = r.dist[r.parent[*it]] + step;
+    }
+  }
+  return r;
+}
+
+}  // namespace rtr::spf

@@ -1,0 +1,60 @@
+// Delta-compressed storage for base shortest-path trees.
+//
+// A materialised SptResult costs 16 bytes per node (dist + parent +
+// parent_link); a million-node BaseTreeStore holding one tree per
+// source would therefore need terabytes.  But a from-source tree of the
+// UNDAMAGED graph is fully determined by its parent pointers alone:
+//
+//   * dist   -- both engines assign dist[v] = dist[parent[v]] + c with
+//     exact `==` tie-break comparisons (run_dijkstra's tie_better and
+//     canonicalize_parents never change a distance), so walking the
+//     parent chain and summing step costs in root-to-leaf order
+//     reproduces every distance bit-for-bit;
+//   * parent_link -- the graph is simple, so the u-v link is unique and
+//     find_link() recovers it.
+//
+// Parents themselves are stored as zigzag deltas against the node id,
+// LEB128-varint encoded.  Tree parents are overwhelmingly near
+// neighbours in id space (generators allocate ids with spatial
+// locality), so most nodes cost one byte instead of eight: ~1-2 bytes
+// per node in practice, a 10x+ reduction that lets a 10^6-node store
+// fit in memory.  Value 0 is reserved for "no parent" (the source and
+// unreachable nodes; a real delta is never 0 because self-loops are
+// rejected).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "spf/engine.h"
+#include "spf/shortest_path.h"
+
+namespace rtr::spf {
+
+/// One compressed from-source tree.  `bytes` holds num_nodes varints in
+/// node-id order; an un-computed slot has empty bytes.
+struct CompressedSpt {
+  NodeId source = kNoNode;
+  std::size_t num_nodes = 0;
+  std::vector<std::uint8_t> bytes;
+
+  bool computed() const { return !bytes.empty(); }
+  std::size_t byte_size() const { return bytes.size(); }
+};
+
+/// Compresses a from-source tree of the undamaged graph.  `spt` must
+/// come from dijkstra_from/bfs_from (canonicalised or not) WITHOUT
+/// masks: only parents are stored, so distances must be reconstructible
+/// as parent-chain sums.
+CompressedSpt compress_spt(const SptResult& spt);
+
+/// Reconstructs the exact SptResult `compress_spt` consumed: parents
+/// are decoded, parent links re-found (unique in a simple graph) and
+/// distances re-accumulated root-to-leaf under `alg`'s step cost --
+/// bit-identical to the original (see the header comment).
+SptResult decompress_spt(const graph::Graph& g, const CompressedSpt& c,
+                         SpfAlgorithm alg);
+
+}  // namespace rtr::spf

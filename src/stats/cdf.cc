@@ -53,6 +53,12 @@ std::vector<std::pair<double, double>> Cdf::curve(std::size_t n) const {
   if (empty() || n == 0) return out;
   const double lo = min();
   const double hi = max();
+  if (hi == lo) {
+    // All samples equal: the n-point sweep would emit n copies of the
+    // same (lo, 1.0) point.  One point carries the whole curve.
+    out.emplace_back(lo, fraction_at_or_below(lo));
+    return out;
+  }
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double x = n == 1 ? hi

@@ -53,15 +53,17 @@ inline PropCase without_link(const PropCase& c, LinkId victim) {
   out.seed = c.seed;
   out.source = c.source;
   out.fail_nodes = c.fail_nodes;
+  graph::GraphBuilder b;
   for (NodeId v = 0; v < c.g.node_count(); ++v) {
-    out.g.add_node(c.g.position(v));
+    b.add_node(c.g.position(v));
   }
   std::vector<LinkId> remap(c.g.num_links(), kNoLink);
   for (LinkId l = 0; l < c.g.link_count(); ++l) {
     if (l == victim) continue;
     const graph::Link& e = c.g.link(l);
-    remap[l] = out.g.add_link_asym(e.u, e.v, e.cost_uv, e.cost_vu);
+    remap[l] = b.add_link_asym(e.u, e.v, e.cost_uv, e.cost_vu);
   }
+  out.g = b.build();
   for (LinkId l : c.fail_links) {
     if (remap[l] != kNoLink) out.fail_links.push_back(remap[l]);
   }
@@ -75,13 +77,15 @@ inline PropCase without_trailing_node(const PropCase& c) {
   out.source = c.source;
   out.fail_links = c.fail_links;
   out.fail_nodes = c.fail_nodes;
+  graph::GraphBuilder b;
   for (NodeId v = 0; v + 1 < c.g.node_count(); ++v) {
-    out.g.add_node(c.g.position(v));
+    b.add_node(c.g.position(v));
   }
   for (LinkId l = 0; l < c.g.link_count(); ++l) {
     const graph::Link& e = c.g.link(l);
-    out.g.add_link_asym(e.u, e.v, e.cost_uv, e.cost_vu);
+    b.add_link_asym(e.u, e.v, e.cost_uv, e.cost_vu);
   }
+  out.g = b.build();
   return out;
 }
 

@@ -92,7 +92,7 @@ inline std::vector<std::uint64_t> all_seeds() {
 /// points, bridges and multi-edge-disjoint regions.
 inline graph::Graph random_graph(Rng& rng) {
   const NodeId n = static_cast<NodeId>(rng.uniform_int(4, 32));
-  graph::Graph g;
+  graph::GraphBuilder g;
   for (NodeId i = 0; i < n; ++i) {
     g.add_node({rng.uniform_real(0.0, 1000.0), rng.uniform_real(0.0, 1000.0)});
   }
@@ -118,7 +118,7 @@ inline graph::Graph random_graph(Rng& rng) {
     if (u == v || g.find_link(u, v) != kNoLink) continue;
     add(u, v);
   }
-  return g;
+  return g.build();
 }
 
 /// The full case: topology, failure sequence (1..max(2, links/3)

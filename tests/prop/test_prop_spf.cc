@@ -9,6 +9,7 @@
 #include "spf/batch_repair.h"
 #include "spf/incremental.h"
 #include "spf/shortest_path.h"
+#include "spf/spt_compress.h"
 
 namespace rtr {
 namespace {
@@ -60,6 +61,33 @@ TEST(PropSpf, BatchRepairBitIdenticalToFullRecompute) {
           << "seed " << seed << " alg "
           << (alg == spf::SpfAlgorithm::kDijkstra ? "dijkstra" : "bfs")
           << " path " << static_cast<int>(stats.path);
+    }
+  }
+}
+
+// Tentpole: the delta-compressed tree codec BaseTreeStore rests on is
+// a bit-identical round trip over the whole corpus, for both metrics.
+// Distances are NOT stored, so this is the property that parent-chain
+// re-accumulation reproduces every floating-point sum exactly.
+TEST(PropSpf, CompressedTreeRoundTripIsBitIdentical) {
+  for (std::uint64_t seed : prop::all_seeds()) {
+    const PropCase c = prop::make_case(seed);
+    for (const spf::SpfAlgorithm alg :
+         {spf::SpfAlgorithm::kBfsHopCount, spf::SpfAlgorithm::kDijkstra}) {
+      spf::SptResult full = alg == spf::SpfAlgorithm::kBfsHopCount
+                                ? spf::bfs_from(c.g, c.source)
+                                : spf::dijkstra_from(c.g, c.source);
+      if (alg == spf::SpfAlgorithm::kBfsHopCount) {
+        spf::canonicalize_parents(c.g, full, {}, alg);
+      }
+      const spf::CompressedSpt comp = spf::compress_spt(full);
+      // The whole point: far below 16 bytes/node materialised.
+      EXPECT_LE(comp.byte_size(), 3 * c.g.num_nodes());
+      const spf::SptResult back = spf::decompress_spt(c.g, comp, alg);
+      EXPECT_EQ(prop::diff_trees(full, back), "")
+          << "seed " << seed << " alg "
+          << (alg == spf::SpfAlgorithm::kDijkstra ? "dijkstra" : "bfs");
+      ASSERT_EQ(full.dist, back.dist) << "seed " << seed;
     }
   }
 }

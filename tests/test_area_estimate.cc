@@ -142,10 +142,11 @@ TEST(AreaEstimate, NoEvidenceYieldsEmptyEstimate) {
   // An isolated-initiator phase 1 collects nothing and observes links
   // only through the initiator itself; with a failed single link and
   // no traversal, evidence reduces to the initiator's own observation.
-  graph::Graph g;
-  g.add_node({0, 0});
-  g.add_node({10, 0});
-  const LinkId dead = g.add_link(0, 1);
+  graph::GraphBuilder b;
+  b.add_node({0, 0});
+  b.add_node({10, 0});
+  const LinkId dead = b.add_link(0, 1);
+  const graph::Graph g = b.build();
   const graph::CrossingIndex idx(g);
   const fail::FailureSet fs = fail::FailureSet::of_links(g, {dead});
   const core::Phase1Result p1 = core::run_phase1(g, idx, fs, 0, dead);

@@ -170,7 +170,7 @@ TEST_F(EngineDeterminism, RepeatedRunsReproduce) {
 /// two-hop paths tie, so the documented "smaller parent id wins" rule
 /// must pick node 1 as 3's parent no matter the link insertion order.
 graph::Graph diamond(bool reverse_insertion) {
-  graph::Graph g;
+  graph::GraphBuilder g;
   const NodeId a = g.add_node({0.0, 0.0});
   const NodeId b = g.add_node({1.0, 1.0});
   const NodeId c = g.add_node({1.0, -1.0});
@@ -186,7 +186,7 @@ graph::Graph diamond(bool reverse_insertion) {
     g.add_link(b, d);
     g.add_link(c, d);
   }
-  return g;
+  return g.build();
 }
 
 TEST(SptTieBreak, DijkstraSmallerParentWinsOnDiamond) {

@@ -187,7 +187,7 @@ INSTANTIATE_TEST_SUITE_P(
 /// Ring of n nodes on a circle; with a zeroed hop-cap factor every
 /// phase-1 traversal overruns the distributed cap and aborts.
 graph::Graph ring_graph(std::size_t n) {
-  graph::Graph g;
+  graph::GraphBuilder g;
   for (std::size_t i = 0; i < n; ++i) {
     const double a = 2.0 * 3.14159265358979323846 *
                      static_cast<double>(i) / static_cast<double>(n);
@@ -196,7 +196,7 @@ graph::Graph ring_graph(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     g.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
   }
-  return g;
+  return g.build();
 }
 
 TEST(DistributedRtr, ReusableAfterPhase1Abort) {

@@ -138,6 +138,21 @@ TEST(FaultPlan, HopFaultPartitionsOneDraw) {
             control.next_detection_delay_ms());
 }
 
+TEST(FaultPlan, AcceptsExactSumOneDespiteRounding) {
+  // Regression: 0.1 + 0.2 + 0.7 sums to 1.0000000000000002 in double;
+  // the ctor used a bare <= 1.0 check and rejected this valid config.
+  FaultRig rig;
+  FaultOptions o;
+  o.loss_prob = 0.1;
+  o.corrupt_prob = 0.2;
+  o.duplicate_prob = 0.7;
+  FaultPlan plan(o, 1, rig.g, rig.failure);
+  // With the clamped partition every draw lands in a real fault band.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(plan.next_hop_fault(), HopFault::kNone);
+  }
+}
+
 TEST(FaultPlan, RejectsInvalidProbabilities) {
   FaultRig rig;
   FaultOptions o;

@@ -17,15 +17,17 @@ struct Star {
   NodeId east, north, west, south;
 
   Star() {
-    g.add_node({0, 0});             // 0: center
-    east = g.add_node({100, 0});    // 1
-    north = g.add_node({0, 100});   // 2
-    west = g.add_node({-100, 0});   // 3
-    south = g.add_node({0, -100});  // 4
-    g.add_link(0, east);
-    g.add_link(0, north);
-    g.add_link(0, west);
-    g.add_link(0, south);
+    graph::GraphBuilder b;
+    b.add_node({0, 0});             // 0: center
+    east = b.add_node({100, 0});    // 1
+    north = b.add_node({0, 100});   // 2
+    west = b.add_node({-100, 0});   // 3
+    south = b.add_node({0, -100});  // 4
+    b.add_link(0, east);
+    b.add_link(0, north);
+    b.add_link(0, west);
+    b.add_link(0, south);
+    g = b.build();
   }
 };
 
@@ -63,12 +65,13 @@ TEST(ForwardingRule, ClockwiseOption) {
 
 TEST(ForwardingRule, PreviousHopIsLastResort) {
   // Path 0 - 1 with nothing else live: the rule must bounce back.
-  Graph g;
-  g.add_node({0, 0});
-  g.add_node({100, 0});
-  g.add_node({200, 0});
-  g.add_link(0, 1);
-  const LinkId dead = g.add_link(1, 2);
+  graph::GraphBuilder b;
+  b.add_node({0, 0});
+  b.add_node({100, 0});
+  b.add_node({200, 0});
+  b.add_link(0, 1);
+  const LinkId dead = b.add_link(1, 2);
+  const Graph g = b.build();
   const CrossingIndex idx(g);
   const FailureSet fs = FailureSet::of_links(g, {dead});
   net::RtrHeader h;
@@ -77,10 +80,11 @@ TEST(ForwardingRule, PreviousHopIsLastResort) {
 }
 
 TEST(ForwardingRule, NoCandidateWhenIsolated) {
-  Graph g;
-  g.add_node({0, 0});
-  g.add_node({100, 0});
-  const LinkId dead = g.add_link(0, 1);
+  graph::GraphBuilder b;
+  b.add_node({0, 0});
+  b.add_node({100, 0});
+  const LinkId dead = b.add_link(0, 1);
+  const Graph g = b.build();
   const CrossingIndex idx(g);
   const FailureSet fs = FailureSet::of_links(g, {dead});
   net::RtrHeader h;
@@ -89,15 +93,16 @@ TEST(ForwardingRule, NoCandidateWhenIsolated) {
 
 TEST(ForwardingRule, CrossLinkExclusion) {
   // Two crossing links: recording one excludes the other.
-  Graph g;
-  g.add_node({0, 0});     // 0
-  g.add_node({100, 100}); // 1
-  g.add_node({0, 100});   // 2
-  g.add_node({100, 0});   // 3
-  g.add_node({-100, 0});  // 4 (reference arm)
-  const LinkId diag1 = g.add_link(0, 1);
-  const LinkId diag2 = g.add_link(2, 3);
-  g.add_link(0, 4);
+  graph::GraphBuilder b;
+  b.add_node({0, 0});     // 0
+  b.add_node({100, 100}); // 1
+  b.add_node({0, 100});   // 2
+  b.add_node({100, 0});   // 3
+  b.add_node({-100, 0});  // 4 (reference arm)
+  const LinkId diag1 = b.add_link(0, 1);
+  const LinkId diag2 = b.add_link(2, 3);
+  b.add_link(0, 4);
+  const Graph g = b.build();
   const CrossingIndex idx(g);
   ASSERT_TRUE(idx.cross(diag1, diag2));
   const FailureSet none(g);

@@ -12,8 +12,8 @@
 namespace rtr::graph {
 namespace {
 
-Graph triangle() {
-  Graph g;
+GraphBuilder triangle_builder() {
+  GraphBuilder g;
   g.add_node({0, 0});
   g.add_node({10, 0});
   g.add_node({5, 8});
@@ -22,6 +22,8 @@ Graph triangle() {
   g.add_link(2, 0);
   return g;
 }
+
+Graph triangle() { return triangle_builder().build(); }
 
 TEST(Graph, BasicAccessors) {
   Graph g = triangle();
@@ -36,10 +38,11 @@ TEST(Graph, BasicAccessors) {
 }
 
 TEST(Graph, OtherEndAndCost) {
-  Graph g;
-  g.add_node({0, 0});
-  g.add_node({1, 0});
-  const LinkId l = g.add_link_asym(0, 1, 2.0, 3.0);
+  GraphBuilder b;
+  b.add_node({0, 0});
+  b.add_node({1, 0});
+  const LinkId l = b.add_link_asym(0, 1, 2.0, 3.0);
+  Graph g = b.build();
   EXPECT_EQ(g.other_end(l, 0), 1u);
   EXPECT_EQ(g.other_end(l, 1), 0u);
   EXPECT_DOUBLE_EQ(g.cost_from(l, 0), 2.0);
@@ -51,18 +54,77 @@ TEST(Graph, FindLink) {
   Graph g = triangle();
   EXPECT_NE(g.find_link(0, 1), kNoLink);
   EXPECT_EQ(g.find_link(0, 1), g.find_link(1, 0));
-  Graph g2 = triangle();
-  g2.add_node({20, 20});
+  GraphBuilder b2 = triangle_builder();
+  b2.add_node({20, 20});
+  Graph g2 = b2.build();
   EXPECT_EQ(g2.find_link(0, 3), kNoLink);
 }
 
-TEST(Graph, RejectsSelfLoopAndParallel) {
-  Graph g = triangle();
+TEST(GraphBuilder, RejectsSelfLoopAndParallel) {
+  GraphBuilder g = triangle_builder();
   EXPECT_THROW(g.add_link(0, 0), ContractViolation);
   EXPECT_THROW(g.add_link(0, 1), ContractViolation);
   EXPECT_THROW(g.add_link(1, 0), ContractViolation);
   EXPECT_THROW(g.add_link(0, 7), ContractViolation);
   EXPECT_THROW(g.add_link(0, 1, -1.0), ContractViolation);
+}
+
+TEST(GraphBuilder, GuardsAgainstIdOverflow) {
+  // A builder whose id space is artificially capped at 2 nodes / 1 link
+  // must refuse the third node and second link instead of letting the
+  // id wrap and alias id 0 (the historical add_node cast size()-1 to
+  // NodeId unchecked).
+  GraphBuilder g(/*max_nodes=*/2, /*max_links=*/1);
+  g.add_node({0, 0});
+  g.add_node({1, 0});
+  EXPECT_THROW(g.add_node({2, 0}), ContractViolation);
+  g.add_link(0, 1);
+  EXPECT_THROW(g.add_link(1, 0, 2.0), ContractViolation);  // would be parallel
+  GraphBuilder h(/*max_nodes=*/3, /*max_links=*/1);
+  h.add_node({0, 0});
+  h.add_node({1, 0});
+  h.add_node({2, 0});
+  h.add_link(0, 1);
+  EXPECT_THROW(h.add_link(1, 2), ContractViolation);
+  // The accepted prefix still freezes into a valid graph.
+  Graph frozen = h.build();
+  EXPECT_EQ(frozen.num_nodes(), 3u);
+  EXPECT_EQ(frozen.num_links(), 1u);
+}
+
+TEST(Graph, NeighborsPreserveInsertionOrderSortedNeighborsSort) {
+  // Star inserted in descending neighbour order: insertion order must
+  // survive freezing (downstream tie-breaks depend on it) while
+  // sorted_neighbors() re-orders by neighbour id.
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.add_node({static_cast<double>(i), 0});
+  b.add_link(0, 4);
+  b.add_link(0, 3);
+  b.add_link(0, 2);
+  b.add_link(0, 1);
+  Graph g = b.build();
+  const AdjacencySpan ins = g.neighbors(0);
+  ASSERT_EQ(ins.size(), 4u);
+  EXPECT_EQ(ins[0].neighbor, 4u);
+  EXPECT_EQ(ins[1].neighbor, 3u);
+  EXPECT_EQ(ins[2].neighbor, 2u);
+  EXPECT_EQ(ins[3].neighbor, 1u);
+  const AdjacencySpan sorted = g.sorted_neighbors(0);
+  ASSERT_EQ(sorted.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sorted[i].neighbor, static_cast<NodeId>(i + 1));
+    EXPECT_EQ(sorted[i].link, g.find_link(0, sorted[i].neighbor));
+  }
+}
+
+TEST(Graph, CopiesShareFrozenStorage) {
+  Graph g = triangle();
+  Graph h = g;  // refcount bump, not a deep copy
+  EXPECT_EQ(h.neighbors(0).begin(), g.neighbors(0).begin());
+  EXPECT_GT(g.storage_bytes(), 0u);
+  Graph empty;
+  EXPECT_EQ(empty.num_nodes(), 0u);
+  EXPECT_EQ(empty.storage_bytes(), 0u);
 }
 
 TEST(Graph, SegmentMatchesEmbedding) {
@@ -127,8 +189,9 @@ TEST(Crossings, ListsAreSortedAndConsistent) {
 // ---------------------------------------------------------------- properties
 
 TEST(Properties, Reachability) {
-  Graph g = triangle();
-  g.add_node({50, 50});  // isolated node 3
+  GraphBuilder b = triangle_builder();
+  b.add_node({50, 50});  // isolated node 3
+  Graph g = b.build();
   EXPECT_TRUE(reachable(g, 0, 2));
   EXPECT_FALSE(reachable(g, 0, 3));
   EXPECT_FALSE(connected(g));
@@ -163,9 +226,10 @@ TEST(Properties, MaskedSourceReachesNothing) {
 }
 
 TEST(Properties, DegreeStats) {
-  Graph g = triangle();
-  g.add_node({20, 0});
-  g.add_link(1, 3);  // node 3 is a leaf
+  GraphBuilder b = triangle_builder();
+  b.add_node({20, 0});
+  b.add_link(1, 3);  // node 3 is a leaf
+  Graph g = b.build();
   const DegreeStats s = degree_stats(g);
   EXPECT_EQ(s.min_degree, 1u);
   EXPECT_EQ(s.max_degree, 3u);
@@ -175,9 +239,9 @@ TEST(Properties, DegreeStats) {
 }
 
 TEST(Properties, SingletonGraphIsConnected) {
-  Graph g;
-  g.add_node({0, 0});
-  EXPECT_TRUE(connected(g));
+  GraphBuilder b;
+  b.add_node({0, 0});
+  EXPECT_TRUE(connected(b.build()));
 }
 
 // ------------------------------------------------------------------------ io
@@ -198,11 +262,11 @@ TEST(GraphIo, RoundTrip) {
 }
 
 TEST(GraphIo, AsymmetricCostsSurvive) {
-  Graph g;
-  g.add_node({0, 0});
-  g.add_node({1, 1});
-  g.add_link_asym(0, 1, 2.5, 7.25);
-  const Graph h = from_string(to_string(g));
+  GraphBuilder b;
+  b.add_node({0, 0});
+  b.add_node({1, 1});
+  b.add_link_asym(0, 1, 2.5, 7.25);
+  const Graph h = from_string(to_string(b.build()));
   EXPECT_DOUBLE_EQ(h.link(0).cost_uv, 2.5);
   EXPECT_DOUBLE_EQ(h.link(0).cost_vu, 7.25);
 }

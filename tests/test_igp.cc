@@ -64,12 +64,13 @@ TEST(Igp, ConvergenceDominatesRtrRecoveryDelay) {
 TEST(Igp, FailedAndCutOffRoutersDoNotConverge) {
   // Destroy every neighbour of a leaf-ish region so some live node is
   // unreachable from any detector's flood.
-  graph::Graph g;
-  g.add_node({0, 0});    // 0
-  g.add_node({100, 0});  // 1 - will fail
-  g.add_node({200, 0});  // 2 - cut off behind 1
-  g.add_link(0, 1);
-  g.add_link(1, 2);
+  graph::GraphBuilder b;
+  b.add_node({0, 0});    // 0
+  b.add_node({100, 0});  // 1 - will fail
+  b.add_node({200, 0});  // 2 - cut off behind 1
+  b.add_link(0, 1);
+  b.add_link(1, 2);
+  const graph::Graph g = b.build();
   const FailureSet fs = FailureSet::of_nodes(g, {1});
   const ConvergenceTimeline t = igp_convergence(g, fs);
   EXPECT_LT(t.converged_at_ms[0], kInfCost);

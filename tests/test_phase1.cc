@@ -132,10 +132,11 @@ TEST(Phase1PlanarGraph, VisitsStartAndEndAtInitiator) {
 // --------------------------------------------------- degenerate cases ----
 
 TEST(Phase1, IsolatedInitiator) {
-  Graph g;
-  g.add_node({0, 0});
-  g.add_node({10, 0});
-  const LinkId l = g.add_link(0, 1);
+  graph::GraphBuilder b;
+  b.add_node({0, 0});
+  b.add_node({10, 0});
+  const LinkId l = b.add_link(0, 1);
+  const Graph g = b.build();
   const CrossingIndex idx(g);
   const FailureSet fs = FailureSet::of_links(g, {l});
   const Phase1Result r = run_phase1(g, idx, fs, 0, l);
@@ -146,12 +147,13 @@ TEST(Phase1, IsolatedInitiator) {
 TEST(Phase1, SingleLiveNeighborBacktracks) {
   // Path graph 0-1-2 with link 1-2 failed: initiator 1 sends to 0,
   // which bounces the packet straight back.
-  Graph g;
-  g.add_node({0, 0});
-  g.add_node({10, 0});
-  g.add_node({20, 0});
-  g.add_link(0, 1);
-  const LinkId dead = g.add_link(1, 2);
+  graph::GraphBuilder b;
+  b.add_node({0, 0});
+  b.add_node({10, 0});
+  b.add_node({20, 0});
+  b.add_link(0, 1);
+  const LinkId dead = b.add_link(1, 2);
+  const Graph g = b.build();
   const CrossingIndex idx(g);
   const FailureSet fs = FailureSet::of_links(g, {dead});
   const Phase1Result r = run_phase1(g, idx, fs, 1, dead);

@@ -89,12 +89,13 @@ TEST(Rtr, UnreachableDestinationIsDeclaredAtInitiator) {
 }
 
 TEST(Rtr, IsolatedInitiator) {
-  Graph g;
-  g.add_node({0, 0});
-  g.add_node({10, 0});
-  g.add_node({20, 0});
-  g.add_link(0, 1);
-  g.add_link(1, 2);
+  graph::GraphBuilder b;
+  b.add_node({0, 0});
+  b.add_node({10, 0});
+  b.add_node({20, 0});
+  b.add_link(0, 1);
+  b.add_link(1, 2);
+  Graph g = b.build();
   FailureSet fs = FailureSet::of_nodes(g, {1});
   Rig rig(std::move(g), std::move(fs));
   RtrRecovery rtr(rig.g, rig.crossings, rig.rt, rig.failure);
@@ -305,7 +306,7 @@ TEST(Rtr, MultiAreaRecovery) {
 /// Ring of n nodes on a circle: every phase-1 traversal walks nearly
 /// the whole ring, so a zeroed hop-cap factor forces kAborted.
 Graph ring_graph(std::size_t n) {
-  Graph g;
+  graph::GraphBuilder g;
   for (std::size_t i = 0; i < n; ++i) {
     const double a = 2.0 * 3.14159265358979323846 *
                      static_cast<double>(i) / static_cast<double>(n);
@@ -314,7 +315,7 @@ Graph ring_graph(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     g.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
   }
-  return g;
+  return g.build();
 }
 
 TEST(Rtr, EngineStaysUsableAfterPhase1Abort) {

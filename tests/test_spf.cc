@@ -15,9 +15,9 @@ namespace {
 
 using graph::Graph;
 
-Graph diamond() {
+graph::GraphBuilder diamond_builder() {
   // 0 -1- 1 -1- 3,  0 -1- 2 -3- 3 : shortest 0->3 goes via 1.
-  Graph g;
+  graph::GraphBuilder g;
   g.add_node({0, 0});
   g.add_node({10, 10});
   g.add_node({10, -10});
@@ -28,6 +28,8 @@ Graph diamond() {
   g.add_link(2, 3, 3.0);
   return g;
 }
+
+Graph diamond() { return diamond_builder().build(); }
 
 TEST(Dijkstra, PicksCheaperRoute) {
   const Graph g = diamond();
@@ -57,18 +59,20 @@ TEST(Dijkstra, MaskedNodeForcesDetour) {
 }
 
 TEST(Dijkstra, UnreachableIsInfinite) {
-  Graph g = diamond();
-  g.add_node({100, 100});
+  graph::GraphBuilder b = diamond_builder();
+  b.add_node({100, 100});
+  const Graph g = b.build();
   const SptResult r = dijkstra_from(g, 0);
   EXPECT_FALSE(r.reachable(4));
   EXPECT_TRUE(extract_path(g, r, 4).empty());
 }
 
 TEST(Dijkstra, AsymmetricCosts) {
-  Graph g;
-  g.add_node({0, 0});
-  g.add_node({10, 0});
-  g.add_link_asym(0, 1, 1.0, 5.0);
+  graph::GraphBuilder b;
+  b.add_node({0, 0});
+  b.add_node({10, 0});
+  b.add_link_asym(0, 1, 1.0, 5.0);
+  const Graph g = b.build();
   EXPECT_DOUBLE_EQ(dijkstra_from(g, 0).dist[1], 1.0);
   EXPECT_DOUBLE_EQ(dijkstra_from(g, 1).dist[0], 5.0);
   // dijkstra_to measures path cost *towards* the target.
@@ -171,15 +175,16 @@ TEST(RoutingTable, WeightedMetric) {
 
 TEST(RoutingTable, TieBreakIsSmallestNeighbor) {
   // Square: two equal-hop routes 0->3 via 1 or 2; next hop must be 1.
-  Graph g;
-  g.add_node({0, 0});
-  g.add_node({10, 0});
-  g.add_node({0, 10});
-  g.add_node({10, 10});
-  g.add_link(0, 1);
-  g.add_link(0, 2);
-  g.add_link(1, 3);
-  g.add_link(2, 3);
+  graph::GraphBuilder b;
+  b.add_node({0, 0});
+  b.add_node({10, 0});
+  b.add_node({0, 10});
+  b.add_node({10, 10});
+  b.add_link(0, 1);
+  b.add_link(0, 2);
+  b.add_link(1, 3);
+  b.add_link(2, 3);
+  const Graph g = b.build();
   const RoutingTable rt(g);
   EXPECT_EQ(rt.next_hop(0, 3), 1u);
 }

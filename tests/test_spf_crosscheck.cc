@@ -18,7 +18,13 @@ using graph::Graph;
 
 /// A connected random graph with random asymmetric costs.
 Graph random_weighted_graph(std::size_t n, double extra_frac, Rng& rng) {
-  Graph g = graph::make_random_tree(n, 1000.0, rng);
+  const Graph tree = graph::make_random_tree(n, 1000.0, rng);
+  graph::GraphBuilder g;
+  for (NodeId i = 0; i < tree.node_count(); ++i) g.add_node(tree.position(i));
+  for (LinkId l = 0; l < tree.link_count(); ++l) {
+    const graph::Link& e = tree.link(l);
+    g.add_link(e.u, e.v);
+  }
   const std::size_t extras =
       static_cast<std::size_t>(extra_frac * static_cast<double>(n));
   std::size_t added = 0;
@@ -30,14 +36,14 @@ Graph random_weighted_graph(std::size_t n, double extra_frac, Rng& rng) {
     ++added;
   }
   // Re-cost every link with random asymmetric weights in [1, 20].
-  Graph weighted;
+  graph::GraphBuilder weighted;
   for (NodeId i = 0; i < g.node_count(); ++i) weighted.add_node(g.position(i));
   for (LinkId l = 0; l < g.link_count(); ++l) {
     const graph::Link& e = g.link(l);
     weighted.add_link_asym(e.u, e.v, rng.uniform_real(1.0, 20.0),
                            rng.uniform_real(1.0, 20.0));
   }
-  return weighted;
+  return weighted.build();
 }
 
 class SpfCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
@@ -141,10 +147,11 @@ TEST(BellmanFord, MatchesOnIspSurrogate) {
 }
 
 TEST(BellmanFord, MaskedSourceYieldsNothing) {
-  Graph g;
-  g.add_node({0, 0});
-  g.add_node({1, 1});
-  g.add_link(0, 1);
+  graph::GraphBuilder b;
+  b.add_node({0, 0});
+  b.add_node({1, 1});
+  b.add_link(0, 1);
+  const Graph g = b.build();
   std::vector<char> nm = {1, 0};
   const BellmanFordResult bf = bellman_ford(g, 0, {&nm, nullptr});
   EXPECT_EQ(bf.dist[0], kInfCost);

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/expect.h"
+#include "graph/graph.h"
+#include "spf/batch_repair.h"
+#include "spf/shortest_path.h"
+#include "spf/spt_compress.h"
+
+namespace rtr::spf {
+namespace {
+
+// Asymmetric-cost fixture: 0--1--3 and 0--2--3 with unequal directed
+// costs, plus a detached node 4 (unreachable).
+graph::Graph asym_square() {
+  graph::GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.add_node({static_cast<double>(i), 0.0});
+  b.add_link_asym(0, 1, 1.0, 9.0);
+  b.add_link_asym(1, 3, 2.5, 1.0);
+  b.add_link_asym(0, 2, 2.0, 2.0);
+  b.add_link_asym(2, 3, 0.5, 7.0);
+  return b.build();
+}
+
+void expect_bit_identical(const SptResult& a, const SptResult& b) {
+  EXPECT_EQ(a.source, b.source);
+  ASSERT_EQ(a.dist.size(), b.dist.size());
+  for (std::size_t v = 0; v < a.dist.size(); ++v) {
+    EXPECT_EQ(a.dist[v], b.dist[v]) << "dist of node " << v;
+    EXPECT_EQ(a.parent[v], b.parent[v]) << "parent of node " << v;
+    EXPECT_EQ(a.parent_link[v], b.parent_link[v]) << "link of node " << v;
+  }
+}
+
+TEST(SptCompress, DijkstraRoundTripIsBitIdentical) {
+  const graph::Graph g = asym_square();
+  const SptResult full = dijkstra_from(g, 0);
+  const CompressedSpt c = compress_spt(full);
+  EXPECT_TRUE(c.computed());
+  // Near-neighbour parents: one varint byte per node.
+  EXPECT_EQ(c.byte_size(), g.num_nodes());
+  expect_bit_identical(full, decompress_spt(g, c, SpfAlgorithm::kDijkstra));
+}
+
+TEST(SptCompress, CanonicalBfsRoundTripIsBitIdentical) {
+  const graph::Graph g = asym_square();
+  SptResult full = bfs_from(g, 1);
+  canonicalize_parents(g, full, {}, SpfAlgorithm::kBfsHopCount);
+  const CompressedSpt c = compress_spt(full);
+  expect_bit_identical(full,
+                       decompress_spt(g, c, SpfAlgorithm::kBfsHopCount));
+}
+
+TEST(SptCompress, UnreachableNodesSurvive) {
+  const graph::Graph g = asym_square();
+  const SptResult full = dijkstra_from(g, 0);
+  const SptResult back =
+      decompress_spt(g, compress_spt(full), SpfAlgorithm::kDijkstra);
+  EXPECT_EQ(back.dist[4], kInfCost);
+  EXPECT_EQ(back.parent[4], kNoNode);
+  EXPECT_EQ(back.parent_link[4], kNoLink);
+}
+
+TEST(SptCompress, RejectsCorruptEncodings) {
+  const graph::Graph g = asym_square();
+  CompressedSpt c = compress_spt(dijkstra_from(g, 0));
+  CompressedSpt truncated = c;
+  truncated.bytes.pop_back();
+  EXPECT_THROW(decompress_spt(g, truncated, SpfAlgorithm::kDijkstra),
+               ContractViolation);
+  CompressedSpt trailing = c;
+  trailing.bytes.push_back(0);
+  EXPECT_THROW(decompress_spt(g, trailing, SpfAlgorithm::kDijkstra),
+               ContractViolation);
+  CompressedSpt empty;
+  EXPECT_THROW(decompress_spt(g, empty, SpfAlgorithm::kDijkstra),
+               ContractViolation);
+}
+
+TEST(BaseTreeStore, MaterialisesThroughWeakCache) {
+  const graph::Graph g = asym_square();
+  // Hot ring disabled: only callers keep trees alive.
+  const BaseTreeStore store(g, SpfAlgorithm::kDijkstra, 0);
+  EXPECT_EQ(store.compressed_bytes(), 0u);
+
+  std::shared_ptr<const SptResult> first = store.from(0);
+  const SptResult reference = *first;
+  EXPECT_EQ(store.trees_computed(), 1u);
+  EXPECT_GT(store.compressed_bytes(), 0u);
+
+  // While a caller holds the tree, further requests share it.
+  EXPECT_EQ(store.from(0).get(), first.get());
+
+  // After the last reference drops the store re-materialises from the
+  // compressed bytes -- bit-identical, without recomputing the SPF.
+  first.reset();
+  std::shared_ptr<const SptResult> again = store.from(0);
+  EXPECT_EQ(store.trees_computed(), 1u);
+  expect_bit_identical(reference, *again);
+}
+
+TEST(BaseTreeStore, HotRingKeepsRecentTreesMaterialised) {
+  const graph::Graph g = asym_square();
+  const BaseTreeStore store(g, SpfAlgorithm::kDijkstra);
+  const SptResult* raw = store.from(0).get();
+  // The caller dropped its reference, but the default budget keeps
+  // every tree of a graph this small hot: same object, no rebuild.
+  EXPECT_EQ(store.from(0).get(), raw);
+  EXPECT_EQ(store.trees_computed(), 1u);
+}
+
+}  // namespace
+}  // namespace rtr::spf

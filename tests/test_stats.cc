@@ -89,6 +89,22 @@ TEST(Cdf, CurveSpansRange) {
   }
 }
 
+TEST(Cdf, DegenerateRangeCollapsesToOnePoint) {
+  // All-equal samples: hi == lo, so an n-point sweep would emit n
+  // duplicates of the same point.  The curve must collapse to one.
+  const Cdf c({3.0, 3.0, 3.0});
+  const auto pts = c.curve(7);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts.front().first, 3.0);
+  EXPECT_DOUBLE_EQ(pts.front().second, 1.0);
+  // A single distinct sample degenerates the same way.
+  const Cdf single({4.5});
+  const auto one = single.curve(5);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.front().first, 4.5);
+  EXPECT_DOUBLE_EQ(one.front().second, 1.0);
+}
+
 TEST(Cdf, EmptyBehaviour) {
   const Cdf c;
   EXPECT_TRUE(c.empty());

@@ -12,6 +12,12 @@ Compares one or more ``--metrics-out`` JSON files (schema
 * **Wall clock** (``timing.wall_clock_ms``) may regress by at most the
   configured tolerance factor (default 1.25, i.e. fail on >25%
   slowdown).  Faster-than-baseline runs only produce a note.
+* **Peak RSS** (``timing.max_rss_kb``) must stay at or below the
+  bench's ``max_rss_kb_ceiling``.  The ceiling is sticky: captured once
+  -- first observed peak times ``RSS_CEILING_HEADROOM`` -- and then
+  preserved verbatim across ``--update``, so a memory regression can
+  never launder itself into the baseline through a routine refresh.
+  Lower it by hand after an intentional memory improvement.
 
 Benches whose op counts are inherently unstable (``bench_micro``:
 google-benchmark chooses iteration counts dynamically) are compared on
@@ -48,6 +54,12 @@ DEFAULT_TOLERANCE = 1.25
 # Benches whose op counts depend on adaptive iteration counts rather
 # than a pinned workload; --update marks them wall-clock-only.
 VOLATILE_OP_COUNT_BENCHES = {"bench_micro"}
+
+# Headroom multiplier applied to the first observed peak RSS when a
+# bench's sticky max_rss_kb_ceiling is captured.  Generous on purpose:
+# the ceiling exists to catch structural regressions (a store that no
+# longer fits), not allocator noise.
+RSS_CEILING_HEADROOM = 1.5
 
 # Counters that each record one full shortest-path-tree computation.
 # Their sum is the figure of merit the incremental SPF engine exists to
@@ -142,6 +154,20 @@ def check(baseline_doc: dict, docs: list[dict], tolerance: float) -> int:
                 print(f"{name}: full SPT runs {cur_full} < seed baseline "
                       f"{seed_full} ({100.0 * cur_full / seed_full:.1f}%)")
 
+        rss_ceiling = entry.get("max_rss_kb_ceiling")
+        cur_rss = doc.get("timing", {}).get("max_rss_kb")
+        if rss_ceiling is not None:
+            if not cur_rss:
+                print(f"{name}: no peak-RSS data in the metrics file; "
+                      f"skipping memory check")
+            elif cur_rss > rss_ceiling:
+                problems.append(
+                    f"{name}: peak RSS {cur_rss} KiB exceeds the "
+                    f"baseline ceiling {rss_ceiling} KiB")
+            else:
+                print(f"{name}: peak RSS {cur_rss} KiB within ceiling "
+                      f"{rss_ceiling} KiB")
+
         base_ms = entry.get("wall_clock_ms")
         cur_ms = doc.get("timing", {}).get("wall_clock_ms")
         if base_ms is None or cur_ms is None:
@@ -191,6 +217,16 @@ def update(baseline_path: str, old: dict, docs: list[dict],
             seed_full = full_runs_of(doc.get("metrics", {}))
         if seed_full is not None:
             entry["seed_full_runs"] = seed_full
+        # The RSS ceiling is sticky like seed_full_runs: captured once
+        # (with headroom) from the first run that reports a peak, then
+        # preserved verbatim so refreshes cannot raise it.
+        ceiling = prev.get("max_rss_kb_ceiling")
+        if ceiling is None:
+            cur_rss = doc.get("timing", {}).get("max_rss_kb")
+            if cur_rss:
+                ceiling = int(cur_rss * RSS_CEILING_HEADROOM)
+        if ceiling is not None:
+            entry["max_rss_kb_ceiling"] = ceiling
         benches[name] = entry
     out = {
         "schema": BASELINE_SCHEMA,
