@@ -20,6 +20,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -35,18 +36,15 @@ namespace rtr::bench {
 
 namespace detail {
 
-/// State for the atexit metrics emitter (value-copied so it outlives
-/// main's locals).
-// lint:allow(mutable-static) — written once in main before any worker
-inline exp::BenchConfig g_emit_cfg;        // NOLINT
-// lint:allow(mutable-static) — written once in main before any worker
-inline std::string g_bench_name = "bench"; // NOLINT
-
-inline void emit_metrics_at_exit() {
-  if (detail::g_emit_cfg.metrics_out.empty()) return;
-  const exp::BenchConfig& cfg = detail::g_emit_cfg;
+/// Points the process-wide obs::Emitter at cfg.metrics_out with the
+/// bench's provenance.  The final snapshot is written by the Emitter's
+/// (single, idempotently registered) atexit flush; long-running
+/// surfaces may additionally call obs::Emitter::global().flush() for
+/// periodic snapshots -- each flush rewrites the whole file.
+inline void configure_metrics_emitter(const exp::BenchConfig& cfg,
+                                      const std::string& bench_name) {
   obs::RunInfo run;
-  run.bench = detail::g_bench_name;
+  run.bench = bench_name;
   run.config = {
       {"cases", std::to_string(cfg.cases)},
       {"cut_rule", cfg.cut_rule == fail::LinkCutRule::kEndpointsOnly
@@ -66,10 +64,8 @@ inline void emit_metrics_at_exit() {
   obs::EmitOptions opts;
   opts.include_volatile = !cfg.metrics_deterministic;
   opts.threads = common::resolve_thread_count(cfg.threads);
-  opts.wall_clock_ms = obs::process_uptime_ms();
-  opts.max_rss_kb = obs::peak_rss_kb();
-  obs::write_metrics_file(cfg.metrics_out,
-                          obs::Registry::global().snapshot(), run, opts);
+  obs::Emitter::global().configure(cfg.metrics_out, std::move(run), opts);
+  obs::Emitter::global().register_atexit();
 }
 
 /// Parses "--flag VALUE" / "--flag=VALUE" at args[i]; on a match stores
@@ -131,6 +127,7 @@ inline bool parse_u64(const std::string& value, unsigned long long* out) {
 /// here gets `--metrics-out` behaviour with no per-binary code.
 inline exp::BenchConfig consume_engine_flags(std::vector<char*>& args) {
   exp::BenchConfig cfg = exp::BenchConfig::from_env();
+  std::string bench_name = "bench";
   struct FaultF64Flag {
     const char* flag;
     double* dst;
@@ -148,7 +145,7 @@ inline exp::BenchConfig consume_engine_flags(std::vector<char*>& args) {
   std::size_t i = 0;
   if (!args.empty()) {
     const char* slash = std::strrchr(args[0], '/');
-    detail::g_bench_name = slash != nullptr ? slash + 1 : args[0];
+    bench_name = slash != nullptr ? slash + 1 : args[0];
     rest.push_back(args[0]);
     i = 1;
   }
@@ -206,9 +203,7 @@ inline exp::BenchConfig consume_engine_flags(std::vector<char*>& args) {
     }
   }
   args = rest;
-  detail::g_emit_cfg = cfg;
-  static const int registered = std::atexit(detail::emit_metrics_at_exit);
-  (void)registered;
+  detail::configure_metrics_emitter(cfg, bench_name);
   return cfg;
 }
 

@@ -1,0 +1,309 @@
+// Closed-loop load generator for the rtr::svc planning server
+// (ISSUE 7 tentpole): in-process transport, real wire codec.
+//
+// Three phases:
+//   1. admission burst -- the queue is filled before the workers start,
+//      so the rejection count is a pure function of (burst, capacity);
+//   2. closed loop -- --clients client threads issue --requests
+//      pre-encoded plan requests against the running server and check
+//      every response;
+//   3. deadline sweep -- one multi-flow request replayed under
+//      decreasing deadlines, charting kOk -> kDeadlineExceeded.
+//
+// Everything on stdout is a pure function of (topologies, seed,
+// --requests, --queue-cap): request counts, status/outcome tallies, an
+// FNV-1a digest of all closed-loop response frames in submission
+// order, and the deadline-sweep outcomes.  The CI svc-smoke job diffs
+// stdout and the deterministic metrics document byte-for-byte across
+// --threads 1/2/8.  QPS and client-side p50/p99 latency are wall clock:
+// they go to stderr and the volatile timing block only.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/expect.h"
+#include "obs/emit.h"
+#include "stats/table.h"
+#include "svc/server.h"
+#include "svc/wire.h"
+
+using namespace rtr;
+
+namespace {
+
+constexpr std::size_t kScenariosPerTopology = 4;
+constexpr std::size_t kFlowsPerRequest = 6;
+constexpr std::size_t kBurstExtra = 5;
+/// Phase-3 deadlines in simulated ms (0 = none); spans "first phase-1
+/// already too slow" up to "everything fits".
+constexpr std::uint32_t kDeadlineSweep[] = {1, 4, 18, 90, 0};
+
+std::uint64_t fnv1a(std::uint64_t h, const std::vector<std::uint8_t>& bytes) {
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Converts one generated scenario into the wire request an operations
+/// plane would send: explicit failed-id lists plus the scenario's first
+/// recoverable flows.
+svc::PlanRequest to_plan_request(const std::string& topology,
+                                 const exp::TopologyContext& ctx,
+                                 const exp::Scenario& scenario) {
+  svc::PlanRequest plan;
+  plan.topology = topology;
+  for (NodeId n = 0; n < ctx.g.node_count(); ++n) {
+    if (scenario.failure.node_failed(n)) plan.failed_nodes.push_back(n);
+  }
+  for (LinkId l = 0; l < ctx.g.link_count(); ++l) {
+    if (scenario.failure.link_failed(l)) plan.failed_links.push_back(l);
+  }
+  const std::size_t flows =
+      std::min(kFlowsPerRequest, scenario.recoverable.size());
+  for (std::size_t i = 0; i < flows; ++i) {
+    plan.flows.push_back({scenario.recoverable[i].initiator,
+                          scenario.recoverable[i].dest});
+  }
+  return plan;
+}
+
+std::vector<std::uint8_t> frame_of(std::uint64_t id,
+                                   const svc::PlanRequest& plan,
+                                   std::uint32_t deadline_ms) {
+  svc::Request req;
+  req.id = id;
+  req.deadline_ms = deadline_ms;
+  req.endpoint = "plan";
+  req.body = svc::encode_plan_request(plan);
+  return svc::encode_frame(svc::encode_request(req));
+}
+
+struct Percentiles {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+Percentiles percentiles(std::vector<std::uint64_t> latencies_ns) {
+  Percentiles p;
+  if (latencies_ns.empty()) return p;
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  const auto at = [&](double q) {
+    const std::size_t i = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_ns.size() - 1));
+    return static_cast<double>(latencies_ns[i]) / 1000.0;
+  };
+  p.p50_us = at(0.5);
+  p.p99_us = at(0.99);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  const exp::BenchConfig cfg = bench::consume_engine_flags(args);
+  unsigned long long requests = 96;
+  unsigned long long clients = 4;
+  unsigned long long queue_cap = 8;
+  for (std::size_t i = 1; i < args.size();) {
+    std::string value;
+    std::size_t consumed = 0;
+    if (bench::detail::match_value_flag(args, i, "--requests", &value,
+                                        &consumed)) {
+      if (!bench::detail::parse_u64(value, &requests) || requests == 0) {
+        bench::detail::bad_flag_value("--requests", value);
+      }
+      i += consumed;
+    } else if (bench::detail::match_value_flag(args, i, "--clients", &value,
+                                               &consumed)) {
+      if (!bench::detail::parse_u64(value, &clients) || clients == 0) {
+        bench::detail::bad_flag_value("--clients", value);
+      }
+      i += consumed;
+    } else if (bench::detail::match_value_flag(args, i, "--queue-cap",
+                                               &value, &consumed)) {
+      if (!bench::detail::parse_u64(value, &queue_cap) || queue_cap == 0) {
+        bench::detail::bad_flag_value("--queue-cap", value);
+      }
+      i += consumed;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--requests N] [--clients N] [--queue-cap N]"
+                   " [--threads N] [--metrics-out FILE]\n"
+                << "unrecognised argument: " << args[i] << '\n';
+      return 2;
+    }
+  }
+  // Closed-loop clients never exceed the queue: each has at most one
+  // request in flight, so phase-2 admission verdicts (and with them the
+  // stable counters) cannot depend on drain timing.
+  clients = std::min(clients, queue_cap);
+  bench::print_header(
+      "Service throughput: closed-loop load against the rtr::svc planner",
+      cfg);
+
+  svc::ServerOptions sopts;
+  sopts.workers = cfg.threads;
+  sopts.queue_capacity = static_cast<std::size_t>(queue_cap);
+  svc::Server server(sopts);
+  for (const graph::IspSpec& spec : graph::rocketfuel_specs()) {
+    if (!spec.core) continue;
+    server.add_topology(spec.name, graph::make_isp_topology(spec));
+  }
+
+  // Pre-encoded request pool: a few area-failure scenarios per resident
+  // topology, flows drawn from each scenario's recoverable cases.
+  std::vector<std::vector<std::uint8_t>> pool;
+  stats::TextTable workload({"Topology", "Requests", "Flows"});
+  for (const auto& [name, ctx] : server.topologies()) {
+    const std::vector<exp::Scenario> scenarios =
+        bench::make_scenarios(*ctx, cfg, kScenariosPerTopology, 0);
+    std::size_t built = 0;
+    std::size_t flows = 0;
+    for (const exp::Scenario& s : scenarios) {
+      if (s.recoverable.empty()) continue;
+      if (built == kScenariosPerTopology) break;
+      const svc::PlanRequest plan = to_plan_request(name, *ctx, s);
+      pool.push_back(frame_of(pool.size() + 1, plan, 0));
+      built += 1;
+      flows += plan.flows.size();
+    }
+    workload.add_row({name, std::to_string(built), std::to_string(flows)});
+  }
+  workload.print(std::cout);
+  RTR_EXPECT(!pool.empty());
+
+  // ---- Phase 1: admission burst against the stopped server ----------
+  // Admission is decided synchronously at submit; with no worker
+  // draining, exactly capacity frames are admitted and the rest shed.
+  const std::size_t burst = sopts.queue_capacity + kBurstExtra;
+  std::vector<std::future<std::vector<std::uint8_t>>> burst_futures;
+  for (std::size_t i = 0; i < burst; ++i) {
+    burst_futures.push_back(server.submit(pool[i % pool.size()]));
+  }
+  server.start();
+  std::size_t burst_ok = 0;
+  std::size_t burst_rejected = 0;
+  for (auto& fut : burst_futures) {
+    const svc::Response r =
+        svc::decode_response(svc::decode_frame(fut.get()));
+    if (r.status == svc::Status::kRejected) {
+      burst_rejected += 1;
+    } else {
+      burst_ok += 1;
+    }
+  }
+  std::cout << "\nAdmission burst: " << burst << " submitted, queue cap "
+            << sopts.queue_capacity << " -> " << burst_ok << " served, "
+            << burst_rejected << " rejected\n";
+
+  // ---- Phase 2: closed loop ------------------------------------------
+  const std::size_t total = static_cast<std::size_t>(requests);
+  std::vector<std::vector<std::uint8_t>> responses(total);
+  std::vector<std::vector<std::uint64_t>> client_latency_ns(
+      static_cast<std::size_t>(clients));
+  obs::Histogram& latency_hist =
+      obs::Registry::global().timer("rtr.svc_bench.client_latency_ns");
+  double elapsed_s = 0.0;
+  {
+    // ScopedTimer is the sanctioned wall-clock probe: the loop duration
+    // lands in a volatile series, never in stable output.
+    const obs::ScopedTimer loop_timer(
+        obs::Registry::global().timer("rtr.svc_bench.closed_loop_ns"));
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (std::size_t i = c; i < total; i += clients) {
+          const obs::ScopedTimer timer(latency_hist);
+          responses[i] = server.call(pool[i % pool.size()]);
+          client_latency_ns[c].push_back(timer.elapsed_ns());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    elapsed_s = static_cast<double>(loop_timer.elapsed_ns()) / 1e9;
+  }
+
+  // Deterministic closed-loop report: digest over response frames in
+  // submission order, plus status/outcome tallies.
+  std::uint64_t digest = 1469598103934665603ULL;
+  std::size_t status_ok = 0;
+  std::size_t outcome_tally[6] = {};
+  for (const std::vector<std::uint8_t>& frame : responses) {
+    digest = fnv1a(digest, frame);
+    const svc::Response r =
+        svc::decode_response(svc::decode_frame(frame));
+    if (r.status == svc::Status::kOk) status_ok += 1;
+    for (const svc::FlowResult& f :
+         svc::decode_plan_response(r.body).results) {
+      outcome_tally[static_cast<std::size_t>(f.outcome)] += 1;
+    }
+  }
+  std::cout << "\nClosed loop: " << total << " requests over "
+            << pool.size() << " distinct frames, " << status_ok
+            << " ok\nResponse digest: " << hex64(digest) << "\n";
+  stats::TextTable outcomes({"Flow outcome", "Count"});
+  for (std::size_t o = 0; o < 6; ++o) {
+    outcomes.add_row(
+        {svc::to_string(static_cast<svc::FlowOutcome>(o)),
+         std::to_string(outcome_tally[o])});
+  }
+  outcomes.print(std::cout);
+
+  // Wall-clock results: stderr + volatile series only.
+  std::vector<std::uint64_t> all_lat;
+  for (const auto& v : client_latency_ns) {
+    all_lat.insert(all_lat.end(), v.begin(), v.end());
+  }
+  const Percentiles pct = percentiles(std::move(all_lat));
+  const double qps =
+      elapsed_s > 0.0 ? static_cast<double>(total) / elapsed_s : 0.0;
+  obs::Registry::global()
+      .gauge("rtr.svc_bench.qps_x1000", obs::Stability::kVolatile)
+      .record(static_cast<obs::Value>(qps * 1000.0));
+  std::cerr << "(closed loop: " << qps << " qps, p50 " << pct.p50_us
+            << " us, p99 " << pct.p99_us << " us, " << clients
+            << " clients)\n";
+
+  // Long-running-surface seam: snapshot the metrics mid-run; the atexit
+  // flush will rewrite the same file whole at exit (satellite 4's
+  // explicit-emitter contract).
+  obs::Emitter::global().flush();
+
+  // ---- Phase 3: deadline sweep ---------------------------------------
+  stats::TextTable sweep(
+      {"Deadline (sim ms)", "Status", "Flows done", "Sim elapsed us"});
+  for (const std::uint32_t deadline_ms : kDeadlineSweep) {
+    const svc::Request probe = [&] {
+      svc::Request req = svc::decode_request(svc::decode_frame(pool[0]));
+      req.deadline_ms = deadline_ms;
+      return req;
+    }();
+    const svc::Response r = svc::decode_response(svc::decode_frame(
+        server.call(svc::encode_frame(svc::encode_request(probe)))));
+    const svc::PlanResponse plan = svc::decode_plan_response(r.body);
+    sweep.add_row({deadline_ms == 0 ? "none" : std::to_string(deadline_ms),
+                   svc::to_string(r.status),
+                   std::to_string(plan.flows_done) + "/" +
+                       std::to_string(plan.flows_total),
+                   std::to_string(plan.sim_elapsed_us)});
+  }
+  std::cout << '\n';
+  sweep.print(std::cout);
+
+  server.stop();
+  std::cout << "\nAll rows above are pure functions of the workload knobs; "
+               "QPS and latency are reported on stderr and in the metrics "
+               "timing block.\n";
+  return 0;
+}

@@ -69,6 +69,12 @@ const Phase1Result& RtrRecovery::phase1_for(NodeId initiator) {
   return state_for(initiator).phase1;
 }
 
+const Phase1Result& RtrRecovery::phase1_for(NodeId initiator,
+                                            LinkId dead_hint) {
+  RTR_EXPECT(initiator < g_->num_nodes());
+  return state_for(initiator, dead_hint).phase1;
+}
+
 RecoveryResult RtrRecovery::recover(NodeId initiator, NodeId dest) {
   RTR_EXPECT(g_->valid_node(initiator) && g_->valid_node(dest));
   RTR_EXPECT(initiator != dest);

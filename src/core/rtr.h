@@ -82,6 +82,14 @@ class RtrRecovery {
   /// The cached phase-1 run of an initiator (executed on first use).
   const Phase1Result& phase1_for(NodeId initiator);
 
+  /// As above, but a first-use phase 1 starts its sweeping line at
+  /// `dead_hint` when that link is among the initiator's observed
+  /// failures -- the same hint recover() derives from the routing
+  /// table.  Lets a caller (the svc planner) run and account for
+  /// phase 1 *before* phase 2 without perturbing what a later
+  /// recover() to the same destination would have computed.
+  const Phase1Result& phase1_for(NodeId initiator, LinkId dead_hint);
+
   /// Multi-area extension (Section III-E): when the phase-2 packet is
   /// dropped at a live router, that router becomes a new initiator that
   /// inherits the failure information already in the packet header.

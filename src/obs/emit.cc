@@ -3,9 +3,11 @@
 #include <sys/resource.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <utility>
 
 namespace rtr::obs {
 
@@ -170,6 +172,54 @@ bool write_metrics_file(const std::string& path, const Snapshot& snapshot,
     return false;
   }
   return true;
+}
+
+Emitter& Emitter::global() {
+  // lint:allow(mutable-static) — the process-wide emitter, leaked like
+  // Registry::global() so the atexit flush outlives static destructors
+  static Emitter* instance = new Emitter();  // NOLINT
+  return *instance;
+}
+
+void Emitter::configure(std::string path, RunInfo run, EmitOptions opts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  path_ = std::move(path);
+  run_ = std::move(run);
+  opts_ = opts;
+}
+
+bool Emitter::flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) return false;
+  EmitOptions opts = opts_;
+  opts.wall_clock_ms = process_uptime_ms();
+  opts.max_rss_kb = peak_rss_kb();
+  if (!write_metrics_file(path_, Registry::global().snapshot(), run_,
+                          opts)) {
+    return false;
+  }
+  ++flushes_;
+  return true;
+}
+
+bool Emitter::register_atexit() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (atexit_registered_) return false;
+    atexit_registered_ = true;
+  }
+  std::atexit([] { Emitter::global().flush(); });
+  return true;
+}
+
+bool Emitter::configured() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return !path_.empty();
+}
+
+std::size_t Emitter::flushes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return flushes_;
 }
 
 }  // namespace rtr::obs

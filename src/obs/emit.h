@@ -27,6 +27,7 @@
 // counts and repeat runs (the CI determinism smoke diffs it verbatim).
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -75,5 +76,58 @@ std::string to_json(const Snapshot& snapshot, const RunInfo& run,
 /// (after printing to stderr) when the file cannot be written.
 bool write_metrics_file(const std::string& path, const Snapshot& snapshot,
                         const RunInfo& run, const EmitOptions& opts);
+
+/// Process-wide metrics-file emitter: the machinery behind every bench
+/// binary's `--metrics-out` flag and the service layer's periodic
+/// snapshots.
+///
+/// configure() records the destination and run provenance; flush()
+/// serialises the *current* registry state (wall clock and peak RSS are
+/// sampled at the call) and rewrites the file whole, so the destination
+/// always holds exactly one valid JSON document no matter how many
+/// snapshots a long-running process emits.  register_atexit() installs
+/// a process-exit flush at most once per process, however many call
+/// sites ask for it -- re-running a config parser or embedding the
+/// bench plumbing in a server can never double-register the handler or
+/// race its ordering against another emitter instance, because there is
+/// only ever the one leaked global() (same lifetime discipline as
+/// Registry::global(): emission may run after static destructors).
+class Emitter {
+ public:
+  /// The process-wide instance (leaked on purpose, like the Registry).
+  static Emitter& global();
+
+  /// Sets the destination and provenance of subsequent flushes.  An
+  /// empty path disarms the emitter: flush() becomes a no-op.
+  /// opts.wall_clock_ms and opts.max_rss_kb are ignored; both are
+  /// re-sampled at every flush.
+  void configure(std::string path, RunInfo run, EmitOptions opts);
+
+  /// Serialises the registry to the configured path right now.  Returns
+  /// false when unconfigured/disarmed or the file cannot be written.
+  /// Safe to call repeatedly and from any thread (whole-file overwrite
+  /// under an internal mutex); the atexit flush is just one more call.
+  bool flush();
+
+  /// Installs the atexit flush hook.  Returns true when this call
+  /// installed it, false when an earlier call already had -- the hook
+  /// runs at most once per process either way.
+  bool register_atexit();
+
+  bool configured() const;
+
+  /// Successful flushes so far (regression seam for double-emit bugs).
+  std::size_t flushes() const;
+
+ private:
+  Emitter() = default;
+
+  mutable std::mutex mu_;
+  std::string path_;
+  RunInfo run_;
+  EmitOptions opts_;
+  std::size_t flushes_ = 0;
+  bool atexit_registered_ = false;
+};
 
 }  // namespace rtr::obs

@@ -1,0 +1,57 @@
+// Deterministic per-request deadlines for the planning service.
+//
+// A request's deadline cannot be checked against the wall clock without
+// making the response depend on machine load: the same request would
+// return kOk on an idle server and kDeadlineExceeded on a busy one, and
+// the 1/2/8-worker byte-identity contract would be unprovable.  Instead
+// the planner charges *simulated protocol time* -- the paper's per-hop
+// delay model (net::DelayModel, Section IV-B: 1.8 ms per hop) applied
+// to the work the protocol itself would do: the phase-1 traversal of an
+// initiator and the phase-2 source-route walk of each flow.  The clock
+// is checked at phase boundaries only, matching where a real initiator
+// could observe a timeout, and the verdict is a pure function of the
+// request content and topology.
+#pragma once
+
+#include <cstdint>
+
+#include "net/delay.h"
+
+namespace rtr::svc {
+
+class SimClock {
+ public:
+  /// deadline_ms == 0 means no deadline (never expires).
+  explicit SimClock(std::uint32_t deadline_ms, net::DelayModel model = {})
+      : deadline_ms_(deadline_ms), model_(model) {}
+
+  /// Charges the simulated cost of forwarding over `hops` links.
+  void charge_hops(std::size_t hops) {
+    elapsed_ms_ += model_.duration_ms(hops);
+  }
+
+  /// True once the accumulated simulated time passed the deadline.
+  /// Callers check this at phase boundaries; mid-phase work is never
+  /// interrupted (a traversing packet cannot be recalled).
+  bool expired() const {
+    return deadline_ms_ != 0 &&
+           elapsed_ms_ > static_cast<double>(deadline_ms_);
+  }
+
+  /// Accumulated simulated time in microseconds, for the response's
+  /// sim_elapsed_us diagnostic.  The double->integer rounding here is
+  /// exact for any realistic hop count (per-hop cost is a small
+  /// dyadic-friendly constant and hop counts are integers), and the
+  /// accumulation order is the flow order of the request, so the value
+  /// is deterministic.
+  std::uint64_t elapsed_us() const {
+    return static_cast<std::uint64_t>(elapsed_ms_ * 1000.0);
+  }
+
+ private:
+  std::uint32_t deadline_ms_;
+  net::DelayModel model_;
+  double elapsed_ms_ = 0.0;
+};
+
+}  // namespace rtr::svc

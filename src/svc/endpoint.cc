@@ -1,0 +1,84 @@
+#include "svc/endpoint.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rtr::svc {
+
+namespace {
+
+obs::Counter& endpoint_counter(const std::string& endpoint_name,
+                               const char* leaf) {
+  return obs::Registry::global().counter("rtr.svc." + endpoint_name + "." +
+                                         leaf);
+}
+
+}  // namespace
+
+EndpointMetrics::EndpointMetrics(const std::string& endpoint_name)
+    : requests(endpoint_counter(endpoint_name, "requests")),
+      ok(endpoint_counter(endpoint_name, "ok")),
+      errors(endpoint_counter(endpoint_name, "errors")),
+      deadline_exceeded(endpoint_counter(endpoint_name, "deadline_exceeded")),
+      latency_ns(obs::Registry::global().timer("rtr.svc." + endpoint_name +
+                                               ".latency_ns")) {}
+
+Endpoint::Endpoint(std::string name)
+    : name_(std::move(name)), metrics_(name_) {}
+
+void Dispatcher::install(std::unique_ptr<Endpoint> ep) {
+  const std::string& name = ep->name();
+  if (name.empty() || name.size() > 255) {
+    throw std::invalid_argument("svc: endpoint name must be 1..255 bytes");
+  }
+  if (!endpoints_.emplace(name, std::move(ep)).second) {
+    throw std::invalid_argument("svc: duplicate endpoint: " + name);
+  }
+}
+
+Endpoint* Dispatcher::find(const std::string& name) {
+  const auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+Response Dispatcher::dispatch(const Request& req) {
+  Endpoint* ep = find(req.endpoint);
+  if (ep == nullptr) {
+    Response r;
+    r.id = req.id;
+    r.status = Status::kNotFound;
+    r.message = "unknown endpoint: " + req.endpoint;
+    return r;
+  }
+  EndpointMetrics& m = ep->metrics();
+  m.requests.inc();
+  Response resp;
+  {
+    const obs::ScopedTimer timer(m.latency_ns);
+    try {
+      resp = ep->handle(req);
+    } catch (const WireError& e) {
+      resp = Response{};
+      resp.status = Status::kBadRequest;
+      resp.message = e.what();
+    } catch (const std::exception& e) {
+      resp = Response{};
+      resp.status = Status::kInternalError;
+      resp.message = e.what();
+    }
+  }
+  resp.id = req.id;
+  switch (resp.status) {
+    case Status::kOk:
+      m.ok.inc();
+      break;
+    case Status::kDeadlineExceeded:
+      m.deadline_exceeded.inc();
+      break;
+    default:
+      m.errors.inc();
+  }
+  return resp;
+}
+
+}  // namespace rtr::svc

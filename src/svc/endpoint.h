@@ -1,0 +1,79 @@
+// Endpoint registry of the planning service.
+//
+// Dispatch follows the named-endpoint-registry shape of production RPC
+// frameworks: each handler is an Endpoint with a unique name, installed
+// into a Dispatcher that routes Request::endpoint to it and accounts
+// for the call on the endpoint's own metrics family
+// (rtr.svc.<name>.requests / .ok / .errors / .deadline_exceeded, plus a
+// volatile rtr.svc.<name>.latency_ns timer).  Handlers never touch the
+// wire framing -- they receive a decoded Request and return a Response;
+// the Dispatcher turns handler exceptions into error statuses so a
+// malformed body can never take a worker thread down.
+//
+// Metric families are created lazily, on construction of the objects
+// here: a process that never builds a Dispatcher emits no rtr.svc.*
+// series, keeping the existing bench documents byte-identical.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "svc/wire.h"
+
+namespace rtr::svc {
+
+/// Per-endpoint metrics family.  Counters are stable (pure functions of
+/// the request multiset); the latency timer is wall clock and volatile.
+struct EndpointMetrics {
+  explicit EndpointMetrics(const std::string& endpoint_name);
+
+  obs::Counter& requests;
+  obs::Counter& ok;
+  obs::Counter& errors;  ///< bad request / not found / internal
+  obs::Counter& deadline_exceeded;
+  obs::Histogram& latency_ns;  ///< volatile
+};
+
+class Endpoint {
+ public:
+  explicit Endpoint(std::string name);
+  virtual ~Endpoint() = default;
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+  EndpointMetrics& metrics() { return metrics_; }
+
+  /// Handles one decoded request.  May throw WireError (mapped to
+  /// kBadRequest by the dispatcher); the response id is overwritten
+  /// with the request id after the call, so handlers need not echo it.
+  virtual Response handle(const Request& req) = 0;
+
+ private:
+  std::string name_;
+  EndpointMetrics metrics_;
+};
+
+class Dispatcher {
+ public:
+  /// Installs an endpoint under its name; a duplicate name throws
+  /// (registration is a startup-time programming error).
+  void install(std::unique_ptr<Endpoint> ep);
+
+  /// Routes the request to its endpoint and classifies the result on
+  /// the endpoint's metrics.  Unknown endpoint -> kNotFound; handler
+  /// WireError -> kBadRequest; other exceptions -> kInternalError.
+  Response dispatch(const Request& req);
+
+  Endpoint* find(const std::string& name);
+  std::size_t size() const { return endpoints_.size(); }
+
+ private:
+  // Ordered map: endpoint iteration order (diagnostics) is name order,
+  // never insertion or hash order.
+  std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace rtr::svc

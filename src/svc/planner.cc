@@ -1,0 +1,193 @@
+#include "svc/planner.h"
+
+#include <utility>
+#include <vector>
+
+#include "failure/failure_set.h"
+#include "svc/deadline.h"
+
+namespace rtr::svc {
+
+namespace {
+
+FlowOutcome map_outcome(core::Outcome o) {
+  switch (o) {
+    case core::Outcome::kRecovered:
+      return FlowOutcome::kRecovered;
+    case core::Outcome::kDroppedOnPath:
+      return FlowOutcome::kDroppedOnPath;
+    case core::Outcome::kDeclaredUnreachable:
+      return FlowOutcome::kDeclaredUnreachable;
+    case core::Outcome::kInitiatorIsolated:
+      return FlowOutcome::kInitiatorIsolated;
+  }
+  return FlowOutcome::kInitiatorIsolated;
+}
+
+Response bad_request(std::string message) {
+  Response r;
+  r.status = Status::kBadRequest;
+  r.message = std::move(message);
+  return r;
+}
+
+/// Validates every id in the request against the topology before any
+/// planning work: one invalid id fails the whole request (the operator
+/// sent state for a different topology version; partial answers would
+/// mislead).
+const char* validate(const PlanRequest& req, const graph::Graph& g) {
+  for (NodeId n : req.failed_nodes) {
+    if (!g.valid_node(n)) return "failed node id out of range";
+  }
+  for (LinkId l : req.failed_links) {
+    if (l >= g.num_links()) return "failed link id out of range";
+  }
+  for (const PlanFlow& f : req.flows) {
+    if (!g.valid_node(f.initiator)) return "flow initiator out of range";
+    if (!g.valid_node(f.dest)) return "flow destination out of range";
+    if (f.initiator == f.dest) return "flow initiator equals destination";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PlanEndpoint::PlanEndpoint(const TopologyMap& topologies, PlannerOptions opts)
+    : Endpoint("plan"), topologies_(&topologies), opts_(opts) {}
+
+Response PlanEndpoint::handle(const Request& req) {
+  // A decode failure throws WireError; the dispatcher maps it to
+  // kBadRequest.
+  const PlanRequest plan = decode_plan_request(req.body);
+
+  const auto topo_it = topologies_->find(plan.topology);
+  if (topo_it == topologies_->end()) {
+    Response r;
+    r.status = Status::kNotFound;
+    r.message = "unknown topology: " + plan.topology;
+    return r;
+  }
+  const exp::TopologyContext& ctx = *topo_it->second;
+
+  if (const char* err = validate(plan, ctx.g)) {
+    return bad_request(err);
+  }
+
+  fail::FailureSet failure(ctx.g);
+  for (NodeId n : plan.failed_nodes) failure.add_node(ctx.g, n);
+  for (LinkId l : plan.failed_links) failure.add_link(l);
+
+  // Per-request recovery session over the shared immutable context; the
+  // shared BaseTreeStore turns each initiator's phase-2 SPT into an
+  // incremental repair of the warm base tree.
+  core::RtrRecovery recovery(ctx.g, ctx.crossings, ctx.rt, failure,
+                             opts_.rtr, &ctx.spf_base);
+
+  SimClock sim(req.deadline_ms, opts_.delay);
+  // Phase 1 runs (and is charged) once per initiator per request.
+  std::vector<char> phase1_charged(ctx.g.num_nodes(), 0);
+
+  PlanResponse out;
+  out.flows_total = static_cast<std::uint32_t>(plan.flows.size());
+  bool deadline_hit = false;
+
+  for (const PlanFlow& flow : plan.flows) {
+    // Flow boundary: simulated time spent on earlier flows counts
+    // against this one starting at all.
+    if (sim.expired()) {
+      deadline_hit = true;
+      break;
+    }
+
+    FlowResult fr;
+    fr.initiator = flow.initiator;
+    fr.dest = flow.dest;
+
+    if (failure.node_failed(flow.initiator)) {
+      fr.outcome = FlowOutcome::kInitiatorFailed;
+      out.results.push_back(std::move(fr));
+      continue;
+    }
+    if (failure.observed_failed_links(ctx.g, flow.initiator).empty()) {
+      // The initiator sees no failed adjacency, so RTR never triggers
+      // there; normal IGP forwarding (or convergence) handles the flow.
+      fr.outcome = FlowOutcome::kNoFailureObserved;
+      out.results.push_back(std::move(fr));
+      continue;
+    }
+
+    if (!phase1_charged[flow.initiator]) {
+      const core::Phase1Result& p1 = recovery.phase1_for(
+          flow.initiator, ctx.rt.next_link(flow.initiator, flow.dest));
+      sim.charge_hops(p1.hops());
+      phase1_charged[flow.initiator] = 1;
+      // Phase boundary: the phase-1 traversal may itself blow the
+      // budget; phase 2 for this flow then never starts.
+      if (sim.expired()) {
+        deadline_hit = true;
+        break;
+      }
+    }
+
+    const core::RecoveryResult r =
+        recovery.recover(flow.initiator, flow.dest);
+    sim.charge_hops(r.delivered_hops);
+
+    fr.outcome = map_outcome(r.outcome);
+    fr.sp_calculations = static_cast<std::uint32_t>(r.sp_calculations);
+    fr.path_cost = r.computed_path.cost;
+    fr.path = r.computed_path.nodes;
+    out.results.push_back(std::move(fr));
+  }
+
+  out.flows_done = static_cast<std::uint32_t>(out.results.size());
+  out.sim_elapsed_us = sim.elapsed_us();
+
+  Response resp;
+  resp.status = deadline_hit ? Status::kDeadlineExceeded : Status::kOk;
+  if (deadline_hit) {
+    resp.message = "deadline exceeded after " +
+                   std::to_string(out.flows_done) + "/" +
+                   std::to_string(out.flows_total) + " flows";
+  }
+  resp.body = encode_plan_response(out);
+  return resp;
+}
+
+InfoEndpoint::InfoEndpoint(const TopologyMap& topologies)
+    : Endpoint("info"), topologies_(&topologies) {}
+
+Response InfoEndpoint::handle(const Request& req) {
+  const InfoRequest info = decode_info_request(req.body);
+
+  InfoResponse out;
+  if (info.topology.empty()) {
+    for (const auto& [name, ctx] : *topologies_) {  // name order
+      TopologyInfo t;
+      t.name = name;
+      t.nodes = static_cast<std::uint32_t>(ctx->g.num_nodes());
+      t.links = static_cast<std::uint32_t>(ctx->g.num_links());
+      out.topologies.push_back(std::move(t));
+    }
+  } else {
+    const auto it = topologies_->find(info.topology);
+    if (it == topologies_->end()) {
+      Response r;
+      r.status = Status::kNotFound;
+      r.message = "unknown topology: " + info.topology;
+      return r;
+    }
+    TopologyInfo t;
+    t.name = it->first;
+    t.nodes = static_cast<std::uint32_t>(it->second->g.num_nodes());
+    t.links = static_cast<std::uint32_t>(it->second->g.num_links());
+    out.topologies.push_back(std::move(t));
+  }
+
+  Response resp;
+  resp.status = Status::kOk;
+  resp.body = encode_info_response(out);
+  return resp;
+}
+
+}  // namespace rtr::svc

@@ -1,0 +1,65 @@
+// The service's two endpoints.
+//
+// "plan" is the operational query the paper's engine exists to answer:
+// given explicit failed nodes/links and a list of (initiator, dest)
+// flows, run RTR -- phase 1 once per initiator, phase 2 per flow --
+// against the resident topology and return per-flow outcomes, source
+// routes, and costs.  Each request constructs its own
+// core::RtrRecovery session (per-request state: phase-1 caches, SPTs,
+// path caches die with the request) over the *shared* read-only
+// TopologyContext, whose BaseTreeStore makes phase 2 an incremental
+// repair instead of a fresh Dijkstra.  That split is the determinism
+// argument: all mutable state is request-local, all shared state is
+// immutable or compute-once, so concurrent requests cannot observe each
+// other and the response is a pure function of (request, topology).
+//
+// "info" describes the loaded topologies (name, node/link counts) --
+// the discovery call a client issues before planning.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/rtr.h"
+#include "exp/context.h"
+#include "net/delay.h"
+#include "svc/endpoint.h"
+#include "svc/wire.h"
+
+namespace rtr::svc {
+
+/// Topologies resident in the server, keyed by name.  std::map so every
+/// whole-set iteration (the "info" endpoint) is in name order.
+using TopologyMap =
+    std::map<std::string, std::unique_ptr<exp::TopologyContext>>;
+
+struct PlannerOptions {
+  /// Simulated per-hop delay charged against request deadlines.
+  net::DelayModel delay;
+  core::RtrOptions rtr;
+};
+
+class PlanEndpoint final : public Endpoint {
+ public:
+  /// Borrows `topologies`; the owner (Server) must outlive it.
+  PlanEndpoint(const TopologyMap& topologies, PlannerOptions opts);
+
+  Response handle(const Request& req) override;
+
+ private:
+  const TopologyMap* topologies_;
+  PlannerOptions opts_;
+};
+
+class InfoEndpoint final : public Endpoint {
+ public:
+  explicit InfoEndpoint(const TopologyMap& topologies);
+
+  Response handle(const Request& req) override;
+
+ private:
+  const TopologyMap* topologies_;
+};
+
+}  // namespace rtr::svc

@@ -1,0 +1,76 @@
+// Bounded MPMC admission queue of the planning server.
+//
+// Admission control is the try_push() verdict: a full queue rejects
+// *immediately* (the server turns that into a kRejected response) --
+// there is never an unbounded backlog, so a burst cannot take the
+// service down, only shed load.  pop() blocks until an item or close();
+// after close() the queue keeps draining, so every admitted request is
+// still answered during shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rtr::svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admits the item unless the queue is at capacity or closed.
+  bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item; nullopt only when closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admission and wakes every blocked pop(); idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Re-arms a closed, drained queue (server restart).
+  void reopen() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+  }
+
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rtr::svc

@@ -1,0 +1,147 @@
+#include "svc/server.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+
+namespace rtr::svc {
+
+namespace {
+
+/// Service-level counters.  Created lazily on first Server activity so
+/// processes without a server emit no rtr.svc.* series.  All four are
+/// stable: they count admission verdicts and served requests, which are
+/// pure functions of the submitted request multiset (the bench keeps
+/// closed-loop submissions within queue capacity, so no verdict ever
+/// depends on drain timing).
+struct ServiceMetrics {
+  obs::Counter& admitted =
+      obs::Registry::global().counter("rtr.svc.admitted");
+  obs::Counter& rejected =
+      obs::Registry::global().counter("rtr.svc.rejected");
+  obs::Counter& served = obs::Registry::global().counter("rtr.svc.served");
+  obs::Counter& deadline_exceeded =
+      obs::Registry::global().counter("rtr.svc.deadline_exceeded");
+  /// Queue occupancy at admission; timing-dependent, hence volatile.
+  obs::Gauge& queue_depth = obs::Registry::global().gauge(
+      "rtr.svc.queue_depth", obs::Stability::kVolatile);
+};
+
+ServiceMetrics& service_metrics() {
+  // lint:allow(mutable-static) — references into the leaked global
+  // metrics registry, same idiom as every other instrumentation site
+  static ServiceMetrics m;
+  return m;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(opts), queue_(opts.queue_capacity) {
+  dispatcher_.install(
+      std::make_unique<PlanEndpoint>(topologies_, opts_.planner));
+  dispatcher_.install(std::make_unique<InfoEndpoint>(topologies_));
+}
+
+Server::~Server() { stop(); }
+
+void Server::add_topology(std::string name, graph::Graph g) {
+  if (running()) {
+    throw std::logic_error("svc: add_topology on a running server");
+  }
+  if (name.empty() || name.size() > 255) {
+    throw std::invalid_argument("svc: topology name must be 1..255 bytes");
+  }
+  auto ctx =
+      std::make_unique<exp::TopologyContext>(name, std::move(g));
+  if (!topologies_.emplace(std::move(name), std::move(ctx)).second) {
+    throw std::invalid_argument("svc: duplicate topology");
+  }
+}
+
+void Server::install(std::unique_ptr<Endpoint> ep) {
+  if (running()) {
+    throw std::logic_error("svc: install on a running server");
+  }
+  dispatcher_.install(std::move(ep));
+}
+
+void Server::start() {
+  if (running()) {
+    throw std::logic_error("svc: server already running");
+  }
+  queue_.reopen();
+  const std::size_t n = common::resolve_thread_count(opts_.workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Server::stop() {
+  if (!running()) return;
+  queue_.close();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+std::future<std::vector<std::uint8_t>> Server::submit(
+    std::vector<std::uint8_t> frame) {
+  ServiceMetrics& m = service_metrics();
+  const std::uint64_t id = peek_request_id(frame);
+  Job job;
+  job.frame = std::move(frame);
+  std::future<std::vector<std::uint8_t>> fut = job.reply.get_future();
+  if (queue_.try_push(std::move(job))) {
+    m.admitted.inc();
+    m.queue_depth.record(queue_.depth());
+    return fut;
+  }
+  // Shed load instead of backlogging: answer kRejected right here on
+  // the submitter's thread.  The job was moved into try_push but not
+  // consumed on failure -- its promise died with it -- so build a fresh
+  // satisfied future.
+  m.rejected.inc();
+  Response r;
+  r.id = id;
+  r.status = Status::kRejected;
+  r.message = "admission queue full";
+  std::promise<std::vector<std::uint8_t>> reply;
+  std::future<std::vector<std::uint8_t>> rejected_fut = reply.get_future();
+  reply.set_value(encode_frame(encode_response(r)));
+  return rejected_fut;
+}
+
+std::vector<std::uint8_t> Server::call(
+    const std::vector<std::uint8_t>& frame) {
+  return submit(frame).get();
+}
+
+void Server::worker_loop() {
+  while (auto job = queue_.pop()) {
+    job->reply.set_value(serve(job->frame));
+  }
+}
+
+std::vector<std::uint8_t> Server::serve(
+    const std::vector<std::uint8_t>& frame) {
+  ServiceMetrics& m = service_metrics();
+  Response resp;
+  try {
+    const Request req = decode_request(decode_frame(frame));
+    resp = dispatcher_.dispatch(req);
+  } catch (const WireError& e) {
+    resp.id = peek_request_id(frame);
+    resp.status = Status::kBadRequest;
+    resp.message = e.what();
+  }
+  m.served.inc();
+  if (resp.status == Status::kDeadlineExceeded) {
+    m.deadline_exceeded.inc();
+  }
+  return encode_frame(encode_response(resp));
+}
+
+}  // namespace rtr::svc

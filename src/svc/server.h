@@ -1,0 +1,100 @@
+// The long-running recovery-planning server (ROADMAP item 1).
+//
+// Lifecycle: construct, add_topology() for every AS the operations
+// plane may query (each builds the full warm context -- graph, crossing
+// index, routing table, base SPTs -- exactly once), start(), then
+// submit() encoded request frames.  Admission is a bounded queue:
+// try_push either admits the frame or the server immediately answers
+// kRejected -- the backlog can never grow without bound.  A worker pool
+// drains the queue; stop() closes admission and joins the workers after
+// they drain, so every admitted request is answered.
+//
+// Determinism contract: the response *payload* for a given request
+// frame is a byte-identical pure function of (frame, loaded
+// topologies), independent of worker count, interleaving, and what
+// other requests are in flight.  Shared state is immutable
+// (TopologyContext) or compute-once (BaseTreeStore); all mutable
+// planning state is request-local (see planner.h).  Completion *order*
+// is explicitly not part of the contract -- submit() returns a future
+// per request, so callers never depend on it.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.h"
+#include "svc/endpoint.h"
+#include "svc/planner.h"
+#include "svc/queue.h"
+
+namespace rtr::svc {
+
+struct ServerOptions {
+  std::size_t workers = 1;  ///< 0 = all hardware threads
+  /// Admission-queue capacity; submissions beyond it get kRejected.
+  std::size_t queue_capacity = 64;
+  PlannerOptions planner;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  ~Server();  // stop()s if running
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Loads a topology (builds its warm context now, once).  Only legal
+  /// while stopped; a duplicate name throws.
+  void add_topology(std::string name, graph::Graph g);
+
+  /// Installs an additional endpoint next to the built-in "plan" and
+  /// "info".  Only legal while stopped.
+  void install(std::unique_ptr<Endpoint> ep);
+
+  void start();
+  /// Closes admission, waits for the workers to drain every admitted
+  /// request, and joins them.  Idempotent.
+  void stop();
+  bool running() const { return !workers_.empty(); }
+
+  /// Submits one encoded request frame.  The future resolves to the
+  /// encoded response frame -- immediately with kRejected when the
+  /// admission queue is full, otherwise once a worker served it.
+  /// Submitting while stopped is allowed: frames queue up (or get
+  /// rejected, identically to a running server) and are served after
+  /// start() -- which is also how the tests pin rejection counts
+  /// deterministically.
+  std::future<std::vector<std::uint8_t>> submit(
+      std::vector<std::uint8_t> frame);
+
+  /// submit() + wait.  Only call on a running server (a stopped server
+  /// would never resolve the future).
+  std::vector<std::uint8_t> call(const std::vector<std::uint8_t>& frame);
+
+  const TopologyMap& topologies() const { return topologies_; }
+  std::size_t queue_depth() const { return queue_.depth(); }
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  struct Job {
+    std::vector<std::uint8_t> frame;
+    std::promise<std::vector<std::uint8_t>> reply;
+  };
+
+  void worker_loop();
+  /// Full request->response path: decode, dispatch, encode.  Never
+  /// throws; malformed frames become kBadRequest responses.
+  std::vector<std::uint8_t> serve(const std::vector<std::uint8_t>& frame);
+
+  ServerOptions opts_;
+  TopologyMap topologies_;
+  Dispatcher dispatcher_;
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rtr::svc

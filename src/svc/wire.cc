@@ -1,0 +1,451 @@
+#include "svc/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace rtr::svc {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Primitive big-endian readers/writers.  The cursor-based Reader
+// mirrors net::codec's style: every read validates the remaining byte
+// count, and finish() rejects trailing bytes so decodes are canonical.
+// ---------------------------------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  // Byte-wise on purpose: range-insert from a string's SSO buffer trips
+  // a GCC 12 -Warray-bounds false positive under -Werror, and every
+  // string here is a <=255-byte name.
+  for (char c : s) out.push_back(static_cast<std::uint8_t>(c));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return buf_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(buf_[pos_]) << 8) | buf_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = (static_cast<std::uint32_t>(buf_[pos_]) << 24) |
+                            (static_cast<std::uint32_t>(buf_[pos_ + 1]) << 16) |
+                            (static_cast<std::uint32_t>(buf_[pos_ + 2]) << 8) |
+                            static_cast<std::uint32_t>(buf_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str(std::size_t len) {
+    need(len);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  std::vector<std::uint8_t> bytes(std::size_t len) {
+    need(len);
+    std::vector<std::uint8_t> b(buf_.begin() + static_cast<long>(pos_),
+                                buf_.begin() + static_cast<long>(pos_ + len));
+    pos_ += len;
+    return b;
+  }
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  /// Rejects trailing bytes: required at the end of every decode so the
+  /// re-encode-identity property holds.
+  void finish() const {
+    if (pos_ != buf_.size()) {
+      throw WireError("svc: trailing bytes after message");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (buf_.size() - pos_ < n) {
+      throw WireError("svc: truncated message");
+    }
+  }
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+/// A declared element count must be achievable with the bytes actually
+/// present, or an adversarial count could drive a huge allocation.
+void check_count(std::uint32_t n, std::size_t min_elem_bytes,
+                 const Reader& r) {
+  if (min_elem_bytes > 0 &&
+      static_cast<std::uint64_t>(n) * min_elem_bytes > r.remaining()) {
+    throw WireError("svc: declared count exceeds payload");
+  }
+}
+
+constexpr std::uint8_t kRequestMagic = 0x52;   // 'R'
+constexpr std::uint8_t kResponseMagic = 0x53;  // 'S'
+
+}  // namespace
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::kBadRequest:
+      return "bad_request";
+    case Status::kNotFound:
+      return "not_found";
+    case Status::kInternalError:
+      return "internal_error";
+  }
+  return "unknown";
+}
+
+const char* to_string(FlowOutcome o) {
+  switch (o) {
+    case FlowOutcome::kRecovered:
+      return "recovered";
+    case FlowOutcome::kDroppedOnPath:
+      return "dropped_on_path";
+    case FlowOutcome::kDeclaredUnreachable:
+      return "declared_unreachable";
+    case FlowOutcome::kInitiatorIsolated:
+      return "initiator_isolated";
+    case FlowOutcome::kInitiatorFailed:
+      return "initiator_failed";
+    case FlowOutcome::kNoFailureObserved:
+      return "no_failure_observed";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------
+// Frame
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(
+    const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw WireError("svc: payload exceeds frame cap");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> decode_frame(
+    const std::vector<std::uint8_t>& frame) {
+  Reader r(frame);
+  const std::uint32_t len = r.u32();
+  if (len > kMaxFramePayload) {
+    throw WireError("svc: frame length exceeds cap");
+  }
+  if (r.remaining() != len) {
+    throw WireError("svc: frame length mismatch");
+  }
+  std::vector<std::uint8_t> payload = r.bytes(len);
+  r.finish();
+  return payload;
+}
+
+// ---------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_request(const Request& r) {
+  if (r.endpoint.empty() || r.endpoint.size() > 255) {
+    throw WireError("svc: endpoint name must be 1..255 bytes");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(18 + r.endpoint.size() + r.body.size());
+  put_u8(out, kRequestMagic);
+  put_u64(out, r.id);
+  put_u32(out, r.deadline_ms);
+  put_u8(out, static_cast<std::uint8_t>(r.endpoint.size()));
+  put_str(out, r.endpoint);
+  put_u32(out, static_cast<std::uint32_t>(r.body.size()));
+  out.insert(out.end(), r.body.begin(), r.body.end());
+  return out;
+}
+
+Request decode_request(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  if (r.u8() != kRequestMagic) {
+    throw WireError("svc: bad request magic");
+  }
+  Request req;
+  req.id = r.u64();
+  req.deadline_ms = r.u32();
+  const std::uint8_t name_len = r.u8();
+  if (name_len == 0) {
+    throw WireError("svc: empty endpoint name");
+  }
+  req.endpoint = r.str(name_len);
+  const std::uint32_t body_len = r.u32();
+  req.body = r.bytes(body_len);
+  r.finish();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& r) {
+  if (r.message.size() > 0xFFFF) {
+    throw WireError("svc: response message too long");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + r.message.size() + r.body.size());
+  put_u8(out, kResponseMagic);
+  put_u64(out, r.id);
+  put_u8(out, static_cast<std::uint8_t>(r.status));
+  put_u16(out, static_cast<std::uint16_t>(r.message.size()));
+  put_str(out, r.message);
+  put_u32(out, static_cast<std::uint32_t>(r.body.size()));
+  out.insert(out.end(), r.body.begin(), r.body.end());
+  return out;
+}
+
+Response decode_response(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  if (r.u8() != kResponseMagic) {
+    throw WireError("svc: bad response magic");
+  }
+  Response resp;
+  resp.id = r.u64();
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(Status::kInternalError)) {
+    throw WireError("svc: invalid status code");
+  }
+  resp.status = static_cast<Status>(status);
+  const std::uint16_t msg_len = r.u16();
+  resp.message = r.str(msg_len);
+  const std::uint32_t body_len = r.u32();
+  resp.body = r.bytes(body_len);
+  r.finish();
+  return resp;
+}
+
+std::uint64_t peek_request_id(const std::vector<std::uint8_t>& frame) {
+  // frame = u32 length, u8 magic, u64 id, ...
+  if (frame.size() < 13 || frame[4] != kRequestMagic) return 0;
+  std::uint64_t id = 0;
+  for (std::size_t i = 5; i < 13; ++i) {
+    id = (id << 8) | frame[i];
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------
+// "plan" bodies
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_plan_request(const PlanRequest& r) {
+  if (r.topology.empty() || r.topology.size() > 255) {
+    throw WireError("svc: topology name must be 1..255 bytes");
+  }
+  std::vector<std::uint8_t> out;
+  put_u8(out, static_cast<std::uint8_t>(r.topology.size()));
+  put_str(out, r.topology);
+  put_u32(out, static_cast<std::uint32_t>(r.failed_nodes.size()));
+  for (NodeId n : r.failed_nodes) put_u32(out, n);
+  put_u32(out, static_cast<std::uint32_t>(r.failed_links.size()));
+  for (LinkId l : r.failed_links) put_u32(out, l);
+  put_u32(out, static_cast<std::uint32_t>(r.flows.size()));
+  for (const PlanFlow& f : r.flows) {
+    put_u32(out, f.initiator);
+    put_u32(out, f.dest);
+  }
+  return out;
+}
+
+PlanRequest decode_plan_request(const std::vector<std::uint8_t>& body) {
+  Reader r(body);
+  PlanRequest req;
+  const std::uint8_t name_len = r.u8();
+  if (name_len == 0) {
+    throw WireError("svc: empty topology name");
+  }
+  req.topology = r.str(name_len);
+  const std::uint32_t n_nodes = r.u32();
+  check_count(n_nodes, 4, r);
+  req.failed_nodes.reserve(n_nodes);
+  for (std::uint32_t i = 0; i < n_nodes; ++i) {
+    req.failed_nodes.push_back(r.u32());
+  }
+  const std::uint32_t n_links = r.u32();
+  check_count(n_links, 4, r);
+  req.failed_links.reserve(n_links);
+  for (std::uint32_t i = 0; i < n_links; ++i) {
+    req.failed_links.push_back(r.u32());
+  }
+  const std::uint32_t n_flows = r.u32();
+  check_count(n_flows, 8, r);
+  req.flows.reserve(n_flows);
+  for (std::uint32_t i = 0; i < n_flows; ++i) {
+    PlanFlow f;
+    f.initiator = r.u32();
+    f.dest = r.u32();
+    req.flows.push_back(f);
+  }
+  r.finish();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_plan_response(const PlanResponse& r) {
+  if (r.results.size() != r.flows_done) {
+    throw WireError("svc: results/flows_done mismatch");
+  }
+  std::vector<std::uint8_t> out;
+  put_u32(out, r.flows_total);
+  put_u32(out, r.flows_done);
+  put_u64(out, r.sim_elapsed_us);
+  for (const FlowResult& f : r.results) {
+    put_u32(out, f.initiator);
+    put_u32(out, f.dest);
+    put_u8(out, static_cast<std::uint8_t>(f.outcome));
+    put_u32(out, f.sp_calculations);
+    put_f64(out, f.path_cost);
+    put_u32(out, static_cast<std::uint32_t>(f.path.size()));
+    for (NodeId n : f.path) put_u32(out, n);
+  }
+  return out;
+}
+
+PlanResponse decode_plan_response(const std::vector<std::uint8_t>& body) {
+  Reader r(body);
+  PlanResponse resp;
+  resp.flows_total = r.u32();
+  resp.flows_done = r.u32();
+  resp.sim_elapsed_us = r.u64();
+  check_count(resp.flows_done, 25, r);
+  resp.results.reserve(resp.flows_done);
+  for (std::uint32_t i = 0; i < resp.flows_done; ++i) {
+    FlowResult f;
+    f.initiator = r.u32();
+    f.dest = r.u32();
+    const std::uint8_t outcome = r.u8();
+    if (outcome > static_cast<std::uint8_t>(FlowOutcome::kNoFailureObserved)) {
+      throw WireError("svc: invalid flow outcome");
+    }
+    f.outcome = static_cast<FlowOutcome>(outcome);
+    f.sp_calculations = r.u32();
+    f.path_cost = r.f64();
+    const std::uint32_t n_path = r.u32();
+    check_count(n_path, 4, r);
+    f.path.reserve(n_path);
+    for (std::uint32_t j = 0; j < n_path; ++j) {
+      f.path.push_back(r.u32());
+    }
+    resp.results.push_back(std::move(f));
+  }
+  r.finish();
+  return resp;
+}
+
+// ---------------------------------------------------------------------
+// "info" bodies
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_info_request(const InfoRequest& r) {
+  if (r.topology.size() > 255) {
+    throw WireError("svc: topology name too long");
+  }
+  std::vector<std::uint8_t> out;
+  put_u8(out, static_cast<std::uint8_t>(r.topology.size()));
+  put_str(out, r.topology);
+  return out;
+}
+
+InfoRequest decode_info_request(const std::vector<std::uint8_t>& body) {
+  Reader r(body);
+  InfoRequest req;
+  const std::uint8_t name_len = r.u8();
+  req.topology = r.str(name_len);
+  r.finish();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_info_response(const InfoResponse& r) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(r.topologies.size()));
+  for (const TopologyInfo& t : r.topologies) {
+    if (t.name.empty() || t.name.size() > 255) {
+      throw WireError("svc: topology name must be 1..255 bytes");
+    }
+    put_u8(out, static_cast<std::uint8_t>(t.name.size()));
+    put_str(out, t.name);
+    put_u32(out, t.nodes);
+    put_u32(out, t.links);
+  }
+  return out;
+}
+
+InfoResponse decode_info_response(const std::vector<std::uint8_t>& body) {
+  Reader r(body);
+  InfoResponse resp;
+  const std::uint32_t n = r.u32();
+  check_count(n, 9, r);
+  resp.topologies.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TopologyInfo t;
+    const std::uint8_t name_len = r.u8();
+    if (name_len == 0) {
+      throw WireError("svc: empty topology name");
+    }
+    t.name = r.str(name_len);
+    t.nodes = r.u32();
+    t.links = r.u32();
+    resp.topologies.push_back(std::move(t));
+  }
+  r.finish();
+  return resp;
+}
+
+}  // namespace rtr::svc

@@ -1,0 +1,184 @@
+// Wire protocol of the recovery-planning service (rtr::svc).
+//
+// Transport framing is a 32-bit big-endian length prefix followed by
+// exactly that many payload bytes.  The payload is a two-layer
+// envelope, mirroring the dispatch model of endpoint.h: the outer
+// Request/Response carries routing data (request id, endpoint name,
+// deadline, status) and an opaque body; each endpoint owns the codec of
+// its body (PlanRequest/PlanResponse for "plan", Info* for "info").
+//
+// The codec is *canonical*: every field is fixed width, enums and
+// length bounds are validated, and trailing bytes are rejected, so any
+// byte string either fails to decode (WireError -- never undefined
+// behaviour) or decodes to a value that re-encodes to exactly those
+// bytes.  That is the same contract the PR 5 adversarial corpus pins on
+// the RTR header codec, and tests/test_svc.cc replays the prefix and
+// bit-flip attacks against every layer here.
+//
+// Determinism: responses contain only values that are pure functions of
+// (request, loaded topology) -- ids, outcomes, paths, and simulated
+// (not wall-clock) elapsed time -- so the same request yields a
+// byte-identical response at any worker-thread count.  Path costs are
+// doubles carried as their IEEE-754 bit pattern, which round-trips
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rtr::svc {
+
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Hard ceiling on a frame payload; decode rejects larger declared
+/// lengths before allocating anything, so an adversarial length prefix
+/// cannot balloon memory.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+/// How the service answered (Response::status).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kRejected = 1,          ///< admission queue full; retry later
+  kDeadlineExceeded = 2,  ///< deadline hit at a phase boundary; body
+                          ///< carries the flows finished so far
+  kBadRequest = 3,        ///< malformed frame/body or invalid ids
+  kNotFound = 4,          ///< unknown endpoint or topology
+  kInternalError = 5,
+};
+
+/// Per-flow planning outcome (superset of core::Outcome: the first four
+/// values map 1:1; the last two are request-validation outcomes the
+/// batch engine never needed).
+enum class FlowOutcome : std::uint8_t {
+  kRecovered = 0,
+  kDroppedOnPath = 1,
+  kDeclaredUnreachable = 2,
+  kInitiatorIsolated = 3,
+  kInitiatorFailed = 4,     ///< initiator inside the failure set
+  kNoFailureObserved = 5,   ///< initiator sees no failed adjacency;
+                            ///< RTR cannot (and need not) initiate
+};
+
+const char* to_string(Status s);
+const char* to_string(FlowOutcome o);
+
+// ---------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------
+
+struct Request {
+  std::uint64_t id = 0;
+  /// Request-relative deadline in *simulated* milliseconds (see
+  /// deadline.h); 0 means no deadline.
+  std::uint32_t deadline_ms = 0;
+  std::string endpoint;  ///< dispatch key, 1..255 bytes
+  std::vector<std::uint8_t> body;
+};
+
+struct Response {
+  std::uint64_t id = 0;  ///< echoes Request::id
+  Status status = Status::kInternalError;
+  std::string message;   ///< human-readable diagnostics (may be empty)
+  std::vector<std::uint8_t> body;
+};
+
+/// Wraps a payload in the length-prefixed frame.
+std::vector<std::uint8_t> encode_frame(
+    const std::vector<std::uint8_t>& payload);
+
+/// Unwraps a frame; throws WireError unless the prefix matches the
+/// remaining byte count exactly and respects kMaxFramePayload.
+std::vector<std::uint8_t> decode_frame(
+    const std::vector<std::uint8_t>& frame);
+
+std::vector<std::uint8_t> encode_request(const Request& r);
+Request decode_request(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_response(const Response& r);
+Response decode_response(const std::vector<std::uint8_t>& payload);
+
+/// Best-effort request id of a framed request (for addressing rejection
+/// responses without a full parse); 0 when the bytes are too short.
+std::uint64_t peek_request_id(const std::vector<std::uint8_t>& frame);
+
+// ---------------------------------------------------------------------
+// "plan" endpoint bodies
+// ---------------------------------------------------------------------
+
+struct PlanFlow {
+  NodeId initiator = kNoNode;
+  NodeId dest = kNoNode;
+};
+
+/// "These links/nodes just failed -- give me RTR paths for these
+/// flows."  Failures are explicit id lists (the operations plane knows
+/// which adjacencies dropped); ids are validated against the topology
+/// at dispatch, not decode.
+struct PlanRequest {
+  std::string topology;
+  std::vector<NodeId> failed_nodes;
+  std::vector<LinkId> failed_links;
+  std::vector<PlanFlow> flows;
+};
+
+struct FlowResult {
+  NodeId initiator = kNoNode;
+  NodeId dest = kNoNode;
+  FlowOutcome outcome = FlowOutcome::kNoFailureObserved;
+  std::uint32_t sp_calculations = 0;
+  /// Cost of the computed source route (IEEE bit pattern on the wire);
+  /// 0.0 when no path was computed.
+  Cost path_cost = 0.0;
+  /// Node sequence of the computed source route; empty when none.
+  std::vector<NodeId> path;
+};
+
+struct PlanResponse {
+  std::uint32_t flows_total = 0;
+  /// Flows fully planned before the deadline; == flows_total on kOk,
+  /// smaller on kDeadlineExceeded (partial diagnostics).
+  std::uint32_t flows_done = 0;
+  /// Simulated protocol time consumed (phase-1 sweeps + path walks),
+  /// in microseconds -- the value the deadline was checked against.
+  std::uint64_t sim_elapsed_us = 0;
+  std::vector<FlowResult> results;  ///< results.size() == flows_done
+};
+
+std::vector<std::uint8_t> encode_plan_request(const PlanRequest& r);
+PlanRequest decode_plan_request(const std::vector<std::uint8_t>& body);
+
+std::vector<std::uint8_t> encode_plan_response(const PlanResponse& r);
+PlanResponse decode_plan_response(const std::vector<std::uint8_t>& body);
+
+// ---------------------------------------------------------------------
+// "info" endpoint bodies
+// ---------------------------------------------------------------------
+
+struct InfoRequest {
+  std::string topology;  ///< empty = describe every loaded topology
+};
+
+struct TopologyInfo {
+  std::string name;
+  std::uint32_t nodes = 0;
+  std::uint32_t links = 0;
+};
+
+struct InfoResponse {
+  std::vector<TopologyInfo> topologies;
+};
+
+std::vector<std::uint8_t> encode_info_request(const InfoRequest& r);
+InfoRequest decode_info_request(const std::vector<std::uint8_t>& body);
+
+std::vector<std::uint8_t> encode_info_response(const InfoResponse& r);
+InfoResponse decode_info_response(const std::vector<std::uint8_t>& body);
+
+}  // namespace rtr::svc

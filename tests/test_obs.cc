@@ -2,6 +2,8 @@
 // determinism across thread counts, scoped-timer nesting, and the
 // "rtr.metrics.v1" JSON document shape.
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -241,6 +243,65 @@ TEST(ObsEmit, JsonDocumentMatchesSchemaShape) {
 
   // Emission is a pure function of the snapshot: same input, same bytes.
   EXPECT_EQ(doc, obs::to_json(reg.snapshot(), run, opts));
+}
+
+// Regression: the bench plumbing used to register its own atexit
+// emitter with file-static state; embedding it twice (or inside a
+// long-running server) could double-register the handler and race
+// static destruction.  The process-wide Emitter must flush on demand,
+// rewrite the file whole each time, and install its atexit hook at most
+// once no matter how many call sites ask.
+TEST(ObsEmitter, ExplicitFlushIsRepeatableAndAtexitRegistersOnce) {
+  obs::Emitter& emitter = obs::Emitter::global();
+  EXPECT_FALSE(emitter.flush()) << "unconfigured emitter must be a no-op";
+
+  const std::string path =
+      ::testing::TempDir() + "/obs_emitter_flush_test.json";
+  obs::RunInfo run;
+  run.bench = "obs_emitter_test";
+  obs::EmitOptions opts;
+  opts.include_volatile = false;
+  emitter.configure(path, run, opts);
+  EXPECT_TRUE(emitter.configured());
+
+  obs::Counter& c = obs::Registry::global().counter("obs_test.emitter.ops");
+  c.add(1);
+  const std::size_t flushes_before = emitter.flushes();
+  ASSERT_TRUE(emitter.flush());
+  const std::string first = [&] {
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+  }();
+  EXPECT_NE(first.find("\"obs_test.emitter.ops\""), std::string::npos);
+
+  // Second flush after more activity: the file is rewritten whole (one
+  // valid document, fresh counter state), never appended to.
+  c.add(1);
+  ASSERT_TRUE(emitter.flush());
+  EXPECT_EQ(emitter.flushes(), flushes_before + 2);
+  const std::string second = [&] {
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+  }();
+  EXPECT_EQ(std::count(second.begin(), second.end(), '\n'), 1)
+      << "flush must overwrite, not append a second document";
+  EXPECT_EQ(second.front(), '{');
+
+  // The atexit hook installs at most once per process, however many
+  // call sites (bench config parser, server startup, tests) ask.
+  const bool first_registration = emitter.register_atexit();
+  EXPECT_FALSE(emitter.register_atexit())
+      << "second registration must be suppressed";
+  (void)first_registration;  // may be false if another test ran first
+
+  // Disarm so the process-exit flush doesn't scribble into TempDir
+  // after the test binary's accounting finished.
+  emitter.configure("", {}, {});
+  EXPECT_FALSE(emitter.flush());
 }
 
 }  // namespace

@@ -1,0 +1,555 @@
+// rtr::svc -- the recovery-planning service layer.
+//
+// Covers the ISSUE 7 satellite checklist: canonical wire codec under
+// the PR 5 adversarial patterns (strict prefixes, single-bit flips),
+// bounded-queue admission under burst load, deadline expiry at each
+// phase boundary with partial diagnostics, response byte-identity at
+// 1/2/8 workers, server reuse after rejected/expired requests, and the
+// rtr.svc.* metrics families.
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rtr.h"
+#include "failure/failure_set.h"
+#include "graph/crossings.h"
+#include "graph/paper_topology.h"
+#include "net/delay.h"
+#include "obs/metrics.h"
+#include "svc/deadline.h"
+#include "svc/queue.h"
+#include "svc/server.h"
+#include "svc/wire.h"
+
+using namespace rtr;
+using graph::paper_node;
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+svc::PlanRequest fig1_plan_request() {
+  svc::PlanRequest plan;
+  plan.topology = "fig1";
+  // The worked-example failure: the ground truth of the Fig. 1 area,
+  // sent as the explicit id lists an operations plane would have.
+  const graph::Graph g = graph::fig1_graph();
+  const fail::FailureSet fs(g, fail::CircleArea(graph::fig1_failure_area()));
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    if (fs.node_failed(n)) plan.failed_nodes.push_back(n);
+  }
+  for (LinkId l = 0; l < g.link_count(); ++l) {
+    if (fs.link_failed(l)) plan.failed_links.push_back(l);
+  }
+  plan.flows.push_back({paper_node(6), paper_node(17)});
+  return plan;
+}
+
+Bytes make_plan_frame(std::uint64_t id, const svc::PlanRequest& plan,
+                      std::uint32_t deadline_ms = 0) {
+  svc::Request req;
+  req.id = id;
+  req.deadline_ms = deadline_ms;
+  req.endpoint = "plan";
+  req.body = svc::encode_plan_request(plan);
+  return svc::encode_frame(svc::encode_request(req));
+}
+
+svc::Response roundtrip_response(const Bytes& frame) {
+  return svc::decode_response(svc::decode_frame(frame));
+}
+
+std::unique_ptr<svc::Server> make_fig1_server(std::size_t workers,
+                                              std::size_t queue_capacity =
+                                                  64) {
+  svc::ServerOptions opts;
+  opts.workers = workers;
+  opts.queue_capacity = queue_capacity;
+  auto server = std::make_unique<svc::Server>(opts);
+  server->add_topology("fig1", graph::fig1_graph());
+  return server;
+}
+
+obs::Value counter_total(const char* name) {
+  return obs::Registry::global().counter(name).total();
+}
+
+// ------------------------------------------------------------ codec -----
+
+TEST(SvcWire, EnvelopeAndBodiesRoundTrip) {
+  svc::Request req;
+  req.id = 0x0123456789abcdefULL;
+  req.deadline_ms = 250;
+  req.endpoint = "plan";
+  req.body = {1, 2, 3};
+  const svc::Request req2 =
+      svc::decode_request(svc::decode_frame(
+          svc::encode_frame(svc::encode_request(req))));
+  EXPECT_EQ(req2.id, req.id);
+  EXPECT_EQ(req2.deadline_ms, req.deadline_ms);
+  EXPECT_EQ(req2.endpoint, req.endpoint);
+  EXPECT_EQ(req2.body, req.body);
+
+  const svc::PlanRequest plan = fig1_plan_request();
+  const svc::PlanRequest plan2 =
+      svc::decode_plan_request(svc::encode_plan_request(plan));
+  EXPECT_EQ(plan2.topology, plan.topology);
+  EXPECT_EQ(plan2.failed_nodes, plan.failed_nodes);
+  EXPECT_EQ(plan2.failed_links, plan.failed_links);
+  ASSERT_EQ(plan2.flows.size(), plan.flows.size());
+  EXPECT_EQ(plan2.flows[0].initiator, plan.flows[0].initiator);
+  EXPECT_EQ(plan2.flows[0].dest, plan.flows[0].dest);
+
+  svc::PlanResponse presp;
+  presp.flows_total = 2;
+  presp.flows_done = 1;
+  presp.sim_elapsed_us = 12345;
+  svc::FlowResult fr;
+  fr.initiator = 3;
+  fr.dest = 9;
+  fr.outcome = svc::FlowOutcome::kRecovered;
+  fr.sp_calculations = 1;
+  fr.path_cost = 41.5;
+  fr.path = {3, 5, 9};
+  presp.results.push_back(fr);
+  const svc::PlanResponse presp2 =
+      svc::decode_plan_response(svc::encode_plan_response(presp));
+  EXPECT_EQ(presp2.flows_done, 1u);
+  EXPECT_EQ(presp2.sim_elapsed_us, 12345u);
+  ASSERT_EQ(presp2.results.size(), 1u);
+  EXPECT_EQ(presp2.results[0].path, fr.path);
+  EXPECT_EQ(presp2.results[0].path_cost, 41.5);
+
+  svc::InfoResponse info;
+  info.topologies.push_back({"fig1", 18, 26});
+  const svc::InfoResponse info2 =
+      svc::decode_info_response(svc::encode_info_response(info));
+  ASSERT_EQ(info2.topologies.size(), 1u);
+  EXPECT_EQ(info2.topologies[0].name, "fig1");
+  EXPECT_EQ(info2.topologies[0].nodes, 18u);
+  EXPECT_EQ(info2.topologies[0].links, 26u);
+}
+
+// PR 5 adversarial pattern 1: every strict prefix of a valid encoding
+// must throw -- the sequential fixed-width reads leave no byte string
+// both shorter and decodable.
+TEST(SvcWire, EveryStrictPrefixThrows) {
+  const Bytes frame = make_plan_frame(7, fig1_plan_request(), 100);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const Bytes prefix(frame.begin(),
+                       frame.begin() + static_cast<long>(len));
+    EXPECT_THROW((void)svc::decode_frame(prefix), svc::WireError)
+        << "prefix of length " << len << " must not decode";
+  }
+
+  const Bytes body = svc::encode_plan_request(fig1_plan_request());
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    const Bytes prefix(body.begin(), body.begin() + static_cast<long>(len));
+    EXPECT_THROW((void)svc::decode_plan_request(prefix), svc::WireError)
+        << "plan-body prefix of length " << len << " must not decode";
+  }
+}
+
+// PR 5 adversarial pattern 2: flip every bit of a valid encoding; the
+// codec must either reject the mutation or decode it to a value that
+// re-encodes to exactly the mutated bytes (canonical encodings only --
+// no two byte strings may decode to the same value).
+TEST(SvcWire, BitFlipsEitherThrowOrReencodeIdentically) {
+  const Bytes payload = svc::encode_request([] {
+    svc::Request req;
+    req.id = 99;
+    req.deadline_ms = 10;
+    req.endpoint = "plan";
+    req.body = svc::encode_plan_request(fig1_plan_request());
+    return req;
+  }());
+  for (std::size_t bit = 0; bit < payload.size() * 8; ++bit) {
+    Bytes mutated = payload;
+    mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    try {
+      const svc::Request decoded = svc::decode_request(mutated);
+      EXPECT_EQ(svc::encode_request(decoded), mutated)
+          << "bit " << bit << ": decode accepted a non-canonical encoding";
+    } catch (const svc::WireError&) {
+      // Rejection is the other acceptable outcome.
+    }
+  }
+}
+
+TEST(SvcWire, ResponseBitFlipsEitherThrowOrReencodeIdentically) {
+  svc::Response resp;
+  resp.id = 42;
+  resp.status = svc::Status::kOk;
+  resp.message = "done";
+  resp.body = {9, 8, 7};
+  const Bytes payload = svc::encode_response(resp);
+  for (std::size_t bit = 0; bit < payload.size() * 8; ++bit) {
+    Bytes mutated = payload;
+    mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    try {
+      const svc::Response decoded = svc::decode_response(mutated);
+      EXPECT_EQ(svc::encode_response(decoded), mutated)
+          << "bit " << bit << ": decode accepted a non-canonical encoding";
+    } catch (const svc::WireError&) {
+    }
+  }
+}
+
+TEST(SvcWire, FrameCapRejectsAdversarialLengths) {
+  // A declared length beyond the cap must be rejected before any
+  // allocation happens.
+  Bytes frame = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW((void)svc::decode_frame(frame), svc::WireError);
+  // Declared element counts beyond the actual payload too.
+  Bytes body = svc::encode_plan_request(fig1_plan_request());
+  // failed_nodes count sits right after the 1-byte name length + name.
+  const std::size_t count_at = 1 + 4;  // "fig1"
+  body[count_at] = 0xff;
+  body[count_at + 1] = 0xff;
+  EXPECT_THROW((void)svc::decode_plan_request(body), svc::WireError);
+}
+
+// ---------------------------------------------------------- serving -----
+
+TEST(SvcServer, PlanMatchesTheWorkedExample) {
+  auto server = make_fig1_server(1);
+  server->start();
+  const svc::Response resp =
+      roundtrip_response(server->call(make_plan_frame(1, fig1_plan_request())));
+  EXPECT_EQ(resp.id, 1u);
+  ASSERT_EQ(resp.status, svc::Status::kOk) << resp.message;
+  const svc::PlanResponse plan = svc::decode_plan_response(resp.body);
+  EXPECT_EQ(plan.flows_total, 1u);
+  ASSERT_EQ(plan.flows_done, 1u);
+  const svc::FlowResult& fr = plan.results[0];
+  EXPECT_EQ(fr.outcome, svc::FlowOutcome::kRecovered);
+  EXPECT_EQ(fr.sp_calculations, 1u);
+  // Section II-B worked example: v6 -> v5 -> v12 -> v14 -> v17.
+  EXPECT_EQ(fr.path,
+            (std::vector<NodeId>{paper_node(6), paper_node(5),
+                                 paper_node(12), paper_node(14),
+                                 paper_node(17)}));
+  EXPECT_GT(plan.sim_elapsed_us, 0u);
+}
+
+TEST(SvcServer, InfoListsTopologiesInNameOrder) {
+  svc::ServerOptions opts;
+  opts.workers = 1;
+  svc::Server server(opts);
+  server.add_topology("zeta", graph::fig1_graph());
+  server.add_topology("alpha", graph::fig1_graph());
+  server.start();
+
+  svc::Request req;
+  req.id = 5;
+  req.endpoint = "info";
+  req.body = svc::encode_info_request({});
+  const svc::Response resp = roundtrip_response(
+      server.call(svc::encode_frame(svc::encode_request(req))));
+  ASSERT_EQ(resp.status, svc::Status::kOk);
+  const svc::InfoResponse info = svc::decode_info_response(resp.body);
+  ASSERT_EQ(info.topologies.size(), 2u);
+  EXPECT_EQ(info.topologies[0].name, "alpha");
+  EXPECT_EQ(info.topologies[1].name, "zeta");
+  EXPECT_EQ(info.topologies[0].nodes, graph::fig1_graph().num_nodes());
+}
+
+TEST(SvcServer, MalformedAndInvalidRequestsAreAnsweredNotFatal) {
+  auto server = make_fig1_server(2);
+  server->start();
+
+  // Garbage bytes: kBadRequest, not a crash or dropped future.
+  EXPECT_EQ(roundtrip_response(server->call({1, 2, 3})).status,
+            svc::Status::kBadRequest);
+
+  // Unknown endpoint.
+  svc::Request req;
+  req.id = 11;
+  req.endpoint = "nope";
+  const svc::Response r2 = roundtrip_response(
+      server->call(svc::encode_frame(svc::encode_request(req))));
+  EXPECT_EQ(r2.status, svc::Status::kNotFound);
+  EXPECT_EQ(r2.id, 11u);
+
+  // Unknown topology.
+  svc::PlanRequest plan = fig1_plan_request();
+  plan.topology = "no-such-as";
+  EXPECT_EQ(roundtrip_response(server->call(make_plan_frame(12, plan))).status,
+            svc::Status::kNotFound);
+
+  // Out-of-range flow id: whole request rejected.
+  plan = fig1_plan_request();
+  plan.flows.push_back({9999, 3});
+  EXPECT_EQ(roundtrip_response(server->call(make_plan_frame(13, plan))).status,
+            svc::Status::kBadRequest);
+
+  // Self-flow.
+  plan = fig1_plan_request();
+  plan.flows[0] = {paper_node(6), paper_node(6)};
+  EXPECT_EQ(roundtrip_response(server->call(make_plan_frame(14, plan))).status,
+            svc::Status::kBadRequest);
+
+  // The server stays serviceable after every error above.
+  EXPECT_EQ(
+      roundtrip_response(server->call(make_plan_frame(15, fig1_plan_request())))
+          .status,
+      svc::Status::kOk);
+}
+
+// ------------------------------------------------------- admission -----
+
+TEST(SvcServer, BoundedQueueRejectsBurstDeterministically) {
+  constexpr std::size_t kCapacity = 4;
+  constexpr std::size_t kBurst = 10;
+  auto server = make_fig1_server(2, kCapacity);
+
+  const obs::Value rejected_before = counter_total("rtr.svc.rejected");
+  const obs::Value admitted_before = counter_total("rtr.svc.admitted");
+
+  // Submit the burst before start(): with no worker draining, admission
+  // verdicts depend only on capacity -- exactly kBurst - kCapacity
+  // rejections, deterministically.
+  std::vector<std::future<Bytes>> futures;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    futures.push_back(
+        server->submit(make_plan_frame(100 + i, fig1_plan_request())));
+  }
+  EXPECT_EQ(counter_total("rtr.svc.rejected"),
+            rejected_before + (kBurst - kCapacity));
+  EXPECT_EQ(counter_total("rtr.svc.admitted"), admitted_before + kCapacity);
+
+  server->start();
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const svc::Response resp = roundtrip_response(futures[i].get());
+    EXPECT_EQ(resp.id, 100 + i) << "responses must be addressable by id";
+    if (resp.status == svc::Status::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp.status, svc::Status::kRejected);
+      EXPECT_TRUE(resp.body.empty());
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok, kCapacity);
+  EXPECT_EQ(rejected, kBurst - kCapacity);
+
+  // Reusable after shedding load: the very next request succeeds.
+  EXPECT_EQ(
+      roundtrip_response(server->call(make_plan_frame(1, fig1_plan_request())))
+          .status,
+      svc::Status::kOk);
+}
+
+// ------------------------------------------------------- deadlines -----
+
+// Reference timings for the deadline tests, derived from the engine
+// itself so the expectations track the topology, not magic numbers.
+struct DeadlineRig {
+  graph::Graph g = graph::fig1_graph();
+  graph::CrossingIndex crossings{g};
+  spf::RoutingTable rt{g};
+  fail::FailureSet fs = fail::FailureSet::of_nodes(g, {paper_node(17)});
+  std::size_t phase1_hops = 0;
+  std::size_t walk_hops = 0;
+  double flow1_ms = 0;
+
+  DeadlineRig() {
+    core::RtrRecovery ref(g, crossings, rt, fs);
+    phase1_hops =
+        ref.phase1_for(paper_node(15), rt.next_link(paper_node(15),
+                                                    paper_node(1)))
+            .hops();
+    // v1 sits across the topology from v15, so the phase-2 walk spans
+    // several hops -- room to place a deadline between phase-1
+    // completion and full flow completion.
+    const core::RecoveryResult r =
+        ref.recover(paper_node(15), paper_node(1));
+    walk_hops = r.delivered_hops;
+    flow1_ms = net::DelayModel{}.duration_ms(phase1_hops + walk_hops);
+  }
+
+  svc::PlanRequest request(std::vector<svc::PlanFlow> flows) const {
+    svc::PlanRequest plan;
+    plan.topology = "fig1";
+    plan.failed_nodes = {paper_node(17)};
+    plan.flows = std::move(flows);
+    return plan;
+  }
+};
+
+TEST(SvcDeadline, ExpiresAtThePhase1Boundary) {
+  DeadlineRig rig;
+  ASSERT_GE(rig.phase1_hops, 1u);
+  auto server = make_fig1_server(1);
+  server->start();
+
+  // 1 ms < one 1.8 ms hop: the phase-1 traversal alone blows the
+  // budget, so phase 2 never starts and no flow completes.
+  const svc::Response resp = roundtrip_response(server->call(make_plan_frame(
+      21, rig.request({{paper_node(15), paper_node(16)}}), 1)));
+  ASSERT_EQ(resp.status, svc::Status::kDeadlineExceeded);
+  EXPECT_NE(resp.message.find("0/1"), std::string::npos) << resp.message;
+  const svc::PlanResponse plan = svc::decode_plan_response(resp.body);
+  EXPECT_EQ(plan.flows_total, 1u);
+  EXPECT_EQ(plan.flows_done, 0u);
+  EXPECT_GT(plan.sim_elapsed_us, 1000u)
+      << "partial diagnostics must report the simulated time spent";
+}
+
+TEST(SvcDeadline, ExpiresAtTheFlowBoundaryWithPartialResults) {
+  DeadlineRig rig;
+  ASSERT_GE(rig.walk_hops, 2u)
+      << "rig assumption: flow 1 walks >= 2 hops so a deadline can sit "
+         "between phase 1 and full completion";
+  auto server = make_fig1_server(1);
+  server->start();
+
+  // Deadline above phase-1-plus-nothing but below flow 1's total: flow
+  // 1 completes (expiry is only checked at boundaries), flow 2 -- same
+  // initiator, so no further phase-1 charge -- is cut at its flow
+  // boundary.  floor(flow1_ms - 1) >= phase1 cost because the walk
+  // costs >= 3.6 ms.
+  const auto deadline =
+      static_cast<std::uint32_t>(std::floor(rig.flow1_ms - 1.0));
+  const svc::Response resp = roundtrip_response(server->call(make_plan_frame(
+      22,
+      rig.request({{paper_node(15), paper_node(1)},
+                   {paper_node(15), paper_node(13)}}),
+      deadline)));
+  ASSERT_EQ(resp.status, svc::Status::kDeadlineExceeded);
+  const svc::PlanResponse plan = svc::decode_plan_response(resp.body);
+  EXPECT_EQ(plan.flows_total, 2u);
+  ASSERT_EQ(plan.flows_done, 1u) << "flow 1 finished before the deadline";
+  EXPECT_EQ(plan.results[0].initiator, paper_node(15));
+
+  // Control: no deadline serves every flow, on the same server.
+  const svc::Response ok = roundtrip_response(server->call(make_plan_frame(
+      23,
+      rig.request({{paper_node(15), paper_node(1)},
+                   {paper_node(15), paper_node(13)}}),
+      0)));
+  EXPECT_EQ(ok.status, svc::Status::kOk);
+  EXPECT_EQ(svc::decode_plan_response(ok.body).flows_done, 2u);
+}
+
+// --------------------------------------------------- determinism -----
+
+TEST(SvcServer, ResponsesByteIdenticalAcrossWorkerCounts) {
+  // A mixed batch: the worked example, a deadline-limited request, a
+  // multi-flow request, an info call, and errors.
+  DeadlineRig rig;
+  std::vector<Bytes> frames;
+  frames.push_back(make_plan_frame(1, fig1_plan_request()));
+  frames.push_back(make_plan_frame(
+      2, rig.request({{paper_node(15), paper_node(16)}}), 1));
+  frames.push_back(make_plan_frame(
+      3,
+      rig.request({{paper_node(15), paper_node(16)},
+                   {paper_node(14), paper_node(18)},
+                   {paper_node(15), paper_node(13)}}),
+      0));
+  {
+    svc::Request req;
+    req.id = 4;
+    req.endpoint = "info";
+    req.body = svc::encode_info_request({});
+    frames.push_back(svc::encode_frame(svc::encode_request(req)));
+  }
+  {
+    svc::PlanRequest bad = fig1_plan_request();
+    bad.topology = "missing";
+    frames.push_back(make_plan_frame(5, bad));
+  }
+
+  std::vector<std::vector<Bytes>> per_worker_count;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    auto server = make_fig1_server(workers);
+    server->start();
+    std::vector<std::future<Bytes>> futures;
+    futures.reserve(frames.size());
+    for (const Bytes& f : frames) futures.push_back(server->submit(f));
+    std::vector<Bytes> responses;
+    responses.reserve(futures.size());
+    for (auto& fut : futures) responses.push_back(fut.get());
+    per_worker_count.push_back(std::move(responses));
+  }
+
+  for (std::size_t w = 1; w < per_worker_count.size(); ++w) {
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(per_worker_count[0][i], per_worker_count[w][i])
+          << "request " << i << " diverged between 1 worker and config "
+          << w;
+    }
+  }
+}
+
+// ------------------------------------------------------ metrics -----
+
+TEST(SvcMetrics, CountersAppearAndMoveWithTraffic) {
+  auto server = make_fig1_server(1, /*queue_capacity=*/1);
+
+  const obs::Value served_before = counter_total("rtr.svc.served");
+  const obs::Value dl_before = counter_total("rtr.svc.deadline_exceeded");
+  const obs::Value plan_req_before = counter_total("rtr.svc.plan.requests");
+  const obs::Value plan_dl_before =
+      counter_total("rtr.svc.plan.deadline_exceeded");
+  const obs::Value plan_ok_before = counter_total("rtr.svc.plan.ok");
+
+  DeadlineRig rig;
+  server->start();
+  (void)server->call(make_plan_frame(1, fig1_plan_request()));
+  (void)server->call(make_plan_frame(
+      2, rig.request({{paper_node(15), paper_node(16)}}), 1));
+
+  EXPECT_EQ(counter_total("rtr.svc.served"), served_before + 2);
+  EXPECT_EQ(counter_total("rtr.svc.deadline_exceeded"), dl_before + 1);
+  EXPECT_EQ(counter_total("rtr.svc.plan.requests"), plan_req_before + 2);
+  EXPECT_EQ(counter_total("rtr.svc.plan.deadline_exceeded"),
+            plan_dl_before + 1);
+  EXPECT_EQ(counter_total("rtr.svc.plan.ok"), plan_ok_before + 1);
+
+  // The queue-depth gauge exists and is volatile (occupancy depends on
+  // drain timing, so it must never enter the stable document section).
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  for (const obs::Sample& s : snap) {
+    if (s.name == "rtr.svc.queue_depth") {
+      EXPECT_EQ(s.stability, obs::Stability::kVolatile);
+      return;
+    }
+  }
+  FAIL() << "rtr.svc.queue_depth gauge missing from the registry";
+}
+
+// ------------------------------------------------------ queue unit -----
+
+TEST(SvcQueue, DrainsAfterCloseAndReopens) {
+  svc::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3)) << "at capacity";
+  q.close();
+  EXPECT_FALSE(q.try_push(4)) << "closed";
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2) << "close() must not drop admitted items";
+  EXPECT_EQ(q.pop(), std::nullopt);
+  q.reopen();
+  EXPECT_TRUE(q.try_push(5));
+  EXPECT_EQ(q.pop(), 5);
+}
+
+TEST(SvcWire, StatusAndOutcomeNames) {
+  EXPECT_STREQ(svc::to_string(svc::Status::kRejected), "rejected");
+  EXPECT_STREQ(svc::to_string(svc::Status::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(svc::to_string(svc::FlowOutcome::kNoFailureObserved),
+               "no_failure_observed");
+}
+
+}  // namespace
