@@ -73,8 +73,8 @@ int main(int argc, char** argv) {
   RTR_EXPECT(n > kSources);
 
   // Workload sizes are stable metrics so the perf gate pins them.
-  obs::Registry::global().counter("scale.nodes").add(n);
-  obs::Registry::global().counter("scale.links").add(g.num_links());
+  obs::Registry::global().counter("rtr.bench.scale.nodes").add(n);
+  obs::Registry::global().counter("rtr.bench.scale.links").add(g.num_links());
 
   // Phase A: full Dijkstra from sources spread across the id space,
   // merged in source order so the digest is schedule-independent.

@@ -213,13 +213,13 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::uint64_t>> client_latency_ns(
       static_cast<std::size_t>(clients));
   obs::Histogram& latency_hist =
-      obs::Registry::global().timer("rtr.svc_bench.client_latency_ns");
+      obs::Registry::global().timer("rtr.bench.svc.client_latency_ns");
   double elapsed_s = 0.0;
   {
     // ScopedTimer is the sanctioned wall-clock probe: the loop duration
     // lands in a volatile series, never in stable output.
     const obs::ScopedTimer loop_timer(
-        obs::Registry::global().timer("rtr.svc_bench.closed_loop_ns"));
+        obs::Registry::global().timer("rtr.bench.svc.closed_loop_ns"));
     std::vector<std::thread> threads;
     for (std::size_t c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
@@ -269,7 +269,7 @@ int main(int argc, char** argv) {
   const double qps =
       elapsed_s > 0.0 ? static_cast<double>(total) / elapsed_s : 0.0;
   obs::Registry::global()
-      .gauge("rtr.svc_bench.qps_x1000", obs::Stability::kVolatile)
+      .gauge("rtr.bench.svc.qps_x1000", obs::Stability::kVolatile)
       .record(static_cast<obs::Value>(qps * 1000.0));
   std::cerr << "(closed loop: " << qps << " qps, p50 " << pct.p50_us
             << " us, p99 " << pct.p99_us << " us, " << clients

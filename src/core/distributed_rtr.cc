@@ -63,7 +63,7 @@ net::RouterApp::Decision DistributedRtr::on_packet(NodeId at, NodeId prev,
       // session turns this into a re-initiation with the opposite
       // sweep orientation rather than a terminal failure.
       static obs::Counter& aborted =
-          obs::Registry::global().counter("core.distributed.phase1_aborted");
+          obs::Registry::global().counter("rtr.core.distributed.phase1_aborted");
       aborted.inc();
     }
     p.drop_reason = DropReason::kHopCap;

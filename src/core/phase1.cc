@@ -23,14 +23,14 @@ struct Phase1Metrics {
   static Phase1Metrics& get() {
     obs::Registry& r = obs::Registry::global();
     // lint:allow(mutable-static) — references into the sharded obs registry
-    static Phase1Metrics m{r.counter("core.phase1.runs"),
-                           r.counter("core.phase1.steps"),
-                           r.counter("core.phase1.constraint1_seeded"),
-                           r.counter("core.phase1.constraint2_recorded"),
-                           r.counter("core.phase1.completed"),
-                           r.counter("core.phase1.aborted"),
-                           r.counter("core.phase1.initiator_isolated"),
-                           r.histogram("core.phase1.hops",
+    static Phase1Metrics m{r.counter("rtr.core.phase1.runs"),
+                           r.counter("rtr.core.phase1.steps"),
+                           r.counter("rtr.core.phase1.constraint1_seeded"),
+                           r.counter("rtr.core.phase1.constraint2_recorded"),
+                           r.counter("rtr.core.phase1.completed"),
+                           r.counter("rtr.core.phase1.aborted"),
+                           r.counter("rtr.core.phase1.initiator_isolated"),
+                           r.histogram("rtr.core.phase1.hops",
                                        obs::size_bounds())};
     return m;
   }

@@ -9,10 +9,6 @@ namespace rtr::core {
 namespace {
 using DropReason = net::DataPacket::DropReason;
 using TransitFault = net::DataPacket::TransitFault;
-
-obs::Counter& retry_counter(const char* name) {
-  return obs::Registry::global().counter(name);
-}
 }  // namespace
 
 RecoverySession::RecoverySession(net::Simulator& sim, net::Network& net,
@@ -38,7 +34,7 @@ void RecoverySession::start() {
 
 void RecoverySession::attempt() {
   ++result_.attempts;
-  static obs::Counter& attempts = retry_counter("rtr.core.retry.attempts");
+  static obs::Counter& attempts = obs::Registry::global().counter("rtr.core.retry.attempts");
   attempts.inc();
   // Earlier flows are fully settled by now -- injected copies live one
   // hop and this event was scheduled after the last disposition -- so
@@ -83,7 +79,7 @@ void RecoverySession::on_done(const net::DataPacket& p, bool delivered) {
   }
   if (result_.attempts >= opts_.retry_cap) {
     static obs::Counter& exhausted =
-        retry_counter("rtr.core.retry.exhausted");
+        obs::Registry::global().counter("rtr.core.retry.exhausted");
     exhausted.inc();
     finish(SessionOutcome::kUnrecovered);
     return;
@@ -97,7 +93,7 @@ void RecoverySession::on_done(const net::DataPacket& p, bool delivered) {
   app_->prepare_retry(initiator, orientation(result_.attempts + 1));
   ++result_.reinitiations;
   static obs::Counter& reinitiated =
-      retry_counter("rtr.core.retry.reinitiated");
+      obs::Registry::global().counter("rtr.core.retry.reinitiated");
   reinitiated.inc();
   double backoff_ms = opts_.backoff_base_ms;
   for (std::uint32_t i = 1; i < result_.attempts; ++i) backoff_ms *= 2.0;

@@ -87,9 +87,9 @@ RecoveryResult RtrRecovery::recover_in_view(
     InitiatorState& st, NodeId initiator, NodeId dest,
     const std::vector<char>* extra_failed) {
   static obs::Counter& attempts =
-      obs::Registry::global().counter("core.rtr.recovery_attempts");
+      obs::Registry::global().counter("rtr.core.recovery_attempts");
   static obs::Counter& path_cache_hits =
-      obs::Registry::global().counter("core.rtr.path_cache_hits");
+      obs::Registry::global().counter("rtr.core.path_cache_hits");
   attempts.inc();
   RecoveryResult r;
   r.initiator = initiator;

@@ -32,12 +32,12 @@ struct RunnerMetrics {
     obs::Registry& r = obs::Registry::global();
     // lint:allow(mutable-static) — references into the sharded obs registry
     static RunnerMetrics m{
-        r.counter("exp.scenarios_completed"),
-        r.counter("exp.cases.recoverable"),
-        r.counter("exp.cases.irrecoverable"),
-        r.timer("phase.run_recoverable_ns"),
-        r.timer("phase.run_irrecoverable_ns"),
-        r.timer("exp.parallel_for.queue_wait_ns")};
+        r.counter("rtr.exp.scenarios_completed"),
+        r.counter("rtr.exp.cases.recoverable"),
+        r.counter("rtr.exp.cases.irrecoverable"),
+        r.timer("rtr.exp.phase.run_recoverable_ns"),
+        r.timer("rtr.exp.phase.run_irrecoverable_ns"),
+        r.timer("rtr.exp.parallel_for.queue_wait_ns")};
     return m;
   }
 };
@@ -431,9 +431,9 @@ std::vector<RadiusPoint> radius_sweep(const TopologyContext& ctx,
                                       fail::LinkCutRule rule) {
   RTR_EXPECT_MSG(extent > 0.0, "radius sweep needs a positive extent");
   static obs::Histogram& phase_ns =
-      obs::Registry::global().timer("phase.radius_sweep_ns");
+      obs::Registry::global().timer("rtr.exp.phase.radius_sweep_ns");
   static obs::Counter& areas =
-      obs::Registry::global().counter("exp.radius_sweep.areas");
+      obs::Registry::global().counter("rtr.exp.radius_sweep.areas");
   obs::ScopedTimer phase_timer(phase_ns);
   areas.add(radii.size() * areas_per_radius);
   Rng rng(seed);

@@ -9,12 +9,6 @@
 
 namespace rtr::net {
 
-namespace {
-obs::Counter& packets_counter(const char* name) {
-  return obs::Registry::global().counter(name);
-}
-}  // namespace
-
 struct Network::InFlight {
   DataPacket packet;
   RouterApp* app = nullptr;
@@ -61,14 +55,14 @@ void Network::process(InFlight flight, NodeId at, NodeId prev) {
     case RouterApp::Decision::Kind::kDeliver: {
       ++delivered_;
       static obs::Counter& delivered =
-          packets_counter("net.packets.delivered");
+          obs::Registry::global().counter("rtr.net.packets.delivered");
       delivered.inc();
       if (flight.done) flight.done(flight.packet, at, true);
       return;
     }
     case RouterApp::Decision::Kind::kDrop: {
       ++dropped_;
-      static obs::Counter& dropped = packets_counter("net.packets.dropped");
+      static obs::Counter& dropped = obs::Registry::global().counter("rtr.net.packets.dropped");
       dropped.inc();
       if (flight.done) flight.done(flight.packet, at, false);
       return;
@@ -90,7 +84,7 @@ void Network::process(InFlight flight, NodeId at, NodeId prev) {
     return;
   }
   ++hops_;
-  static obs::Counter& hops = packets_counter("net.packets.hops_forwarded");
+  static obs::Counter& hops = obs::Registry::global().counter("rtr.net.packets.hops_forwarded");
   hops.inc();
   flight.packet.trace.push_back(next);
   flight.packet.bytes_transmitted +=
@@ -130,7 +124,7 @@ bool Network::inject_faults(InFlight& flight, NodeId at, LinkId link,
   // the packet: the sender has not yet detected the death, so it
   // forwards into the void.
   if (plan_->link_down_at(link, sim_->now())) {
-    static obs::Counter& link_dead = packets_counter("rtr.fault.link_dead");
+    static obs::Counter& link_dead = obs::Registry::global().counter("rtr.fault.link_dead");
     link_dead.inc();
     p.fault_link = link;
     finish_transit_drop(flight, at, DataPacket::TransitFault::kLinkDied);
@@ -140,13 +134,13 @@ bool Network::inject_faults(InFlight& flight, NodeId at, LinkId link,
     case fault::HopFault::kNone:
       break;
     case fault::HopFault::kLoss: {
-      static obs::Counter& loss = packets_counter("rtr.fault.loss");
+      static obs::Counter& loss = obs::Registry::global().counter("rtr.fault.loss");
       loss.inc();
       finish_transit_drop(flight, at, DataPacket::TransitFault::kLost);
       return true;
     }
     case fault::HopFault::kCorrupt: {
-      static obs::Counter& corrupt = packets_counter("rtr.fault.corrupt");
+      static obs::Counter& corrupt = obs::Registry::global().counter("rtr.fault.corrupt");
       corrupt.inc();
       // Model the receiver's parse of a bit-flipped header: either the
       // codec rejects the bytes (CodecError — the degradation path the
@@ -159,18 +153,18 @@ bool Network::inject_faults(InFlight& flight, NodeId at, LinkId link,
       try {
         (void)decode(bytes);
         static obs::Counter& crc =
-            packets_counter("rtr.fault.corrupt.crc_caught");
+            obs::Registry::global().counter("rtr.fault.corrupt.crc_caught");
         crc.inc();
       } catch (const CodecError&) {
         static obs::Counter& codec =
-            packets_counter("rtr.fault.corrupt.codec_error");
+            obs::Registry::global().counter("rtr.fault.corrupt.codec_error");
         codec.inc();
       }
       finish_transit_drop(flight, at, DataPacket::TransitFault::kCorrupted);
       return true;
     }
     case fault::HopFault::kDuplicate: {
-      static obs::Counter& dup = packets_counter("rtr.fault.duplicate");
+      static obs::Counter& dup = obs::Registry::global().counter("rtr.fault.duplicate");
       dup.inc();
       *duplicate = true;
       break;
@@ -186,7 +180,7 @@ void Network::finish_transit_drop(InFlight& flight, NodeId at,
                                   DataPacket::TransitFault why) {
   ++transit_dropped_;
   static obs::Counter& transit =
-      packets_counter("rtr.fault.transit_dropped");
+      obs::Registry::global().counter("rtr.fault.transit_dropped");
   transit.inc();
   flight.packet.transit_fault = why;
   if (flight.done) flight.done(flight.packet, at, false);

@@ -14,14 +14,14 @@ void Simulator::at(double t_ms, Callback cb) {
   // scheduling -- the simulator is single-threaded and event order is
   // deterministic, so this series is stable.
   static obs::Gauge& depth =
-      obs::Registry::global().gauge("net.sim.queue_depth");
+      obs::Registry::global().gauge("rtr.net.sim.queue_depth");
   depth.record(queue_.size());
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
   static obs::Counter& events =
-      obs::Registry::global().counter("net.sim.events");
+      obs::Registry::global().counter("rtr.net.sim.events");
   events.inc();
   // priority_queue::top() is const; the callback is moved out via the
   // copy below, which is cheap relative to event work.

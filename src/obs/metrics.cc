@@ -230,6 +230,42 @@ Histogram& Registry::timer(std::string_view name) {
   return histogram(name, latency_ns_bounds(), Stability::kVolatile);
 }
 
+namespace {
+std::string scoped_name(const char* layer, std::string_view scope,
+                        const char* leaf) {
+  RTR_EXPECT_MSG(!scope.empty(), "scoped metric: empty scope segment");
+  for (const char c : scope) {
+    RTR_EXPECT_MSG((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                       c == '_',
+                   "scoped metric: scope segment must match [a-z0-9_]+");
+  }
+  std::string name = "rtr.";
+  name += layer;
+  name += '.';
+  name += scope;
+  name += '.';
+  name += leaf;
+  return name;
+}
+}  // namespace
+
+Counter& scoped_counter(const char* layer, std::string_view scope,
+                        const char* leaf, Stability stability) {
+  return Registry::global().counter(scoped_name(layer, scope, leaf),
+                                    stability);
+}
+
+Gauge& scoped_gauge(const char* layer, std::string_view scope,
+                    const char* leaf, Stability stability) {
+  return Registry::global().gauge(scoped_name(layer, scope, leaf),
+                                  stability);
+}
+
+Histogram& scoped_timer(const char* layer, std::string_view scope,
+                        const char* leaf) {
+  return Registry::global().timer(scoped_name(layer, scope, leaf));
+}
+
 Snapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot out;

@@ -217,6 +217,23 @@ class Registry {
   std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics_;
 };
 
+/// The sanctioned way to register a series whose name has a *dynamic*
+/// middle segment (e.g. one series per endpoint).  The layer and leaf
+/// are compile-time literals -- the metric-name lint validates them at
+/// the call site against the rtr.<layer>.<noun> grammar -- while the
+/// scope segment is validated here at construction ([a-z0-9_]+, via
+/// RTR_EXPECT).  Builds "rtr.<layer>.<scope>.<leaf>".  Ad-hoc string
+/// concatenation into Registry::counter() is a lint error.
+Counter& scoped_counter(const char* layer, std::string_view scope,
+                        const char* leaf,
+                        Stability stability = Stability::kStable);
+Gauge& scoped_gauge(const char* layer, std::string_view scope,
+                    const char* leaf,
+                    Stability stability = Stability::kStable);
+/// Nanosecond latency histogram; always volatile.
+Histogram& scoped_timer(const char* layer, std::string_view scope,
+                        const char* leaf);
+
 /// RAII wall-clock probe: records elapsed nanoseconds into a (volatile)
 /// histogram on destruction.  Nests freely; each scope records its own
 /// inclusive elapsed time.

@@ -21,10 +21,10 @@ struct RepairMetrics {
   static RepairMetrics& get() {
     obs::Registry& r = obs::Registry::global();
     // lint:allow(mutable-static) — references into the sharded obs registry
-    static RepairMetrics m{r.counter("spf.batch_repair.shared"),
-                           r.counter("spf.batch_repair.repaired"),
-                           r.counter("spf.batch_repair.fallback_full"),
-                           r.histogram("spf.batch_repair.touched_nodes",
+    static RepairMetrics m{r.counter("rtr.spf.batch_repair.shared"),
+                           r.counter("rtr.spf.batch_repair.repaired"),
+                           r.counter("rtr.spf.batch_repair.fallback_full"),
+                           r.histogram("rtr.spf.batch_repair.touched_nodes",
                                        obs::size_bounds())};
     return m;
   }
@@ -241,7 +241,7 @@ BaseTreeStore::BaseTreeStore(const graph::Graph& g, SpfAlgorithm alg,
 std::shared_ptr<const SptResult> BaseTreeStore::from(NodeId source) const {
   RTR_EXPECT(g_->valid_node(source));
   static obs::Counter& computed =
-      obs::Registry::global().counter("spf.base_trees.computed");
+      obs::Registry::global().counter("rtr.spf.base_trees.computed");
   // The mutex is held across the computation on purpose: each tree is
   // then computed exactly once per process, keeping the spf.*.runs
   // counters bit-identical at every thread count.

@@ -14,9 +14,9 @@ namespace {
 /// stable histogram in --metrics-out.
 void count_update(std::size_t touched) {
   static obs::Counter& updates =
-      obs::Registry::global().counter("spf.incremental.updates");
+      obs::Registry::global().counter("rtr.spf.incremental.updates");
   static obs::Histogram& dist = obs::Registry::global().histogram(
-      "spf.incremental.touched_nodes", obs::size_bounds());
+      "rtr.spf.incremental.touched_nodes", obs::size_bounds());
   updates.inc();
   dist.observe(touched);
 }

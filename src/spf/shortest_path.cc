@@ -26,7 +26,7 @@ SptResult run_dijkstra(const graph::Graph& g, NodeId root,
                        const graph::Masks& masks, Direction dir) {
   RTR_EXPECT(g.valid_node(root));
   static obs::Counter& runs =
-      obs::Registry::global().counter("spf.dijkstra.full_runs");
+      obs::Registry::global().counter("rtr.spf.dijkstra.full_runs");
   runs.inc();
   SptResult r;
   r.source = root;
@@ -84,7 +84,7 @@ SptResult bfs_from(const graph::Graph& g, NodeId source,
                    const graph::Masks& masks) {
   RTR_EXPECT(g.valid_node(source));
   static obs::Counter& runs =
-      obs::Registry::global().counter("spf.bfs.runs");
+      obs::Registry::global().counter("rtr.spf.bfs.runs");
   runs.inc();
   SptResult r;
   r.source = source;

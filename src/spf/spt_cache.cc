@@ -17,11 +17,11 @@ SptCache::SptCache(const graph::Graph& g, graph::Masks masks, Algorithm alg,
 std::shared_ptr<const SptResult> SptCache::from(NodeId source) {
   RTR_EXPECT(g_->valid_node(source));
   static obs::Counter& hits =
-      obs::Registry::global().counter("spf.spt_cache.hits");
+      obs::Registry::global().counter("rtr.spf.spt_cache.hits");
   static obs::Counter& misses =
-      obs::Registry::global().counter("spf.spt_cache.misses");
+      obs::Registry::global().counter("rtr.spf.spt_cache.misses");
   static obs::Counter& evicted =
-      obs::Registry::global().counter("spf.spt_cache.evictions");
+      obs::Registry::global().counter("rtr.spf.spt_cache.evictions");
   auto it = entries_.find(source);
   if (it != entries_.end()) {
     hits.inc();

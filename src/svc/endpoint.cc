@@ -5,23 +5,13 @@
 
 namespace rtr::svc {
 
-namespace {
-
-obs::Counter& endpoint_counter(const std::string& endpoint_name,
-                               const char* leaf) {
-  return obs::Registry::global().counter("rtr.svc." + endpoint_name + "." +
-                                         leaf);
-}
-
-}  // namespace
-
 EndpointMetrics::EndpointMetrics(const std::string& endpoint_name)
-    : requests(endpoint_counter(endpoint_name, "requests")),
-      ok(endpoint_counter(endpoint_name, "ok")),
-      errors(endpoint_counter(endpoint_name, "errors")),
-      deadline_exceeded(endpoint_counter(endpoint_name, "deadline_exceeded")),
-      latency_ns(obs::Registry::global().timer("rtr.svc." + endpoint_name +
-                                               ".latency_ns")) {}
+    : requests(obs::scoped_counter("svc", endpoint_name, "requests")),
+      ok(obs::scoped_counter("svc", endpoint_name, "ok")),
+      errors(obs::scoped_counter("svc", endpoint_name, "errors")),
+      deadline_exceeded(
+          obs::scoped_counter("svc", endpoint_name, "deadline_exceeded")),
+      latency_ns(obs::scoped_timer("svc", endpoint_name, "latency_ns")) {}
 
 Endpoint::Endpoint(std::string name)
     : name_(std::move(name)), metrics_(name_) {}

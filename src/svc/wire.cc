@@ -128,6 +128,10 @@ void check_count(std::uint32_t n, std::size_t min_elem_bytes,
 constexpr std::uint8_t kRequestMagic = 0x52;   // 'R'
 constexpr std::uint8_t kResponseMagic = 0x53;  // 'S'
 
+// Length-prefixed names (endpoint, topology) carry a u8 size field, so
+// 255 is a wire-format bound, not a tunable.
+constexpr std::size_t kMaxNameLen = 255;
+
 }  // namespace
 
 const char* to_string(Status s) {
@@ -202,7 +206,7 @@ std::vector<std::uint8_t> decode_frame(
 // ---------------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_request(const Request& r) {
-  if (r.endpoint.empty() || r.endpoint.size() > 255) {
+  if (r.endpoint.empty() || r.endpoint.size() > kMaxNameLen) {
     throw WireError("svc: endpoint name must be 1..255 bytes");
   }
   std::vector<std::uint8_t> out;
@@ -287,7 +291,7 @@ std::uint64_t peek_request_id(const std::vector<std::uint8_t>& frame) {
 // ---------------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_plan_request(const PlanRequest& r) {
-  if (r.topology.empty() || r.topology.size() > 255) {
+  if (r.topology.empty() || r.topology.size() > kMaxNameLen) {
     throw WireError("svc: topology name must be 1..255 bytes");
   }
   std::vector<std::uint8_t> out;
@@ -394,7 +398,7 @@ PlanResponse decode_plan_response(const std::vector<std::uint8_t>& body) {
 // ---------------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_info_request(const InfoRequest& r) {
-  if (r.topology.size() > 255) {
+  if (r.topology.size() > kMaxNameLen) {
     throw WireError("svc: topology name too long");
   }
   std::vector<std::uint8_t> out;
@@ -416,7 +420,7 @@ std::vector<std::uint8_t> encode_info_response(const InfoResponse& r) {
   std::vector<std::uint8_t> out;
   put_u32(out, static_cast<std::uint32_t>(r.topologies.size()));
   for (const TopologyInfo& t : r.topologies) {
-    if (t.name.empty() || t.name.size() > 255) {
+    if (t.name.empty() || t.name.size() > kMaxNameLen) {
       throw WireError("svc: topology name must be 1..255 bytes");
     }
     put_u8(out, static_cast<std::uint8_t>(t.name.size()));

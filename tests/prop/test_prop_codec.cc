@@ -25,21 +25,28 @@ namespace {
 using net::CodecError;
 using net::RtrHeader;
 
+// Deliberate mirrors of the wire constants in src/net/{header.h,codec.cc},
+// cross-checked by tools/lint/wire_schema.toml: the generator must cover
+// exactly the encodable domain, so a Mode enumerator or id-width change
+// has to touch this file and the schema in the same commit.
+constexpr std::size_t kModeCount = 3;
+constexpr std::size_t kId16Space = 65536;
+
 /// Random well-formed header: any mode, optional initiator, duplicate-
 /// free id sets within the plain codec's 16-bit id range, and a source
 /// route whose order matters (and may repeat nodes).
 RtrHeader random_header(Rng& rng) {
   RtrHeader h;
-  h.mode = static_cast<net::Mode>(rng.index(3));
+  h.mode = static_cast<net::Mode>(rng.index(kModeCount));
   h.rec_init =
       rng.bernoulli(0.2) ? kNoNode : static_cast<NodeId>(rng.index(60000));
   const std::size_t nf = rng.index(12);
   for (std::size_t i = 0; i < nf; ++i) {
-    h.add_failed(static_cast<LinkId>(rng.index(65536)));
+    h.add_failed(static_cast<LinkId>(rng.index(kId16Space)));
   }
   const std::size_t nc = rng.index(8);
   for (std::size_t i = 0; i < nc; ++i) {
-    h.add_cross(static_cast<LinkId>(rng.index(65536)));
+    h.add_cross(static_cast<LinkId>(rng.index(kId16Space)));
   }
   const std::size_t nr = rng.index(10);
   for (std::size_t i = 0; i < nr; ++i) {

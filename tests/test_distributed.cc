@@ -236,7 +236,7 @@ TEST(DistributedRtr, ReusableAfterPhase1Abort) {
   };
 
   obs::Counter& aborted =
-      obs::Registry::global().counter("core.distributed.phase1_aborted");
+      obs::Registry::global().counter("rtr.core.distributed.phase1_aborted");
   const obs::Value aborted0 = aborted.total();
   const auto first = send(app, 0, 1);
   EXPECT_FALSE(first.delivered);

@@ -333,11 +333,11 @@ TEST(Rtr, EngineStaysUsableAfterPhase1Abort) {
   ablated.phase1.max_hops_factor = 0;  // cap = 16 hops < ring cycle
   RtrRecovery rtr(rig.g, rig.crossings, rig.rt, rig.failure, ablated);
   const obs::Value aborted0 =
-      obs::Registry::global().counter("core.phase1.aborted").total();
+      obs::Registry::global().counter("rtr.core.phase1.aborted").total();
   const RecoveryResult first = rtr.recover(0, 1);  // graceful, no throw
   EXPECT_EQ(rtr.phase1_for(0).status, Phase1Result::Status::kAborted);
   EXPECT_EQ(
-      obs::Registry::global().counter("core.phase1.aborted").total() -
+      obs::Registry::global().counter("rtr.core.phase1.aborted").total() -
           aborted0,
       1);
 
@@ -347,7 +347,7 @@ TEST(Rtr, EngineStaysUsableAfterPhase1Abort) {
   EXPECT_EQ(again.computed_path.nodes, first.computed_path.nodes);
   // ... and without re-running (and re-counting) phase 1.
   EXPECT_EQ(
-      obs::Registry::global().counter("core.phase1.aborted").total() -
+      obs::Registry::global().counter("rtr.core.phase1.aborted").total() -
           aborted0,
       1);
 

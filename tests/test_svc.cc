@@ -33,6 +33,14 @@ namespace {
 
 using Bytes = std::vector<std::uint8_t>;
 
+// Deliberate mirrors of the envelope constants in src/svc/wire.{h,cc},
+// written as independent literals so a wire-format change must touch
+// this file (and tools/lint/wire_schema.toml, which cross-checks all
+// three) in the same commit.
+constexpr std::uint8_t kRequestMagic = 0x52;
+constexpr std::uint8_t kResponseMagic = 0x53;
+constexpr std::size_t kMaxFramePayload = 1048576;
+
 svc::PlanRequest fig1_plan_request() {
   svc::PlanRequest plan;
   plan.topology = "fig1";
@@ -80,6 +88,23 @@ obs::Value counter_total(const char* name) {
 }
 
 // ------------------------------------------------------------ codec -----
+
+TEST(SvcWire, EnvelopeLayoutPinsMagicAndFrameCap) {
+  // Magic byte sits right after the u32 length prefix, on both
+  // directions of the envelope.
+  const Bytes req_frame = make_plan_frame(1, fig1_plan_request());
+  ASSERT_GE(req_frame.size(), 5u);
+  EXPECT_EQ(req_frame[4], kRequestMagic);
+
+  svc::Response resp;
+  resp.id = 1;
+  resp.status = svc::Status::kOk;
+  const Bytes resp_frame = svc::encode_frame(svc::encode_response(resp));
+  ASSERT_GE(resp_frame.size(), 5u);
+  EXPECT_EQ(resp_frame[4], kResponseMagic);
+
+  EXPECT_EQ(svc::kMaxFramePayload, kMaxFramePayload);
+}
 
 TEST(SvcWire, EnvelopeAndBodiesRoundTrip) {
   svc::Request req;

@@ -65,7 +65,7 @@ RSS_CEILING_HEADROOM = 1.5
 # Their sum is the figure of merit the incremental SPF engine exists to
 # reduce; ``seed_full_runs`` in the baseline pins the full-engine total
 # so the incremental engine can never silently regress past it.
-FULL_RUN_SERIES = ("spf.dijkstra.full_runs", "spf.bfs.runs")
+FULL_RUN_SERIES = ("rtr.spf.dijkstra.full_runs", "rtr.spf.bfs.runs")
 
 
 def full_runs_of(metrics: dict) -> int | None:

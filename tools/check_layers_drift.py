@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Nightly guard: tools/lint/layers.toml must match the src/ tree.
+
+The per-push lint already fails on drift in both directions; this
+standalone check re-runs the dangling-entry direction on a schedule so
+a module deletion that lands without touching the linter (e.g. via a
+revert or a branch merge while CI config was pinned) still surfaces
+within a day.  Exits 1 listing each stale entry.
+
+Usage:
+    python3 tools/check_layers_drift.py [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from tools.lint.project import load_toml  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=_REPO_ROOT,
+                        help="repo root (default: parent of tools/)")
+    args = parser.parse_args(argv)
+
+    toml_path = os.path.join(args.root, "tools", "lint", "layers.toml")
+    try:
+        doc = load_toml(toml_path)
+    except (OSError, ValueError) as e:
+        print(f"check_layers_drift: cannot load {toml_path}: {e}",
+              file=sys.stderr)
+        return 1
+
+    declared = set(doc.get("layers", {})) | \
+        set(doc.get("graph", {}).get("cross_cutting", ()))
+    src = os.path.join(args.root, "src")
+    on_disk = {d for d in (os.listdir(src) if os.path.isdir(src) else [])
+               if os.path.isdir(os.path.join(src, d))}
+
+    stale = sorted(declared - on_disk)
+    for mod in stale:
+        print(f"check_layers_drift: layer '{mod}' is declared in "
+              f"tools/lint/layers.toml but src/{mod}/ does not exist")
+    if stale:
+        return 1
+    print(f"check_layers_drift: OK ({len(declared)} declared layers, "
+          f"all present on disk)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

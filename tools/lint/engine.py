@@ -44,12 +44,49 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
+# Encoding prefixes that may precede a raw-string literal: R", u8R",
+# uR", UR", LR".  The prefix characters themselves are left unmasked
+# (they are ordinary identifier characters as far as rules go).
+_RAW_PREFIXES = ("u8R", "uR", "UR", "LR", "R")
+
+
+def _raw_string_at(text: str, i: int):
+    """Returns (body_start, delim) when a raw-string literal opens at
+    offset i (pointing at the start of its prefix), else None.
+
+    ``body_start`` is the offset just past the opening ``(``; ``delim``
+    is the d-char sequence, possibly empty.  Raw-string delimiters are
+    at most 16 characters and never contain parens, backslashes or
+    whitespace.
+    """
+    for prefix in _RAW_PREFIXES:
+        if not text.startswith(prefix + '"', i):
+            continue
+        # A prefix preceded by an identifier character is just the tail
+        # of a longer identifier (e.g. FOOR"...), not an encoding prefix.
+        if i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+            return None
+        j = i + len(prefix) + 1
+        delim_end = j
+        while (delim_end < len(text) and delim_end - j <= 16 and
+               text[delim_end] not in '()\\ \t\n"'):
+            delim_end += 1
+        if delim_end < len(text) and text[delim_end] == "(":
+            return delim_end + 1, text[j:delim_end]
+        return None
+    return None
+
+
 def mask_comments_and_strings(text: str) -> str:
-    """Blanks // and /* */ comments plus "..." / '...' literals.
+    """Blanks // and /* */ comments plus "..." / '...' / R"(...)"
+    literals.
 
     The returned string has identical length and newline positions, so
     offsets and line numbers computed against it map 1:1 onto the
-    original file.
+    original file.  Raw strings (any encoding prefix, delimited or not)
+    are blanked wholesale -- their bodies take no escapes -- and a
+    backslash line-continuation extends a // comment onto the next
+    physical line, exactly as the preprocessor would.
     """
     out = list(text)
     i = 0
@@ -59,7 +96,20 @@ def mask_comments_and_strings(text: str) -> str:
         c = text[i]
         nxt = text[i + 1] if i + 1 < n else ""
         if state == "code":
-            if c == "/" and nxt == "/":
+            raw = _raw_string_at(text, i) if c in "RuUL" else None
+            if raw is not None:
+                body_start, delim = raw
+                closer = ")" + delim + '"'
+                end = text.find(closer, body_start)
+                if end < 0:
+                    end = n  # unterminated: blank to EOF
+                else:
+                    end += len(closer)
+                for k in range(i, min(end, n)):
+                    if text[k] != "\n":
+                        out[k] = " "
+                i = end
+            elif c == "/" and nxt == "/":
                 state = "line_comment"
                 out[i] = out[i + 1] = " "
                 i += 2
@@ -78,11 +128,17 @@ def mask_comments_and_strings(text: str) -> str:
             else:
                 i += 1
         elif state == "line_comment":
-            if c == "\n":
+            if c == "\\" and nxt == "\n":
+                # Backslash-newline splices the next physical line into
+                # this comment; keep masking past the newline.
+                out[i] = " "
+                i += 2
+            elif c == "\n":
                 state = "code"
+                i += 1
             else:
                 out[i] = " "
-            i += 1
+                i += 1
         elif state == "block_comment":
             if c == "*" and nxt == "/":
                 state = "code"
@@ -144,10 +200,16 @@ def line_of_offset(text: str, offset: int) -> int:
     return text.count("\n", 0, offset) + 1
 
 
-def lint_text(path: str, text: str, rules, config) -> list[Finding]:
-    """Applies `rules` to one in-memory file; returns kept findings."""
+def lint_text(path: str, text: str, rules, config,
+              extra_known=()) -> list[Finding]:
+    """Applies `rules` to one in-memory file; returns kept findings.
+
+    ``extra_known`` names additional rule ids (the whole-repo passes)
+    that are legal in lint:allow annotations here even though no line
+    rule carries them.
+    """
     masked = mask_comments_and_strings(text)
-    known = {r.rule_id for r in rules}
+    known = {r.rule_id for r in rules} | set(extra_known)
     allows, bad = parse_allows(text, known)
     findings = [Finding(path, line, "bad-allow", msg) for line, msg in bad]
     for rule in rules:
@@ -175,14 +237,14 @@ def iter_source_files(paths):
     return sorted(set(seen))
 
 
-def lint_paths(paths, rules, config) -> list[Finding]:
+def lint_paths(paths, rules, config, extra_known=()) -> list[Finding]:
     """Lints every C++ source under `paths`."""
     findings: list[Finding] = []
     for path in iter_source_files(paths):
         with open(path, encoding="utf-8", errors="replace") as fh:
             text = fh.read()
         findings.extend(lint_text(normalize(path, config), text, rules,
-                                  config))
+                                  config, extra_known))
     return findings
 
 

@@ -1,0 +1,657 @@
+"""Whole-repo analysis passes: layer-violation, metric-name, wire-schema.
+
+Unlike the line rules in rules.py (one file at a time), each pass sees
+the entire tree through a shared ProjectModel plus a checked-in
+machine-readable model of the contract it enforces:
+
+  layer-violation   tools/lint/layers.toml     declared module DAG
+  metric-name       README.md metrics registry + bench/baseline.json
+  wire-schema       tools/lint/wire_schema.toml
+
+Findings use the same Finding/lint:allow machinery as the line rules,
+so a deliberate exception is annotated at the offending line with a
+mandatory reason.  Findings anchored in non-C++ files (baseline.json,
+README.md, the TOML models) cannot be allow-listed -- fix the model or
+the code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+from tools.lint.engine import Finding
+from tools.lint.project import ProjectModel, load_toml
+
+PASS_RULE_IDS = ("layer-violation", "metric-name", "wire-schema")
+
+
+def _model_finding(path: str, line: int, rule: str, msg: str) -> Finding:
+    return Finding(path, line, rule, msg)
+
+
+def _line_of(text: str, needle: str) -> int:
+    """1-based line of the first occurrence of needle, else 1."""
+    off = text.find(needle)
+    return text.count("\n", 0, off) + 1 if off >= 0 else 1
+
+
+# ----------------------------------------------------------------------
+# layer-violation
+# ----------------------------------------------------------------------
+
+class LayerViolationPass:
+    rule_id = "layer-violation"
+    description = ("#include edge that contradicts the declared layer "
+                   "DAG (tools/lint/layers.toml), or an include cycle")
+
+    def _load(self, model: ProjectModel):
+        path = os.path.join(model.root, model.config.layers_toml)
+        doc = load_toml(path)
+        layers = {m: tuple(deps) for m, deps in
+                  doc.get("layers", {}).items()}
+        graph = doc.get("graph", {})
+        return (layers, set(graph.get("cross_cutting", ())),
+                set(graph.get("unrestricted", ())))
+
+    def unrestricted(self, model: ProjectModel) -> set[str]:
+        try:
+            _, _, unrestricted = self._load(model)
+        except (OSError, ValueError):
+            return set()
+        return unrestricted
+
+    def run(self, model: ProjectModel) -> list[Finding]:
+        toml_rel = model.config.layers_toml
+        try:
+            layers, cross, unrestricted = self._load(model)
+        except (OSError, ValueError) as e:
+            return [_model_finding(toml_rel, 1, self.rule_id,
+                                   f"cannot load layer model: {e}")]
+        findings: list[Finding] = []
+
+        # Declared-vs-disk drift, both directions (the nightly
+        # check_layers_drift step repeats the dangling-entry check so
+        # module deletions surface even between code pushes).
+        src_dir = os.path.join(model.root, "src")
+        on_disk = {d for d in (os.listdir(src_dir)
+                               if os.path.isdir(src_dir) else [])
+                   if os.path.isdir(os.path.join(src_dir, d))}
+        for mod in sorted(on_disk - set(layers) - cross):
+            findings.append(_model_finding(
+                toml_rel, 1, self.rule_id,
+                f"module src/{mod}/ exists on disk but is not declared "
+                "in the layer DAG; add it to [layers] with its allowed "
+                "dependencies"))
+        for mod in sorted((set(layers) | cross) - on_disk):
+            findings.append(_model_finding(
+                toml_rel, _line_of(self._raw(model), f"\n{mod} ="),
+                self.rule_id,
+                f"layer '{mod}' is declared but src/{mod}/ does not "
+                "exist; delete the stale entry"))
+
+        # The declared relation itself must be a DAG.
+        declared = {m: set(d for d in deps if d in layers)
+                    for m, deps in layers.items()}
+        cyc = self._declared_cycle(declared)
+        if cyc:
+            findings.append(_model_finding(
+                toml_rel, 1, self.rule_id,
+                "declared layer graph has a cycle: " + " -> ".join(cyc)))
+
+        # Every cross-module include edge must be sanctioned.
+        for (src_mod, dst_mod), sites in sorted(model.module_edges().items()):
+            if src_mod in unrestricted:
+                continue
+            if dst_mod in cross:
+                continue
+            allowed = set(layers.get(src_mod, ()))
+            if dst_mod in allowed:
+                continue
+            for rel, inc in sites:
+                findings.append(Finding(
+                    rel, inc.line, self.rule_id,
+                    f"'{src_mod}' must not include '{inc.target}' "
+                    f"(layer '{dst_mod}'): the declared DAG allows "
+                    f"{src_mod} -> "
+                    f"{{{', '.join(sorted(allowed | cross)) or 'nothing'}}}"
+                    "; invert the dependency or amend "
+                    "tools/lint/layers.toml with a rationale"))
+
+        # File-level include cycles are rejected everywhere, including
+        # unrestricted consumers -- a header cycle is never deliberate.
+        for cycle in model.file_cycles():
+            findings.append(Finding(
+                cycle[0], 1, self.rule_id,
+                "include cycle: " + " -> ".join(cycle)))
+        return findings
+
+    def _raw(self, model: ProjectModel) -> str:
+        try:
+            with open(os.path.join(model.root, model.config.layers_toml),
+                      encoding="utf-8") as fh:
+                return fh.read()
+        except OSError:
+            return ""
+
+    @staticmethod
+    def _declared_cycle(graph: dict[str, set[str]]) -> list[str] | None:
+        color: dict[str, int] = {}
+        stack: list[str] = []
+
+        def visit(node: str) -> list[str] | None:
+            color[node] = 1
+            stack.append(node)
+            for nxt in sorted(graph.get(node, ())):
+                state = color.get(nxt, 0)
+                if state == 1:
+                    return stack[stack.index(nxt):] + [nxt]
+                if state == 0:
+                    found = visit(nxt)
+                    if found:
+                        return found
+            stack.pop()
+            color[node] = 2
+            return None
+
+        for node in sorted(graph):
+            if color.get(node, 0) == 0:
+                found = visit(node)
+                if found:
+                    return found
+        return None
+
+
+# ----------------------------------------------------------------------
+# metric-name
+# ----------------------------------------------------------------------
+
+# Direct registration on the registry: `.counter("...")`, `r.gauge(`,
+# `Registry::global().timer(` -- the name must be a string literal
+# right there.  The scoped_* helpers are the one sanctioned way to
+# build a dynamic name (obs validates the dynamic segment at
+# construction; the lint validates the literal parts here).
+_DIRECT_REG_RE = re.compile(
+    r"(?:\.|->|::)\s*(counter|gauge|histogram|timer)\s*\(")
+_SCOPED_REG_RE = re.compile(
+    r"(?:\.|->|::)\s*(scoped_counter|scoped_gauge|scoped_timer)\s*\(")
+
+_SEGMENT = r"[a-z][a-z0-9_]*"
+_NAME_RE = re.compile(
+    r"rtr\.(%s)\.(%s)(\.(%s)){0,2}$" % (_SEGMENT, _SEGMENT, _SEGMENT))
+
+_README_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_.<>]+)`")
+
+
+class Registration:
+    """One metric registration site (literal or scoped template)."""
+
+    def __init__(self, path: str, line: int, name: str, volatile: bool):
+        self.path = path
+        self.line = line
+        self.name = name          # template: wildcard segment spelled '*'
+        self.volatile = volatile
+
+    def matches(self, concrete: str) -> bool:
+        if "*" not in self.name:
+            return self.name == concrete
+        pattern = re.escape(self.name).replace(r"\*", _SEGMENT)
+        return re.fullmatch(pattern, concrete) is not None
+
+
+class MetricNamePass:
+    rule_id = "metric-name"
+    description = ("obs series name violating the rtr.<layer>.<noun> "
+                   "grammar, duplicate or dynamic registration, or "
+                   "drift vs README registry / bench/baseline.json")
+
+    def _layer_names(self, model: ProjectModel) -> set[str]:
+        try:
+            doc = load_toml(os.path.join(model.root,
+                                         model.config.layers_toml))
+        except (OSError, ValueError):
+            return set()
+        return set(doc.get("layers", {})) | {"bench"}
+
+    # -- extraction ----------------------------------------------------
+
+    def _skip_ws(self, raw: str, i: int) -> int:
+        while i < len(raw) and raw[i] in " \t\n\r":
+            i += 1
+        return i
+
+    def _call_tail(self, masked: str, open_paren: int) -> str:
+        """Masked argument text of the call starting at '('."""
+        depth = 0
+        for i in range(open_paren, len(masked)):
+            if masked[i] == "(":
+                depth += 1
+            elif masked[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    return masked[open_paren:i + 1]
+        return masked[open_paren:]
+
+    def collect(self, model: ProjectModel):
+        """Returns (registrations, findings-from-extraction)."""
+        cfg = model.config
+        regs: list[Registration] = []
+        findings: list[Finding] = []
+        for rel in model.file_list():
+            in_scope = (any(rel.startswith(d + "/")
+                            for d in cfg.metric_dirs) or
+                        rel in cfg.metric_extra_files)
+            if not in_scope or \
+                    any(rel.startswith(p)
+                        for p in cfg.metric_exempt_prefixes):
+                continue
+            sf = model.files[rel]
+            for m in _SCOPED_REG_RE.finditer(sf.masked):
+                line = sf.line_of_offset(m.start(1))
+                args = self._scoped_literals(sf, m.end())
+                if args is None:
+                    findings.append(Finding(
+                        rel, line, self.rule_id,
+                        f"{m.group(1)}: the layer and leaf arguments "
+                        "must be string literals at the call site so "
+                        "the constructed name is lintable"))
+                    continue
+                layer, leaf = args
+                regs.append(Registration(
+                    rel, line, f"rtr.{layer}.*.{leaf}",
+                    volatile=m.group(1) == "scoped_timer" or
+                    "kVolatile" in self._call_tail(sf.masked,
+                                                   m.end() - 1)))
+            for m in _DIRECT_REG_RE.finditer(sf.masked):
+                # A scoped_* call's inner 'counter(' never matches here
+                # (the preceding '_' fails the member-access prefix).
+                line = sf.line_of_offset(m.start(1))
+                q = self._skip_ws(sf.raw, m.end())
+                name = ProjectModel.string_literal_at(sf.raw, q)
+                if name is None:
+                    findings.append(Finding(
+                        rel, line, self.rule_id,
+                        f"{m.group(1)}() registered with a non-literal "
+                        "name: dynamic names are invisible to this lint; "
+                        "route them through obs::scoped_counter/"
+                        "scoped_gauge/scoped_timer (validated at "
+                        "construction) or inline the literal"))
+                    continue
+                regs.append(Registration(
+                    rel, line, name,
+                    volatile=m.group(1) == "timer" or
+                    "kVolatile" in self._call_tail(sf.masked,
+                                                   m.end() - 1)))
+        return regs, findings
+
+    def _scoped_literals(self, sf, after_name: int):
+        """Literal (layer, leaf) of scoped_*(L, dynamic, leaf), or None."""
+        q = self._skip_ws(sf.raw, after_name)
+        layer = ProjectModel.string_literal_at(sf.raw, q)
+        if layer is None:
+            return None
+        # Walk the masked text to the 2nd top-level comma, then read the
+        # third argument's literal from the raw text.
+        depth = 1
+        commas = 0
+        i = after_name
+        while i < len(sf.masked) and depth > 0:
+            c = sf.masked[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif c == "," and depth == 1:
+                commas += 1
+                if commas == 2:
+                    leaf = ProjectModel.string_literal_at(
+                        sf.raw, self._skip_ws(sf.raw, i + 1))
+                    return None if leaf is None else (layer, leaf)
+            i += 1
+        return None
+
+    # -- the pass ------------------------------------------------------
+
+    def run(self, model: ProjectModel) -> list[Finding]:
+        layers = self._layer_names(model)
+        regs, findings = self.collect(model)
+
+        # Grammar, per registration site.
+        for r in regs:
+            probe = r.name.replace("*", "dynamic")
+            m = _NAME_RE.fullmatch(probe)
+            if not m:
+                findings.append(Finding(
+                    r.path, r.line, self.rule_id,
+                    f"metric '{r.name}' violates the naming grammar "
+                    "rtr.<layer>.<noun>[.<verb>] (segments "
+                    "[a-z][a-z0-9_]*, at most four after 'rtr')"))
+            elif layers and m.group(1) not in layers:
+                findings.append(Finding(
+                    r.path, r.line, self.rule_id,
+                    f"metric '{r.name}': '{m.group(1)}' is not a "
+                    "declared layer (tools/lint/layers.toml) or "
+                    "'bench'"))
+
+        # Duplicate registrations of one name from different sites.
+        first: dict[str, Registration] = {}
+        for r in regs:
+            if "*" in r.name:
+                continue
+            prev = first.get(r.name)
+            if prev is None:
+                first[r.name] = r
+            elif (prev.path, prev.line) != (r.path, r.line):
+                findings.append(Finding(
+                    r.path, r.line, self.rule_id,
+                    f"metric '{r.name}' is also registered at "
+                    f"{prev.path}:{prev.line}; one series must have "
+                    "one owning call site (share the reference, or "
+                    "rename one of them)"))
+
+        findings += self._check_baseline(model, regs)
+        findings += self._check_readme(model, regs)
+        return findings
+
+    def _check_baseline(self, model, regs) -> list[Finding]:
+        rel = model.config.baseline_json
+        path = os.path.join(model.root, rel)
+        if not os.path.exists(path):
+            return []
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as e:
+            return [_model_finding(rel, 1, self.rule_id,
+                                   f"unparsable baseline: {e}")]
+        findings = []
+        names = set()
+        for bench in doc.get("benches", {}).values():
+            names |= set(bench.get("metrics", {}))
+        for name in sorted(names):
+            if not any(r.matches(name) for r in regs):
+                findings.append(_model_finding(
+                    rel, _line_of(raw, f'"{name}"'), self.rule_id,
+                    f"baseline series '{name}' is not registered "
+                    "anywhere in the tree: the perf gate is comparing "
+                    "a ghost; refresh the baseline or restore the "
+                    "metric"))
+        return findings
+
+    def _check_readme(self, model, regs) -> list[Finding]:
+        rel = model.config.readme_md
+        path = os.path.join(model.root, rel)
+        if not os.path.exists(path):
+            return []
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        section = self._registry_section(raw)
+        if section is None:
+            return [_model_finding(
+                rel, 1, self.rule_id,
+                "README has no 'Metrics registry' table; every stable "
+                "series must be documented there (the metric-name pass "
+                "cross-checks it)")]
+        start_line, body = section
+        documented: list[tuple[str, int]] = []
+        for i, line in enumerate(body.splitlines()):
+            m = _README_ROW_RE.match(line)
+            if m and not m.group(1).startswith("rtr.<"):
+                documented.append((m.group(1), start_line + i))
+        findings = []
+        templates = [(re.sub(r"<[a-z0-9_]+>", "*", name), line)
+                     for name, line in documented]
+        for name, line in templates:
+            probe = name.replace("*", "dynamic")
+            if not _NAME_RE.fullmatch(probe):
+                findings.append(_model_finding(
+                    rel, line, self.rule_id,
+                    f"registry entry '{name}' violates the naming "
+                    "grammar rtr.<layer>.<noun>[.<verb>]"))
+                continue
+            if not any(r.name == name or r.matches(name) for r in regs):
+                findings.append(_model_finding(
+                    rel, line, self.rule_id,
+                    f"registry entry '{name}' is not registered "
+                    "anywhere in the tree; delete the stale row or "
+                    "restore the metric"))
+        for r in regs:
+            if r.volatile:
+                continue
+            if not any(t == r.name or
+                       Registration("", 0, t, False).matches(r.name)
+                       for t, _ in templates):
+                findings.append(Finding(
+                    r.path, r.line, self.rule_id,
+                    f"stable metric '{r.name}' is missing from the "
+                    "README 'Metrics registry' table: undocumented "
+                    "series silently fall out of perf-gate coverage"))
+        return findings
+
+    @staticmethod
+    def _registry_section(raw: str):
+        lines = raw.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("#") and "Metrics registry" in line:
+                for j in range(i + 1, len(lines)):
+                    if lines[j].startswith("#"):
+                        return i + 2, "\n".join(lines[i + 1:j])
+                return i + 2, "\n".join(lines[i + 1:])
+        return None
+
+
+# ----------------------------------------------------------------------
+# wire-schema
+# ----------------------------------------------------------------------
+
+_INT_TOKEN_RE = re.compile(r"^\(?\s*(0[xX][0-9a-fA-F]+|\d+)\s*"
+                           r"[uUlL]*\s*\)?$")
+
+
+def _eval_int(expr: str) -> int | None:
+    """Evaluates the tiny constant grammar used at wire sites:
+    integer literals (decimal/hex, with suffixes) and left shifts."""
+    parts = expr.split("<<")
+    values = []
+    for part in parts:
+        m = _INT_TOKEN_RE.match(part.strip())
+        if not m:
+            return None
+        values.append(int(m.group(1), 0))
+    result = values[0]
+    for v in values[1:]:
+        result <<= v
+    return result
+
+
+class WireSchemaPass:
+    rule_id = "wire-schema"
+    description = ("wire tag/version/bound constant disagreeing with "
+                   "tools/lint/wire_schema.toml or its mirror sites")
+
+    def run(self, model: ProjectModel) -> list[Finding]:
+        toml_rel = model.config.wire_schema_toml
+        try:
+            doc = load_toml(os.path.join(model.root, toml_rel))
+        except (OSError, ValueError) as e:
+            return [_model_finding(toml_rel, 1, self.rule_id,
+                                   f"cannot load wire schema: {e}")]
+        values = doc.get("values", {})
+        sites = doc.get("sites", {})
+        findings: list[Finding] = []
+
+        for name in sorted(values):
+            if name not in sites or not sites[name]:
+                findings.append(_model_finding(
+                    toml_rel, 1, self.rule_id,
+                    f"schema value '{name}' lists no code sites; pin "
+                    "at least one extractor in [sites]"))
+        for name in sorted(sites):
+            if name not in values:
+                findings.append(_model_finding(
+                    toml_rel, 1, self.rule_id,
+                    f"[sites] entry '{name}' has no [values] entry"))
+                continue
+            expected = values[name]
+            for site in sites[name]:
+                findings += self._check_site(model, name, expected, site)
+
+        findings += self._check_endpoints(model, doc)
+        return findings
+
+    def _check_site(self, model, name, expected, site) -> list[Finding]:
+        toml_rel = model.config.wire_schema_toml
+        try:
+            file_part, extractor = site.split("#", 1)
+            kind, _, arg = extractor.partition(":")
+        except ValueError:
+            return [_model_finding(toml_rel, 1, self.rule_id,
+                                   f"malformed site '{site}' for "
+                                   f"'{name}'")]
+        sf = model.files.get(file_part)
+        if sf is None:
+            return [_model_finding(
+                toml_rel, 1, self.rule_id,
+                f"'{name}' site {file_part} is not in the tree")]
+        if kind == "symbol":
+            got = self._extract_symbol(sf, arg)
+        elif kind == "enum":
+            got = self._extract_enum_count(sf, arg)
+        elif kind == "cases":
+            got = self._extract_case_count(sf, arg)
+        elif kind == "check_count":
+            got = self._extract_check_count(sf, arg)
+        else:
+            return [_model_finding(toml_rel, 1, self.rule_id,
+                                   f"unknown extractor '{kind}' for "
+                                   f"'{name}'")]
+        if got is None:
+            return [Finding(
+                file_part, 1, self.rule_id,
+                f"cannot extract '{name}' via {kind}:{arg} -- the "
+                "anchor moved; update tools/lint/wire_schema.toml "
+                "alongside the code")]
+        value, line = got
+        if value != expected:
+            return [Finding(
+                file_part, line, self.rule_id,
+                f"'{name}' is {value} here but the canonical schema "
+                f"(tools/lint/wire_schema.toml) says {expected}; a "
+                "wire-format change must update every mirror site and "
+                "the schema in one commit")]
+        return []
+
+    # -- extractors ----------------------------------------------------
+
+    @staticmethod
+    def _extract_symbol(sf, symbol):
+        m = re.search(r"\b%s\s*=\s*([^;,}]+)[;,}]" % re.escape(symbol),
+                      sf.masked)
+        if not m:
+            return None
+        value = _eval_int(m.group(1).strip())
+        if value is None:
+            return None
+        return value, sf.line_of_offset(m.start())
+
+    @staticmethod
+    def _extract_enum_count(sf, enum_name):
+        m = re.search(r"\benum\s+(?:class\s+)?%s\b[^{]*\{" %
+                      re.escape(enum_name), sf.masked)
+        if not m:
+            return None
+        end = sf.masked.find("}", m.end())
+        if end < 0:
+            return None
+        body = sf.masked[m.end():end]
+        count = sum(1 for item in body.split(",") if item.strip())
+        return count, sf.line_of_offset(m.start())
+
+    @staticmethod
+    def _extract_case_count(sf, enum_name):
+        hits = list(re.finditer(r"\bcase\s+%s\s*::" % re.escape(enum_name),
+                                sf.masked))
+        if not hits:
+            return None
+        return len(hits), sf.line_of_offset(hits[0].start())
+
+    @staticmethod
+    def _extract_check_count(sf, arg):
+        fn, _, idx_s = arg.partition("/")
+        try:
+            idx = int(idx_s)
+        except ValueError:
+            return None
+        body = ProjectModel.find_function_body(sf.masked, fn)
+        if body is None:
+            return None
+        open_b, close_b = body
+        calls = list(re.finditer(r"\bcheck_count\s*\(",
+                                 sf.masked[open_b:close_b]))
+        if len(calls) < idx:
+            return None
+        call = calls[idx - 1]
+        start = open_b + call.end()
+        depth = 1
+        args: list[str] = [""]
+        i = start
+        while i < close_b and depth > 0:
+            c = sf.masked[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif c == "," and depth == 1:
+                args.append("")
+                i += 1
+                continue
+            args[-1] += c
+            i += 1
+        if len(args) < 2:
+            return None
+        value = _eval_int(args[1].strip())
+        if value is None:
+            return None
+        return value, sf.line_of_offset(open_b + call.start())
+
+    def _check_endpoints(self, model, doc) -> list[Finding]:
+        endpoints = doc.get("endpoints", {})
+        declared = set(endpoints.get("names", ()))
+        rel = endpoints.get("registered_in", "")
+        if not declared or not rel:
+            return []
+        sf = model.files.get(rel)
+        toml_rel = model.config.wire_schema_toml
+        if sf is None:
+            return [_model_finding(
+                toml_rel, 1, self.rule_id,
+                f"[endpoints] registered_in file {rel} is not in the "
+                "tree")]
+        found: dict[str, int] = {}
+        for m in re.finditer(r"\bEndpoint\s*\(", sf.masked):
+            i = m.end()
+            while i < len(sf.raw) and sf.raw[i] in " \t\n\r":
+                i += 1
+            lit = ProjectModel.string_literal_at(sf.raw, i)
+            if lit is not None:
+                found.setdefault(lit, sf.line_of_offset(m.start()))
+        findings = []
+        for name in sorted(declared - set(found)):
+            findings.append(_model_finding(
+                toml_rel, 1, self.rule_id,
+                f"endpoint '{name}' is declared in the schema but not "
+                f"constructed in {rel}"))
+        for name in sorted(set(found) - declared):
+            findings.append(Finding(
+                rel, found[name], self.rule_id,
+                f"endpoint '{name}' is constructed here but missing "
+                "from tools/lint/wire_schema.toml [endpoints]; declare "
+                "it (and its body codec constants) in the schema"))
+        return findings
+
+
+ALL_PASSES = (LayerViolationPass(), MetricNamePass(), WireSchemaPass())

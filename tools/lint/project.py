@@ -1,0 +1,355 @@
+"""Shared whole-repo project model for the multi-pass analyzer.
+
+The line-rule engine (engine.py) reads one file at a time; the
+whole-repo passes (passes.py) need the opposite view: every source file
+of the tree, parsed once, with includes resolved and string literals
+recoverable at exact offsets.  ProjectModel is that single cached view
+-- file discovery, comment/string masking, include-graph construction
+-- so N passes never re-read the tree N times.  It is also the single
+source of truth for "the tree": CMake's lint target, the CI clang-tidy
+step and the linter itself all take their file list from here (see
+``lint_determinism.py --list-files``).
+
+Python 3.11+ ships tomllib; older interpreters fall back to a tiny
+subset parser that covers exactly the shapes layers.toml and
+wire_schema.toml use ([section], key = int | string | [array]).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+
+from tools.lint.engine import mask_comments_and_strings
+
+# The repo tree, exactly once.  Every consumer -- lint passes, ctest
+# registration, CMake's lint target, CI's clang-tidy file list -- goes
+# through ProjectModel so the definition cannot fork.
+TREE_DIRS = ("src", "bench", "tests", "tools")
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+
+# Never part of the analyzed tree: build output and the linter's own
+# seeded violation fixtures.
+SKIPPED_DIR_PARTS = ("build", "build-asan", "build-rel", ".git",
+                     "fixtures")
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+
+
+@dataclass(frozen=True)
+class Include:
+    """One resolved ``#include "..."`` edge."""
+
+    line: int       # 1-based line in the including file
+    target: str     # the literal include path as written
+    resolved: str   # repo-relative path of the included file, or ""
+
+
+class SourceFile:
+    """One parsed file: raw text, masked twin, resolved includes."""
+
+    def __init__(self, rel_path: str, raw: str):
+        self.rel_path = rel_path
+        self.raw = raw
+        self.masked = mask_comments_and_strings(raw)
+        self.includes: list[Include] = []
+
+    @property
+    def module(self) -> str:
+        """Layer-DAG node this file belongs to: ``src/<m>/...`` maps to
+        ``<m>``, anything else to its top-level directory."""
+        parts = self.rel_path.split("/")
+        if parts[0] == "src" and len(parts) > 2:
+            return parts[1]
+        return parts[0]
+
+    def line_of_offset(self, offset: int) -> int:
+        return self.raw.count("\n", 0, offset) + 1
+
+
+def _subset_toml_parse(text: str) -> dict:
+    """Minimal TOML reader for environments without tomllib.
+
+    Supports comments, [section] headers, and ``key = value`` where
+    value is an integer, a double-quoted string, or a (possibly
+    multi-line) array of those.  That is the complete grammar of
+    layers.toml and wire_schema.toml.
+    """
+    def parse_scalar(tok: str):
+        tok = tok.strip()
+        if tok.startswith('"') and tok.endswith('"'):
+            return tok[1:-1]
+        return int(tok, 0)
+
+    doc: dict = {}
+    section = doc
+    pending_key = None
+    pending_items: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if pending_key is not None:
+            # Inside a multi-line array.
+            closed = line.endswith("]")
+            body = line[:-1] if closed else line
+            pending_items += [t for t in body.split(",") if t.strip()]
+            if closed:
+                section[pending_key] = [parse_scalar(t)
+                                        for t in pending_items]
+                pending_key = None
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            section = doc.setdefault(name, {})
+            continue
+        key, _, value = line.partition("=")
+        key, value = key.strip(), value.split("#", 1)[0].strip()
+        if value.startswith("[") and not value.endswith("]"):
+            pending_key = key
+            pending_items = [t for t in value[1:].split(",") if t.strip()]
+        elif value.startswith("["):
+            body = value[1:-1]
+            section[key] = [parse_scalar(t) for t in body.split(",")
+                            if t.strip()]
+        else:
+            section[key] = parse_scalar(value)
+    return doc
+
+
+def load_toml(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        import tomllib
+        return tomllib.loads(text)
+    except ModuleNotFoundError:
+        return _subset_toml_parse(text)
+
+
+@dataclass
+class PassConfig:
+    """Locations of the checked-in machine-readable models, relative to
+    the project root -- overridable so self-tests can seed fixture
+    trees with their own models."""
+
+    layers_toml: str = "tools/lint/layers.toml"
+    wire_schema_toml: str = "tools/lint/wire_schema.toml"
+    baseline_json: str = "bench/baseline.json"
+    readme_md: str = "README.md"
+    # Directories whose metric registrations are linted.  tests/ is an
+    # unrestricted consumer (it registers throwaway series like
+    # obs_test.*); src/obs is the registry implementation itself, where
+    # names are forwarded parameters by design.
+    metric_dirs: tuple = ("src", "bench")
+    metric_exempt_prefixes: tuple = ("src/obs/",)
+    # CLI entry points outside src/bench that register metrics.
+    metric_extra_files: tuple = ("tools/rtr_cli.cc",)
+
+
+class ProjectModel:
+    """Cached parse of the whole tree plus the include graph."""
+
+    def __init__(self, root: str, tree_dirs=TREE_DIRS,
+                 config: PassConfig | None = None):
+        self.root = os.path.abspath(root)
+        self.tree_dirs = tree_dirs
+        self.config = config or PassConfig()
+        self.files: dict[str, SourceFile] = {}
+        self._discover()
+        self._resolve_includes()
+
+    # -- discovery -----------------------------------------------------
+
+    def _discover(self) -> None:
+        rels: list[str] = []
+        for d in self.tree_dirs:
+            top = os.path.join(self.root, d)
+            if not os.path.isdir(top):
+                continue
+            for dirpath, dirs, names in os.walk(top):
+                dirs[:] = sorted(x for x in dirs
+                                 if x not in SKIPPED_DIR_PARTS)
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        rel = os.path.relpath(os.path.join(dirpath, name),
+                                              self.root)
+                        rels.append(rel.replace(os.sep, "/"))
+        for rel in sorted(set(rels)):
+            with open(os.path.join(self.root, rel), encoding="utf-8",
+                      errors="replace") as fh:
+                self.files[rel] = SourceFile(rel, fh.read())
+
+    def file_list(self) -> list[str]:
+        """Repo-relative paths of every file in the tree, sorted."""
+        return sorted(self.files)
+
+    # -- includes ------------------------------------------------------
+
+    def _resolve_one(self, including: str, target: str) -> str:
+        base = os.path.dirname(including)
+        for candidate in (f"src/{target}",
+                          f"{base}/{target}" if base else target,
+                          target):
+            candidate = os.path.normpath(candidate).replace(os.sep, "/")
+            if candidate in self.files:
+                return candidate
+        return ""
+
+    def _resolve_includes(self) -> None:
+        for rel, sf in self.files.items():
+            # Match against the raw text (masking blanks the quoted
+            # path), but require the '#' to survive in the masked twin:
+            # a commented-out #include is blanked there and must not
+            # produce an edge.  Masking is length-preserving, so the
+            # offsets line up.
+            for m in _INCLUDE_RE.finditer(sf.raw):
+                hash_off = sf.raw.index("#", m.start())
+                if sf.masked[hash_off] != "#":
+                    continue
+                target = m.group(1)
+                sf.includes.append(Include(
+                    line=sf.line_of_offset(m.start(1)),
+                    target=target,
+                    resolved=self._resolve_one(rel, target)))
+
+    def module_edges(self) -> dict[tuple[str, str], list]:
+        """(from_module, to_module) -> [(file, Include), ...] for every
+        resolved cross-module include, deterministically ordered."""
+        edges: dict[tuple[str, str], list] = {}
+        for rel in sorted(self.files):
+            sf = self.files[rel]
+            for inc in sf.includes:
+                if not inc.resolved:
+                    continue
+                src_mod = sf.module
+                dst_mod = self.files[inc.resolved].module
+                if src_mod != dst_mod:
+                    edges.setdefault((src_mod, dst_mod), []).append(
+                        (rel, inc))
+        return edges
+
+    def file_cycles(self) -> list[list[str]]:
+        """File-level include cycles (each reported once, lexicographically
+        rotated so output is deterministic)."""
+        graph = {rel: sorted({i.resolved for i in sf.includes
+                              if i.resolved})
+                 for rel, sf in self.files.items()}
+        color: dict[str, int] = {}
+        stack: list[str] = []
+        cycles: list[list[str]] = []
+        seen_keys: set[tuple] = set()
+
+        def visit(node: str) -> None:
+            color[node] = 1
+            stack.append(node)
+            for nxt in graph.get(node, ()):
+                state = color.get(nxt, 0)
+                if state == 0:
+                    visit(nxt)
+                elif state == 1:
+                    cycle = stack[stack.index(nxt):] + [nxt]
+                    lo = min(range(len(cycle) - 1),
+                             key=lambda k: cycle[k])
+                    rotated = cycle[lo:-1] + cycle[:lo] + [cycle[lo]]
+                    key = tuple(rotated)
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        cycles.append(rotated)
+            stack.pop()
+            color[node] = 2
+
+        for rel in sorted(graph):
+            if color.get(rel, 0) == 0:
+                visit(rel)
+        return cycles
+
+    # -- artifacts -----------------------------------------------------
+
+    def include_graph_dot(self, unrestricted: set[str] | None = None) -> str:
+        """Deterministic module-level include graph in DOT form.
+
+        Byte-identical across runs for the same tree: nodes and edges
+        are emitted sorted, edge labels carry the include multiplicity,
+        and nothing time- or path-dependent is written.
+        """
+        unrestricted = unrestricted or set()
+        edges = self.module_edges()
+        modules = sorted({m for pair in edges for m in pair} |
+                         {sf.module for sf in self.files.values()})
+        lines = [
+            "// Module-level include graph; generated by",
+            "// tools/lint_determinism.py (layer-violation pass).",
+            "digraph include_graph {",
+            "  rankdir=BT;",
+            "  node [shape=box, fontname=\"Helvetica\"];",
+        ]
+        for mod in modules:
+            style = ", style=dashed" if mod in unrestricted else ""
+            lines.append(f"  \"{mod}\" [label=\"{mod}\"{style}];")
+        for (src_mod, dst_mod) in sorted(edges):
+            count = len(edges[(src_mod, dst_mod)])
+            style = " [style=dashed]" if src_mod in unrestricted else \
+                f" [label=\"{count}\"]"
+            lines.append(f"  \"{src_mod}\" -> \"{dst_mod}\"{style};")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    # -- literal / symbol helpers (used by the passes) -----------------
+
+    @staticmethod
+    def string_literal_at(raw: str, offset: int) -> str | None:
+        """Parses the C++ string literal starting at ``offset`` (which
+        must point at the opening quote in the RAW text); returns its
+        cooked value, or None when no literal starts there."""
+        if offset >= len(raw) or raw[offset] != '"':
+            return None
+        out: list[str] = []
+        i = offset + 1
+        while i < len(raw):
+            c = raw[i]
+            if c == "\\" and i + 1 < len(raw):
+                out.append(raw[i + 1])
+                i += 2
+            elif c == '"':
+                return "".join(out)
+            elif c == "\n":
+                return None
+            else:
+                out.append(c)
+                i += 1
+        return None
+
+    @staticmethod
+    def find_function_body(masked: str, name: str) -> tuple[int, int] | None:
+        """(open_brace, close_brace) offsets of the first definition of
+        ``name`` in the masked text, or None."""
+        for m in re.finditer(r"\b%s\s*\(" % re.escape(name), masked):
+            depth = 0
+            i = m.end() - 1
+            while i < len(masked):
+                c = masked[i]
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            # Skip to '{' (definition) or ';' (declaration/call).
+            j = i + 1
+            while j < len(masked) and masked[j] not in "{;":
+                j += 1
+            if j >= len(masked) or masked[j] != "{":
+                continue
+            depth = 0
+            for k in range(j, len(masked)):
+                if masked[k] == "{":
+                    depth += 1
+                elif masked[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        return j, k
+            return None
+        return None

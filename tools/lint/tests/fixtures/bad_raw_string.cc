@@ -1,0 +1,15 @@
+// Violations adjacent to raw strings must still be caught: masking the
+// literal may not swallow the surrounding code.
+#include <cstdlib>
+#include <string>
+
+int after_raw_same_line() {
+  const std::string s = R"(harmless body)"; return std::rand();  // line 7
+}
+
+int between_raws() {
+  const std::string a = R"x(one)x";
+  const int v = std::rand();  // line 12
+  const std::string b = R"x(two)x";
+  return v + static_cast<int>(a.size() + b.size());
+}

@@ -1,0 +1,34 @@
+// Raw-string literals must be masked wholesale: none of the banned
+// tokens below is real code.
+#include <string>
+
+std::string plain_raw() {
+  // Plain R"(...)" body mentioning banned identifiers.
+  return R"(std::rand() and srand(7) and random_device)";
+}
+
+std::string delimited_raw() {
+  // Delimited form: the body contains )" which only a delimiter-aware
+  // masker survives.
+  return R"x(quoted )" then std::rand() inside)x";
+}
+
+std::string prefixed_raw() {
+  return u8R"(time(nullptr) inside a u8R literal)";
+}
+
+std::string multi_line_raw() {
+  return R"(first line
+std::rand() on a masked continuation line
+last line)";
+}
+
+// A line comment continued with a backslash \
+   splices std::rand() into the comment, not into code.
+
+int not_a_raw_prefix() {
+  // FOOR"..." is an identifier followed by a string, not a raw literal;
+  // the masker must not eat to the next )" and unmask real code.
+  const std::string FOOR = "x";
+  return static_cast<int>(FOOR.size());
+}

@@ -1,0 +1,1 @@
+void reg() { obs::Registry::global().counter("rtr.m.ops").inc(); }

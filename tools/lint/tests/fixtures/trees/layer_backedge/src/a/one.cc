@@ -1,0 +1,2 @@
+#include "b/b.h"
+int a_one() { return b_value(); }

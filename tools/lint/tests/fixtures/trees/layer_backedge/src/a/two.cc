@@ -1,0 +1,3 @@
+// lint:allow(layer-violation) — transitional edge, tracked in the tree issue
+#include "b/b.h"
+int a_two() { return b_value(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int b_value() { return 2; }

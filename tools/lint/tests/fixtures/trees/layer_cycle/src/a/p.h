@@ -1,0 +1,2 @@
+// lint:allow(layer-violation) — seeded suppressed cycle for the self-test
+#include "a/q.h"

@@ -1,0 +1,1 @@
+void reg_a() { obs::Registry::global().counter("rtr.m.thing.count").inc(); }

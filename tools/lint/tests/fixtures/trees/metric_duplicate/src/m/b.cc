@@ -1,0 +1,1 @@
+void reg_b() { obs::Registry::global().counter("rtr.m.thing.count").inc(); }

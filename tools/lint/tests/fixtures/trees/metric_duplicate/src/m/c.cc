@@ -1,0 +1,4 @@
+void reg_c() {
+  // lint:allow(metric-name) — intentional shared series; one owner is a.cc
+  obs::Registry::global().counter("rtr.m.thing.count").inc();
+}

@@ -1,0 +1,3 @@
+void register_dynamic(const char* name) {
+  obs::Registry::global().counter(name).inc();
+}

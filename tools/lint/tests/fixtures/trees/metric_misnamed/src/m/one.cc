@@ -1,0 +1,3 @@
+void register_bad() {
+  obs::Registry::global().counter("m.bad.name").inc();
+}

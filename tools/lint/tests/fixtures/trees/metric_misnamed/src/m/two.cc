@@ -1,0 +1,4 @@
+void register_allowed() {
+  // lint:allow(metric-name) — legacy dashboard name, migration pending
+  obs::Registry::global().counter("legacy-name").inc();
+}

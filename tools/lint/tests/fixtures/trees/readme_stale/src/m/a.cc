@@ -1,0 +1,4 @@
+void reg() {
+  obs::Registry::global().counter("rtr.m.ops").inc();
+  obs::Registry::global().counter("rtr.m.extra").inc();
+}

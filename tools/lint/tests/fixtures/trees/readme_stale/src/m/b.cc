@@ -1,0 +1,4 @@
+void reg_allowed() {
+  // lint:allow(metric-name) — probe series, deliberately undocumented
+  obs::Registry::global().counter("rtr.m.extra2").inc();
+}

