@@ -56,10 +56,13 @@ inline void configure_metrics_emitter(const exp::BenchConfig& cfg,
                          ? "incremental"
                          : "full"},
   };
-  // Fault knobs only appear when armed, so fault-free documents stay
-  // byte-identical to those of a build without the fault layer.
+  // Fault and storm knobs only appear when armed, so disarmed documents
+  // stay byte-identical to those of a build without either layer.
   if (cfg.fault.any()) {
     run.config.emplace_back("fault", cfg.fault.describe());
+  }
+  if (cfg.storm.any()) {
+    run.config.emplace_back("storm", cfg.storm.describe());
   }
   obs::EmitOptions opts;
   opts.include_volatile = !cfg.metrics_deterministic;
@@ -121,6 +124,9 @@ inline bool parse_u64(const std::string& value, unsigned long long* out) {
 ///                      loss, corrupt, dup, flap (probabilities),
 ///                      detect-ms, dyn-window-ms, backoff-ms (ms),
 ///                      dyn-links, retry-cap, seed (integers)
+///   --storm-* VALUE    rolling-disaster knobs overriding RTR_STORM_*:
+///                      tick-ms, radius, growth, speed, flap (reals),
+///                      ticks, cells, budget, seed (integers)
 /// from `args` (argv[0] expected at index 0 and left in place); other
 /// arguments are kept in order for the caller to handle.  Also
 /// registers the at-exit metrics emitter, so every bench routed through
@@ -140,6 +146,22 @@ inline exp::BenchConfig consume_engine_flags(std::vector<char*>& args) {
       {"--fault-dyn-window-ms", &cfg.fault.dynamic_window_ms},
       {"--fault-flap", &cfg.fault.flap_prob},
       {"--fault-backoff-ms", &cfg.fault.backoff_base_ms},
+      {"--storm-tick-ms", &cfg.storm.tick_ms},
+      {"--storm-radius", &cfg.storm.radius},
+      {"--storm-growth", &cfg.storm.growth},
+      {"--storm-speed", &cfg.storm.speed},
+      {"--storm-flap", &cfg.storm.flap_prob},
+  };
+  struct U64Flag {
+    const char* flag;
+    std::uint64_t* dst;  ///< nullptr: value lands in a size_t below
+    std::size_t* dst_sz;
+  };
+  const U64Flag u64_flags[] = {
+      {"--storm-ticks", nullptr, &cfg.storm.ticks},
+      {"--storm-cells", nullptr, &cfg.storm.cells},
+      {"--storm-budget", nullptr, &cfg.storm.budget_ops},
+      {"--storm-seed", &cfg.storm.seed, nullptr},
   };
   std::vector<char*> rest;
   std::size_t i = 0;
@@ -196,6 +218,19 @@ inline exp::BenchConfig consume_engine_flags(std::vector<char*>& args) {
           break;
         }
       }
+      for (const U64Flag& f : u64_flags) {
+        if (matched) break;
+        if (detail::match_value_flag(args, i, f.flag, &value, &consumed)) {
+          if (!detail::parse_u64(value, &n)) {
+            detail::bad_flag_value(f.flag, value);
+          }
+          if (f.dst != nullptr) *f.dst = n;
+          if (f.dst_sz != nullptr) *f.dst_sz = static_cast<std::size_t>(n);
+          i += consumed;
+          matched = true;
+          break;
+        }
+      }
       if (!matched) {
         rest.push_back(args[i]);
         ++i;
@@ -216,7 +251,7 @@ inline exp::BenchConfig config_from(int argc, char** argv) {
   if (args.size() > 1) {
     std::cerr << "usage: " << argv[0]
               << " [--threads N] [--metrics-out FILE]"
-                 " [--fault-KNOB VALUE ...]\n"
+                 " [--fault-KNOB VALUE ...] [--storm-KNOB VALUE ...]\n"
               << "unrecognised argument: " << args[1] << '\n';
     std::exit(2);
   }
@@ -230,6 +265,7 @@ inline exp::RunOptions run_options(const exp::BenchConfig& cfg) {
   opts.threads = cfg.threads;
   opts.spf_engine = cfg.spf_engine;
   opts.fault = cfg.fault;
+  opts.storm = cfg.storm;
   return opts;
 }
 

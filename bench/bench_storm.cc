@@ -1,0 +1,203 @@
+// Rolling-disaster tier: seeded storm trajectories (moving, growing,
+// flapping, overlapping failure areas) swept over the core-AS
+// topologies, with the recoverable initiators' trees re-planned tick
+// by tick from the shared base trees -- unthrottled and under a
+// per-tick repair budget -- plus one scale_gen tier driving the storm
+// engine directly on a generated continental topology.
+//
+// Everything on stdout is a pure function of (storm spec, seed):
+// per-tick delta totals, repair-path tallies, budget stalls, drain
+// ticks and final-tree digests are bit-identical across thread counts
+// like every other bench.  Wall clock and peak RSS are volatile and go
+// to stderr / the metrics timing block.
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+
+#include "bench_common.h"
+#include "common/expect.h"
+#include "graph/gen/scale_gen.h"
+#include "spf/batch_repair.h"
+#include "stats/table.h"
+#include "storm/engine.h"
+#include "storm/timeline.h"
+
+using namespace rtr;
+
+namespace {
+
+/// The checked-in default trajectory profile (used whenever RTR_STORM_*
+/// leaves the layer disarmed): two overlapping cells, growing radius,
+/// a quarter of covered links flapping.  bench/baseline.json pins the
+/// op counts of exactly this profile.
+exp::BenchConfig with_default_storm(exp::BenchConfig cfg) {
+  if (!cfg.storm.any()) {
+    cfg.storm.ticks = 20;
+    cfg.storm.cells = 2;
+    cfg.storm.growth = 5.0;
+    cfg.storm.flap_prob = 0.25;
+  }
+  return cfg;
+}
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << std::setfill('0') << std::setw(16) << v;
+  return os.str();
+}
+
+void add_run_rows(stats::TextTable& table, const std::string& tier,
+                  const exp::RecoverableResults& r) {
+  table.add_row({tier, std::to_string(r.storm_ticks),
+                 std::to_string(r.storm_drain_ticks),
+                 std::to_string(r.storm_delta_links),
+                 std::to_string(r.storm_delta_nodes),
+                 std::to_string(r.storm_repairs),
+                 std::to_string(r.storm_fallbacks),
+                 std::to_string(r.storm_repair_ops),
+                 std::to_string(r.storm_budget_stalls),
+                 std::to_string(r.storm_shadowed_flaps),
+                 std::to_string(r.storm_unreachable_pairs),
+                 hex64(r.storm_dist_digest)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  exp::BenchConfig cfg = bench::consume_engine_flags(args);
+  unsigned long long nodes = 20000;  // scale-tier topology size
+  for (std::size_t i = 1; i < args.size();) {
+    std::string value;
+    std::size_t consumed = 0;
+    if (bench::detail::match_value_flag(args, i, "--nodes", &value,
+                                        &consumed)) {
+      if (!bench::detail::parse_u64(value, &nodes) || nodes == 0) {
+        bench::detail::bad_flag_value("--nodes", value);
+      }
+      i += consumed;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--nodes N] [--threads N] [--metrics-out FILE]"
+                   " [--storm-KNOB VALUE ...]\n"
+                << "unrecognised argument: " << args[i] << '\n';
+      return 2;
+    }
+  }
+  cfg = with_default_storm(cfg);
+  // Re-point the emitter now that the default profile is armed, so the
+  // metrics document's config block records the storm knobs actually
+  // swept (consume_engine_flags configured it before the default).
+  {
+    const char* slash = std::strrchr(argv[0], '/');
+    bench::detail::configure_metrics_emitter(
+        cfg, slash != nullptr ? slash + 1 : argv[0]);
+  }
+  bench::print_header("Storm tier: rolling-disaster trajectories with "
+                      "budgeted incremental re-planning",
+                      cfg);
+
+  stats::TextTable table({"Tier", "Ticks", "Drain", "DLinks", "DNodes",
+                          "Repairs", "Fallb", "Ops", "Stalls", "Shadow",
+                          "Lost", "Digest"});
+
+  // Core-AS tier: every scenario of the (reduced) paper workload runs
+  // its own storm substream, unthrottled then budget-throttled.  The
+  // digests of the two passes must match: the budget only delays
+  // convergence, never changes the final trees.
+  const std::size_t recoverable =
+      cfg.cases / 10 > 50 ? cfg.cases / 10 : 50;
+  for (const auto& ctx : bench::make_contexts(false)) {
+    const std::vector<exp::Scenario> scenarios =
+        bench::make_scenarios(*ctx, cfg, recoverable, 0);
+    exp::RunOptions opts = bench::run_options(cfg);
+    opts.run_fcp = false;
+    opts.run_mrc = false;
+    opts.storm.budget_ops = 0;
+    const exp::RecoverableResults free_run =
+        exp::run_recoverable(*ctx, scenarios, opts);
+    add_run_rows(table, ctx->name + " (unthrottled)", free_run);
+    opts.storm.budget_ops = 400;
+    const exp::RecoverableResults throttled =
+        exp::run_recoverable(*ctx, scenarios, opts);
+    add_run_rows(table, ctx->name + " (budget 400)", throttled);
+    RTR_EXPECT_MSG(free_run.storm_dist_digest == throttled.storm_dist_digest,
+                   "budget changed the converged trees");
+  }
+
+  // Scale tier: the storm engine driven directly over a generated
+  // continental topology -- per-plan work units merged in plan order.
+  graph::ScaleSpec spec;
+  spec.nodes = static_cast<std::size_t>(nodes);
+  spec.seed = cfg.seed;
+  const graph::Graph g = graph::make_scale_topology(spec);
+  const std::size_t n = g.num_nodes();
+  obs::Registry::global().counter("rtr.bench.storm.scale_nodes").add(n);
+  obs::Registry::global()
+      .counter("rtr.bench.storm.scale_links")
+      .add(g.num_links());
+
+  storm::StormOptions sopts = cfg.storm;
+  double side = 1.0;  // grid side length of the generated embedding
+  while (side * side < static_cast<double>(n)) side += 1.0;
+  sopts.extent = side * spec.spacing;
+  sopts.radius = spec.spacing * 6.0;
+  sopts.growth = spec.spacing * 0.5;
+  sopts.speed = spec.spacing * 2.0;
+  sopts.budget_ops = 5000;
+
+  constexpr std::size_t kPlans = 8;
+  constexpr std::size_t kSources = 8;
+  std::vector<NodeId> sources(kSources);
+  for (std::size_t k = 0; k < kSources; ++k) {
+    sources[k] = static_cast<NodeId>(k * n / kSources);
+  }
+  const spf::BaseTreeStore store(g, spf::SpfAlgorithm::kDijkstra);
+  const fail::FailureSet no_base(g);
+  std::vector<exp::RecoverableResults> plans(kPlans);
+  common::parallel_for(kPlans, cfg.threads, [&](std::size_t p) {
+    const std::uint64_t stream =
+        fault::FaultPlan::stream_seed(sopts.seed, p);
+    const storm::StormSpec sp = storm::make_storm_spec(sopts, stream);
+    const storm::StormTimeline tl =
+        storm::compile_timeline(sp, g, stream, &no_base);
+    storm::StormEngineOptions eopts;
+    eopts.budget_ops = sopts.budget_ops;
+    const storm::StormRunResult r =
+        storm::run_storm(g, store, tl, &no_base, sources, eopts);
+    exp::RecoverableResults& out = plans[p];
+    out.storm_ticks = r.storm_ticks;
+    out.storm_drain_ticks = r.drain_ticks;
+    out.storm_delta_links = tl.total_links_down() + tl.total_links_up();
+    out.storm_delta_nodes = tl.total_nodes_down();
+    out.storm_shadowed_flaps = tl.total_shadowed_flaps();
+    out.storm_repairs = r.total_repairs;
+    out.storm_fallbacks = r.total_fallbacks;
+    out.storm_repair_ops = r.total_repair_ops;
+    out.storm_budget_stalls = r.total_budget_stalls;
+    out.storm_unreachable_pairs = r.unreachable_pairs;
+    out.storm_dist_digest = r.dist_digest;
+  });
+  exp::RecoverableResults scale_total;
+  for (const exp::RecoverableResults& p : plans) {
+    scale_total.storm_ticks += p.storm_ticks;
+    scale_total.storm_drain_ticks += p.storm_drain_ticks;
+    scale_total.storm_delta_links += p.storm_delta_links;
+    scale_total.storm_delta_nodes += p.storm_delta_nodes;
+    scale_total.storm_shadowed_flaps += p.storm_shadowed_flaps;
+    scale_total.storm_repairs += p.storm_repairs;
+    scale_total.storm_fallbacks += p.storm_fallbacks;
+    scale_total.storm_repair_ops += p.storm_repair_ops;
+    scale_total.storm_budget_stalls += p.storm_budget_stalls;
+    scale_total.storm_unreachable_pairs += p.storm_unreachable_pairs;
+    scale_total.storm_dist_digest ^= p.storm_dist_digest;
+  }
+  add_run_rows(table, "scale_gen " + std::to_string(n), scale_total);
+
+  table.print(std::cout);
+  std::cout << "\nAll rows above are pure functions of the storm spec and "
+               "seed; unthrottled and budgeted passes converge to the same "
+               "digests.\n";
+  std::cerr << "(peak RSS " << obs::peak_rss_kb() << " KiB)\n";
+  return 0;
+}

@@ -43,6 +43,7 @@ BenchConfig BenchConfig::from_env() {
     c.metrics_deterministic = true;
   }
   c.fault = fault::FaultOptions::from_env();
+  c.storm = storm::StormOptions::from_env();
   return c;
 }
 
@@ -61,6 +62,7 @@ std::string BenchConfig::describe() const {
     os << threads;
   }
   if (fault.any()) os << " " << fault.describe();
+  if (storm.any()) os << " " << storm.describe();
   return os.str();
 }
 

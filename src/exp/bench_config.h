@@ -26,6 +26,12 @@
 //                    FLAP, RETRY_CAP, BACKOFF_MS, SEED.  All zero by
 //                    default, which leaves every bench byte-identical
 //                    to a build without the fault layer.
+//   RTR_STORM_*      rolling-disaster knobs (see storm/storm.h): TICKS,
+//                    TICK_MS, CELLS, RADIUS, GROWTH, SPEED, FLAP,
+//                    BUDGET, SEED.  TICKS=0 (the default) disarms the
+//                    layer entirely: no storm spec is compiled, no
+//                    rtr.storm.* series is registered, and bench output
+//                    stays byte-identical to a storm-free build.
 //
 // Every bench binary additionally accepts `--threads N` and
 // `--metrics-out FILE` on the command line (see bench/bench_common.h),
@@ -38,6 +44,7 @@
 #include "failure/failure_set.h"
 #include "fault/fault.h"
 #include "spf/batch_repair.h"
+#include "storm/storm.h"
 
 namespace rtr::exp {
 
@@ -57,6 +64,9 @@ struct BenchConfig {
   /// Fault-injection knobs (RTR_FAULT_* / --fault-*); disarmed by
   /// default, in which case no bench output changes at all.
   fault::FaultOptions fault;
+  /// Rolling-disaster knobs (RTR_STORM_* / --storm-*); disarmed by
+  /// default (ticks == 0), in which case no bench output changes.
+  storm::StormOptions storm;
 
   static BenchConfig from_env();
 

@@ -1,6 +1,8 @@
 #include "exp/runners.h"
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 
 #include "baselines/fcp.h"
 #include "baselines/mrc.h"
@@ -12,6 +14,8 @@
 #include "net/sim.h"
 #include "obs/metrics.h"
 #include "spf/spt_cache.h"
+#include "storm/engine.h"
+#include "storm/timeline.h"
 
 namespace rtr::exp {
 
@@ -96,6 +100,13 @@ struct RecoverablePartial {
   std::vector<double> rtr_calcs, fcp_calcs;
   std::vector<double> rtr_recovery_ms;
   std::vector<double> rtr_bytes_timeline, fcp_bytes_timeline;
+  std::size_t storm_ticks = 0, storm_drain_ticks = 0;
+  std::size_t storm_delta_links = 0, storm_delta_nodes = 0;
+  std::size_t storm_shadowed_flaps = 0;
+  std::size_t storm_repairs = 0, storm_fallbacks = 0;
+  std::size_t storm_repair_ops = 0, storm_budget_stalls = 0;
+  std::size_t storm_unreachable_pairs = 0;
+  std::uint64_t storm_dist_digest = 0;
 };
 
 RecoverablePartial run_scenario_recoverable(const TopologyContext& ctx,
@@ -259,6 +270,62 @@ RecoverablePartial run_scenario_recoverable_fault(
   return out;
 }
 
+/// Storm-mode work unit: the scenario's static failure is only the
+/// opening state of a rolling disaster.  A per-scenario StormSpec
+/// substream compiles into a timeline of per-tick deltas -- overlaid
+/// with this scenario's FaultPlan link deaths under area-wins
+/// precedence when the fault layer is armed too -- and the recoverable
+/// initiators' trees are re-planned tick by tick from the shared base
+/// trees under the repair budget.  Everything here is private to the
+/// unit, so the outcome is a pure function of (ctx, sc, opts,
+/// scenario_index) and thread-count invariant.
+RecoverablePartial run_scenario_recoverable_storm(
+    const TopologyContext& ctx, const Scenario& sc, const RunOptions& opts,
+    std::size_t scenario_index) {
+  RecoverablePartial out;
+  out.rtr_bytes_timeline.assign(opts.timeline_ms, 0.0);
+  out.fcp_bytes_timeline.assign(opts.timeline_ms, 0.0);
+
+  const std::uint64_t stream =
+      fault::FaultPlan::stream_seed(opts.storm.seed, scenario_index);
+  const storm::StormSpec spec = storm::make_storm_spec(opts.storm, stream);
+
+  std::unique_ptr<fault::FaultPlan> plan;
+  if (opts.fault.any()) {
+    plan = std::make_unique<fault::FaultPlan>(
+        opts.fault,
+        fault::FaultPlan::stream_seed(opts.fault.seed, scenario_index),
+        ctx.g, sc.failure);
+  }
+  const storm::StormTimeline tl = storm::compile_timeline(
+      spec, ctx.g, stream, &sc.failure, plan.get());
+
+  // Planning roots: the recoverable initiators, ascending and unique.
+  std::vector<NodeId> sources;
+  for (const TestCase& tc : sc.recoverable) sources.push_back(tc.initiator);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+
+  storm::StormEngineOptions eopts;
+  eopts.budget_ops = opts.storm.budget_ops;
+  eopts.repair = opts.batch_repair;
+  const storm::StormRunResult r =
+      storm::run_storm(ctx.g, ctx.spf_base, tl, &sc.failure, sources, eopts);
+
+  out.storm_ticks = r.storm_ticks;
+  out.storm_drain_ticks = r.drain_ticks;
+  out.storm_delta_links = tl.total_links_down() + tl.total_links_up();
+  out.storm_delta_nodes = tl.total_nodes_down();
+  out.storm_shadowed_flaps = tl.total_shadowed_flaps();
+  out.storm_repairs = r.total_repairs;
+  out.storm_fallbacks = r.total_fallbacks;
+  out.storm_repair_ops = r.total_repair_ops;
+  out.storm_budget_stalls = r.total_budget_stalls;
+  out.storm_unreachable_pairs = r.unreachable_pairs;
+  out.storm_dist_digest = r.dist_digest;
+  return out;
+}
+
 /// Per-scenario slice of IrrecoverableResults.
 struct IrrecoverablePartial {
   std::size_t cases = 0;
@@ -336,8 +403,9 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
   // independent of any failure, and only read (forward() is const)
   // by the work units.  Fault mode skips the baselines entirely.
   const bool faults = opts.fault.any();
+  const bool storms = opts.storm.any();
   std::unique_ptr<baseline::Mrc> mrc;
-  if (opts.run_mrc && !faults) {
+  if (opts.run_mrc && !faults && !storms) {
     mrc = std::make_unique<baseline::Mrc>(ctx.g, ctx.rt);
   }
 
@@ -347,9 +415,10 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
   common::parallel_for(scenarios.size(), opts.threads, [&](std::size_t i) {
     record_queue_wait(metrics, fan_out_start);
     partials[i] =
-        faults ? run_scenario_recoverable_fault(ctx, scenarios[i], opts, i)
-               : run_scenario_recoverable(ctx, scenarios[i], opts,
-                                          mrc.get());
+        storms ? run_scenario_recoverable_storm(ctx, scenarios[i], opts, i)
+        : faults
+            ? run_scenario_recoverable_fault(ctx, scenarios[i], opts, i)
+            : run_scenario_recoverable(ctx, scenarios[i], opts, mrc.get());
     metrics.scenarios.inc();
   });
 
@@ -369,6 +438,17 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
     out.rtr_dropped += p.rtr_dropped;
     out.rtr_retry_attempts += p.rtr_retry_attempts;
     out.rtr_reinitiations += p.rtr_reinitiations;
+    out.storm_ticks += p.storm_ticks;
+    out.storm_drain_ticks += p.storm_drain_ticks;
+    out.storm_delta_links += p.storm_delta_links;
+    out.storm_delta_nodes += p.storm_delta_nodes;
+    out.storm_shadowed_flaps += p.storm_shadowed_flaps;
+    out.storm_repairs += p.storm_repairs;
+    out.storm_fallbacks += p.storm_fallbacks;
+    out.storm_repair_ops += p.storm_repair_ops;
+    out.storm_budget_stalls += p.storm_budget_stalls;
+    out.storm_unreachable_pairs += p.storm_unreachable_pairs;
+    out.storm_dist_digest ^= p.storm_dist_digest;
     append(out.rtr_recovery_ms, p.rtr_recovery_ms);
     append(out.phase1_duration_ms, p.phase1_duration_ms);
     append(out.rtr_stretch, p.rtr_stretch);

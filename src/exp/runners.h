@@ -13,6 +13,7 @@
 #include "exp/context.h"
 #include "fault/fault.h"
 #include "net/delay.h"
+#include "storm/storm.h"
 
 namespace rtr::exp {
 
@@ -46,6 +47,18 @@ struct RunOptions {
   /// and MRC baselines are skipped.  Results stay bit-identical across
   /// `threads` values because each scenario owns its plan and stream.
   fault::FaultOptions fault;
+  /// Rolling-disaster knobs (rtr::storm).  When storm.any() is false --
+  /// the default -- nothing storm-related is constructed and results
+  /// are byte-identical to a build without the layer.  When armed,
+  /// run_recoverable switches to storm mode: each scenario compiles a
+  /// seeded StormSpec substream (stream seed = fault::FaultPlan::
+  /// stream_seed(storm.seed, scenario index)) into a timeline layered
+  /// on the scenario's static failure -- overlaid with a FaultPlan's
+  /// dynamic link deaths under area-wins precedence when fault is also
+  /// armed -- and re-plans the recoverable initiators' trees tick by
+  /// tick under the repair budget (storm/engine.h).  Per-case
+  /// RTR/FCP/MRC recovery is skipped, like fault mode skips baselines.
+  storm::StormOptions storm;
   /// Worker threads for the scenario fan-out: 0 = all hardware threads,
   /// 1 = plain serial loop on the calling thread.  Every Scenario is an
   /// independent work unit whose partial results are merged in
@@ -74,6 +87,19 @@ struct RecoverableResults {
   std::size_t rtr_reinitiations = 0;    ///< re-initiated phase-1 sweeps
   std::vector<double> rtr_recovery_ms;  ///< per recovered case, detection
                                         ///< through delivery (sim time)
+
+  // Storm-mode outcomes (all zero when RunOptions::storm is disarmed).
+  std::size_t storm_ticks = 0;          ///< storm ticks across scenarios
+  std::size_t storm_drain_ticks = 0;    ///< budget-backlog drain ticks
+  std::size_t storm_delta_links = 0;    ///< link transitions (down + up)
+  std::size_t storm_delta_nodes = 0;    ///< routers destroyed
+  std::size_t storm_shadowed_flaps = 0; ///< fault flaps under dead areas
+  std::size_t storm_repairs = 0;        ///< repair_spt calls
+  std::size_t storm_fallbacks = 0;      ///< full-recompute repairs
+  std::size_t storm_repair_ops = 0;     ///< touched-node units charged
+  std::size_t storm_budget_stalls = 0;  ///< source-ticks left stale
+  std::size_t storm_unreachable_pairs = 0;  ///< lasting partition damage
+  std::uint64_t storm_dist_digest = 0;  ///< XOR of final-tree digests
 
   std::vector<double> phase1_duration_ms;           ///< per case (Fig. 7)
   std::vector<double> rtr_stretch;                  ///< recovered cases (Fig. 8)

@@ -1,0 +1,199 @@
+#include "storm/engine.h"
+
+#include <cstring>
+
+#include "common/expect.h"
+#include "obs/metrics.h"
+
+namespace rtr::storm {
+
+namespace {
+
+/// Lazily registered rtr.storm.* series: a storms-off process never
+/// calls run_storm(), so it emits no storm series at all and its
+/// metrics JSON stays byte-identical to a build without this layer.
+struct StormMetrics {
+  obs::Counter& ticks;
+  obs::Counter& delta_links;
+  obs::Counter& delta_nodes;
+  obs::Counter& repairs;
+  obs::Counter& fallbacks;
+  obs::Counter& budget_stalls;
+  obs::Counter& shadowed_flaps;
+
+  static StormMetrics& get() {
+    obs::Registry& r = obs::Registry::global();
+    // lint:allow(mutable-static) — references into the sharded obs registry
+    static StormMetrics m{r.counter("rtr.storm.ticks"),
+                          r.counter("rtr.storm.delta_links"),
+                          r.counter("rtr.storm.delta_nodes"),
+                          r.counter("rtr.storm.repairs"),
+                          r.counter("rtr.storm.fallbacks"),
+                          r.counter("rtr.storm.budget_stalls"),
+                          r.counter("rtr.storm.shadowed_flaps")};
+    return m;
+  }
+};
+
+/// splitmix64 finalizer: the digest's per-value mixer.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t cost_bits(Cost c) {
+  std::uint64_t b = 0;
+  static_assert(sizeof(Cost) == sizeof(b));
+  std::memcpy(&b, &c, sizeof(b));
+  return b;
+}
+
+/// The canonical tree of a destroyed source: everything unreachable.
+/// Matches what dijkstra_from/bfs_from return for a masked root, so
+/// budgeted and unbudgeted runs agree without exercising repair_spt on
+/// a seed set that contains the root itself.
+std::shared_ptr<const spf::SptResult> dead_source_tree(
+    const graph::Graph& g, NodeId source) {
+  auto r = std::make_shared<spf::SptResult>();
+  r->source = source;
+  r->dist.assign(g.num_nodes(), kInfCost);
+  r->parent_link.assign(g.num_nodes(), kNoLink);
+  r->parent.assign(g.num_nodes(), kNoNode);
+  return r;
+}
+
+}  // namespace
+
+StormRunResult run_storm(const graph::Graph& g,
+                         const spf::BaseTreeStore& store,
+                         const StormTimeline& tl,
+                         const fail::FailureSet* base,
+                         const std::vector<NodeId>& sources,
+                         const StormEngineOptions& opts) {
+  for (std::size_t i = 0; i + 1 < sources.size(); ++i) {
+    RTR_EXPECT(sources[i] < sources[i + 1]);  // ascending, unique
+  }
+  StormMetrics& metrics = StormMetrics::get();
+
+  // Live failure masks, advanced in place by each tick's delta.  The
+  // storm only ever revives links it downed itself, so starting from
+  // the static scenario state is safe.
+  std::vector<char> node_mask =
+      base != nullptr ? base->node_mask() : std::vector<char>(g.num_nodes(), 0);
+  std::vector<char> link_mask =
+      base != nullptr ? base->link_mask() : std::vector<char>(g.num_links(), 0);
+  const graph::Masks masks{&node_mask, &link_mask};
+  std::size_t failed_links = 0;
+  for (char c : link_mask) failed_links += static_cast<std::size_t>(c != 0);
+
+  StormRunResult res;
+  res.storm_ticks = tl.ticks.size();
+  res.trees.assign(sources.size(), nullptr);
+  std::vector<char> stale(sources.size(), 1);  // base state not yet planned
+  std::size_t num_stale = sources.size();
+
+  const bool throttled = opts.budget_ops > 0;
+  std::int64_t credit = 0;  // carried surplus (> 0) or deficit (< 0)
+
+  // Funds and runs repairs for this tick, ascending source order, until
+  // the backlog clears or the credit runs out.
+  const auto process = [&](StormTickStats& ts) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (stale[i] == 0) continue;
+      if (throttled && credit <= 0) break;
+      std::shared_ptr<const spf::SptResult> tree;
+      std::size_t cost = 1;
+      if (node_mask[sources[i]] != 0) {
+        tree = dead_source_tree(g, sources[i]);
+      } else {
+        spf::BatchRepairStats st;
+        tree = spf::repair_spt(g, store.from(sources[i]), masks,
+                               store.algorithm(), opts.repair, &st);
+        cost = st.touched > 0 ? st.touched : 1;
+        if (st.path == spf::RepairPath::kFallback) ++ts.fallbacks;
+        if (st.path == spf::RepairPath::kShared) ++ts.shared;
+      }
+      res.trees[i] = std::move(tree);
+      stale[i] = 0;
+      --num_stale;
+      ++ts.repairs;
+      ts.repair_ops += cost;
+      if (throttled) credit -= static_cast<std::int64_t>(cost);
+    }
+    ts.budget_stalls = num_stale;
+  };
+
+  const auto account = [&](const StormTickStats& ts) {
+    metrics.ticks.inc();
+    metrics.delta_links.add(ts.links_down + ts.links_up);
+    metrics.delta_nodes.add(ts.nodes_down);
+    metrics.repairs.add(ts.repairs);
+    metrics.fallbacks.add(ts.fallbacks);
+    metrics.budget_stalls.add(ts.budget_stalls);
+    metrics.shadowed_flaps.add(ts.shadowed_flaps);
+    res.total_repairs += ts.repairs;
+    res.total_fallbacks += ts.fallbacks;
+    res.total_repair_ops += ts.repair_ops;
+    res.total_budget_stalls += ts.budget_stalls;
+  };
+
+  for (std::size_t t = 0; t < tl.ticks.size(); ++t) {
+    const TickDelta& d = tl.ticks[t];
+    StormTickStats ts;
+    ts.tick = t;
+    ts.links_down = d.links_down.size();
+    ts.links_up = d.links_up.size();
+    ts.nodes_down = d.nodes_down.size();
+    ts.shadowed_flaps = d.shadowed_flaps;
+    for (LinkId l : d.links_down) link_mask[l] = 1;
+    for (LinkId l : d.links_up) link_mask[l] = 0;
+    for (NodeId n : d.nodes_down) node_mask[n] = 1;
+    failed_links += ts.links_down;
+    RTR_EXPECT(failed_links >= ts.links_up);
+    failed_links -= ts.links_up;
+    ts.failed_links = failed_links;
+    if (!d.empty() && num_stale < sources.size()) {
+      // Any state change invalidates every planned tree.
+      for (std::size_t i = 0; i < sources.size(); ++i) stale[i] = 1;
+      num_stale = sources.size();
+    }
+    if (throttled) credit += static_cast<std::int64_t>(opts.budget_ops);
+    process(ts);
+    account(ts);
+    res.per_tick.push_back(ts);
+  }
+
+  // Drain: the storm is over, the masks are final; keep granting the
+  // per-tick budget until the backlog clears.  budget_ops >= 1 makes
+  // the credit strictly increase on stalled ticks, so this terminates.
+  while (num_stale > 0) {
+    StormTickStats ts;
+    ts.tick = tl.ticks.size() + res.drain_ticks;
+    ts.failed_links = failed_links;
+    if (throttled) credit += static_cast<std::int64_t>(opts.budget_ops);
+    process(ts);
+    account(ts);
+    res.per_tick.push_back(ts);
+    ++res.drain_ticks;
+  }
+
+  // Final-state accounting: lost pairs and the tree digest.  XOR of
+  // per-entry mixes is order-independent, so the digest is a pure
+  // function of the final trees alone.
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const spf::SptResult& tree = *res.trees[i];
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!tree.reachable(v)) {
+        if (node_mask[v] == 0 && v != sources[i]) ++res.unreachable_pairs;
+        continue;
+      }
+      res.dist_digest ^= mix64((static_cast<std::uint64_t>(sources[i]) << 32) ^
+                               v ^ mix64(cost_bits(tree.dist[v])) ^
+                               mix64(tree.parent[v]));
+    }
+  }
+  return res;
+}
+
+}  // namespace rtr::storm

@@ -1,0 +1,91 @@
+// Budgeted incremental re-planning over a storm timeline.
+//
+// StormEngine::run() walks a compiled StormTimeline tick by tick,
+// maintaining the cumulative failure masks and one repaired SPT per
+// planning source, always derived from the shared undamaged base trees
+// via spf::repair_spt -- never from scratch while the delta stays
+// under the fallback fraction (repair_spt's own guard).  Repair work
+// is metered in the SNS copy-machine style: each tick grants
+// budget_ops credits (touched-node units), unspent credit carries
+// over, overdraw carries as deficit, and sources whose repair the
+// budget cannot fund this tick stall (counted) and retry next tick.
+// After the storm passes, drain ticks keep granting credit until every
+// stale source is repaired, so the final trees are a pure function of
+// the final failure state -- throttling only changes WHEN each tree
+// converges, never what it converges to (the property tests pin this).
+//
+// Everything is deterministic: sources repair in ascending id order,
+// the timeline is pre-compiled, and no wall clock is read.  The
+// rtr.storm.* counters are registered lazily on first armed run, so a
+// storms-off process emits no storm series at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "failure/failure_set.h"
+#include "graph/graph.h"
+#include "spf/batch_repair.h"
+#include "spf/shortest_path.h"
+#include "storm/timeline.h"
+
+namespace rtr::storm {
+
+struct StormEngineOptions {
+  /// Touched-node repair credits granted per tick; 0 = unlimited.
+  std::size_t budget_ops = 0;
+  /// Forwarded to spf::repair_spt (fallback threshold).
+  spf::BatchRepairOptions repair;
+};
+
+/// Per-tick account of what the storm did and what repair it bought.
+struct StormTickStats {
+  std::size_t tick = 0;
+  std::size_t links_down = 0;
+  std::size_t links_up = 0;
+  std::size_t nodes_down = 0;
+  std::size_t shadowed_flaps = 0;
+  std::size_t failed_links = 0;  ///< cumulative dead links after the tick
+  std::size_t repairs = 0;       ///< repair_spt calls funded this tick
+  std::size_t fallbacks = 0;     ///< repairs that took the full-recompute path
+  std::size_t shared = 0;        ///< repairs satisfied by the shared base
+  std::size_t repair_ops = 0;    ///< touched-node units charged this tick
+  std::size_t budget_stalls = 0; ///< stale sources the budget left waiting
+};
+
+/// One engine run: the tick accounts plus converged final state.
+struct StormRunResult {
+  std::vector<StormTickStats> per_tick;  ///< storm ticks then drain ticks
+  std::size_t storm_ticks = 0;
+  std::size_t drain_ticks = 0;  ///< extra ticks needed to clear the backlog
+
+  std::size_t total_repairs = 0;
+  std::size_t total_fallbacks = 0;
+  std::size_t total_repair_ops = 0;
+  std::size_t total_budget_stalls = 0;
+
+  /// Final repaired tree per planning source (sources order).
+  std::vector<std::shared_ptr<const spf::SptResult>> trees;
+  /// (source, node) pairs with the node alive yet unreachable in the
+  /// final tree -- the storm's lasting partition damage.
+  std::size_t unreachable_pairs = 0;
+  /// Order-independent digest of every final tree's distances and
+  /// parents; byte-identical across thread counts and budgets.
+  std::uint64_t dist_digest = 0;
+};
+
+/// Runs the timeline.  `store` must be the base-tree store of the
+/// UNDAMAGED graph; `base` (may be null) is the scenario's static
+/// failure the timeline was compiled against; `sources` are the
+/// planning roots (ascending, unique).  Updates rtr.storm.* counters.
+StormRunResult run_storm(const graph::Graph& g,
+                         const spf::BaseTreeStore& store,
+                         const StormTimeline& tl,
+                         const fail::FailureSet* base,
+                         const std::vector<NodeId>& sources,
+                         const StormEngineOptions& opts = {});
+
+}  // namespace rtr::storm

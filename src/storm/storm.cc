@@ -1,0 +1,87 @@
+#include "storm/storm.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace rtr::storm {
+
+namespace {
+
+double env_f64(const char* name, double fallback) {
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace
+
+StormOptions StormOptions::from_env() {
+  StormOptions o;
+  o.ticks = static_cast<std::size_t>(env_u64("RTR_STORM_TICKS", o.ticks));
+  o.tick_ms = env_f64("RTR_STORM_TICK_MS", o.tick_ms);
+  o.cells = static_cast<std::size_t>(env_u64("RTR_STORM_CELLS", o.cells));
+  o.radius = env_f64("RTR_STORM_RADIUS", o.radius);
+  o.growth = env_f64("RTR_STORM_GROWTH", o.growth);
+  o.speed = env_f64("RTR_STORM_SPEED", o.speed);
+  o.flap_prob = env_f64("RTR_STORM_FLAP", o.flap_prob);
+  o.budget_ops =
+      static_cast<std::size_t>(env_u64("RTR_STORM_BUDGET", o.budget_ops));
+  o.seed = env_u64("RTR_STORM_SEED", o.seed);
+  return o;
+}
+
+std::string StormOptions::describe() const {
+  std::ostringstream os;
+  os << "storm[ticks=" << ticks << " tick-ms=" << tick_ms
+     << " cells=" << cells << " radius=" << radius << " growth=" << growth
+     << " speed=" << speed << " flap=" << flap_prob
+     << " budget=" << budget_ops << " seed=" << seed << "]";
+  return os.str();
+}
+
+StormSpec make_storm_spec(const StormOptions& opts,
+                          std::uint64_t stream_seed) {
+  RTR_EXPECT(opts.any());
+  RTR_EXPECT(opts.cells > 0);
+  RTR_EXPECT(opts.extent > 0.0);
+  RTR_EXPECT(opts.flap_prob >= 0.0 && opts.flap_prob <= 1.0);
+  Rng rng(stream_seed);
+  StormSpec spec;
+  spec.ticks = opts.ticks;
+  spec.tick_ms = opts.tick_ms;
+  spec.flap_prob = opts.flap_prob;
+  spec.cells.reserve(opts.cells);
+  // Fixed draw order per cell (x, y, heading, stagger) keeps the spec a
+  // pure function of (options, stream_seed) regardless of cell count
+  // changes elsewhere.
+  for (std::size_t c = 0; c < opts.cells; ++c) {
+    StormCell cell;
+    cell.origin.x = rng.uniform_real(0.0, opts.extent);
+    cell.origin.y = rng.uniform_real(0.0, opts.extent);
+    const double heading = rng.uniform_real(0.0, 2.0 * M_PI);
+    cell.velocity = {opts.speed * std::cos(heading),
+                     opts.speed * std::sin(heading)};
+    cell.radius0 = opts.radius;
+    cell.radius_growth = opts.growth;
+    cell.start_tick = c == 0 ? 0 : rng.index(opts.ticks / 2 + 1);
+    cell.end_tick = opts.ticks;
+    spec.cells.push_back(cell);
+  }
+  return spec;
+}
+
+}  // namespace rtr::storm

@@ -1,0 +1,127 @@
+// Rolling-disaster specifications (rtr::storm).
+//
+// The paper freezes one failure area per scenario; real large-scale
+// events (hurricanes, cascading grid outages) grow, move, flap and
+// overlap over time.  StormOptions describes such an event as a small
+// set of knobs read from RTR_STORM_* environment variables or the
+// benches' --storm-* flags; make_storm_spec() compiles them -- through
+// one seeded rtr::Rng substream per scenario -- into a concrete
+// StormSpec: a fixed roster of moving circular cells with linear
+// tracks, per-tick radius growth/decay and staggered lifetimes.  The
+// spec is a pure function of (options, stream seed): no wall clocks,
+// no global state, so every trajectory replays bit-exactly at any
+// thread count (timeline.h turns a spec into per-tick FailureSet
+// deltas; engine.h re-plans against them under a repair budget).
+//
+// With ticks == 0 (any() == false) the layer is inert: the exp runner
+// never constructs a spec and bench output stays byte-identical to a
+// storm-free build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace rtr::storm {
+
+struct StormOptions {
+  /// Number of simulated ticks the storm lasts; 0 disarms the layer.
+  std::size_t ticks = 0;  ///< RTR_STORM_TICKS / --storm-ticks
+
+  /// Simulated milliseconds per tick (aligns storm time with the
+  /// fault layer's link-death schedule).
+  double tick_ms = 10.0;  ///< RTR_STORM_TICK_MS / --storm-tick-ms
+
+  /// Concurrent storm cells (overlapping areas; cells after the first
+  /// start at staggered ticks).
+  std::size_t cells = 1;  ///< RTR_STORM_CELLS / --storm-cells
+
+  /// Initial cell radius, in embedding units.
+  double radius = 150.0;  ///< RTR_STORM_RADIUS / --storm-radius
+
+  /// Per-tick radius delta: > 0 grows, < 0 decays (a cell whose radius
+  /// reaches 0 is spent).
+  double growth = 0.0;  ///< RTR_STORM_GROWTH / --storm-growth
+
+  /// Track speed, in embedding units per tick.
+  double speed = 40.0;  ///< RTR_STORM_SPEED / --storm-speed
+
+  /// Probability that a link entering storm coverage flaps (alternates
+  /// dead/alive each tick) instead of staying down for the episode.
+  double flap_prob = 0.0;  ///< RTR_STORM_FLAP / --storm-flap
+
+  /// Repair budget in touched-node ops per tick; 0 = unlimited.
+  /// Unspent credit carries over; overdraw carries as deficit (the
+  /// SNS copy-machine throttle).
+  std::size_t budget_ops = 0;  ///< RTR_STORM_BUDGET / --storm-budget
+
+  /// Side of the square the cell origins are drawn from (matches
+  /// fail::ScenarioConfig::extent; benches override from topology
+  /// geometry -- no env knob).
+  double extent = 2000.0;
+
+  /// Base seed of the storm stream; each scenario forks its own
+  /// substream via fault::FaultPlan::stream_seed.  RTR_STORM_SEED.
+  std::uint64_t seed = 0x53544f52;  // "STOR"
+
+  /// True when the storm layer is armed -- the master switch the exp
+  /// runner tests before compiling any spec.
+  bool any() const { return ticks > 0; }
+
+  /// Reads the RTR_STORM_* environment (unset knobs keep defaults).
+  static StormOptions from_env();
+
+  /// One-line provenance fragment (appended to BenchConfig::describe()
+  /// when any() is true).
+  std::string describe() const;
+};
+
+/// One moving circular cell: a linear track with linear radius change
+/// and a bounded lifetime.  All fields are fixed at spec compilation.
+struct StormCell {
+  geom::Point origin;          ///< center at start_tick
+  geom::Point velocity;        ///< displacement per tick
+  double radius0 = 0.0;        ///< radius at start_tick
+  double radius_growth = 0.0;  ///< radius delta per tick
+  std::size_t start_tick = 0;  ///< first active tick (inclusive)
+  std::size_t end_tick = 0;    ///< first inactive tick (exclusive)
+
+  /// Center at tick t (only meaningful while active(t)).
+  geom::Point center(std::size_t t) const {
+    return origin + velocity * static_cast<double>(t - start_tick);
+  }
+
+  /// Radius at tick t; clamped at 0 so decaying cells die cleanly.
+  double radius(std::size_t t) const {
+    const double r =
+        radius0 + radius_growth * static_cast<double>(t - start_tick);
+    return r > 0.0 ? r : 0.0;
+  }
+
+  /// True when the cell covers any area at tick t.
+  bool active(std::size_t t) const {
+    return t >= start_tick && t < end_tick && radius(t) > 0.0;
+  }
+};
+
+/// A fully compiled storm: pure data, pure function of (options,
+/// stream seed).  timeline.h evaluates it against a topology.
+struct StormSpec {
+  std::size_t ticks = 0;
+  double tick_ms = 10.0;
+  double flap_prob = 0.0;
+  std::vector<StormCell> cells;
+};
+
+/// Compiles options into a concrete spec using one dedicated substream
+/// (callers derive stream_seed via fault::FaultPlan::stream_seed(
+/// opts.seed, scenario index)).  Cell origins are uniform in the
+/// extent square, headings uniform in [0, 2*pi); cells after the first
+/// start at staggered ticks in [0, ticks/2].  Requires opts.any().
+StormSpec make_storm_spec(const StormOptions& opts,
+                          std::uint64_t stream_seed);
+
+}  // namespace rtr::storm

@@ -1,0 +1,176 @@
+#include "storm/timeline.h"
+
+#include <sstream>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "geom/circle.h"
+
+namespace rtr::storm {
+
+namespace {
+
+/// True when any cell active at tick t covers point p.
+bool covers_node(const StormSpec& spec, std::size_t t, geom::Point p) {
+  for (const StormCell& c : spec.cells) {
+    if (!c.active(t)) continue;
+    if (geom::Circle{c.center(t), c.radius(t)}.contains(p)) return true;
+  }
+  return false;
+}
+
+/// True when any cell active at tick t cuts segment s (geometric rule).
+bool covers_link(const StormSpec& spec, std::size_t t,
+                 const geom::Segment& s) {
+  for (const StormCell& c : spec.cells) {
+    if (!c.active(t)) continue;
+    if (geom::Circle{c.center(t), c.radius(t)}.intersects(s)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t StormTimeline::total_links_down() const {
+  std::size_t n = 0;
+  for (const TickDelta& d : ticks) n += d.links_down.size();
+  return n;
+}
+
+std::size_t StormTimeline::total_links_up() const {
+  std::size_t n = 0;
+  for (const TickDelta& d : ticks) n += d.links_up.size();
+  return n;
+}
+
+std::size_t StormTimeline::total_nodes_down() const {
+  std::size_t n = 0;
+  for (const TickDelta& d : ticks) n += d.nodes_down.size();
+  return n;
+}
+
+std::size_t StormTimeline::total_shadowed_flaps() const {
+  std::size_t n = 0;
+  for (const TickDelta& d : ticks) n += d.shadowed_flaps;
+  return n;
+}
+
+StormTimeline compile_timeline(const StormSpec& spec, const graph::Graph& g,
+                               std::uint64_t stream_seed,
+                               const fail::FailureSet* base,
+                               const fault::FaultPlan* plan) {
+  RTR_EXPECT(spec.tick_ms > 0.0);
+  Rng rng(stream_seed);
+  StormTimeline tl;
+  tl.tick_ms = spec.tick_ms;
+  tl.ticks.resize(spec.ticks);
+
+  const auto base_node_dead = [&](NodeId n) {
+    return base != nullptr && base->node_failed(n);
+  };
+  const auto base_link_dead = [&](LinkId l) {
+    return base != nullptr && base->link_failed(l);
+  };
+
+  std::vector<char> node_dead(g.num_nodes(), 0);
+  std::vector<char> prev_effective(g.num_links(), 0);
+  std::vector<char> prev_fault_dead(g.num_links(), 0);
+  std::vector<char> was_covered(g.num_links(), 0);
+  std::vector<char> flapper(g.num_links(), 0);
+  std::vector<std::size_t> episode_start(g.num_links(), 0);
+
+  for (std::size_t t = 0; t < spec.ticks; ++t) {
+    TickDelta& delta = tl.ticks[t];
+    const double t_ms = static_cast<double>(t) * spec.tick_ms;
+
+    // Nodes first: a router destroyed this tick already counts as a
+    // dead endpoint for this tick's link pass.  Destruction is
+    // permanent (no node revival).
+    for (NodeId n = 0; n < g.node_count(); ++n) {
+      if (node_dead[n] || base_node_dead(n)) continue;
+      if (covers_node(spec, t, g.position(n))) {
+        node_dead[n] = 1;
+        delta.nodes_down.push_back(n);
+      }
+    }
+
+    // Links in id order: the per-episode flap draws consume the Rng in
+    // this fixed order, so the timeline is a pure function of
+    // (spec, stream_seed, g, base) -- the fault plan never shifts it.
+    for (LinkId l = 0; l < g.link_count(); ++l) {
+      if (base_link_dead(l)) continue;
+      const graph::Link& lk = g.link(l);
+      const bool endpoint_dead =
+          node_dead[lk.u] != 0 || node_dead[lk.v] != 0;
+      const bool covered = covers_link(spec, t, g.segment(l));
+      if (covered && !was_covered[l]) {
+        episode_start[l] = t;
+        flapper[l] = static_cast<char>(!endpoint_dead && spec.flap_prob > 0.0
+                                           ? rng.bernoulli(spec.flap_prob)
+                                           : false);
+      }
+      was_covered[l] = static_cast<char>(covered);
+
+      // Flapping links alternate dead (even episode tick) / alive (odd).
+      const bool flap_alive =
+          flapper[l] != 0 && ((t - episode_start[l]) % 2 == 1);
+      const bool storm_dead = endpoint_dead || (covered && !flap_alive);
+
+      // Fault-layer overlay, area-wins precedence: on a storm-dead
+      // link any fault-plan transition is a shadowed no-op.
+      const bool fault_dead = plan != nullptr && plan->link_down_at(l, t_ms);
+      if (storm_dead && fault_dead != (prev_fault_dead[l] != 0)) {
+        ++delta.shadowed_flaps;
+      }
+      prev_fault_dead[l] = static_cast<char>(fault_dead);
+
+      const bool effective = storm_dead || fault_dead;
+      if (effective && prev_effective[l] == 0) {
+        delta.links_down.push_back(l);
+      } else if (!effective && prev_effective[l] != 0) {
+        delta.links_up.push_back(l);
+      }
+      prev_effective[l] = static_cast<char>(effective);
+    }
+  }
+  return tl;
+}
+
+fail::FailureSet cumulative_failure(const StormTimeline& tl,
+                                    const graph::Graph& g,
+                                    const fail::FailureSet* base,
+                                    std::size_t t_end) {
+  RTR_EXPECT(t_end <= tl.ticks.size());
+  std::vector<char> link_dead(g.num_links(), 0);
+  std::vector<char> node_dead(g.num_nodes(), 0);
+  for (std::size_t t = 0; t < t_end; ++t) {
+    const TickDelta& d = tl.ticks[t];
+    for (LinkId l : d.links_down) link_dead[l] = 1;
+    for (LinkId l : d.links_up) link_dead[l] = 0;
+    for (NodeId n : d.nodes_down) node_dead[n] = 1;
+  }
+  fail::FailureSet fs = base != nullptr ? *base : fail::FailureSet(g);
+  // Nodes before links: add_node also fails incident links, all of
+  // which the replay already holds dead (endpoint death forces the
+  // storm link state), so the order cannot resurrect anything.
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    if (node_dead[n] != 0) fs.add_node(g, n);
+  }
+  for (LinkId l = 0; l < g.link_count(); ++l) {
+    if (link_dead[l] != 0) fs.add_link(l);
+  }
+  return fs;
+}
+
+std::string format_timeline(const StormTimeline& tl) {
+  std::ostringstream os;
+  for (std::size_t t = 0; t < tl.ticks.size(); ++t) {
+    const TickDelta& d = tl.ticks[t];
+    os << "t=" << t << " down=" << d.links_down.size()
+       << " up=" << d.links_up.size() << " nodes=" << d.nodes_down.size()
+       << " shadowed=" << d.shadowed_flaps << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rtr::storm

@@ -1,0 +1,91 @@
+// Storm timelines: per-tick FailureSet deltas of a compiled StormSpec.
+//
+// compile_timeline() evaluates a StormSpec against one topology and an
+// optional base (static) failure set, producing the exact sequence of
+// link/node state transitions per tick.  The evaluation order is fixed
+// (ticks ascending, ids ascending within a tick) and every stochastic
+// choice -- the per-episode flap draw -- comes from the spec's own
+// seeded Rng, so a timeline is a pure function of (spec, stream seed,
+// topology, base failure): byte-identical at any thread count.
+//
+// Semantics (DESIGN.md section 11):
+//   * a node dies the first tick it sits inside an active cell and
+//     stays dead (router destruction is permanent);
+//   * a link is storm-covered when any active cell's circle intersects
+//     its segment (the geometric cut rule of Section II-A);
+//   * on each false->true coverage transition a link draws once
+//     whether this episode flaps; a flapping link alternates
+//     dead/alive per tick inside the episode, a non-flapping one
+//     stays dead until coverage ends;
+//   * a link with a dead endpoint is dead regardless of coverage;
+//   * fault-plan overlay (precedence fix): storm area state wins.  A
+//     FaultPlan link-death or flap revival landing on a link whose
+//     storm state is already dead is a no-op counted in
+//     shadowed_flaps; on storm-alive links the plan's state applies.
+//
+// Base-failed links and nodes never appear in a delta: the storm only
+// moves state the scenario's static failure left alive.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "failure/failure_set.h"
+#include "fault/plan.h"
+#include "graph/graph.h"
+#include "storm/storm.h"
+
+namespace rtr::storm {
+
+/// State transitions of one tick, ids ascending.
+struct TickDelta {
+  std::vector<LinkId> links_down;  ///< alive -> dead this tick
+  std::vector<LinkId> links_up;    ///< dead -> alive (flap revivals)
+  std::vector<NodeId> nodes_down;  ///< destroyed this tick (permanent)
+  /// Fault-plan transitions shadowed by storm-dead area state.
+  std::size_t shadowed_flaps = 0;
+
+  bool empty() const {
+    return links_down.empty() && links_up.empty() && nodes_down.empty();
+  }
+};
+
+/// The compiled per-tick delta stream of one scenario's storm.
+struct StormTimeline {
+  double tick_ms = 10.0;
+  std::vector<TickDelta> ticks;
+
+  std::size_t total_links_down() const;
+  std::size_t total_links_up() const;
+  std::size_t total_nodes_down() const;
+  std::size_t total_shadowed_flaps() const;
+};
+
+/// Evaluates `spec` against `g`.  `base` (may be null) is the
+/// scenario's static failure set: its dead links/nodes are excluded
+/// from storm state entirely.  `plan` (may be null) overlays the
+/// packet-level fault layer's dynamic link deaths/flaps at each tick's
+/// simulated time (t * tick_ms) under area-wins precedence.
+/// `stream_seed` seeds the flap draws (same substream convention as
+/// make_storm_spec; pass the same seed for one scenario).
+StormTimeline compile_timeline(const StormSpec& spec, const graph::Graph& g,
+                               std::uint64_t stream_seed,
+                               const fail::FailureSet* base = nullptr,
+                               const fault::FaultPlan* plan = nullptr);
+
+/// Cumulative failure state after ticks [0, t] replayed over `base`
+/// (base alone when t_end == 0; the full storm when t_end ==
+/// ticks.size()).  The from-scratch oracle of the incremental-repair
+/// property tests.
+fail::FailureSet cumulative_failure(const StormTimeline& tl,
+                                    const graph::Graph& g,
+                                    const fail::FailureSet* base,
+                                    std::size_t t_end);
+
+/// One line per tick -- "t=<i> down=<a> up=<b> nodes=<c> shadowed=<d>"
+/// -- for golden files and cross-thread byte comparison.
+std::string format_timeline(const StormTimeline& tl);
+
+}  // namespace rtr::storm

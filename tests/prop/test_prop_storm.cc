@@ -1,0 +1,146 @@
+// Differential properties of the storm layer, driven by the seeded
+// corpus: (a) the tick-by-tick incremental re-plan is bit-identical to
+// a from-scratch recompute of each tick's cumulative FailureSet, (b) a
+// trajectory is a pure function of (spec, seed) -- byte-identical no
+// matter how many workers compile it concurrently -- and (c) the
+// budget throttle converges to the same final trees as the unthrottled
+// run, only later.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "differential.h"
+#include "fault/plan.h"
+#include "gen.h"
+#include "spf/batch_repair.h"
+#include "spf/shortest_path.h"
+#include "storm/engine.h"
+#include "storm/timeline.h"
+
+namespace rtr {
+namespace {
+
+using prop::PropCase;
+
+/// Per-seed storm profile: small enough for a 4-32 node case, varied
+/// enough (growth sign, cell count, flap rate) to hit every semantic
+/// branch across the corpus.
+storm::StormOptions case_storm_options(std::uint64_t seed) {
+  Rng rng(seed ^ 0x53544f524dULL);  // "STORM"
+  storm::StormOptions o;
+  o.ticks = 6 + rng.index(9);
+  o.cells = 1 + rng.index(3);
+  o.radius = rng.uniform_real(80.0, 320.0);
+  o.growth = rng.uniform_real(-15.0, 25.0);
+  o.speed = rng.uniform_real(20.0, 120.0);
+  o.flap_prob = 0.5;
+  o.extent = 1000.0;  // the prop topologies embed in [0, 1000)^2
+  o.seed = seed;
+  return o;
+}
+
+/// The scenario's static failure set, from the case's fail lists.
+fail::FailureSet case_failure(const PropCase& c) {
+  fail::FailureSet fs = fail::FailureSet::of_links(c.g, c.fail_links);
+  for (NodeId n : c.fail_nodes) fs.add_node(c.g, n);
+  return fs;
+}
+
+storm::StormTimeline case_timeline(const PropCase& c,
+                                   const storm::StormOptions& o,
+                                   const fail::FailureSet& base) {
+  const std::uint64_t stream = fault::FaultPlan::stream_seed(o.seed, 0);
+  const storm::StormSpec spec = storm::make_storm_spec(o, stream);
+  return storm::compile_timeline(spec, c.g, stream, &base);
+}
+
+// Satellite (a): after every tick, batch-repairing the cumulative
+// failure state from the canonical base tree is bit-identical --
+// distances, parents, parent links -- to a from-scratch Dijkstra of
+// that state, including ticks that destroy the source itself.
+TEST(PropStorm, IncrementalReplanMatchesScratchPerTick) {
+  for (std::uint64_t seed : prop::all_seeds()) {
+    const PropCase c = prop::make_case(seed);
+    const storm::StormOptions o = case_storm_options(seed);
+    const fail::FailureSet base = case_failure(c);
+    const storm::StormTimeline tl = case_timeline(c, o, base);
+    const spf::BaseTreeStore store(c.g, spf::SpfAlgorithm::kDijkstra);
+    for (std::size_t t = 0; t <= tl.ticks.size(); ++t) {
+      const fail::FailureSet fs =
+          storm::cumulative_failure(tl, c.g, &base, t);
+      const auto repaired = spf::repair_spt(
+          c.g, store.from(c.source), fs.masks(), spf::SpfAlgorithm::kDijkstra);
+      const spf::SptResult full =
+          spf::dijkstra_from(c.g, c.source, fs.masks());
+      ASSERT_EQ(prop::diff_trees(full, *repaired), "")
+          << "seed " << seed << " tick " << t;
+    }
+  }
+}
+
+// Satellite (b): the compiled timeline is a pure function of
+// (spec, seed).  Compiling the whole corpus serially and under 2- and
+// 8-worker fan-outs yields byte-identical per-seed timelines -- the
+// storm layer has no hidden shared state for scheduling to perturb.
+TEST(PropStorm, TrajectoryPureFunctionOfSpecAndSeed) {
+  const std::vector<std::uint64_t> seeds = prop::all_seeds();
+  const auto compile_all = [&seeds](std::size_t threads) {
+    std::vector<std::string> out(seeds.size());
+    common::parallel_for(seeds.size(), threads, [&](std::size_t i) {
+      const PropCase c = prop::make_case(seeds[i]);
+      const storm::StormOptions o = case_storm_options(seeds[i]);
+      const fail::FailureSet base = case_failure(c);
+      out[i] = storm::format_timeline(case_timeline(c, o, base));
+    });
+    return out;
+  };
+  const std::vector<std::string> serial = compile_all(1);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_FALSE(serial[i].empty()) << "seed " << seeds[i];
+  }
+  EXPECT_EQ(serial, compile_all(2));
+  EXPECT_EQ(serial, compile_all(8));
+}
+
+// Satellite (c): throttling repair to a trickle converges to exactly
+// the unthrottled final trees -- the budget moves WHEN repairs run
+// (drain ticks, stalls), never what they converge to.
+TEST(PropStorm, BudgetThrottledRepairConvergesToUnthrottledTrees) {
+  std::size_t stalled_seeds = 0;
+  for (std::uint64_t seed : prop::all_seeds()) {
+    const PropCase c = prop::make_case(seed);
+    const storm::StormOptions o = case_storm_options(seed);
+    const fail::FailureSet base = case_failure(c);
+    const storm::StormTimeline tl = case_timeline(c, o, base);
+    const spf::BaseTreeStore store(c.g, spf::SpfAlgorithm::kDijkstra);
+    std::vector<NodeId> sources;
+    for (NodeId s = 0; s < c.g.node_count(); s += 3) sources.push_back(s);
+
+    storm::StormEngineOptions unthrottled;
+    const storm::StormRunResult full =
+        storm::run_storm(c.g, store, tl, &base, sources, unthrottled);
+    EXPECT_EQ(full.drain_ticks, 0u) << "seed " << seed;
+
+    storm::StormEngineOptions tight;
+    tight.budget_ops = 1 + (seed % 5);  // a trickle: forces carry + stalls
+    const storm::StormRunResult slow =
+        storm::run_storm(c.g, store, tl, &base, sources, tight);
+    if (slow.total_budget_stalls > 0) ++stalled_seeds;
+    ASSERT_EQ(full.trees.size(), slow.trees.size());
+    for (std::size_t i = 0; i < full.trees.size(); ++i) {
+      ASSERT_EQ(prop::diff_trees(*full.trees[i], *slow.trees[i]), "")
+          << "seed " << seed << " source " << sources[i];
+    }
+    EXPECT_EQ(full.dist_digest, slow.dist_digest) << "seed " << seed;
+    EXPECT_EQ(full.unreachable_pairs, slow.unreachable_pairs)
+        << "seed " << seed;
+  }
+  // The trickle budget must actually bite somewhere in the corpus,
+  // otherwise this test exercises nothing.
+  EXPECT_GT(stalled_seeds, prop::corpus_seeds().size() / 2);
+}
+
+}  // namespace
+}  // namespace rtr

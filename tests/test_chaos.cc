@@ -17,11 +17,16 @@
 #include <cstdint>
 #include <vector>
 
+#include <algorithm>
+
 #include "exp/cases.h"
 #include "exp/context.h"
 #include "exp/runners.h"
 #include "fault/fault.h"
+#include "fault/plan.h"
 #include "obs/metrics.h"
+#include "storm/engine.h"
+#include "storm/timeline.h"
 
 namespace rtr::exp {
 namespace {
@@ -135,6 +140,165 @@ TEST(ChaosSoak, BitIdenticalAcrossThreadCountsForEverySeed) {
     }
   }
   EXPECT_GE(plans, 200u);
+}
+
+/// A rolling-disaster profile on top of the packet-level chaos: every
+/// storm knob armed (overlap, growth, flaps, budget) so the soak
+/// exercises the full delta grammar, with the FaultPlan overlay active
+/// for the shadowed-flap precedence path.
+storm::StormOptions chaos_storm_options(std::uint64_t seed) {
+  storm::StormOptions o;
+  o.ticks = 12;
+  o.cells = 2;
+  o.radius = 200.0;
+  o.growth = 15.0;
+  o.speed = 60.0;
+  o.flap_prob = 0.4;
+  // Tight enough that a tick marking every planning source stale
+  // cannot fund them all at once -- the soak must see real stalls.
+  o.budget_ops = 8;
+  o.seed = seed;
+  return o;
+}
+
+RunOptions chaos_storm_run(std::uint64_t seed, std::size_t threads) {
+  RunOptions opts = chaos_run(seed, threads);
+  opts.storm = chaos_storm_options(seed);
+  return opts;
+}
+
+void expect_identical_storm(const RecoverableResults& a,
+                            const RecoverableResults& b) {
+  EXPECT_EQ(a.storm_ticks, b.storm_ticks);
+  EXPECT_EQ(a.storm_drain_ticks, b.storm_drain_ticks);
+  EXPECT_EQ(a.storm_delta_links, b.storm_delta_links);
+  EXPECT_EQ(a.storm_delta_nodes, b.storm_delta_nodes);
+  EXPECT_EQ(a.storm_shadowed_flaps, b.storm_shadowed_flaps);
+  EXPECT_EQ(a.storm_repairs, b.storm_repairs);
+  EXPECT_EQ(a.storm_fallbacks, b.storm_fallbacks);
+  EXPECT_EQ(a.storm_repair_ops, b.storm_repair_ops);
+  EXPECT_EQ(a.storm_budget_stalls, b.storm_budget_stalls);
+  EXPECT_EQ(a.storm_unreachable_pairs, b.storm_unreachable_pairs);
+  EXPECT_EQ(a.storm_dist_digest, b.storm_dist_digest);
+}
+
+// Storm mode through the full exp pipeline: every scenario compiles its
+// own storm substream plus a FaultPlan overlay, and the merged
+// aggregates -- including the order-independent tree digest -- are
+// bit-identical at 1, 2 and 8 worker threads.
+TEST(ChaosSoak, StormTrajectoriesBitIdenticalAcrossThreadCounts) {
+  const ChaosWorld& w = world();
+  // One storm plan per scenario per run; push past 50 distinct plans
+  // regardless of how the case budget packed into scenarios.
+  const std::size_t per_run = w.scenarios.size();
+  std::size_t seeds = (50 + per_run - 1) / per_run;
+  if (seeds < 5) seeds = 5;
+  std::size_t plans = 0;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    const std::uint64_t base = 0x5EED5701 + 7919 * s;
+    const RecoverableResults serial =
+        run_recoverable(w.ctx, w.scenarios, chaos_storm_run(base, 1));
+    EXPECT_GT(serial.storm_ticks, 0u);
+    EXPECT_GT(serial.storm_delta_links, 0u);
+    EXPECT_GT(serial.storm_repairs, 0u);
+    plans += per_run;
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      const RecoverableResults parallel =
+          run_recoverable(w.ctx, w.scenarios, chaos_storm_run(base, threads));
+      expect_identical_storm(serial, parallel);
+    }
+  }
+  EXPECT_GE(plans, 50u);
+}
+
+// The per-tick ledger of >= 50 storm plans (seed x scenario), each with
+// the packet-level fault overlay armed, balances exactly: cumulative
+// failed links evolve by the tick's deltas from the scenario's static
+// base, every total matches its per-tick sum, node deaths never repeat,
+// and the engine's tick account covers the storm plus its drain tail.
+TEST(ChaosSoak, StormPerTickLedgerBalances) {
+  const ChaosWorld& w = world();
+  std::size_t seeds = (50 + w.scenarios.size() - 1) / w.scenarios.size();
+  if (seeds < 5) seeds = 5;
+  std::size_t plans = 0, stalls = 0, shadowed = 0;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    const std::uint64_t base = 0x5EED5702 + 104729 * s;
+    const storm::StormOptions so = chaos_storm_options(base);
+    const fault::FaultOptions fo = chaos_options(base);
+    for (std::size_t i = 0; i < w.scenarios.size(); ++i) {
+      const Scenario& sc = w.scenarios[i];
+      const std::uint64_t stream = fault::FaultPlan::stream_seed(so.seed, i);
+      const fault::FaultPlan plan(
+          fo, fault::FaultPlan::stream_seed(fo.seed, i), w.ctx.g, sc.failure);
+      const storm::StormTimeline tl = storm::compile_timeline(
+          storm::make_storm_spec(so, stream), w.ctx.g, stream, &sc.failure,
+          &plan);
+      std::vector<NodeId> sources;
+      for (const TestCase& tc : sc.recoverable) sources.push_back(tc.initiator);
+      std::sort(sources.begin(), sources.end());
+      sources.erase(std::unique(sources.begin(), sources.end()),
+                    sources.end());
+      storm::StormEngineOptions eopts;
+      eopts.budget_ops = so.budget_ops;
+      const storm::StormRunResult r =
+          storm::run_storm(w.ctx.g, w.ctx.spf_base, tl, &sc.failure, sources,
+                           eopts);
+      ++plans;
+
+      ASSERT_EQ(r.storm_ticks, tl.ticks.size());
+      ASSERT_EQ(r.per_tick.size(), r.storm_ticks + r.drain_ticks);
+      std::size_t failed = sc.failure.num_failed_links();
+      std::size_t repairs = 0, fallbacks = 0, ops = 0;
+      std::vector<char> node_dead(w.ctx.g.num_nodes(), 0);
+      for (std::size_t t = 0; t < r.per_tick.size(); ++t) {
+        const storm::StormTickStats& ts = r.per_tick[t];
+        EXPECT_EQ(ts.tick, t);
+        if (t >= r.storm_ticks) {
+          // Drain ticks only fund repairs; the storm itself is over.
+          EXPECT_EQ(ts.links_down + ts.links_up + ts.nodes_down, 0u);
+        } else {
+          const storm::TickDelta& d = tl.ticks[t];
+          EXPECT_EQ(ts.links_down, d.links_down.size());
+          EXPECT_EQ(ts.links_up, d.links_up.size());
+          EXPECT_EQ(ts.nodes_down, d.nodes_down.size());
+          EXPECT_EQ(ts.shadowed_flaps, d.shadowed_flaps);
+          for (NodeId n : d.nodes_down) {
+            EXPECT_EQ(node_dead[n], 0) << "node " << n << " died twice";
+            EXPECT_FALSE(sc.failure.node_failed(n));
+            node_dead[n] = 1;
+          }
+          shadowed += d.shadowed_flaps;
+        }
+        ASSERT_GE(failed + ts.links_down, ts.links_up);
+        failed += ts.links_down;
+        failed -= ts.links_up;
+        EXPECT_EQ(ts.failed_links, failed)
+            << "seed " << base << " scenario " << i << " tick " << t;
+        repairs += ts.repairs;
+        fallbacks += ts.fallbacks;
+        ops += ts.repair_ops;
+        stalls += ts.budget_stalls;
+      }
+      EXPECT_EQ(repairs, r.total_repairs);
+      EXPECT_EQ(fallbacks, r.total_fallbacks);
+      EXPECT_EQ(ops, r.total_repair_ops);
+      EXPECT_EQ(tl.total_links_down() + tl.total_links_up() +
+                    tl.total_nodes_down(),
+                [&tl] {
+                  std::size_t n = 0;
+                  for (const storm::TickDelta& d : tl.ticks) {
+                    n += d.links_down.size() + d.links_up.size() +
+                         d.nodes_down.size();
+                  }
+                  return n;
+                }());
+    }
+  }
+  EXPECT_GE(plans, 50u);
+  // The soak must actually exercise the throttle and the precedence
+  // path, not just quiet trajectories.
+  EXPECT_GT(stalls, 0u);
+  EXPECT_GT(shadowed, 0u);
 }
 
 TEST(ChaosSoak, CountersConserveEverythingInjected) {

@@ -1,0 +1,308 @@
+// The rolling-disaster layer (rtr::storm): spec compilation purity,
+// timeline semantics (monotone node deaths, flap episodes, link
+// conservation), fault-overlay precedence (area state wins; shadowed
+// flaps), the budgeted repair engine, and the seed-pinned golden
+// trajectory that makes generation drift fail loudly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "graph/graph.h"
+#include "spf/batch_repair.h"
+#include "storm/engine.h"
+#include "storm/storm.h"
+#include "storm/timeline.h"
+
+namespace rtr::storm {
+namespace {
+
+/// An 8x8 grid with spacing 100 (extent 700): hand-built here so the
+/// golden trajectory below depends on no generator elsewhere.
+graph::Graph grid_graph(NodeId side = 8, double spacing = 100.0) {
+  graph::GraphBuilder b;
+  for (NodeId y = 0; y < side; ++y) {
+    for (NodeId x = 0; x < side; ++x) {
+      b.add_node({static_cast<double>(x) * spacing,
+                  static_cast<double>(y) * spacing});
+    }
+  }
+  for (NodeId y = 0; y < side; ++y) {
+    for (NodeId x = 0; x < side; ++x) {
+      const NodeId n = y * side + x;
+      if (x + 1 < side) b.add_link(n, n + 1);
+      if (y + 1 < side) b.add_link(n, n + side);
+    }
+  }
+  return b.build();
+}
+
+StormOptions golden_options() {
+  StormOptions o;
+  o.ticks = 20;
+  o.cells = 2;
+  o.radius = 150.0;
+  o.growth = 10.0;
+  o.speed = 50.0;
+  o.flap_prob = 0.3;
+  o.extent = 700.0;
+  // Pinned so the profile exercises every branch: link cuts, at least
+  // one flap revival, and node destruction.
+  o.seed = 0x474f4c40;
+  return o;
+}
+
+TEST(StormOptions, AnyIsTheMasterSwitch) {
+  StormOptions o;
+  EXPECT_FALSE(o.any());
+  o.flap_prob = 0.9;
+  o.budget_ops = 100;
+  EXPECT_FALSE(o.any());  // only ticks arms the layer
+  o.ticks = 1;
+  EXPECT_TRUE(o.any());
+}
+
+TEST(StormOptions, FromEnvReadsEveryKnob) {
+  setenv("RTR_STORM_TICKS", "25", 1);
+  setenv("RTR_STORM_TICK_MS", "5.5", 1);
+  setenv("RTR_STORM_CELLS", "3", 1);
+  setenv("RTR_STORM_RADIUS", "210", 1);
+  setenv("RTR_STORM_GROWTH", "-2.5", 1);
+  setenv("RTR_STORM_SPEED", "64", 1);
+  setenv("RTR_STORM_FLAP", "0.375", 1);
+  setenv("RTR_STORM_BUDGET", "4096", 1);
+  setenv("RTR_STORM_SEED", "777", 1);
+  const StormOptions o = StormOptions::from_env();
+  unsetenv("RTR_STORM_TICKS");
+  unsetenv("RTR_STORM_TICK_MS");
+  unsetenv("RTR_STORM_CELLS");
+  unsetenv("RTR_STORM_RADIUS");
+  unsetenv("RTR_STORM_GROWTH");
+  unsetenv("RTR_STORM_SPEED");
+  unsetenv("RTR_STORM_FLAP");
+  unsetenv("RTR_STORM_BUDGET");
+  unsetenv("RTR_STORM_SEED");
+  EXPECT_EQ(o.ticks, 25u);
+  EXPECT_EQ(o.tick_ms, 5.5);
+  EXPECT_EQ(o.cells, 3u);
+  EXPECT_EQ(o.radius, 210.0);
+  EXPECT_EQ(o.growth, -2.5);
+  EXPECT_EQ(o.speed, 64.0);
+  EXPECT_EQ(o.flap_prob, 0.375);
+  EXPECT_EQ(o.budget_ops, 4096u);
+  EXPECT_EQ(o.seed, 777u);
+  EXPECT_TRUE(o.any());
+}
+
+TEST(StormSpec, PureFunctionOfOptionsAndSeed) {
+  const StormOptions o = golden_options();
+  const StormSpec a = make_storm_spec(o, 42);
+  const StormSpec b = make_storm_spec(o, 42);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].origin, b.cells[i].origin);
+    EXPECT_EQ(a.cells[i].velocity, b.cells[i].velocity);
+    EXPECT_EQ(a.cells[i].start_tick, b.cells[i].start_tick);
+  }
+  const StormSpec c = make_storm_spec(o, 43);
+  EXPECT_NE(a.cells[0].origin, c.cells[0].origin);
+}
+
+TEST(StormCell, KinematicsAndDecayClamp) {
+  StormCell cell;
+  cell.origin = {100.0, 200.0};
+  cell.velocity = {10.0, -5.0};
+  cell.radius0 = 30.0;
+  cell.radius_growth = -8.0;
+  cell.start_tick = 2;
+  cell.end_tick = 100;
+  EXPECT_FALSE(cell.active(1));  // not yet started
+  EXPECT_TRUE(cell.active(2));
+  EXPECT_EQ(cell.center(4).x, 120.0);
+  EXPECT_EQ(cell.center(4).y, 190.0);
+  EXPECT_EQ(cell.radius(5), 6.0);
+  EXPECT_EQ(cell.radius(6), 0.0);   // clamped, never negative
+  EXPECT_FALSE(cell.active(6));     // a decayed cell is spent
+  EXPECT_FALSE(cell.active(100));   // end_tick is exclusive
+}
+
+TEST(StormTimeline, NodeDeathsMonotoneAndLinksConserved) {
+  const graph::Graph g = grid_graph();
+  const StormOptions o = golden_options();
+  const std::uint64_t stream = fault::FaultPlan::stream_seed(o.seed, 0);
+  const StormTimeline tl =
+      compile_timeline(make_storm_spec(o, stream), g, stream);
+  ASSERT_EQ(tl.ticks.size(), o.ticks);
+
+  std::vector<char> node_dead(g.num_nodes(), 0);
+  std::vector<char> link_dead(g.num_links(), 0);
+  std::size_t failed = 0;
+  for (const TickDelta& d : tl.ticks) {
+    for (NodeId n : d.nodes_down) {
+      EXPECT_EQ(node_dead[n], 0) << "node " << n << " died twice";
+      node_dead[n] = 1;
+    }
+    for (LinkId l : d.links_down) {
+      EXPECT_EQ(link_dead[l], 0) << "link " << l << " downed while down";
+      link_dead[l] = 1;
+      ++failed;
+    }
+    for (LinkId l : d.links_up) {
+      EXPECT_EQ(link_dead[l], 1) << "link " << l << " revived while up";
+      link_dead[l] = 0;
+      --failed;
+    }
+    // Ids ascending within each tick (the documented delta order).
+    for (std::size_t i = 1; i < d.links_down.size(); ++i) {
+      EXPECT_LT(d.links_down[i - 1], d.links_down[i]);
+    }
+  }
+  // The growing two-cell golden profile must actually cut something,
+  // and flapping must actually revive something.
+  EXPECT_GT(tl.total_links_down(), 0u);
+  EXPECT_GT(tl.total_links_up(), 0u);
+  EXPECT_GT(tl.total_nodes_down(), 0u);
+  // Replay agrees with cumulative_failure at the final tick.
+  const fail::FailureSet fs =
+      cumulative_failure(tl, g, nullptr, tl.ticks.size());
+  EXPECT_EQ(fs.num_failed_links(), failed);
+}
+
+TEST(StormTimeline, BaseFailuresNeverAppearInDeltas) {
+  const graph::Graph g = grid_graph();
+  fail::FailureSet base(g);
+  base.add_node(g, 27);  // kills node 27 and its incident links
+  const StormOptions o = golden_options();
+  const std::uint64_t stream = fault::FaultPlan::stream_seed(o.seed, 0);
+  const StormTimeline tl =
+      compile_timeline(make_storm_spec(o, stream), g, stream, &base);
+  for (const TickDelta& d : tl.ticks) {
+    for (NodeId n : d.nodes_down) EXPECT_NE(n, 27u);
+    for (LinkId l : d.links_down) EXPECT_FALSE(base.link_failed(l));
+    for (LinkId l : d.links_up) EXPECT_FALSE(base.link_failed(l));
+  }
+}
+
+// The satellite-4 precedence fix: a FaultPlan link death landing on a
+// link the storm already holds dead is a shadowed no-op; the same
+// plan's death of a link outside the storm applies normally.
+TEST(StormTimeline, AreaStateWinsOverFaultFlaps) {
+  // Two disjoint pairs: link 0 (nodes 0-1) sits under a stationary
+  // cell, link 1 (nodes 2-3) is far outside it.
+  graph::GraphBuilder b;
+  b.add_node({0.0, 0.0});
+  b.add_node({100.0, 0.0});
+  b.add_node({5000.0, 5000.0});
+  b.add_node({5100.0, 5000.0});
+  const LinkId covered = b.add_link(0, 1);
+  const LinkId outside = b.add_link(2, 3);
+  const graph::Graph g = b.build();
+
+  StormSpec spec;
+  spec.ticks = 20;
+  spec.tick_ms = 10.0;
+  StormCell cell;
+  cell.origin = {50.0, 0.0};  // over the midpoint of link 0, forever;
+  cell.radius0 = 30.0;        // radius < 50 spares both endpoint routers
+  cell.end_tick = spec.ticks;
+  spec.cells.push_back(cell);
+
+  fault::FaultOptions fo;
+  fo.dynamic_links = 2;          // the plan kills both links...
+  fo.dynamic_window_ms = 100.0;  // ...inside the first ten ticks
+  fo.flap_prob = 1.0;            // and schedules both revivals
+  const fail::FailureSet none(g);
+  // Seed pinned so both of the plan's transitions on each link land on
+  // sampled ticks (the 10 ms grid can miss sub-tick flap windows).
+  fault::FaultPlan plan(fo, 2, g, none);
+
+  const StormTimeline tl = compile_timeline(spec, g, 2, nullptr, &plan);
+  std::size_t covered_downs = 0, covered_ups = 0;
+  std::size_t outside_events = 0;
+  for (const TickDelta& d : tl.ticks) {
+    for (LinkId l : d.links_down) {
+      if (l == covered) ++covered_downs;
+      if (l == outside) ++outside_events;
+    }
+    for (LinkId l : d.links_up) {
+      if (l == covered) ++covered_ups;
+      if (l == outside) ++outside_events;
+    }
+  }
+  // Area wins: the covered link goes down exactly once (tick 0, the
+  // storm) and never flaps back up; the plan's events on it are
+  // counted as shadowed instead.  No router dies: the cell covers only
+  // the link's midsection.
+  EXPECT_EQ(covered_downs, 1u);
+  EXPECT_EQ(covered_ups, 0u);
+  EXPECT_EQ(tl.total_nodes_down(), 0u);
+  EXPECT_GE(tl.total_shadowed_flaps(), 1u);
+  // The plan still applies untouched to the link outside the area.
+  EXPECT_GE(outside_events, 1u);
+}
+
+TEST(StormEngine, BudgetThrottleDrainsToUnthrottledState) {
+  const graph::Graph g = grid_graph();
+  const StormOptions o = golden_options();
+  const std::uint64_t stream = fault::FaultPlan::stream_seed(o.seed, 0);
+  const StormTimeline tl =
+      compile_timeline(make_storm_spec(o, stream), g, stream);
+  const spf::BaseTreeStore store(g, spf::SpfAlgorithm::kDijkstra);
+  const std::vector<NodeId> sources = {0, 27, 63};
+
+  const StormRunResult fast = run_storm(g, store, tl, nullptr, sources, {});
+  EXPECT_EQ(fast.drain_ticks, 0u);
+  EXPECT_EQ(fast.total_budget_stalls, 0u);
+  EXPECT_EQ(fast.per_tick.size(), tl.ticks.size());
+
+  StormEngineOptions tight;
+  tight.budget_ops = 5;
+  const StormRunResult slow =
+      run_storm(g, store, tl, nullptr, sources, tight);
+  EXPECT_GT(slow.drain_ticks, 0u);
+  EXPECT_GT(slow.total_budget_stalls, 0u);
+  EXPECT_EQ(slow.dist_digest, fast.dist_digest);
+  EXPECT_EQ(slow.unreachable_pairs, fast.unreachable_pairs);
+  ASSERT_EQ(slow.trees.size(), fast.trees.size());
+  for (std::size_t i = 0; i < fast.trees.size(); ++i) {
+    EXPECT_EQ(fast.trees[i]->dist, slow.trees[i]->dist);
+    EXPECT_EQ(fast.trees[i]->parent, slow.trees[i]->parent);
+  }
+}
+
+// The checked-in golden trajectory: per-tick failed-link counts and
+// funded repair ops of the seed-pinned 20-tick storm above, run under
+// a budget of 200 ops/tick.  Any drift in spec compilation, timeline
+// semantics, flap draws or budget accounting changes these lines.
+// To regenerate after an INTENTIONAL semantic change, print the
+// `actual` string below and paste it into
+// tests/golden_storm_timeline.inc (keep the raw-string delimiters).
+TEST(StormGolden, TwentyTickTimelinePinned) {
+  const std::string golden =
+#include "golden_storm_timeline.inc"
+      ;
+  const graph::Graph g = grid_graph();
+  const StormOptions o = golden_options();
+  const std::uint64_t stream = fault::FaultPlan::stream_seed(o.seed, 0);
+  const StormTimeline tl =
+      compile_timeline(make_storm_spec(o, stream), g, stream);
+  const spf::BaseTreeStore store(g, spf::SpfAlgorithm::kDijkstra);
+  StormEngineOptions eopts;
+  eopts.budget_ops = 200;
+  const StormRunResult r =
+      run_storm(g, store, tl, nullptr, {0, 27, 63}, eopts);
+  std::ostringstream actual;
+  for (const StormTickStats& ts : r.per_tick) {
+    actual << "t=" << ts.tick << " failed=" << ts.failed_links
+           << " ops=" << ts.repair_ops << "\n";
+  }
+  EXPECT_EQ(actual.str(), golden)
+      << "seed-pinned storm trajectory drifted; if intentional, refresh "
+         "tests/golden_storm_timeline.inc with the actual string above";
+}
+
+}  // namespace
+}  // namespace rtr::storm

@@ -29,7 +29,10 @@ of full shortest-path-tree computations the original full-recompute
 engine performed on that workload.  The field is captured once (from the
 pre-update baseline) and preserved verbatim across ``--update``; any run
 whose ``run.config.spf_engine`` is ``incremental`` must report strictly
-fewer full SPT runs than it.
+fewer full SPT runs than it.  Benches where the engine flag cannot move
+the counters (``bench_storm``: repairs always run incrementally against
+the pinned base trees, so the full-run total is base-tree builds plus
+fallbacks under either engine) opt out via ``check_full_runs``.
 
 Refresh the baseline after an intentional change with::
 
@@ -54,6 +57,12 @@ DEFAULT_TOLERANCE = 1.25
 # Benches whose op counts depend on adaptive iteration counts rather
 # than a pinned workload; --update marks them wall-clock-only.
 VOLATILE_OP_COUNT_BENCHES = {"bench_micro"}
+
+# Benches whose full-SPT-run counters are invariant under the
+# full/incremental engine flag, so the fewer-than-seed gate is vacuous;
+# --update marks them check_full_runs=false and never captures a
+# seed_full_runs for them.
+ENGINE_INVARIANT_FULL_RUN_BENCHES = {"bench_storm"}
 
 # Headroom multiplier applied to the first observed peak RSS when a
 # bench's sticky max_rss_kb_ceiling is captured.  Generous on purpose:
@@ -141,7 +150,8 @@ def check(baseline_doc: dict, docs: list[dict], tolerance: float) -> int:
         # than the seed (full-engine) baseline it replaced.
         seed_full = entry.get("seed_full_runs")
         engine = doc["run"].get("config", {}).get("spf_engine")
-        if seed_full is not None and engine == "incremental":
+        if seed_full is not None and engine == "incremental" and \
+                entry.get("check_full_runs", True):
             cur_full = full_runs_of(doc.get("metrics", {}))
             if cur_full is None:
                 problems.append(f"{name}: incremental engine but no "
@@ -208,15 +218,23 @@ def update(baseline_path: str, old: dict, docs: list[dict],
         # seed_full_runs is sticky: first set from the pre-update
         # baseline's (full-engine) metrics, then preserved verbatim so
         # later refreshes under the incremental engine cannot raise it.
-        seed_full = prev.get("seed_full_runs")
-        if seed_full is None:
-            seed_full = full_runs_of(prev.get("metrics", {}))
-        if seed_full is None and \
-                doc["run"].get("config", {}).get("spf_engine") != \
-                "incremental":
-            seed_full = full_runs_of(doc.get("metrics", {}))
-        if seed_full is not None:
-            entry["seed_full_runs"] = seed_full
+        # Engine-invariant benches never get one -- there is no
+        # full-engine total to beat.
+        checked_full = prev.get(
+            "check_full_runs",
+            name not in ENGINE_INVARIANT_FULL_RUN_BENCHES)
+        if not checked_full:
+            entry["check_full_runs"] = False
+        else:
+            seed_full = prev.get("seed_full_runs")
+            if seed_full is None:
+                seed_full = full_runs_of(prev.get("metrics", {}))
+            if seed_full is None and \
+                    doc["run"].get("config", {}).get("spf_engine") != \
+                    "incremental":
+                seed_full = full_runs_of(doc.get("metrics", {}))
+            if seed_full is not None:
+                entry["seed_full_runs"] = seed_full
         # The RSS ceiling is sticky like seed_full_runs: captured once
         # (with headroom) from the first run that reports a peak, then
         # preserved verbatim so refreshes cannot raise it.
