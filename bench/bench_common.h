@@ -29,6 +29,7 @@
 #include "exp/context.h"
 #include "exp/runners.h"
 #include "graph/gen/isp_gen.h"
+#include "ledger/journal.h"
 #include "obs/emit.h"
 #include "obs/metrics.h"
 
@@ -126,7 +127,11 @@ inline bool parse_u64(const std::string& value, unsigned long long* out) {
 ///                      dyn-links, retry-cap, seed (integers)
 ///   --storm-* VALUE    rolling-disaster knobs overriding RTR_STORM_*:
 ///                      tick-ms, radius, growth, speed, flap (reals),
-///                      ticks, cells, budget, seed (integers)
+///                      ticks, cells, budget, seed (integers),
+///                      waypoints (CSV track file; see storm/storm.h)
+///   --ledger FILE      crash-durable scenario journal overriding
+///                      RTR_LEDGER; a restart with the same config and
+///                      journal resumes the sweep where it died
 /// from `args` (argv[0] expected at index 0 and left in place); other
 /// arguments are kept in order for the caller to handle.  Also
 /// registers the at-exit metrics emitter, so every bench routed through
@@ -184,6 +189,14 @@ inline exp::BenchConfig consume_engine_flags(std::vector<char*>& args) {
     } else if (detail::match_value_flag(args, i, "--metrics-out", &value,
                                         &consumed)) {
       cfg.metrics_out = value;
+      i += consumed;
+    } else if (detail::match_value_flag(args, i, "--storm-waypoints",
+                                        &value, &consumed)) {
+      cfg.storm.waypoint_file = value;
+      i += consumed;
+    } else if (detail::match_value_flag(args, i, "--ledger", &value,
+                                        &consumed)) {
+      cfg.ledger_path = value;
       i += consumed;
     } else if (detail::match_value_flag(args, i, "--fault-dyn-links",
                                         &value, &consumed)) {
@@ -250,12 +263,25 @@ inline exp::BenchConfig config_from(int argc, char** argv) {
   exp::BenchConfig cfg = consume_engine_flags(args);
   if (args.size() > 1) {
     std::cerr << "usage: " << argv[0]
-              << " [--threads N] [--metrics-out FILE]"
+              << " [--threads N] [--metrics-out FILE] [--ledger FILE]"
                  " [--fault-KNOB VALUE ...] [--storm-KNOB VALUE ...]\n"
               << "unrecognised argument: " << args[1] << '\n';
     std::exit(2);
   }
   return cfg;
+}
+
+/// The process-wide scenario journal (nullptr when cfg.ledger_path is
+/// empty).  Benches call run_options() once per sweep, but a journal
+/// file tolerates exactly one writer per process: the first call opens
+/// (and, on restart, recovers) it, later calls share it.
+inline std::shared_ptr<ledger::Journal> shared_journal(
+    const exp::BenchConfig& cfg) {
+  if (cfg.ledger_path.empty()) return nullptr;
+  // lint:allow(mutable-static) — one journal writer per process
+  static const std::shared_ptr<ledger::Journal> journal =
+      std::make_shared<ledger::Journal>(cfg.ledger_path, cfg.fingerprint());
+  return journal;
 }
 
 /// RunOptions seeded with the config's engine knobs; benches tweak the
@@ -266,6 +292,7 @@ inline exp::RunOptions run_options(const exp::BenchConfig& cfg) {
   opts.spf_engine = cfg.spf_engine;
   opts.fault = cfg.fault;
   opts.storm = cfg.storm;
+  opts.journal = shared_journal(cfg);
   return opts;
 }
 

@@ -139,7 +139,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--requests N] [--clients N] [--queue-cap N]"
-                   " [--threads N] [--metrics-out FILE]\n"
+                   " [--threads N] [--metrics-out FILE] [--ledger FILE]\n"
                 << "unrecognised argument: " << args[i] << '\n';
       return 2;
     }
@@ -155,6 +155,7 @@ int main(int argc, char** argv) {
   svc::ServerOptions sopts;
   sopts.workers = cfg.threads;
   sopts.queue_capacity = static_cast<std::size_t>(queue_cap);
+  sopts.ledger_path = cfg.ledger_path;
   svc::Server server(sopts);
   for (const graph::IspSpec& spec : graph::rocketfuel_specs()) {
     if (!spec.core) continue;
@@ -302,6 +303,30 @@ int main(int argc, char** argv) {
   sweep.print(std::cout);
 
   server.stop();
+
+  // ---- Phase 4 (--ledger only): restart + replay ---------------------
+  // A second Server over the same topologies and journal models a
+  // crashed-and-restarted process: its first start() replays every
+  // journaled frame through the serve path, rebuilding the warm
+  // BaseTreeStore caches, and the pinned request must then come back
+  // byte-identical to the live run's response (the svc determinism
+  // contract, now surviving a restart).
+  if (!cfg.ledger_path.empty()) {
+    svc::Server revived(sopts);
+    for (const graph::IspSpec& spec : graph::rocketfuel_specs()) {
+      if (!spec.core) continue;
+      revived.add_topology(spec.name, graph::make_isp_topology(spec));
+    }
+    revived.start();
+    const std::vector<std::uint8_t> pinned = revived.call(pool[0]);
+    RTR_EXPECT(pinned == responses[0]);
+    std::cout << "\nLedger replay: restarted server rebuilt its caches from "
+                 "the journal; pinned response digest "
+              << hex64(fnv1a(1469598103934665603ULL, pinned))
+              << " (byte-identical to the live run)\n";
+    revived.stop();
+  }
+
   std::cout << "\nAll rows above are pure functions of the workload knobs; "
                "QPS and latency are reported on stderr and in the metrics "
                "timing block.\n";

@@ -1,9 +1,12 @@
 #include "exp/bench_config.h"
 
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "common/parallel.h"
+#include "ledger/record.h"
 
 namespace rtr::exp {
 
@@ -44,6 +47,9 @@ BenchConfig BenchConfig::from_env() {
   }
   c.fault = fault::FaultOptions::from_env();
   c.storm = storm::StormOptions::from_env();
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): env read before workers start
+  const char* ledger = std::getenv("RTR_LEDGER");
+  if (ledger != nullptr && *ledger != '\0') c.ledger_path = ledger;
   return c;
 }
 
@@ -64,6 +70,28 @@ std::string BenchConfig::describe() const {
   if (fault.any()) os << " " << fault.describe();
   if (storm.any()) os << " " << storm.describe();
   return os.str();
+}
+
+std::uint64_t BenchConfig::fingerprint() const {
+  // describe() cannot be hashed directly: it reports the *resolved*
+  // thread count, and a resumed run must be free to use a different
+  // one.  Hash only the workload-defining knobs.
+  std::ostringstream os;
+  os << "cases=" << cases << "|fig11=" << fig11_areas << "|seed=" << seed
+     << "|cut=" << static_cast<int>(cut_rule)
+     << "|engine=" << static_cast<int>(spf_engine);
+  if (fault.any()) os << "|" << fault.describe();
+  if (storm.any()) os << "|" << storm.describe();
+  std::uint64_t h = ledger::fnv1a64(os.str());
+  if (storm.any() && !storm.waypoint_file.empty()) {
+    // The waypoint *content* folds in, not just the path: editing the
+    // track file changes the workload even when the name is stable.
+    std::ifstream in(storm.waypoint_file, std::ios::binary);
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    h = ledger::fnv1a64(bytes, h);
+  }
+  return h;
 }
 
 }  // namespace rtr::exp

@@ -28,10 +28,17 @@
 //                    to a build without the fault layer.
 //   RTR_STORM_*      rolling-disaster knobs (see storm/storm.h): TICKS,
 //                    TICK_MS, CELLS, RADIUS, GROWTH, SPEED, FLAP,
-//                    BUDGET, SEED.  TICKS=0 (the default) disarms the
-//                    layer entirely: no storm spec is compiled, no
-//                    rtr.storm.* series is registered, and bench output
-//                    stays byte-identical to a storm-free build.
+//                    BUDGET, SEED, WAYPOINTS.  TICKS=0 (the default)
+//                    disarms the layer entirely: no storm spec is
+//                    compiled, no rtr.storm.* series is registered, and
+//                    bench output stays byte-identical to a storm-free
+//                    build.
+//   RTR_LEDGER       when set, journal every completed scenario to this
+//                    crash-durable ledger file and, on restart, resume
+//                    the sweep from it (see ledger/journal.h).  Unset
+//                    (the default) leaves every bench bit-identical to
+//                    a ledger-free build: no journal is opened and no
+//                    rtr.ledger.* series is registered.
 //
 // Every bench binary additionally accepts `--threads N` and
 // `--metrics-out FILE` on the command line (see bench/bench_common.h),
@@ -67,11 +74,25 @@ struct BenchConfig {
   /// Rolling-disaster knobs (RTR_STORM_* / --storm-*); disarmed by
   /// default (ticks == 0), in which case no bench output changes.
   storm::StormOptions storm;
+  /// Crash-durable scenario journal (RTR_LEDGER / --ledger); "" = no
+  /// journaling.  Deliberately excluded from describe(), the metrics
+  /// run.config block and fingerprint(): a resumed run and an
+  /// uninterrupted one differ only in their ledger paths and must stay
+  /// byte-comparable.
+  std::string ledger_path;
 
   static BenchConfig from_env();
 
   /// One-line provenance string printed at the top of every bench.
   std::string describe() const;
+
+  /// Stable hash over every knob that changes *what* a sweep computes
+  /// (cases, seeds, cut rule, engine, fault/storm options, and the
+  /// storm waypoint file's content when one is set) -- but not over
+  /// how it runs (threads, metrics emission, the ledger path itself).
+  /// Pinned in the journal header so a journal can never be replayed
+  /// into a differently-configured run.
+  std::uint64_t fingerprint() const;
 };
 
 }  // namespace rtr::exp

@@ -1,8 +1,12 @@
 #include "exp/runners.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
 
 #include "baselines/fcp.h"
 #include "baselines/mrc.h"
@@ -10,6 +14,7 @@
 #include "core/distributed_rtr.h"
 #include "core/recovery_session.h"
 #include "fault/plan.h"
+#include "ledger/journal.h"
 #include "net/network.h"
 #include "net/sim.h"
 #include "obs/metrics.h"
@@ -281,14 +286,16 @@ RecoverablePartial run_scenario_recoverable_fault(
 /// scenario_index) and thread-count invariant.
 RecoverablePartial run_scenario_recoverable_storm(
     const TopologyContext& ctx, const Scenario& sc, const RunOptions& opts,
-    std::size_t scenario_index) {
+    std::size_t scenario_index,
+    const std::vector<storm::StormCell>* waypoints) {
   RecoverablePartial out;
   out.rtr_bytes_timeline.assign(opts.timeline_ms, 0.0);
   out.fcp_bytes_timeline.assign(opts.timeline_ms, 0.0);
 
   const std::uint64_t stream =
       fault::FaultPlan::stream_seed(opts.storm.seed, scenario_index);
-  const storm::StormSpec spec = storm::make_storm_spec(opts.storm, stream);
+  const storm::StormSpec spec =
+      storm::make_storm_spec(opts.storm, stream, waypoints);
 
   std::unique_ptr<fault::FaultPlan> plan;
   if (opts.fault.any()) {
@@ -378,6 +385,314 @@ IrrecoverablePartial run_scenario_irrecoverable(const TopologyContext& ctx,
   return out;
 }
 
+// ------------------------------------------------------------------
+// Ledger plumbing: the journal stores each work unit's partial as an
+// opaque blob; exp owns the blob codec (big-endian u64s, doubles as
+// IEEE-754 bit patterns -- the dialect of ledger/record.h).  Framing,
+// CRC and the stable-metric delta live in the ledger layer.
+// ------------------------------------------------------------------
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  for (int s = 56; s >= 0; s -= 8) {
+    b.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& b, double v) {
+  put_u64(b, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_dvec(std::vector<std::uint8_t>& b, const std::vector<double>& v) {
+  put_u64(b, v.size());
+  for (double d : v) put_f64(b, d);
+}
+
+/// Strict reader over a partial blob: every truncation or length lie
+/// throws LedgerError before it can drive an allocation, mirroring the
+/// record codec's posture (the blob already passed the frame CRC, so a
+/// failure here means a codec-version mismatch, not line noise).
+class BlobReader {
+ public:
+  explicit BlobReader(const std::vector<std::uint8_t>& b) : b_(b) {}
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | b_[pos_ + i];
+    pos_ += 8;
+    return v;
+  }
+
+  std::size_t size() { return static_cast<std::size_t>(u64()); }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::vector<double> dvec() {
+    const std::uint64_t n = u64();
+    if (n > (b_.size() - pos_) / 8) {
+      throw ledger::LedgerError(
+          "exp partial blob: vector length exceeds remaining bytes");
+    }
+    std::vector<double> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
+    return v;
+  }
+
+  void finish() const {
+    if (pos_ != b_.size()) {
+      throw ledger::LedgerError("exp partial blob: trailing bytes");
+    }
+  }
+
+ private:
+  void need(std::size_t n) {
+    if (b_.size() - pos_ < n) {
+      throw ledger::LedgerError("exp partial blob: truncated");
+    }
+  }
+
+  const std::vector<std::uint8_t>& b_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> encode_partial(const RecoverablePartial& p) {
+  std::vector<std::uint8_t> b;
+  put_u64(b, p.cases);
+  put_u64(b, p.rtr_recovered);
+  put_u64(b, p.rtr_optimal);
+  put_u64(b, p.fcp_recovered);
+  put_u64(b, p.fcp_optimal);
+  put_u64(b, p.mrc_recovered);
+  put_u64(b, p.mrc_optimal);
+  put_u64(b, p.rtr_phase1_aborted);
+  put_u64(b, p.rtr_unrecovered);
+  put_u64(b, p.rtr_dropped);
+  put_u64(b, p.rtr_retry_attempts);
+  put_u64(b, p.rtr_reinitiations);
+  put_u64(b, p.storm_ticks);
+  put_u64(b, p.storm_drain_ticks);
+  put_u64(b, p.storm_delta_links);
+  put_u64(b, p.storm_delta_nodes);
+  put_u64(b, p.storm_shadowed_flaps);
+  put_u64(b, p.storm_repairs);
+  put_u64(b, p.storm_fallbacks);
+  put_u64(b, p.storm_repair_ops);
+  put_u64(b, p.storm_budget_stalls);
+  put_u64(b, p.storm_unreachable_pairs);
+  put_u64(b, p.storm_dist_digest);
+  put_dvec(b, p.phase1_duration_ms);
+  put_dvec(b, p.rtr_stretch);
+  put_dvec(b, p.fcp_stretch);
+  put_dvec(b, p.mrc_stretch);
+  put_dvec(b, p.rtr_calcs);
+  put_dvec(b, p.fcp_calcs);
+  put_dvec(b, p.rtr_recovery_ms);
+  put_dvec(b, p.rtr_bytes_timeline);
+  put_dvec(b, p.fcp_bytes_timeline);
+  return b;
+}
+
+RecoverablePartial decode_recoverable_partial(
+    const std::vector<std::uint8_t>& b) {
+  BlobReader r(b);
+  RecoverablePartial p;
+  p.cases = r.size();
+  p.rtr_recovered = r.size();
+  p.rtr_optimal = r.size();
+  p.fcp_recovered = r.size();
+  p.fcp_optimal = r.size();
+  p.mrc_recovered = r.size();
+  p.mrc_optimal = r.size();
+  p.rtr_phase1_aborted = r.size();
+  p.rtr_unrecovered = r.size();
+  p.rtr_dropped = r.size();
+  p.rtr_retry_attempts = r.size();
+  p.rtr_reinitiations = r.size();
+  p.storm_ticks = r.size();
+  p.storm_drain_ticks = r.size();
+  p.storm_delta_links = r.size();
+  p.storm_delta_nodes = r.size();
+  p.storm_shadowed_flaps = r.size();
+  p.storm_repairs = r.size();
+  p.storm_fallbacks = r.size();
+  p.storm_repair_ops = r.size();
+  p.storm_budget_stalls = r.size();
+  p.storm_unreachable_pairs = r.size();
+  p.storm_dist_digest = r.u64();
+  p.phase1_duration_ms = r.dvec();
+  p.rtr_stretch = r.dvec();
+  p.fcp_stretch = r.dvec();
+  p.mrc_stretch = r.dvec();
+  p.rtr_calcs = r.dvec();
+  p.fcp_calcs = r.dvec();
+  p.rtr_recovery_ms = r.dvec();
+  p.rtr_bytes_timeline = r.dvec();
+  p.fcp_bytes_timeline = r.dvec();
+  r.finish();
+  return p;
+}
+
+std::vector<std::uint8_t> encode_partial(const IrrecoverablePartial& p) {
+  std::vector<std::uint8_t> b;
+  put_u64(b, p.cases);
+  put_u64(b, p.rtr_delivered);
+  put_u64(b, p.fcp_delivered);
+  put_dvec(b, p.phase1_duration_ms);
+  put_dvec(b, p.rtr_wasted_comp);
+  put_dvec(b, p.fcp_wasted_comp);
+  put_dvec(b, p.rtr_wasted_trans);
+  put_dvec(b, p.fcp_wasted_trans);
+  return b;
+}
+
+IrrecoverablePartial decode_irrecoverable_partial(
+    const std::vector<std::uint8_t>& b) {
+  BlobReader r(b);
+  IrrecoverablePartial p;
+  p.cases = r.size();
+  p.rtr_delivered = r.size();
+  p.fcp_delivered = r.size();
+  p.phase1_duration_ms = r.dvec();
+  p.rtr_wasted_comp = r.dvec();
+  p.fcp_wasted_comp = r.dvec();
+  p.rtr_wasted_trans = r.dvec();
+  p.fcp_wasted_trans = r.dvec();
+  r.finish();
+  return p;
+}
+
+/// Identity of one sweep inside a journal shared by many (topologies x
+/// phases x per-bench option tweaks).  Folds every option that shapes
+/// results or stable metrics AND the workload itself -- the same
+/// topology is often swept over different scenario sets (e.g. both
+/// link-cut rules inside one bench), which no option can tell apart.
+/// A journaled scenario is only replayed into a sweep with the same
+/// fingerprint, everything else falls through to a live run.  (The
+/// journal-level config fingerprint already pins the BenchConfig; this
+/// pins the per-call RunOptions and scenarios.)
+std::uint64_t sweep_fingerprint(const TopologyContext& ctx,
+                                const char* phase_tag,
+                                const std::vector<Scenario>& scenarios,
+                                const RunOptions& opts) {
+  std::ostringstream os;
+  os << phase_tag << "|topo=" << ctx.name << "|n=" << scenarios.size()
+     << "|mrc=" << opts.run_mrc << "|fcp=" << opts.run_fcp
+     << "|timeline=" << opts.timeline_ms
+     << "|per-hop-ms=" << opts.delay.per_hop_ms()
+     << "|engine=" << static_cast<int>(opts.spf_engine)
+     << "|c1=" << opts.rtr.phase1.constraint1
+     << "|c2=" << opts.rtr.phase1.constraint2
+     << "|cw=" << opts.rtr.phase1.clockwise
+     << "|hops=" << opts.rtr.phase1.max_hops_factor
+     << "|rtr-fb=" << opts.rtr.batch_repair.fallback_fraction
+     << "|truth-fb=" << opts.batch_repair.fallback_fraction
+     << "|cache=" << opts.spt_cache_entries;
+  if (opts.fault.any()) os << "|" << opts.fault.describe();
+  if (opts.storm.any()) os << "|" << opts.storm.describe();
+  std::uint64_t h = ledger::fnv1a64(os.str());
+  const auto fold = [&h](std::uint64_t v) {
+    std::uint8_t b[8];
+    for (int i = 7; i >= 0; --i) {
+      b[i] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+    h = ledger::fnv1a64(b, sizeof b, h);
+  };
+  for (const Scenario& sc : scenarios) {
+    fold(std::bit_cast<std::uint64_t>(sc.area.circle().center.x));
+    fold(std::bit_cast<std::uint64_t>(sc.area.circle().center.y));
+    fold(std::bit_cast<std::uint64_t>(sc.area.circle().radius));
+    fold(sc.recoverable.size());
+    fold(sc.irrecoverable.size());
+    for (const TestCase& tc : sc.recoverable) {
+      fold((static_cast<std::uint64_t>(tc.initiator) << 32) | tc.dest);
+      fold(tc.dead_link);
+    }
+    for (const TestCase& tc : sc.irrecoverable) {
+      fold((static_cast<std::uint64_t>(tc.initiator) << 32) | tc.dest);
+      fold(tc.dead_link);
+    }
+  }
+  return h;
+}
+
+/// Scenario records already journaled for this sweep, by index;
+/// nullptr entries run live.  Pointers alias journal.recovered().
+std::vector<const ledger::ScenarioRecord*> journaled_scenarios(
+    const ledger::Journal& journal, std::uint64_t sweep_fp,
+    std::size_t scenario_count) {
+  std::vector<const ledger::ScenarioRecord*> recorded(scenario_count,
+                                                      nullptr);
+  for (const ledger::Record& rec : journal.recovered()) {
+    const auto* sr = std::get_if<ledger::ScenarioRecord>(&rec);
+    if (sr == nullptr || sr->sweep != sweep_fp) continue;
+    if (sr->index >= scenario_count) {
+      throw ledger::LedgerError(
+          "ledger resume: journaled scenario index out of range for its "
+          "sweep");
+    }
+    recorded[sr->index] = sr;
+  }
+  return recorded;
+}
+
+/// Re-warms the shared base-tree stores with exactly the sources the
+/// replayed units requested (their journaled unit notes), in ascending
+/// order.  Counting stays ON: an uninterrupted run computes each of
+/// these trees exactly once process-wide, and so does the resumed run
+/// -- here, instead of inside whichever unit asked first.
+void prewarm_base_trees(
+    const TopologyContext& ctx,
+    const std::vector<const ledger::ScenarioRecord*>& recorded) {
+  std::set<obs::Value> dijkstra;
+  std::set<obs::Value> bfs;
+  for (const ledger::ScenarioRecord* sr : recorded) {
+    if (sr == nullptr) continue;
+    for (const auto& [key, values] : sr->delta.notes) {
+      if (key == "spf.base.dijkstra") {
+        dijkstra.insert(values.begin(), values.end());
+      } else if (key == "spf.base.bfs") {
+        bfs.insert(values.begin(), values.end());
+      }
+    }
+  }
+  for (obs::Value v : dijkstra) {
+    if (v >= ctx.g.num_nodes()) {
+      throw ledger::LedgerError(
+          "ledger resume: journaled base-tree source out of range for "
+          "topology " +
+          ctx.name);
+    }
+    (void)ctx.spf_base.from(static_cast<NodeId>(v));
+  }
+  for (obs::Value v : bfs) {
+    if (v >= ctx.g.num_nodes()) {
+      throw ledger::LedgerError(
+          "ledger resume: journaled base-tree source out of range for "
+          "topology " +
+          ctx.name);
+    }
+    (void)ctx.truth_base.from(static_cast<NodeId>(v));
+  }
+}
+
+/// Folds one replayed scenario into the process: digest check, decoded
+/// partial out, stable-metric delta into the registry.
+template <typename Partial>
+Partial replay_scenario(ledger::Journal& journal,
+                        const ledger::ScenarioRecord& sr,
+                        Partial (*decode)(const std::vector<std::uint8_t>&)) {
+  if (ledger::fnv1a64(sr.payload.data(), sr.payload.size()) != sr.digest) {
+    throw ledger::LedgerError(
+        "ledger resume: scenario payload digest mismatch");
+  }
+  Partial p = decode(sr.payload);
+  obs::apply_unit_delta(obs::Registry::global(), sr.delta);
+  journal.note_resume_skip();
+  return p;
+}
+
 void append(std::vector<double>& acc, const std::vector<double>& v) {
   acc.insert(acc.end(), v.begin(), v.end());
 }
@@ -409,17 +724,67 @@ RecoverableResults run_recoverable(const TopologyContext& ctx,
     mrc = std::make_unique<baseline::Mrc>(ctx.g, ctx.rt);
   }
 
+  // A recorded storm track is loaded once, before the fan-out, so the
+  // workers never touch the filesystem (and a journaled resume hashes
+  // the same bytes the original run used).
+  std::vector<storm::StormCell> waypoint_cells;
+  const std::vector<storm::StormCell>* waypoints = nullptr;
+  if (storms && !opts.storm.waypoint_file.empty()) {
+    waypoint_cells = storm::load_waypoints(opts.storm.waypoint_file);
+    waypoints = &waypoint_cells;
+  }
+
+  ledger::Journal* journal = opts.journal.get();
+  const std::uint64_t sweep_fp =
+      journal != nullptr
+          ? sweep_fingerprint(ctx, "recoverable", scenarios, opts)
+          : 0;
+  std::vector<const ledger::ScenarioRecord*> recorded(scenarios.size(),
+                                                      nullptr);
   std::vector<RecoverablePartial> partials(scenarios.size());
+  if (journal != nullptr) {
+    recorded = journaled_scenarios(*journal, sweep_fp, scenarios.size());
+    prewarm_base_trees(ctx, recorded);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      if (recorded[i] == nullptr) continue;
+      partials[i] = replay_scenario<RecoverablePartial>(
+          *journal, *recorded[i], decode_recoverable_partial);
+    }
+  }
+
   // lint:allow(wall-clock) — anchors the volatile queue-wait series only
   const auto fan_out_start = std::chrono::steady_clock::now();
   common::parallel_for(scenarios.size(), opts.threads, [&](std::size_t i) {
+    if (recorded[i] != nullptr) return;  // replayed from the journal
     record_queue_wait(metrics, fan_out_start);
+    // With a journal armed, capture this unit's exact stable-metric
+    // contribution; the registry still sees every add live.
+    std::optional<obs::UnitCapture> capture;
+    if (journal != nullptr) capture.emplace();
     partials[i] =
-        storms ? run_scenario_recoverable_storm(ctx, scenarios[i], opts, i)
+        storms ? run_scenario_recoverable_storm(ctx, scenarios[i], opts, i,
+                                                waypoints)
         : faults
             ? run_scenario_recoverable_fault(ctx, scenarios[i], opts, i)
             : run_scenario_recoverable(ctx, scenarios[i], opts, mrc.get());
     metrics.scenarios.inc();
+    if (journal != nullptr) {
+      ledger::ScenarioRecord rec;
+      rec.sweep = sweep_fp;
+      rec.index = i;
+      rec.seed = storms ? opts.storm.seed : faults ? opts.fault.seed : 0;
+      rec.stream_seed =
+          storms ? fault::FaultPlan::stream_seed(opts.storm.seed, i)
+          : faults ? fault::FaultPlan::stream_seed(opts.fault.seed, i)
+                   : 0;
+      rec.watermark =
+          storms ? partials[i].storm_ticks + partials[i].storm_drain_ticks
+                 : 0;
+      rec.payload = encode_partial(partials[i]);
+      rec.digest = ledger::fnv1a64(rec.payload.data(), rec.payload.size());
+      rec.delta = capture->take();
+      journal->append(ledger::Record(std::move(rec)));
+    }
   });
 
   // Merge in scenario-index order; this fixes the sample order and the
@@ -481,13 +846,42 @@ IrrecoverableResults run_irrecoverable(const TopologyContext& ctx,
   IrrecoverableResults out;
   out.topo = ctx.name;
 
+  ledger::Journal* journal = opts.journal.get();
+  const std::uint64_t sweep_fp =
+      journal != nullptr
+          ? sweep_fingerprint(ctx, "irrecoverable", scenarios, opts)
+          : 0;
+  std::vector<const ledger::ScenarioRecord*> recorded(scenarios.size(),
+                                                      nullptr);
   std::vector<IrrecoverablePartial> partials(scenarios.size());
+  if (journal != nullptr) {
+    recorded = journaled_scenarios(*journal, sweep_fp, scenarios.size());
+    prewarm_base_trees(ctx, recorded);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      if (recorded[i] == nullptr) continue;
+      partials[i] = replay_scenario<IrrecoverablePartial>(
+          *journal, *recorded[i], decode_irrecoverable_partial);
+    }
+  }
+
   // lint:allow(wall-clock) — anchors the volatile queue-wait series only
   const auto fan_out_start = std::chrono::steady_clock::now();
   common::parallel_for(scenarios.size(), opts.threads, [&](std::size_t i) {
+    if (recorded[i] != nullptr) return;  // replayed from the journal
     record_queue_wait(metrics, fan_out_start);
+    std::optional<obs::UnitCapture> capture;
+    if (journal != nullptr) capture.emplace();
     partials[i] = run_scenario_irrecoverable(ctx, scenarios[i], opts);
     metrics.scenarios.inc();
+    if (journal != nullptr) {
+      ledger::ScenarioRecord rec;
+      rec.sweep = sweep_fp;
+      rec.index = i;
+      rec.payload = encode_partial(partials[i]);
+      rec.digest = ledger::fnv1a64(rec.payload.data(), rec.payload.size());
+      rec.delta = capture->take();
+      journal->append(ledger::Record(std::move(rec)));
+    }
   });
 
   for (const IrrecoverablePartial& p : partials) {

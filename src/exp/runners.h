@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,10 @@
 #include "fault/fault.h"
 #include "net/delay.h"
 #include "storm/storm.h"
+
+namespace rtr::ledger {
+class Journal;
+}
 
 namespace rtr::exp {
 
@@ -65,6 +70,20 @@ struct RunOptions {
   /// scenario-index order, so results are bit-identical for every value
   /// of this knob -- it only changes wall-clock time.
   std::size_t threads = 0;
+  /// Crash-durable scenario journal (rtr::ledger).  nullptr -- the
+  /// default -- journals nothing and leaves the runner byte-identical
+  /// to a ledger-free build.  When set, every completed work unit is
+  /// appended as a ScenarioRecord (serialized partial + the exact
+  /// stable-metric delta it contributed), and on entry any scenario
+  /// already recorded for this sweep (matched by a fingerprint over
+  /// topology, phase and every result-shaping option) is replayed from
+  /// the journal instead of re-run: its partial merges in scenario-index
+  /// order, its metric delta folds into the registry, and the base-tree
+  /// sources it requested are re-warmed -- so stdout and deterministic
+  /// metrics of a killed-and-resumed sweep are byte-identical to an
+  /// uninterrupted run at any thread count.  shared_ptr because one
+  /// process (and one journal writer) spans many sweeps.
+  std::shared_ptr<ledger::Journal> journal;
 };
 
 /// Aggregated results over the recoverable test cases of one topology

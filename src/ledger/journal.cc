@@ -1,0 +1,255 @@
+#include "ledger/journal.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <iterator>
+
+namespace rtr::ledger {
+namespace {
+
+struct LedgerMetrics {
+  obs::Counter& appended;
+  obs::Counter& replayed;
+  obs::Counter& truncated;
+  obs::Counter& checkpoints;
+  obs::Counter& resume_skips;
+
+  static LedgerMetrics& get() {
+    obs::Registry& r = obs::Registry::global();
+    // lint:allow(mutable-static) — references into the sharded obs registry
+    // All volatile: replay/truncation counts depend on where the
+    // previous process died, never on the workload, so they must stay
+    // out of the stable (deterministic) metrics section.
+    static LedgerMetrics m{
+        r.counter("rtr.ledger.records.appended", obs::Stability::kVolatile),
+        r.counter("rtr.ledger.records.replayed", obs::Stability::kVolatile),
+        r.counter("rtr.ledger.records.truncated",
+                  obs::Stability::kVolatile),
+        r.counter("rtr.ledger.checkpoints", obs::Stability::kVolatile),
+        r.counter("rtr.ledger.resume_skips", obs::Stability::kVolatile)};
+    return m;
+  }
+};
+
+std::uint32_t be32_at(const std::vector<std::uint8_t>& b, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) v = (v << 8) | b[pos + i];
+  return v;
+}
+
+std::uint64_t be64_at(const std::vector<std::uint8_t>& b, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | b[pos + i];
+  return v;
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+std::vector<std::uint8_t> header_bytes(std::uint64_t config) {
+  std::vector<std::uint8_t> h;
+  h.reserve(kLedgerHeaderBytes);
+  put32(h, kLedgerMagic);
+  h.push_back(static_cast<std::uint8_t>(kLedgerVersion >> 8));
+  h.push_back(static_cast<std::uint8_t>(kLedgerVersion));
+  h.push_back(0);
+  h.push_back(0);
+  put64(h, config);
+  return h;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+std::optional<std::uint64_t> crash_after_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read once at construction
+  const char* v = std::getenv("RTR_LEDGER_CRASH_AFTER");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+Journal::Journal(std::string path, std::uint64_t config_fingerprint)
+    : path_(std::move(path)),
+      config_(config_fingerprint),
+      crash_after_(crash_after_from_env()) {
+  LedgerMetrics& m = LedgerMetrics::get();
+  const std::vector<std::uint8_t> bytes = read_file(path_);
+  std::size_t valid_end = 0;
+  if (!bytes.empty()) {
+    if (bytes.size() < kLedgerHeaderBytes) {
+      // Torn header: the previous process died inside its very first
+      // write.  Nothing recoverable; start fresh.
+      m.truncated.inc();
+    } else {
+      if (be32_at(bytes, 0) != kLedgerMagic) {
+        throw LedgerError("ledger: " + path_ + " is not a journal "
+                          "(bad magic)");
+      }
+      const std::uint16_t version = static_cast<std::uint16_t>(
+          (bytes[4] << 8) | bytes[5]);
+      if (version != kLedgerVersion) {
+        throw LedgerError("ledger: " + path_ +
+                          " has an unsupported version");
+      }
+      const std::uint64_t file_config = be64_at(bytes, 8);
+      if (file_config != config_) {
+        throw LedgerError(
+            "ledger: config fingerprint mismatch: " + path_ +
+            " was written by a differently-configured run; refusing to "
+            "replay (delete the journal or fix the config)");
+      }
+      std::size_t pos = kLedgerHeaderBytes;
+      valid_end = pos;
+      bool torn = false;
+      while (pos < bytes.size()) {
+        if (bytes.size() - pos < 8) {
+          torn = true;  // frame header itself is torn
+          break;
+        }
+        const std::uint32_t len = be32_at(bytes, pos);
+        const std::uint32_t crc = be32_at(bytes, pos + 4);
+        if (bytes.size() - pos - 8 < len) {
+          torn = true;  // declared payload extends past EOF
+          break;
+        }
+        const std::uint8_t* payload = bytes.data() + pos + 8;
+        if (crc32(payload, len) != crc) {
+          if (pos + 8 + len == bytes.size()) {
+            torn = true;  // damaged final record: a torn write
+            break;
+          }
+          // Intact records follow, so this is not a torn tail.
+          throw LedgerError("ledger: " + path_ +
+                            " has a mid-file CRC mismatch: the journal "
+                            "is corrupt, not merely torn");
+        }
+        // CRC-valid payloads must decode; a codec failure here is
+        // corruption the CRC happened to miss semantically (e.g. a
+        // record written by a buggy producer) and stays loud.
+        recovered_.push_back(decode_record(
+            std::vector<std::uint8_t>(payload, payload + len)));
+        absorb_sources_locked(recovered_.back());
+        m.replayed.inc();
+        pos += 8 + len;
+        valid_end = pos;
+      }
+      if (torn) m.truncated.inc();
+    }
+  }
+
+  // Rewrite the validated prefix (or a fresh header) and leave the
+  // stream positioned for appends.  Journals are small -- tens of KiB
+  // per thousand scenarios -- so the rewrite is cheap and sidesteps
+  // platform truncate() portability entirely.
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw LedgerError("ledger: cannot open " + path_ + " for writing");
+  }
+  if (valid_end == 0) {
+    const std::vector<std::uint8_t> h = header_bytes(config_);
+    out_.write(reinterpret_cast<const char*>(h.data()),
+               static_cast<std::streamsize>(h.size()));
+  } else {
+    out_.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(valid_end));
+  }
+  out_.flush();
+  if (!out_) {
+    throw LedgerError("ledger: write failed on " + path_);
+  }
+}
+
+void Journal::append_frame_locked(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(8 + payload.size());
+  put32(frame, static_cast<std::uint32_t>(payload.size()));
+  put32(frame, crc32(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) {
+    throw LedgerError("ledger: append failed on " + path_);
+  }
+}
+
+void Journal::append(const Record& r) {
+  LedgerMetrics& m = LedgerMetrics::get();
+  const std::vector<std::uint8_t> payload = encode_record(r);
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool is_scenario =
+      record_type(r) == RecordType::kScenario;
+  if (is_scenario && crash_after_ && scenario_appends_ == *crash_after_) {
+    // Crash seam for the CI ledger-smoke job: write a deliberately torn
+    // half-frame for this scenario, push it to the kernel, and die the
+    // way a power cut would.  The resumed process must recover exactly
+    // the *crash_after_ preceding scenario records.
+    std::vector<std::uint8_t> frame;
+    put32(frame, static_cast<std::uint32_t>(payload.size()));
+    put32(frame, crc32(payload.data(), payload.size()));
+    frame.insert(frame.end(), payload.begin(),
+                 payload.begin() + static_cast<long>(payload.size() / 2));
+    out_.write(reinterpret_cast<const char*>(frame.data()),
+               static_cast<std::streamsize>(frame.size()));
+    out_.flush();
+    (void)std::raise(SIGKILL);
+  }
+  append_frame_locked(payload);
+  m.appended.inc();
+  if (!is_scenario) return;
+  absorb_sources_locked(r);
+  ++scenario_appends_;
+  if (scenario_appends_ % kCheckpointEvery == 0) {
+    CheckpointRecord cp;
+    cp.config = config_;
+    for (const auto& [key, vs] : sources_) {
+      cp.sources.emplace(key,
+                         std::vector<obs::Value>(vs.begin(), vs.end()));
+    }
+    append_frame_locked(encode_record(Record{std::move(cp)}));
+    m.appended.inc();
+    m.checkpoints.inc();
+  }
+}
+
+void Journal::note_resume_skip() {
+  LedgerMetrics::get().resume_skips.inc();
+}
+
+void Journal::absorb_sources_locked(const Record& r) {
+  const auto* s = std::get_if<ScenarioRecord>(&r);
+  if (s == nullptr) return;
+  for (const auto& [key, vs] : s->delta.notes) {
+    sources_[key].insert(vs.begin(), vs.end());
+  }
+}
+
+std::map<std::string, std::vector<obs::Value>> Journal::source_union()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::vector<obs::Value>> out;
+  for (const auto& [key, vs] : sources_) {
+    out.emplace(key, std::vector<obs::Value>(vs.begin(), vs.end()));
+  }
+  return out;
+}
+
+}  // namespace rtr::ledger

@@ -1,0 +1,88 @@
+// rtr::ledger::Journal -- append-only crash-durable journal over the
+// record codec (ledger/record.h).
+//
+// Open semantics (the WAL contract, DESIGN.md section 12):
+//   * missing or empty file        -> fresh journal, header written
+//   * torn header / torn final record -> truncated away (counted in
+//     rtr.ledger.records.truncated); every preceding record recovered
+//   * CRC or codec failure with intact records after it -> LedgerError:
+//     torn writes only ever happen at the tail, so mid-file damage is
+//     real corruption and must be loud
+//   * header config fingerprint != the opener's -> LedgerError: a
+//     journal must never be replayed into a differently-configured run
+//
+// Appends are mutex-serialized, length/CRC framed and flushed to the
+// kernel per record, so a SIGKILL at any instant leaves at worst one
+// torn final record.  Scenario appends auto-emit a CheckpointRecord
+// every kCheckpointEvery records carrying the config fingerprint and
+// the accumulated source-note union.
+//
+// All rtr.ledger.* series are registered kVolatile: how many records a
+// journal replays depends on where the previous process died, not on
+// the workload, so they must never enter the deterministic (stable)
+// metrics section that resumed-vs-uninterrupted runs byte-compare.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ledger/record.h"
+#include "obs/metrics.h"
+
+namespace rtr::ledger {
+
+class Journal {
+ public:
+  /// Scenario appends between automatic checkpoint records.
+  static constexpr std::size_t kCheckpointEvery = 64;
+
+  /// Opens (creating if absent) the journal for appending; recovers
+  /// every intact record into recovered().  Throws LedgerError per the
+  /// contract above.
+  Journal(std::string path, std::uint64_t config_fingerprint);
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::uint64_t config_fingerprint() const { return config_; }
+
+  /// Records recovered at open, in file (append) order.
+  const std::vector<Record>& recovered() const { return recovered_; }
+
+  /// Appends one framed record and flushes.  Honors the
+  /// RTR_LEDGER_CRASH_AFTER=N crash seam: the (N+1)-th scenario append
+  /// of this process writes a deliberately torn half-frame and raises
+  /// SIGKILL, so CI can kill a sweep at a pinned scenario.
+  void append(const Record& r);
+
+  /// Counts one journaled scenario skipped on resume
+  /// (rtr.ledger.resume_skips).
+  void note_resume_skip();
+
+  /// Union of note values across recovered and appended scenario
+  /// records, per note domain, ascending -- the base-tree source sets a
+  /// resuming process pre-warms.
+  std::map<std::string, std::vector<obs::Value>> source_union() const;
+
+ private:
+  void append_frame_locked(const std::vector<std::uint8_t>& payload);
+  void absorb_sources_locked(const Record& r);
+
+  std::string path_;
+  std::uint64_t config_ = 0;
+  std::vector<Record> recovered_;
+
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  std::map<std::string, std::set<obs::Value>> sources_;
+  std::size_t scenario_appends_ = 0;
+  std::optional<std::uint64_t> crash_after_;
+};
+
+}  // namespace rtr::ledger

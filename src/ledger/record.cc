@@ -1,0 +1,379 @@
+#include "ledger/record.h"
+
+#include <array>
+
+namespace rtr::ledger {
+namespace {
+
+// ------------------------------------------------------------ writing --
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  if (s.size() > 0xFFFF) {
+    throw LedgerError("ledger: string field exceeds u16 length prefix");
+  }
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  for (const char c : s) out.push_back(static_cast<std::uint8_t>(c));
+}
+
+void put_bytes(std::vector<std::uint8_t>& out,
+               const std::vector<std::uint8_t>& b) {
+  if (b.size() > kMaxRecordPayload) {
+    throw LedgerError("ledger: byte field exceeds the record payload cap");
+  }
+  put_u32(out, static_cast<std::uint32_t>(b.size()));
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+void put_values(std::vector<std::uint8_t>& out,
+                const std::vector<obs::Value>& vs) {
+  if (vs.size() > kMaxRecordPayload / 8) {
+    throw LedgerError("ledger: value list exceeds the record payload cap");
+  }
+  put_u32(out, static_cast<std::uint32_t>(vs.size()));
+  for (const obs::Value v : vs) put_u64(out, v);
+}
+
+// ------------------------------------------------------------ reading --
+
+/// Bounds-checked big-endian cursor over a record payload.  Every read
+/// validates remaining length first, so a strict prefix can never
+/// produce a value; finish() rejects trailing bytes so a payload can
+/// never silently carry more than its record.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return buf_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>((v << 8) | buf_[pos_++]);
+    }
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | buf_[pos_++];
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | buf_[pos_++];
+    return v;
+  }
+
+  std::string str() {
+    const std::uint16_t n = u16();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    std::vector<std::uint8_t> b(buf_.begin() + static_cast<long>(pos_),
+                                buf_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  void finish() const {
+    if (pos_ != buf_.size()) {
+      throw LedgerError("ledger: trailing bytes after record body");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (buf_.size() - pos_ < n) {
+      throw LedgerError("ledger: truncated record body");
+    }
+  }
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Pre-allocation guard: a declared element count may not exceed what
+/// the remaining bytes could possibly encode.
+void check_count(std::uint64_t n, std::size_t min_elem_bytes,
+                 const Reader& r) {
+  if (n * min_elem_bytes > r.remaining()) {
+    throw LedgerError("ledger: element count exceeds remaining bytes");
+  }
+}
+
+std::vector<obs::Value> read_values(Reader& r) {
+  const std::uint32_t n = r.u32();
+  check_count(n, 8, r);
+  std::vector<obs::Value> vs;
+  vs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) vs.push_back(r.u64());
+  return vs;
+}
+
+// -------------------------------------------------------- delta codec --
+
+void put_delta(std::vector<std::uint8_t>& out, const obs::UnitDelta& d) {
+  put_u32(out, static_cast<std::uint32_t>(d.series.size()));
+  for (const auto& [name, sd] : d.series) {
+    put_str(out, name);
+    put_u8(out, static_cast<std::uint8_t>(sd.kind));
+    put_u64(out, sd.count);
+    put_u64(out, sd.sum);
+    put_u64(out, sd.max);
+    put_u64(out, sd.min);
+    put_values(out, sd.bucket_bounds);
+    put_values(out, sd.bucket_counts);
+  }
+  put_u32(out, static_cast<std::uint32_t>(d.notes.size()));
+  for (const auto& [key, vs] : d.notes) {
+    put_str(out, key);
+    put_values(out, vs);
+  }
+}
+
+obs::UnitDelta read_delta(Reader& r) {
+  obs::UnitDelta d;
+  const std::uint32_t n_series = r.u32();
+  // Minimum series: empty name (2) + kind (1) + four u64 summaries (32)
+  // + two empty value lists (8).
+  check_count(n_series, 43, r);
+  for (std::uint32_t i = 0; i < n_series; ++i) {
+    std::string name = r.str();
+    obs::SeriesDelta sd;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(obs::Kind::kHistogram)) {
+      throw LedgerError("ledger: unknown series kind in delta");
+    }
+    sd.kind = static_cast<obs::Kind>(kind);
+    sd.count = r.u64();
+    sd.sum = r.u64();
+    sd.max = r.u64();
+    sd.min = r.u64();
+    sd.bucket_bounds = read_values(r);
+    sd.bucket_counts = read_values(r);
+    if (!sd.bucket_counts.empty() &&
+        sd.bucket_counts.size() != sd.bucket_bounds.size() + 1) {
+      throw LedgerError("ledger: histogram delta bucket/bound mismatch");
+    }
+    if (!d.series.emplace(std::move(name), std::move(sd)).second) {
+      throw LedgerError("ledger: duplicate series in delta");
+    }
+  }
+  const std::uint32_t n_notes = r.u32();
+  // Minimum note: empty key (2) + empty value list (4).
+  check_count(n_notes, 6, r);
+  for (std::uint32_t i = 0; i < n_notes; ++i) {
+    std::string key = r.str();
+    std::vector<obs::Value> vs = read_values(r);
+    if (!d.notes.emplace(std::move(key), std::move(vs)).second) {
+      throw LedgerError("ledger: duplicate note key in delta");
+    }
+  }
+  return d;
+}
+
+// ------------------------------------------------------- record bodies --
+
+void put_checkpoint(std::vector<std::uint8_t>& out,
+                    const CheckpointRecord& c) {
+  put_u64(out, c.config);
+  put_u32(out, static_cast<std::uint32_t>(c.sources.size()));
+  for (const auto& [key, vs] : c.sources) {
+    put_str(out, key);
+    put_values(out, vs);
+  }
+}
+
+CheckpointRecord read_checkpoint(Reader& r) {
+  CheckpointRecord c;
+  c.config = r.u64();
+  const std::uint32_t n = r.u32();
+  check_count(n, 6, r);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    std::vector<obs::Value> vs = read_values(r);
+    if (!c.sources.emplace(std::move(key), std::move(vs)).second) {
+      throw LedgerError("ledger: duplicate source domain in checkpoint");
+    }
+  }
+  return c;
+}
+
+void put_scenario(std::vector<std::uint8_t>& out, const ScenarioRecord& s) {
+  put_u64(out, s.sweep);
+  put_u64(out, s.index);
+  put_u64(out, s.seed);
+  put_u64(out, s.stream_seed);
+  put_u64(out, s.watermark);
+  put_u64(out, s.digest);
+  put_bytes(out, s.payload);
+  put_delta(out, s.delta);
+}
+
+ScenarioRecord read_scenario(Reader& r) {
+  ScenarioRecord s;
+  s.sweep = r.u64();
+  s.index = r.u64();
+  s.seed = r.u64();
+  s.stream_seed = r.u64();
+  s.watermark = r.u64();
+  s.digest = r.u64();
+  const std::uint32_t n = r.u32();
+  check_count(n, 1, r);
+  s.payload = r.bytes(n);
+  s.delta = read_delta(r);
+  return s;
+}
+
+void put_envelope(std::vector<std::uint8_t>& out, const EnvelopeRecord& e) {
+  put_bytes(out, e.frame);
+}
+
+EnvelopeRecord read_envelope(Reader& r) {
+  EnvelopeRecord e;
+  const std::uint32_t n = r.u32();
+  check_count(n, 1, r);
+  e.frame = r.bytes(n);
+  return e;
+}
+
+}  // namespace
+
+RecordType record_type(const Record& r) {
+  return std::visit(
+      [](const auto& body) -> RecordType {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, CheckpointRecord>) {
+          return RecordType::kCheckpoint;
+        } else if constexpr (std::is_same_v<T, ScenarioRecord>) {
+          return RecordType::kScenario;
+        } else {
+          return RecordType::kEnvelope;
+        }
+      },
+      r);
+}
+
+std::vector<std::uint8_t> encode_record(const Record& r) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, static_cast<std::uint8_t>(record_type(r)));
+  std::visit(
+      [&out](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, CheckpointRecord>) {
+          put_checkpoint(out, body);
+        } else if constexpr (std::is_same_v<T, ScenarioRecord>) {
+          put_scenario(out, body);
+        } else {
+          put_envelope(out, body);
+        }
+      },
+      r);
+  if (out.size() > kMaxRecordPayload) {
+    throw LedgerError("ledger: record payload exceeds kMaxRecordPayload");
+  }
+  return out;
+}
+
+Record decode_record(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxRecordPayload) {
+    throw LedgerError("ledger: record payload exceeds kMaxRecordPayload");
+  }
+  Reader r(payload);
+  const std::uint8_t type = r.u8();
+  Record out;
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kCheckpoint:
+      out = read_checkpoint(r);
+      break;
+    case RecordType::kScenario:
+      out = read_scenario(r);
+      break;
+    case RecordType::kEnvelope:
+      out = read_envelope(r);
+      break;
+    default:
+      throw LedgerError("ledger: unknown record type byte");
+  }
+  r.finish();
+  return out;
+}
+
+namespace {
+
+/// CRC-32 lookup table for the reflected ISO-HDLC polynomial
+/// 0xEDB88320, built at compile time from pure arithmetic.
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  static constexpr std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n,
+                      std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(const std::string& s, std::uint64_t seed) {
+  return fnv1a64(reinterpret_cast<const std::uint8_t*>(s.data()), s.size(),
+                 seed);
+}
+
+}  // namespace rtr::ledger

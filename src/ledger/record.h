@@ -1,0 +1,116 @@
+// rtr::ledger record codec -- the byte layer of the crash-durable
+// journal (DESIGN.md section 12).
+//
+// A journal file is a fixed header followed by length-prefixed,
+// CRC-framed records:
+//
+//   header   u32 magic 'RTRL' | u16 version | u16 reserved(0)
+//            | u64 config fingerprint
+//   record   u32 payload_len | u32 crc32(payload) | payload
+//   payload  u8 record type | type-specific body (big-endian, doubles
+//            as IEEE-754 bit patterns -- same dialect as svc/wire.h)
+//
+// Same adversarial contract as the other codecs in this tree
+// (net/codec.h, svc/wire.h), checked by tests/prop/test_prop_ledger.cc:
+// every strict prefix of a record payload is rejected, a bit flip never
+// escapes the CRC into a silently-wrong record, and a torn final record
+// is truncated away on open with every preceding record recovered.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rtr::ledger {
+
+/// Malformed journal bytes, a mid-file CRC mismatch, or a config
+/// fingerprint that contradicts the opener's.  Never reachable from a
+/// torn *final* record -- those truncate silently (and are counted).
+class LedgerError : public std::runtime_error {
+ public:
+  explicit LedgerError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Canonical wire constants, pinned by tools/lint/wire_schema.toml and
+// mirrored in tests/prop/test_prop_ledger.cc.
+inline constexpr std::uint32_t kLedgerMagic = 0x5254524C;  // "RTRL"
+inline constexpr std::uint16_t kLedgerVersion = 1;
+/// Hard cap on one record's payload: a scenario's serialized partial is
+/// tens of KiB; anything near this bound is corruption, rejected before
+/// the length prefix can drive an allocation.
+inline constexpr std::size_t kMaxRecordPayload = 1u << 24;
+/// Journal header size in bytes (magic + version + reserved + config
+/// fingerprint).
+inline constexpr std::size_t kLedgerHeaderBytes = 16;
+
+enum class RecordType : std::uint8_t {
+  kCheckpoint = 1,
+  kScenario = 2,
+  kEnvelope = 3,
+};
+
+/// Periodic durability point: re-pins the config fingerprint mid-file
+/// and snapshots the accumulated base-tree source sets (by unit-note
+/// domain, e.g. "spf.base.dijkstra") so a resuming process can re-warm
+/// its BaseTreeStore caches without scanning every scenario record.
+struct CheckpointRecord {
+  std::uint64_t config = 0;  ///< config fingerprint at append time
+  std::map<std::string, std::vector<obs::Value>> sources;
+
+  bool operator==(const CheckpointRecord&) const = default;
+};
+
+/// One completed experiment scenario: identity (sweep fingerprint +
+/// index + seeds), the serialized partial result (opaque to the ledger;
+/// exp owns the blob codec) and the exact stable-metric delta the
+/// scenario contributed.
+struct ScenarioRecord {
+  std::uint64_t sweep = 0;        ///< per-sweep fingerprint
+  std::uint64_t index = 0;        ///< scenario index within the sweep
+  std::uint64_t seed = 0;         ///< scenario-level seed input
+  std::uint64_t stream_seed = 0;  ///< fault/storm per-scenario stream id
+  std::uint64_t watermark = 0;    ///< storm ticks completed (0 otherwise)
+  std::uint64_t digest = 0;       ///< fnv1a64 over `payload`
+  std::vector<std::uint8_t> payload;
+  obs::UnitDelta delta;
+
+  bool operator==(const ScenarioRecord&) const = default;
+};
+
+/// One admitted service request, verbatim wire frame (svc/wire.h).
+/// Replaying the frames through svc::Server::serve() rebuilds the warm
+/// planner caches a restarted server would otherwise lack.
+struct EnvelopeRecord {
+  std::vector<std::uint8_t> frame;
+
+  bool operator==(const EnvelopeRecord&) const = default;
+};
+
+using Record = std::variant<CheckpointRecord, ScenarioRecord, EnvelopeRecord>;
+
+RecordType record_type(const Record& r);
+
+/// Serializes one record into a framing-free payload (type byte +
+/// body).  The journal adds the length/CRC frame.
+std::vector<std::uint8_t> encode_record(const Record& r);
+
+/// Parses a record payload.  Throws LedgerError on a truncated body,
+/// trailing bytes, an unknown type byte, or a length field that
+/// contradicts the remaining bytes.
+Record decode_record(const std::vector<std::uint8_t>& payload);
+
+/// CRC-32 (ISO-HDLC polynomial, the zlib one) over a byte range.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+/// FNV-1a 64-bit over bytes, seedable for chained fingerprints.
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+std::uint64_t fnv1a64(const std::string& s,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace rtr::ledger

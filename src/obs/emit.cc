@@ -3,6 +3,7 @@
 #include <sys/resource.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -160,15 +161,25 @@ std::string to_json(const Snapshot& snapshot, const RunInfo& run,
 
 bool write_metrics_file(const std::string& path, const Snapshot& snapshot,
                         const RunInfo& run, const EmitOptions& opts) {
-  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  // Write-to-temp + atomic rename: a reader (or a crash) mid-flush can
+  // only ever observe the previous complete document, never a torn one
+  // -- the same durability posture as the ledger's append framing.
+  const std::string tmp = path + ".tmp";
+  std::ofstream f(tmp, std::ios::out | std::ios::trunc);
   if (!f) {
-    std::cerr << "obs: cannot open metrics file " << path << '\n';
+    std::cerr << "obs: cannot open metrics file " << tmp << '\n';
     return false;
   }
   f << to_json(snapshot, run, opts) << '\n';
   f.close();
   if (!f) {
-    std::cerr << "obs: failed writing metrics file " << path << '\n';
+    std::cerr << "obs: failed writing metrics file " << tmp << '\n';
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::cerr << "obs: cannot rename " << tmp << " to " << path << '\n';
+    (void)std::remove(tmp.c_str());
     return false;
   }
   return true;

@@ -72,8 +72,11 @@ Value peak_rss_kb();
 std::string to_json(const Snapshot& snapshot, const RunInfo& run,
                     const EmitOptions& opts);
 
-/// Writes to_json() plus a trailing newline to `path`.  Returns false
-/// (after printing to stderr) when the file cannot be written.
+/// Writes to_json() plus a trailing newline to `path`, atomically: the
+/// document lands in `path + ".tmp"` first and is rename()d into place,
+/// so a reader racing a flush (or a crash mid-write) only ever sees the
+/// previous complete document, never a torn one.  Returns false (after
+/// printing to stderr) when the file cannot be written or renamed.
 bool write_metrics_file(const std::string& path, const Snapshot& snapshot,
                         const RunInfo& run, const EmitOptions& opts);
 

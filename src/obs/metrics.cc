@@ -31,6 +31,68 @@ std::size_t this_thread_shard() {
 
 namespace detail {
 
+/// Accumulates one unit of work's stable-series updates and keyed
+/// notes.  Strictly thread-private (reached only through the TLS
+/// pointer), so nothing here needs atomics.
+class UnitRecorder {
+ public:
+  void on_counter(const Metric& m, Value v) { slot(m, Kind::kCounter).count += v; }
+
+  void on_summary(const Metric& m, Kind kind, Value v) {
+    SeriesDelta& d = slot(m, kind);
+    d.count += 1;
+    d.sum += v;
+    d.max = std::max(d.max, v);
+    d.min = std::min(d.min, v);
+  }
+
+  void on_histogram(const Histogram& h, Value v, std::size_t bucket) {
+    SeriesDelta& d = slot(h, Kind::kHistogram);
+    if (d.bucket_counts.empty()) {
+      d.bucket_bounds = h.bounds();
+      d.bucket_counts.assign(h.bounds().size() + 1, 0);
+    }
+    d.count += 1;
+    d.sum += v;
+    d.max = std::max(d.max, v);
+    d.min = std::min(d.min, v);
+    d.bucket_counts[bucket] += 1;
+  }
+
+  void on_note(std::string_view key, Value v) {
+    auto it = d_.notes.find(key);
+    if (it == d_.notes.end()) {
+      it = d_.notes.emplace(std::string(key), std::vector<Value>{}).first;
+    }
+    it->second.push_back(v);
+  }
+
+  UnitDelta take() {
+    UnitDelta out = std::move(d_);
+    d_ = UnitDelta{};
+    return out;
+  }
+
+ private:
+  SeriesDelta& slot(const Metric& m, Kind kind) {
+    auto it = d_.series.find(m.name());
+    if (it == d_.series.end()) {
+      it = d_.series.emplace(m.name(), SeriesDelta{}).first;
+      it->second.kind = kind;
+    }
+    return it->second;
+  }
+
+  UnitDelta d_;
+};
+
+thread_local UnitRecorder* t_unit_recorder = nullptr;
+
+void unit_record_counter(const Counter& c, Value v) {
+  if (c.stability() != Stability::kStable) return;
+  t_unit_recorder->on_counter(c, v);
+}
+
 void atomic_max(std::atomic<Value>& a, Value v) {
   Value cur = a.load(std::memory_order_relaxed);
   while (cur < v &&
@@ -102,6 +164,19 @@ void Counter::reset() {
 
 void Gauge::record(Value v) {
   detail::record_into(cells_[this_thread_shard()], v);
+  if (detail::t_unit_recorder != nullptr &&
+      stability() == Stability::kStable) {
+    detail::t_unit_recorder->on_summary(*this, Kind::kGauge, v);
+  }
+}
+
+void Gauge::fold(Value count, Value sum, Value min, Value max) {
+  if (count == 0) return;
+  detail::ShardCell& c = cells_[this_thread_shard()];
+  c.count.fetch_add(count, std::memory_order_relaxed);
+  c.sum.fetch_add(sum, std::memory_order_relaxed);
+  detail::atomic_max(c.max, max);
+  detail::atomic_min(c.min, min);
 }
 
 Sample Gauge::sample() const {
@@ -135,6 +210,27 @@ void Histogram::observe(Value v) {
       std::lower_bound(bounds_.begin(), bounds_.end(), v) -
       bounds_.begin());
   buckets_[shard].counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (detail::t_unit_recorder != nullptr &&
+      stability() == Stability::kStable) {
+    detail::t_unit_recorder->on_histogram(*this, v, bucket);
+  }
+}
+
+void Histogram::fold(Value count, Value sum, Value min, Value max,
+                     const std::vector<Value>& bucket_counts) {
+  RTR_EXPECT_MSG(bucket_counts.size() == bounds_.size() + 1,
+                 "histogram fold: bucket vector does not match bounds");
+  if (count == 0) return;
+  const std::size_t shard = this_thread_shard();
+  detail::ShardCell& c = cells_[shard];
+  c.count.fetch_add(count, std::memory_order_relaxed);
+  c.sum.fetch_add(sum, std::memory_order_relaxed);
+  detail::atomic_max(c.max, max);
+  detail::atomic_min(c.min, min);
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    buckets_[shard].counts[i].fetch_add(bucket_counts[i],
+                                        std::memory_order_relaxed);
+  }
 }
 
 Sample Histogram::sample() const {
@@ -286,6 +382,77 @@ void Registry::reset() {
 std::size_t Registry::series_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return metrics_.size();
+}
+
+// ----------------------------------------------------- unit capture --
+
+UnitCapture::UnitCapture() : rec_(std::make_unique<detail::UnitRecorder>()) {
+  RTR_EXPECT_MSG(detail::t_unit_recorder == nullptr,
+                 "UnitCapture scopes must not nest on one thread");
+  detail::t_unit_recorder = rec_.get();
+}
+
+UnitCapture::~UnitCapture() { detail::t_unit_recorder = nullptr; }
+
+UnitDelta UnitCapture::take() {
+  UnitDelta d = rec_->take();
+  // Pin every stable series registered by the time the unit completed,
+  // zero-count slots included.  A resumed run that replays *every*
+  // unit from a journal never executes the instrumented code paths, so
+  // without these slots it would drop zero-valued series (and their
+  // registrations) that an uninterrupted run reports -- breaking the
+  // byte-identical metrics contract.  Zero slots replay as pure
+  // registrations: add(0) / a fold that early-returns.
+  for (const Sample& s : Registry::global().snapshot()) {
+    if (s.stability != Stability::kStable) continue;
+    const auto [it, inserted] = d.series.try_emplace(s.name);
+    if (!inserted) continue;
+    SeriesDelta& sd = it->second;
+    sd.kind = s.kind;
+    if (s.kind == Kind::kHistogram) {
+      sd.bucket_bounds = s.bucket_bounds;
+      sd.bucket_counts.assign(s.bucket_bounds.size() + 1, 0);
+    }
+  }
+  return d;
+}
+
+UnitCaptureSuspend::UnitCaptureSuspend() : saved_(detail::t_unit_recorder) {
+  detail::t_unit_recorder = nullptr;
+}
+
+UnitCaptureSuspend::~UnitCaptureSuspend() {
+  detail::t_unit_recorder = saved_;
+}
+
+void unit_note(std::string_view key, Value v) {
+  if (detail::t_unit_recorder != nullptr) {
+    detail::t_unit_recorder->on_note(key, v);
+  }
+}
+
+void apply_unit_delta(Registry& r, const UnitDelta& d) {
+  RTR_EXPECT_MSG(detail::t_unit_recorder == nullptr,
+                 "replaying a delta inside an armed capture would "
+                 "re-attribute it to the current unit");
+  for (const auto& [name, sd] : d.series) {
+    switch (sd.kind) {
+      case Kind::kCounter:
+        r.counter(name).add(sd.count);
+        break;
+      case Kind::kGauge:
+        r.gauge(name).fold(sd.count, sd.sum, sd.min, sd.max);
+        break;
+      case Kind::kHistogram: {
+        Histogram& h = r.histogram(name, sd.bucket_bounds);
+        RTR_EXPECT_MSG(h.bounds() == sd.bucket_bounds,
+                       "replayed histogram delta disagrees with the "
+                       "registered bucket bounds");
+        h.fold(sd.count, sd.sum, sd.min, sd.max, sd.bucket_counts);
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace rtr::obs

@@ -55,6 +55,8 @@ inline constexpr std::size_t kShards = 16;
 /// The shard slot of the calling thread (assigned on first use).
 std::size_t this_thread_shard();
 
+class Counter;
+
 namespace detail {
 /// One cache line of atomic u64 cells, so workers on different shards
 /// never false-share.
@@ -67,6 +69,15 @@ struct alignas(64) ShardCell {
 
 void atomic_max(std::atomic<Value>& a, Value v);
 void atomic_min(std::atomic<Value>& a, Value v);
+
+class UnitRecorder;
+/// Per-thread capture target; non-null only inside a UnitCapture scope
+/// on the calling thread (and nulled across a UnitCaptureSuspend).
+/// Checked inline on the Counter::add hot path: one TLS load + branch
+/// when no capture is armed.
+extern thread_local UnitRecorder* t_unit_recorder;
+
+void unit_record_counter(const Counter& c, Value v);
 }  // namespace detail
 
 /// Point-in-time value of one series (shards already merged).
@@ -124,6 +135,9 @@ class Counter final : public Metric {
   void add(Value v) {
     cells_[this_thread_shard()].count.fetch_add(v,
                                                 std::memory_order_relaxed);
+    if (detail::t_unit_recorder != nullptr) {
+      detail::unit_record_counter(*this, v);
+    }
   }
   void inc() { add(1); }
 
@@ -144,6 +158,12 @@ class Gauge final : public Metric {
 
   void record(Value v);
 
+  /// Folds an exact summary delta (count / sum / min / max) into the
+  /// calling thread's shard; min/max are ignored when count == 0.  The
+  /// replay path of apply_unit_delta() -- record() cannot reproduce a
+  /// min/max pair without replaying every observation.
+  void fold(Value count, Value sum, Value min, Value max);
+
   Sample sample() const override;
   void reset() override;
 
@@ -160,6 +180,11 @@ class Histogram final : public Metric {
             std::vector<Value> bounds);
 
   void observe(Value v);
+
+  /// Folds an exact delta into the calling thread's shard; the bucket
+  /// vector must have bounds().size() + 1 entries (RTR_EXPECT).
+  void fold(Value count, Value sum, Value min, Value max,
+            const std::vector<Value>& bucket_counts);
 
   const std::vector<Value>& bounds() const { return bounds_; }
   Sample sample() const override;
@@ -256,5 +281,88 @@ class ScopedTimer {
   Histogram* sink_;
   std::chrono::steady_clock::time_point start_;
 };
+
+// ------------------------------------------------------- unit capture --
+//
+// Exact per-unit-of-work attribution of *stable* series, the metric
+// half of the crash-durable ledger (src/ledger): while a UnitCapture is
+// armed on a thread, every stable Counter::add / Gauge::record /
+// Histogram::observe on that thread is mirrored into a private
+// UnitDelta.  Replaying the delta with apply_unit_delta() reproduces
+// the unit's registry effects bit-exactly -- including gauge/histogram
+// min/max, which no snapshot subtraction could recover -- so a resumed
+// sweep's stable metrics equal an uninterrupted run's.  Volatile series
+// are never captured: they are wall clock, not workload.
+
+/// Exact delta one unit of work contributed to a single stable series.
+struct SeriesDelta {
+  Kind kind = Kind::kCounter;
+  Value count = 0;
+  Value sum = 0;
+  Value max = 0;
+  Value min = ~Value{0};
+  /// Histograms only: the registration bounds (so replay into a fresh
+  /// process can re-register the series) and bounds.size() + 1 bucket
+  /// increments.
+  std::vector<Value> bucket_bounds;
+  std::vector<Value> bucket_counts;
+
+  bool operator==(const SeriesDelta&) const = default;
+};
+
+/// Everything one unit of work did to the stable registry, plus keyed
+/// notes recorded via unit_note(): enough to replay the unit's metric
+/// effects -- and re-warm its caches -- without re-running it.
+struct UnitDelta {
+  std::map<std::string, SeriesDelta, std::less<>> series;
+  /// Keyed event lists in recording order (e.g. which base-tree sources
+  /// the unit requested, keyed by "spf.base.<algo>").
+  std::map<std::string, std::vector<Value>, std::less<>> notes;
+
+  bool empty() const { return series.empty() && notes.empty(); }
+  bool operator==(const UnitDelta&) const = default;
+};
+
+/// Arms capture on the constructing thread for its lifetime.  Nesting
+/// is a programming error (RTR_EXPECT); captures on other threads are
+/// independent.
+class UnitCapture {
+ public:
+  UnitCapture();
+  UnitCapture(const UnitCapture&) = delete;
+  UnitCapture& operator=(const UnitCapture&) = delete;
+  ~UnitCapture();
+
+  /// Moves out everything captured so far and resets the recorder.
+  UnitDelta take();
+
+ private:
+  std::unique_ptr<detail::UnitRecorder> rec_;
+};
+
+/// RAII suspension of the calling thread's active capture (no-op when
+/// none is armed): updates inside the scope are process-global work --
+/// e.g. a compute-once BaseTreeStore fill -- not attributable to the
+/// unit that happened to trigger them.
+class UnitCaptureSuspend {
+ public:
+  UnitCaptureSuspend();
+  UnitCaptureSuspend(const UnitCaptureSuspend&) = delete;
+  UnitCaptureSuspend& operator=(const UnitCaptureSuspend&) = delete;
+  ~UnitCaptureSuspend();
+
+ private:
+  detail::UnitRecorder* saved_;
+};
+
+/// Appends v to the active capture's `key` note list (no-op without an
+/// armed capture).  Key grammar is free-form dotted lowercase.
+void unit_note(std::string_view key, Value v);
+
+/// Replays a captured delta into the registry: counters fetch_add,
+/// gauges/histograms fold count/sum/min/max and bucket increments.
+/// Series missing from the registry are registered (stable, histogram
+/// bounds from the delta).  Kind mismatches are programming errors.
+void apply_unit_delta(Registry& r, const UnitDelta& d);
 
 }  // namespace rtr::obs

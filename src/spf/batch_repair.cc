@@ -242,6 +242,12 @@ std::shared_ptr<const SptResult> BaseTreeStore::from(NodeId source) const {
   RTR_EXPECT(g_->valid_node(source));
   static obs::Counter& computed =
       obs::Registry::global().counter("rtr.spf.base_trees.computed");
+  // Which sources a unit of work *requested* is deterministic per unit
+  // and is what a ledger-resumed run pre-warms; noted before the lock
+  // so the note order within a unit matches call order.
+  obs::unit_note(alg_ == SpfAlgorithm::kBfsHopCount ? "spf.base.bfs"
+                                                    : "spf.base.dijkstra",
+                 source);
   // The mutex is held across the computation on purpose: each tree is
   // then computed exactly once per process, keeping the spf.*.runs
   // counters bit-identical at every thread count.
@@ -250,6 +256,11 @@ std::shared_ptr<const SptResult> BaseTreeStore::from(NodeId source) const {
   if (tree == nullptr) {
     CompressedSpt& slot = compressed_[source];
     if (!slot.computed()) {
+      // Compute-once work belongs to the process, not to whichever
+      // unit happened to ask first: a resumed run re-warms these trees
+      // itself (from the journaled source notes), so attributing the
+      // counters to the unit's delta would double-count them on replay.
+      const obs::UnitCaptureSuspend suspend;
       computed.inc();
       SptResult r = alg_ == SpfAlgorithm::kBfsHopCount
                         ? bfs_from(*g_, source)

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/expect.h"
 #include "common/rng.h"
@@ -41,6 +44,9 @@ StormOptions StormOptions::from_env() {
   o.budget_ops =
       static_cast<std::size_t>(env_u64("RTR_STORM_BUDGET", o.budget_ops));
   o.seed = env_u64("RTR_STORM_SEED", o.seed);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): env read before workers start
+  const char* waypoints = std::getenv("RTR_STORM_WAYPOINTS");
+  if (waypoints != nullptr && *waypoints != '\0') o.waypoint_file = waypoints;
   return o;
 }
 
@@ -49,21 +55,162 @@ std::string StormOptions::describe() const {
   os << "storm[ticks=" << ticks << " tick-ms=" << tick_ms
      << " cells=" << cells << " radius=" << radius << " growth=" << growth
      << " speed=" << speed << " flap=" << flap_prob
-     << " budget=" << budget_ops << " seed=" << seed << "]";
+     << " budget=" << budget_ops << " seed=" << seed;
+  if (!waypoint_file.empty()) os << " waypoints=" << waypoint_file;
+  os << "]";
   return os.str();
 }
 
+namespace {
+
+[[noreturn]] void waypoint_error(const std::string& path, std::size_t line,
+                                 const std::string& msg) {
+  std::ostringstream os;
+  os << "storm waypoints: " << path << ":" << line << ": " << msg;
+  throw std::runtime_error(os.str());
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+bool parse_field_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_field_f64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+struct Waypoint {
+  std::size_t tick = 0;
+  geom::Point pos;
+  double radius = 0.0;
+};
+
+}  // namespace
+
+std::vector<StormCell> load_waypoints(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("storm waypoints: cannot open " + path);
+  }
+  // Group rows by cell id; file order fixes the per-cell waypoint order
+  // (ticks must strictly increase within a cell), the sorted map fixes
+  // the cell order, so the segment list is a pure function of the bytes.
+  std::map<std::uint64_t, std::vector<Waypoint>> tracks;
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = line.find(',', start);
+      fields.push_back(trim(line.substr(start, comma - start)));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (fields.size() != 5) {
+      waypoint_error(path, lineno,
+                     "expected 5 fields (cell,tick,x,y,radius), got " +
+                         std::to_string(fields.size()));
+    }
+    std::uint64_t cell = 0, tick = 0;
+    Waypoint w;
+    if (!parse_field_u64(fields[0], &cell)) {
+      waypoint_error(path, lineno, "bad cell id '" + fields[0] + "'");
+    }
+    if (!parse_field_u64(fields[1], &tick)) {
+      waypoint_error(path, lineno, "bad tick '" + fields[1] + "'");
+    }
+    if (!parse_field_f64(fields[2], &w.pos.x)) {
+      waypoint_error(path, lineno, "bad x '" + fields[2] + "'");
+    }
+    if (!parse_field_f64(fields[3], &w.pos.y)) {
+      waypoint_error(path, lineno, "bad y '" + fields[3] + "'");
+    }
+    if (!parse_field_f64(fields[4], &w.radius) || w.radius <= 0.0) {
+      waypoint_error(path, lineno,
+                     "bad radius '" + fields[4] + "' (must be > 0)");
+    }
+    w.tick = static_cast<std::size_t>(tick);
+    std::vector<Waypoint>& track = tracks[cell];
+    if (!track.empty() && w.tick <= track.back().tick) {
+      waypoint_error(path, lineno,
+                     "ticks of cell " + std::to_string(cell) +
+                         " must strictly increase");
+    }
+    track.push_back(w);
+  }
+  if (tracks.empty()) {
+    throw std::runtime_error("storm waypoints: " + path +
+                             " has no waypoint rows");
+  }
+  std::vector<StormCell> cells;
+  for (const auto& [id, track] : tracks) {
+    if (track.size() < 2) {
+      throw std::runtime_error(
+          "storm waypoints: " + path + ": cell " + std::to_string(id) +
+          " needs at least 2 waypoints to define a track");
+    }
+    for (std::size_t i = 0; i + 1 < track.size(); ++i) {
+      const Waypoint& a = track[i];
+      const Waypoint& b = track[i + 1];
+      const double dt = static_cast<double>(b.tick - a.tick);
+      StormCell cell;
+      cell.origin = a.pos;
+      cell.velocity = (b.pos - a.pos) * (1.0 / dt);
+      cell.radius0 = a.radius;
+      cell.radius_growth = (b.radius - a.radius) / dt;
+      cell.start_tick = a.tick;
+      // Segments hand off half-open at the next waypoint; the last one
+      // stays active through its final waypoint's tick.
+      cell.end_tick = i + 2 == track.size() ? b.tick + 1 : b.tick;
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
 StormSpec make_storm_spec(const StormOptions& opts,
-                          std::uint64_t stream_seed) {
+                          std::uint64_t stream_seed,
+                          const std::vector<StormCell>* waypoint_cells) {
   RTR_EXPECT(opts.any());
   RTR_EXPECT(opts.cells > 0);
   RTR_EXPECT(opts.extent > 0.0);
   RTR_EXPECT(opts.flap_prob >= 0.0 && opts.flap_prob <= 1.0);
-  Rng rng(stream_seed);
   StormSpec spec;
   spec.ticks = opts.ticks;
   spec.tick_ms = opts.tick_ms;
   spec.flap_prob = opts.flap_prob;
+  if (waypoint_cells != nullptr || !opts.waypoint_file.empty()) {
+    std::vector<StormCell> loaded;
+    if (waypoint_cells == nullptr) {
+      loaded = load_waypoints(opts.waypoint_file);
+      waypoint_cells = &loaded;
+    }
+    // Recorded track: the roster is fixed data, no random draws at all
+    // (ticks past the horizon simply never activate downstream).
+    spec.cells = *waypoint_cells;
+    return spec;
+  }
+  Rng rng(stream_seed);
   spec.cells.reserve(opts.cells);
   // Fixed draw order per cell (x, y, heading, stagger) keeps the spec a
   // pure function of (options, stream_seed) regardless of cell count

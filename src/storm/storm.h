@@ -67,6 +67,16 @@ struct StormOptions {
   /// substream via fault::FaultPlan::stream_seed.  RTR_STORM_SEED.
   std::uint64_t seed = 0x53544f52;  // "STOR"
 
+  /// Optional CSV track file replaying a recorded disaster (hurricane
+  /// advisories, outage reports) instead of the seeded random cells:
+  /// each data row is `cell,tick,x,y,radius` and consecutive waypoints
+  /// of one cell become a linear StormCell segment (see
+  /// load_waypoints()).  "" (the default) keeps the random tracks.
+  /// The exp runner loads the file once before the scenario fan-out;
+  /// a journaled run folds the file's *content* hash into the ledger
+  /// config fingerprint (exp::BenchConfig::fingerprint()).
+  std::string waypoint_file;  ///< RTR_STORM_WAYPOINTS / --storm-waypoints
+
   /// True when the storm layer is armed -- the master switch the exp
   /// runner tests before compiling any spec.
   bool any() const { return ticks > 0; }
@@ -116,12 +126,32 @@ struct StormSpec {
   std::vector<StormCell> cells;
 };
 
+/// Parses a CSV storm track into ready-made cell segments.  Each data
+/// row is `cell,tick,x,y,radius` (blank lines and `#` comments are
+/// skipped); rows of one cell must carry strictly increasing ticks and
+/// every cell needs at least two waypoints to define a track.  Each
+/// consecutive waypoint pair becomes one StormCell whose origin,
+/// velocity and radius growth interpolate the pair linearly over
+/// [tick_i, tick_{i+1}); the final segment stays active through its
+/// last waypoint's tick.  Cells are emitted in ascending cell-id order
+/// so the result is a pure function of the file's bytes.  Throws
+/// std::runtime_error naming the offending line on malformed input.
+std::vector<StormCell> load_waypoints(const std::string& path);
+
 /// Compiles options into a concrete spec using one dedicated substream
 /// (callers derive stream_seed via fault::FaultPlan::stream_seed(
 /// opts.seed, scenario index)).  Cell origins are uniform in the
 /// extent square, headings uniform in [0, 2*pi); cells after the first
 /// start at staggered ticks in [0, ticks/2].  Requires opts.any().
+///
+/// When opts.waypoint_file is set the roster is not random: the
+/// waypoint segments are used verbatim (pass them via waypoint_cells
+/// to load the file once across many scenarios; nullptr loads it
+/// here), the cells/radius/growth/speed knobs are ignored, and
+/// stream_seed only matters downstream (timeline flap draws).
 StormSpec make_storm_spec(const StormOptions& opts,
-                          std::uint64_t stream_seed);
+                          std::uint64_t stream_seed,
+                          const std::vector<StormCell>* waypoint_cells =
+                              nullptr);
 
 }  // namespace rtr::storm

@@ -1,9 +1,12 @@
 #include "svc/server.h"
 
+#include <sstream>
 #include <stdexcept>
 #include <utility>
+#include <variant>
 
 #include "common/parallel.h"
+#include "ledger/journal.h"
 #include "obs/metrics.h"
 
 namespace rtr::svc {
@@ -34,6 +37,22 @@ ServiceMetrics& service_metrics() {
   // metrics registry, same idiom as every other instrumentation site
   static ServiceMetrics m;
   return m;
+}
+
+/// Identity of the serving configuration a request journal is valid
+/// for: the loaded topology set, by name (TopologyMap iterates in name
+/// order) with node and link counts.  A restarted server with a
+/// different topology set would replay frames into the wrong graphs;
+/// the journal header fingerprint makes that a loud LedgerError
+/// instead.
+std::uint64_t topology_fingerprint(const TopologyMap& topologies) {
+  std::ostringstream os;
+  os << "svc-ledger-v1";
+  for (const auto& [name, ctx] : topologies) {
+    os << "|" << name << ":" << ctx->g.num_nodes() << ":"
+       << ctx->g.num_links();
+  }
+  return ledger::fnv1a64(os.str());
 }
 
 }  // namespace
@@ -72,6 +91,31 @@ void Server::start() {
   if (running()) {
     throw std::logic_error("svc: server already running");
   }
+  if (!opts_.ledger_path.empty() && journal_ == nullptr) {
+    // First start of this process: open (validating the topology
+    // fingerprint) and replay every journaled request through the
+    // serve path before any worker exists.  Responses are discarded --
+    // the callers got theirs in the previous life -- but the side
+    // effects (warm BaseTreeStore trees, admitted/served counters)
+    // land exactly as if this process had served the requests itself.
+    journal_ = std::make_shared<ledger::Journal>(
+        opts_.ledger_path, topology_fingerprint(topologies_));
+    ServiceMetrics& m = service_metrics();
+    for (const ledger::Record& r : journal_->recovered()) {
+      const auto* env = std::get_if<ledger::EnvelopeRecord>(&r);
+      if (env == nullptr) continue;
+      m.admitted.inc();
+      (void)serve(env->frame);
+      journal_->note_resume_skip();
+    }
+    // Frames admitted while the journal was still unopened (submitted
+    // to the stopped server) are journaled now, in admission order.
+    const std::lock_guard<std::mutex> lock(pending_mu_);
+    for (std::vector<std::uint8_t>& frame : pending_journal_) {
+      journal_->append(ledger::Record(ledger::EnvelopeRecord{std::move(frame)}));
+    }
+    pending_journal_.clear();
+  }
   queue_.reopen();
   const std::size_t n = common::resolve_thread_count(opts_.workers);
   workers_.reserve(n);
@@ -94,9 +138,25 @@ std::future<std::vector<std::uint8_t>> Server::submit(
   Job job;
   job.frame = std::move(frame);
   std::future<std::vector<std::uint8_t>> fut = job.reply.get_future();
+  // Copied before try_push consumes the job; only journaled when the
+  // frame is actually admitted (a rejected frame never touches the
+  // caches, so replaying it would be wrong).
+  std::vector<std::uint8_t> journal_frame;
+  const bool ledgered = !opts_.ledger_path.empty();
+  if (ledgered) journal_frame = job.frame;
   if (queue_.try_push(std::move(job))) {
     m.admitted.inc();
     m.queue_depth.record(queue_.depth());
+    if (ledgered) {
+      if (journal_ != nullptr) {
+        journal_->append(
+            ledger::Record(ledger::EnvelopeRecord{std::move(journal_frame)}));
+      } else {
+        // Journal not open yet (first start() pending): buffer.
+        const std::lock_guard<std::mutex> lock(pending_mu_);
+        pending_journal_.push_back(std::move(journal_frame));
+      }
+    }
     return fut;
   }
   // Shed load instead of backlogging: answer kRejected right here on

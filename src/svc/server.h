@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +32,10 @@
 #include "svc/planner.h"
 #include "svc/queue.h"
 
+namespace rtr::ledger {
+class Journal;
+}
+
 namespace rtr::svc {
 
 struct ServerOptions {
@@ -38,6 +43,18 @@ struct ServerOptions {
   /// Admission-queue capacity; submissions beyond it get kRejected.
   std::size_t queue_capacity = 64;
   PlannerOptions planner;
+  /// Crash-durable request journal (rtr::ledger).  Empty -- the default
+  /// -- journals nothing and leaves the server byte-identical to a
+  /// ledger-free build.  When set, the first start() opens the journal
+  /// with a fingerprint over the loaded topology set (names, node and
+  /// link counts, in name order) and replays every recovered request
+  /// frame through the serve path -- rebuilding the warm BaseTreeStore
+  /// caches a restarted process would otherwise lack -- before any
+  /// worker thread spawns; after that, every admitted frame is appended
+  /// as an EnvelopeRecord (rejected frames are not -- they never touched
+  /// the caches).  A journal whose fingerprint contradicts the loaded
+  /// topologies refuses to replay loudly (LedgerError from start()).
+  std::string ledger_path;
 };
 
 class Server {
@@ -95,6 +112,14 @@ class Server {
   Dispatcher dispatcher_;
   BoundedQueue<Job> queue_;
   std::vector<std::thread> workers_;
+  /// Opened by the first start() when opts_.ledger_path is set (the
+  /// fingerprint needs the final topology set); persists across
+  /// stop()/start() cycles so one process appends to one journal.
+  std::shared_ptr<ledger::Journal> journal_;
+  /// Frames admitted before the first start() (submitting to a stopped
+  /// server is legal); journaled right after open, in admission order.
+  std::mutex pending_mu_;
+  std::vector<std::vector<std::uint8_t>> pending_journal_;
 };
 
 }  // namespace rtr::svc

@@ -1,0 +1,266 @@
+// Crash-resume chaos harness (`ctest -L chaos`): SIGKILL a journaled
+// sweep at randomized scenario offsets -- including the deliberately
+// torn half-frame the crash seam writes -- then resume from the
+// surviving journal and demand the final report be BIT-identical to an
+// uninterrupted run, at worker counts 1, 2 and 8.
+//
+// Each run happens in a fork()ed child with a freshly reset metrics
+// registry: the killed process and the resumed process really are
+// different processes, the journal file is the only state they share,
+// and the parent only ever diffs the report files the children wrote.
+// The report is the full RecoverableResults/IrrecoverableResults field
+// set (doubles in hexfloat, so "equal" means equal bits) plus the
+// deterministic stable-metrics JSON document.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exp/cases.h"
+#include "exp/context.h"
+#include "exp/runners.h"
+#include "graph/gen/isp_gen.h"
+#include "ledger/journal.h"
+#include "obs/emit.h"
+#include "obs/metrics.h"
+
+namespace rtr::exp {
+namespace {
+
+constexpr std::uint64_t kConfigFingerprint = 0xC0FFEE5EEDULL;
+constexpr std::size_t kRecoverableBudget = 24;
+constexpr std::size_t kIrrecoverableBudget = 12;
+constexpr std::uint64_t kScenarioSeed = 4242;
+
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "ledger_crash_" + tag + "." +
+         std::to_string(::getpid());
+}
+
+void put_doubles(std::ostringstream& os, const char* name,
+                 const std::vector<double>& vs) {
+  os << name << ":";
+  for (const double v : vs) os << " " << std::hexfloat << v;
+  os << "\n";
+}
+
+/// The entire body of one child process: build the world, run both
+/// sweeps through the (optionally journaled) runners, write the report,
+/// _exit.  Never returns.
+[[noreturn]] void child_main(const std::string& report_path,
+                             const std::string& ledger_path,
+                             long crash_after, std::size_t threads) {
+  if (crash_after >= 0) {
+    ::setenv("RTR_LEDGER_CRASH_AFTER", std::to_string(crash_after).c_str(),
+             1);
+  } else {
+    ::unsetenv("RTR_LEDGER_CRASH_AFTER");
+  }
+  // The fork inherited whatever series earlier tests in this binary
+  // registered; a clean slate makes the emitted document a pure
+  // function of this child's work.
+  obs::Registry::global().reset();
+
+  TopologyContext ctx = make_context(graph::spec_by_name("AS209"));
+  CaseBudget budget;
+  budget.recoverable = kRecoverableBudget;
+  budget.irrecoverable = kIrrecoverableBudget;
+  const std::vector<Scenario> scenarios =
+      generate_scenarios(ctx, fail::ScenarioConfig{}, budget, kScenarioSeed);
+
+  RunOptions opts;
+  opts.threads = threads;
+  if (!ledger_path.empty()) {
+    // Journal construction is where the crash seam arms itself.
+    opts.journal =
+        std::make_shared<ledger::Journal>(ledger_path, kConfigFingerprint);
+  }
+  const RecoverableResults rec = run_recoverable(ctx, scenarios, opts);
+  const IrrecoverableResults irr = run_irrecoverable(ctx, scenarios, opts);
+
+  std::ostringstream os;
+  os << "topo: " << rec.topo << " cases: " << rec.cases << "\n"
+     << "rtr: " << rec.rtr_recovered << " " << rec.rtr_optimal << " "
+     << rec.rtr_phase1_aborted << " " << rec.rtr_unrecovered << " "
+     << rec.rtr_dropped << " " << rec.rtr_retry_attempts << " "
+     << rec.rtr_reinitiations << "\n"
+     << "fcp: " << rec.fcp_recovered << " " << rec.fcp_optimal << "\n"
+     << "mrc: " << rec.mrc_recovered << " " << rec.mrc_optimal << "\n";
+  put_doubles(os, "phase1_ms", rec.phase1_duration_ms);
+  put_doubles(os, "rtr_stretch", rec.rtr_stretch);
+  put_doubles(os, "fcp_stretch", rec.fcp_stretch);
+  put_doubles(os, "mrc_stretch", rec.mrc_stretch);
+  put_doubles(os, "rtr_calcs", rec.rtr_calcs);
+  put_doubles(os, "fcp_calcs", rec.fcp_calcs);
+  put_doubles(os, "rtr_recovery_ms", rec.rtr_recovery_ms);
+  put_doubles(os, "rtr_bytes", rec.rtr_bytes_timeline);
+  put_doubles(os, "fcp_bytes", rec.fcp_bytes_timeline);
+  os << "irr: " << irr.cases << " " << irr.rtr_delivered << " "
+     << irr.fcp_delivered << "\n";
+  put_doubles(os, "irr_phase1_ms", irr.phase1_duration_ms);
+  put_doubles(os, "rtr_wasted_comp", irr.rtr_wasted_comp);
+  put_doubles(os, "fcp_wasted_comp", irr.fcp_wasted_comp);
+  put_doubles(os, "rtr_wasted_trans", irr.rtr_wasted_trans);
+  put_doubles(os, "fcp_wasted_trans", irr.fcp_wasted_trans);
+
+  obs::RunInfo run;
+  run.bench = "test_ledger_crash";
+  obs::EmitOptions eopts;
+  eopts.include_volatile = false;  // the deterministic document
+  os << obs::to_json(obs::Registry::global().snapshot(), run, eopts);
+
+  {
+    std::ofstream out(report_path, std::ios::trunc);
+    out << os.str();
+  }
+  ::_exit(0);
+}
+
+/// Forks one sweep child and waits.  Returns the raw waitpid status.
+int run_child(const std::string& report_path, const std::string& ledger_path,
+              long crash_after, std::size_t threads) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    child_main(report_path, ledger_path, crash_after, threads);
+  }
+  EXPECT_GT(pid, 0) << "fork failed";
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Scenario count of the shared workload, computed once in the parent
+/// so randomized kill offsets always land inside the journal's actual
+/// append stream (2 sweeps x one scenario append each).
+std::size_t scenario_count() {
+  static const std::size_t n = [] {
+    TopologyContext ctx = make_context(graph::spec_by_name("AS209"));
+    CaseBudget budget;
+    budget.recoverable = kRecoverableBudget;
+    budget.irrecoverable = kIrrecoverableBudget;
+    return generate_scenarios(ctx, fail::ScenarioConfig{}, budget,
+                              kScenarioSeed)
+        .size();
+  }();
+  return n;
+}
+
+TEST(LedgerCrash, KilledAndResumedSweepsAreBitIdentical) {
+  const std::string base_report = temp_path("base");
+  const std::string report = temp_path("resumed");
+  const std::string journal = temp_path("journal");
+
+  // Uninterrupted, ledger-free baseline.
+  int status = run_child(base_report, "", -1, 4);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  const std::string want = slurp(base_report);
+  ASSERT_FALSE(want.empty());
+
+  // Ledger-armed but uninterrupted: the journal must be write-only.
+  std::remove(journal.c_str());
+  status = run_child(report, journal, -1, 4);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(slurp(report), want) << "armed uninterrupted run diverged";
+
+  // Randomized kill offsets across both sweeps (the two sweeps append
+  // kRecoverableBudget-ish scenarios each into one journal), resumed at
+  // 1, 2 and 8 workers.  Offset 0 kills inside the very first scenario
+  // append; every kill writes a torn half-frame first.
+  Rng rng(0x4C43'5241'5348ULL);
+  const std::size_t resume_threads[] = {1, 2, 8};
+  ASSERT_GE(scenario_count(), 2u);
+  for (std::size_t round = 0; round < 4; ++round) {
+    const long kill_at = static_cast<long>(rng.index(2 * scenario_count()));
+    std::remove(journal.c_str());
+    status = run_child(report, journal, kill_at, 4);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "crash seam did not fire at offset " << kill_at;
+
+    const std::size_t threads = resume_threads[round % 3];
+    status = run_child(report, journal, -1, threads);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "resume failed after kill at " << kill_at;
+    EXPECT_EQ(slurp(report), want)
+        << "resume diverged: killed at " << kill_at << ", resumed with "
+        << threads << " threads";
+  }
+
+  // A journal from a differently-configured run must refuse loudly, not
+  // resume into wrong results: the child dies on the uncaught
+  // LedgerError instead of exiting 0.
+  std::remove(journal.c_str());
+  status = run_child(report, journal, 1, 4);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+  {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::unsetenv("RTR_LEDGER_CRASH_AFTER");
+      obs::Registry::global().reset();
+      try {
+        const ledger::Journal j(journal, kConfigFingerprint + 1);
+        ::_exit(0);  // accepted the mismatched journal: test failure
+      } catch (const ledger::LedgerError&) {
+        ::_exit(7);
+      }
+    }
+    ASSERT_GT(pid, 0);
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 7)
+        << "fingerprint mismatch was not refused";
+  }
+
+  std::remove(base_report.c_str());
+  std::remove(report.c_str());
+  std::remove(journal.c_str());
+}
+
+/// Resuming from a COMPLETE journal replays every scenario and runs
+/// nothing live -- the strongest form of the identity: the report is
+/// reconstructed purely from the ledger.
+TEST(LedgerCrash, FullReplayFromCompleteJournalIsBitIdentical) {
+  const std::string base_report = temp_path("fr_base");
+  const std::string report = temp_path("fr_resumed");
+  const std::string journal = temp_path("fr_journal");
+
+  int status = run_child(base_report, "", -1, 2);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  const std::string want = slurp(base_report);
+
+  std::remove(journal.c_str());
+  status = run_child(report, journal, -1, 4);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  ASSERT_EQ(slurp(report), want);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    status = run_child(report, journal, -1, threads);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    EXPECT_EQ(slurp(report), want)
+        << "full replay diverged at " << threads << " threads";
+  }
+
+  std::remove(base_report.c_str());
+  std::remove(report.c_str());
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace rtr::exp

@@ -2,6 +2,7 @@
 // determinism across thread counts, scoped-timer nesting, and the
 // "rtr.metrics.v1" JSON document shape.
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -302,6 +303,44 @@ TEST(ObsEmitter, ExplicitFlushIsRepeatableAndAtexitRegistersOnce) {
   // after the test binary's accounting finished.
   emitter.configure("", {}, {});
   EXPECT_FALSE(emitter.flush());
+}
+
+// Regression: flush used to write the destination in place, so a reader
+// racing a flush (the svc layer snapshots mid-run) could observe a
+// half-written document.  write_metrics_file now stages into
+// `path + ".tmp"` and rename()s into place: a stale destination is
+// replaced whole and no .tmp residue survives a successful flush.
+TEST(ObsEmitter, FlushReplacesStaleFilesAtomicallyWithoutTmpResidue) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_emitter_atomic_test.json";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream stale(path);
+    stale << "STALE, NOT JSON\n";
+  }
+  {
+    // A leftover staging file from a crashed writer must not wedge the
+    // next flush either.
+    std::ofstream residue(tmp);
+    residue << "torn half-write";
+  }
+
+  obs::RunInfo run;
+  run.bench = "obs_emitter_atomic_test";
+  obs::EmitOptions opts;
+  opts.include_volatile = false;
+  ASSERT_TRUE(obs::write_metrics_file(
+      path, obs::Registry::global().snapshot(), run, opts));
+
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_EQ(doc.front(), '{') << "stale content must be fully replaced";
+  EXPECT_EQ(doc.find("STALE"), std::string::npos);
+  EXPECT_FALSE(std::ifstream(tmp).good())
+      << "staging file must not survive a successful flush";
+  std::remove(path.c_str());
 }
 
 }  // namespace

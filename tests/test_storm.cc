@@ -5,8 +5,11 @@
 // trajectory that makes generation drift fail loudly.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -302,6 +305,105 @@ TEST(StormGolden, TwentyTickTimelinePinned) {
   EXPECT_EQ(actual.str(), golden)
       << "seed-pinned storm trajectory drifted; if intentional, refresh "
          "tests/golden_storm_timeline.inc with the actual string above";
+}
+
+// ------------------------------------------------- waypoint CSV tracks --
+
+/// Writes `content` to a unique temp CSV and returns its path.
+std::string waypoint_file(const std::string& tag,
+                          const std::string& content) {
+  const std::string path =
+      ::testing::TempDir() + "storm_waypoints_" + tag + ".csv";
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  return path;
+}
+
+TEST(StormWaypoints, ParsesTracksIntoSegmentedCells) {
+  // Two cells: cell 0 with three waypoints (two segments), cell 7 with
+  // two.  Comments and blank lines are skipped; fields may carry spaces.
+  const std::string path = waypoint_file("ok",
+                                         "# cell,tick,x,y,radius\n"
+                                         "\n"
+                                         "0, 0, 100, 200, 50\n"
+                                         "7,2,0,0,30\n"
+                                         "0, 4, 300, 200, 90\n"
+                                         "0, 8, 300, 600, 90\n"
+                                         "7,10,80,-80,10\n");
+  const std::vector<StormCell> cells = load_waypoints(path);
+  ASSERT_EQ(cells.size(), 3u);  // cell 0 x2 segments, cell 7 x1
+
+  // Cell 0, segment 1: ticks [0,4), velocity (50, 0)/tick, growth 10.
+  EXPECT_EQ(cells[0].start_tick, 0u);
+  EXPECT_EQ(cells[0].end_tick, 4u);
+  EXPECT_EQ(cells[0].origin.x, 100.0);
+  EXPECT_EQ(cells[0].origin.y, 200.0);
+  EXPECT_EQ(cells[0].radius0, 50.0);
+  EXPECT_EQ(cells[0].velocity.x, 50.0);
+  EXPECT_EQ(cells[0].velocity.y, 0.0);
+  EXPECT_EQ(cells[0].radius_growth, 10.0);
+  // Cell 0, segment 2: ticks [4,9) -- the final segment is closed one
+  // tick past its last waypoint so the storm reaches it.
+  EXPECT_EQ(cells[1].start_tick, 4u);
+  EXPECT_EQ(cells[1].end_tick, 9u);
+  EXPECT_EQ(cells[1].velocity.y, 100.0);
+  // Cell 7's single segment, after cell 0's (ascending cell id).
+  EXPECT_EQ(cells[2].start_tick, 2u);
+  EXPECT_EQ(cells[2].end_tick, 11u);
+  EXPECT_EQ(cells[2].velocity.x, 10.0);
+  EXPECT_EQ(cells[2].radius_growth, -2.5);
+  std::remove(path.c_str());
+}
+
+TEST(StormWaypoints, SpecUsesTheFixedRosterVerbatim) {
+  // With a track file armed, make_storm_spec must take the waypoint
+  // cells as the full roster -- no RNG draws, identical on every call.
+  const std::string path = waypoint_file("spec",
+                                         "0,0,100,100,40\n"
+                                         "0,5,600,100,40\n");
+  StormOptions opts;
+  opts.ticks = 6;
+  opts.cells = 99;  // ignored in waypoint mode
+  opts.waypoint_file = path;
+  const StormSpec a = make_storm_spec(opts, 1);
+  const StormSpec b = make_storm_spec(opts, 2);  // different stream seed
+  ASSERT_EQ(a.cells.size(), 1u);
+  EXPECT_EQ(a.cells.size(), b.cells.size());
+  EXPECT_EQ(a.cells[0].origin.x, b.cells[0].origin.x);
+  EXPECT_EQ(a.cells[0].velocity.x, 100.0);
+  std::remove(path.c_str());
+}
+
+TEST(StormWaypoints, MalformedInputsAreRejectedWithLineNumbers) {
+  const struct {
+    const char* tag;
+    const char* content;
+    const char* needle;  ///< must appear in the error message
+  } cases[] = {
+      {"fields", "0,0,1,2\n0,1,1,2,3\n", ":1:"},
+      {"junk", "0,zero,1,2,3\n0,1,1,2,3\n", ":1:"},
+      {"radius", "0,0,1,2,0\n0,1,1,2,3\n", "radius"},
+      {"nonfinite", "0,0,inf,2,3\n0,1,1,2,3\n", ":1:"},
+      {"order", "0,5,1,2,3\n0,5,9,9,9\n", "strictly increase"},
+      {"lonely", "0,0,1,2,3\n", "at least 2 waypoints"},
+      {"empty", "# nothing but comments\n", "no waypoint rows"},
+  };
+  for (const auto& c : cases) {
+    const std::string path = waypoint_file(c.tag, c.content);
+    try {
+      (void)load_waypoints(path);
+      FAIL() << c.tag << ": malformed track was accepted";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("storm waypoints"), std::string::npos) << c.tag;
+      EXPECT_NE(what.find(c.needle), std::string::npos)
+          << c.tag << ": got \"" << what << '"';
+    }
+    std::remove(path.c_str());
+  }
+  EXPECT_THROW((void)load_waypoints(::testing::TempDir() +
+                                    "storm_waypoints_does_not_exist.csv"),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -181,17 +181,19 @@ _SEGMENT = r"[a-z][a-z0-9_]*"
 _NAME_RE = re.compile(
     r"rtr\.(%s)\.(%s)(\.(%s)){0,2}$" % (_SEGMENT, _SEGMENT, _SEGMENT))
 
-_README_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_.<>]+)`")
+_README_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_.<>]+)`\s*\|\s*([^|]+?)\s*\|")
 
 
 class Registration:
     """One metric registration site (literal or scoped template)."""
 
-    def __init__(self, path: str, line: int, name: str, volatile: bool):
+    def __init__(self, path: str, line: int, name: str, volatile: bool,
+                 bounds: str | None = None):
         self.path = path
         self.line = line
         self.name = name          # template: wildcard segment spelled '*'
         self.volatile = volatile
+        self.bounds = bounds      # histogram bucket family, else None
 
     def matches(self, concrete: str) -> bool:
         if "*" not in self.name:
@@ -278,12 +280,41 @@ class MetricNamePass:
                         "scoped_gauge/scoped_timer (validated at "
                         "construction) or inline the literal"))
                     continue
-                regs.append(Registration(
-                    rel, line, name,
-                    volatile=m.group(1) == "timer" or
-                    "kVolatile" in self._call_tail(sf.masked,
-                                                   m.end() - 1)))
+                tail = self._call_tail(sf.masked, m.end() - 1)
+                volatile = (m.group(1) == "timer" or
+                            "kVolatile" in tail)
+                bounds = None
+                if m.group(1) == "histogram":
+                    bounds = self._histogram_bounds(tail)
+                    if bounds is None and not volatile:
+                        findings.append(Finding(
+                            rel, line, self.rule_id,
+                            f"histogram '{name}' registered with bucket "
+                            "bounds this lint cannot parse; pass "
+                            "obs::size_bounds(), obs::latency_ns_bounds() "
+                            "or a braced literal at the call site so the "
+                            "README registry's bounds stay "
+                            "cross-checkable"))
+                regs.append(Registration(rel, line, name,
+                                         volatile=volatile, bounds=bounds))
         return regs, findings
+
+    @staticmethod
+    def _histogram_bounds(tail: str) -> str | None:
+        """Bucket-bounds family of a histogram registration: the named
+        helper spelled at the call site, or the element count of a
+        braced literal.  The README registry's kind cell must spell the
+        same family as `histogram(<family>)`."""
+        if "latency_ns_bounds" in tail:
+            return "latency_ns"
+        if "size_bounds" in tail:
+            return "size"
+        m = re.search(r"\{([^{}]*)\}", tail)
+        if m:
+            inner = m.group(1).strip()
+            n = 0 if not inner else inner.count(",") + 1
+            return f"{n} bounds"
+        return None
 
     def _scoped_literals(self, sf, after_name: int):
         """Literal (layer, leaf) of scoped_*(L, dynamic, leaf), or None."""
@@ -395,15 +426,16 @@ class MetricNamePass:
                 "series must be documented there (the metric-name pass "
                 "cross-checks it)")]
         start_line, body = section
-        documented: list[tuple[str, int]] = []
+        documented: list[tuple[str, str, int]] = []
         for i, line in enumerate(body.splitlines()):
             m = _README_ROW_RE.match(line)
             if m and not m.group(1).startswith("rtr.<"):
-                documented.append((m.group(1), start_line + i))
+                documented.append((m.group(1), m.group(2).strip(),
+                                   start_line + i))
         findings = []
-        templates = [(re.sub(r"<[a-z0-9_]+>", "*", name), line)
-                     for name, line in documented]
-        for name, line in templates:
+        templates = [(re.sub(r"<[a-z0-9_]+>", "*", name), kind, line)
+                     for name, kind, line in documented]
+        for name, _, line in templates:
             probe = name.replace("*", "dynamic")
             if not _NAME_RE.fullmatch(probe):
                 findings.append(_model_finding(
@@ -420,14 +452,25 @@ class MetricNamePass:
         for r in regs:
             if r.volatile:
                 continue
-            if not any(t == r.name or
-                       Registration("", 0, t, False).matches(r.name)
-                       for t, _ in templates):
+            row = next((t for t in templates
+                        if t[0] == r.name or
+                        Registration("", 0, t[0], False).matches(r.name)),
+                       None)
+            if row is None:
                 findings.append(Finding(
                     r.path, r.line, self.rule_id,
                     f"stable metric '{r.name}' is missing from the "
                     "README 'Metrics registry' table: undocumented "
                     "series silently fall out of perf-gate coverage"))
+            elif r.bounds is not None and \
+                    row[1] != f"histogram({r.bounds})":
+                findings.append(Finding(
+                    r.path, r.line, self.rule_id,
+                    f"histogram '{r.name}' uses {r.bounds} buckets here "
+                    f"but the README registry row (line {row[2]}) "
+                    f"documents it as '{row[1]}'; spell the kind cell "
+                    f"'histogram({r.bounds})' so the table tracks the "
+                    "bucket bounds"))
         return findings
 
     @staticmethod

@@ -1,0 +1,6 @@
+void reg() {
+  obs::Registry::global().histogram("rtr.m.sizes", obs::size_bounds());
+  obs::Registry::global().histogram("rtr.m.lat", obs::size_bounds());
+  obs::Registry::global().histogram("rtr.m.braced",
+                                    std::vector<obs::Value>{1, 8, 64});
+}

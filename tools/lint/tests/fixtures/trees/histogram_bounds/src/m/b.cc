@@ -1,0 +1,4 @@
+void reg_allowed() {
+  // lint:allow(metric-name) — legacy buckets, docs row deliberately stale
+  obs::Registry::global().histogram("rtr.m.old", obs::latency_ns_bounds());
+}

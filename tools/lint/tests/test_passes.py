@@ -146,6 +146,17 @@ class MetricNameTreeTest(unittest.TestCase):
         self.assertIn("also registered at src/m/a.cc:1", f.message)
         # c.cc registers the same series under lint:allow — absent.
 
+    def test_histogram_bounds_cross_checked(self):
+        findings = tree_findings("histogram_bounds")
+        self.assertEqual(len(findings), 1, [f.render() for f in findings])
+        f = findings[0]
+        self.assertEqual((f.rule, f.path, f.line),
+                         ("metric-name", "src/m/a.cc", 3))
+        self.assertIn("'histogram(latency_ns)'", f.message)
+        self.assertIn("'histogram(size)'", f.message)
+        # rtr.m.sizes and rtr.m.braced match their rows — absent above;
+        # b.cc's stale-bounds registration sits under lint:allow.
+
     def test_stale_baseline_name_found(self):
         findings = tree_findings("baseline_stale")
         self.assertEqual(len(findings), 1, [f.render() for f in findings])
